@@ -1,0 +1,101 @@
+// CP-ALS end-to-end: (a) sequential decomposition timing and fit with each
+// MTTKRP backend; (b) parallel CP-ALS on the simulated machine, with the
+// per-iteration communication breakdown (MTTKRP collectives vs Gram
+// All-Reduces) across grid shapes — the multi-MTTKRP context of Section VII.
+#include <chrono>
+#include <cstdio>
+
+#include "src/cp/cp_als.hpp"
+#include "src/cp/cp_gradient.hpp"
+#include "src/cp/par_cp_als.hpp"
+#include "src/support/rng.hpp"
+
+namespace {
+
+using namespace mtk;
+
+DenseTensor synthetic(const shape_t& dims, index_t rank, std::uint64_t seed,
+                      double noise) {
+  Rng rng(seed);
+  std::vector<Matrix> factors;
+  for (index_t d : dims) {
+    factors.push_back(Matrix::random_uniform(d, rank, rng, 0.1, 1.0));
+  }
+  DenseTensor x = DenseTensor::from_cp(
+      factors, std::vector<double>(static_cast<std::size_t>(rank), 1.0));
+  if (noise > 0.0) {
+    const double scale =
+        noise * x.frobenius_norm() / std::sqrt(static_cast<double>(x.size()));
+    for (index_t i = 0; i < x.size(); ++i) x[i] += scale * rng.normal();
+  }
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== CP-ALS end-to-end ===\n\n");
+
+  // (a) Sequential backends.
+  const DenseTensor x = synthetic({40, 40, 40}, 8, 911, 0.01);
+  std::printf("Sequential: dims = 40^3, true rank 8, 1%% noise, 20 iters\n");
+  std::printf("%-12s %10s %12s %8s\n", "backend", "time(ms)", "fit",
+              "iters");
+  for (MttkrpAlgo algo : {MttkrpAlgo::kBlocked, MttkrpAlgo::kMatmul,
+                          MttkrpAlgo::kTwoStep}) {
+    CpAlsOptions opts;
+    opts.rank = 8;
+    opts.max_iterations = 20;
+    opts.tolerance = 1e-9;
+    opts.mttkrp.algo = algo;
+    const auto start = std::chrono::steady_clock::now();
+    const CpAlsResult result = cp_als(x, opts);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    std::printf("%-12s %10.1f %12.6f %8d\n", to_string(algo), ms,
+                result.final_fit, result.iterations);
+  }
+
+  // (a') Gradient-based CP on the same tensor for context (first-order
+  // method; uses the dimension-tree all-modes MTTKRP per iteration).
+  {
+    CpGradOptions gopts;
+    gopts.rank = 8;
+    gopts.max_iterations = 20;
+    gopts.tolerance = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    const CpGradResult result = cp_gradient_descent(x, gopts);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    std::printf("%-12s %10.1f %12.6f %8d\n", "gradient", ms,
+                result.final_fit, result.iterations);
+  }
+
+  // (b) Parallel communication breakdown.
+  const DenseTensor xp = synthetic({24, 24, 24}, 6, 913, 0.0);
+  std::printf("\nParallel (simulated machine): dims = 24^3, rank 6, "
+              "5 iterations\n");
+  std::printf("%-10s %16s %16s %12s\n", "grid", "mttkrp words/it",
+              "gram words/it", "final fit");
+  const std::vector<std::vector<int>> grids{
+      {1, 1, 1}, {2, 2, 2}, {4, 2, 2}, {8, 2, 1}, {2, 2, 8}};
+  for (const auto& grid : grids) {
+    ParCpAlsOptions opts;
+    opts.rank = 6;
+    opts.max_iterations = 5;
+    opts.tolerance = 0.0;
+    opts.grid = grid;
+    const ParCpAlsResult result = par_cp_als(xp, opts);
+    std::printf("%dx%dx%-6d %16lld %16lld %12.6f\n", grid[0], grid[1],
+                grid[2],
+                static_cast<long long>(result.trace.front().mttkrp_words_max),
+                static_cast<long long>(result.trace.front().gram_words_max),
+                result.final_fit);
+  }
+  std::printf("\nReading: the MTTKRP collectives dominate the Gram\n"
+              "All-Reduces (R^2 words); balanced grids move fewest words,\n"
+              "and the fit is identical across grids (same arithmetic).\n");
+  return 0;
+}

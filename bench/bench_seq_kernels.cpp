@@ -1,0 +1,102 @@
+// Wall-clock timings of the four sequential MTTKRP algorithms
+// (google-benchmark). The paper's Section VI-A predicts: when R is small
+// relative to M, the matmul approach is competitive (it can exploit tuned
+// GEMM and moves the same tensor words); the blocked algorithm wins when
+// factor-matrix traffic dominates. Absolute numbers are machine-specific;
+// the relative ordering across (size, rank) is the informative output.
+#include <benchmark/benchmark.h>
+
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/support/rng.hpp"
+
+namespace {
+
+using namespace mtk;
+
+struct Fixture {
+  DenseTensor x;
+  std::vector<Matrix> factors;
+};
+
+Fixture make_fixture(index_t dim, int order, index_t rank) {
+  Rng rng(4242);
+  shape_t dims(static_cast<std::size_t>(order), dim);
+  Fixture f;
+  f.x = DenseTensor::random_normal(dims, rng);
+  for (int k = 0; k < order; ++k) {
+    f.factors.push_back(Matrix::random_normal(dim, rank, rng));
+  }
+  return f;
+}
+
+void run_algo(benchmark::State& state, MttkrpAlgo algo, bool parallel) {
+  const index_t dim = state.range(0);
+  const index_t rank = state.range(1);
+  const Fixture f = make_fixture(dim, 3, rank);
+  MttkrpOptions opts;
+  opts.algo = algo;
+  opts.fast_memory_words = index_t{1} << 15;  // ~L1+L2-sized blocks
+  opts.parallel = parallel;
+  for (auto _ : state) {
+    Matrix b = mttkrp(f.x, f.factors, 1, opts);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.x.size() * rank);
+}
+
+void BM_Reference(benchmark::State& state) {
+  run_algo(state, MttkrpAlgo::kReference, false);
+}
+void BM_Blocked(benchmark::State& state) {
+  run_algo(state, MttkrpAlgo::kBlocked, false);
+}
+void BM_BlockedOmp(benchmark::State& state) {
+  run_algo(state, MttkrpAlgo::kBlocked, true);
+}
+void BM_Matmul(benchmark::State& state) {
+  run_algo(state, MttkrpAlgo::kMatmul, false);
+}
+void BM_TwoStep(benchmark::State& state) {
+  run_algo(state, MttkrpAlgo::kTwoStep, false);
+}
+
+#define MTK_ARGS                                                     \
+  ->Args({32, 8})->Args({32, 32})->Args({64, 8})->Args({64, 32})     \
+      ->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_Reference) MTK_ARGS;
+BENCHMARK(BM_Blocked) MTK_ARGS;
+BENCHMARK(BM_BlockedOmp) MTK_ARGS;
+BENCHMARK(BM_Matmul) MTK_ARGS;
+BENCHMARK(BM_TwoStep) MTK_ARGS;
+
+// Mode sweep at a fixed size: the two-step algorithm's cost profile depends
+// strongly on the mode (it contracts the modes right of n with a GEMM).
+void BM_TwoStepMode(benchmark::State& state) {
+  const Fixture f = make_fixture(48, 3, 16);
+  const int mode = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Matrix b = mttkrp_two_step(f.x, f.factors, mode);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_TwoStepMode)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Order sweep: generic-N blocked kernel across tensor orders.
+void BM_BlockedOrder(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  const index_t dim = state.range(1);
+  const Fixture f = make_fixture(dim, order, 8);
+  MttkrpOptions opts;
+  opts.algo = MttkrpAlgo::kBlocked;
+  opts.fast_memory_words = index_t{1} << 15;
+  for (auto _ : state) {
+    Matrix b = mttkrp(f.x, f.factors, 0, opts);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_BlockedOrder)->Args({2, 256})->Args({3, 40})->Args({4, 16})
+    ->Args({5, 8})->Unit(benchmark::kMillisecond);
+
+}  // namespace

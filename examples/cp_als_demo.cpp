@@ -1,0 +1,57 @@
+// CP decomposition demo: the application MTTKRP bottlenecks (Section II-A).
+// Builds a synthetic rank-5 tensor with noise, runs CP-ALS, and prints the
+// fit trajectory. Swap the MTTKRP backend with one option to see the
+// pluggability of the algorithms in src/mttkrp.
+//
+//   build/examples/cp_als_demo
+#include <cstdio>
+
+#include "src/cp/cp_als.hpp"
+#include "src/support/rng.hpp"
+
+int main() {
+  using namespace mtk;
+
+  // Ground-truth rank-5 model plus 2% noise.
+  Rng rng(2024);
+  const shape_t dims{30, 25, 20};
+  const index_t true_rank = 5;
+  std::vector<Matrix> truth;
+  for (index_t d : dims) {
+    truth.push_back(Matrix::random_uniform(d, true_rank, rng, 0.1, 1.0));
+  }
+  DenseTensor x = DenseTensor::from_cp(
+      truth, std::vector<double>(static_cast<std::size_t>(true_rank), 1.0));
+  const double scale =
+      0.02 * x.frobenius_norm() / std::sqrt(static_cast<double>(x.size()));
+  for (index_t i = 0; i < x.size(); ++i) x[i] += scale * rng.normal();
+
+  std::printf("CP-ALS on a 30x25x20 tensor (true rank 5, 2%% noise)\n\n");
+
+  CpAlsOptions opts;
+  opts.rank = 5;
+  opts.max_iterations = 60;
+  opts.tolerance = 1e-9;
+  opts.mttkrp.algo = MttkrpAlgo::kBlocked;  // the communication-optimal one
+
+  const CpAlsResult result = cp_als(x, opts);
+
+  std::printf("%-6s %12s %14s\n", "iter", "fit", "change");
+  for (const CpAlsIterate& it : result.trace) {
+    if (it.iteration <= 5 || it.iteration % 10 == 0 ||
+        it.iteration == result.iterations) {
+      std::printf("%-6d %12.8f %14.3e\n", it.iteration, it.fit,
+                  it.fit_change);
+    }
+  }
+  std::printf("\n%s after %d iterations, final fit %.6f\n",
+              result.converged ? "Converged" : "Stopped", result.iterations,
+              result.final_fit);
+
+  // The recovered lambda weights, sorted by magnitude, should be ~equal
+  // since the ground truth used unit weights.
+  std::printf("lambda:");
+  for (double l : result.model.lambda) std::printf(" %.3f", l);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Gradient-based CP decomposition (the paper's second motivating
+// application class): each iteration computes the gradient with respect to
+// *all* factor matrices, so the MTTKRP for every mode is needed at once —
+// the all-modes dimension-tree kernel computes them with ~N/2 x fewer
+// multiplies than N separate MTTKRPs.
+//
+//   build/examples/gradient_cp_demo
+#include <cstdio>
+
+#include "src/cp/cp_gradient.hpp"
+#include "src/mttkrp/dim_tree.hpp"
+#include "src/support/rng.hpp"
+
+int main() {
+  using namespace mtk;
+
+  Rng rng(555);
+  const shape_t dims{16, 16, 16, 16};
+  const index_t rank = 4;
+  std::vector<Matrix> truth;
+  for (index_t d : dims) {
+    truth.push_back(Matrix::random_uniform(d, rank, rng, 0.1, 1.0));
+  }
+  const DenseTensor x = DenseTensor::from_cp(
+      truth, std::vector<double>(static_cast<std::size_t>(rank), 1.0));
+
+  std::printf("Gradient CP on a 16^4 tensor, rank %lld\n\n",
+              static_cast<long long>(rank));
+
+  // The kernel saving first: all-modes MTTKRP via the dimension tree.
+  std::vector<Matrix> probe;
+  for (index_t d : dims) probe.push_back(Matrix::random_normal(d, rank, rng));
+  const AllModesResult tree = mttkrp_all_modes_tree(x, probe);
+  const AllModesResult sep = mttkrp_all_modes_separate(x, probe);
+  std::printf("all-modes MTTKRP multiplies: tree %lld vs separate %lld "
+              "(%.2fx saved)\n\n",
+              static_cast<long long>(tree.multiplies),
+              static_cast<long long>(sep.multiplies),
+              static_cast<double>(sep.multiplies) /
+                  static_cast<double>(tree.multiplies));
+
+  CpGradOptions opts;
+  opts.rank = rank;
+  opts.max_iterations = 80;
+  opts.tolerance = 1e-6;
+  const CpGradResult result = cp_gradient_descent(x, opts);
+
+  std::printf("%-6s %14s %14s %10s\n", "iter", "objective", "|grad|",
+              "step");
+  for (const CpGradIterate& it : result.trace) {
+    if (it.iteration <= 3 || it.iteration % 20 == 0 ||
+        it.iteration == result.iterations) {
+      std::printf("%-6d %14.6e %14.6e %10.4f\n", it.iteration, it.objective,
+                  it.gradient_norm, it.step);
+    }
+  }
+  std::printf("\n%s after %d iterations; final fit %.4f\n",
+              result.converged ? "Converged" : "Stopped", result.iterations,
+              result.final_fit);
+  return 0;
+}

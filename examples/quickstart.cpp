@@ -1,0 +1,57 @@
+// Quickstart: build a dense tensor, run MTTKRP with every algorithm, and
+// check they agree. This is the 60-second tour of the core API.
+//
+//   build/examples/quickstart
+#include <chrono>
+#include <cstdio>
+
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/support/rng.hpp"
+
+int main() {
+  using namespace mtk;
+
+  // 1. A random 64 x 48 x 32 tensor and three factor matrices of rank 16.
+  Rng rng(1);
+  const shape_t dims{64, 48, 32};
+  const index_t rank = 16;
+  const DenseTensor x = DenseTensor::random_normal(dims, rng);
+  std::vector<Matrix> factors;
+  for (index_t d : dims) {
+    factors.push_back(Matrix::random_normal(d, rank, rng));
+  }
+
+  // 2. MTTKRP in mode 1: B(i_2, r) = sum_i X(i) A^(1)(i_1,r) A^(3)(i_3,r).
+  //    factors[mode] is ignored — CP-ALS passes the factor being updated.
+  const int mode = 1;
+
+  std::printf("MTTKRP on a 64x48x32 tensor, R = 16, mode = %d\n\n", mode);
+  std::printf("%-12s %12s %16s\n", "algorithm", "time (us)", "max |diff|");
+
+  Matrix reference;
+  for (MttkrpAlgo algo : {MttkrpAlgo::kReference, MttkrpAlgo::kBlocked,
+                          MttkrpAlgo::kMatmul, MttkrpAlgo::kTwoStep}) {
+    MttkrpOptions opts;
+    opts.algo = algo;
+    opts.fast_memory_words = 1 << 15;  // drives the automatic block size
+
+    const auto start = std::chrono::steady_clock::now();
+    const Matrix b = mttkrp(x, factors, mode, opts);
+    const auto stop = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(stop - start).count();
+
+    if (algo == MttkrpAlgo::kReference) {
+      reference = b;
+      std::printf("%-12s %12.0f %16s\n", to_string(algo), us, "(oracle)");
+    } else {
+      std::printf("%-12s %12.0f %16.2e\n", to_string(algo), us,
+                  max_abs_diff(b, reference));
+    }
+  }
+
+  std::printf("\nAll algorithms agree to floating-point accuracy.\n");
+  std::printf("Blocked block size for M = 2^15 words: b = %lld (Eq. 11)\n",
+              static_cast<long long>(max_block_size(3, 1 << 15)));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Configurable strong-scaling model: the Figure 4 generator with
+// user-chosen problem sizes, for exploring other regimes than the paper's
+// I = 2^45, R = 2^15 configuration.
+//
+//   build/examples/strong_scaling_model [log2_dim log2_rank max_log2_p]
+//   e.g. build/examples/strong_scaling_model 10 5 20
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/costmodel/model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtk;
+  int log2_dim = 15, log2_rank = 15, max_log2_p = 30;
+  if (argc >= 3) {
+    log2_dim = std::atoi(argv[1]);
+    log2_rank = std::atoi(argv[2]);
+  }
+  if (argc >= 4) max_log2_p = std::atoi(argv[3]);
+  if (log2_dim < 1 || log2_dim > 20 || log2_rank < 0 || log2_rank > 20 ||
+      max_log2_p < 0 || max_log2_p > 3 * log2_dim) {
+    std::fprintf(stderr,
+                 "usage: %s [log2_dim(1..20) log2_rank(0..20) "
+                 "max_log2_p(<=3*log2_dim)]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  ScalingModelConfig cfg;
+  cfg.order = 3;
+  cfg.dim_per_mode = index_t{1} << log2_dim;
+  cfg.rank = index_t{1} << log2_rank;
+  cfg.max_log2_procs = max_log2_p;
+
+  std::printf("Strong-scaling model: I_k = 2^%d, R = 2^%d, P <= 2^%d\n\n",
+              log2_dim, log2_rank, max_log2_p);
+  print_scaling_table(strong_scaling_series(cfg));
+
+  std::printf("\nColumns: CARMA matmul model, Algorithm 3 (Eq. 14 optimal\n"
+              "grid), Algorithm 4 (Eq. 18), lower bound, and the matmul/\n"
+              "Algorithm-4 ratio. All entries are words per processor.\n");
+  return 0;
+}

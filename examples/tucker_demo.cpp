@@ -1,0 +1,58 @@
+// Tucker decomposition demo (ST-HOSVD) — the Section VII extension family.
+// Compresses a synthetic low-multilinear-rank tensor plus noise and shows
+// the error/compression trade-off across target ranks.
+//
+//   build/examples/tucker_demo
+#include <cstdio>
+
+#include "src/cp/tucker.hpp"
+#include "src/support/rng.hpp"
+#include "src/tensor/ttm.hpp"
+
+int main() {
+  using namespace mtk;
+
+  // Ground truth: multilinear rank (4, 3, 5) in a 20x18x24 tensor + noise.
+  Rng rng(31415);
+  DenseTensor core = DenseTensor::random_normal({4, 3, 5}, rng);
+  DenseTensor x = core;
+  const shape_t dims{20, 18, 24};
+  for (int k = 0; k < 3; ++k) {
+    x = ttm(x, Matrix::random_normal(dims[static_cast<std::size_t>(k)],
+                                     core.dim(k), rng),
+            k);
+  }
+  const double scale =
+      0.01 * x.frobenius_norm() / std::sqrt(static_cast<double>(x.size()));
+  for (index_t i = 0; i < x.size(); ++i) x[i] += scale * rng.normal();
+
+  std::printf("ST-HOSVD on a 20x18x24 tensor (true multilinear rank "
+              "(4,3,5), 1%% noise)\n\n");
+  std::printf("%-12s %14s %14s %12s\n", "ranks", "rel. error",
+              "storage", "compression");
+
+  const double norm_x = x.frobenius_norm();
+  const double full = static_cast<double>(x.size());
+  for (const shape_t& ranks :
+       {shape_t{2, 2, 2}, shape_t{4, 3, 5}, shape_t{6, 5, 8},
+        shape_t{10, 9, 12}}) {
+    const TuckerModel model = st_hosvd(x, {.ranks = ranks});
+    double storage = static_cast<double>(shape_size(ranks));
+    for (int k = 0; k < 3; ++k) {
+      storage += static_cast<double>(dims[static_cast<std::size_t>(k)]) *
+                 static_cast<double>(ranks[static_cast<std::size_t>(k)]);
+    }
+    std::printf("(%lld,%lld,%lld)%*s %14.6f %14.0f %11.1fx\n",
+                static_cast<long long>(ranks[0]),
+                static_cast<long long>(ranks[1]),
+                static_cast<long long>(ranks[2]),
+                static_cast<int>(7 - 2 * (ranks[0] > 9)), "",
+                tucker_residual_norm(x, model) / norm_x, storage,
+                full / storage);
+  }
+
+  std::printf("\nReading: at the true rank the error drops to the noise\n"
+              "floor (~0.01); larger ranks buy nothing, smaller ranks\n"
+              "lose signal — the classic Tucker elbow.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "src/bounds/hbl.hpp"
+
+#include <cmath>
+
+namespace mtk {
+
+std::vector<Projection> mttkrp_projections(int order) {
+  MTK_CHECK(order >= 2, "mttkrp_projections: order must be >= 2, got ",
+            order);
+  std::vector<Projection> projections;
+  projections.reserve(static_cast<std::size_t>(order) + 1);
+  for (int k = 0; k < order; ++k) {
+    projections.push_back({k, order});  // factor matrix k reads (i_k, r)
+  }
+  Projection tensor(static_cast<std::size_t>(order));
+  for (int k = 0; k < order; ++k) tensor[static_cast<std::size_t>(k)] = k;
+  projections.push_back(tensor);  // tensor reads (i_1, ..., i_N)
+  return projections;
+}
+
+std::vector<std::vector<double>> delta_matrix(
+    const std::vector<Projection>& projections, int depth) {
+  MTK_CHECK(depth >= 1, "delta_matrix: depth must be >= 1");
+  std::vector<std::vector<double>> delta(
+      static_cast<std::size_t>(depth),
+      std::vector<double>(projections.size(), 0.0));
+  for (std::size_t j = 0; j < projections.size(); ++j) {
+    for (int i : projections[j]) {
+      MTK_CHECK(i >= 0 && i < depth, "projection ", j,
+                " references loop index ", i, " outside depth ", depth);
+      delta[static_cast<std::size_t>(i)][j] = 1.0;
+    }
+  }
+  return delta;
+}
+
+std::vector<double> mttkrp_optimal_exponents(int order) {
+  MTK_CHECK(order >= 2, "mttkrp_optimal_exponents: order must be >= 2");
+  std::vector<double> s(static_cast<std::size_t>(order) + 1,
+                        1.0 / static_cast<double>(order));
+  s.back() = 1.0 - 1.0 / static_cast<double>(order);
+  return s;
+}
+
+std::vector<double> hbl_exponents_lp(
+    const std::vector<Projection>& projections, int depth) {
+  const auto delta = delta_matrix(projections, depth);
+  const std::size_t m = projections.size();
+
+  // Constraints: Delta s >= 1 (depth rows) and -s >= -1 (box upper bounds).
+  std::vector<std::vector<double>> a = delta;
+  std::vector<double> b(static_cast<std::size_t>(depth), 1.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<double> row(m, 0.0);
+    row[j] = -1.0;
+    a.push_back(row);
+    b.push_back(-1.0);
+  }
+  const std::vector<double> c(m, 1.0);
+  const LpResult r = lp_solve_min(a, b, c);
+  MTK_REQUIRE(r.feasible && r.bounded,
+              "HBL exponent LP unsolvable: every loop index must be covered "
+              "by at least one projection");
+  return r.x;
+}
+
+std::set<multi_index_t> project(const std::set<multi_index_t>& f,
+                                const Projection& proj) {
+  std::set<multi_index_t> image;
+  for (const multi_index_t& point : f) {
+    multi_index_t reduced;
+    reduced.reserve(proj.size());
+    for (int i : proj) {
+      MTK_CHECK(i >= 0 && i < static_cast<int>(point.size()),
+                "projection index ", i, " out of range for point of rank ",
+                point.size());
+      reduced.push_back(point[static_cast<std::size_t>(i)]);
+    }
+    image.insert(std::move(reduced));
+  }
+  return image;
+}
+
+double hbl_product_bound(const std::vector<index_t>& projection_sizes,
+                         const std::vector<double>& exponents) {
+  MTK_CHECK(projection_sizes.size() == exponents.size(),
+            "hbl_product_bound: ", projection_sizes.size(), " sizes vs ",
+            exponents.size(), " exponents");
+  double log_bound = 0.0;
+  for (std::size_t j = 0; j < exponents.size(); ++j) {
+    const double sz = static_cast<double>(projection_sizes[j]);
+    MTK_CHECK(sz >= 0.0, "projection sizes must be non-negative");
+    if (exponents[j] == 0.0) continue;  // |phi|^0 = 1 even for empty phi
+    MTK_CHECK(sz > 0.0, "zero-size projection with positive exponent makes "
+              "the bound zero; F must be empty");
+    log_bound += exponents[j] * std::log(sz);
+  }
+  return std::exp(log_bound);
+}
+
+bool verify_hbl_inequality(const std::set<multi_index_t>& f,
+                           const std::vector<Projection>& projections,
+                           const std::vector<double>& exponents) {
+  if (f.empty()) return true;
+  std::vector<index_t> sizes;
+  sizes.reserve(projections.size());
+  for (const Projection& proj : projections) {
+    sizes.push_back(static_cast<index_t>(project(f, proj).size()));
+  }
+  const double bound = hbl_product_bound(sizes, exponents);
+  // Tolerance: both sides are exact integers/products of integer powers, but
+  // the bound is computed in floating point.
+  return static_cast<double>(f.size()) <= bound * (1.0 + 1e-12) + 1e-9;
+}
+
+double max_product_given_sum(const std::vector<double>& s, double c) {
+  MTK_CHECK(c >= 0.0, "max_product_given_sum: budget c must be >= 0");
+  double sum_s = 0.0;
+  for (double sj : s) {
+    MTK_CHECK(sj >= 0.0, "exponents must be non-negative");
+    sum_s += sj;
+  }
+  MTK_CHECK(sum_s > 0.0, "max_product_given_sum: need some positive exponent");
+  double log_val = sum_s * std::log(c);
+  for (double sj : s) {
+    if (sj > 0.0) log_val += sj * std::log(sj / sum_s);
+  }
+  return std::exp(log_val);
+}
+
+double min_sum_given_product(const std::vector<double>& s, double c) {
+  MTK_CHECK(c > 0.0, "min_sum_given_product: target c must be > 0");
+  double sum_s = 0.0;
+  double log_prod_ss = 0.0;
+  for (double sj : s) {
+    MTK_CHECK(sj >= 0.0, "exponents must be non-negative");
+    sum_s += sj;
+    if (sj > 0.0) log_prod_ss += sj * std::log(sj);
+  }
+  MTK_CHECK(sum_s > 0.0, "min_sum_given_product: need some positive exponent");
+  const double log_base = (std::log(c) - log_prod_ss) / sum_s;
+  return std::exp(log_base) * sum_s;
+}
+
+}  // namespace mtk

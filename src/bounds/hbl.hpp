@@ -1,0 +1,62 @@
+// Hölder–Brascamp-Lieb machinery (Section IV-A of the paper).
+//
+// The MTTKRP iteration space is [I_1] x ... x [I_N] x [R] (d = N+1 loop
+// indices). There are m = N+1 data arrays: factor matrix k is indexed by the
+// projection S_k = {k, r}; the tensor is indexed by S_tensor = {0..N-1}.
+// Lemma 4.1 bounds |F| <= prod_j |phi_j(F)|^{s_j} for any s in the polytope
+// P = {s in [0,1]^m : Delta s >= 1}; Lemma 4.2 identifies the exponents
+// s* = (1/N, ..., 1/N, 1 - 1/N) minimizing 1's over P.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "src/bounds/simplex.hpp"
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+// A projection: the subset of loop-index positions an array reads.
+using Projection = std::vector<int>;
+
+// The m = N+1 projections of MTTKRP for an order-N tensor, in the paper's
+// order: N factor matrices first ({k, N} for k in [0,N)), then the tensor
+// ({0, ..., N-1}).
+std::vector<Projection> mttkrp_projections(int order);
+
+// The d x m constraint matrix Delta: Delta[i][j] = 1 iff loop index i is in
+// projection j. For MTTKRP this is [[I_N, 1],[1', 0]] (Lemma 4.2).
+std::vector<std::vector<double>> delta_matrix(
+    const std::vector<Projection>& projections, int depth);
+
+// Closed-form optimal exponents s* for MTTKRP (Lemma 4.2).
+std::vector<double> mttkrp_optimal_exponents(int order);
+
+// Solves the exponent LP min 1's s.t. Delta s >= 1, 0 <= s <= 1 for an
+// arbitrary loop nest via simplex. Throws if infeasible (cannot happen when
+// every loop index is covered by some projection).
+std::vector<double> hbl_exponents_lp(const std::vector<Projection>& projections,
+                                     int depth);
+
+// phi_j(F): the set of distinct projected tuples of F under projection j.
+std::set<multi_index_t> project(const std::set<multi_index_t>& f,
+                                const Projection& proj);
+
+// prod_j |phi_j(F)|^{s_j}.
+double hbl_product_bound(const std::vector<index_t>& projection_sizes,
+                         const std::vector<double>& exponents);
+
+// Checks Lemma 4.1 on an explicit subset F of Z^depth.
+bool verify_hbl_inequality(const std::set<multi_index_t>& f,
+                           const std::vector<Projection>& projections,
+                           const std::vector<double>& exponents);
+
+// Lemma 4.3: max prod x_i^{s_i} s.t. sum x_i <= c, x >= 0
+//   = c^{sum s} * prod (s_j / sum s)^{s_j}.
+double max_product_given_sum(const std::vector<double>& s, double c);
+
+// Lemma 4.4: min sum x_i s.t. prod x_i^{s_i} >= c, x >= 0
+//   = (c / prod s_i^{s_i})^{1 / sum s} * sum s.
+double min_sum_given_product(const std::vector<double>& s, double c);
+
+}  // namespace mtk

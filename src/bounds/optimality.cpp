@@ -1,0 +1,181 @@
+#include "src/bounds/optimality.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/support/check.hpp"
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+namespace {
+
+double min_dim(const shape_t& dims) {
+  double m = static_cast<double>(dims.front());
+  for (index_t d : dims) m = std::min(m, static_cast<double>(d));
+  return m;
+}
+
+void check_constants(const shape_t& dims, index_t rank,
+                     const Theorem61Constants& c) {
+  check_shape(dims);
+  MTK_CHECK(dims.size() >= 2, "Theorem 6.1 requires order >= 2");
+  MTK_CHECK(rank >= 1, "rank must be >= 1");
+  const double n = static_cast<double>(dims.size());
+  const double i = static_cast<double>(shape_size(dims));
+  double fac = 0.0;
+  for (index_t ik : dims) fac += static_cast<double>(ik) * static_cast<double>(rank);
+  MTK_CHECK(c.alpha > 0.0 && c.alpha < 1.0, "alpha must lie in (0,1)");
+  MTK_CHECK(c.beta > 0.0 && c.beta < std::pow(c.alpha, 1.0 - 1.0 / n),
+            "beta must lie in (0, alpha^(1-1/N))");
+  MTK_CHECK(c.gamma > 1.0 + 1.0 / n, "gamma must exceed 1 + 1/N");
+  MTK_CHECK(c.delta > 0.0 && c.delta < 1.0 + fac / i,
+            "delta must lie in (0, 1 + sum I_k R / I)");
+  MTK_CHECK(c.epsilon > 0.0 &&
+                c.epsilon < 1.0 / std::pow(3.0, 2.0 - 1.0 / n),
+            "epsilon must lie in (0, 1/3^(2-1/N))");
+}
+
+}  // namespace
+
+HypothesisReport check_theorem61_hypotheses(const shape_t& dims, index_t rank,
+                                            index_t fast_memory,
+                                            const Theorem61Constants& c) {
+  check_constants(dims, rank, c);
+  MTK_CHECK(fast_memory >= 1, "fast memory must be >= 1 word");
+  const double n = static_cast<double>(dims.size());
+  const double i = static_cast<double>(shape_size(dims));
+  const double r = static_cast<double>(rank);
+  const double m = static_cast<double>(fast_memory);
+  double fac = 0.0;
+  for (index_t ik : dims) fac += static_cast<double>(ik) * r;
+
+  HypothesisReport report;
+  auto fail = [&report](const std::string& msg) {
+    report.failures.push_back(msg);
+  };
+  std::ostringstream os;
+
+  // Eq. (25): M >= (N alpha^(1/N) / (1 - alpha))^(N/(N-1)).
+  const double lhs25 =
+      std::pow(n * std::pow(c.alpha, 1.0 / n) / (1.0 - c.alpha),
+               n / (n - 1.0));
+  if (m < lhs25) {
+    os.str("");
+    os << "Eq.(25): M = " << m << " < " << lhs25;
+    fail(os.str());
+  }
+
+  // Eq. (26): M >= (1 / (alpha^(1/N) - beta^(1/(N-1))))^N.
+  const double denom26 =
+      std::pow(c.alpha, 1.0 / n) - std::pow(c.beta, 1.0 / (n - 1.0));
+  if (denom26 <= 0.0) {
+    fail("Eq.(26): alpha^(1/N) <= beta^(1/(N-1))");
+  } else {
+    const double lhs26 = std::pow(1.0 / denom26, n);
+    if (m < lhs26) {
+      os.str("");
+      os << "Eq.(26): M = " << m << " < " << lhs26;
+      fail(os.str());
+    }
+  }
+
+  // Eq. (27): M <= ( ((N/(N+1) gamma)^(1/N) - 1) / alpha^(1/N) * min_k I_k )^N.
+  const double inner27 =
+      (std::pow(n / (n + 1.0) * c.gamma, 1.0 / n) - 1.0) /
+      std::pow(c.alpha, 1.0 / n) * min_dim(dims);
+  const double rhs27 = inner27 > 0.0 ? std::pow(inner27, n) : 0.0;
+  if (m > rhs27) {
+    os.str("");
+    os << "Eq.(27): M = " << m << " > " << rhs27;
+    fail(os.str());
+  }
+
+  // Eq. (28): M <= ((1 - delta) I + sum_k I_k R) / 2.
+  const double rhs28 = ((1.0 - c.delta) * i + fac) / 2.0;
+  if (m > rhs28) {
+    os.str("");
+    os << "Eq.(28): M = " << m << " > " << rhs28;
+    fail(os.str());
+  }
+
+  // Eq. (29): M <= ((1/3^(2-1/N) - epsilon) N I R)^(N/(2N-1)).
+  const double rhs29 = std::pow(
+      (1.0 / std::pow(3.0, 2.0 - 1.0 / n) - c.epsilon) * n * i * r,
+      n / (2.0 * n - 1.0));
+  if (m > rhs29) {
+    os.str("");
+    os << "Eq.(29): M = " << m << " > " << rhs29;
+    fail(os.str());
+  }
+
+  report.all_hold = report.failures.empty();
+  return report;
+}
+
+index_t theorem61_block_size(int order, index_t fast_memory, double alpha) {
+  MTK_CHECK(order >= 2, "order must be >= 2");
+  MTK_CHECK(fast_memory >= 1, "fast memory must be >= 1 word");
+  MTK_CHECK(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0,1)");
+  const double scaled = alpha * static_cast<double>(fast_memory);
+  return std::max<index_t>(
+      1, nth_root_floor(static_cast<index_t>(scaled), order));
+}
+
+double theorem61_provable_gap(const Theorem61Constants& c) {
+  MTK_CHECK(c.beta > 0.0 && c.gamma > 0.0 && c.delta > 0.0 &&
+                c.epsilon > 0.0,
+            "constants must be positive");
+  return 2.0 * c.gamma / (c.beta * std::min(c.delta, c.epsilon));
+}
+
+MemoryRange theorem61_memory_range(const shape_t& dims, index_t rank,
+                                   const Theorem61Constants& c) {
+  check_constants(dims, rank, c);
+  // Binary-search-free approach: the lower limits come from Eqs. (25)/(26)
+  // and the upper limits from Eqs. (27)-(29); all are monotone in M, so the
+  // range is the intersection of closed-form endpoints. Reuse the checker
+  // to avoid duplicating the formulas: scan exponentially for feasibility,
+  // then bisect each edge.
+  auto holds = [&](index_t m) {
+    return check_theorem61_hypotheses(dims, rank, m, c).all_hold;
+  };
+
+  // Find any feasible M (scan powers of two up to a generous cap).
+  const index_t cap = index_t{1} << 50;
+  index_t feasible = -1;
+  for (index_t m = 1; m <= cap; m *= 2) {
+    if (holds(m)) {
+      feasible = m;
+      break;
+    }
+  }
+  if (feasible < 0) return {0, -1};
+
+  // Bisect the lower edge in [1, feasible].
+  index_t lo = 1, hi = feasible;
+  while (lo < hi) {
+    const index_t mid = lo + (hi - lo) / 2;
+    if (holds(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const index_t min_words = lo;
+
+  // Bisect the upper edge in [feasible, cap].
+  lo = feasible;
+  hi = cap;
+  while (lo < hi) {
+    const index_t mid = lo + (hi - lo + 1) / 2;
+    if (holds(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return {min_words, lo};
+}
+
+}  // namespace mtk

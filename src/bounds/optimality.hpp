@@ -1,0 +1,53 @@
+// Constant-factor optimality machinery of Section VI: explicit checkers for
+// the hypotheses of Theorem 6.1 (sequential, Eqs. (25)-(29)) and the
+// resulting provable upper/lower bound gap. The paper illustrates the
+// hypotheses with the constants beta = 1 - alpha = 1/100, gamma = 100,
+// delta = epsilon = 1/10; reproducing that worked example is a test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+struct Theorem61Constants {
+  double alpha = 0.99;    // block-size margin, alpha < 1
+  double beta = 0.01;     // lower block bound, beta < alpha^(1-1/N)
+  double gamma = 100.0;   // block-count slack, gamma > 1 + 1/N
+  double delta = 0.1;     // trivial-bound slack, delta < 1 + sum I_k R / I
+  double epsilon = 0.1;   // memory-bound slack, epsilon < 1 / 3^(2-1/N)
+};
+
+struct HypothesisReport {
+  bool all_hold = false;
+  std::vector<std::string> failures;  // human-readable violated conditions
+};
+
+// Checks Eqs. (25)-(29) for the given problem and constants.
+HypothesisReport check_theorem61_hypotheses(const shape_t& dims, index_t rank,
+                                            index_t fast_memory,
+                                            const Theorem61Constants& c);
+
+// The block size Theorem 6.1 uses: b = floor((alpha M)^(1/N)).
+index_t theorem61_block_size(int order, index_t fast_memory, double alpha);
+
+// The provable constant gap of Theorem 6.1's proof:
+// W_ub <= (gamma / beta) (I + NIR / M^(1-1/N)) and
+// max(W_lb1, W_lb2) >= (min(delta, epsilon)/2) (I + NIR / M^(1-1/N)),
+// so ub/lb <= 2 gamma / (beta min(delta, epsilon)).
+double theorem61_provable_gap(const Theorem61Constants& c);
+
+// Valid fast-memory range [M_min, M_max] for the paper's illustration
+// (cubical tensor): Eqs. (25)/(26) bound M from below; Eqs. (27)-(29) bound
+// it from above. Returns {0, -1} (empty) if no M satisfies all hypotheses.
+struct MemoryRange {
+  index_t min_words = 0;
+  index_t max_words = -1;
+  bool empty() const { return max_words < min_words; }
+};
+MemoryRange theorem61_memory_range(const shape_t& dims, index_t rank,
+                                   const Theorem61Constants& c);
+
+}  // namespace mtk

@@ -1,0 +1,115 @@
+#include "src/bounds/parallel_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.hpp"
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+index_t ParProblem::tensor_size() const { return shape_size(dims); }
+
+index_t ParProblem::factor_entries() const {
+  index_t total = 0;
+  for (index_t ik : dims) total += checked_mul(ik, rank);
+  return total;
+}
+
+namespace {
+
+void check_problem(const ParProblem& p) {
+  check_shape(p.dims);
+  MTK_CHECK(p.dims.size() >= 2, "parallel bounds require order >= 2");
+  MTK_CHECK(p.rank >= 1, "rank must be >= 1, got ", p.rank);
+  MTK_CHECK(p.procs >= 1, "processor count must be >= 1, got ", p.procs);
+  MTK_CHECK(p.gamma >= 1.0, "gamma must be >= 1, got ", p.gamma);
+  MTK_CHECK(p.delta >= 1.0, "delta must be >= 1, got ", p.delta);
+}
+
+}  // namespace
+
+double par_lower_bound_memory(const ParProblem& p) {
+  check_problem(p);
+  MTK_CHECK(p.local_memory >= 1,
+            "par_lower_bound_memory requires local_memory >= 1");
+  const double n = static_cast<double>(p.order());
+  const double i = static_cast<double>(p.tensor_size());
+  const double r = static_cast<double>(p.rank);
+  const double m = static_cast<double>(p.local_memory);
+  const double pp = static_cast<double>(p.procs);
+  return n * i * r /
+             (std::pow(3.0, 2.0 - 1.0 / n) * pp * std::pow(m, 1.0 - 1.0 / n)) -
+         m;
+}
+
+double par_lower_bound_thm42(const ParProblem& p) {
+  check_problem(p);
+  const double n = static_cast<double>(p.order());
+  const double i = static_cast<double>(p.tensor_size());
+  const double r = static_cast<double>(p.rank);
+  const double pp = static_cast<double>(p.procs);
+  const double main_term =
+      2.0 * std::pow(n * i * r / pp, n / (2.0 * n - 1.0));
+  return main_term - p.gamma * i / pp -
+         p.delta * static_cast<double>(p.factor_entries()) / pp;
+}
+
+double par_lower_bound_thm42_exact(const ParProblem& p) {
+  check_problem(p);
+  const double n = static_cast<double>(p.order());
+  const double i = static_cast<double>(p.tensor_size());
+  const double r = static_cast<double>(p.rank);
+  const double pp = static_cast<double>(p.procs);
+  // prod_j s*_j^{s*_j} with s* = (1/N, ..., 1/N, 1-1/N).
+  const double log_prod_ss = n * (1.0 / n) * std::log(1.0 / n) +
+                             (1.0 - 1.0 / n) * std::log(1.0 - 1.0 / n);
+  const double main_term =
+      std::pow(i * r / pp / std::exp(log_prod_ss), n / (2.0 * n - 1.0)) *
+      (2.0 - 1.0 / n);
+  return main_term - p.gamma * i / pp -
+         p.delta * static_cast<double>(p.factor_entries()) / pp;
+}
+
+double par_lower_bound_thm43(const ParProblem& p) {
+  check_problem(p);
+  const double n = static_cast<double>(p.order());
+  const double i = static_cast<double>(p.tensor_size());
+  const double r = static_cast<double>(p.rank);
+  const double pp = static_cast<double>(p.procs);
+  const double case_small_tensor =
+      std::sqrt(2.0 / (3.0 * p.gamma)) * n * r * std::pow(i / pp, 1.0 / n) -
+      p.delta * static_cast<double>(p.factor_entries()) / pp;
+  const double case_large_tensor = p.gamma * i / (2.0 * pp);
+  return std::min(case_small_tensor, case_large_tensor);
+}
+
+double par_lower_bound(const ParProblem& p) {
+  double best = std::max({0.0, par_lower_bound_thm42(p),
+                          par_lower_bound_thm43(p)});
+  if (p.local_memory >= 1) {
+    best = std::max(best, par_lower_bound_memory(p));
+  }
+  return best;
+}
+
+double par_lower_bound_cubical_envelope(const ParProblem& p) {
+  check_problem(p);
+  const double n = static_cast<double>(p.order());
+  const double i = static_cast<double>(p.tensor_size());
+  const double r = static_cast<double>(p.rank);
+  const double pp = static_cast<double>(p.procs);
+  return std::pow(n * i * r / pp, n / (2.0 * n - 1.0)) +
+         n * r * std::pow(i / pp, 1.0 / n);
+}
+
+bool memory_independent_regime_large_nr(const ParProblem& p) {
+  check_problem(p);
+  const double n = static_cast<double>(p.order());
+  const double i = static_cast<double>(p.tensor_size());
+  const double r = static_cast<double>(p.rank);
+  const double pp = static_cast<double>(p.procs);
+  return n * r >= std::pow(i / pp, 1.0 - 1.0 / n);
+}
+
+}  // namespace mtk

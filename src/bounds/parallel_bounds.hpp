@@ -1,0 +1,65 @@
+// Parallel communication lower bounds (Section IV-B/C). All quantities are
+// words sent+received by the bottleneck processor.
+#pragma once
+
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+struct ParProblem {
+  shape_t dims;            // I_1, ..., I_N
+  index_t rank = 0;        // R
+  index_t procs = 1;       // P
+  double gamma = 1.0;      // tensor load-balance slack (>= 1)
+  double delta = 1.0;      // factor-matrix load-balance slack (>= 1)
+  index_t local_memory = 0;  // M (words); 0 = unbounded / not applicable
+
+  int order() const { return static_cast<int>(dims.size()); }
+  index_t tensor_size() const;
+  index_t factor_entries() const;
+};
+
+// Corollary 4.1: the memory-dependent bound divided across processors:
+// W >= NIR / (3^(2-1/N) P M^(1-1/N)) - M. Requires local_memory > 0.
+double par_lower_bound_memory(const ParProblem& p);
+
+// Theorem 4.2 / Eq. (6): W >= 2 (NIR/P)^(N/(2N-1)) - gamma*I/P
+//                             - delta * sum_k I_k R / P.
+double par_lower_bound_thm42(const ParProblem& p);
+
+// The exact form of Theorem 4.2's main term, straight from Lemma 4.4:
+//   sum_j |phi_j(F)| >= (IR/P / prod_j s*_j^{s*_j})^(N/(2N-1)) * (2 - 1/N).
+//
+// Reproduction finding: the paper simplifies this to 2 (NIR/P)^(N/(2N-1)),
+// but the claimed inequality overstates the exact value by ~5.5% at N = 2
+// and ~2% at N = 3 (the ratio (2-1/N) / (prod s^s)^(N/(2N-1)) over
+// 2 N^(N/(2N-1)) is < 1 for finite N, -> 1 as N -> infinity). The symptom:
+// at P = 1 the paper's form can exceed I + sum_k I_k R — more than the
+// total data — while this exact form is always <= 0 there, as it must be.
+double par_lower_bound_thm42_exact(const ParProblem& p);
+
+// Theorem 4.3 / Eq. (7):
+// W >= min( sqrt(2/(3 gamma)) * N R (I/P)^(1/N) - delta sum_k I_k R / P,
+//           gamma I / (2P) ).
+double par_lower_bound_thm43(const ParProblem& p);
+
+// Best available bound: max of the applicable bounds, clamped at 0.
+double par_lower_bound(const ParProblem& p);
+
+// Corollary 4.2 asymptotic envelope for cubical tensors (unit constants):
+// (NIR/P)^(N/(2N-1)) + N R (I/P)^(1/N).
+//
+// Caveat (documented reproduction finding): the sum form is only a valid
+// lower bound in the large-NR regime, NR >= (I/P)^(1-1/N). In the small-NR
+// regime the first term *numerically dominates* the second — the algebra
+// gives term1 <= term2 iff NR >= (I/P)^(1-1/N) — while only the second term
+// is actually proved there (Theorem 4.2 degenerates to a negative bound).
+// Use par_lower_bound() for a bound that is valid at every P.
+double par_lower_bound_cubical_envelope(const ParProblem& p);
+
+// The threshold NR vs (I/P)^(1-1/N) that decides which term dominates
+// (Corollary 4.2's case split). Returns true when the Theorem 4.2 term
+// (NIR/P)^(N/(2N-1)) dominates.
+bool memory_independent_regime_large_nr(const ParProblem& p);
+
+}  // namespace mtk

@@ -1,0 +1,95 @@
+#include "src/bounds/sequential_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.hpp"
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+index_t SeqProblem::tensor_size() const { return shape_size(dims); }
+
+index_t SeqProblem::factor_entries() const {
+  index_t total = 0;
+  for (index_t ik : dims) total += checked_mul(ik, rank);
+  return total;
+}
+
+namespace {
+
+void check_problem(const SeqProblem& p) {
+  check_shape(p.dims);
+  MTK_CHECK(p.dims.size() >= 2, "sequential bounds require order >= 2");
+  MTK_CHECK(p.rank >= 1, "rank must be >= 1, got ", p.rank);
+  MTK_CHECK(p.fast_memory >= 1, "fast memory must be >= 1 word, got ",
+            p.fast_memory);
+}
+
+}  // namespace
+
+double seq_lower_bound_memory(const SeqProblem& p) {
+  check_problem(p);
+  const double n = static_cast<double>(p.order());
+  const double i = static_cast<double>(p.tensor_size());
+  const double r = static_cast<double>(p.rank);
+  const double m = static_cast<double>(p.fast_memory);
+  const double exponent = 2.0 - 1.0 / n;
+  return n * i * r / (std::pow(3.0, exponent) * std::pow(m, 1.0 - 1.0 / n)) -
+         m;
+}
+
+double seq_lower_bound_memory_exact(const SeqProblem& p) {
+  check_problem(p);
+  const double n = static_cast<double>(p.order());
+  const double i = static_cast<double>(p.tensor_size());
+  const double r = static_cast<double>(p.rank);
+  const double m = static_cast<double>(p.fast_memory);
+  const double exponent = 2.0 - 1.0 / n;
+  const double segments = std::floor(n * i * r / std::pow(3.0 * m, exponent));
+  return m * segments;
+}
+
+double seq_lower_bound_trivial(const SeqProblem& p) {
+  check_problem(p);
+  return static_cast<double>(p.tensor_size()) +
+         static_cast<double>(p.factor_entries()) -
+         2.0 * static_cast<double>(p.fast_memory);
+}
+
+double seq_lower_bound(const SeqProblem& p) {
+  return std::max({0.0, seq_lower_bound_memory(p),
+                   seq_lower_bound_memory_exact(p),
+                   seq_lower_bound_trivial(p)});
+}
+
+double seq_upper_bound_blocked(const SeqProblem& p, index_t block_size) {
+  check_problem(p);
+  MTK_CHECK(block_size >= 1, "block size must be >= 1, got ", block_size);
+  double blocks = 1.0;
+  for (index_t ik : p.dims) {
+    blocks *= static_cast<double>(ceil_div(ik, block_size));
+  }
+  const double n = static_cast<double>(p.order());
+  return static_cast<double>(p.tensor_size()) +
+         (n + 1.0) * blocks * static_cast<double>(block_size) *
+             static_cast<double>(p.rank);
+}
+
+double seq_upper_bound_unblocked(const SeqProblem& p) {
+  check_problem(p);
+  const double i = static_cast<double>(p.tensor_size());
+  const double r = static_cast<double>(p.rank);
+  const double n = static_cast<double>(p.order());
+  return i + i * r * (n + 1.0);
+}
+
+double seq_model_matmul_cost(const SeqProblem& p) {
+  check_problem(p);
+  const double i = static_cast<double>(p.tensor_size());
+  const double r = static_cast<double>(p.rank);
+  const double m = static_cast<double>(p.fast_memory);
+  return 2.0 * i + i * r / std::sqrt(m);
+}
+
+}  // namespace mtk

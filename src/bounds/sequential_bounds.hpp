@@ -1,0 +1,47 @@
+// Sequential communication bounds (Section IV-B and VI-A of the paper).
+// All quantities are in words moved between fast and slow memory.
+#pragma once
+
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+struct SeqProblem {
+  shape_t dims;          // I_1, ..., I_N
+  index_t rank = 0;      // R
+  index_t fast_memory = 0;  // M (words)
+
+  int order() const { return static_cast<int>(dims.size()); }
+  index_t tensor_size() const;   // I = prod I_k
+  index_t factor_entries() const;  // sum_k I_k * R
+};
+
+// Theorem 4.1 / Eq. (4): W >= NIR / (3^(2-1/N) M^(1-1/N)) - M.
+double seq_lower_bound_memory(const SeqProblem& p);
+
+// The segment-counting form from the proof of Theorem 4.1:
+// W >= M * floor(NIR / (3M)^(2-1/N)). Slightly tighter for small problems.
+double seq_lower_bound_memory_exact(const SeqProblem& p);
+
+// Fact 4.1 / Eq. (5): W >= I + sum_k I_k R - 2M.
+double seq_lower_bound_trivial(const SeqProblem& p);
+
+// Best available lower bound: max of the above, clamped at 0.
+double seq_lower_bound(const SeqProblem& p);
+
+// Eq. (21): W_ub = I + (N+1) * prod_k ceil(I_k / b) * b * R for Algorithm 2
+// with block size b. Counts every tensor load plus factor vector traffic.
+double seq_upper_bound_blocked(const SeqProblem& p, index_t block_size);
+
+// Communication cost of Algorithm 1 (Section V-A): W <= I + IR(N+1).
+double seq_upper_bound_unblocked(const SeqProblem& p);
+
+// Model cost of the matmul-based approach (Section VI-A): the matricized
+// tensor and explicit Khatri-Rao product are multiplied by a
+// communication-optimal matrix multiplication: O(I + IR / sqrt(M)).
+// The permutation/KRP-formation traffic adds another ~2I + IR/... lower-order
+// terms; we count the dominant terms with unit constants:
+//   W = I (read X once to permute) + I (write X_(n)) + IR/sqrt(M) (GEMM).
+double seq_model_matmul_cost(const SeqProblem& p);
+
+}  // namespace mtk

@@ -1,0 +1,213 @@
+#include "src/bounds/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mtk {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Tableau with rows = constraints (equalities after slack/artificial
+// augmentation) plus an objective row; columns = variables plus RHS.
+class Tableau {
+ public:
+  Tableau(int rows, int cols) : rows_(rows), cols_(cols),
+                                data_(static_cast<std::size_t>(rows) *
+                                          static_cast<std::size_t>(cols),
+                                      0.0) {}
+
+  double& at(int i, int j) {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+  double at(int i, int j) const {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+  void pivot(int pr, int pc) {
+    const double pv = at(pr, pc);
+    MTK_ASSERT(std::fabs(pv) > kEps, "simplex pivot on (near-)zero element");
+    for (int j = 0; j < cols_; ++j) at(pr, j) /= pv;
+    for (int i = 0; i < rows_; ++i) {
+      if (i == pr) continue;
+      const double f = at(i, pc);
+      if (std::fabs(f) < kEps) continue;
+      for (int j = 0; j < cols_; ++j) at(i, j) -= f * at(pr, j);
+    }
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+ private:
+  int rows_, cols_;
+  std::vector<double> data_;
+};
+
+// Runs simplex iterations on `t` minimizing the objective stored in the last
+// row, over columns [0, n_active). `basis[i]` tracks the basic variable of
+// constraint row i. Returns false if unbounded.
+bool run_simplex(Tableau& t, std::vector<int>& basis, int n_active,
+                 const std::vector<bool>& allowed) {
+  const int m = static_cast<int>(basis.size());
+  const int obj = m;           // objective row index
+  const int rhs = t.cols() - 1;
+  for (int iter = 0; iter < 10000; ++iter) {
+    // Bland's rule: the lowest-index column with a negative reduced cost.
+    int pc = -1;
+    for (int j = 0; j < n_active; ++j) {
+      if (allowed[static_cast<std::size_t>(j)] && t.at(obj, j) < -kEps) {
+        pc = j;
+        break;
+      }
+    }
+    if (pc < 0) return true;  // optimal
+    // Ratio test, ties broken by lowest basis index (Bland).
+    int pr = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      if (t.at(i, pc) > kEps) {
+        const double ratio = t.at(i, rhs) / t.at(i, pc);
+        if (ratio < best - kEps ||
+            (ratio < best + kEps && (pr < 0 || basis[static_cast<std::size_t>(i)] <
+                                                   basis[static_cast<std::size_t>(pr)]))) {
+          best = ratio;
+          pr = i;
+        }
+      }
+    }
+    if (pr < 0) return false;  // unbounded
+    t.pivot(pr, pc);
+    basis[static_cast<std::size_t>(pr)] = pc;
+  }
+  MTK_REQUIRE(false, "simplex failed to converge in 10000 iterations");
+  return false;
+}
+
+}  // namespace
+
+LpResult lp_solve_min(const std::vector<std::vector<double>>& a,
+                      const std::vector<double>& b,
+                      const std::vector<double>& c) {
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(c.size());
+  MTK_CHECK(static_cast<int>(b.size()) == m, "lp_solve_min: b length ",
+            b.size(), " != #constraints ", m);
+  for (int i = 0; i < m; ++i) {
+    MTK_CHECK(static_cast<int>(a[static_cast<std::size_t>(i)].size()) == n,
+              "lp_solve_min: row ", i, " has ",
+              a[static_cast<std::size_t>(i)].size(), " entries, expected ", n);
+  }
+
+  // Standard form: A x - s = b, with rows negated so RHS >= 0, then one
+  // artificial variable per row. Columns: [x (n)] [surplus (m)] [artificial
+  // (m)] [rhs].
+  const int total = n + m + m;
+  Tableau t(m + 1, total + 1);
+  std::vector<int> basis(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    const bool flip = b[static_cast<std::size_t>(i)] < 0.0;
+    const double sign = flip ? -1.0 : 1.0;
+    for (int j = 0; j < n; ++j) {
+      t.at(i, j) = sign * a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+    t.at(i, n + i) = sign * -1.0;            // surplus for Ax >= b
+    t.at(i, n + m + i) = 1.0;                // artificial
+    t.at(i, total) = sign * b[static_cast<std::size_t>(i)];
+    basis[static_cast<std::size_t>(i)] = n + m + i;
+  }
+
+  // Phase 1: minimize sum of artificials. The objective row starts as
+  // -(sum of constraint rows) so the artificial basis has reduced cost 0.
+  for (int j = 0; j <= total; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < m; ++i) s += t.at(i, j);
+    t.at(m, j) = -s;
+  }
+  for (int i = 0; i < m; ++i) t.at(m, n + m + i) = 0.0;
+
+  std::vector<bool> allowed(static_cast<std::size_t>(total), true);
+  LpResult result;
+  if (!run_simplex(t, basis, total, allowed)) {
+    return result;  // phase 1 cannot be unbounded in exact arithmetic
+  }
+  if (t.at(m, total) < -kEps * 100) {
+    return result;  // infeasible: artificials cannot be driven to zero
+  }
+
+  // Drive any artificial variables that linger in the basis at level zero
+  // out, if possible; otherwise their rows are redundant.
+  for (int i = 0; i < m; ++i) {
+    if (basis[static_cast<std::size_t>(i)] >= n + m) {
+      for (int j = 0; j < n + m; ++j) {
+        if (std::fabs(t.at(i, j)) > kEps) {
+          t.pivot(i, j);
+          basis[static_cast<std::size_t>(i)] = j;
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: restore the real objective, priced out over the current basis.
+  for (int j = 0; j <= total; ++j) t.at(m, j) = 0.0;
+  for (int j = 0; j < n; ++j) t.at(m, j) = c[static_cast<std::size_t>(j)];
+  for (int i = 0; i < m; ++i) {
+    const int bv = basis[static_cast<std::size_t>(i)];
+    if (bv < n) {
+      const double cost = c[static_cast<std::size_t>(bv)];
+      if (std::fabs(cost) > 0.0) {
+        for (int j = 0; j <= total; ++j) {
+          t.at(m, j) -= cost * t.at(i, j);
+        }
+      }
+    }
+  }
+  // Forbid artificials from re-entering.
+  for (int j = n + m; j < total; ++j) allowed[static_cast<std::size_t>(j)] = false;
+
+  result.feasible = true;
+  if (!run_simplex(t, basis, total, allowed)) {
+    result.bounded = false;
+    return result;
+  }
+  result.bounded = true;
+  result.x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int bv = basis[static_cast<std::size_t>(i)];
+    if (bv < n) {
+      result.x[static_cast<std::size_t>(bv)] = t.at(i, total);
+    }
+  }
+  double obj = 0.0;
+  for (int j = 0; j < n; ++j) {
+    obj += c[static_cast<std::size_t>(j)] * result.x[static_cast<std::size_t>(j)];
+  }
+  result.objective = obj;
+  return result;
+}
+
+LpResult lp_solve_max(const std::vector<std::vector<double>>& a,
+                      const std::vector<double>& b,
+                      const std::vector<double>& c) {
+  // max c'x s.t. Ax <= b  ==  -min (-c)'x s.t. (-A)x >= -b.
+  std::vector<std::vector<double>> na(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    na[i].reserve(a[i].size());
+    for (double v : a[i]) na[i].push_back(-v);
+  }
+  std::vector<double> nb;
+  nb.reserve(b.size());
+  for (double v : b) nb.push_back(-v);
+  std::vector<double> nc;
+  nc.reserve(c.size());
+  for (double v : c) nc.push_back(-v);
+  LpResult r = lp_solve_min(na, nb, nc);
+  r.objective = -r.objective;
+  return r;
+}
+
+}  // namespace mtk

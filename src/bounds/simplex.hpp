@@ -1,0 +1,38 @@
+// Dense two-phase primal simplex solver for small linear programs.
+//
+// Solves   min c'x   subject to   A x >= b,  x >= 0.
+//
+// This is the substrate for Lemma 4.2: the HBL exponents s* come from the LP
+// min 1's s.t. Delta s >= 1, s >= 0. The paper proves the MTTKRP case by
+// exhibiting a dual-feasible point; the solver lets us compute (and verify
+// optimality of) exponents for *any* loop-nest structure, and the tests
+// cross-check it against the closed form for N = 2..10.
+//
+// Bland's anti-cycling rule is used throughout; problems here have at most a
+// few dozen variables, so performance is irrelevant.
+#pragma once
+
+#include <vector>
+
+#include "src/support/check.hpp"
+
+namespace mtk {
+
+struct LpResult {
+  bool feasible = false;
+  bool bounded = false;
+  double objective = 0.0;
+  std::vector<double> x;  // primal solution (size = #variables) when solved
+};
+
+// min c'x s.t. A x >= b, x >= 0. A is row-major: A[i] is constraint i.
+LpResult lp_solve_min(const std::vector<std::vector<double>>& a,
+                      const std::vector<double>& b,
+                      const std::vector<double>& c);
+
+// max c'x s.t. A x <= b, x >= 0 (the dual-shaped variant), by negation.
+LpResult lp_solve_max(const std::vector<std::vector<double>>& a,
+                      const std::vector<double>& b,
+                      const std::vector<double>& c);
+
+}  // namespace mtk

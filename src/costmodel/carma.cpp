@@ -1,0 +1,55 @@
+#include "src/costmodel/carma.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.hpp"
+
+namespace mtk {
+
+CarmaCost carma_comm_cost(double m, double k, double n, double procs) {
+  MTK_CHECK(m >= 1.0 && k >= 1.0 && n >= 1.0, "matrix dimensions must be "
+            ">= 1");
+  MTK_CHECK(procs >= 1.0, "processor count must be >= 1");
+  double d[3] = {m, k, n};
+  std::sort(d, d + 3, std::greater<double>());
+  const double d1 = d[0], d2 = d[1], d3 = d[2];
+
+  // Evaluate each regime's cost with its honest leading constant and take
+  // the cheapest strategy:
+  //  - 1 large dim: split only d1; the partial output (the product of the
+  //    two small dims) is combined with a Reduce-Scatter + All-Gather,
+  //    costing ~2 d2 d3 words per processor.
+  //  - 2 large dims: SUMMA-like, two matrix faces stream past each
+  //    processor: ~2 d3 sqrt(d1 d2 / P).
+  //  - 3 large dims: each processor owns a block of the iteration cube and
+  //    touches its three faces: ~3 (d1 d2 d3 / P)^(2/3).
+  const double one_large = 2.0 * d2 * d3;
+  const double two_large = 2.0 * d3 * std::sqrt(d1 * d2 / procs);
+  const double three_large = 3.0 * std::pow(d1 * d2 * d3 / procs, 2.0 / 3.0);
+
+  CarmaCost cost;
+  cost.words = one_large;
+  cost.large_dims = 1;
+  if (two_large < cost.words) {
+    cost.words = two_large;
+    cost.large_dims = 2;
+  }
+  if (three_large < cost.words) {
+    cost.words = three_large;
+    cost.large_dims = 3;
+  }
+  return cost;
+}
+
+CarmaCost mttkrp_via_matmul_cost(int order, double tensor_size, double rank,
+                                 double procs) {
+  MTK_CHECK(order >= 2, "order must be >= 2, got ", order);
+  MTK_CHECK(tensor_size >= 1.0 && rank >= 1.0, "problem sizes must be >= 1");
+  const double n = static_cast<double>(order);
+  const double rows = std::pow(tensor_size, 1.0 / n);          // I^(1/N)
+  const double inner = tensor_size / rows;                      // I^((N-1)/N)
+  return carma_comm_cost(rows, inner, rank, procs);
+}
+
+}  // namespace mtk

@@ -1,0 +1,146 @@
+#include "src/costmodel/grid_search.hpp"
+
+#include <limits>
+
+#include "src/support/check.hpp"
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+double CostProblem::tensor_size() const {
+  double i = 1.0;
+  for (index_t ik : dims) i *= static_cast<double>(ik);
+  return i;
+}
+
+namespace {
+
+void check_cost_problem(const CostProblem& p) {
+  check_shape(p.dims);
+  MTK_CHECK(p.dims.size() >= 2, "cost model requires order >= 2");
+  MTK_CHECK(p.rank >= 1, "rank must be >= 1, got ", p.rank);
+}
+
+double grid_product(const std::vector<index_t>& grid) {
+  double total = 1.0;
+  for (index_t g : grid) total *= static_cast<double>(g);
+  return total;
+}
+
+}  // namespace
+
+double stationary_comm_cost(const CostProblem& p,
+                            const std::vector<index_t>& grid) {
+  check_cost_problem(p);
+  MTK_CHECK(static_cast<int>(grid.size()) == p.order(),
+            "stationary cost needs an N-way grid, got ", grid.size(),
+            " extents for order ", p.order());
+  const double procs = grid_product(grid);
+  const double r = static_cast<double>(p.rank);
+  double cost = 0.0;
+  for (int k = 0; k < p.order(); ++k) {
+    MTK_CHECK(grid[static_cast<std::size_t>(k)] >= 1, "grid extents must be "
+              ">= 1");
+    const double pk = static_cast<double>(grid[static_cast<std::size_t>(k)]);
+    const double words_per_proc =
+        static_cast<double>(p.dims[static_cast<std::size_t>(k)]) * r / procs;
+    cost += (procs / pk - 1.0) * words_per_proc;
+  }
+  return cost;
+}
+
+double general_comm_cost(const CostProblem& p,
+                         const std::vector<index_t>& grid) {
+  check_cost_problem(p);
+  MTK_CHECK(static_cast<int>(grid.size()) == p.order() + 1,
+            "general cost needs an (N+1)-way grid, got ", grid.size(),
+            " extents for order ", p.order());
+  const double procs = grid_product(grid);
+  const double p0 = static_cast<double>(grid[0]);
+  const double r = static_cast<double>(p.rank);
+  double cost = (p0 - 1.0) * p.tensor_size() / procs;
+  for (int k = 0; k < p.order(); ++k) {
+    const double pk =
+        static_cast<double>(grid[static_cast<std::size_t>(k + 1)]);
+    const double words_per_proc =
+        static_cast<double>(p.dims[static_cast<std::size_t>(k)]) * r / procs;
+    cost += (procs / (p0 * pk) - 1.0) * words_per_proc;
+  }
+  return cost;
+}
+
+void enumerate_factorizations(
+    index_t value, int parts,
+    const std::function<void(const std::vector<index_t>&)>& visit) {
+  MTK_CHECK(value >= 1, "can only factorize positive integers, got ", value);
+  MTK_CHECK(parts >= 1, "need at least one factor slot, got ", parts);
+  std::vector<index_t> current(static_cast<std::size_t>(parts), 1);
+  // Recursive divisor enumeration: slot i takes any divisor of the remainder.
+  auto recurse = [&](auto&& self, index_t remaining, int slot) -> void {
+    if (slot == parts - 1) {
+      current[static_cast<std::size_t>(slot)] = remaining;
+      visit(current);
+      return;
+    }
+    for (index_t d = 1; d * d <= remaining; ++d) {
+      if (remaining % d != 0) continue;
+      current[static_cast<std::size_t>(slot)] = d;
+      self(self, remaining / d, slot + 1);
+      if (d != remaining / d) {
+        current[static_cast<std::size_t>(slot)] = remaining / d;
+        self(self, d, slot + 1);
+      }
+    }
+  };
+  recurse(recurse, value, 0);
+}
+
+GridSearchResult optimal_stationary_grid(const CostProblem& p,
+                                         index_t procs) {
+  check_cost_problem(p);
+  MTK_CHECK(procs >= 1, "processor count must be >= 1, got ", procs);
+  GridSearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  enumerate_factorizations(procs, p.order(),
+                           [&](const std::vector<index_t>& grid) {
+    for (int k = 0; k < p.order(); ++k) {
+      if (grid[static_cast<std::size_t>(k)] >
+          p.dims[static_cast<std::size_t>(k)]) {
+        return;  // processor would own an empty block row
+      }
+    }
+    const double cost = stationary_comm_cost(p, grid);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.grid = grid;
+      best.feasible = true;
+    }
+  });
+  return best;
+}
+
+GridSearchResult optimal_general_grid(const CostProblem& p, index_t procs) {
+  check_cost_problem(p);
+  MTK_CHECK(procs >= 1, "processor count must be >= 1, got ", procs);
+  GridSearchResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  enumerate_factorizations(procs, p.order() + 1,
+                           [&](const std::vector<index_t>& grid) {
+    if (grid[0] > p.rank) return;
+    for (int k = 0; k < p.order(); ++k) {
+      if (grid[static_cast<std::size_t>(k + 1)] >
+          p.dims[static_cast<std::size_t>(k)]) {
+        return;
+      }
+    }
+    const double cost = general_comm_cost(p, grid);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.grid = grid;
+      best.feasible = true;
+    }
+  });
+  return best;
+}
+
+}  // namespace mtk

@@ -1,0 +1,51 @@
+// Exact communication-cost expressions for Algorithms 3 and 4 under
+// balanced data distributions (Eqs. (14) and (18) with
+// nnz(X_p) = I/P, nnz(A^(k)_p) = I_k R / P), plus exhaustive minimization
+// over integer processor-grid factorizations of P. These produce the
+// Algorithm 3 / Algorithm 4 series of the paper's Figure 4.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+struct CostProblem {
+  shape_t dims;      // I_1 ... I_N
+  index_t rank = 0;  // R
+
+  int order() const { return static_cast<int>(dims.size()); }
+  double tensor_size() const;
+};
+
+// Eq. (14): sum_k (P/P_k - 1) * I_k R / P for an N-way grid.
+double stationary_comm_cost(const CostProblem& p,
+                            const std::vector<index_t>& grid);
+
+// Eq. (18): (P0 - 1) I/P + sum_k (P/(P0 P_k) - 1) * I_k R / P for an
+// (N+1)-way grid ordered (P0, P1..PN).
+double general_comm_cost(const CostProblem& p,
+                         const std::vector<index_t>& grid);
+
+// Enumerates every ordered factorization of `value` into `parts` positive
+// integer factors, invoking `visit` on each.
+void enumerate_factorizations(
+    index_t value, int parts,
+    const std::function<void(const std::vector<index_t>&)>& visit);
+
+struct GridSearchResult {
+  std::vector<index_t> grid;
+  double cost = 0.0;
+  bool feasible = false;
+};
+
+// Minimizes Eq. (14) over N-way grids with P_k <= I_k (so every processor
+// owns a non-empty subtensor).
+GridSearchResult optimal_stationary_grid(const CostProblem& p, index_t procs);
+
+// Minimizes Eq. (18) over (N+1)-way grids with P0 <= R and P_k <= I_k.
+GridSearchResult optimal_general_grid(const CostProblem& p, index_t procs);
+
+}  // namespace mtk

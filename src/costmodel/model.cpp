@@ -1,0 +1,80 @@
+#include "src/costmodel/model.hpp"
+
+#include <cstdio>
+
+#include "src/support/check.hpp"
+
+namespace mtk {
+
+std::vector<ScalingPoint> strong_scaling_series(
+    const ScalingModelConfig& cfg) {
+  MTK_CHECK(cfg.order >= 2, "order must be >= 2");
+  MTK_CHECK(cfg.dim_per_mode >= 1 && cfg.rank >= 1, "sizes must be >= 1");
+  MTK_CHECK(cfg.min_log2_procs >= 0 &&
+                cfg.min_log2_procs <= cfg.max_log2_procs &&
+                cfg.max_log2_procs < 62,
+            "invalid processor range [2^", cfg.min_log2_procs, ", 2^",
+            cfg.max_log2_procs, "]");
+
+  CostProblem problem;
+  problem.dims.assign(static_cast<std::size_t>(cfg.order), cfg.dim_per_mode);
+  problem.rank = cfg.rank;
+  const double tensor_size = problem.tensor_size();
+
+  std::vector<ScalingPoint> series;
+  for (int e = cfg.min_log2_procs; e <= cfg.max_log2_procs; ++e) {
+    const index_t procs = index_t{1} << e;
+    ScalingPoint point;
+    point.procs = procs;
+    point.matmul_words =
+        mttkrp_via_matmul_cost(cfg.order, tensor_size,
+                               static_cast<double>(cfg.rank),
+                               static_cast<double>(procs))
+            .words;
+
+    const GridSearchResult stat = optimal_stationary_grid(problem, procs);
+    MTK_REQUIRE(stat.feasible, "no feasible N-way grid for P = ", procs,
+                " (need P_k <= I_k; increase dims or decrease P)");
+    point.stationary_words = stat.cost;
+    point.stationary_grid = stat.grid;
+
+    const GridSearchResult gen = optimal_general_grid(problem, procs);
+    MTK_REQUIRE(gen.feasible, "no feasible (N+1)-way grid for P = ", procs);
+    point.general_words = gen.cost;
+    point.general_grid = gen.grid;
+
+    // The proved lower bound: the max of Theorems 4.2 and 4.3 with
+    // gamma = delta = 1 (the algorithms' own balanced distributions). The
+    // Corollary 4.2 sum-envelope is NOT used here: in the small-NR regime
+    // (NR < (I/P)^(1-1/N)) its Theorem 4.2 term exceeds the valid bound —
+    // see the discussion in EXPERIMENTS.md.
+    ParProblem lb;
+    lb.dims = problem.dims;
+    lb.rank = cfg.rank;
+    lb.procs = procs;
+    point.lower_bound_words = par_lower_bound(lb);
+
+    series.push_back(std::move(point));
+  }
+  return series;
+}
+
+void print_scaling_table(const std::vector<ScalingPoint>& series) {
+  std::printf("%-6s %14s %14s %14s %14s %10s\n", "log2P", "matmul",
+              "stationary", "general", "lower-bound", "mm/gen");
+  for (const ScalingPoint& pt : series) {
+    int log2p = 0;
+    index_t v = pt.procs;
+    while (v > 1) {
+      v >>= 1;
+      ++log2p;
+    }
+    std::printf("%-6d %14.4e %14.4e %14.4e %14.4e %10.2f\n", log2p,
+                pt.matmul_words, pt.stationary_words, pt.general_words,
+                pt.lower_bound_words,
+                pt.general_words > 0.0 ? pt.matmul_words / pt.general_words
+                                       : 0.0);
+  }
+}
+
+}  // namespace mtk

@@ -1,0 +1,38 @@
+// Strong-scaling communication model: regenerates the three series of the
+// paper's Figure 4 (matrix multiplication vs Algorithm 3 vs Algorithm 4)
+// for cubical tensors, and evaluates the lower-bound envelope alongside.
+#pragma once
+
+#include <vector>
+
+#include "src/bounds/parallel_bounds.hpp"
+#include "src/costmodel/carma.hpp"
+#include "src/costmodel/grid_search.hpp"
+
+namespace mtk {
+
+struct ScalingPoint {
+  index_t procs = 1;
+  double matmul_words = 0.0;          // CARMA model, Fig. 4 convention
+  double stationary_words = 0.0;      // Eq. (14), optimal N-way grid
+  std::vector<index_t> stationary_grid;
+  double general_words = 0.0;         // Eq. (18), optimal (N+1)-way grid
+  std::vector<index_t> general_grid;
+  double lower_bound_words = 0.0;     // Corollary 4.2 envelope
+};
+
+struct ScalingModelConfig {
+  int order = 3;
+  index_t dim_per_mode = index_t{1} << 15;  // I_k (cubical)
+  index_t rank = index_t{1} << 15;          // R
+  int min_log2_procs = 0;
+  int max_log2_procs = 30;
+};
+
+// One point per power-of-two processor count in the configured range.
+std::vector<ScalingPoint> strong_scaling_series(const ScalingModelConfig& cfg);
+
+// Prints the series as an aligned table (the Fig. 4 data).
+void print_scaling_table(const std::vector<ScalingPoint>& series);
+
+}  // namespace mtk

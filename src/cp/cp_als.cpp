@@ -1,0 +1,134 @@
+#include "src/cp/cp_als.hpp"
+
+#include <cmath>
+
+#include "src/support/rng.hpp"
+
+namespace mtk {
+
+DenseTensor CpModel::reconstruct() const {
+  return DenseTensor::from_cp(factors, lambda);
+}
+
+double cp_model_norm_squared(const std::vector<Matrix>& grams,
+                             const std::vector<double>& lambda) {
+  MTK_CHECK(!grams.empty(), "need at least one Gram matrix");
+  const index_t r = grams.front().rows();
+  Matrix v = grams.front();
+  for (std::size_t k = 1; k < grams.size(); ++k) {
+    hadamard_inplace(v, grams[k]);
+  }
+  double acc = 0.0;
+  for (index_t p = 0; p < r; ++p) {
+    for (index_t q = 0; q < r; ++q) {
+      acc += lambda[static_cast<std::size_t>(p)] *
+             lambda[static_cast<std::size_t>(q)] * v(p, q);
+    }
+  }
+  return acc;
+}
+
+double cp_inner_product(const Matrix& mttkrp_result, const Matrix& factor,
+                        const std::vector<double>& lambda) {
+  MTK_CHECK(mttkrp_result.rows() == factor.rows() &&
+                mttkrp_result.cols() == factor.cols(),
+            "cp_inner_product shape mismatch");
+  double acc = 0.0;
+  for (index_t i = 0; i < factor.rows(); ++i) {
+    const double* m = mttkrp_result.row(i);
+    const double* a = factor.row(i);
+    for (index_t r = 0; r < factor.cols(); ++r) {
+      acc += lambda[static_cast<std::size_t>(r)] * m[r] * a[r];
+    }
+  }
+  return acc;
+}
+
+namespace {
+
+// Column 2-norm normalization; zero columns get weight 1 to stay invertible.
+std::vector<double> normalize_columns(Matrix& a) {
+  std::vector<double> norms = a.column_norms();
+  for (double& v : norms) {
+    if (v == 0.0) v = 1.0;
+  }
+  a.scale_columns_inv(norms);
+  return norms;
+}
+
+}  // namespace
+
+CpAlsResult cp_als(const DenseTensor& x, const CpAlsOptions& opts) {
+  const int n = x.order();
+  MTK_CHECK(n >= 2, "cp_als requires an order >= 2 tensor");
+  MTK_CHECK(opts.rank >= 1, "cp rank must be >= 1, got ", opts.rank);
+  MTK_CHECK(opts.max_iterations >= 1, "need at least one iteration");
+
+  Rng rng(opts.seed);
+  CpAlsResult result;
+  result.model.factors.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    result.model.factors.push_back(
+        Matrix::random_uniform(x.dim(k), opts.rank, rng));
+  }
+  result.model.lambda.assign(static_cast<std::size_t>(opts.rank), 1.0);
+
+  std::vector<Matrix> grams(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    grams[static_cast<std::size_t>(k)] =
+        gram(result.model.factors[static_cast<std::size_t>(k)]);
+  }
+
+  const double norm_x = x.frobenius_norm();
+  MTK_CHECK(norm_x > 0.0, "cp_als: input tensor is identically zero");
+
+  double previous_fit = 0.0;
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    Matrix last_mttkrp;
+    for (int mode = 0; mode < n; ++mode) {
+      Matrix m = mttkrp(x, result.model.factors, mode, opts.mttkrp);
+
+      // V = Hadamard of all Gram matrices except mode's.
+      Matrix v(opts.rank, opts.rank, 0.0);
+      bool first = true;
+      for (int k = 0; k < n; ++k) {
+        if (k == mode) continue;
+        if (first) {
+          v = grams[static_cast<std::size_t>(k)];
+          first = false;
+        } else {
+          hadamard_inplace(v, grams[static_cast<std::size_t>(k)]);
+        }
+      }
+
+      Matrix a = solve_spd_right(v, m);
+      result.model.lambda = normalize_columns(a);
+      result.model.factors[static_cast<std::size_t>(mode)] = std::move(a);
+      grams[static_cast<std::size_t>(mode)] =
+          gram(result.model.factors[static_cast<std::size_t>(mode)]);
+      if (mode == n - 1) last_mttkrp = std::move(m);
+    }
+
+    const double norm_model_sq =
+        cp_model_norm_squared(grams, result.model.lambda);
+    const double inner = cp_inner_product(
+        last_mttkrp, result.model.factors[static_cast<std::size_t>(n - 1)],
+        result.model.lambda);
+    const double residual_sq =
+        std::max(0.0, norm_x * norm_x + norm_model_sq - 2.0 * inner);
+    const double fit = 1.0 - std::sqrt(residual_sq) / norm_x;
+
+    const double change = std::fabs(fit - previous_fit);
+    result.trace.push_back({iter, fit, change});
+    result.final_fit = fit;
+    result.iterations = iter;
+    if (iter > 1 && change < opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+    previous_fit = fit;
+  }
+  return result;
+}
+
+}  // namespace mtk

@@ -1,0 +1,62 @@
+// CP-ALS: the alternating-least-squares CP decomposition driver that
+// motivates MTTKRP (Section II-A). Each inner step updates one factor by
+// solving the normal equations A^(n) * V = M, where M is the mode-n MTTKRP
+// and V is the Hadamard product of the other factors' Gram matrices. The
+// MTTKRP backend is pluggable, demonstrating that every algorithm in
+// src/mttkrp is a drop-in bottleneck kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+struct CpModel {
+  std::vector<Matrix> factors;  // A^(k), each I_k x R
+  std::vector<double> lambda;   // column weights
+
+  index_t rank() const {
+    return factors.empty() ? 0 : factors.front().cols();
+  }
+  DenseTensor reconstruct() const;
+};
+
+struct CpAlsOptions {
+  index_t rank = 1;
+  int max_iterations = 50;
+  double tolerance = 1e-8;  // stop when the fit improves by less than this
+  MttkrpOptions mttkrp;     // backend used for every MTTKRP call
+  std::uint64_t seed = 42;  // factor initialization
+};
+
+struct CpAlsIterate {
+  int iteration = 0;
+  double fit = 0.0;         // 1 - ||X - model|| / ||X||
+  double fit_change = 0.0;
+};
+
+struct CpAlsResult {
+  CpModel model;
+  std::vector<CpAlsIterate> trace;
+  double final_fit = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+CpAlsResult cp_als(const DenseTensor& x, const CpAlsOptions& opts);
+
+// The model-norm trick shared by the sequential and parallel drivers:
+// ||model||^2 = sum_{r,s} lambda_r lambda_s prod_k G_k(r,s).
+double cp_model_norm_squared(const std::vector<Matrix>& grams,
+                             const std::vector<double>& lambda);
+
+// <X, model> = sum_{i_n, r} lambda_r * A^(n)(i_n, r) * M(i_n, r), where M is
+// the mode-n MTTKRP against the *other* current factors.
+double cp_inner_product(const Matrix& mttkrp_result, const Matrix& factor,
+                        const std::vector<double>& lambda);
+
+}  // namespace mtk

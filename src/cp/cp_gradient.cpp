@@ -1,0 +1,153 @@
+#include "src/cp/cp_gradient.hpp"
+
+#include <cmath>
+
+#include "src/mttkrp/dim_tree.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+
+namespace {
+
+// f(A) = 1/2 (||X||^2 - 2 <X, model> + ||model||^2), evaluated from the
+// Gram matrices and the last-mode MTTKRP (both already available per
+// iteration) — no materialization of the model tensor.
+double objective_value(double norm_x_sq, const std::vector<Matrix>& grams,
+                       const Matrix& last_mttkrp, const Matrix& last_factor,
+                       const std::vector<double>& ones) {
+  const double model_sq = cp_model_norm_squared(grams, ones);
+  const double inner = cp_inner_product(last_mttkrp, last_factor, ones);
+  return 0.5 * (norm_x_sq - 2.0 * inner + model_sq);
+}
+
+std::vector<Matrix> compute_grams(const std::vector<Matrix>& factors) {
+  std::vector<Matrix> grams;
+  grams.reserve(factors.size());
+  for (const Matrix& a : factors) grams.push_back(gram(a));
+  return grams;
+}
+
+}  // namespace
+
+CpGradResult cp_gradient_descent(const DenseTensor& x,
+                                 const CpGradOptions& opts) {
+  const int n = x.order();
+  MTK_CHECK(n >= 2, "cp_gradient_descent requires an order >= 2 tensor");
+  MTK_CHECK(opts.rank >= 1, "cp rank must be >= 1, got ", opts.rank);
+  MTK_CHECK(opts.max_iterations >= 1, "need at least one iteration");
+  MTK_CHECK(opts.initial_step > 0.0 && opts.backtrack > 0.0 &&
+                opts.backtrack < 1.0 && opts.armijo > 0.0,
+            "invalid line-search parameters");
+
+  Rng rng(opts.seed);
+  CpGradResult result;
+  result.model.factors.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    // Small magnitudes keep the initial model norm below the data norm,
+    // which keeps the first line searches well-behaved.
+    result.model.factors.push_back(
+        Matrix::random_uniform(x.dim(k), opts.rank, rng, 0.0, 0.5));
+  }
+  result.model.lambda.assign(static_cast<std::size_t>(opts.rank), 1.0);
+  const std::vector<double> ones(static_cast<std::size_t>(opts.rank), 1.0);
+
+  const double norm_x = x.frobenius_norm();
+  MTK_CHECK(norm_x > 0.0, "input tensor is identically zero");
+  const double norm_x_sq = norm_x * norm_x;
+
+  std::vector<Matrix>& factors = result.model.factors;
+  std::vector<Matrix> grams = compute_grams(factors);
+  AllModesResult mttkrps = mttkrp_all_modes_tree(x, factors);
+  double objective = objective_value(
+      norm_x_sq, grams, mttkrps.outputs[static_cast<std::size_t>(n - 1)],
+      factors[static_cast<std::size_t>(n - 1)], ones);
+
+  double step = opts.initial_step;
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    // Gradients for every mode from the shared all-modes MTTKRP.
+    std::vector<Matrix> gradients;
+    gradients.reserve(static_cast<std::size_t>(n));
+    double grad_norm_sq = 0.0;
+    for (int mode = 0; mode < n; ++mode) {
+      Matrix gamma(opts.rank, opts.rank, 0.0);
+      bool first = true;
+      for (int k = 0; k < n; ++k) {
+        if (k == mode) continue;
+        if (first) {
+          gamma = grams[static_cast<std::size_t>(k)];
+          first = false;
+        } else {
+          hadamard_inplace(gamma, grams[static_cast<std::size_t>(k)]);
+        }
+      }
+      Matrix g(x.dim(mode), opts.rank);
+      gemm(factors[static_cast<std::size_t>(mode)], gamma, g);
+      const Matrix& b = mttkrps.outputs[static_cast<std::size_t>(mode)];
+      for (index_t i = 0; i < g.rows(); ++i) {
+        double* grow = g.row(i);
+        const double* brow = b.row(i);
+        for (index_t r = 0; r < opts.rank; ++r) {
+          grow[r] -= brow[r];
+          grad_norm_sq += grow[r] * grow[r];
+        }
+      }
+      gradients.push_back(std::move(g));
+    }
+    const double grad_norm = std::sqrt(grad_norm_sq);
+
+    // Armijo backtracking on the full factor block.
+    bool accepted = false;
+    double trial_step = step;
+    std::vector<Matrix> trial(factors);
+    for (int attempt = 0; attempt < 60; ++attempt) {
+      for (int mode = 0; mode < n; ++mode) {
+        Matrix& t = trial[static_cast<std::size_t>(mode)];
+        const Matrix& a = factors[static_cast<std::size_t>(mode)];
+        const Matrix& g = gradients[static_cast<std::size_t>(mode)];
+        for (index_t i = 0; i < t.rows(); ++i) {
+          double* trow = t.row(i);
+          const double* arow = a.row(i);
+          const double* grow = g.row(i);
+          for (index_t r = 0; r < opts.rank; ++r) {
+            trow[r] = arow[r] - trial_step * grow[r];
+          }
+        }
+      }
+      const std::vector<Matrix> trial_grams = compute_grams(trial);
+      AllModesResult trial_mttkrps = mttkrp_all_modes_tree(x, trial);
+      const double trial_obj = objective_value(
+          norm_x_sq, trial_grams,
+          trial_mttkrps.outputs[static_cast<std::size_t>(n - 1)],
+          trial[static_cast<std::size_t>(n - 1)], ones);
+      if (trial_obj <=
+          objective - opts.armijo * trial_step * grad_norm_sq) {
+        factors = trial;
+        grams = trial_grams;
+        mttkrps = std::move(trial_mttkrps);
+        objective = trial_obj;
+        accepted = true;
+        break;
+      }
+      trial_step *= opts.backtrack;
+    }
+
+    result.trace.push_back({iter, objective, grad_norm, trial_step});
+    result.iterations = iter;
+    result.final_objective = objective;
+    if (!accepted) {
+      break;  // line search exhausted: at (numerical) stationarity
+    }
+    // Gentle step growth so well-scaled problems do not crawl.
+    step = std::min(trial_step * 2.0, opts.initial_step * 16.0);
+
+    if (grad_norm <= opts.tolerance * std::max(1.0, norm_x)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.final_fit = 1.0 - std::sqrt(std::max(0.0, 2.0 * objective)) / norm_x;
+  return result;
+}
+
+}  // namespace mtk

@@ -1,0 +1,50 @@
+// Gradient-based CP decomposition (CP-OPT style): the paper's Section II-A
+// notes that gradient algorithms, like ALS, are bottlenecked by MTTKRP —
+// here by an *all-modes* MTTKRP per iteration, since the gradient with
+// respect to every factor is needed at once:
+//
+//   grad_n f = A^(n) * Gamma^(n) - B^(n),
+//   Gamma^(n) = Hadamard_{k != n} (A^(k)' A^(k)),   B^(n) = mode-n MTTKRP,
+//
+// for f(A) = 1/2 ||X - [[A^(1), ..., A^(N)]]||_F^2. The all-modes MTTKRP is
+// computed with the dimension tree (src/mttkrp/dim_tree.hpp), exercising the
+// multi-MTTKRP reuse the paper's Section VII points to.
+//
+// The optimizer is plain gradient descent with Armijo backtracking — simple
+// and robust; the point is the kernel, not the optimizer.
+#pragma once
+
+#include "src/cp/cp_als.hpp"
+
+namespace mtk {
+
+struct CpGradOptions {
+  index_t rank = 1;
+  int max_iterations = 100;
+  double tolerance = 1e-6;     // stop when relative gradient norm is below
+  double initial_step = 1.0;   // first trial step per iteration
+  double backtrack = 0.5;      // step shrink factor
+  double armijo = 1e-4;        // sufficient-decrease coefficient
+  std::uint64_t seed = 42;
+};
+
+struct CpGradIterate {
+  int iteration = 0;
+  double objective = 0.0;
+  double gradient_norm = 0.0;
+  double step = 0.0;
+};
+
+struct CpGradResult {
+  CpModel model;  // lambda is all-ones; weights stay folded into factors
+  std::vector<CpGradIterate> trace;
+  double final_objective = 0.0;
+  double final_fit = 0.0;  // 1 - ||X - model|| / ||X||
+  int iterations = 0;
+  bool converged = false;
+};
+
+CpGradResult cp_gradient_descent(const DenseTensor& x,
+                                 const CpGradOptions& opts);
+
+}  // namespace mtk

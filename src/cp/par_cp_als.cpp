@@ -1,0 +1,151 @@
+#include "src/cp/par_cp_als.hpp"
+
+#include <cmath>
+
+#include "src/parsim/collectives.hpp"
+#include "src/parsim/distribution.hpp"
+#include "src/parsim/par_mttkrp.hpp"
+#include "src/support/rng.hpp"
+#include "src/tensor/block.hpp"
+
+namespace mtk {
+
+namespace {
+
+// Gram of A via partial Grams over a balanced global row partition and a
+// machine-wide bucket All-Reduce; returns the exact Gram and charges the
+// traffic to the machine.
+Matrix distributed_gram(Machine& machine, const Matrix& a) {
+  const int p = machine.num_ranks();
+  const index_t r = a.cols();
+  const std::vector<Range> rows = block_partition(a.rows(), p);
+
+  std::vector<std::vector<double>> partials(static_cast<std::size_t>(p));
+  for (int rank = 0; rank < p; ++rank) {
+    Matrix partial(r, r, 0.0);
+    const Range rg = rows[static_cast<std::size_t>(rank)];
+    for (index_t i = rg.lo; i < rg.hi; ++i) {
+      const double* arow = a.row(i);
+      for (index_t s = 0; s < r; ++s) {
+        for (index_t t = 0; t < r; ++t) {
+          partial(s, t) += arow[s] * arow[t];
+        }
+      }
+    }
+    partials[static_cast<std::size_t>(rank)].assign(
+        partial.data(), partial.data() + partial.size());
+  }
+
+  std::vector<int> group(static_cast<std::size_t>(p));
+  for (int rank = 0; rank < p; ++rank) group[static_cast<std::size_t>(rank)] = rank;
+  const std::vector<double> summed =
+      all_reduce_bucket(machine, group, partials);
+
+  Matrix g(r, r);
+  std::copy(summed.begin(), summed.end(), g.data());
+  return g;
+}
+
+std::vector<double> normalize_columns(Matrix& a) {
+  std::vector<double> norms = a.column_norms();
+  for (double& v : norms) {
+    if (v == 0.0) v = 1.0;
+  }
+  a.scale_columns_inv(norms);
+  return norms;
+}
+
+}  // namespace
+
+ParCpAlsResult par_cp_als(const DenseTensor& x, const ParCpAlsOptions& opts) {
+  const int n = x.order();
+  MTK_CHECK(n >= 2, "par_cp_als requires an order >= 2 tensor");
+  MTK_CHECK(opts.rank >= 1, "cp rank must be >= 1, got ", opts.rank);
+  MTK_CHECK(static_cast<int>(opts.grid.size()) == n,
+            "par_cp_als needs an N-way grid, got ", opts.grid.size(),
+            " extents for order ", n);
+
+  int p = 1;
+  for (int e : opts.grid) p *= e;
+  Machine machine(p);
+
+  Rng rng(opts.seed);
+  ParCpAlsResult result;
+  result.model.factors.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    result.model.factors.push_back(
+        Matrix::random_uniform(x.dim(k), opts.rank, rng));
+  }
+  result.model.lambda.assign(static_cast<std::size_t>(opts.rank), 1.0);
+
+  std::vector<Matrix> grams(static_cast<std::size_t>(n));
+  index_t gram_words_total = 0;
+  for (int k = 0; k < n; ++k) {
+    const index_t before = machine.max_words_moved();
+    grams[static_cast<std::size_t>(k)] =
+        distributed_gram(machine, result.model.factors[static_cast<std::size_t>(k)]);
+    gram_words_total += machine.max_words_moved() - before;
+  }
+
+  const double norm_x = x.frobenius_norm();
+  MTK_CHECK(norm_x > 0.0, "par_cp_als: input tensor is identically zero");
+
+  double previous_fit = 0.0;
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    index_t mttkrp_words_iter = 0;
+    index_t gram_words_iter = 0;
+    Matrix last_mttkrp;
+    for (int mode = 0; mode < n; ++mode) {
+      index_t before = machine.max_words_moved();
+      ParMttkrpResult mr = par_mttkrp_stationary(
+          machine, x, result.model.factors, mode, opts.grid);
+      mttkrp_words_iter += machine.max_words_moved() - before;
+
+      Matrix v(opts.rank, opts.rank, 0.0);
+      bool first = true;
+      for (int k = 0; k < n; ++k) {
+        if (k == mode) continue;
+        if (first) {
+          v = grams[static_cast<std::size_t>(k)];
+          first = false;
+        } else {
+          hadamard_inplace(v, grams[static_cast<std::size_t>(k)]);
+        }
+      }
+
+      Matrix a = solve_spd_right(v, mr.b);
+      result.model.lambda = normalize_columns(a);
+      result.model.factors[static_cast<std::size_t>(mode)] = std::move(a);
+
+      before = machine.max_words_moved();
+      grams[static_cast<std::size_t>(mode)] = distributed_gram(
+          machine, result.model.factors[static_cast<std::size_t>(mode)]);
+      gram_words_iter += machine.max_words_moved() - before;
+
+      if (mode == n - 1) last_mttkrp = std::move(mr.b);
+    }
+
+    const double norm_model_sq =
+        cp_model_norm_squared(grams, result.model.lambda);
+    const double inner = cp_inner_product(
+        last_mttkrp, result.model.factors[static_cast<std::size_t>(n - 1)],
+        result.model.lambda);
+    const double residual_sq =
+        std::max(0.0, norm_x * norm_x + norm_model_sq - 2.0 * inner);
+    const double fit = 1.0 - std::sqrt(residual_sq) / norm_x;
+
+    result.trace.push_back({iter, fit, mttkrp_words_iter, gram_words_iter});
+    result.final_fit = fit;
+    result.iterations = iter;
+    result.total_mttkrp_words_max += mttkrp_words_iter;
+    result.total_gram_words_max += gram_words_iter;
+    if (iter > 1 && std::fabs(fit - previous_fit) < opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+    previous_fit = fit;
+  }
+  return result;
+}
+
+}  // namespace mtk

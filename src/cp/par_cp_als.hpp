@@ -1,0 +1,43 @@
+// Parallel CP-ALS on the simulated distributed machine: every per-mode
+// MTTKRP runs through Algorithm 3 (stationary tensor, Section V-C) on a
+// persistent machine, so the communication of a full decomposition can be
+// measured. The Gram matrices are formed by local partial Grams followed by
+// a machine-wide All-Reduce of R^2 words (this traffic is *extra* relative
+// to the single-MTTKRP analyses; the paper's Section VII notes that
+// multi-MTTKRP optimizations are future work, and the benchmark reports the
+// breakdown so the MTTKRP share is visible).
+#pragma once
+
+#include "src/cp/cp_als.hpp"
+#include "src/parsim/machine.hpp"
+
+namespace mtk {
+
+struct ParCpAlsOptions {
+  index_t rank = 1;
+  int max_iterations = 20;
+  double tolerance = 1e-8;
+  std::vector<int> grid;    // N-way processor grid for Algorithm 3
+  std::uint64_t seed = 42;
+};
+
+struct ParCpAlsIterate {
+  int iteration = 0;
+  double fit = 0.0;
+  index_t mttkrp_words_max = 0;  // bottleneck words in MTTKRP collectives
+  index_t gram_words_max = 0;    // bottleneck words in Gram All-Reduces
+};
+
+struct ParCpAlsResult {
+  CpModel model;
+  std::vector<ParCpAlsIterate> trace;
+  double final_fit = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  index_t total_mttkrp_words_max = 0;
+  index_t total_gram_words_max = 0;
+};
+
+ParCpAlsResult par_cp_als(const DenseTensor& x, const ParCpAlsOptions& opts);
+
+}  // namespace mtk

@@ -1,0 +1,80 @@
+#include "src/cp/tucker.hpp"
+
+#include <cmath>
+
+#include "src/tensor/eigen_sym.hpp"
+#include "src/tensor/matricize.hpp"
+#include "src/tensor/ttm.hpp"
+
+namespace mtk {
+
+DenseTensor TuckerModel::reconstruct() const {
+  DenseTensor result = core;
+  for (int k = 0; k < static_cast<int>(factors.size()); ++k) {
+    result = ttm(result, factors[static_cast<std::size_t>(k)], k);
+  }
+  return result;
+}
+
+TuckerModel st_hosvd(const DenseTensor& x, const TuckerOptions& opts) {
+  const int n = x.order();
+  MTK_CHECK(static_cast<int>(opts.ranks.size()) == n,
+            "st_hosvd: expected ", n, " target ranks, got ",
+            opts.ranks.size());
+  for (int k = 0; k < n; ++k) {
+    MTK_CHECK(opts.ranks[static_cast<std::size_t>(k)] >= 1 &&
+                  opts.ranks[static_cast<std::size_t>(k)] <= x.dim(k),
+              "st_hosvd: rank ", opts.ranks[static_cast<std::size_t>(k)],
+              " invalid for mode ", k, " of extent ", x.dim(k));
+  }
+
+  TuckerModel model;
+  model.factors.resize(static_cast<std::size_t>(n));
+  DenseTensor work = x;
+  for (int k = 0; k < n; ++k) {
+    const index_t rk = opts.ranks[static_cast<std::size_t>(k)];
+    // Gram of the mode-k unfolding of the current (already shrunk) tensor.
+    const Matrix unfolding = matricize(work, k);
+    Matrix g(unfolding.rows(), unfolding.rows());
+    // G = Y_(k) Y_(k)': accumulate outer products over columns.
+    for (index_t c = 0; c < unfolding.cols(); ++c) {
+      for (index_t i = 0; i < unfolding.rows(); ++i) {
+        const double yi = unfolding(i, c);
+        if (yi == 0.0) continue;
+        for (index_t j = 0; j < unfolding.rows(); ++j) {
+          g(i, j) += yi * unfolding(j, c);
+        }
+      }
+    }
+    const SymmetricEigen eig = eigen_symmetric(g);
+    // Leading rk eigenvectors become U^(k).
+    Matrix u(work.dim(k), rk);
+    for (index_t i = 0; i < work.dim(k); ++i) {
+      for (index_t j = 0; j < rk; ++j) {
+        u(i, j) = eig.vectors(i, j);
+      }
+    }
+    model.factors[static_cast<std::size_t>(k)] = u;
+
+    // Shrink: work <- work x_k U'. (ttm multiplies by a J x I_k matrix, so
+    // pass U transposed.)
+    Matrix ut(rk, work.dim(k));
+    for (index_t i = 0; i < work.dim(k); ++i) {
+      for (index_t j = 0; j < rk; ++j) {
+        ut(j, i) = u(i, j);
+      }
+    }
+    work = ttm(work, ut, k);
+  }
+  model.core = std::move(work);
+  return model;
+}
+
+double tucker_residual_norm(const DenseTensor& x, const TuckerModel& model) {
+  // For orthonormal factors, ||X - G x U..||^2 = ||X||^2 - ||G||^2.
+  const double x_sq = std::pow(x.frobenius_norm(), 2.0);
+  const double g_sq = std::pow(model.core.frobenius_norm(), 2.0);
+  return std::sqrt(std::max(0.0, x_sq - g_sq));
+}
+
+}  // namespace mtk

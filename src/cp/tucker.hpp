@@ -1,0 +1,38 @@
+// Tucker decomposition via sequentially truncated HOSVD (ST-HOSVD) — the
+// other decomposition family the paper's Section VII points to. The Tucker
+// model approximates X by a core tensor G multiplied by an orthonormal
+// factor U^(k) in every mode:
+//
+//   X ~ G x_1 U^(1) x_2 ... x_N U^(N),   U^(k): I_k x r_k, U'U = I.
+//
+// ST-HOSVD computes U^(k) as the leading eigenvectors of the mode-k
+// unfolding's Gram matrix and immediately shrinks the working tensor with a
+// TTM, so later modes factor a smaller object. Error satisfies the usual
+// quasi-optimality bound (sum of discarded eigenvalues).
+#pragma once
+
+#include <vector>
+
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+struct TuckerModel {
+  DenseTensor core;             // r_1 x ... x r_N
+  std::vector<Matrix> factors;  // U^(k), I_k x r_k, orthonormal columns
+
+  DenseTensor reconstruct() const;
+};
+
+struct TuckerOptions {
+  shape_t ranks;  // target multilinear rank (r_1, ..., r_N)
+};
+
+TuckerModel st_hosvd(const DenseTensor& x, const TuckerOptions& opts);
+
+// ||X - model|| estimated from the discarded eigenvalue mass (no
+// reconstruction needed); exact for the ST-HOSVD output.
+double tucker_residual_norm(const DenseTensor& x, const TuckerModel& model);
+
+}  // namespace mtk

@@ -1,0 +1,135 @@
+#include "src/io/tensor_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/support/check.hpp"
+
+namespace mtk {
+
+namespace {
+
+constexpr char kTensorMagic[8] = {'M', 'T', 'K', 'T', 'N', 'S', 'R', '1'};
+constexpr char kMatrixMagic[8] = {'M', 'T', 'K', 'M', 'A', 'T', 'R', '1'};
+constexpr char kModelMagic[8] = {'M', 'T', 'K', 'C', 'P', 'M', 'D', '1'};
+
+void write_bytes(std::ofstream& out, const void* data, std::size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  MTK_REQUIRE(out.good(), "write failed");
+}
+
+void read_bytes(std::ifstream& in, void* data, std::size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  MTK_REQUIRE(in.gcount() == static_cast<std::streamsize>(bytes),
+              "unexpected end of file");
+}
+
+void write_i64(std::ofstream& out, index_t v) { write_bytes(out, &v, 8); }
+
+index_t read_i64(std::ifstream& in) {
+  index_t v = 0;
+  read_bytes(in, &v, 8);
+  return v;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MTK_REQUIRE(out.is_open(), "cannot open '", path, "' for writing");
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MTK_REQUIRE(in.is_open(), "cannot open '", path, "' for reading");
+  return in;
+}
+
+void check_magic(std::ifstream& in, const char (&magic)[8],
+                 const char* what) {
+  char got[8];
+  read_bytes(in, got, 8);
+  MTK_REQUIRE(std::memcmp(got, magic, 8) == 0, "file is not a ", what,
+              " (bad magic)");
+}
+
+void write_matrix_body(std::ofstream& out, const Matrix& m) {
+  write_i64(out, m.rows());
+  write_i64(out, m.cols());
+  write_bytes(out, m.data(), static_cast<std::size_t>(m.size()) * 8);
+}
+
+Matrix read_matrix_body(std::ifstream& in) {
+  const index_t rows = read_i64(in);
+  const index_t cols = read_i64(in);
+  MTK_REQUIRE(rows >= 0 && cols >= 0 && rows < (index_t{1} << 32) &&
+                  cols < (index_t{1} << 32),
+              "implausible matrix header ", rows, "x", cols);
+  Matrix m(rows, cols);
+  read_bytes(in, m.data(), static_cast<std::size_t>(m.size()) * 8);
+  return m;
+}
+
+}  // namespace
+
+void save_tensor(const DenseTensor& x, const std::string& path) {
+  std::ofstream out = open_out(path);
+  write_bytes(out, kTensorMagic, 8);
+  write_i64(out, x.order());
+  for (index_t d : x.dims()) write_i64(out, d);
+  write_bytes(out, x.data(), static_cast<std::size_t>(x.size()) * 8);
+}
+
+DenseTensor load_tensor(const std::string& path) {
+  std::ifstream in = open_in(path);
+  check_magic(in, kTensorMagic, "tensor file");
+  const index_t order = read_i64(in);
+  MTK_REQUIRE(order >= 1 && order <= 64, "implausible tensor order ", order);
+  shape_t dims;
+  for (index_t k = 0; k < order; ++k) dims.push_back(read_i64(in));
+  DenseTensor x(dims);
+  read_bytes(in, x.data(), static_cast<std::size_t>(x.size()) * 8);
+  return x;
+}
+
+void save_matrix(const Matrix& m, const std::string& path) {
+  std::ofstream out = open_out(path);
+  write_bytes(out, kMatrixMagic, 8);
+  write_matrix_body(out, m);
+}
+
+Matrix load_matrix(const std::string& path) {
+  std::ifstream in = open_in(path);
+  check_magic(in, kMatrixMagic, "matrix file");
+  return read_matrix_body(in);
+}
+
+void save_cp_model(const CpModel& model, const std::string& path) {
+  MTK_CHECK(!model.factors.empty(), "cannot save an empty CP model");
+  std::ofstream out = open_out(path);
+  write_bytes(out, kModelMagic, 8);
+  write_i64(out, static_cast<index_t>(model.factors.size()));
+  write_i64(out, model.rank());
+  for (const Matrix& a : model.factors) write_matrix_body(out, a);
+  write_bytes(out, model.lambda.data(), model.lambda.size() * 8);
+}
+
+CpModel load_cp_model(const std::string& path) {
+  std::ifstream in = open_in(path);
+  check_magic(in, kModelMagic, "CP model file");
+  const index_t order = read_i64(in);
+  const index_t rank = read_i64(in);
+  MTK_REQUIRE(order >= 1 && order <= 64, "implausible model order ", order);
+  MTK_REQUIRE(rank >= 1, "implausible model rank ", rank);
+  CpModel model;
+  for (index_t k = 0; k < order; ++k) {
+    model.factors.push_back(read_matrix_body(in));
+    MTK_REQUIRE(model.factors.back().cols() == rank,
+                "factor rank mismatch in model file");
+  }
+  model.lambda.resize(static_cast<std::size_t>(rank));
+  read_bytes(in, model.lambda.data(), model.lambda.size() * 8);
+  return model;
+}
+
+}  // namespace mtk

@@ -1,0 +1,30 @@
+// Minimal binary serialization for tensors, matrices, and CP models, so the
+// CLI tools and examples can exchange data with downstream pipelines.
+//
+// Format (little-endian, host-width doubles):
+//   magic (8 bytes: "MTKTNSR1" / "MTKMATR1" / "MTKCPMD1")
+//   tensor: int64 order, int64 dims[order], double data[prod(dims)]
+//   matrix: int64 rows, int64 cols, double data[rows*cols]
+//   model:  int64 order, int64 rank, matrices..., double lambda[rank]
+// No attempt is made at cross-endian portability; this is a working-set
+// format, not an archive format.
+#pragma once
+
+#include <string>
+
+#include "src/cp/cp_als.hpp"
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+void save_tensor(const DenseTensor& x, const std::string& path);
+DenseTensor load_tensor(const std::string& path);
+
+void save_matrix(const Matrix& m, const std::string& path);
+Matrix load_matrix(const std::string& path);
+
+void save_cp_model(const CpModel& model, const std::string& path);
+CpModel load_cp_model(const std::string& path);
+
+}  // namespace mtk

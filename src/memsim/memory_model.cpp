@@ -1,0 +1,145 @@
+#include "src/memsim/memory_model.hpp"
+
+#include <queue>
+
+namespace mtk {
+
+FastMemory::FastMemory(index_t capacity, ReplacementPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  MTK_CHECK(capacity >= 1, "fast memory capacity must be >= 1 word, got ",
+            capacity);
+}
+
+void FastMemory::read(index_t addr) {
+  ++stats_.accesses;
+  auto it = entries_.find(addr);
+  if (it != entries_.end()) {
+    ++stats_.read_hits;
+    if (policy_ == ReplacementPolicy::kLru) {
+      order_.splice(order_.end(), order_, it->second);  // move to MRU end
+    }
+    return;
+  }
+  ++stats_.loads;
+  touch(addr, /*is_write=*/false);
+}
+
+void FastMemory::write(index_t addr) {
+  ++stats_.accesses;
+  auto it = entries_.find(addr);
+  if (it != entries_.end()) {
+    ++stats_.write_hits;
+    it->second->dirty = true;
+    if (policy_ == ReplacementPolicy::kLru) {
+      order_.splice(order_.end(), order_, it->second);
+    }
+    return;
+  }
+  // Write-allocate without a load: the full word is overwritten.
+  touch(addr, /*is_write=*/true);
+}
+
+void FastMemory::touch(index_t addr, bool is_write) {
+  if (static_cast<index_t>(entries_.size()) >= capacity_) {
+    evict_one();
+  }
+  order_.push_back({addr, is_write});
+  entries_[addr] = std::prev(order_.end());
+}
+
+void FastMemory::evict_one() {
+  MTK_ASSERT(!order_.empty(), "evicting from an empty fast memory");
+  const Entry victim = order_.front();
+  if (victim.dirty) ++stats_.stores;
+  entries_.erase(victim.addr);
+  order_.pop_front();
+}
+
+void FastMemory::flush() {
+  for (const Entry& e : order_) {
+    if (e.dirty) ++stats_.stores;
+  }
+  order_.clear();
+  entries_.clear();
+}
+
+MemoryStats simulate_optimal(index_t capacity,
+                             const std::vector<TraceEntry>& trace) {
+  MTK_CHECK(capacity >= 1, "fast memory capacity must be >= 1 word, got ",
+            capacity);
+  const index_t n = static_cast<index_t>(trace.size());
+  constexpr index_t kNever = std::numeric_limits<index_t>::max();
+
+  // next_use[t] = next position after t touching the same address.
+  std::vector<index_t> next_use(static_cast<std::size_t>(n), kNever);
+  {
+    std::unordered_map<index_t, index_t> last_seen;
+    for (index_t t = n - 1; t >= 0; --t) {
+      const index_t addr = trace[static_cast<std::size_t>(t)].addr;
+      auto it = last_seen.find(addr);
+      if (it != last_seen.end()) {
+        next_use[static_cast<std::size_t>(t)] = it->second;
+      }
+      last_seen[addr] = t;
+      if (t == 0) break;
+    }
+  }
+
+  MemoryStats stats;
+  // Resident set: addr -> (dirty, next use). Victim selection uses a lazy
+  // max-heap on next-use positions; stale heap entries are skipped.
+  struct HeapItem {
+    index_t next;
+    index_t addr;
+    bool operator<(const HeapItem& o) const { return next < o.next; }
+  };
+  std::priority_queue<HeapItem> heap;
+  struct Resident {
+    bool dirty;
+    index_t next;
+  };
+  std::unordered_map<index_t, Resident> resident;
+
+  for (index_t t = 0; t < n; ++t) {
+    const TraceEntry& e = trace[static_cast<std::size_t>(t)];
+    ++stats.accesses;
+    const index_t nu = next_use[static_cast<std::size_t>(t)];
+    auto it = resident.find(e.addr);
+    if (it != resident.end()) {
+      if (e.is_write) {
+        ++stats.write_hits;
+        it->second.dirty = true;
+      } else {
+        ++stats.read_hits;
+      }
+      it->second.next = nu;
+      heap.push({nu, e.addr});
+      continue;
+    }
+    // Miss.
+    if (!e.is_write) ++stats.loads;
+    if (static_cast<index_t>(resident.size()) >= capacity) {
+      // Evict the valid heap entry with the farthest next use.
+      while (true) {
+        MTK_ASSERT(!heap.empty(), "OPT heap exhausted with full residency");
+        const HeapItem top = heap.top();
+        heap.pop();
+        auto rit = resident.find(top.addr);
+        if (rit != resident.end() && rit->second.next == top.next) {
+          if (rit->second.dirty) ++stats.stores;
+          resident.erase(rit);
+          break;
+        }
+      }
+    }
+    resident[e.addr] = {e.is_write, nu};
+    heap.push({nu, e.addr});
+  }
+  for (const auto& [addr, r] : resident) {
+    (void)addr;
+    if (r.dirty) ++stats.stores;
+  }
+  return stats;
+}
+
+}  // namespace mtk

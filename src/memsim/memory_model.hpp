@@ -1,0 +1,129 @@
+// Two-level sequential memory model (Section II-C of the paper, the
+// Hong–Kung I/O model): a fast memory of capacity M words backed by an
+// unbounded slow memory. The simulator is driven by a word-granular access
+// trace and counts loads (slow -> fast) and stores (fast -> slow).
+//
+// Semantics:
+//   * read miss  -> one load; the word becomes resident (clean).
+//   * read hit   -> free.
+//   * write      -> marks the resident word dirty; a write miss allocates
+//                   without a load (the old value is not needed). Traces for
+//                   read-modify-write accumulations issue read-then-write,
+//                   so they pay the load explicitly, matching the paper's
+//                   accounting of Algorithms 1 and 2.
+//   * eviction of a dirty word -> one store.
+//   * flush()    -> stores every remaining dirty word (outputs must reach
+//                   slow memory at the end).
+//
+// Replacement policies: LRU and FIFO run online; Belady's optimal (OPT) runs
+// offline over a recorded trace and gives the best achievable counts for
+// that trace, which is the right comparator for the *schedule-independent*
+// lower bounds of Section IV.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/check.hpp"
+#include "src/support/math_util.hpp"
+
+namespace mtk {
+
+struct MemoryStats {
+  index_t loads = 0;
+  index_t stores = 0;
+  index_t read_hits = 0;
+  index_t write_hits = 0;
+  index_t accesses = 0;
+
+  index_t traffic() const { return loads + stores; }
+};
+
+enum class ReplacementPolicy { kLru, kFifo };
+
+class FastMemory {
+ public:
+  FastMemory(index_t capacity, ReplacementPolicy policy);
+
+  void read(index_t addr);
+  void write(index_t addr);
+  // Writes back all dirty words and empties the cache.
+  void flush();
+
+  const MemoryStats& stats() const { return stats_; }
+  index_t capacity() const { return capacity_; }
+  index_t resident() const { return static_cast<index_t>(entries_.size()); }
+
+ private:
+  struct Entry {
+    index_t addr;
+    bool dirty;
+  };
+
+  // Brings addr in (possibly evicting), returns its entry. `make_dirty`
+  // marks the word dirty on allocation (write-allocate).
+  void touch(index_t addr, bool is_write);
+  void evict_one();
+
+  index_t capacity_;
+  ReplacementPolicy policy_;
+  MemoryStats stats_;
+  // Recency / insertion order list; front = next eviction victim.
+  std::list<Entry> order_;
+  std::unordered_map<index_t, std::list<Entry>::iterator> entries_;
+};
+
+// One entry of a recorded trace for offline (OPT) simulation.
+struct TraceEntry {
+  index_t addr;
+  bool is_write;
+};
+
+// Belady's OPT policy over a full trace: evicts the resident word whose next
+// use is farthest in the future (never-used-again words first).
+MemoryStats simulate_optimal(index_t capacity,
+                             const std::vector<TraceEntry>& trace);
+
+// Convenience sink interface so trace generators can either drive a live
+// simulator or record entries for OPT.
+class AccessSink {
+ public:
+  virtual ~AccessSink() = default;
+  virtual void read(index_t addr) = 0;
+  virtual void write(index_t addr) = 0;
+};
+
+class SimulatorSink final : public AccessSink {
+ public:
+  explicit SimulatorSink(FastMemory& mem) : mem_(mem) {}
+  void read(index_t addr) override { mem_.read(addr); }
+  void write(index_t addr) override { mem_.write(addr); }
+
+ private:
+  FastMemory& mem_;
+};
+
+class RecordingSink final : public AccessSink {
+ public:
+  void read(index_t addr) override { trace_.push_back({addr, false}); }
+  void write(index_t addr) override { trace_.push_back({addr, true}); }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
+ private:
+  std::vector<TraceEntry> trace_;
+};
+
+// Counts distinct addresses only (compulsory traffic floor for the trace).
+class DistinctSink final : public AccessSink {
+ public:
+  void read(index_t addr) override { addrs_.insert({addr, true}); }
+  void write(index_t addr) override { addrs_.insert({addr, true}); }
+  index_t distinct() const { return static_cast<index_t>(addrs_.size()); }
+
+ private:
+  std::unordered_map<index_t, bool> addrs_;
+};
+
+}  // namespace mtk

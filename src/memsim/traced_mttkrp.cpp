@@ -1,0 +1,311 @@
+#include "src/memsim/traced_mttkrp.hpp"
+
+#include <algorithm>
+
+#include "src/support/check.hpp"
+
+namespace mtk {
+
+namespace {
+
+void check_trace_problem(const TraceProblem& p) {
+  check_shape(p.dims);
+  MTK_CHECK(p.dims.size() >= 2, "trace problems require order >= 2");
+  MTK_CHECK(p.rank >= 1, "rank must be >= 1, got ", p.rank);
+  MTK_CHECK(p.mode >= 0 && p.mode < p.order(), "mode ", p.mode,
+            " out of range for order-", p.order(), " tensor");
+}
+
+}  // namespace
+
+TraceLayout TraceLayout::make(const TraceProblem& p) {
+  check_trace_problem(p);
+  TraceLayout layout;
+  index_t next = 0;
+  layout.x_base = next;
+  next += p.tensor_size();
+  layout.factor_base.resize(p.dims.size());
+  for (int k = 0; k < p.order(); ++k) {
+    layout.factor_base[static_cast<std::size_t>(k)] = next;
+    next += checked_mul(p.dims[static_cast<std::size_t>(k)], p.rank);
+  }
+  layout.b_base = next;
+  next += checked_mul(p.dims[static_cast<std::size_t>(p.mode)], p.rank);
+  layout.scratch_base = next;
+  return layout;
+}
+
+void trace_unblocked(const TraceProblem& p, AccessSink& sink) {
+  check_trace_problem(p);
+  const TraceLayout layout = TraceLayout::make(p);
+  const index_t rank = p.rank;
+  index_t lin = 0;
+  for (Odometer od(p.dims); od.valid(); od.next()) {
+    const multi_index_t& idx = od.index();
+    sink.read(layout.x_base + lin++);
+    const index_t in = idx[static_cast<std::size_t>(p.mode)];
+    for (index_t r = 0; r < rank; ++r) {
+      for (int k = 0; k < p.order(); ++k) {
+        if (k == p.mode) continue;
+        sink.read(layout.factor_base[static_cast<std::size_t>(k)] +
+                  idx[static_cast<std::size_t>(k)] * rank + r);
+      }
+      const index_t b_addr = layout.b_base + in * rank + r;
+      sink.read(b_addr);
+      sink.write(b_addr);
+    }
+  }
+}
+
+void trace_blocked(const TraceProblem& p, index_t block_size,
+                   AccessSink& sink) {
+  check_trace_problem(p);
+  MTK_CHECK(block_size >= 1, "block size must be >= 1, got ", block_size);
+  const TraceLayout layout = TraceLayout::make(p);
+  const int n = p.order();
+  const index_t rank = p.rank;
+  const shape_t strides = col_major_strides(p.dims);
+
+  shape_t block_counts;
+  for (index_t ik : p.dims) block_counts.push_back(ceil_div(ik, block_size));
+
+  multi_index_t lo(static_cast<std::size_t>(n)), hi(static_cast<std::size_t>(n));
+  for (Odometer blocks(block_counts); blocks.valid(); blocks.next()) {
+    const multi_index_t& bidx = blocks.index();
+    for (int k = 0; k < n; ++k) {
+      lo[static_cast<std::size_t>(k)] = bidx[static_cast<std::size_t>(k)] * block_size;
+      hi[static_cast<std::size_t>(k)] = std::min(
+          p.dims[static_cast<std::size_t>(k)], lo[static_cast<std::size_t>(k)] + block_size);
+    }
+    // Line 6: load the X block (first touch of each entry this block).
+    for (Odometer entry(lo, hi); entry.valid(); entry.next()) {
+      index_t xlin = 0;
+      for (int k = 0; k < n; ++k) {
+        xlin += entry.index()[static_cast<std::size_t>(k)] *
+                strides[static_cast<std::size_t>(k)];
+      }
+      sink.read(layout.x_base + xlin);
+    }
+    for (index_t r = 0; r < rank; ++r) {
+      // Lines 8-9: load the factor subvectors for this r.
+      for (int k = 0; k < n; ++k) {
+        if (k == p.mode) continue;
+        for (index_t i = lo[static_cast<std::size_t>(k)];
+             i < hi[static_cast<std::size_t>(k)]; ++i) {
+          sink.read(layout.factor_base[static_cast<std::size_t>(k)] + i * rank +
+                    r);
+        }
+      }
+      for (index_t i = lo[static_cast<std::size_t>(p.mode)];
+           i < hi[static_cast<std::size_t>(p.mode)]; ++i) {
+        sink.read(layout.b_base + i * rank + r);
+      }
+      // Lines 10-16: the inner loop nest references X and B entries again;
+      // they are resident, so these resolve as hits in the simulator. We
+      // emit only the B writes (line 13 updates), one per inner iteration.
+      for (Odometer entry(lo, hi); entry.valid(); entry.next()) {
+        const index_t in = entry.index()[static_cast<std::size_t>(p.mode)];
+        sink.write(layout.b_base + in * rank + r);
+      }
+      // Line 17: store vector B — modeled by eviction/flush of dirty words.
+    }
+  }
+}
+
+void trace_matmul(const TraceProblem& p, index_t fast_memory_words,
+                  AccessSink& sink) {
+  check_trace_problem(p);
+  MTK_CHECK(fast_memory_words >= 3, "matmul trace needs at least 3 words of "
+            "fast memory, got ", fast_memory_words);
+  const TraceLayout layout = TraceLayout::make(p);
+  const index_t in_dim = p.dims[static_cast<std::size_t>(p.mode)];
+  const index_t jn = p.tensor_size() / in_dim;
+  const index_t rank = p.rank;
+
+  // Scratch arrays: X_(n) (in_dim x jn, row-major) and K (jn x rank,
+  // row-major).
+  const index_t xn_base = layout.scratch_base;
+  const index_t k_base = xn_base + checked_mul(in_dim, jn);
+
+  // Step 1: permute X into X_(n). Read each tensor entry in storage order,
+  // write its unfolding position.
+  {
+    index_t lin = 0;
+    const shape_t strides = col_major_strides(p.dims);
+    for (Odometer od(p.dims); od.valid(); od.next()) {
+      const multi_index_t& idx = od.index();
+      index_t col = 0;
+      index_t stride = 1;
+      for (int k = 0; k < p.order(); ++k) {
+        if (k == p.mode) continue;
+        col += idx[static_cast<std::size_t>(k)] * stride;
+        stride *= p.dims[static_cast<std::size_t>(k)];
+      }
+      sink.read(layout.x_base + lin++);
+      sink.write(xn_base + idx[static_cast<std::size_t>(p.mode)] * jn + col);
+    }
+  }
+
+  // Step 2: form the Khatri-Rao product. Row j of K multiplies one entry
+  // from each non-mode factor; emit those reads then the write of K(j, :).
+  {
+    shape_t rest;
+    std::vector<int> rest_modes;
+    for (int k = 0; k < p.order(); ++k) {
+      if (k == p.mode) continue;
+      rest.push_back(p.dims[static_cast<std::size_t>(k)]);
+      rest_modes.push_back(k);
+    }
+    index_t j = 0;
+    for (Odometer od(rest); od.valid(); od.next()) {
+      for (index_t r = 0; r < rank; ++r) {
+        for (std::size_t q = 0; q < rest_modes.size(); ++q) {
+          const int k = rest_modes[q];
+          sink.read(layout.factor_base[static_cast<std::size_t>(k)] +
+                    od.index()[q] * rank + r);
+        }
+        sink.write(k_base + j * rank + r);
+      }
+      ++j;
+    }
+  }
+
+  // Step 3: tiled GEMM B = X_(n) * K with square tiles of edge t chosen so
+  // three tiles fit: 3 t^2 <= M.
+  const index_t t = std::max<index_t>(1, nth_root_floor(fast_memory_words / 3, 2));
+  for (index_t i0 = 0; i0 < in_dim; i0 += t) {
+    const index_t i1 = std::min(i0 + t, in_dim);
+    for (index_t r0 = 0; r0 < rank; r0 += t) {
+      const index_t r1 = std::min(r0 + t, rank);
+      for (index_t l0 = 0; l0 < jn; l0 += t) {
+        const index_t l1 = std::min(l0 + t, jn);
+        for (index_t i = i0; i < i1; ++i) {
+          for (index_t l = l0; l < l1; ++l) {
+            sink.read(xn_base + i * jn + l);
+            for (index_t r = r0; r < r1; ++r) {
+              sink.read(k_base + l * rank + r);
+              const index_t b_addr = layout.b_base + i * rank + r;
+              sink.read(b_addr);
+              sink.write(b_addr);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void trace_two_step(const TraceProblem& p, index_t fast_memory_words,
+                    AccessSink& sink) {
+  check_trace_problem(p);
+  MTK_CHECK(fast_memory_words >= 2 * p.rank + 1,
+            "two-step trace needs at least 2R+1 words of fast memory");
+  const TraceLayout layout = TraceLayout::make(p);
+  const int n = p.order();
+  const index_t rank = p.rank;
+
+  index_t jl = 1, jr = 1;
+  for (int k = 0; k < p.mode; ++k) jl *= p.dims[static_cast<std::size_t>(k)];
+  for (int k = p.mode + 1; k < n; ++k) {
+    jr *= p.dims[static_cast<std::size_t>(k)];
+  }
+  const index_t in_dim = p.dims[static_cast<std::size_t>(p.mode)];
+
+  // Scratch: K_R (jr x rank), W (jl*in x rank), K_L (jl x rank),
+  // allocated in that order after the base arrays.
+  const index_t kr_base = layout.scratch_base;
+  const index_t w_base = kr_base + jr * rank;
+  const index_t kl_base = w_base + jl * in_dim * rank;
+
+  // Left-mode dims/strides for KRP row decoding.
+  shape_t left_dims, right_dims;
+  std::vector<int> left_modes, right_modes;
+  for (int k = 0; k < p.mode; ++k) {
+    left_dims.push_back(p.dims[static_cast<std::size_t>(k)]);
+    left_modes.push_back(k);
+  }
+  for (int k = p.mode + 1; k < n; ++k) {
+    right_dims.push_back(p.dims[static_cast<std::size_t>(k)]);
+    right_modes.push_back(k);
+  }
+
+  // Emits the accesses forming a KRP over `dims`/`modes` at `base`.
+  auto form_krp = [&](const shape_t& dims, const std::vector<int>& modes,
+                      index_t base) {
+    index_t j = 0;
+    for (Odometer od(dims); od.valid(); od.next()) {
+      for (index_t r = 0; r < rank; ++r) {
+        for (std::size_t q = 0; q < modes.size(); ++q) {
+          sink.read(layout.factor_base[static_cast<std::size_t>(modes[q])] +
+                    od.index()[q] * rank + r);
+        }
+        sink.write(base + j * rank + r);
+      }
+      ++j;
+    }
+  };
+
+  if (right_modes.empty()) {
+    // mode == N-1: single left contraction B(i, r) += X[p + jl*i] K_L(p, r).
+    form_krp(left_dims, left_modes, kl_base);
+    for (index_t i = 0; i < in_dim; ++i) {
+      for (index_t q = 0; q < jl; ++q) {
+        sink.read(layout.x_base + q + jl * i);
+        for (index_t r = 0; r < rank; ++r) {
+          sink.read(kl_base + q * rank + r);
+          const index_t b_addr = layout.b_base + i * rank + r;
+          sink.read(b_addr);
+          sink.write(b_addr);
+        }
+      }
+    }
+    return;
+  }
+
+  // Step 1: K_R, then W(pq, r) += X[pq + P*q] * K_R(q, r). The sweep is
+  // tiled over W's rows so each W tile (tile * R words) stays resident for
+  // the whole q loop; each X entry is read exactly once either way.
+  form_krp(right_dims, right_modes, kr_base);
+  const index_t p_total = jl * in_dim;
+  const index_t tile =
+      std::max<index_t>(1, fast_memory_words / (2 * rank));
+  for (index_t pq0 = 0; pq0 < p_total; pq0 += tile) {
+    const index_t pq1 = std::min(pq0 + tile, p_total);
+    for (index_t q = 0; q < jr; ++q) {
+      for (index_t pq = pq0; pq < pq1; ++pq) {
+        sink.read(layout.x_base + p_total * q + pq);
+        for (index_t r = 0; r < rank; ++r) {
+          sink.read(kr_base + q * rank + r);
+          const index_t w_addr = w_base + pq * rank + r;
+          sink.read(w_addr);
+          sink.write(w_addr);
+        }
+      }
+    }
+  }
+
+  if (left_modes.empty()) {
+    // mode == 0: W is B; copy it out.
+    for (index_t i = 0; i < in_dim * rank; ++i) {
+      sink.read(w_base + i);
+      sink.write(layout.b_base + i);
+    }
+    return;
+  }
+
+  // Step 2: K_L, then B(i, r) += K_L(q, r) * W(q + jl*i, r).
+  form_krp(left_dims, left_modes, kl_base);
+  for (index_t i = 0; i < in_dim; ++i) {
+    for (index_t q = 0; q < jl; ++q) {
+      for (index_t r = 0; r < rank; ++r) {
+        sink.read(kl_base + q * rank + r);
+        sink.read(w_base + (q + jl * i) * rank + r);
+        const index_t b_addr = layout.b_base + i * rank + r;
+        sink.read(b_addr);
+        sink.write(b_addr);
+      }
+    }
+  }
+}
+
+}  // namespace mtk

@@ -1,0 +1,79 @@
+// Word-granular address traces of the MTTKRP algorithms, used to measure
+// slow-fast memory traffic in the two-level model and compare it against the
+// bounds of Section IV.
+//
+// Address space layout (disjoint ranges):
+//   X       : [x_base, x_base + I)                  col-major linearization
+//   A^(k)   : [factor_base[k], ... + I_k * R)       row-major (i_k * R + r)
+//   B       : [b_base, b_base + I_n * R)            row-major
+//   scratch : auxiliary arrays for the matmul trace (X_(n) copy, KRP).
+//
+// Layout does not affect counts (the model is word-granular and fully
+// associative) but fixed bases make traces reproducible and testable.
+#pragma once
+
+#include "src/memsim/memory_model.hpp"
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+struct TraceProblem {
+  shape_t dims;
+  index_t rank = 0;
+  int mode = 0;
+
+  int order() const { return static_cast<int>(dims.size()); }
+  index_t tensor_size() const { return shape_size(dims); }
+};
+
+struct TraceLayout {
+  index_t x_base = 0;
+  std::vector<index_t> factor_base;  // one per mode; mode n unused
+  index_t b_base = 0;
+  index_t scratch_base = 0;  // first free address after all arrays
+
+  static TraceLayout make(const TraceProblem& p);
+};
+
+// Algorithm 1 (sequential unblocked): the literal loop nest of the paper —
+// for each tensor entry (col-major), read X(i); then for each r read the
+// N-1 factor entries, read B(i_n, r), write B(i_n, r).
+void trace_unblocked(const TraceProblem& p, AccessSink& sink);
+
+// Algorithm 2 (sequential blocked) with block size b: per block, read the
+// X block once; then per r, read the N-1 factor subvectors and
+// read-modify-write the B subvector, with the inner loops walking the block.
+// Emits every reference (hits are resolved by the simulator), in the paper's
+// literal loop order.
+void trace_blocked(const TraceProblem& p, index_t block_size,
+                   AccessSink& sink);
+
+// The matmul-based baseline: (1) permute X into X_(n) (read X, write
+// scratch), (2) form the Khatri-Rao product explicitly (read factor entries,
+// write scratch), (3) tiled matrix multiplication B = X_(n) * K with square
+// tiles sized to fit three tiles in fast memory.
+void trace_matmul(const TraceProblem& p, index_t fast_memory_words,
+                  AccessSink& sink);
+
+// The two-step baseline (Phan et al. [13]): (1) form the Khatri-Rao product
+// of the modes right of n, (2) contract the tensor against it column-wise —
+// a GEMM-shaped sweep writing the intermediate W, tiled over W's rows so
+// each W tile stays resident (tile ~ M / (2R) rows), (3) form the left KRP
+// and reduce W into B. Mode N-1 degenerates to a single left contraction
+// and mode 0 skips step (3), exactly like mttkrp_two_step.
+void trace_two_step(const TraceProblem& p, index_t fast_memory_words,
+                    AccessSink& sink);
+
+// Runs a trace generator against an online simulator and returns the stats
+// (including the final flush of dirty output words).
+template <class TraceFn>
+MemoryStats measure_traffic(index_t fast_memory_words,
+                            ReplacementPolicy policy, TraceFn&& generate) {
+  FastMemory mem(fast_memory_words, policy);
+  SimulatorSink sink(mem);
+  generate(sink);
+  mem.flush();
+  return mem.stats();
+}
+
+}  // namespace mtk

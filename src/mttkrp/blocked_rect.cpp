@@ -1,0 +1,158 @@
+#include "src/mttkrp/blocked_rect.hpp"
+
+#include <algorithm>
+
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+bool block_shape_fits(const shape_t& block, index_t fast_memory_words) {
+  check_shape(block);
+  index_t prod = 1, sum = 0;
+  for (index_t b : block) {
+    prod = checked_mul(prod, b);
+    sum += b;
+  }
+  return prod + sum <= fast_memory_words;
+}
+
+double blocked_rect_traffic_model(const shape_t& dims, index_t rank,
+                                  int mode, const shape_t& block) {
+  check_shape(dims);
+  check_shape(block);
+  MTK_CHECK(dims.size() == block.size(), "block rank ", block.size(),
+            " != tensor order ", dims.size());
+  MTK_CHECK(mode >= 0 && mode < static_cast<int>(dims.size()),
+            "mode out of range");
+  MTK_CHECK(rank >= 1, "rank must be >= 1");
+  double blocks = 1.0;
+  double vector_words = 0.0;
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    blocks *= static_cast<double>(ceil_div(dims[k], block[k]));
+    vector_words += static_cast<double>(block[k]) *
+                    (static_cast<int>(k) == mode ? 2.0 : 1.0);
+  }
+  return static_cast<double>(shape_size(dims)) +
+         blocks * static_cast<double>(rank) * vector_words;
+}
+
+shape_t optimize_block_shape(const shape_t& dims, index_t rank, int mode,
+                             index_t fast_memory_words) {
+  check_shape(dims);
+  const int n = static_cast<int>(dims.size());
+  MTK_CHECK(n >= 2, "optimize_block_shape requires order >= 2");
+  MTK_CHECK(mode >= 0 && mode < n, "mode out of range");
+  MTK_CHECK(fast_memory_words >= 1 + n, "fast memory of ",
+            fast_memory_words, " words cannot hold a 1-element block");
+
+  shape_t block(static_cast<std::size_t>(n), 1);
+  double current = blocked_rect_traffic_model(dims, rank, mode, block);
+
+  // Greedy growth: each step grows one dimension by one (or doubles it when
+  // far from the boundary, to converge quickly) if that is feasible and
+  // reduces modeled traffic the most.
+  for (;;) {
+    int best_dim = -1;
+    index_t best_value = 0;
+    double best_traffic = current;
+    for (int k = 0; k < n; ++k) {
+      for (index_t grow :
+           {block[static_cast<std::size_t>(k)] * 2,
+            block[static_cast<std::size_t>(k)] + 1}) {
+        const index_t capped = std::min(grow, dims[static_cast<std::size_t>(k)]);
+        if (capped == block[static_cast<std::size_t>(k)]) continue;
+        shape_t trial = block;
+        trial[static_cast<std::size_t>(k)] = capped;
+        if (!block_shape_fits(trial, fast_memory_words)) continue;
+        const double traffic =
+            blocked_rect_traffic_model(dims, rank, mode, trial);
+        if (traffic < best_traffic) {
+          best_traffic = traffic;
+          best_dim = k;
+          best_value = capped;
+        }
+      }
+    }
+    if (best_dim < 0) break;
+    block[static_cast<std::size_t>(best_dim)] = best_value;
+    current = best_traffic;
+  }
+  return block;
+}
+
+Matrix mttkrp_blocked_rect(const DenseTensor& x,
+                           const std::vector<Matrix>& factors, int mode,
+                           const shape_t& block, bool parallel) {
+  const index_t rank = check_mttkrp_args(x, factors, mode);
+  const int n = x.order();
+  MTK_CHECK(static_cast<int>(block.size()) == n, "block rank ", block.size(),
+            " != tensor order ", n);
+  for (int k = 0; k < n; ++k) {
+    MTK_CHECK(block[static_cast<std::size_t>(k)] >= 1,
+              "block extents must be >= 1");
+  }
+  Matrix b(x.dim(mode), rank);
+  const shape_t strides = col_major_strides(x.dims());
+
+  const index_t n_blocks_mode =
+      ceil_div(x.dim(mode), block[static_cast<std::size_t>(mode)]);
+  shape_t other_block_counts;
+  std::vector<int> other_modes;
+  for (int k = 0; k < n; ++k) {
+    if (k == mode) continue;
+    other_modes.push_back(k);
+    other_block_counts.push_back(
+        ceil_div(x.dim(k), block[static_cast<std::size_t>(k)]));
+  }
+
+#pragma omp parallel for schedule(dynamic) if (parallel)
+  for (index_t bn = 0; bn < n_blocks_mode; ++bn) {
+    std::vector<double> prod(static_cast<std::size_t>(rank));
+    multi_index_t lo(static_cast<std::size_t>(n));
+    multi_index_t hi(static_cast<std::size_t>(n));
+    lo[static_cast<std::size_t>(mode)] =
+        bn * block[static_cast<std::size_t>(mode)];
+    hi[static_cast<std::size_t>(mode)] =
+        std::min(x.dim(mode), lo[static_cast<std::size_t>(mode)] +
+                                  block[static_cast<std::size_t>(mode)]);
+    for (Odometer blocks(other_block_counts); blocks.valid(); blocks.next()) {
+      const multi_index_t& bidx = blocks.index();
+      for (std::size_t j = 0; j < other_modes.size(); ++j) {
+        const int k = other_modes[j];
+        lo[static_cast<std::size_t>(k)] =
+            bidx[j] * block[static_cast<std::size_t>(k)];
+        hi[static_cast<std::size_t>(k)] =
+            std::min(x.dim(k), lo[static_cast<std::size_t>(k)] +
+                                   block[static_cast<std::size_t>(k)]);
+      }
+      for (Odometer entry(lo, hi); entry.valid(); entry.next()) {
+        const multi_index_t& idx = entry.index();
+        index_t lin = 0;
+        for (int k = 0; k < n; ++k) {
+          lin += idx[static_cast<std::size_t>(k)] *
+                 strides[static_cast<std::size_t>(k)];
+        }
+        const double xv = x[lin];
+        for (index_t r = 0; r < rank; ++r) {
+          prod[static_cast<std::size_t>(r)] = xv;
+        }
+        for (int k = 0; k < n; ++k) {
+          if (k == mode) continue;
+          const double* arow = factors[static_cast<std::size_t>(k)].row(
+              idx[static_cast<std::size_t>(k)]);
+          for (index_t r = 0; r < rank; ++r) {
+            prod[static_cast<std::size_t>(r)] *= arow[r];
+          }
+        }
+        double* brow = b.row(idx[static_cast<std::size_t>(mode)]);
+        for (index_t r = 0; r < rank; ++r) {
+          brow[r] += prod[static_cast<std::size_t>(r)];
+        }
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace mtk

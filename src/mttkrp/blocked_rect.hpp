@@ -1,0 +1,41 @@
+// Rectangular-block generalization of Algorithm 2: per-dimension block
+// extents (b_1, ..., b_N) instead of a single cube edge b. The paper's
+// Eq. (11)/(12) analysis assumes cubical blocks; for skewed tensors (some
+// I_k much smaller than M^(1/N)) rectangular blocks use the same fast
+// memory to cover more of the large dimensions, reducing factor-matrix
+// traffic. This is an ablation/extension of the paper's design choice, not
+// a replacement: for cubical tensors the optimizer recovers cubical blocks.
+//
+// Generalized feasibility (Eq. (11)):  prod_k b_k + sum_k b_k <= M.
+// Generalized traffic model (Eq. (12)):
+//   W(b) = I + prod_k ceil(I_k / b_k) * R * (sum_{k != n} b_k + 2 b_n),
+// counting, per block and per r, the N-1 input subvectors plus the
+// load and store of the output subvector.
+#pragma once
+
+#include <vector>
+
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+// Feasibility: prod b_k + sum b_k <= M with 1 <= b_k.
+bool block_shape_fits(const shape_t& block, index_t fast_memory_words);
+
+// The traffic model above (words).
+double blocked_rect_traffic_model(const shape_t& dims, index_t rank,
+                                  int mode, const shape_t& block);
+
+// Coordinate-ascent optimizer for the block shape: starts from all-ones and
+// greedily grows the dimension giving the largest traffic reduction while
+// the shape stays feasible and within the tensor extents.
+shape_t optimize_block_shape(const shape_t& dims, index_t rank, int mode,
+                             index_t fast_memory_words);
+
+// MTTKRP with rectangular blocks; same semantics as mttkrp_blocked.
+Matrix mttkrp_blocked_rect(const DenseTensor& x,
+                           const std::vector<Matrix>& factors, int mode,
+                           const shape_t& block, bool parallel = false);
+
+}  // namespace mtk

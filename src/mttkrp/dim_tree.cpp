@@ -1,0 +1,135 @@
+#include "src/mttkrp/dim_tree.hpp"
+
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+namespace {
+
+// Multiplies needed to contract a source with `rows` rank-matched rows over
+// mode extents `dims`, dropping `n_dropped` modes: each source row costs
+// n_dropped multiplies per rank entry (the source value times each dropped
+// factor entry).
+index_t contraction_multiplies(index_t rows, index_t rank,
+                               std::size_t n_dropped) {
+  return checked_mul(checked_mul(rows, rank),
+                     static_cast<index_t>(n_dropped));
+}
+
+// Recursively contracts `parent` (a partial over >= 2 modes) down to all of
+// its single-mode leaves, appending outputs[mode].
+void expand(const Partial& parent, const std::vector<Matrix>& factors,
+            std::vector<Matrix>& outputs, index_t& multiplies) {
+  const std::size_t m = parent.modes.size();
+  MTK_ASSERT(m >= 1, "expand on empty partial");
+  if (m == 1) {
+    outputs[static_cast<std::size_t>(parent.modes[0])] =
+        partial_to_mttkrp(parent);
+    return;
+  }
+  const std::size_t half = m / 2;
+  const std::vector<int> left(parent.modes.begin(),
+                              parent.modes.begin() + static_cast<long>(half));
+  const std::vector<int> right(parent.modes.begin() + static_cast<long>(half),
+                               parent.modes.end());
+
+  Partial left_partial = contract_partial(parent, factors, left);
+  multiplies += contraction_multiplies(parent.row_count(),
+                                       parent.values.cols(), m - half);
+  expand(left_partial, factors, outputs, multiplies);
+
+  Partial right_partial = contract_partial(parent, factors, right);
+  multiplies += contraction_multiplies(parent.row_count(),
+                                       parent.values.cols(), half);
+  expand(right_partial, factors, outputs, multiplies);
+}
+
+}  // namespace
+
+AllModesResult mttkrp_all_modes_tree(const DenseTensor& x,
+                                     const std::vector<Matrix>& factors) {
+  const int n = x.order();
+  MTK_CHECK(n >= 2, "mttkrp_all_modes_tree requires order >= 2");
+  MTK_CHECK(static_cast<int>(factors.size()) == n, "expected ", n,
+            " factors, got ", factors.size());
+  index_t rank = -1;
+  for (int k = 0; k < n; ++k) {
+    const Matrix& a = factors[static_cast<std::size_t>(k)];
+    MTK_CHECK(a.rows() == x.dim(k), "factor ", k, " has ", a.rows(),
+              " rows, expected ", x.dim(k));
+    if (rank < 0) {
+      rank = a.cols();
+    } else {
+      MTK_CHECK(a.cols() == rank, "factor ", k, " rank mismatch");
+    }
+  }
+
+  AllModesResult result;
+  result.outputs.resize(static_cast<std::size_t>(n));
+
+  // Root split: two direct tensor contractions. (For N = 2 these are
+  // already the two leaves.)
+  const int half = n / 2;
+  std::vector<int> left, right;
+  for (int k = 0; k < half; ++k) left.push_back(k);
+  for (int k = half; k < n; ++k) right.push_back(k);
+
+  Partial left_partial = contract_tensor(x, factors, left, rank);
+  result.multiplies += contraction_multiplies(
+      x.size(), rank, static_cast<std::size_t>(n - half));
+  expand(left_partial, factors, result.outputs, result.multiplies);
+
+  Partial right_partial = contract_tensor(x, factors, right, rank);
+  result.multiplies += contraction_multiplies(
+      x.size(), rank, static_cast<std::size_t>(half));
+  expand(right_partial, factors, result.outputs, result.multiplies);
+
+  return result;
+}
+
+AllModesResult mttkrp_all_modes_separate(const DenseTensor& x,
+                                         const std::vector<Matrix>& factors) {
+  const int n = x.order();
+  AllModesResult result;
+  result.outputs.reserve(static_cast<std::size_t>(n));
+  for (int mode = 0; mode < n; ++mode) {
+    result.outputs.push_back(mttkrp_reference(x, factors, mode));
+    // Each iteration point performs one N-ary multiply: the tensor entry
+    // times N-1 factor entries = N-1 scalar multiplies per (i, r).
+    result.multiplies += checked_mul(checked_mul(x.size(), factors[0].cols()),
+                                     static_cast<index_t>(n - 1));
+  }
+  return result;
+}
+
+index_t dim_tree_multiply_count(const shape_t& dims, index_t rank) {
+  check_shape(dims);
+  MTK_CHECK(dims.size() >= 2, "dim_tree_multiply_count requires order >= 2");
+  MTK_CHECK(rank >= 1, "rank must be >= 1");
+
+  index_t total = 0;
+  // Mirrors the recursion of mttkrp_all_modes_tree.
+  auto recurse = [&](auto&& self, const shape_t& sub) -> void {
+    const std::size_t m = sub.size();
+    if (m == 1) return;
+    const std::size_t half = m / 2;
+    const index_t rows = shape_size(sub);
+    total += contraction_multiplies(rows, rank, m - half);  // left child
+    total += contraction_multiplies(rows, rank, half);      // right child
+    self(self, shape_t(sub.begin(), sub.begin() + static_cast<long>(half)));
+    self(self, shape_t(sub.begin() + static_cast<long>(half), sub.end()));
+  };
+
+  // Root contractions read the tensor (rank-replicated) directly.
+  const index_t root_rows = shape_size(dims);
+  const std::size_t n = dims.size();
+  const std::size_t half = n / 2;
+  total += contraction_multiplies(root_rows, rank, n - half);
+  total += contraction_multiplies(root_rows, rank, half);
+  recurse(recurse, shape_t(dims.begin(), dims.begin() + static_cast<long>(half)));
+  recurse(recurse, shape_t(dims.begin() + static_cast<long>(half), dims.end()));
+  return total;
+}
+
+}  // namespace mtk

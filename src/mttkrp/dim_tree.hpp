@@ -1,0 +1,44 @@
+// Dimension-tree multi-mode MTTKRP: computes B^(n) for *every* mode n of a
+// CP-ALS sweep while sharing partial contractions between modes
+// (Phan et al. [13]; the extension the paper's Section VII identifies:
+// "optimizing over multiple MTTKRPs can save both communication and
+// computation").
+//
+// The tree splits the mode set recursively in half. The root contraction
+// produces two partials (left modes kept / right modes kept), each computed
+// directly from the tensor; deeper levels contract existing partials. A
+// leaf {n} is exactly the mode-n MTTKRP. Relative to N independent
+// MTTKRPs — each a full O(N I R) pass over the tensor — the tree touches
+// the tensor only twice and does the remaining work on partials that shrink
+// geometrically.
+//
+// The implementation counts scalar multiplies so benchmarks can report the
+// exact reuse factor.
+#pragma once
+
+#include <vector>
+
+#include "src/mttkrp/partial.hpp"
+
+namespace mtk {
+
+struct AllModesResult {
+  std::vector<Matrix> outputs;   // outputs[n] = B^(n), one per mode
+  index_t multiplies = 0;        // scalar multiplies performed
+};
+
+// All N MTTKRPs via the dimension tree. `factors` supplies all N factor
+// matrices (all are read — each mode's output contracts the other N-1).
+AllModesResult mttkrp_all_modes_tree(const DenseTensor& x,
+                                     const std::vector<Matrix>& factors);
+
+// Baseline: N independent MTTKRP calls (reference algorithm), with the
+// same multiply accounting, for measuring the reuse factor.
+AllModesResult mttkrp_all_modes_separate(const DenseTensor& x,
+                                         const std::vector<Matrix>& factors);
+
+// The number of scalar multiplies the tree performs for the given problem
+// (model, no execution); used in tests against the measured count.
+index_t dim_tree_multiply_count(const shape_t& dims, index_t rank);
+
+}  // namespace mtk

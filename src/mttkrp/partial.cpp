@@ -1,0 +1,149 @@
+#include "src/mttkrp/partial.hpp"
+
+#include <algorithm>
+
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+namespace {
+
+void check_keep_subset(const std::vector<int>& keep, int universe,
+                       const char* what) {
+  MTK_CHECK(!keep.empty(), what, ": kept mode set must be non-empty");
+  for (std::size_t t = 0; t < keep.size(); ++t) {
+    MTK_CHECK(keep[t] >= 0 && keep[t] < universe, what, ": mode ", keep[t],
+              " out of range");
+    if (t > 0) {
+      MTK_CHECK(keep[t] > keep[t - 1], what,
+                ": kept modes must be strictly ascending");
+    }
+  }
+}
+
+}  // namespace
+
+Partial contract_tensor(const DenseTensor& x,
+                        const std::vector<Matrix>& factors,
+                        const std::vector<int>& keep, index_t rank) {
+  const int n = x.order();
+  check_keep_subset(keep, n, "contract_tensor");
+  MTK_CHECK(static_cast<int>(factors.size()) == n, "expected ", n,
+            " factors, got ", factors.size());
+  MTK_CHECK(rank >= 1, "rank must be >= 1, got ", rank);
+
+  std::vector<bool> kept(static_cast<std::size_t>(n), false);
+  for (int k : keep) kept[static_cast<std::size_t>(k)] = true;
+  std::vector<int> dropped;
+  for (int k = 0; k < n; ++k) {
+    if (!kept[static_cast<std::size_t>(k)]) {
+      const Matrix& a = factors[static_cast<std::size_t>(k)];
+      MTK_CHECK(a.rows() == x.dim(k) && a.cols() == rank,
+                "factor ", k, " must be ", x.dim(k), "x", rank, ", got ",
+                a.rows(), "x", a.cols());
+      dropped.push_back(k);
+    }
+  }
+
+  Partial result;
+  result.modes = keep;
+  for (int k : keep) result.dims.push_back(x.dim(k));
+  result.values = Matrix(result.row_count(), rank);
+
+  // Single pass over the tensor in storage order; for each entry, compute
+  // the kept-row index and multiply the dropped modes' factor rows into the
+  // rank vector. When nothing is dropped the partial is X replicated
+  // across r.
+  const shape_t kept_strides = col_major_strides(result.dims);
+  std::vector<double> vec(static_cast<std::size_t>(rank));
+  index_t lin = 0;
+  for (Odometer od(x.dims()); od.valid(); od.next()) {
+    const multi_index_t& idx = od.index();
+    const double xv = x[lin++];
+    for (index_t r = 0; r < rank; ++r) vec[static_cast<std::size_t>(r)] = xv;
+    for (int k : dropped) {
+      const double* arow = factors[static_cast<std::size_t>(k)].row(
+          idx[static_cast<std::size_t>(k)]);
+      for (index_t r = 0; r < rank; ++r) {
+        vec[static_cast<std::size_t>(r)] *= arow[r];
+      }
+    }
+    index_t row = 0;
+    for (std::size_t t = 0; t < keep.size(); ++t) {
+      row += idx[static_cast<std::size_t>(keep[t])] * kept_strides[t];
+    }
+    double* out = result.values.row(row);
+    for (index_t r = 0; r < rank; ++r) {
+      out[r] += vec[static_cast<std::size_t>(r)];
+    }
+  }
+  return result;
+}
+
+Partial contract_partial(const Partial& parent,
+                         const std::vector<Matrix>& factors,
+                         const std::vector<int>& keep) {
+  const index_t rank = parent.values.cols();
+  check_keep_subset(keep, 1 << 30, "contract_partial");
+
+  // Positions of the kept/dropped modes within the parent's mode list.
+  std::vector<std::size_t> keep_pos, drop_pos;
+  {
+    std::size_t cursor = 0;
+    for (std::size_t t = 0; t < parent.modes.size(); ++t) {
+      if (cursor < keep.size() && parent.modes[t] == keep[cursor]) {
+        keep_pos.push_back(t);
+        ++cursor;
+      } else {
+        drop_pos.push_back(t);
+      }
+    }
+    MTK_CHECK(cursor == keep.size(),
+              "contract_partial: kept modes must be a subset of the "
+              "parent's modes");
+  }
+  MTK_CHECK(!drop_pos.empty(),
+            "contract_partial: nothing to contract (kept set equals parent)");
+
+  Partial result;
+  result.modes = keep;
+  for (std::size_t t : keep_pos) result.dims.push_back(parent.dims[t]);
+  result.values = Matrix(result.row_count(), rank);
+
+  const shape_t kept_strides = col_major_strides(result.dims);
+  std::vector<double> vec(static_cast<std::size_t>(rank));
+  index_t lin = 0;
+  for (Odometer od(parent.dims); od.valid(); od.next()) {
+    const multi_index_t& idx = od.index();
+    const double* in = parent.values.row(lin++);
+    for (index_t r = 0; r < rank; ++r) vec[static_cast<std::size_t>(r)] = in[r];
+    for (std::size_t t : drop_pos) {
+      const int mode = parent.modes[t];
+      const Matrix& a = factors[static_cast<std::size_t>(mode)];
+      MTK_CHECK(a.rows() == parent.dims[t] && a.cols() == rank,
+                "factor ", mode, " shape mismatch in contract_partial");
+      const double* arow = a.row(idx[t]);
+      for (index_t r = 0; r < rank; ++r) {
+        vec[static_cast<std::size_t>(r)] *= arow[r];
+      }
+    }
+    index_t row = 0;
+    for (std::size_t t = 0; t < keep_pos.size(); ++t) {
+      row += idx[keep_pos[t]] * kept_strides[t];
+    }
+    double* out = result.values.row(row);
+    for (index_t r = 0; r < rank; ++r) {
+      out[r] += vec[static_cast<std::size_t>(r)];
+    }
+  }
+  return result;
+}
+
+Matrix partial_to_mttkrp(const Partial& leaf) {
+  MTK_CHECK(leaf.modes.size() == 1,
+            "partial_to_mttkrp: expected a single-mode partial, got ",
+            leaf.modes.size(), " modes");
+  return leaf.values;
+}
+
+}  // namespace mtk

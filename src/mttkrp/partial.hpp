@@ -1,0 +1,48 @@
+// Partial MTTKRP contractions: the building block for multi-mode MTTKRP
+// with reuse (Phan et al. [13]; the paper's Section VII notes that
+// optimizing across the N per-mode MTTKRPs of a CP-ALS sweep "can save both
+// communication and computation").
+//
+// A *partial* over an ordered mode subset S (ascending) is a matrix whose
+// rows are indexed by the column-major linearization of (i_k)_{k in S} and
+// whose R columns are rank-matched:
+//   P_S(j, r) = sum over the contracted-away indices of
+//               X(i) * prod_{k contracted} A^(k)(i_k, r).
+// The full tensor is the trivial partial over all modes replicated across r
+// (stored implicitly); the mode-n MTTKRP output is the partial over {n}.
+#pragma once
+
+#include <vector>
+
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+// A rank-matched partial contraction over the mode subset `modes`
+// (ascending order), with row extents `dims` (dims[t] = I_{modes[t]}).
+struct Partial {
+  std::vector<int> modes;
+  shape_t dims;
+  Matrix values;  // (prod dims) x R
+
+  index_t row_count() const { return shape_size(dims); }
+};
+
+// Builds the initial partial from the tensor by contracting away the modes
+// NOT in `keep` (ascending), multiplying by those modes' factor rows.
+// keep must be a non-empty, strictly ascending subset of [0, N).
+Partial contract_tensor(const DenseTensor& x,
+                        const std::vector<Matrix>& factors,
+                        const std::vector<int>& keep, index_t rank);
+
+// Contracts an existing partial down to the sub-subset `keep` of its modes
+// (again ascending), multiplying in the factors of the modes dropped.
+Partial contract_partial(const Partial& parent,
+                         const std::vector<Matrix>& factors,
+                         const std::vector<int>& keep);
+
+// Interprets a single-mode partial as the MTTKRP output B^(n).
+Matrix partial_to_mttkrp(const Partial& leaf);
+
+}  // namespace mtk

@@ -1,0 +1,184 @@
+#include "src/parsim/collective_variants.hpp"
+
+#include <algorithm>
+
+#include "src/parsim/collectives.hpp"
+#include "src/support/math_util.hpp"
+
+namespace mtk {
+
+namespace {
+
+void check_pow2_group(const Machine& machine, const std::vector<int>& group) {
+  MTK_CHECK(!group.empty(), "collective group must be non-empty");
+  MTK_CHECK(is_pow2(static_cast<index_t>(group.size())),
+            "recursive collectives require a power-of-two group size, got ",
+            group.size());
+  for (int r : group) {
+    MTK_CHECK(r >= 0 && r < machine.num_ranks(),
+              "group contains invalid rank ", r);
+  }
+  std::vector<int> sorted = group;
+  std::sort(sorted.begin(), sorted.end());
+  MTK_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+            "collective group contains duplicate ranks");
+}
+
+}  // namespace
+
+std::vector<double> all_gather_doubling(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& contributions) {
+  check_pow2_group(machine, group);
+  const int q = static_cast<int>(group.size());
+  MTK_CHECK(static_cast<int>(contributions.size()) == q,
+            "all_gather_doubling: expected ", q, " contributions, got ",
+            contributions.size());
+
+  // held[i] = the set of chunk indices member i currently owns; words[i] =
+  // their total size. Data assembly is done at the end (all members end
+  // with everything), but counters follow the recursive exchange exactly.
+  std::vector<index_t> sizes(static_cast<std::size_t>(q));
+  for (int i = 0; i < q; ++i) {
+    sizes[static_cast<std::size_t>(i)] =
+        static_cast<index_t>(contributions[static_cast<std::size_t>(i)].size());
+  }
+  std::vector<std::vector<int>> held(static_cast<std::size_t>(q));
+  for (int i = 0; i < q; ++i) held[static_cast<std::size_t>(i)] = {i};
+
+  for (int dist = 1; dist < q; dist *= 2) {
+    // Pairs (i, i ^ dist) swap everything they hold.
+    std::vector<std::vector<int>> next = held;
+    for (int i = 0; i < q; ++i) {
+      const int partner = i ^ dist;
+      index_t words = 0;
+      for (int c : held[static_cast<std::size_t>(i)]) {
+        words += sizes[static_cast<std::size_t>(c)];
+      }
+      machine.record_send(group[static_cast<std::size_t>(i)],
+                          group[static_cast<std::size_t>(partner)], words);
+      next[static_cast<std::size_t>(partner)].insert(
+          next[static_cast<std::size_t>(partner)].end(),
+          held[static_cast<std::size_t>(i)].begin(),
+          held[static_cast<std::size_t>(i)].end());
+    }
+    held = std::move(next);
+  }
+
+  std::vector<double> result;
+  for (const auto& c : contributions) {
+    result.insert(result.end(), c.begin(), c.end());
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> reduce_scatter_halving(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs) {
+  check_pow2_group(machine, group);
+  const int q = static_cast<int>(group.size());
+  MTK_CHECK(static_cast<int>(inputs.size()) == q,
+            "reduce_scatter_halving: expected ", q, " inputs, got ",
+            inputs.size());
+  const index_t total = static_cast<index_t>(inputs.front().size());
+  for (const auto& v : inputs) {
+    MTK_CHECK(static_cast<index_t>(v.size()) == total,
+              "reduce_scatter_halving: ragged inputs");
+  }
+  MTK_CHECK(total % q == 0, "reduce_scatter_halving: vector length ", total,
+            " must divide evenly into ", q, " chunks");
+  const index_t chunk = total / q;
+
+  // working[i] = member i's current partial over its active index window
+  // [lo[i], lo[i] + len[i]) in chunk units.
+  std::vector<std::vector<double>> working = inputs;
+  std::vector<int> lo(static_cast<std::size_t>(q), 0);
+  int len = q;  // active window length in chunks, uniform across members
+
+  for (int half = q / 2; half >= 1; half /= 2) {
+    std::vector<std::vector<double>> incoming(static_cast<std::size_t>(q));
+    std::vector<int> incoming_lo(static_cast<std::size_t>(q));
+    for (int i = 0; i < q; ++i) {
+      const int partner = i ^ half;
+      // Member i keeps the half of its window containing its own final
+      // chunk (bit pattern of i decides: if (i & half) the upper half).
+      const bool keep_upper = (i & half) != 0;
+      const int send_lo =
+          lo[static_cast<std::size_t>(i)] + (keep_upper ? 0 : half);
+      machine.record_send(group[static_cast<std::size_t>(i)],
+                          group[static_cast<std::size_t>(partner)],
+                          static_cast<index_t>(half) * chunk);
+      // Extract the words sent (chunk window [send_lo, send_lo + half)).
+      const auto& src = working[static_cast<std::size_t>(i)];
+      const index_t off =
+          static_cast<index_t>(send_lo - lo[static_cast<std::size_t>(i)]) *
+          chunk;
+      incoming[static_cast<std::size_t>(partner)].assign(
+          src.begin() + off, src.begin() + off + half * chunk);
+      incoming_lo[static_cast<std::size_t>(partner)] = send_lo;
+    }
+    for (int i = 0; i < q; ++i) {
+      // Shrink to the kept half and add the partner's contribution.
+      const bool keep_upper = (i & half) != 0;
+      const int new_lo =
+          lo[static_cast<std::size_t>(i)] + (keep_upper ? half : 0);
+      auto& cur = working[static_cast<std::size_t>(i)];
+      const index_t off =
+          static_cast<index_t>(new_lo - lo[static_cast<std::size_t>(i)]) *
+          chunk;
+      std::vector<double> kept(cur.begin() + off,
+                               cur.begin() + off + half * chunk);
+      MTK_ASSERT(incoming_lo[static_cast<std::size_t>(i)] == new_lo,
+                 "recursive halving window mismatch");
+      const auto& add = incoming[static_cast<std::size_t>(i)];
+      for (std::size_t w = 0; w < kept.size(); ++w) kept[w] += add[w];
+      cur = std::move(kept);
+      lo[static_cast<std::size_t>(i)] = new_lo;
+    }
+    len = half;
+  }
+  MTK_ASSERT(len == 1, "recursive halving did not reach single chunks");
+  for (int i = 0; i < q; ++i) {
+    MTK_ASSERT(lo[static_cast<std::size_t>(i)] == i,
+               "member ended with the wrong chunk");
+  }
+  return working;
+}
+
+index_t max_messages_sent(const Machine& machine,
+                          const std::vector<int>& group) {
+  index_t best = 0;
+  for (int r : group) {
+    best = std::max(best, machine.stats(r).messages_sent);
+  }
+  return best;
+}
+
+std::vector<double> all_gather_dispatch(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& contributions,
+    CollectiveKind kind) {
+  if (kind == CollectiveKind::kRecursive &&
+      is_pow2(static_cast<index_t>(group.size()))) {
+    return all_gather_doubling(machine, group, contributions);
+  }
+  return all_gather_bucket(machine, group, contributions);
+}
+
+std::vector<std::vector<double>> reduce_scatter_dispatch(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs,
+    const std::vector<index_t>& chunk_sizes, CollectiveKind kind) {
+  if (kind == CollectiveKind::kRecursive &&
+      is_pow2(static_cast<index_t>(group.size())) && !chunk_sizes.empty()) {
+    const bool uniform = std::all_of(
+        chunk_sizes.begin(), chunk_sizes.end(),
+        [&](index_t s) { return s == chunk_sizes.front(); });
+    if (uniform) {
+      return reduce_scatter_halving(machine, group, inputs);
+    }
+  }
+  return reduce_scatter_bucket(machine, group, inputs, chunk_sizes);
+}
+
+}  // namespace mtk

@@ -1,0 +1,59 @@
+// Alternative collective algorithms: recursive doubling (All-Gather) and
+// recursive halving (Reduce-Scatter). Compared to the bucket/ring schedules
+// of collectives.hpp they move the *same* number of words per processor for
+// power-of-two groups — (q-1)/q of the data — but in log2(q) rounds instead
+// of q-1, i.e. they trade latency for no bandwidth penalty [Thakur et al.,
+// Chan et al.]. The paper ignores latency (Section II-C) and notes that
+// for extreme P "the All-Gather and Reduce-Scatter collectives require more
+// efficient algorithms" (Section VI-B) — these are those algorithms.
+//
+// Restrictions: group sizes must be powers of two (the classic algorithms;
+// non-power-of-two generalizations exist but are not needed here), and
+// Reduce-Scatter chunk sizes must be uniform within each recursion level,
+// which the balanced flat_chunk distribution satisfies when the data volume
+// divides evenly. For irregular inputs use the bucket variants.
+#pragma once
+
+#include <vector>
+
+#include "src/parsim/machine.hpp"
+
+namespace mtk {
+
+// Recursive-doubling All-Gather: log2(q) rounds, round t exchanges the
+// accumulated 2^t chunks with the partner at distance 2^t. Per-member words
+// moved equal the bucket algorithm's.
+std::vector<double> all_gather_doubling(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& contributions);
+
+// Recursive-halving Reduce-Scatter: log2(q) rounds; round t exchanges and
+// reduces half of the remaining data with the partner at distance q/2^(t+1).
+// Chunks are the q equal-length pieces of the input vectors; the vector
+// length must be divisible by q.
+std::vector<std::vector<double>> reduce_scatter_halving(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs);
+
+// Maximum messages sent by any single member (the latency proxy the bucket
+// and recursive variants differ on).
+index_t max_messages_sent(const Machine& machine,
+                          const std::vector<int>& group);
+
+// Collective algorithm selection for the parallel MTTKRP drivers. The
+// recursive variants apply when their structural requirements hold
+// (power-of-two group, uniform chunks); otherwise the dispatcher falls back
+// to the bucket schedule, whose word counts are identical.
+enum class CollectiveKind { kBucket, kRecursive };
+
+std::vector<double> all_gather_dispatch(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& contributions,
+    CollectiveKind kind);
+
+std::vector<std::vector<double>> reduce_scatter_dispatch(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs,
+    const std::vector<index_t>& chunk_sizes, CollectiveKind kind);
+
+}  // namespace mtk

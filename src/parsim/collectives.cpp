@@ -1,0 +1,161 @@
+#include "src/parsim/collectives.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mtk {
+
+namespace {
+
+void check_group(const Machine& machine, const std::vector<int>& group) {
+  MTK_CHECK(!group.empty(), "collective group must be non-empty");
+  for (int r : group) {
+    MTK_CHECK(r >= 0 && r < machine.num_ranks(), "group contains invalid "
+              "rank ", r);
+  }
+  // Groups must not repeat members: each position is a distinct processor.
+  std::vector<int> sorted = group;
+  std::sort(sorted.begin(), sorted.end());
+  MTK_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+            "collective group contains duplicate ranks");
+}
+
+}  // namespace
+
+std::vector<double> all_gather_bucket(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& contributions) {
+  check_group(machine, group);
+  const int q = static_cast<int>(group.size());
+  MTK_CHECK(static_cast<int>(contributions.size()) == q,
+            "all_gather: expected ", q, " contributions, got ",
+            contributions.size());
+
+  // Chunk offsets in the concatenated result.
+  std::vector<index_t> sizes(static_cast<std::size_t>(q));
+  index_t total = 0;
+  for (int i = 0; i < q; ++i) {
+    sizes[static_cast<std::size_t>(i)] =
+        static_cast<index_t>(contributions[static_cast<std::size_t>(i)].size());
+    total += sizes[static_cast<std::size_t>(i)];
+  }
+  std::vector<double> result;
+  result.reserve(static_cast<std::size_t>(total));
+  for (const auto& c : contributions) {
+    result.insert(result.end(), c.begin(), c.end());
+  }
+
+  // Ring schedule: at step s = 0..q-2, member i sends chunk (i - s) mod q to
+  // member (i+1) mod q. After q-1 steps every member holds every chunk.
+  for (int s = 0; s + 1 < q; ++s) {
+    for (int i = 0; i < q; ++i) {
+      const int chunk = ((i - s) % q + q) % q;
+      machine.record_send(group[static_cast<std::size_t>(i)],
+                          group[static_cast<std::size_t>((i + 1) % q)],
+                          sizes[static_cast<std::size_t>(chunk)]);
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> reduce_scatter_bucket(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs,
+    const std::vector<index_t>& chunk_sizes) {
+  check_group(machine, group);
+  const int q = static_cast<int>(group.size());
+  MTK_CHECK(static_cast<int>(inputs.size()) == q, "reduce_scatter: expected ",
+            q, " inputs, got ", inputs.size());
+  MTK_CHECK(static_cast<int>(chunk_sizes.size()) == q,
+            "reduce_scatter: expected ", q, " chunk sizes, got ",
+            chunk_sizes.size());
+  index_t total = 0;
+  std::vector<index_t> offsets(static_cast<std::size_t>(q));
+  for (int j = 0; j < q; ++j) {
+    MTK_CHECK(chunk_sizes[static_cast<std::size_t>(j)] >= 0,
+              "negative chunk size");
+    offsets[static_cast<std::size_t>(j)] = total;
+    total += chunk_sizes[static_cast<std::size_t>(j)];
+  }
+  for (int i = 0; i < q; ++i) {
+    MTK_CHECK(static_cast<index_t>(inputs[static_cast<std::size_t>(i)].size()) ==
+                  total,
+              "reduce_scatter: input ", i, " has ",
+              inputs[static_cast<std::size_t>(i)].size(), " words, expected ",
+              total);
+  }
+
+  auto chunk_of = [&](int member, int chunk) {
+    const double* base = inputs[static_cast<std::size_t>(member)].data() +
+                         offsets[static_cast<std::size_t>(chunk)];
+    return std::vector<double>(base,
+                               base + chunk_sizes[static_cast<std::size_t>(chunk)]);
+  };
+
+  // Traveling partial sums: at the start of step s, member i holds the
+  // partial of chunk (i-1-s) mod q. Each step it passes that partial right;
+  // the receiver adds its own contribution. After q-1 steps, member i holds
+  // the fully reduced chunk i.
+  std::vector<std::vector<double>> traveling(static_cast<std::size_t>(q));
+  for (int i = 0; i < q; ++i) {
+    traveling[static_cast<std::size_t>(i)] = chunk_of(i, ((i - 1) % q + q) % q);
+  }
+  for (int s = 0; s + 1 < q; ++s) {
+    std::vector<std::vector<double>> incoming(static_cast<std::size_t>(q));
+    for (int i = 0; i < q; ++i) {
+      const int chunk = ((i - 1 - s) % q + q) % q;
+      machine.record_send(
+          group[static_cast<std::size_t>(i)],
+          group[static_cast<std::size_t>((i + 1) % q)],
+          chunk_sizes[static_cast<std::size_t>(chunk)]);
+      incoming[static_cast<std::size_t>((i + 1) % q)] =
+          std::move(traveling[static_cast<std::size_t>(i)]);
+    }
+    for (int i = 0; i < q; ++i) {
+      const int chunk = ((i - 2 - s) % q + q) % q;
+      std::vector<double>& partial = incoming[static_cast<std::size_t>(i)];
+      const double* own = inputs[static_cast<std::size_t>(i)].data() +
+                          offsets[static_cast<std::size_t>(chunk)];
+      for (std::size_t w = 0; w < partial.size(); ++w) {
+        partial[w] += own[w];
+      }
+      traveling[static_cast<std::size_t>(i)] = std::move(partial);
+    }
+  }
+  return traveling;
+}
+
+std::vector<double> all_reduce_bucket(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs) {
+  check_group(machine, group);
+  const int q = static_cast<int>(group.size());
+  MTK_CHECK(!inputs.empty() && static_cast<int>(inputs.size()) == q,
+            "all_reduce: expected ", q, " inputs");
+  const index_t total = static_cast<index_t>(inputs.front().size());
+
+  // Near-balanced chunking for the reduce-scatter stage.
+  std::vector<index_t> chunk_sizes(static_cast<std::size_t>(q));
+  for (int j = 0; j < q; ++j) {
+    chunk_sizes[static_cast<std::size_t>(j)] =
+        total / q + (j < static_cast<int>(total % q) ? 1 : 0);
+  }
+  auto reduced = reduce_scatter_bucket(machine, group, inputs, chunk_sizes);
+  return all_gather_bucket(machine, group, reduced);
+}
+
+void broadcast_ring(Machine& machine, const std::vector<int>& group, int root,
+                    index_t words) {
+  check_group(machine, group);
+  const int q = static_cast<int>(group.size());
+  MTK_CHECK(root >= 0 && root < q, "broadcast root position ", root,
+            " out of range for group of size ", q);
+  for (int s = 0; s + 1 < q; ++s) {
+    const int from = (root + s) % q;
+    const int to = (root + s + 1) % q;
+    machine.record_send(group[static_cast<std::size_t>(from)],
+                        group[static_cast<std::size_t>(to)], words);
+  }
+}
+
+}  // namespace mtk

@@ -1,0 +1,46 @@
+// Collective communication on the simulated machine, using the "bucket"
+// (ring) algorithms the paper assumes (Section V-C3): an All-Gather or
+// Reduce-Scatter over q processors runs in q-1 steps, each member passing
+// one chunk to its ring neighbor. The bucket schedule is bandwidth-optimal
+// for balanced distributions [Chan et al. 2007].
+//
+// A group is an ordered list of machine ranks; positions in the group define
+// the ring. Chunk i is the contribution of (All-Gather) or destined for
+// (Reduce-Scatter) the member at position i.
+#pragma once
+
+#include <vector>
+
+#include "src/parsim/machine.hpp"
+
+namespace mtk {
+
+// Bucket All-Gather: member i contributes contributions[i]; every member
+// ends with the concatenation of all contributions in group order. Since
+// all members receive identical data, one shared copy is returned; the
+// per-rank counters reflect the full ring traffic.
+std::vector<double> all_gather_bucket(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& contributions);
+
+// Bucket Reduce-Scatter: member i contributes the full-length vector
+// inputs[i]; the elementwise sum is partitioned into chunks of
+// chunk_sizes[j] words (sum = vector length) and member i receives reduced
+// chunk i. Reduction order around the ring is deterministic.
+std::vector<std::vector<double>> reduce_scatter_bucket(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs,
+    const std::vector<index_t>& chunk_sizes);
+
+// All-Reduce = Reduce-Scatter followed by All-Gather (both bucket); every
+// member receives the full elementwise sum.
+std::vector<double> all_reduce_bucket(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs);
+
+// Ring broadcast from group position `root` (q-1 messages of the full
+// payload; latency-suboptimal but bandwidth-faithful for counting).
+void broadcast_ring(Machine& machine, const std::vector<int>& group,
+                    int root, index_t words);
+
+}  // namespace mtk

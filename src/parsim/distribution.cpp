@@ -1,0 +1,43 @@
+#include "src/parsim/distribution.hpp"
+
+#include "src/support/check.hpp"
+
+namespace mtk {
+
+std::vector<Range> block_partition(index_t n, int parts) {
+  MTK_CHECK(n >= 0, "block_partition: n must be >= 0, got ", n);
+  MTK_CHECK(parts >= 1, "block_partition: parts must be >= 1, got ", parts);
+  const index_t base = n / parts;
+  const index_t extra = n % parts;
+  std::vector<Range> ranges;
+  ranges.reserve(static_cast<std::size_t>(parts));
+  index_t lo = 0;
+  for (int p = 0; p < parts; ++p) {
+    const index_t len = base + (p < static_cast<int>(extra) ? 1 : 0);
+    ranges.push_back({lo, lo + len});
+    lo += len;
+  }
+  return ranges;
+}
+
+Range flat_chunk(index_t total, int parts, int which) {
+  MTK_CHECK(which >= 0 && which < parts, "flat_chunk: index ", which,
+            " out of range for ", parts, " parts");
+  const index_t base = total / parts;
+  const index_t extra = total % parts;
+  const index_t lo = static_cast<index_t>(which) * base +
+                     std::min<index_t>(which, extra);
+  const index_t len = base + (which < static_cast<int>(extra) ? 1 : 0);
+  return {lo, lo + len};
+}
+
+std::vector<index_t> flat_chunk_sizes(index_t total, int parts) {
+  MTK_CHECK(parts >= 1, "flat_chunk_sizes: parts must be >= 1, got ", parts);
+  std::vector<index_t> sizes(static_cast<std::size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    sizes[static_cast<std::size_t>(p)] = flat_chunk(total, parts, p).length();
+  }
+  return sizes;
+}
+
+}  // namespace mtk

@@ -1,0 +1,24 @@
+// Data-distribution helpers for the parallel algorithms (Sections V-C1,
+// V-D1): balanced contiguous partitions of index ranges and of flattened
+// entry sets.
+#pragma once
+
+#include <vector>
+
+#include "src/tensor/block.hpp"
+
+namespace mtk {
+
+// Partitions [0, n) into `parts` contiguous ranges whose sizes differ by at
+// most one (the first n % parts ranges get the extra element). Ranges may be
+// empty when parts > n.
+std::vector<Range> block_partition(index_t n, int parts);
+
+// The `which`-th of `parts` near-balanced contiguous chunks of a flat array
+// of `total` entries.
+Range flat_chunk(index_t total, int parts, int which);
+
+// Sizes of all `parts` chunks of a flat array of `total` entries.
+std::vector<index_t> flat_chunk_sizes(index_t total, int parts);
+
+}  // namespace mtk

@@ -1,0 +1,49 @@
+#include "src/parsim/machine.hpp"
+
+#include <algorithm>
+
+namespace mtk {
+
+Machine::Machine(int num_ranks) {
+  MTK_CHECK(num_ranks >= 1, "machine needs at least one rank, got ",
+            num_ranks);
+  stats_.resize(static_cast<std::size_t>(num_ranks));
+}
+
+void Machine::record_send(int from, int to, index_t words) {
+  MTK_CHECK(from >= 0 && from < num_ranks(), "invalid sender rank ", from);
+  MTK_CHECK(to >= 0 && to < num_ranks(), "invalid receiver rank ", to);
+  MTK_CHECK(from != to, "rank ", from, " cannot send to itself");
+  MTK_CHECK(words >= 0, "negative word count ", words);
+  auto& s = stats_[static_cast<std::size_t>(from)];
+  auto& r = stats_[static_cast<std::size_t>(to)];
+  s.words_sent += words;
+  s.messages_sent += 1;
+  r.words_received += words;
+}
+
+const CommStats& Machine::stats(int rank) const {
+  MTK_CHECK(rank >= 0 && rank < num_ranks(), "invalid rank ", rank);
+  return stats_[static_cast<std::size_t>(rank)];
+}
+
+void Machine::reset_stats() {
+  std::fill(stats_.begin(), stats_.end(), CommStats{});
+  phases_.clear();
+}
+
+index_t Machine::max_words_moved() const {
+  index_t best = 0;
+  for (const CommStats& s : stats_) {
+    best = std::max(best, s.words_moved());
+  }
+  return best;
+}
+
+index_t Machine::total_words_sent() const {
+  index_t total = 0;
+  for (const CommStats& s : stats_) total += s.words_sent;
+  return total;
+}
+
+}  // namespace mtk

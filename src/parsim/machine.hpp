@@ -1,0 +1,61 @@
+// Distributed-memory machine simulator (the paper's parallel model,
+// Section II-C): P processors, each with local memory, communicating by
+// sends and receives. The simulator executes real data movement — parallel
+// algorithm outputs are bit-checked against the sequential reference — and
+// keeps exact per-rank word counters, which stand in for the MPI machine the
+// paper assumes (no MPI exists in this environment; see DESIGN.md).
+//
+// Only bandwidth (word counts) is tracked, matching the paper's scope;
+// latency (message counts) is recorded but unused by the analyses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/check.hpp"
+#include "src/support/math_util.hpp"
+
+namespace mtk {
+
+struct CommStats {
+  index_t words_sent = 0;
+  index_t words_received = 0;
+  index_t messages_sent = 0;
+
+  // The paper's per-processor cost metric: sends plus receives.
+  index_t words_moved() const { return words_sent + words_received; }
+};
+
+// One collective phase, recorded for per-phase breakdowns in benchmarks.
+struct PhaseRecord {
+  std::string label;
+  int group_size = 0;
+  index_t max_words_one_rank = 0;  // max over group members of sent+received
+};
+
+class Machine {
+ public:
+  explicit Machine(int num_ranks);
+
+  int num_ranks() const { return static_cast<int>(stats_.size()); }
+
+  // Point-to-point primitive: every collective reduces to calls to this.
+  void record_send(int from, int to, index_t words);
+
+  const CommStats& stats(int rank) const;
+  void reset_stats();
+
+  // Bottleneck metric over all ranks: max_p (sent_p + received_p).
+  index_t max_words_moved() const;
+  // Aggregate words sent across the machine.
+  index_t total_words_sent() const;
+
+  void record_phase(PhaseRecord record) { phases_.push_back(std::move(record)); }
+  const std::vector<PhaseRecord>& phases() const { return phases_; }
+
+ private:
+  std::vector<CommStats> stats_;
+  std::vector<PhaseRecord> phases_;
+};
+
+}  // namespace mtk

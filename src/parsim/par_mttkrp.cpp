@@ -1,0 +1,442 @@
+#include "src/parsim/par_mttkrp.hpp"
+
+#include <numeric>
+
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/parsim/collectives.hpp"
+#include "src/parsim/distribution.hpp"
+#include "src/parsim/grid.hpp"
+#include "src/tensor/block.hpp"
+
+namespace mtk {
+
+namespace {
+
+// Snapshots per-rank counters around one collective phase and records the
+// per-phase bottleneck.
+class PhaseScope {
+ public:
+  PhaseScope(Machine& machine, std::string label, int group_size)
+      : machine_(machine), label_(std::move(label)), group_size_(group_size) {
+    before_.reserve(static_cast<std::size_t>(machine.num_ranks()));
+    for (int r = 0; r < machine.num_ranks(); ++r) {
+      before_.push_back(machine.stats(r).words_moved());
+    }
+  }
+  ~PhaseScope() {
+    index_t max_delta = 0;
+    for (int r = 0; r < machine_.num_ranks(); ++r) {
+      max_delta = std::max(max_delta, machine_.stats(r).words_moved() -
+                                          before_[static_cast<std::size_t>(r)]);
+    }
+    machine_.record_phase({label_, group_size_, max_delta});
+  }
+
+ private:
+  Machine& machine_;
+  std::string label_;
+  int group_size_;
+  std::vector<index_t> before_;
+};
+
+// Flattens rows [rows.lo, rows.hi) x all columns of `m` (row-major order).
+std::vector<double> flatten_rows(const Matrix& m, Range rows) {
+  std::vector<double> flat;
+  flat.reserve(static_cast<std::size_t>(rows.length() * m.cols()));
+  for (index_t i = rows.lo; i < rows.hi; ++i) {
+    const double* r = m.row(i);
+    flat.insert(flat.end(), r, r + m.cols());
+  }
+  return flat;
+}
+
+// Flattens the submatrix rows x cols of `m` (row-major order).
+std::vector<double> flatten_submatrix(const Matrix& m, Range rows,
+                                      Range cols) {
+  std::vector<double> flat;
+  flat.reserve(static_cast<std::size_t>(rows.length() * cols.length()));
+  for (index_t i = rows.lo; i < rows.hi; ++i) {
+    const double* r = m.row(i);
+    flat.insert(flat.end(), r + cols.lo, r + cols.hi);
+  }
+  return flat;
+}
+
+Matrix unflatten(const std::vector<double>& flat, index_t rows,
+                 index_t cols) {
+  MTK_ASSERT(static_cast<index_t>(flat.size()) == rows * cols,
+             "unflatten: ", flat.size(), " words != ", rows, "x", cols);
+  Matrix m(rows, cols);
+  std::copy(flat.begin(), flat.end(), m.data());
+  return m;
+}
+
+ParMttkrpResult finalize(Machine& machine, Matrix b) {
+  ParMttkrpResult result;
+  result.b = std::move(b);
+  result.max_words_moved = machine.max_words_moved();
+  result.total_words_sent = machine.total_words_sent();
+  result.phases = machine.phases();
+  return result;
+}
+
+}  // namespace
+
+ParMttkrpResult par_mttkrp_stationary(Machine& machine, const DenseTensor& x,
+                                      const std::vector<Matrix>& factors,
+                                      int mode,
+                                      const std::vector<int>& grid_shape,
+                                      CollectiveKind collectives) {
+  const index_t rank_r = check_mttkrp_args(x, factors, mode);
+  const int n = x.order();
+  MTK_CHECK(static_cast<int>(grid_shape.size()) == n,
+            "stationary algorithm needs an N-way grid; got ",
+            grid_shape.size(), " dims for an order-", n, " tensor");
+  const ProcessorGrid grid(grid_shape);
+  const int p = grid.size();
+  MTK_CHECK(machine.num_ranks() == p, "machine has ", machine.num_ranks(),
+            " ranks but grid has ", p);
+  for (int k = 0; k < n; ++k) {
+    MTK_CHECK(grid_shape[static_cast<std::size_t>(k)] <= x.dim(k),
+              "grid extent ", grid_shape[static_cast<std::size_t>(k)],
+              " exceeds tensor dimension ", x.dim(k), " in mode ", k);
+  }
+
+  // Index partitions S^(k).
+  std::vector<std::vector<Range>> parts(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    parts[static_cast<std::size_t>(k)] =
+        block_partition(x.dim(k), grid.extent(k));
+  }
+
+  // Phase 1 (Line 4): All-Gather each input factor's block rows within the
+  // hyperslice normal to mode k. gathered[k][c] is the full block row
+  // A^(k)(S_c, :) shared by the hyperslice with p_k = c.
+  std::vector<std::vector<Matrix>> gathered(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    if (k == mode) continue;
+    PhaseScope scope(machine, std::string("all-gather A(") +
+                                  std::to_string(k) + ")",
+                     p / grid.extent(k));
+    gathered[static_cast<std::size_t>(k)].resize(
+        static_cast<std::size_t>(grid.extent(k)));
+    for (int c = 0; c < grid.extent(k); ++c) {
+      // The group is identical for every member; build it from the first
+      // rank with p_k = c.
+      std::vector<int> coords(static_cast<std::size_t>(n), 0);
+      coords[static_cast<std::size_t>(k)] = c;
+      const int representative = grid.rank_of(coords);
+      const std::vector<int> group = grid.group_fixing({k}, representative);
+      const int q = static_cast<int>(group.size());
+
+      const Range rows = parts[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)];
+      const std::vector<double> block_row =
+          flatten_rows(factors[static_cast<std::size_t>(k)], rows);
+      const index_t total = static_cast<index_t>(block_row.size());
+
+      // Member i initially owns the i-th flat chunk of the block row
+      // (Section V-C1: "partitioned arbitrarily across the processors in
+      // its hyperslice"; we use balanced contiguous chunks).
+      std::vector<std::vector<double>> contributions(
+          static_cast<std::size_t>(q));
+      for (int i = 0; i < q; ++i) {
+        const Range chunk = flat_chunk(total, q, i);
+        contributions[static_cast<std::size_t>(i)].assign(
+            block_row.begin() + chunk.lo, block_row.begin() + chunk.hi);
+      }
+      const std::vector<double> full =
+          all_gather_dispatch(machine, group, contributions, collectives);
+      gathered[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)] =
+          unflatten(full, rows.length(), rank_r);
+    }
+  }
+
+  // Phase 2 (Line 6): local MTTKRP on each rank's stationary subtensor.
+  std::vector<Matrix> local_c(static_cast<std::size_t>(p));
+#pragma omp parallel for schedule(dynamic)
+  for (int r = 0; r < p; ++r) {
+    const std::vector<int> coords = grid.coords(r);
+    std::vector<Range> ranges(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      ranges[static_cast<std::size_t>(k)] =
+          parts[static_cast<std::size_t>(k)]
+               [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])];
+    }
+    const DenseTensor x_local = extract_block(x, ranges);
+    std::vector<Matrix> local_factors(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      if (k == mode) continue;
+      local_factors[static_cast<std::size_t>(k)] =
+          gathered[static_cast<std::size_t>(k)]
+                  [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])];
+    }
+    local_c[static_cast<std::size_t>(r)] =
+        mttkrp(x_local, local_factors, mode, {.algo = MttkrpAlgo::kTwoStep});
+  }
+
+  // Phase 3 (Line 7): Reduce-Scatter the contributions within the mode-n
+  // hyperslices, then assemble the distributed output into a global B.
+  Matrix b(x.dim(mode), rank_r);
+  {
+    PhaseScope scope(machine, "reduce-scatter B", p / grid.extent(mode));
+    for (int c = 0; c < grid.extent(mode); ++c) {
+      std::vector<int> coords(static_cast<std::size_t>(n), 0);
+      coords[static_cast<std::size_t>(mode)] = c;
+      const int representative = grid.rank_of(coords);
+      const std::vector<int> group = grid.group_fixing({mode}, representative);
+      const int q = static_cast<int>(group.size());
+
+      const Range rows =
+          parts[static_cast<std::size_t>(mode)][static_cast<std::size_t>(c)];
+      const index_t total = checked_mul(rows.length(), rank_r);
+
+      std::vector<std::vector<double>> inputs(static_cast<std::size_t>(q));
+      for (int i = 0; i < q; ++i) {
+        const Matrix& ci = local_c[static_cast<std::size_t>(
+            group[static_cast<std::size_t>(i)])];
+        inputs[static_cast<std::size_t>(i)] =
+            flatten_rows(ci, Range{0, ci.rows()});
+      }
+      const std::vector<index_t> chunk_sizes = flat_chunk_sizes(total, q);
+      const auto reduced =
+          reduce_scatter_dispatch(machine, group, inputs, chunk_sizes,
+                                  collectives);
+
+      // Member i's chunk covers flat positions [chunk.lo, chunk.hi) of the
+      // row-major flattened block row B(S_c, :).
+      for (int i = 0; i < q; ++i) {
+        const Range chunk = flat_chunk(total, q, i);
+        for (index_t w = 0; w < chunk.length(); ++w) {
+          const index_t flat = chunk.lo + w;
+          b(rows.lo + flat / rank_r, flat % rank_r) =
+              reduced[static_cast<std::size_t>(i)][static_cast<std::size_t>(w)];
+        }
+      }
+    }
+  }
+  return finalize(machine, std::move(b));
+}
+
+ParMttkrpResult par_mttkrp_general(Machine& machine, const DenseTensor& x,
+                                   const std::vector<Matrix>& factors,
+                                   int mode,
+                                   const std::vector<int>& grid_shape,
+                                   CollectiveKind collectives) {
+  const index_t rank_r = check_mttkrp_args(x, factors, mode);
+  const int n = x.order();
+  MTK_CHECK(static_cast<int>(grid_shape.size()) == n + 1,
+            "general algorithm needs an (N+1)-way grid (P0, P1..PN); got ",
+            grid_shape.size(), " dims for an order-", n, " tensor");
+  const ProcessorGrid grid(grid_shape);
+  const int p = grid.size();
+  const int p0 = grid.extent(0);
+  MTK_CHECK(machine.num_ranks() == p, "machine has ", machine.num_ranks(),
+            " ranks but grid has ", p);
+  MTK_CHECK(p0 <= rank_r, "grid extent P0 = ", p0, " exceeds rank R = ",
+            rank_r);
+  for (int k = 0; k < n; ++k) {
+    MTK_CHECK(grid_shape[static_cast<std::size_t>(k + 1)] <= x.dim(k),
+              "grid extent ", grid_shape[static_cast<std::size_t>(k + 1)],
+              " exceeds tensor dimension ", x.dim(k), " in mode ", k);
+  }
+
+  // Index partitions: S^(k) over grid dim k+1; T over the rank dimension.
+  std::vector<std::vector<Range>> parts(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    parts[static_cast<std::size_t>(k)] =
+        block_partition(x.dim(k), grid.extent(k + 1));
+  }
+  const std::vector<Range> rank_parts = block_partition(rank_r, p0);
+
+  // Phase 0 (Line 3): All-Gather the subtensor across each P0-fiber.
+  // fiber_tensor[f] is the gathered X(S_{p_1},...,S_{p_N}) shared by fiber f
+  // (f enumerates the N-way sub-grid of dims 1..N).
+  const int fibers = p / p0;
+  std::vector<DenseTensor> fiber_tensor(static_cast<std::size_t>(fibers));
+  std::vector<std::vector<Range>> fiber_ranges(
+      static_cast<std::size_t>(fibers));
+  {
+    PhaseScope scope(machine, "all-gather X", p0);
+    std::vector<int> tensor_dims_fixed;
+    for (int k = 1; k <= n; ++k) tensor_dims_fixed.push_back(k);
+    for (int f = 0; f < fibers; ++f) {
+      // Decode the fiber id into coordinates of grid dims 1..N.
+      std::vector<int> coords(static_cast<std::size_t>(n + 1), 0);
+      int rem = f;
+      for (int k = 1; k <= n; ++k) {
+        coords[static_cast<std::size_t>(k)] = rem % grid.extent(k);
+        rem /= grid.extent(k);
+      }
+      const int representative = grid.rank_of(coords);
+      const std::vector<int> group =
+          grid.group_fixing(tensor_dims_fixed, representative);
+      MTK_ASSERT(static_cast<int>(group.size()) == p0,
+                 "fiber group size mismatch");
+
+      std::vector<Range> ranges(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        ranges[static_cast<std::size_t>(k)] = parts[static_cast<std::size_t>(k)]
+            [static_cast<std::size_t>(coords[static_cast<std::size_t>(k + 1)])];
+      }
+      const DenseTensor sub = extract_block(x, ranges);
+      const index_t total = sub.size();
+
+      std::vector<std::vector<double>> contributions(
+          static_cast<std::size_t>(p0));
+      for (int i = 0; i < p0; ++i) {
+        const Range chunk = flat_chunk(total, p0, i);
+        contributions[static_cast<std::size_t>(i)].assign(
+            sub.data() + chunk.lo, sub.data() + chunk.hi);
+      }
+      const std::vector<double> full =
+          all_gather_dispatch(machine, group, contributions, collectives);
+      shape_t sub_dims;
+      for (const Range& rg : ranges) sub_dims.push_back(rg.length());
+      DenseTensor assembled(sub_dims);
+      std::copy(full.begin(), full.end(), assembled.data());
+      fiber_tensor[static_cast<std::size_t>(f)] = std::move(assembled);
+      fiber_ranges[static_cast<std::size_t>(f)] = std::move(ranges);
+    }
+  }
+
+  // Phase 1 (Line 5): All-Gather factor submatrices A^(k)(S_pk, T_p0)
+  // within the groups fixing (p_0, p_k).
+  // gathered[k][c0][ck] is shared by all ranks with p_0 = c0 and p_k = ck.
+  std::vector<std::vector<std::vector<Matrix>>> gathered(
+      static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    if (k == mode) continue;
+    PhaseScope scope(machine, std::string("all-gather A(") +
+                                  std::to_string(k) + ")",
+                     p / (p0 * grid.extent(k + 1)));
+    gathered[static_cast<std::size_t>(k)].assign(
+        static_cast<std::size_t>(p0),
+        std::vector<Matrix>(static_cast<std::size_t>(grid.extent(k + 1))));
+    for (int c0 = 0; c0 < p0; ++c0) {
+      for (int ck = 0; ck < grid.extent(k + 1); ++ck) {
+        std::vector<int> coords(static_cast<std::size_t>(n + 1), 0);
+        coords[0] = c0;
+        coords[static_cast<std::size_t>(k + 1)] = ck;
+        const int representative = grid.rank_of(coords);
+        const std::vector<int> group =
+            grid.group_fixing({0, k + 1}, representative);
+        const int q = static_cast<int>(group.size());
+
+        const Range rows =
+            parts[static_cast<std::size_t>(k)][static_cast<std::size_t>(ck)];
+        const Range cols = rank_parts[static_cast<std::size_t>(c0)];
+        const std::vector<double> block = flatten_submatrix(
+            factors[static_cast<std::size_t>(k)], rows, cols);
+        const index_t total = static_cast<index_t>(block.size());
+
+        std::vector<std::vector<double>> contributions(
+            static_cast<std::size_t>(q));
+        for (int i = 0; i < q; ++i) {
+          const Range chunk = flat_chunk(total, q, i);
+          contributions[static_cast<std::size_t>(i)].assign(
+              block.begin() + chunk.lo, block.begin() + chunk.hi);
+        }
+        const std::vector<double> full =
+            all_gather_dispatch(machine, group, contributions, collectives);
+        gathered[static_cast<std::size_t>(k)][static_cast<std::size_t>(c0)]
+                [static_cast<std::size_t>(ck)] =
+                    unflatten(full, rows.length(), cols.length());
+      }
+    }
+  }
+
+  // Phase 2 (Line 7): local MTTKRP per rank on the fiber-shared subtensor
+  // with the column-sliced factors. Every rank of a fiber computes the same
+  // subtensor but a different column slice T_{p_0}.
+  std::vector<Matrix> local_c(static_cast<std::size_t>(p));
+#pragma omp parallel for schedule(dynamic)
+  for (int r = 0; r < p; ++r) {
+    const std::vector<int> coords = grid.coords(r);
+    int fiber = 0;
+    int stride = 1;
+    for (int k = 1; k <= n; ++k) {
+      fiber += coords[static_cast<std::size_t>(k)] * stride;
+      stride *= grid.extent(k);
+    }
+    const int c0 = coords[0];
+    std::vector<Matrix> local_factors(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      if (k == mode) continue;
+      local_factors[static_cast<std::size_t>(k)] =
+          gathered[static_cast<std::size_t>(k)][static_cast<std::size_t>(c0)]
+                  [static_cast<std::size_t>(coords[static_cast<std::size_t>(k + 1)])];
+    }
+    local_c[static_cast<std::size_t>(r)] =
+        mttkrp(fiber_tensor[static_cast<std::size_t>(fiber)], local_factors,
+               mode, {.algo = MttkrpAlgo::kTwoStep});
+  }
+
+  // Phase 3 (Line 8): Reduce-Scatter within groups fixing (p_0, p_n), then
+  // assemble the global B from the distributed chunks.
+  Matrix b(x.dim(mode), rank_r);
+  {
+    PhaseScope scope(machine, "reduce-scatter B",
+                     p / (p0 * grid.extent(mode + 1)));
+    for (int c0 = 0; c0 < p0; ++c0) {
+      for (int cn = 0; cn < grid.extent(mode + 1); ++cn) {
+        std::vector<int> coords(static_cast<std::size_t>(n + 1), 0);
+        coords[0] = c0;
+        coords[static_cast<std::size_t>(mode + 1)] = cn;
+        const int representative = grid.rank_of(coords);
+        const std::vector<int> group =
+            grid.group_fixing({0, mode + 1}, representative);
+        const int q = static_cast<int>(group.size());
+
+        const Range rows =
+            parts[static_cast<std::size_t>(mode)][static_cast<std::size_t>(cn)];
+        const Range cols = rank_parts[static_cast<std::size_t>(c0)];
+        const index_t total = checked_mul(rows.length(), cols.length());
+
+        std::vector<std::vector<double>> inputs(static_cast<std::size_t>(q));
+        for (int i = 0; i < q; ++i) {
+          const Matrix& ci = local_c[static_cast<std::size_t>(
+              group[static_cast<std::size_t>(i)])];
+          inputs[static_cast<std::size_t>(i)] =
+              flatten_rows(ci, Range{0, ci.rows()});
+        }
+        const std::vector<index_t> chunk_sizes = flat_chunk_sizes(total, q);
+        const auto reduced =
+            reduce_scatter_dispatch(machine, group, inputs, chunk_sizes,
+                                  collectives);
+
+        for (int i = 0; i < q; ++i) {
+          const Range chunk = flat_chunk(total, q, i);
+          for (index_t w = 0; w < chunk.length(); ++w) {
+            const index_t flat = chunk.lo + w;
+            b(rows.lo + flat / cols.length(),
+              cols.lo + flat % cols.length()) =
+                reduced[static_cast<std::size_t>(i)][static_cast<std::size_t>(w)];
+          }
+        }
+      }
+    }
+  }
+  return finalize(machine, std::move(b));
+}
+
+ParMttkrpResult par_mttkrp_stationary(const DenseTensor& x,
+                                      const std::vector<Matrix>& factors,
+                                      int mode,
+                                      const std::vector<int>& grid_shape) {
+  int p = 1;
+  for (int e : grid_shape) p *= e;
+  Machine machine(p);
+  return par_mttkrp_stationary(machine, x, factors, mode, grid_shape);
+}
+
+ParMttkrpResult par_mttkrp_general(const DenseTensor& x,
+                                   const std::vector<Matrix>& factors,
+                                   int mode,
+                                   const std::vector<int>& grid_shape) {
+  int p = 1;
+  for (int e : grid_shape) p *= e;
+  Machine machine(p);
+  return par_mttkrp_general(machine, x, factors, mode, grid_shape);
+}
+
+}  // namespace mtk

@@ -1,0 +1,190 @@
+#include "src/parsim/par_multi_mttkrp.hpp"
+#include <algorithm>
+
+
+#include "src/mttkrp/dim_tree.hpp"
+#include "src/parsim/collectives.hpp"
+#include "src/parsim/distribution.hpp"
+#include "src/parsim/grid.hpp"
+#include "src/tensor/block.hpp"
+
+namespace mtk {
+
+namespace {
+
+std::vector<double> flatten_all_rows(const Matrix& m) {
+  return std::vector<double>(m.data(), m.data() + m.size());
+}
+
+// Per-rank snapshot so a phase's bottleneck is max over ranks of that
+// phase's delta (not the delta of the running maximum).
+std::vector<index_t> snapshot(const Machine& machine) {
+  std::vector<index_t> words;
+  words.reserve(static_cast<std::size_t>(machine.num_ranks()));
+  for (int r = 0; r < machine.num_ranks(); ++r) {
+    words.push_back(machine.stats(r).words_moved());
+  }
+  return words;
+}
+
+index_t max_delta(const Machine& machine, const std::vector<index_t>& before) {
+  index_t best = 0;
+  for (int r = 0; r < machine.num_ranks(); ++r) {
+    best = std::max(best, machine.stats(r).words_moved() -
+                              before[static_cast<std::size_t>(r)]);
+  }
+  return best;
+}
+
+}  // namespace
+
+ParAllModesResult par_mttkrp_all_modes(Machine& machine, const DenseTensor& x,
+                                       const std::vector<Matrix>& factors,
+                                       const std::vector<int>& grid_shape) {
+  const int n = x.order();
+  MTK_CHECK(n >= 2, "par_mttkrp_all_modes requires order >= 2");
+  MTK_CHECK(static_cast<int>(factors.size()) == n, "expected ", n,
+            " factors, got ", factors.size());
+  MTK_CHECK(static_cast<int>(grid_shape.size()) == n,
+            "all-modes algorithm needs an N-way grid");
+  index_t rank = -1;
+  for (int k = 0; k < n; ++k) {
+    const Matrix& a = factors[static_cast<std::size_t>(k)];
+    MTK_CHECK(a.rows() == x.dim(k), "factor ", k, " has ", a.rows(),
+              " rows, expected ", x.dim(k));
+    if (rank < 0) {
+      rank = a.cols();
+    } else {
+      MTK_CHECK(a.cols() == rank, "factor ", k, " rank mismatch");
+    }
+  }
+  const ProcessorGrid grid(grid_shape);
+  const int p = grid.size();
+  MTK_CHECK(machine.num_ranks() == p, "machine has ", machine.num_ranks(),
+            " ranks but grid has ", p);
+  for (int k = 0; k < n; ++k) {
+    MTK_CHECK(grid_shape[static_cast<std::size_t>(k)] <= x.dim(k),
+              "grid extent exceeds tensor dimension in mode ", k);
+  }
+
+  std::vector<std::vector<Range>> parts(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    parts[static_cast<std::size_t>(k)] =
+        block_partition(x.dim(k), grid.extent(k));
+  }
+
+  // Phase 1: one All-Gather per mode — every factor's block rows are
+  // gathered once and reused by all N local MTTKRPs.
+  std::vector<std::vector<Matrix>> gathered(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const int pk = grid.extent(k);
+    const std::vector<index_t> before = snapshot(machine);
+    gathered[static_cast<std::size_t>(k)].resize(static_cast<std::size_t>(pk));
+    for (int c = 0; c < pk; ++c) {
+      std::vector<int> coords(static_cast<std::size_t>(n), 0);
+      coords[static_cast<std::size_t>(k)] = c;
+      const std::vector<int> group =
+          grid.group_fixing({k}, grid.rank_of(coords));
+      const int q = static_cast<int>(group.size());
+      const Range rows =
+          parts[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)];
+      const Matrix block =
+          extract_rows(factors[static_cast<std::size_t>(k)], rows);
+      const std::vector<double> flat = flatten_all_rows(block);
+      std::vector<std::vector<double>> contributions(
+          static_cast<std::size_t>(q));
+      for (int i = 0; i < q; ++i) {
+        const Range chunk =
+            flat_chunk(static_cast<index_t>(flat.size()), q, i);
+        contributions[static_cast<std::size_t>(i)].assign(
+            flat.begin() + chunk.lo, flat.begin() + chunk.hi);
+      }
+      const std::vector<double> full =
+          all_gather_bucket(machine, group, contributions);
+      Matrix assembled(rows.length(), rank);
+      std::copy(full.begin(), full.end(), assembled.data());
+      gathered[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)] =
+          std::move(assembled);
+    }
+    machine.record_phase({std::string("all-gather A(") + std::to_string(k) +
+                              ") [shared]",
+                          p / pk, max_delta(machine, before)});
+  }
+
+  // Phase 2: one local dimension-tree pass per rank computes all N local
+  // contributions at once.
+  std::vector<std::vector<Matrix>> local(static_cast<std::size_t>(p));
+#pragma omp parallel for schedule(dynamic)
+  for (int r = 0; r < p; ++r) {
+    const std::vector<int> coords = grid.coords(r);
+    std::vector<Range> ranges(static_cast<std::size_t>(n));
+    std::vector<Matrix> local_factors(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      ranges[static_cast<std::size_t>(k)] =
+          parts[static_cast<std::size_t>(k)]
+               [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])];
+      local_factors[static_cast<std::size_t>(k)] =
+          gathered[static_cast<std::size_t>(k)]
+                  [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])];
+    }
+    const DenseTensor x_local = extract_block(x, ranges);
+    local[static_cast<std::size_t>(r)] =
+        mttkrp_all_modes_tree(x_local, local_factors).outputs;
+  }
+
+  // Phase 3: one Reduce-Scatter per mode.
+  ParAllModesResult result;
+  result.outputs.assign(static_cast<std::size_t>(n), Matrix());
+  for (int mode = 0; mode < n; ++mode) {
+    const std::vector<index_t> before = snapshot(machine);
+    Matrix b(x.dim(mode), rank);
+    for (int c = 0; c < grid.extent(mode); ++c) {
+      std::vector<int> coords(static_cast<std::size_t>(n), 0);
+      coords[static_cast<std::size_t>(mode)] = c;
+      const std::vector<int> group =
+          grid.group_fixing({mode}, grid.rank_of(coords));
+      const int q = static_cast<int>(group.size());
+      const Range rows =
+          parts[static_cast<std::size_t>(mode)][static_cast<std::size_t>(c)];
+      const index_t total = checked_mul(rows.length(), rank);
+
+      std::vector<std::vector<double>> inputs(static_cast<std::size_t>(q));
+      for (int i = 0; i < q; ++i) {
+        inputs[static_cast<std::size_t>(i)] = flatten_all_rows(
+            local[static_cast<std::size_t>(group[static_cast<std::size_t>(i)])]
+                 [static_cast<std::size_t>(mode)]);
+      }
+      const std::vector<index_t> chunk_sizes = flat_chunk_sizes(total, q);
+      const auto reduced =
+          reduce_scatter_bucket(machine, group, inputs, chunk_sizes);
+      for (int i = 0; i < q; ++i) {
+        const Range chunk = flat_chunk(total, q, i);
+        for (index_t w = 0; w < chunk.length(); ++w) {
+          const index_t flat = chunk.lo + w;
+          b(rows.lo + flat / rank, flat % rank) =
+              reduced[static_cast<std::size_t>(i)][static_cast<std::size_t>(w)];
+        }
+      }
+    }
+    result.outputs[static_cast<std::size_t>(mode)] = std::move(b);
+    machine.record_phase({std::string("reduce-scatter B(") +
+                              std::to_string(mode) + ")",
+                          p / grid.extent(mode), max_delta(machine, before)});
+  }
+
+  result.max_words_moved = machine.max_words_moved();
+  result.total_words_sent = machine.total_words_sent();
+  result.phases = machine.phases();
+  return result;
+}
+
+ParAllModesResult par_mttkrp_all_modes(const DenseTensor& x,
+                                       const std::vector<Matrix>& factors,
+                                       const std::vector<int>& grid_shape) {
+  int p = 1;
+  for (int e : grid_shape) p *= e;
+  Machine machine(p);
+  return par_mttkrp_all_modes(machine, x, factors, grid_shape);
+}
+
+}  // namespace mtk

@@ -1,0 +1,34 @@
+// Parallel multi-mode MTTKRP with communication reuse — the Section VII
+// extension: a gradient-based CP algorithm (CP-OPT style) needs B^(n) for
+// every mode against the *same* factors, so the stationary-tensor algorithm
+// can All-Gather each factor's block rows once and reuse them for all N
+// local MTTKRPs (computed with the dimension tree), paying N Reduce-
+// Scatters for the outputs. Compared to N independent runs of Algorithm 3,
+// the gather volume drops by a factor of ~(N-1).
+#pragma once
+
+#include <vector>
+
+#include "src/parsim/machine.hpp"
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+struct ParAllModesResult {
+  std::vector<Matrix> outputs;     // outputs[n] = assembled global B^(n)
+  index_t max_words_moved = 0;
+  index_t total_words_sent = 0;
+  std::vector<PhaseRecord> phases;
+};
+
+ParAllModesResult par_mttkrp_all_modes(Machine& machine, const DenseTensor& x,
+                                       const std::vector<Matrix>& factors,
+                                       const std::vector<int>& grid_shape);
+
+// Convenience wrapper building a machine of the grid's size.
+ParAllModesResult par_mttkrp_all_modes(const DenseTensor& x,
+                                       const std::vector<Matrix>& factors,
+                                       const std::vector<int>& grid_shape);
+
+}  // namespace mtk

@@ -1,0 +1,64 @@
+// Error-checking macros used throughout the library.
+//
+// MTK_CHECK   — validates user-supplied arguments; throws std::invalid_argument.
+// MTK_REQUIRE — validates runtime state (resource limits, protocol misuse);
+//               throws std::runtime_error.
+// MTK_ASSERT  — internal invariants; throws std::logic_error. These indicate
+//               library bugs, not user errors, but we throw rather than abort
+//               so the failure is testable and recoverable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mtk::detail {
+
+template <class Exception>
+[[noreturn]] inline void throw_failure(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Exception(os.str());
+}
+
+// Builds the optional human-readable message from streamable parts.
+template <class... Parts>
+std::string format_parts(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace mtk::detail
+
+#define MTK_CHECK(cond, ...)                                                  \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::mtk::detail::throw_failure<std::invalid_argument>(                    \
+          "MTK_CHECK", #cond, __FILE__, __LINE__,                             \
+          ::mtk::detail::format_parts(__VA_ARGS__));                          \
+    }                                                                         \
+  } while (false)
+
+#define MTK_REQUIRE(cond, ...)                                                \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::mtk::detail::throw_failure<std::runtime_error>(                       \
+          "MTK_REQUIRE", #cond, __FILE__, __LINE__,                           \
+          ::mtk::detail::format_parts(__VA_ARGS__));                          \
+    }                                                                         \
+  } while (false)
+
+#define MTK_ASSERT(cond, ...)                                                 \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::mtk::detail::throw_failure<std::logic_error>(                         \
+          "MTK_ASSERT", #cond, __FILE__, __LINE__,                            \
+          ::mtk::detail::format_parts(__VA_ARGS__));                          \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,98 @@
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+index_t shape_size(const shape_t& dims) {
+  index_t total = 1;
+  for (index_t d : dims) {
+    MTK_CHECK(d >= 0, "shape extents must be non-negative, got ", d);
+    total = checked_mul(total, d);
+  }
+  return total;
+}
+
+void check_shape(const shape_t& dims) {
+  MTK_CHECK(!dims.empty(), "shape must have at least one dimension");
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    MTK_CHECK(dims[k] > 0, "shape extent ", k, " must be positive, got ",
+              dims[k]);
+  }
+}
+
+shape_t col_major_strides(const shape_t& dims) {
+  check_shape(dims);
+  shape_t strides(dims.size());
+  index_t acc = 1;
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    strides[k] = acc;
+    acc = checked_mul(acc, dims[k]);
+  }
+  return strides;
+}
+
+index_t linearize(const multi_index_t& idx, const shape_t& dims) {
+  MTK_CHECK(idx.size() == dims.size(), "index rank ", idx.size(),
+            " does not match shape rank ", dims.size());
+  index_t lin = 0;
+  index_t stride = 1;
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    MTK_CHECK(idx[k] >= 0 && idx[k] < dims[k], "index ", idx[k],
+              " out of bounds for extent ", dims[k], " in dimension ", k);
+    lin += idx[k] * stride;
+    stride = checked_mul(stride, dims[k]);
+  }
+  return lin;
+}
+
+multi_index_t delinearize(index_t lin, const shape_t& dims) {
+  MTK_CHECK(lin >= 0 && lin < shape_size(dims), "linear index ", lin,
+            " out of bounds for shape of size ", shape_size(dims));
+  multi_index_t idx(dims.size());
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    idx[k] = lin % dims[k];
+    lin /= dims[k];
+  }
+  return idx;
+}
+
+Odometer::Odometer(const shape_t& dims)
+    : Odometer(multi_index_t(dims.size(), 0), dims) {}
+
+Odometer::Odometer(multi_index_t lo, multi_index_t hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  MTK_CHECK(lo_.size() == hi_.size(), "Odometer lo/hi rank mismatch: ",
+            lo_.size(), " vs ", hi_.size());
+  MTK_CHECK(!lo_.empty(), "Odometer requires at least one dimension");
+  for (std::size_t k = 0; k < lo_.size(); ++k) {
+    MTK_CHECK(lo_[k] >= 0 && lo_[k] <= hi_[k], "Odometer range [", lo_[k],
+              ", ", hi_[k], ") invalid in dimension ", k);
+  }
+  reset();
+}
+
+void Odometer::reset() {
+  current_ = lo_;
+  valid_ = true;
+  for (std::size_t k = 0; k < lo_.size(); ++k) {
+    if (lo_[k] == hi_[k]) valid_ = false;  // empty range
+  }
+}
+
+void Odometer::next() {
+  MTK_ASSERT(valid_, "Odometer::next called past the end");
+  for (std::size_t k = 0; k < current_.size(); ++k) {
+    if (++current_[k] < hi_[k]) return;
+    current_[k] = lo_[k];
+  }
+  valid_ = false;
+}
+
+index_t Odometer::count() const {
+  index_t total = 1;
+  for (std::size_t k = 0; k < lo_.size(); ++k) {
+    total = checked_mul(total, hi_[k] - lo_[k]);
+  }
+  return total;
+}
+
+}  // namespace mtk

@@ -1,0 +1,61 @@
+// Multi-index utilities for N-way tensors.
+//
+// Convention: tensors are stored in *column-major* (first-index-fastest)
+// order, matching the matricization convention of Kolda & Bader that the
+// paper uses: linear(i) = i_1 + I_1*(i_2 + I_2*(i_3 + ...)). All indices are
+// zero-based.
+#pragma once
+
+#include <vector>
+
+#include "src/support/check.hpp"
+#include "src/support/math_util.hpp"
+
+namespace mtk {
+
+using shape_t = std::vector<index_t>;
+using multi_index_t = std::vector<index_t>;
+
+// Product of all extents (total element count), overflow-checked.
+index_t shape_size(const shape_t& dims);
+
+// Validates that every extent is positive.
+void check_shape(const shape_t& dims);
+
+// Column-major strides for the given shape: stride[0]=1, stride[k] =
+// I_0*...*I_{k-1}.
+shape_t col_major_strides(const shape_t& dims);
+
+// Column-major linearization of a full multi-index.
+index_t linearize(const multi_index_t& idx, const shape_t& dims);
+
+// Inverse of linearize.
+multi_index_t delinearize(index_t lin, const shape_t& dims);
+
+// Iterates the rectangular index set [lo_1,hi_1) x ... x [lo_d,hi_d) in
+// column-major order (first coordinate fastest). `lo` defaults to all-zeros
+// when constructed from a shape only.
+class Odometer {
+ public:
+  explicit Odometer(const shape_t& dims);
+  Odometer(multi_index_t lo, multi_index_t hi);
+
+  // False once the range has been exhausted.
+  bool valid() const { return valid_; }
+  // Current multi-index; only meaningful while valid().
+  const multi_index_t& index() const { return current_; }
+  // Advances to the next index in column-major order.
+  void next();
+  // Restarts from `lo`.
+  void reset();
+  // Total number of indices in the range.
+  index_t count() const;
+
+ private:
+  multi_index_t lo_;
+  multi_index_t hi_;
+  multi_index_t current_;
+  bool valid_;
+};
+
+}  // namespace mtk

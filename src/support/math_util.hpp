@@ -1,0 +1,74 @@
+// Small integer/floating-point helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "src/support/check.hpp"
+
+namespace mtk {
+
+using index_t = std::int64_t;
+
+// Ceiling division for non-negative integers.
+constexpr index_t ceil_div(index_t a, index_t b) {
+  MTK_CHECK(b > 0, "ceil_div divisor must be positive, got ", b);
+  MTK_CHECK(a >= 0, "ceil_div numerator must be non-negative, got ", a);
+  return (a + b - 1) / b;
+}
+
+// a * b with overflow detection.
+constexpr index_t checked_mul(index_t a, index_t b) {
+  MTK_CHECK(a >= 0 && b >= 0, "checked_mul requires non-negative operands");
+  if (a != 0) {
+    MTK_CHECK(b <= std::numeric_limits<index_t>::max() / a,
+              "integer overflow in checked_mul(", a, ", ", b, ")");
+  }
+  return a * b;
+}
+
+// Integer power base^exp with overflow detection.
+constexpr index_t ipow(index_t base, int exp) {
+  MTK_CHECK(exp >= 0, "ipow exponent must be non-negative, got ", exp);
+  index_t result = 1;
+  for (int i = 0; i < exp; ++i) {
+    result = checked_mul(result, base);
+  }
+  return result;
+}
+
+constexpr bool is_pow2(index_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+// Floor of log2 for positive integers.
+constexpr int ilog2(index_t x) {
+  MTK_CHECK(x > 0, "ilog2 requires a positive argument, got ", x);
+  int lg = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++lg;
+  }
+  return lg;
+}
+
+// Largest b >= 0 such that b^n <= x (integer n-th root).
+inline index_t nth_root_floor(index_t x, int n) {
+  MTK_CHECK(x >= 0, "nth_root_floor requires non-negative x, got ", x);
+  MTK_CHECK(n >= 1, "nth_root_floor requires n >= 1, got ", n);
+  if (x == 0) return 0;
+  // Start from the floating-point estimate and fix up by ±1 steps.
+  auto b = static_cast<index_t>(std::floor(std::pow(static_cast<double>(x),
+                                                    1.0 / n)));
+  while (b > 0 && ipow(b, n) > x) --b;
+  while (ipow(b + 1, n) <= x) ++b;
+  return b;
+}
+
+// Relative difference |a-b| / max(|a|,|b|,1), used in approximate comparisons.
+inline double rel_diff(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace mtk

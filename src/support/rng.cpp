@@ -1,0 +1,32 @@
+#include "src/support/rng.hpp"
+
+#include "src/support/check.hpp"
+
+namespace mtk {
+
+double Rng::uniform(double lo, double hi) {
+  MTK_CHECK(lo < hi, "uniform requires lo < hi, got [", lo, ", ", hi, ")");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+index_t Rng::uniform_int(index_t lo, index_t hi) {
+  MTK_CHECK(lo <= hi, "uniform_int requires lo <= hi, got [", lo, ", ", hi,
+            "]");
+  return std::uniform_int_distribution<index_t>(lo, hi)(engine_);
+}
+
+void Rng::fill_uniform(std::vector<double>& v, double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (double& x : v) x = dist(engine_);
+}
+
+void Rng::fill_normal(std::vector<double>& v) {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (double& x : v) x = dist(engine_);
+}
+
+}  // namespace mtk

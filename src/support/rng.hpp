@@ -1,0 +1,33 @@
+// Deterministic random-number helpers. Every randomized test, example, and
+// benchmark seeds explicitly so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/support/math_util.hpp"
+
+namespace mtk {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+  // Standard normal.
+  double normal();
+  // Uniform integer in [lo, hi] inclusive.
+  index_t uniform_int(index_t lo, index_t hi);
+
+  void fill_uniform(std::vector<double>& v, double lo = 0.0, double hi = 1.0);
+  void fill_normal(std::vector<double>& v);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mtk

@@ -1,0 +1,105 @@
+#include "src/tensor/block.hpp"
+
+namespace mtk {
+
+namespace {
+
+void check_ranges(const shape_t& dims, const std::vector<Range>& r) {
+  MTK_CHECK(r.size() == dims.size(), "block rank ", r.size(),
+            " != tensor order ", dims.size());
+  for (std::size_t k = 0; k < r.size(); ++k) {
+    MTK_CHECK(r[k].lo >= 0 && r[k].lo < r[k].hi &&
+                  r[k].hi <= dims[k],
+              "block range [", r[k].lo, ", ", r[k].hi,
+              ") invalid for extent ", dims[k], " in dimension ", k);
+  }
+}
+
+}  // namespace
+
+DenseTensor extract_block(const DenseTensor& x, const std::vector<Range>& r) {
+  check_ranges(x.dims(), r);
+  shape_t block_dims;
+  multi_index_t lo, hi;
+  for (const Range& rg : r) {
+    block_dims.push_back(rg.length());
+    lo.push_back(rg.lo);
+    hi.push_back(rg.hi);
+  }
+  DenseTensor block(block_dims);
+  index_t lin = 0;
+  for (Odometer od(lo, hi); od.valid(); od.next()) {
+    block[lin++] = x[linearize(od.index(), x.dims())];
+  }
+  return block;
+}
+
+void add_block(DenseTensor& x, const std::vector<Range>& r,
+               const DenseTensor& block) {
+  check_ranges(x.dims(), r);
+  multi_index_t lo, hi;
+  for (std::size_t k = 0; k < r.size(); ++k) {
+    MTK_CHECK(block.dim(static_cast<int>(k)) == r[k].length(),
+              "add_block: block extent mismatch in dimension ", k);
+    lo.push_back(r[k].lo);
+    hi.push_back(r[k].hi);
+  }
+  index_t lin = 0;
+  for (Odometer od(lo, hi); od.valid(); od.next()) {
+    x[linearize(od.index(), x.dims())] += block[lin++];
+  }
+}
+
+Matrix extract_rows(const Matrix& m, Range r) {
+  MTK_CHECK(r.lo >= 0 && r.lo < r.hi && r.hi <= m.rows(), "row range [",
+            r.lo, ", ", r.hi, ") invalid for ", m.rows(), " rows");
+  Matrix out(r.length(), m.cols());
+  for (index_t i = 0; i < r.length(); ++i) {
+    const double* src = m.row(r.lo + i);
+    double* dst = out.row(i);
+    for (index_t j = 0; j < m.cols(); ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+Matrix extract_submatrix(const Matrix& m, Range rr, Range cr) {
+  MTK_CHECK(rr.lo >= 0 && rr.lo < rr.hi && rr.hi <= m.rows(),
+            "row range [", rr.lo, ", ", rr.hi, ") invalid for ", m.rows(),
+            " rows");
+  MTK_CHECK(cr.lo >= 0 && cr.lo < cr.hi && cr.hi <= m.cols(),
+            "column range [", cr.lo, ", ", cr.hi, ") invalid for ", m.cols(),
+            " cols");
+  Matrix out(rr.length(), cr.length());
+  for (index_t i = 0; i < rr.length(); ++i) {
+    const double* src = m.row(rr.lo + i);
+    double* dst = out.row(i);
+    for (index_t j = 0; j < cr.length(); ++j) dst[j] = src[cr.lo + j];
+  }
+  return out;
+}
+
+void add_rows(Matrix& m, Range r, const Matrix& rows) {
+  MTK_CHECK(r.lo >= 0 && r.lo < r.hi && r.hi <= m.rows(), "row range [",
+            r.lo, ", ", r.hi, ") invalid for ", m.rows(), " rows");
+  MTK_CHECK(rows.rows() == r.length() && rows.cols() == m.cols(),
+            "add_rows: block shape mismatch");
+  for (index_t i = 0; i < r.length(); ++i) {
+    const double* src = rows.row(i);
+    double* dst = m.row(r.lo + i);
+    for (index_t j = 0; j < m.cols(); ++j) dst[j] += src[j];
+  }
+}
+
+void add_submatrix(Matrix& m, Range rr, Range cr, const Matrix& sub) {
+  MTK_CHECK(sub.rows() == rr.length() && sub.cols() == cr.length(),
+            "add_submatrix: block shape mismatch");
+  MTK_CHECK(rr.hi <= m.rows() && cr.hi <= m.cols(),
+            "add_submatrix: block exceeds matrix bounds");
+  for (index_t i = 0; i < rr.length(); ++i) {
+    const double* src = sub.row(i);
+    double* dst = m.row(rr.lo + i);
+    for (index_t j = 0; j < cr.length(); ++j) dst[cr.lo + j] += src[j];
+  }
+}
+
+}  // namespace mtk

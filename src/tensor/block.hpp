@@ -1,0 +1,38 @@
+// Rectangular block extraction/insertion for tensors and row-ranges for
+// matrices. The parallel algorithms distribute data as blocks; the blocked
+// sequential algorithm iterates over blocks. Blocks are extracted by copy —
+// the copies model the load of a block into fast/local memory.
+#pragma once
+
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+// Half-open index range [lo, hi) in one dimension.
+struct Range {
+  index_t lo = 0;
+  index_t hi = 0;
+  index_t length() const { return hi - lo; }
+};
+
+// Extracts the subtensor X(lo_1:hi_1, ..., lo_N:hi_N).
+DenseTensor extract_block(const DenseTensor& x, const std::vector<Range>& r);
+
+// Adds `block` into X at offset lo (used to reassemble distributed results).
+void add_block(DenseTensor& x, const std::vector<Range>& r,
+               const DenseTensor& block);
+
+// Extracts rows [r.lo, r.hi) of a matrix.
+Matrix extract_rows(const Matrix& m, Range r);
+
+// Extracts the intersection of rows [rr.lo,rr.hi) and columns [cr.lo,cr.hi).
+Matrix extract_submatrix(const Matrix& m, Range rr, Range cr);
+
+// Adds `rows` into m starting at row r.lo.
+void add_rows(Matrix& m, Range r, const Matrix& rows);
+
+// Adds `sub` into m at row offset rr.lo, column offset cr.lo.
+void add_submatrix(Matrix& m, Range rr, Range cr, const Matrix& sub);
+
+}  // namespace mtk

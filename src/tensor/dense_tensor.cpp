@@ -1,0 +1,81 @@
+#include "src/tensor/dense_tensor.hpp"
+
+#include <cmath>
+
+namespace mtk {
+
+DenseTensor::DenseTensor(shape_t dims, double init) : dims_(std::move(dims)) {
+  check_shape(dims_);
+  data_.assign(static_cast<std::size_t>(shape_size(dims_)), init);
+}
+
+void DenseTensor::set_zero() {
+  std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+double DenseTensor::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double DenseTensor::max_abs_diff(const DenseTensor& other) const {
+  MTK_CHECK(dims_ == other.dims_, "max_abs_diff: tensor shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    acc = std::max(acc, std::fabs(data_[i] - other.data_[i]));
+  }
+  return acc;
+}
+
+void DenseTensor::fill_from(
+    const std::function<double(const multi_index_t&)>& gen) {
+  index_t lin = 0;
+  for (Odometer od(dims_); od.valid(); od.next()) {
+    data_[static_cast<std::size_t>(lin++)] = gen(od.index());
+  }
+}
+
+DenseTensor DenseTensor::random_uniform(const shape_t& dims, Rng& rng,
+                                        double lo, double hi) {
+  DenseTensor t(dims);
+  rng.fill_uniform(t.data_, lo, hi);
+  return t;
+}
+
+DenseTensor DenseTensor::random_normal(const shape_t& dims, Rng& rng) {
+  DenseTensor t(dims);
+  rng.fill_normal(t.data_);
+  return t;
+}
+
+DenseTensor DenseTensor::from_cp(const std::vector<Matrix>& factors,
+                                 const std::vector<double>& lambda) {
+  MTK_CHECK(!factors.empty(), "from_cp requires at least one factor matrix");
+  const index_t rank = factors.front().cols();
+  MTK_CHECK(static_cast<index_t>(lambda.size()) == rank,
+            "from_cp: lambda length ", lambda.size(), " != rank ", rank);
+  shape_t dims;
+  for (std::size_t k = 0; k < factors.size(); ++k) {
+    MTK_CHECK(factors[k].cols() == rank, "from_cp: factor ", k, " has ",
+              factors[k].cols(), " columns, expected ", rank);
+    dims.push_back(factors[k].rows());
+  }
+  DenseTensor t(dims);
+  index_t lin = 0;
+  for (Odometer od(dims); od.valid(); od.next()) {
+    const multi_index_t& idx = od.index();
+    double value = 0.0;
+    for (index_t r = 0; r < rank; ++r) {
+      double prod = lambda[static_cast<std::size_t>(r)];
+      for (std::size_t k = 0; k < factors.size(); ++k) {
+        prod *= factors[k](idx[k], r);
+      }
+      value += prod;
+    }
+    t[lin++] = value;
+  }
+  return t;
+}
+
+}  // namespace mtk

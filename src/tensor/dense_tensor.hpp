@@ -1,0 +1,67 @@
+// N-way dense tensor stored in column-major (first-index-fastest) order.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/support/index.hpp"
+#include "src/support/rng.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+  explicit DenseTensor(shape_t dims, double init = 0.0);
+
+  int order() const { return static_cast<int>(dims_.size()); }
+  const shape_t& dims() const { return dims_; }
+  index_t dim(int k) const {
+    MTK_CHECK(k >= 0 && k < order(), "dimension index ", k,
+              " out of range for order-", order(), " tensor");
+    return dims_[static_cast<std::size_t>(k)];
+  }
+  index_t size() const { return static_cast<index_t>(data_.size()); }
+
+  double& operator[](index_t lin) {
+    MTK_ASSERT(lin >= 0 && lin < size(), "linear index ", lin,
+               " out of bounds for tensor of size ", size());
+    return data_[static_cast<std::size_t>(lin)];
+  }
+  double operator[](index_t lin) const {
+    MTK_ASSERT(lin >= 0 && lin < size(), "linear index ", lin,
+               " out of bounds for tensor of size ", size());
+    return data_[static_cast<std::size_t>(lin)];
+  }
+
+  double& at(const multi_index_t& idx) { return (*this)[linearize(idx, dims_)]; }
+  double at(const multi_index_t& idx) const {
+    return (*this)[linearize(idx, dims_)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void set_zero();
+  double frobenius_norm() const;
+  double max_abs_diff(const DenseTensor& other) const;
+
+  // Fills entries from a generator invoked with each multi-index.
+  void fill_from(const std::function<double(const multi_index_t&)>& gen);
+
+  static DenseTensor random_uniform(const shape_t& dims, Rng& rng,
+                                    double lo = 0.0, double hi = 1.0);
+  static DenseTensor random_normal(const shape_t& dims, Rng& rng);
+
+  // Builds the rank-R tensor Σ_r λ_r a^(1)_r ∘ ... ∘ a^(N)_r from factor
+  // matrices (the CP model of Eq. (1)); used to make synthetic low-rank data.
+  static DenseTensor from_cp(const std::vector<Matrix>& factors,
+                             const std::vector<double>& lambda);
+
+ private:
+  shape_t dims_;
+  std::vector<double> data_;
+};
+
+}  // namespace mtk

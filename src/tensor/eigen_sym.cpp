@@ -1,0 +1,92 @@
+#include "src/tensor/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mtk {
+
+SymmetricEigen eigen_symmetric(const Matrix& a) {
+  const index_t n = a.rows();
+  MTK_CHECK(n == a.cols(), "eigen_symmetric: matrix must be square, got ",
+            a.rows(), "x", a.cols());
+  const double scale = std::max(a.max_abs(), 1e-300);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i + 1; j < n; ++j) {
+      MTK_CHECK(std::fabs(a(i, j) - a(j, i)) <= 1e-8 * scale,
+                "eigen_symmetric: matrix is not symmetric at (", i, ",", j,
+                ")");
+    }
+  }
+
+  Matrix d = a;                      // working copy, driven to diagonal
+  Matrix v = Matrix::identity(n);    // accumulated rotations
+
+  auto off_diagonal_mass = [&]() {
+    double acc = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = i + 1; j < n; ++j) {
+        acc += d(i, j) * d(i, j);
+      }
+    }
+    return acc;
+  };
+
+  const double tol = 1e-24 * scale * scale * static_cast<double>(n * n);
+  for (int sweep = 0; sweep < 60; ++sweep) {
+    if (off_diagonal_mass() <= tol) break;
+    for (index_t p = 0; p < n; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        // Classic Jacobi rotation annihilating d(p, q).
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (index_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort descending by eigenvalue.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return d(x, x) > d(y, y);
+  });
+
+  SymmetricEigen result;
+  result.values.reserve(static_cast<std::size_t>(n));
+  result.vectors = Matrix(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t src = order[static_cast<std::size_t>(j)];
+    result.values.push_back(d(src, src));
+    for (index_t i = 0; i < n; ++i) {
+      result.vectors(i, j) = v(i, src);
+    }
+  }
+  return result;
+}
+
+}  // namespace mtk

@@ -1,0 +1,22 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method —
+// the small dense eigensolver the Tucker substrate needs (leading
+// eigenvectors of Gram matrices of unfoldings). Robust and simple; for the
+// R x R and I_k x I_k matrices in this library, performance is irrelevant.
+#pragma once
+
+#include <vector>
+
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+struct SymmetricEigen {
+  std::vector<double> values;  // descending order
+  Matrix vectors;              // column j is the eigenvector of values[j]
+};
+
+// A must be symmetric (checked up to a tolerance). Convergence: off-diagonal
+// Frobenius mass below 1e-12 * ||A||_F, or 60 sweeps.
+SymmetricEigen eigen_symmetric(const Matrix& a);
+
+}  // namespace mtk

@@ -1,0 +1,52 @@
+#include "src/tensor/khatri_rao.hpp"
+
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+Matrix khatri_rao(const std::vector<const Matrix*>& matrices) {
+  MTK_CHECK(!matrices.empty(), "khatri_rao requires at least one matrix");
+  const index_t rank = matrices.front()->cols();
+  shape_t row_dims;
+  for (std::size_t k = 0; k < matrices.size(); ++k) {
+    MTK_CHECK(matrices[k] != nullptr, "khatri_rao: null matrix pointer at ",
+              k);
+    MTK_CHECK(matrices[k]->cols() == rank, "khatri_rao: matrix ", k, " has ",
+              matrices[k]->cols(), " columns, expected ", rank);
+    row_dims.push_back(matrices[k]->rows());
+  }
+  Matrix result(shape_size(row_dims), rank);
+  index_t j = 0;
+  for (Odometer od(row_dims); od.valid(); od.next()) {
+    const multi_index_t& idx = od.index();
+    double* out = result.row(j++);
+    const double* first = matrices[0]->row(idx[0]);
+    for (index_t r = 0; r < rank; ++r) out[r] = first[r];
+    for (std::size_t k = 1; k < matrices.size(); ++k) {
+      const double* mk = matrices[k]->row(idx[k]);
+      for (index_t r = 0; r < rank; ++r) out[r] *= mk[r];
+    }
+  }
+  return result;
+}
+
+Matrix khatri_rao(const std::vector<Matrix>& matrices) {
+  std::vector<const Matrix*> ptrs;
+  ptrs.reserve(matrices.size());
+  for (const Matrix& m : matrices) ptrs.push_back(&m);
+  return khatri_rao(ptrs);
+}
+
+Matrix khatri_rao_skip(const std::vector<Matrix>& factors, int mode) {
+  MTK_CHECK(mode >= 0 && mode < static_cast<int>(factors.size()),
+            "khatri_rao_skip: mode ", mode, " out of range for ",
+            factors.size(), " factors");
+  MTK_CHECK(factors.size() >= 2, "khatri_rao_skip needs at least 2 factors");
+  std::vector<const Matrix*> ptrs;
+  for (int k = 0; k < static_cast<int>(factors.size()); ++k) {
+    if (k != mode) ptrs.push_back(&factors[static_cast<std::size_t>(k)]);
+  }
+  return khatri_rao(ptrs);
+}
+
+}  // namespace mtk

@@ -1,0 +1,23 @@
+// Khatri-Rao product (column-wise Kronecker) of a list of matrices.
+//
+// Given matrices M_0 (I_0 x R), ..., M_{q-1} (I_{q-1} x R), the result K has
+// dimensions (I_0 * ... * I_{q-1}) x R with
+//   K(j, r) = prod_k M_k(i_k, r),   j = linearize((i_0..i_{q-1}), col-major),
+// i.e. the *first* matrix's row index varies fastest. With factors passed in
+// ascending mode order (mode n omitted), X_(n) * K is exactly the MTTKRP
+// output of Definition 2.1.
+#pragma once
+
+#include <vector>
+
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+Matrix khatri_rao(const std::vector<const Matrix*>& matrices);
+Matrix khatri_rao(const std::vector<Matrix>& matrices);
+
+// Convenience: Khatri-Rao of all factors except `mode`, ascending order.
+Matrix khatri_rao_skip(const std::vector<Matrix>& factors, int mode);
+
+}  // namespace mtk

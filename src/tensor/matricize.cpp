@@ -1,0 +1,92 @@
+#include "src/tensor/matricize.hpp"
+
+namespace mtk {
+
+namespace {
+
+void check_mode(const shape_t& dims, int mode) {
+  MTK_CHECK(mode >= 0 && mode < static_cast<int>(dims.size()),
+            "mode ", mode, " out of range for order-", dims.size(),
+            " tensor");
+}
+
+// Shape of the remaining modes, ascending, with `mode` removed.
+shape_t remaining_dims(const shape_t& dims, int mode) {
+  shape_t rest;
+  rest.reserve(dims.size() - 1);
+  for (int k = 0; k < static_cast<int>(dims.size()); ++k) {
+    if (k != mode) rest.push_back(dims[static_cast<std::size_t>(k)]);
+  }
+  return rest;
+}
+
+}  // namespace
+
+UnfoldingCoord unfolding_coord(const multi_index_t& idx, const shape_t& dims,
+                               int mode) {
+  check_mode(dims, mode);
+  MTK_CHECK(idx.size() == dims.size(), "index rank mismatch in "
+            "unfolding_coord: ", idx.size(), " vs ", dims.size());
+  index_t col = 0;
+  index_t stride = 1;
+  for (int k = 0; k < static_cast<int>(dims.size()); ++k) {
+    if (k == mode) continue;
+    col += idx[static_cast<std::size_t>(k)] * stride;
+    stride = checked_mul(stride, dims[static_cast<std::size_t>(k)]);
+  }
+  return {idx[static_cast<std::size_t>(mode)], col};
+}
+
+multi_index_t unfolding_inverse(index_t row, index_t col, const shape_t& dims,
+                                int mode) {
+  check_mode(dims, mode);
+  const shape_t rest = remaining_dims(dims, mode);
+  MTK_CHECK(row >= 0 && row < dims[static_cast<std::size_t>(mode)],
+            "unfolding row ", row, " out of bounds");
+  const multi_index_t rest_idx = delinearize(col, rest);
+  multi_index_t idx(dims.size());
+  std::size_t pos = 0;
+  for (int k = 0; k < static_cast<int>(dims.size()); ++k) {
+    if (k == mode) {
+      idx[static_cast<std::size_t>(k)] = row;
+    } else {
+      idx[static_cast<std::size_t>(k)] = rest_idx[pos++];
+    }
+  }
+  return idx;
+}
+
+Matrix matricize(const DenseTensor& x, int mode) {
+  check_mode(x.dims(), mode);
+  const shape_t& dims = x.dims();
+  const index_t in = dims[static_cast<std::size_t>(mode)];
+  const index_t jn = x.size() / in;
+  Matrix m(in, jn);
+  // Walk the tensor once in storage order; compute (row, col) incrementally
+  // would be faster, but a single multi-index pass keeps this obviously
+  // correct and it is not on any benchmarked path.
+  index_t lin = 0;
+  for (Odometer od(dims); od.valid(); od.next()) {
+    const UnfoldingCoord rc = unfolding_coord(od.index(), dims, mode);
+    m(rc.row, rc.col) = x[lin++];
+  }
+  return m;
+}
+
+DenseTensor fold(const Matrix& m, const shape_t& dims, int mode) {
+  check_mode(dims, mode);
+  const index_t in = dims[static_cast<std::size_t>(mode)];
+  MTK_CHECK(m.rows() == in, "fold: matrix has ", m.rows(),
+            " rows, expected ", in);
+  MTK_CHECK(m.cols() == shape_size(dims) / in, "fold: matrix has ", m.cols(),
+            " cols, expected ", shape_size(dims) / in);
+  DenseTensor x(dims);
+  index_t lin = 0;
+  for (Odometer od(dims); od.valid(); od.next()) {
+    const UnfoldingCoord rc = unfolding_coord(od.index(), dims, mode);
+    x[lin++] = m(rc.row, rc.col);
+  }
+  return x;
+}
+
+}  // namespace mtk

@@ -1,0 +1,32 @@
+// Mode-n matricization (unfolding), Kolda–Bader convention: X_(n) has
+// dimensions I_n x (I / I_n), and column index j linearizes the remaining
+// modes in ascending order, first remaining mode fastest. This matches the
+// column-major tensor layout, so mode-0 matricization is a reshape.
+#pragma once
+
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+// Explicitly forms X_(n) as a dense row-major matrix (a permute-and-copy).
+Matrix matricize(const DenseTensor& x, int mode);
+
+// Maps a tensor multi-index to its (row, column) position in X_(n).
+// Exposed separately so traces and tests can reason about the unfolding
+// without materializing it.
+struct UnfoldingCoord {
+  index_t row;
+  index_t col;
+};
+UnfoldingCoord unfolding_coord(const multi_index_t& idx, const shape_t& dims,
+                               int mode);
+
+// Inverse: reconstructs the tensor multi-index from (row, col) of X_(n).
+multi_index_t unfolding_inverse(index_t row, index_t col, const shape_t& dims,
+                                int mode);
+
+// Folds a matricization back into a tensor (inverse of matricize).
+DenseTensor fold(const Matrix& m, const shape_t& dims, int mode);
+
+}  // namespace mtk

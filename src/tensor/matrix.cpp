@@ -1,0 +1,284 @@
+#include "src/tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtk {
+
+Matrix::Matrix(index_t rows, index_t cols, double init)
+    : rows_(rows), cols_(cols) {
+  MTK_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative, "
+            "got ", rows, "x", cols);
+  data_.assign(static_cast<std::size_t>(checked_mul(rows, cols)), init);
+}
+
+void Matrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::vector<double> Matrix::column_norms() const {
+  std::vector<double> norms(static_cast<std::size_t>(cols_), 0.0);
+  for (index_t i = 0; i < rows_; ++i) {
+    const double* r = row(i);
+    for (index_t j = 0; j < cols_; ++j) {
+      norms[static_cast<std::size_t>(j)] += r[j] * r[j];
+    }
+  }
+  for (double& n : norms) n = std::sqrt(n);
+  return norms;
+}
+
+void Matrix::scale_columns_inv(const std::vector<double>& scale) {
+  MTK_CHECK(static_cast<index_t>(scale.size()) == cols_,
+            "scale vector length ", scale.size(), " != cols ", cols_);
+  for (double s : scale) {
+    MTK_CHECK(s != 0.0, "scale_columns_inv requires non-zero scales");
+  }
+  for (index_t i = 0; i < rows_; ++i) {
+    double* r = row(i);
+    for (index_t j = 0; j < cols_; ++j) {
+      r[j] /= scale[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+void Matrix::scale_columns(const std::vector<double>& scale) {
+  MTK_CHECK(static_cast<index_t>(scale.size()) == cols_,
+            "scale vector length ", scale.size(), " != cols ", cols_);
+  for (index_t i = 0; i < rows_; ++i) {
+    double* r = row(i);
+    for (index_t j = 0; j < cols_; ++j) {
+      r[j] *= scale[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const {
+  double acc = 0.0;
+  for (double x : data_) acc = std::max(acc, std::fabs(x));
+  return acc;
+}
+
+Matrix Matrix::random_uniform(index_t rows, index_t cols, Rng& rng, double lo,
+                              double hi) {
+  Matrix m(rows, cols);
+  for (index_t i = 0; i < rows * cols; ++i) {
+    m.data_[static_cast<std::size_t>(i)] = rng.uniform(lo, hi);
+  }
+  return m;
+}
+
+Matrix Matrix::random_normal(index_t rows, index_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (index_t i = 0; i < rows * cols; ++i) {
+    m.data_[static_cast<std::size_t>(i)] = rng.normal();
+  }
+  return m;
+}
+
+Matrix Matrix::identity(index_t n) {
+  Matrix m(n, n);
+  for (index_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+namespace {
+// Block edge for the GEMM microkernel; 64 doubles * 64 doubles per tile keeps
+// the working set within L1/L2 on typical cores.
+constexpr index_t kGemmBlock = 64;
+}  // namespace
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  MTK_CHECK(a.cols() == b.rows(), "gemm inner dimension mismatch: ", a.cols(),
+            " vs ", b.rows());
+  MTK_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+            "gemm output shape mismatch: got ", c.rows(), "x", c.cols(),
+            ", expected ", a.rows(), "x", b.cols());
+  if (!accumulate) c.set_zero();
+  const index_t m = a.rows(), k = a.cols(), n = b.cols();
+
+#pragma omp parallel for schedule(static)
+  for (index_t i0 = 0; i0 < m; i0 += kGemmBlock) {
+    const index_t i1 = std::min(i0 + kGemmBlock, m);
+    for (index_t l0 = 0; l0 < k; l0 += kGemmBlock) {
+      const index_t l1 = std::min(l0 + kGemmBlock, k);
+      for (index_t j0 = 0; j0 < n; j0 += kGemmBlock) {
+        const index_t j1 = std::min(j0 + kGemmBlock, n);
+        for (index_t i = i0; i < i1; ++i) {
+          const double* arow = a.row(i);
+          double* crow = c.row(i);
+          for (index_t l = l0; l < l1; ++l) {
+            const double av = arow[l];
+            const double* brow = b.row(l);
+            for (index_t j = j0; j < j1; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Matrix gram(const Matrix& a) {
+  const index_t n = a.cols();
+  Matrix g(n, n);
+  // Accumulate upper triangle then mirror.
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const double* r = a.row(i);
+    for (index_t p = 0; p < n; ++p) {
+      const double v = r[p];
+      double* grow = g.row(p);
+      for (index_t q = p; q < n; ++q) {
+        grow[q] += v * r[q];
+      }
+    }
+  }
+  for (index_t p = 0; p < n; ++p) {
+    for (index_t q = 0; q < p; ++q) {
+      g(p, q) = g(q, p);
+    }
+  }
+  return g;
+}
+
+Matrix gemm_tn(const Matrix& a, const Matrix& b) {
+  MTK_CHECK(a.rows() == b.rows(), "gemm_tn row mismatch: ", a.rows(), " vs ",
+            b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const double* ar = a.row(i);
+    const double* br = b.row(i);
+    for (index_t p = 0; p < a.cols(); ++p) {
+      const double v = ar[p];
+      double* crow = c.row(p);
+      for (index_t q = 0; q < b.cols(); ++q) {
+        crow[q] += v * br[q];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  hadamard_inplace(c, b);
+  return c;
+}
+
+void hadamard_inplace(Matrix& a, const Matrix& b) {
+  MTK_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+            "hadamard shape mismatch: ", a.rows(), "x", a.cols(), " vs ",
+            b.rows(), "x", b.cols());
+  double* ad = a.data();
+  const double* bd = b.data();
+  for (index_t i = 0; i < a.size(); ++i) ad[i] *= bd[i];
+}
+
+namespace {
+
+// In-place Cholesky factorization S = L L^T (lower triangle). Returns false
+// if a non-positive pivot is met.
+bool cholesky_inplace(Matrix& s) {
+  const index_t n = s.rows();
+  for (index_t j = 0; j < n; ++j) {
+    double d = s(j, j);
+    for (index_t p = 0; p < j; ++p) d -= s(j, p) * s(j, p);
+    if (d <= 0.0) return false;
+    const double ljj = std::sqrt(d);
+    s(j, j) = ljj;
+    for (index_t i = j + 1; i < n; ++i) {
+      double v = s(i, j);
+      for (index_t p = 0; p < j; ++p) v -= s(i, p) * s(j, p);
+      s(i, j) = v / ljj;
+    }
+  }
+  return true;
+}
+
+// Solves L L^T x = b in place for one right-hand side (b overwritten).
+void cholesky_solve_vec(const Matrix& l, std::vector<double>& b) {
+  const index_t n = l.rows();
+  for (index_t i = 0; i < n; ++i) {  // forward substitution: L y = b
+    double v = b[static_cast<std::size_t>(i)];
+    for (index_t p = 0; p < i; ++p) v -= l(i, p) * b[static_cast<std::size_t>(p)];
+    b[static_cast<std::size_t>(i)] = v / l(i, i);
+  }
+  for (index_t i = n - 1; i >= 0; --i) {  // backward: L^T x = y
+    double v = b[static_cast<std::size_t>(i)];
+    for (index_t p = i + 1; p < n; ++p) v -= l(p, i) * b[static_cast<std::size_t>(p)];
+    b[static_cast<std::size_t>(i)] = v / l(i, i);
+  }
+}
+
+}  // namespace
+
+Matrix solve_spd_right(const Matrix& s, const Matrix& rhs) {
+  MTK_CHECK(s.rows() == s.cols(), "solve_spd_right: S must be square, got ",
+            s.rows(), "x", s.cols());
+  MTK_CHECK(rhs.cols() == s.rows(), "solve_spd_right: rhs cols ", rhs.cols(),
+            " != S order ", s.rows());
+  const index_t n = s.rows();
+
+  // Escalate jitter until Cholesky succeeds; the Gram-matrix products in
+  // CP-ALS can be numerically semidefinite when factors are collinear.
+  double scale = 0.0;
+  for (index_t i = 0; i < n; ++i) scale = std::max(scale, std::fabs(s(i, i)));
+  if (scale == 0.0) scale = 1.0;
+
+  Matrix l = s;
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    l = s;
+    if (jitter > 0.0) {
+      for (index_t i = 0; i < n; ++i) l(i, i) += jitter;
+    }
+    if (cholesky_inplace(l)) break;
+    jitter = (jitter == 0.0) ? scale * 1e-14 : jitter * 10.0;
+    MTK_REQUIRE(attempt < 39, "solve_spd_right: matrix is not positive "
+                "definite even after jitter ", jitter);
+  }
+
+  Matrix x(rhs.rows(), rhs.cols());
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < rhs.rows(); ++i) {
+    for (index_t j = 0; j < n; ++j) b[static_cast<std::size_t>(j)] = rhs(i, j);
+    cholesky_solve_vec(l, b);
+    for (index_t j = 0; j < n; ++j) x(i, j) = b[static_cast<std::size_t>(j)];
+  }
+  return x;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  MTK_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+            "max_abs_diff shape mismatch: ", a.rows(), "x", a.cols(), " vs ",
+            b.rows(), "x", b.cols());
+  double acc = 0.0;
+  const double* ad = a.data();
+  const double* bd = b.data();
+  for (index_t i = 0; i < a.size(); ++i) {
+    acc = std::max(acc, std::fabs(ad[i] - bd[i]));
+  }
+  return acc;
+}
+
+double dot(const Matrix& a, const Matrix& b) {
+  MTK_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+            "dot shape mismatch: ", a.rows(), "x", a.cols(), " vs ", b.rows(),
+            "x", b.cols());
+  double acc = 0.0;
+  const double* ad = a.data();
+  const double* bd = b.data();
+  for (index_t i = 0; i < a.size(); ++i) acc += ad[i] * bd[i];
+  return acc;
+}
+
+}  // namespace mtk

@@ -1,0 +1,63 @@
+#include "src/tensor/ttm.hpp"
+
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+DenseTensor ttm(const DenseTensor& x, const Matrix& u, int mode) {
+  const int n = x.order();
+  MTK_CHECK(mode >= 0 && mode < n, "ttm: mode ", mode,
+            " out of range for order-", n, " tensor");
+  MTK_CHECK(u.cols() == x.dim(mode), "ttm: matrix has ", u.cols(),
+            " columns, expected ", x.dim(mode));
+  MTK_CHECK(u.rows() >= 1, "ttm: matrix must have at least one row");
+
+  shape_t out_dims = x.dims();
+  out_dims[static_cast<std::size_t>(mode)] = u.rows();
+  DenseTensor y(out_dims);
+
+  // Column-major walk: linear index = left + stride_k * (i_k + I_k * right)
+  // where `left` spans modes < k and `right` spans modes > k.
+  const shape_t strides = col_major_strides(x.dims());
+  const index_t stride_k = strides[static_cast<std::size_t>(mode)];
+  const index_t ik = x.dim(mode);
+  const index_t jk = u.rows();
+  const index_t left = stride_k;  // product of extents below mode
+  const index_t right = x.size() / (left * ik);
+
+  const shape_t out_strides = col_major_strides(out_dims);
+  const index_t out_stride_k = out_strides[static_cast<std::size_t>(mode)];
+
+  for (index_t rgt = 0; rgt < right; ++rgt) {
+    const index_t x_base = stride_k * ik * rgt;
+    const index_t y_base = out_stride_k * jk * rgt;
+    for (index_t i = 0; i < ik; ++i) {
+      const double* xs = x.data() + x_base + stride_k * i;
+      for (index_t j = 0; j < jk; ++j) {
+        const double uji = u(j, i);
+        if (uji == 0.0) continue;
+        double* ys = y.data() + y_base + out_stride_k * j;
+        for (index_t l = 0; l < left; ++l) {
+          ys[l] += uji * xs[l];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+DenseTensor ttm_chain(const DenseTensor& x,
+                      const std::vector<const Matrix*>& factors) {
+  MTK_CHECK(static_cast<int>(factors.size()) == x.order(),
+            "ttm_chain: expected ", x.order(), " factor slots, got ",
+            factors.size());
+  DenseTensor result = x;
+  for (int k = 0; k < x.order(); ++k) {
+    if (factors[static_cast<std::size_t>(k)] != nullptr) {
+      result = ttm(result, *factors[static_cast<std::size_t>(k)], k);
+    }
+  }
+  return result;
+}
+
+}  // namespace mtk

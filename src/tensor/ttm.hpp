@@ -1,0 +1,20 @@
+// Mode-k tensor-times-matrix (TTM): Y = X x_k U, where U is J x I_k and
+// the result has mode-k extent J:
+//   Y(i_1, .., j, .., i_N) = sum_{i_k} U(j, i_k) X(i_1, .., i_k, .., i_N).
+// The kernel behind Tucker decompositions (Section VII's "extensions ...
+// for computing Tucker"), and a useful substrate in its own right.
+#pragma once
+
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+DenseTensor ttm(const DenseTensor& x, const Matrix& u, int mode);
+
+// Chains TTMs over several modes (ascending application order; each entry
+// of `factors` multiplies its own mode; null entries are skipped).
+DenseTensor ttm_chain(const DenseTensor& x,
+                      const std::vector<const Matrix*>& factors);
+
+}  // namespace mtk

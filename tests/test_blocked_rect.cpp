@@ -1,0 +1,130 @@
+// Tests for the rectangular-block generalization of Algorithm 2.
+#include <gtest/gtest.h>
+
+#include "src/mttkrp/blocked_rect.hpp"
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+namespace {
+
+struct Problem {
+  DenseTensor x;
+  std::vector<Matrix> factors;
+};
+
+Problem make_problem(const shape_t& dims, index_t rank, std::uint64_t seed) {
+  Rng rng(seed);
+  Problem p;
+  p.x = DenseTensor::random_normal(dims, rng);
+  for (index_t d : dims) {
+    p.factors.push_back(Matrix::random_normal(d, rank, rng));
+  }
+  return p;
+}
+
+TEST(BlockedRect, MatchesReferenceOnVariousShapes) {
+  const Problem p = make_problem({7, 12, 5}, 3, 11001);
+  for (int mode = 0; mode < 3; ++mode) {
+    const Matrix expected = mttkrp_reference(p.x, p.factors, mode);
+    for (const shape_t& block :
+         {shape_t{1, 1, 1}, shape_t{2, 5, 3}, shape_t{7, 12, 5},
+          shape_t{3, 3, 3}, shape_t{100, 1, 2}}) {
+      const Matrix got = mttkrp_blocked_rect(p.x, p.factors, mode, block);
+      EXPECT_LT(max_abs_diff(got, expected), 1e-10)
+          << "mode " << mode << " block " << block[0] << "," << block[1]
+          << "," << block[2];
+    }
+  }
+}
+
+TEST(BlockedRect, ParallelMatchesSerial) {
+  const Problem p = make_problem({9, 8, 10}, 4, 11003);
+  const shape_t block{3, 4, 5};
+  const Matrix serial = mttkrp_blocked_rect(p.x, p.factors, 1, block, false);
+  const Matrix parallel = mttkrp_blocked_rect(p.x, p.factors, 1, block, true);
+  EXPECT_LT(max_abs_diff(serial, parallel), 1e-10);
+}
+
+TEST(BlockedRect, UniformBlockMatchesCubicAlgorithm) {
+  const Problem p = make_problem({8, 8, 8}, 3, 11005);
+  const Matrix cubic = mttkrp_blocked(p.x, p.factors, 0, 3);
+  const Matrix rect =
+      mttkrp_blocked_rect(p.x, p.factors, 0, {3, 3, 3});
+  EXPECT_LT(max_abs_diff(cubic, rect), 1e-12);
+}
+
+TEST(BlockShapeFits, GeneralizesEq11) {
+  // prod + sum <= M.
+  EXPECT_TRUE(block_shape_fits({4, 4, 4}, 64 + 12));
+  EXPECT_FALSE(block_shape_fits({4, 4, 4}, 64 + 11));
+  EXPECT_TRUE(block_shape_fits({1, 1}, 3));
+  EXPECT_THROW(block_shape_fits({0, 2}, 100), std::invalid_argument);
+}
+
+TEST(TrafficModel, ReducesToEq12ForUniformBlocks) {
+  // With b_k = b and weight (N-1) + 2 = N+1, the model is exactly Eq. (12).
+  const shape_t dims{24, 24, 24};
+  const index_t rank = 8;
+  const index_t b = 6;
+  const double model =
+      blocked_rect_traffic_model(dims, rank, 1, {b, b, b});
+  const double blocks = 4.0 * 4.0 * 4.0;
+  EXPECT_DOUBLE_EQ(model, 24.0 * 24.0 * 24.0 +
+                              blocks * 8.0 * (6.0 + 2.0 * 6.0 + 6.0));
+}
+
+TEST(OptimizeBlockShape, CubicalTensorGetsNearCubicalBlocks) {
+  const shape_t dims{64, 64, 64};
+  const shape_t block = optimize_block_shape(dims, 16, 0, 1000);
+  // The cubical optimum for M = 1000 is b ~ 9; allow one step of asymmetry
+  // from the greedy doubling schedule.
+  for (index_t b : block) {
+    EXPECT_GE(b, 6);
+    EXPECT_LE(b, 14);
+  }
+  EXPECT_TRUE(block_shape_fits(block, 1000));
+}
+
+TEST(OptimizeBlockShape, SkewedTensorGetsSkewedBlocks) {
+  // I = (256, 4, 4): the small dimensions saturate at 4 and the rest of the
+  // memory goes to the large mode, beating the best cubical block.
+  const shape_t dims{256, 4, 4};
+  const index_t rank = 8;
+  const index_t m = 500;
+  const shape_t block = optimize_block_shape(dims, rank, 0, m);
+  EXPECT_EQ(block[1], 4);
+  EXPECT_EQ(block[2], 4);
+  EXPECT_GT(block[0], 8);
+  EXPECT_TRUE(block_shape_fits(block, m));
+
+  const index_t cubical = max_block_size(3, m);  // 7 for M = 500
+  const double rect_traffic =
+      blocked_rect_traffic_model(dims, rank, 0, block);
+  const double cubical_traffic = blocked_rect_traffic_model(
+      dims, rank, 0, {cubical, cubical, cubical});
+  EXPECT_LT(rect_traffic, cubical_traffic * 0.8);
+}
+
+TEST(OptimizeBlockShape, NeverExceedsTensorExtents) {
+  const shape_t dims{3, 5, 2};
+  const shape_t block = optimize_block_shape(dims, 4, 1, 1 << 20);
+  EXPECT_LE(block[0], 3);
+  EXPECT_LE(block[1], 5);
+  EXPECT_LE(block[2], 2);
+  // Plenty of memory: the whole tensor is one block.
+  EXPECT_EQ(block, dims);
+}
+
+TEST(BlockedRect, Validation) {
+  const Problem p = make_problem({4, 4}, 2, 11007);
+  EXPECT_THROW(mttkrp_blocked_rect(p.x, p.factors, 0, {4}),
+               std::invalid_argument);
+  EXPECT_THROW(mttkrp_blocked_rect(p.x, p.factors, 0, {0, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(optimize_block_shape({4, 4}, 2, 0, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

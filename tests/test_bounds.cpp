@@ -1,0 +1,229 @@
+// Tests for the closed-form bound evaluators of Sections IV and VI:
+// specific values, scaling behaviour, regime splits, and validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bounds/parallel_bounds.hpp"
+#include "src/bounds/sequential_bounds.hpp"
+
+namespace mtk {
+namespace {
+
+SeqProblem cubical_seq(int order, index_t dim, index_t rank, index_t m) {
+  SeqProblem p;
+  p.dims.assign(static_cast<std::size_t>(order), dim);
+  p.rank = rank;
+  p.fast_memory = m;
+  return p;
+}
+
+TEST(SeqBounds, MemoryDependentFormula) {
+  // N=3, I=64^3, R=16, M=4096:
+  // W >= 3*I*R / (3^(5/3) * M^(2/3)) - M.
+  const SeqProblem p = cubical_seq(3, 64, 16, 4096);
+  const double i = 64.0 * 64.0 * 64.0;
+  const double expect =
+      3.0 * i * 16.0 / (std::pow(3.0, 5.0 / 3.0) * std::pow(4096.0, 2.0 / 3.0)) -
+      4096.0;
+  EXPECT_NEAR(seq_lower_bound_memory(p), expect, 1e-6);
+  EXPECT_GT(expect, 0.0);
+}
+
+TEST(SeqBounds, TrivialBoundCountsData) {
+  const SeqProblem p = cubical_seq(3, 10, 4, 100);
+  // I + sum I_k R - 2M = 1000 + 3*40 - 200 = 920.
+  EXPECT_DOUBLE_EQ(seq_lower_bound_trivial(p), 920.0);
+}
+
+TEST(SeqBounds, MemoryBoundDecreasesWithM) {
+  double previous = std::numeric_limits<double>::infinity();
+  for (index_t m : {256, 1024, 4096, 16384}) {
+    const double w = seq_lower_bound_memory(cubical_seq(3, 64, 16, m));
+    EXPECT_LT(w, previous);
+    previous = w;
+  }
+}
+
+TEST(SeqBounds, ExactSegmentFormAlwaysDominatedByData) {
+  // The exact form M * floor(NIR / (3M)^(2-1/N)) is within M of the smooth
+  // form whenever the smooth form is positive.
+  for (index_t m : {64, 256, 1024}) {
+    const SeqProblem p = cubical_seq(3, 32, 8, m);
+    const double smooth = seq_lower_bound_memory(p);
+    const double exact = seq_lower_bound_memory_exact(p);
+    EXPECT_GE(exact + static_cast<double>(m) + 1e-6, smooth);
+  }
+}
+
+TEST(SeqBounds, CombinedBoundIsMaxAndNonNegative) {
+  // Huge memory: both raw bounds go negative, combined clamps at zero.
+  const SeqProblem p = cubical_seq(3, 4, 2, index_t{1} << 30);
+  EXPECT_LT(seq_lower_bound_memory(p), 0.0);
+  EXPECT_LT(seq_lower_bound_trivial(p), 0.0);
+  EXPECT_DOUBLE_EQ(seq_lower_bound(p), 0.0);
+
+  const SeqProblem q = cubical_seq(3, 64, 16, 1024);
+  EXPECT_DOUBLE_EQ(seq_lower_bound(q),
+                   std::max({seq_lower_bound_memory(q),
+                             seq_lower_bound_memory_exact(q),
+                             seq_lower_bound_trivial(q)}));
+}
+
+TEST(SeqBounds, BlockedUpperBoundFormula) {
+  // Eq. (21) with everything divisible: I + (N+1) * (I / b^N) * b * R.
+  const SeqProblem p = cubical_seq(3, 64, 16, 0 + 4096);
+  const double i = 64.0 * 64.0 * 64.0;
+  const index_t b = 8;
+  const double blocks = (64.0 / 8) * (64.0 / 8) * (64.0 / 8);
+  EXPECT_DOUBLE_EQ(seq_upper_bound_blocked(p, b),
+                   i + 4.0 * blocks * 8.0 * 16.0);
+}
+
+TEST(SeqBounds, BlockedUpperBoundCeilingBehaviour) {
+  // Non-divisible block size uses ceilings.
+  const SeqProblem p = cubical_seq(2, 10, 3, 64);
+  // blocks = ceil(10/4)^2 = 9; W = 100 + 3 * 9 * 4 * 3.
+  EXPECT_DOUBLE_EQ(seq_upper_bound_blocked(p, 4), 100.0 + 3.0 * 9 * 4 * 3);
+}
+
+TEST(SeqBounds, UpperBoundsOrdering) {
+  // For sensible parameters the blocked bound with a good block size is far
+  // below the unblocked bound.
+  const SeqProblem p = cubical_seq(3, 64, 16, 4096);
+  const double blocked = seq_upper_bound_blocked(p, 8);
+  const double unblocked = seq_upper_bound_unblocked(p);
+  EXPECT_LT(blocked, unblocked / 4.0);
+}
+
+TEST(SeqBounds, OptimalityGapIsConstantInTheTheorem61Regime) {
+  // Theorem 6.1: with b ~ (alpha M)^(1/N), upper / lower = O(1) as the
+  // problem grows. Check the ratio stays bounded across a size sweep.
+  double worst_ratio = 0.0;
+  for (index_t dim : {32, 48, 64, 96}) {
+    const index_t m = 3000;
+    const SeqProblem p = cubical_seq(3, dim, 16, m);
+    // b = floor((M/2)^(1/3)) satisfies Eq. (11) comfortably.
+    const index_t b = nth_root_floor(m / 2, 3);
+    const double ub = seq_upper_bound_blocked(p, b);
+    const double lb = seq_lower_bound(p);
+    ASSERT_GT(lb, 0.0);
+    worst_ratio = std::max(worst_ratio, ub / lb);
+  }
+  EXPECT_LT(worst_ratio, 30.0);  // constant-factor gap, not asymptotic
+}
+
+TEST(SeqBounds, Validation) {
+  EXPECT_THROW(seq_lower_bound_memory(cubical_seq(3, 0, 2, 8)),
+               std::invalid_argument);
+  EXPECT_THROW(seq_lower_bound_memory(cubical_seq(3, 4, 0, 8)),
+               std::invalid_argument);
+  EXPECT_THROW(seq_lower_bound_memory(cubical_seq(3, 4, 2, 0)),
+               std::invalid_argument);
+  SeqProblem one_d;
+  one_d.dims = {8};
+  one_d.rank = 2;
+  one_d.fast_memory = 8;
+  EXPECT_THROW(seq_lower_bound_memory(one_d), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel bounds.
+
+ParProblem cubical_par(int order, index_t dim, index_t rank, index_t procs) {
+  ParProblem p;
+  p.dims.assign(static_cast<std::size_t>(order), dim);
+  p.rank = rank;
+  p.procs = procs;
+  return p;
+}
+
+TEST(ParBounds, Theorem42Formula) {
+  const ParProblem p = cubical_par(3, 64, 16, 8);
+  const double i = 64.0 * 64.0 * 64.0;
+  const double expect = 2.0 * std::pow(3.0 * i * 16.0 / 8.0, 3.0 / 5.0) -
+                        i / 8.0 - 3.0 * 64.0 * 16.0 / 8.0;
+  EXPECT_NEAR(par_lower_bound_thm42(p), expect, 1e-6);
+}
+
+TEST(ParBounds, Theorem43Formula) {
+  const ParProblem p = cubical_par(3, 64, 16, 8);
+  const double i = 64.0 * 64.0 * 64.0;
+  const double small_tensor_case =
+      std::sqrt(2.0 / 3.0) * 3.0 * 16.0 * std::pow(i / 8.0, 1.0 / 3.0) -
+      3.0 * 64.0 * 16.0 / 8.0;
+  const double large_tensor_case = i / 16.0;
+  EXPECT_NEAR(par_lower_bound_thm43(p),
+              std::min(small_tensor_case, large_tensor_case), 1e-6);
+}
+
+TEST(ParBounds, MemoryDependentMatchesSequentialOverP) {
+  const ParProblem p = [] {
+    ParProblem q = cubical_par(3, 64, 16, 4);
+    q.local_memory = 1024;
+    return q;
+  }();
+  SeqProblem s;
+  s.dims = p.dims;
+  s.rank = p.rank;
+  s.fast_memory = p.local_memory;
+  const double seq = seq_lower_bound_memory(s);
+  // Corollary 4.1: (seq + M)/P - M.
+  EXPECT_NEAR(par_lower_bound_memory(p), (seq + 1024.0) / 4.0 - 1024.0,
+              1e-6);
+}
+
+TEST(ParBounds, RegimeSplitMatchesCorollary42) {
+  // Small NR: Theorem 4.3's term dominates; large NR: Theorem 4.2 dominates.
+  const ParProblem small_nr = cubical_par(3, 256, 1, 4);
+  EXPECT_FALSE(memory_independent_regime_large_nr(small_nr));
+  const ParProblem large_nr = cubical_par(3, 16, 4096, 4);
+  EXPECT_TRUE(memory_independent_regime_large_nr(large_nr));
+}
+
+TEST(ParBounds, EnvelopeScalesAsPredicted) {
+  // Doubling P must reduce the envelope, and the envelope must be the sum of
+  // its two terms.
+  const ParProblem p1 = cubical_par(3, 64, 16, 64);
+  const ParProblem p2 = cubical_par(3, 64, 16, 128);
+  EXPECT_GT(par_lower_bound_cubical_envelope(p1),
+            par_lower_bound_cubical_envelope(p2));
+  const double i = 64.0 * 64.0 * 64.0;
+  const double t1 = std::pow(3.0 * i * 16.0 / 64.0, 3.0 / 5.0);
+  const double t2 = 3.0 * 16.0 * std::pow(i / 64.0, 1.0 / 3.0);
+  EXPECT_NEAR(par_lower_bound_cubical_envelope(p1), t1 + t2, 1e-6);
+}
+
+TEST(ParBounds, CombinedBoundNonNegativeAndUsesMemoryWhenGiven) {
+  ParProblem p = cubical_par(3, 8, 2, 512);
+  EXPECT_GE(par_lower_bound(p), 0.0);
+  p.local_memory = 16;
+  const double with_memory = par_lower_bound(p);
+  EXPECT_GE(with_memory, par_lower_bound_memory(p));
+}
+
+TEST(ParBounds, GammaDeltaValidation) {
+  ParProblem p = cubical_par(3, 16, 4, 8);
+  p.gamma = 0.5;  // < 1 invalid
+  EXPECT_THROW(par_lower_bound_thm42(p), std::invalid_argument);
+  p.gamma = 1.0;
+  p.delta = 0.0;
+  EXPECT_THROW(par_lower_bound_thm43(p), std::invalid_argument);
+  p.delta = 1.0;
+  p.procs = 0;
+  EXPECT_THROW(par_lower_bound_thm42(p), std::invalid_argument);
+}
+
+TEST(ParBounds, LargerGammaWeakensTheorem43) {
+  ParProblem p = cubical_par(3, 64, 16, 32);
+  const double tight = par_lower_bound_thm43(p);
+  p.gamma = 2.0;
+  const double loose = par_lower_bound_thm43(p);
+  // gamma appears as 1/sqrt(gamma) in the first case and gamma/2 in the
+  // second; for this configuration the minimum is the first case, which
+  // shrinks as gamma grows.
+  EXPECT_LT(loose, tight);
+}
+
+}  // namespace
+}  // namespace mtk

@@ -1,0 +1,120 @@
+// Tests for recursive-doubling All-Gather and recursive-halving
+// Reduce-Scatter: data correctness, bandwidth parity with the bucket
+// algorithms, and the log2(q) latency advantage.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/parsim/collective_variants.hpp"
+#include "src/parsim/collectives.hpp"
+#include "src/parsim/distribution.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+namespace {
+
+std::vector<int> iota_group(int q) {
+  std::vector<int> g(static_cast<std::size_t>(q));
+  std::iota(g.begin(), g.end(), 0);
+  return g;
+}
+
+TEST(AllGatherDoubling, MatchesBucketResult) {
+  Rng rng(10001);
+  for (int q : {1, 2, 4, 8, 16}) {
+    Machine doubling(q), bucket(q);
+    std::vector<std::vector<double>> contribs(static_cast<std::size_t>(q));
+    for (auto& c : contribs) {
+      c.resize(5);
+      rng.fill_normal(c);
+    }
+    const auto a = all_gather_doubling(doubling, iota_group(q), contribs);
+    const auto b = all_gather_bucket(bucket, iota_group(q), contribs);
+    EXPECT_EQ(a, b) << "q = " << q;
+  }
+}
+
+TEST(AllGatherDoubling, SameWordsFewerMessages) {
+  const int q = 16;
+  const index_t w = 10;
+  Machine doubling(q), bucket(q);
+  std::vector<std::vector<double>> contribs(
+      static_cast<std::size_t>(q), std::vector<double>(static_cast<std::size_t>(w), 1.0));
+  all_gather_doubling(doubling, iota_group(q), contribs);
+  all_gather_bucket(bucket, iota_group(q), contribs);
+  for (int r = 0; r < q; ++r) {
+    EXPECT_EQ(doubling.stats(r).words_sent, (q - 1) * w) << "rank " << r;
+    EXPECT_EQ(doubling.stats(r).words_sent, bucket.stats(r).words_sent);
+  }
+  // log2(16) = 4 messages vs 15 for the ring.
+  EXPECT_EQ(max_messages_sent(doubling, iota_group(q)), 4);
+  EXPECT_EQ(max_messages_sent(bucket, iota_group(q)), 15);
+}
+
+TEST(ReduceScatterHalving, MatchesDirectSum) {
+  Rng rng(10003);
+  for (int q : {1, 2, 4, 8}) {
+    Machine machine(q);
+    const index_t len = 8 * q;
+    std::vector<std::vector<double>> inputs(static_cast<std::size_t>(q));
+    for (auto& v : inputs) {
+      v.resize(static_cast<std::size_t>(len));
+      rng.fill_normal(v);
+    }
+    const auto chunks =
+        reduce_scatter_halving(machine, iota_group(q), inputs);
+    ASSERT_EQ(chunks.size(), static_cast<std::size_t>(q));
+    for (int i = 0; i < q; ++i) {
+      const index_t chunk_len = len / q;
+      ASSERT_EQ(chunks[static_cast<std::size_t>(i)].size(),
+                static_cast<std::size_t>(chunk_len));
+      for (index_t w = 0; w < chunk_len; ++w) {
+        double expect = 0.0;
+        for (const auto& v : inputs) {
+          expect += v[static_cast<std::size_t>(i * chunk_len + w)];
+        }
+        EXPECT_NEAR(chunks[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(w)],
+                    expect, 1e-9)
+            << "q=" << q << " chunk " << i << " word " << w;
+      }
+    }
+  }
+}
+
+TEST(ReduceScatterHalving, BandwidthMatchesBucket) {
+  const int q = 8;
+  const index_t len = 64;
+  Machine halving(q), bucket(q);
+  std::vector<std::vector<double>> inputs(
+      static_cast<std::size_t>(q), std::vector<double>(static_cast<std::size_t>(len), 2.0));
+  reduce_scatter_halving(halving, iota_group(q), inputs);
+  reduce_scatter_bucket(bucket, iota_group(q), inputs,
+                        flat_chunk_sizes(len, q));
+  for (int r = 0; r < q; ++r) {
+    EXPECT_EQ(halving.stats(r).words_sent, bucket.stats(r).words_sent)
+        << "rank " << r;
+  }
+  EXPECT_EQ(max_messages_sent(halving, iota_group(q)), 3);  // log2(8)
+  EXPECT_EQ(max_messages_sent(bucket, iota_group(q)), 7);   // q-1
+}
+
+TEST(CollectiveVariants, RejectNonPowerOfTwoGroups) {
+  Machine machine(6);
+  std::vector<std::vector<double>> contribs(3, std::vector<double>{1.0});
+  EXPECT_THROW(all_gather_doubling(machine, {0, 1, 2}, contribs),
+               std::invalid_argument);
+  std::vector<std::vector<double>> inputs(3, std::vector<double>(6, 1.0));
+  EXPECT_THROW(reduce_scatter_halving(machine, {0, 1, 2}, inputs),
+               std::invalid_argument);
+}
+
+TEST(ReduceScatterHalving, RejectsIndivisibleLength) {
+  Machine machine(4);
+  std::vector<std::vector<double>> inputs(4, std::vector<double>(6, 1.0));
+  EXPECT_THROW(reduce_scatter_halving(machine, iota_group(4), inputs),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

@@ -1,0 +1,256 @@
+// Tests for the analytic cost models and the Figure 4 reproduction: cost
+// formulas, grid search, CARMA regimes, and the paper's headline claims
+// (matmul kink, ~25x gap at P=2^17, Alg3/Alg4 divergence point).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/costmodel/carma.hpp"
+#include "src/costmodel/grid_search.hpp"
+#include "src/costmodel/model.hpp"
+
+namespace mtk {
+namespace {
+
+CostProblem cubical(int order, index_t dim, index_t rank) {
+  CostProblem p;
+  p.dims.assign(static_cast<std::size_t>(order), dim);
+  p.rank = rank;
+  return p;
+}
+
+TEST(Factorizations, EnumerationCountsAndProducts) {
+  int count = 0;
+  enumerate_factorizations(12, 2, [&](const std::vector<index_t>& f) {
+    EXPECT_EQ(f[0] * f[1], 12);
+    ++count;
+  });
+  EXPECT_EQ(count, 6);  // 1x12, 2x6, 3x4, 4x3, 6x2, 12x1
+
+  count = 0;
+  enumerate_factorizations(8, 3, [&](const std::vector<index_t>& f) {
+    EXPECT_EQ(f[0] * f[1] * f[2], 8);
+    ++count;
+  });
+  EXPECT_EQ(count, 10);  // compositions of 2^3 into 3 ordered factors
+
+  count = 0;
+  enumerate_factorizations(1, 3, [&](const std::vector<index_t>& f) {
+    EXPECT_EQ(f, (std::vector<index_t>{1, 1, 1}));
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(StationaryCost, HandComputedExample) {
+  // I_k = 8, R = 4, P = 8, grid 2x2x2:
+  // each term (8/2 - 1) * 8*4/8 = 3 * 4 = 12; total 36.
+  const CostProblem p = cubical(3, 8, 4);
+  EXPECT_DOUBLE_EQ(stationary_comm_cost(p, {2, 2, 2}), 36.0);
+  // 1D grid 8x1x1: (1-1)*4 + (8-1)*4 + (8-1)*4 = 56.
+  EXPECT_DOUBLE_EQ(stationary_comm_cost(p, {8, 1, 1}), 56.0);
+}
+
+TEST(GeneralCost, HandComputedExample) {
+  // I_k = 8, R = 8, P = 8, grid (2, 2, 2, 1):
+  // (2-1)*512/8 + (8/4-1)*8 + (8/4-1)*8 + (8/2-1)*8 = 64 + 8 + 8 + 24.
+  const CostProblem p = cubical(3, 8, 8);
+  EXPECT_DOUBLE_EQ(general_comm_cost(p, {2, 2, 2, 1}), 104.0);
+  // P0 = 1 reduces exactly to the stationary cost.
+  EXPECT_DOUBLE_EQ(general_comm_cost(p, {1, 2, 2, 2}),
+                   stationary_comm_cost(p, {2, 2, 2}));
+}
+
+TEST(GridSearch, SymmetricProblemPrefersCubicalGrid) {
+  const CostProblem p = cubical(3, 64, 16);
+  const GridSearchResult r = optimal_stationary_grid(p, 64);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.grid, (std::vector<index_t>{4, 4, 4}));
+}
+
+TEST(GridSearch, AsymmetricProblemSkewsTowardLargeDims) {
+  // With I = (64, 4, 4), parallelizing the large mode avoids replicating
+  // its large factor matrix.
+  CostProblem p;
+  p.dims = {64, 4, 4};
+  p.rank = 8;
+  const GridSearchResult r = optimal_stationary_grid(p, 16);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.grid[0], 8);  // most processors along the big mode
+}
+
+TEST(GridSearch, GeneralNeverWorseThanStationary) {
+  const CostProblem p = cubical(3, 32, 32);
+  for (index_t procs : {index_t{4}, index_t{64}, index_t{1} << 12}) {
+    const GridSearchResult stat = optimal_stationary_grid(p, procs);
+    const GridSearchResult gen = optimal_general_grid(p, procs);
+    ASSERT_TRUE(stat.feasible && gen.feasible);
+    EXPECT_LE(gen.cost, stat.cost + 1e-9) << "P = " << procs;
+  }
+}
+
+TEST(GridSearch, InfeasibleWhenProcessorsExceedElements) {
+  const CostProblem p = cubical(2, 4, 100);
+  // P = 64 > 4*4: no N-way grid with P_k <= I_k exists.
+  EXPECT_FALSE(optimal_stationary_grid(p, 64).feasible);
+}
+
+TEST(Carma, RegimeSelection) {
+  // Square and huge P: 3 large dims.
+  EXPECT_EQ(carma_comm_cost(1024, 1024, 1024, 4096).large_dims, 3);
+  // One very long inner dimension, small P: 1 large dim (cost = 2*m*n, the
+  // partial-output reduction).
+  const CarmaCost one = carma_comm_cost(32, 1 << 20, 32, 4);
+  EXPECT_EQ(one.large_dims, 1);
+  EXPECT_DOUBLE_EQ(one.words, 2.0 * 32.0 * 32.0);
+}
+
+TEST(Carma, MonotoneNonIncreasingInP) {
+  double previous = std::numeric_limits<double>::infinity();
+  for (double procs = 1; procs <= (1 << 20); procs *= 4) {
+    const double w = carma_comm_cost(1 << 15, 1 << 30, 1 << 15, procs).words;
+    EXPECT_LE(w, previous);
+    previous = w;
+  }
+}
+
+TEST(Carma, PaperConfigurationKinkNearP215) {
+  // Fig. 4: the matmul curve is flat (the 1D-regime cost ~ I^(1/N) R) until
+  // P ~ 2^15, then decreases — the paper attributes the kink to the switch
+  // from the 1D to the 2D algorithm. With our honest constants the flat
+  // value is 2 * 2^30 and the switch lands within one octave of 2^15.
+  const double i = std::pow(2.0, 45.0);
+  const double r = std::pow(2.0, 15.0);
+  const double flat = mttkrp_via_matmul_cost(3, i, r, 1.0).words;
+  EXPECT_NEAR(flat, 2.0 * std::pow(2.0, 30.0), flat * 1e-9);
+  // Still flat an octave below the kink.
+  EXPECT_NEAR(mttkrp_via_matmul_cost(3, i, r, std::pow(2.0, 13.0)).words,
+              flat, flat * 1e-9);
+  // Decreasing an octave above, and in the 2D regime (the paper's "switch
+  // from a 1D parallel algorithm to a 2D parallel algorithm").
+  const CarmaCost after = mttkrp_via_matmul_cost(3, i, r, std::pow(2.0, 17.0));
+  EXPECT_LT(after.words, flat * 0.75);
+  EXPECT_EQ(after.large_dims, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 reproduction properties.
+
+class Figure4Test : public ::testing::Test {
+ protected:
+  static const std::vector<ScalingPoint>& series() {
+    static const std::vector<ScalingPoint> s = [] {
+      ScalingModelConfig cfg;  // paper defaults: N=3, I=2^45, R=2^15
+      return strong_scaling_series(cfg);
+    }();
+    return s;
+  }
+
+  static const ScalingPoint& at_log2(int e) {
+    return series()[static_cast<std::size_t>(e)];
+  }
+};
+
+TEST_F(Figure4Test, SeriesCoversFullProcessorRange) {
+  ASSERT_EQ(series().size(), 31u);
+  EXPECT_EQ(series().front().procs, 1);
+  EXPECT_EQ(series().back().procs, index_t{1} << 30);
+}
+
+TEST_F(Figure4Test, TensorAwareAlgorithmsAlwaysWin) {
+  // The paper: "our proposed algorithms perform less communication than
+  // matrix multiplication throughout the range of processors." A 1% slack
+  // absorbs the exact-integer-grid -1 terms at the extreme P = 2^30 point,
+  // where the two models tie.
+  for (const ScalingPoint& pt : series()) {
+    if (pt.procs == 1) continue;  // no communication at P=1
+    EXPECT_LE(pt.stationary_words, pt.matmul_words * 1.01)
+        << "P = " << pt.procs;
+    EXPECT_LE(pt.general_words, pt.stationary_words + 1e-9)
+        << "P = " << pt.procs;
+  }
+}
+
+TEST_F(Figure4Test, OrderOfMagnitudeGapAtP217) {
+  // The paper reports "approximately 25x less communication" at P = 2^17.
+  // With our exact Eq. (14) grids and honest CARMA constants the measured
+  // gap is ~16x — same direction and order of magnitude; the residual
+  // factor traces to the paper's matmul curve remaining on its 1D branch
+  // there (see EXPERIMENTS.md).
+  const ScalingPoint& pt = at_log2(17);
+  const double gap = pt.matmul_words / pt.stationary_words;
+  EXPECT_GT(gap, 8.0);
+  EXPECT_LT(gap, 40.0);
+}
+
+TEST_F(Figure4Test, AlgorithmsDivergeOnlyAtLargeP) {
+  // "Algorithm 3 and Algorithm 4 diverge only when P >= 2^27."
+  int first_divergence = -1;
+  for (int e = 0; e <= 30; ++e) {
+    const ScalingPoint& pt = at_log2(e);
+    if (pt.general_words < pt.stationary_words * 0.99) {
+      first_divergence = e;
+      break;
+    }
+  }
+  ASSERT_GE(first_divergence, 0) << "Algorithm 4 never wins";
+  EXPECT_GE(first_divergence, 20);  // deep into the strong-scaling range
+  EXPECT_LE(first_divergence, 28);
+}
+
+TEST_F(Figure4Test, GeneralAlgorithmTracksLowerBound) {
+  // Algorithm 4 is communication optimal (Theorem 6.2): its modeled cost
+  // must stay within a small constant of the proved lower bound
+  // max(Theorem 4.2, Theorem 4.3), and can never fall below it. Metric
+  // note: Eq. (18) counts words *sent* per processor; the theorems bound
+  // sends *plus* receives, and the ring collectives receive as much as they
+  // send — hence the factor 2 on the model side.
+  for (const ScalingPoint& pt : series()) {
+    if (pt.procs < 8) continue;
+    ASSERT_GT(pt.lower_bound_words, 0.0) << "P = " << pt.procs;
+    const double sends_plus_receives = 2.0 * pt.general_words;
+    EXPECT_LE(sends_plus_receives, 12.0 * pt.lower_bound_words)
+        << "P = " << pt.procs;
+    EXPECT_GE(sends_plus_receives, 0.99 * pt.lower_bound_words)
+        << "P = " << pt.procs;
+  }
+}
+
+TEST_F(Figure4Test, CostsDecreaseWithPBeyondSmallP) {
+  // The exact Eq. (14)/(18) costs rise from zero at P=1 to a peak at P=4
+  // (the -1 terms dominate at tiny P), then decrease monotonically — the
+  // strong-scaling regime the paper plots.
+  for (std::size_t i = 3; i < series().size(); ++i) {
+    EXPECT_LE(series()[i].stationary_words,
+              series()[i - 1].stationary_words + 1e-9)
+        << "P = " << series()[i].procs;
+    EXPECT_LE(series()[i].general_words,
+              series()[i - 1].general_words + 1e-9)
+        << "P = " << series()[i].procs;
+  }
+}
+
+TEST_F(Figure4Test, StationaryMatchesClosedFormAtPowersOfEight) {
+  // When P = p^3 with p | I_k, the optimal grid is cubical and the cost is
+  // exactly 3 (P/p - 1) I_k R / P = ~3 R (I/P)^(1/3) at large P.
+  const ScalingPoint& pt = at_log2(12);  // P = 4096 = 16^3
+  EXPECT_EQ(pt.stationary_grid,
+            (std::vector<index_t>{16, 16, 16}));
+  const double expect =
+      3.0 * (4096.0 / 16.0 - 1.0) *
+      (std::pow(2.0, 15.0) * std::pow(2.0, 15.0) / 4096.0);
+  EXPECT_NEAR(pt.stationary_words, expect, expect * 1e-12);
+}
+
+TEST(ScalingModel, ValidatesConfig) {
+  ScalingModelConfig cfg;
+  cfg.order = 1;
+  EXPECT_THROW(strong_scaling_series(cfg), std::invalid_argument);
+  cfg.order = 3;
+  cfg.min_log2_procs = 5;
+  cfg.max_log2_procs = 2;
+  EXPECT_THROW(strong_scaling_series(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

@@ -1,0 +1,203 @@
+// Tests for sequential and parallel CP-ALS: exact recovery of synthetic
+// low-rank tensors, fit monotonicity, backend equivalence, and the parallel
+// driver's agreement with the sequential one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cp/cp_als.hpp"
+#include "src/cp/par_cp_als.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+namespace {
+
+DenseTensor synthetic_low_rank(const shape_t& dims, index_t rank,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matrix> factors;
+  for (index_t d : dims) {
+    factors.push_back(Matrix::random_uniform(d, rank, rng, 0.1, 1.0));
+  }
+  std::vector<double> lambda(static_cast<std::size_t>(rank), 1.0);
+  return DenseTensor::from_cp(factors, lambda);
+}
+
+TEST(CpAls, RecoversExactLowRankTensor) {
+  const DenseTensor x = synthetic_low_rank({8, 9, 10}, 3, 5001);
+  CpAlsOptions opts;
+  opts.rank = 3;
+  opts.max_iterations = 200;
+  opts.tolerance = 1e-12;
+  const CpAlsResult result = cp_als(x, opts);
+  EXPECT_GT(result.final_fit, 0.999);
+  // Reconstruction error must match the fit.
+  const DenseTensor approx = result.model.reconstruct();
+  EXPECT_LT(x.max_abs_diff(approx), 0.05 * x.frobenius_norm());
+}
+
+TEST(CpAls, FitIsMonotoneNonDecreasing) {
+  // ALS is a block-coordinate descent on the residual, so the fit cannot
+  // decrease (up to numerical noise).
+  const DenseTensor x = synthetic_low_rank({6, 7, 8}, 4, 5003);
+  CpAlsOptions opts;
+  opts.rank = 4;
+  opts.max_iterations = 40;
+  opts.tolerance = 0.0;  // run all iterations
+  const CpAlsResult result = cp_als(x, opts);
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_GE(result.trace[i].fit, result.trace[i - 1].fit - 1e-9)
+        << "iteration " << i;
+  }
+}
+
+TEST(CpAls, ConvergesAndStops) {
+  const DenseTensor x = synthetic_low_rank({6, 6, 6}, 2, 5007);
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iterations = 500;
+  opts.tolerance = 1e-7;
+  const CpAlsResult result = cp_als(x, opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 500);
+}
+
+TEST(CpAls, AllMttkrpBackendsGiveTheSameTrajectory) {
+  // The backend changes arithmetic order, not semantics; with the same seed
+  // the fits must agree to high precision.
+  const DenseTensor x = synthetic_low_rank({6, 5, 7}, 3, 5009);
+  std::vector<double> fits;
+  for (MttkrpAlgo algo : {MttkrpAlgo::kReference, MttkrpAlgo::kBlocked,
+                          MttkrpAlgo::kMatmul, MttkrpAlgo::kTwoStep}) {
+    CpAlsOptions opts;
+    opts.rank = 3;
+    opts.max_iterations = 10;
+    opts.tolerance = 0.0;
+    opts.mttkrp.algo = algo;
+    opts.mttkrp.block_size = 3;
+    fits.push_back(cp_als(x, opts).final_fit);
+  }
+  for (std::size_t i = 1; i < fits.size(); ++i) {
+    EXPECT_NEAR(fits[i], fits[0], 1e-8);
+  }
+}
+
+TEST(CpAls, NoisyTensorStillFitsWell) {
+  Rng rng(5011);
+  DenseTensor x = synthetic_low_rank({8, 8, 8}, 3, 5013);
+  const double scale = x.frobenius_norm() / std::sqrt(512.0);
+  for (index_t i = 0; i < x.size(); ++i) {
+    x[i] += 0.01 * scale * rng.normal();
+  }
+  CpAlsOptions opts;
+  opts.rank = 3;
+  opts.max_iterations = 100;
+  const CpAlsResult result = cp_als(x, opts);
+  EXPECT_GT(result.final_fit, 0.95);
+}
+
+TEST(CpAls, HigherOrderTensor) {
+  const DenseTensor x = synthetic_low_rank({4, 5, 3, 4}, 2, 5017);
+  CpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iterations = 150;
+  const CpAlsResult result = cp_als(x, opts);
+  EXPECT_GT(result.final_fit, 0.999);
+}
+
+TEST(CpAls, Validation) {
+  const DenseTensor x = synthetic_low_rank({4, 4}, 2, 5019);
+  CpAlsOptions opts;
+  opts.rank = 0;
+  EXPECT_THROW(cp_als(x, opts), std::invalid_argument);
+  opts.rank = 2;
+  opts.max_iterations = 0;
+  EXPECT_THROW(cp_als(x, opts), std::invalid_argument);
+  const DenseTensor zero({3, 3}, 0.0);
+  opts.max_iterations = 5;
+  EXPECT_THROW(cp_als(zero, opts), std::invalid_argument);
+}
+
+TEST(CpModelNorm, MatchesDirectComputation) {
+  Rng rng(5023);
+  std::vector<Matrix> factors;
+  factors.push_back(Matrix::random_normal(4, 2, rng));
+  factors.push_back(Matrix::random_normal(5, 2, rng));
+  const std::vector<double> lambda{1.5, -0.5};
+  std::vector<Matrix> grams;
+  for (const Matrix& a : factors) grams.push_back(gram(a));
+  const double norm_sq = cp_model_norm_squared(grams, lambda);
+  const DenseTensor t = DenseTensor::from_cp(factors, lambda);
+  EXPECT_NEAR(norm_sq, std::pow(t.frobenius_norm(), 2.0),
+              1e-9 * std::max(1.0, norm_sq));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel CP-ALS.
+
+TEST(ParCpAls, MatchesSequentialFit) {
+  const DenseTensor x = synthetic_low_rank({8, 8, 8}, 3, 5027);
+
+  CpAlsOptions seq_opts;
+  seq_opts.rank = 3;
+  seq_opts.max_iterations = 8;
+  seq_opts.tolerance = 0.0;
+  seq_opts.seed = 99;
+  const CpAlsResult seq = cp_als(x, seq_opts);
+
+  ParCpAlsOptions par_opts;
+  par_opts.rank = 3;
+  par_opts.max_iterations = 8;
+  par_opts.tolerance = 0.0;
+  par_opts.grid = {2, 2, 2};
+  par_opts.seed = 99;
+  const ParCpAlsResult par = par_cp_als(x, par_opts);
+
+  ASSERT_EQ(par.trace.size(), seq.trace.size());
+  for (std::size_t i = 0; i < par.trace.size(); ++i) {
+    EXPECT_NEAR(par.trace[i].fit, seq.trace[i].fit, 1e-8)
+        << "iteration " << i;
+  }
+}
+
+TEST(ParCpAls, CountsCommunicationPerIteration) {
+  const DenseTensor x = synthetic_low_rank({8, 8, 8}, 4, 5031);
+  ParCpAlsOptions opts;
+  opts.rank = 4;
+  opts.max_iterations = 3;
+  opts.tolerance = 0.0;
+  opts.grid = {2, 2, 2};
+  const ParCpAlsResult result = par_cp_als(x, opts);
+  ASSERT_EQ(result.trace.size(), 3u);
+  for (const ParCpAlsIterate& it : result.trace) {
+    EXPECT_GT(it.mttkrp_words_max, 0);
+    EXPECT_GT(it.gram_words_max, 0);
+  }
+  // Every iteration moves the same words (same distributions every sweep).
+  EXPECT_EQ(result.trace[0].mttkrp_words_max,
+            result.trace[1].mttkrp_words_max);
+  EXPECT_GT(result.total_mttkrp_words_max, result.total_gram_words_max);
+}
+
+TEST(ParCpAls, SingleProcessorGridMovesOnlyGramWords) {
+  const DenseTensor x = synthetic_low_rank({6, 6, 6}, 2, 5039);
+  ParCpAlsOptions opts;
+  opts.rank = 2;
+  opts.max_iterations = 2;
+  opts.tolerance = 0.0;
+  opts.grid = {1, 1, 1};
+  const ParCpAlsResult result = par_cp_als(x, opts);
+  EXPECT_EQ(result.total_mttkrp_words_max, 0);
+  EXPECT_EQ(result.total_gram_words_max, 0);  // singleton all-reduce is free
+}
+
+TEST(ParCpAls, Validation) {
+  const DenseTensor x = synthetic_low_rank({6, 6, 6}, 2, 5041);
+  ParCpAlsOptions opts;
+  opts.rank = 2;
+  opts.grid = {2, 2};  // wrong dimensionality
+  EXPECT_THROW(par_cp_als(x, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

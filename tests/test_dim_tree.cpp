@@ -1,0 +1,159 @@
+// Tests for partial contractions and the dimension-tree multi-mode MTTKRP:
+// correctness against per-mode MTTKRP, exact multiply accounting, and the
+// computation-reuse factor the Section VII extension promises.
+#include <gtest/gtest.h>
+
+#include "src/mttkrp/dim_tree.hpp"
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+namespace {
+
+struct Problem {
+  DenseTensor x;
+  std::vector<Matrix> factors;
+};
+
+Problem make_problem(const shape_t& dims, index_t rank, std::uint64_t seed) {
+  Rng rng(seed);
+  Problem p;
+  p.x = DenseTensor::random_normal(dims, rng);
+  for (index_t d : dims) {
+    p.factors.push_back(Matrix::random_normal(d, rank, rng));
+  }
+  return p;
+}
+
+TEST(Partial, ContractTensorToSingleModeIsMttkrp) {
+  const Problem p = make_problem({4, 5, 6}, 3, 7001);
+  for (int mode = 0; mode < 3; ++mode) {
+    const Partial leaf = contract_tensor(p.x, p.factors, {mode}, 3);
+    const Matrix expected = mttkrp_reference(p.x, p.factors, mode);
+    EXPECT_LT(max_abs_diff(partial_to_mttkrp(leaf), expected), 1e-10)
+        << "mode " << mode;
+  }
+}
+
+TEST(Partial, ContractTensorKeepingAllModesReplicatesX) {
+  const Problem p = make_problem({3, 4}, 2, 7003);
+  const Partial full = contract_tensor(p.x, p.factors, {0, 1}, 2);
+  ASSERT_EQ(full.row_count(), p.x.size());
+  for (index_t j = 0; j < p.x.size(); ++j) {
+    EXPECT_DOUBLE_EQ(full.values(j, 0), p.x[j]);
+    EXPECT_DOUBLE_EQ(full.values(j, 1), p.x[j]);
+  }
+}
+
+TEST(Partial, TwoStageContractionMatchesDirect) {
+  // Contract {0,1,2,3} -> {0,1} -> {0} must equal contracting straight to
+  // {0} (associativity of the rank-matched contractions).
+  const Problem p = make_problem({3, 4, 2, 5}, 3, 7005);
+  const Partial two = contract_tensor(p.x, p.factors, {0, 1}, 3);
+  const Partial staged = contract_partial(two, p.factors, {0});
+  const Partial direct = contract_tensor(p.x, p.factors, {0}, 3);
+  EXPECT_LT(max_abs_diff(staged.values, direct.values), 1e-10);
+}
+
+TEST(Partial, KeepsNonContiguousModeSubsets) {
+  const Problem p = make_problem({3, 4, 5}, 2, 7007);
+  const Partial skip = contract_tensor(p.x, p.factors, {0, 2}, 2);
+  ASSERT_EQ(skip.dims, (shape_t{3, 5}));
+  // Spot-check one entry against the definition.
+  // P(j, r) with j = i0 + 3*i2 = sum_{i1} X(i0,i1,i2) A^(1)(i1,r).
+  double expect = 0.0;
+  for (index_t i1 = 0; i1 < 4; ++i1) {
+    expect += p.x.at({1, i1, 2}) * p.factors[1](i1, 0);
+  }
+  EXPECT_NEAR(skip.values(1 + 3 * 2, 0), expect, 1e-12);
+}
+
+TEST(Partial, Validation) {
+  const Problem p = make_problem({3, 4}, 2, 7009);
+  EXPECT_THROW(contract_tensor(p.x, p.factors, {}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(contract_tensor(p.x, p.factors, {1, 0}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(contract_tensor(p.x, p.factors, {0, 2}, 2),
+               std::invalid_argument);
+  const Partial full = contract_tensor(p.x, p.factors, {0, 1}, 2);
+  EXPECT_THROW(contract_partial(full, p.factors, {0, 1}),
+               std::invalid_argument);  // nothing to contract
+  EXPECT_THROW(partial_to_mttkrp(full), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Dimension tree.
+
+class DimTreeOrders : public ::testing::TestWithParam<shape_t> {};
+
+TEST_P(DimTreeOrders, MatchesPerModeMttkrp) {
+  const shape_t dims = GetParam();
+  const Problem p = make_problem(dims, 3, 7011);
+  const AllModesResult tree = mttkrp_all_modes_tree(p.x, p.factors);
+  ASSERT_EQ(tree.outputs.size(), dims.size());
+  for (int mode = 0; mode < static_cast<int>(dims.size()); ++mode) {
+    const Matrix expected = mttkrp_reference(p.x, p.factors, mode);
+    EXPECT_LT(max_abs_diff(tree.outputs[static_cast<std::size_t>(mode)],
+                           expected),
+              1e-9)
+        << "mode " << mode;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DimTreeOrders,
+                         ::testing::Values(shape_t{5, 7}, shape_t{4, 5, 6},
+                                           shape_t{3, 4, 2, 5},
+                                           shape_t{2, 3, 2, 3, 2},
+                                           shape_t{2, 2, 2, 2, 2, 2},
+                                           shape_t{1, 6, 1}));
+
+TEST(DimTree, MultiplyCountMatchesModel) {
+  for (const shape_t& dims :
+       {shape_t{4, 5, 6}, shape_t{3, 4, 2, 5}, shape_t{2, 3, 2, 3, 2}}) {
+    const Problem p = make_problem(dims, 4, 7013);
+    const AllModesResult tree = mttkrp_all_modes_tree(p.x, p.factors);
+    EXPECT_EQ(tree.multiplies, dim_tree_multiply_count(dims, 4));
+  }
+}
+
+TEST(DimTree, SavesWorkOverSeparateMttkrps) {
+  // For order N >= 3 the tree must perform strictly fewer multiplies than
+  // N independent MTTKRPs; the gap widens with N.
+  const Problem p3 = make_problem({8, 8, 8}, 4, 7017);
+  const AllModesResult tree3 = mttkrp_all_modes_tree(p3.x, p3.factors);
+  const AllModesResult sep3 = mttkrp_all_modes_separate(p3.x, p3.factors);
+  EXPECT_LT(tree3.multiplies, sep3.multiplies);
+
+  const Problem p5 = make_problem({4, 4, 4, 4, 4}, 3, 7019);
+  const AllModesResult tree5 = mttkrp_all_modes_tree(p5.x, p5.factors);
+  const AllModesResult sep5 = mttkrp_all_modes_separate(p5.x, p5.factors);
+  const double ratio3 = static_cast<double>(sep3.multiplies) /
+                        static_cast<double>(tree3.multiplies);
+  const double ratio5 = static_cast<double>(sep5.multiplies) /
+                        static_cast<double>(tree5.multiplies);
+  EXPECT_GT(ratio3, 1.5);
+  EXPECT_GT(ratio5, ratio3);
+}
+
+TEST(DimTree, SeparateBaselineMatchesTreeOutputs) {
+  const Problem p = make_problem({5, 6, 7}, 3, 7023);
+  const AllModesResult tree = mttkrp_all_modes_tree(p.x, p.factors);
+  const AllModesResult sep = mttkrp_all_modes_separate(p.x, p.factors);
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    EXPECT_LT(max_abs_diff(tree.outputs[mode], sep.outputs[mode]), 1e-9);
+  }
+}
+
+TEST(DimTree, Validation) {
+  const Problem p = make_problem({4, 5, 6}, 3, 7027);
+  std::vector<Matrix> bad = p.factors;
+  bad[1] = Matrix(5, 2);  // rank mismatch
+  EXPECT_THROW(mttkrp_all_modes_tree(p.x, bad), std::invalid_argument);
+  bad = p.factors;
+  bad.pop_back();
+  EXPECT_THROW(mttkrp_all_modes_tree(p.x, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

@@ -1,0 +1,134 @@
+// End-to-end integration across modules: synthesize -> serialize ->
+// decompose (sequential and simulated-parallel) -> verify against bounds
+// and against each other. One test exercises most of the library's public
+// surface the way a downstream user would.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/mtk.hpp"
+
+namespace mtk {
+namespace {
+
+TEST(Integration, FullPipeline) {
+  const std::string tensor_path =
+      std::string(::testing::TempDir()) + "/pipeline_tensor.bin";
+  const std::string model_path =
+      std::string(::testing::TempDir()) + "/pipeline_model.bin";
+
+  // 1. Synthesize a noisy rank-4 tensor and write it to disk.
+  Rng rng(20001);
+  const shape_t dims{12, 10, 8};
+  const index_t rank = 4;
+  std::vector<Matrix> truth;
+  for (index_t d : dims) {
+    truth.push_back(Matrix::random_uniform(d, rank, rng, 0.1, 1.0));
+  }
+  DenseTensor x = DenseTensor::from_cp(
+      truth, std::vector<double>(static_cast<std::size_t>(rank), 1.0));
+  save_tensor(x, tensor_path);
+
+  // 2. Read it back; decompose with CP-ALS on the blocked MTTKRP backend.
+  const DenseTensor loaded = load_tensor(tensor_path);
+  ASSERT_EQ(loaded.dims(), dims);
+
+  CpAlsOptions als;
+  als.rank = rank;
+  als.max_iterations = 150;
+  als.tolerance = 1e-10;
+  als.mttkrp.algo = MttkrpAlgo::kBlocked;
+  const CpAlsResult seq = cp_als(loaded, als);
+  EXPECT_GT(seq.final_fit, 0.99);
+
+  // 3. Persist and reload the model; reconstruction must survive the trip.
+  save_cp_model(seq.model, model_path);
+  const CpModel reloaded = load_cp_model(model_path);
+  EXPECT_LT(
+      seq.model.reconstruct().max_abs_diff(reloaded.reconstruct()), 1e-12);
+
+  // 4. The same decomposition on the simulated cluster agrees iterate by
+  //    iterate, and its communication respects the lower bound.
+  ParCpAlsOptions par;
+  par.rank = rank;
+  par.max_iterations = 5;
+  par.tolerance = 0.0;
+  par.grid = {2, 2, 2};
+  par.seed = als.seed;
+  const ParCpAlsResult pr = par_cp_als(loaded, par);
+  CpAlsOptions seq5 = als;
+  seq5.max_iterations = 5;
+  seq5.tolerance = 0.0;
+  const CpAlsResult sr = cp_als(loaded, seq5);
+  ASSERT_EQ(pr.trace.size(), sr.trace.size());
+  for (std::size_t i = 0; i < pr.trace.size(); ++i) {
+    EXPECT_NEAR(pr.trace[i].fit, sr.trace[i].fit, 1e-8);
+  }
+  ParProblem lb;
+  lb.dims = dims;
+  lb.rank = rank;
+  lb.procs = 8;
+  // Each iteration runs N MTTKRPs; the per-iteration MTTKRP words of the
+  // bottleneck rank must respect N times the single-MTTKRP bound.
+  EXPECT_GE(static_cast<double>(pr.trace.front().mttkrp_words_max) + 1e-9,
+            par_lower_bound(lb));
+
+  // 5. Tucker-compress the fitted model's reconstruction; at multilinear
+  //    rank (4,4,4) a rank-4 CP tensor is represented exactly.
+  const TuckerModel tucker =
+      st_hosvd(seq.model.reconstruct(), {.ranks = {4, 4, 4}});
+  EXPECT_LT(tucker_residual_norm(seq.model.reconstruct(), tucker),
+            1e-6 * loaded.frobenius_norm());
+
+  // 6. The memory simulator's measured traffic for the backend we used
+  //    stays between the bounds.
+  TraceProblem tp;
+  tp.dims = dims;
+  tp.rank = rank;
+  tp.mode = 0;
+  const index_t m = 200;
+  const index_t b = max_block_size(3, m);
+  const MemoryStats traffic = measure_traffic(
+      m, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_blocked(tp, b, sink); });
+  SeqProblem sp;
+  sp.dims = dims;
+  sp.rank = rank;
+  sp.fast_memory = m;
+  EXPECT_GE(static_cast<double>(traffic.traffic()), seq_lower_bound(sp));
+  EXPECT_LE(static_cast<double>(traffic.traffic()),
+            seq_upper_bound_blocked(sp, b) * 1.05);
+
+  std::remove(tensor_path.c_str());
+  std::remove(model_path.c_str());
+}
+
+TEST(Integration, GradientAndAlsAgreeOnTheOptimum) {
+  // Both optimizers minimize the same objective; from good initializations
+  // on an exactly low-rank tensor they must reach comparable fits.
+  Rng rng(20003);
+  const shape_t dims{8, 8, 8};
+  std::vector<Matrix> truth;
+  for (index_t d : dims) {
+    truth.push_back(Matrix::random_uniform(d, 2, rng, 0.2, 1.0));
+  }
+  const DenseTensor x = DenseTensor::from_cp(truth, {1.0, 1.0});
+
+  CpAlsOptions als;
+  als.rank = 2;
+  als.max_iterations = 200;
+  als.tolerance = 1e-12;
+  const CpAlsResult a = cp_als(x, als);
+
+  CpGradOptions grad;
+  grad.rank = 2;
+  grad.max_iterations = 400;
+  grad.tolerance = 1e-8;
+  const CpGradResult g = cp_gradient_descent(x, grad);
+
+  EXPECT_GT(a.final_fit, 0.999);
+  EXPECT_GT(g.final_fit, 0.95);  // first-order converges slower
+}
+
+}  // namespace
+}  // namespace mtk

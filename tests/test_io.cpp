@@ -1,0 +1,104 @@
+// Round-trip and failure-path tests for the binary serialization module.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/io/tensor_io.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TensorIo, TensorRoundTrip) {
+  Rng rng(12001);
+  const DenseTensor x = DenseTensor::random_normal({4, 5, 6}, rng);
+  const std::string path = temp_path("tensor.bin");
+  save_tensor(x, path);
+  const DenseTensor back = load_tensor(path);
+  EXPECT_EQ(back.dims(), x.dims());
+  EXPECT_DOUBLE_EQ(x.max_abs_diff(back), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, MatrixRoundTrip) {
+  Rng rng(12003);
+  const Matrix m = Matrix::random_normal(7, 3, rng);
+  const std::string path = temp_path("matrix.bin");
+  save_matrix(m, path);
+  const Matrix back = load_matrix(path);
+  EXPECT_EQ(back.rows(), 7);
+  EXPECT_EQ(back.cols(), 3);
+  EXPECT_DOUBLE_EQ(max_abs_diff(m, back), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, CpModelRoundTrip) {
+  Rng rng(12005);
+  CpModel model;
+  model.factors.push_back(Matrix::random_normal(4, 2, rng));
+  model.factors.push_back(Matrix::random_normal(5, 2, rng));
+  model.factors.push_back(Matrix::random_normal(6, 2, rng));
+  model.lambda = {1.5, -2.5};
+  const std::string path = temp_path("model.bin");
+  save_cp_model(model, path);
+  const CpModel back = load_cp_model(path);
+  ASSERT_EQ(back.factors.size(), 3u);
+  EXPECT_EQ(back.lambda, model.lambda);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(max_abs_diff(back.factors[k], model.factors[k]), 0.0);
+  }
+  // Reconstruction consistency after the round trip.
+  EXPECT_LT(model.reconstruct().max_abs_diff(back.reconstruct()), 1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, MissingFileThrows) {
+  EXPECT_THROW(load_tensor(temp_path("does_not_exist.bin")),
+               std::runtime_error);
+}
+
+TEST(TensorIo, WrongMagicThrows) {
+  const std::string path = temp_path("junk.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a tensor";
+  }
+  EXPECT_THROW(load_tensor(path), std::runtime_error);
+  EXPECT_THROW(load_matrix(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, TruncatedFileThrows) {
+  Rng rng(12007);
+  const DenseTensor x = DenseTensor::random_normal({8, 8}, rng);
+  const std::string path = temp_path("truncated.bin");
+  save_tensor(x, path);
+  // Chop off the tail.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_THROW(load_tensor(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, CrossTypeMagicRejected) {
+  Rng rng(12009);
+  const Matrix m = Matrix::random_normal(3, 3, rng);
+  const std::string path = temp_path("matrix_as_tensor.bin");
+  save_matrix(m, path);
+  EXPECT_THROW(load_tensor(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mtk

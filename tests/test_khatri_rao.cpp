@@ -1,0 +1,107 @@
+// Tests for the Khatri-Rao product and its consistency with the
+// matricization convention (X_(n) * KRP == MTTKRP).
+#include <gtest/gtest.h>
+
+#include "src/support/rng.hpp"
+#include "src/tensor/khatri_rao.hpp"
+#include "src/tensor/matricize.hpp"
+
+namespace mtk {
+namespace {
+
+TEST(KhatriRao, TwoMatrixKnownValues) {
+  Matrix a(2, 2), b(3, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6;
+  b(1, 0) = 7; b(1, 1) = 8;
+  b(2, 0) = 9; b(2, 1) = 10;
+  const Matrix k = khatri_rao({a, b});
+  ASSERT_EQ(k.rows(), 6);
+  ASSERT_EQ(k.cols(), 2);
+  // Row j corresponds to (i_a, i_b) with i_a fastest: j = i_a + 2*i_b.
+  EXPECT_DOUBLE_EQ(k(0, 0), 1 * 5);   // (0,0)
+  EXPECT_DOUBLE_EQ(k(1, 0), 3 * 5);   // (1,0)
+  EXPECT_DOUBLE_EQ(k(2, 0), 1 * 7);   // (0,1)
+  EXPECT_DOUBLE_EQ(k(5, 1), 4 * 10);  // (1,2)
+}
+
+TEST(KhatriRao, SingleMatrixIsIdentityOperation) {
+  Rng rng(59);
+  const Matrix a = Matrix::random_normal(4, 3, rng);
+  const Matrix k = khatri_rao({a});
+  EXPECT_LT(max_abs_diff(a, k), 1e-15);
+}
+
+TEST(KhatriRao, DefinitionOnThreeMatrices) {
+  Rng rng(61);
+  const Matrix a = Matrix::random_normal(2, 3, rng);
+  const Matrix b = Matrix::random_normal(3, 3, rng);
+  const Matrix c = Matrix::random_normal(4, 3, rng);
+  const Matrix k = khatri_rao({a, b, c});
+  ASSERT_EQ(k.rows(), 24);
+  const shape_t row_dims{2, 3, 4};
+  for (Odometer od(row_dims); od.valid(); od.next()) {
+    const index_t j = linearize(od.index(), row_dims);
+    for (index_t r = 0; r < 3; ++r) {
+      const double expect = a(od.index()[0], r) * b(od.index()[1], r) *
+                            c(od.index()[2], r);
+      EXPECT_NEAR(k(j, r), expect, 1e-14);
+    }
+  }
+}
+
+TEST(KhatriRao, RankMismatchThrows) {
+  EXPECT_THROW(khatri_rao({Matrix(2, 2), Matrix(3, 3)}),
+               std::invalid_argument);
+  EXPECT_THROW(khatri_rao(std::vector<Matrix>{}), std::invalid_argument);
+}
+
+TEST(KhatriRaoSkip, DropsTheRequestedMode) {
+  Rng rng(67);
+  std::vector<Matrix> factors;
+  factors.push_back(Matrix::random_normal(2, 2, rng));
+  factors.push_back(Matrix::random_normal(3, 2, rng));
+  factors.push_back(Matrix::random_normal(4, 2, rng));
+  const Matrix k1 = khatri_rao_skip(factors, 1);
+  EXPECT_EQ(k1.rows(), 8);  // 2 * 4
+  const Matrix direct = khatri_rao({factors[0], factors[2]});
+  EXPECT_LT(max_abs_diff(k1, direct), 1e-15);
+  EXPECT_THROW(khatri_rao_skip(factors, 3), std::invalid_argument);
+}
+
+TEST(KhatriRao, ConsistentWithMatricization) {
+  // The load-bearing convention test: X_(n) * KRP must equal the MTTKRP of
+  // Definition 2.1, computed here from scratch.
+  Rng rng(71);
+  const shape_t dims{3, 2, 4};
+  const index_t rank = 2;
+  const DenseTensor x = DenseTensor::random_normal(dims, rng);
+  std::vector<Matrix> factors;
+  for (index_t d : dims) {
+    factors.push_back(Matrix::random_normal(d, rank, rng));
+  }
+  for (int mode = 0; mode < 3; ++mode) {
+    const Matrix xn = matricize(x, mode);
+    const Matrix krp = khatri_rao_skip(factors, mode);
+    Matrix via_matmul(xn.rows(), rank);
+    gemm(xn, krp, via_matmul);
+
+    Matrix direct(dims[static_cast<std::size_t>(mode)], rank, 0.0);
+    for (Odometer od(dims); od.valid(); od.next()) {
+      const multi_index_t& idx = od.index();
+      for (index_t r = 0; r < rank; ++r) {
+        double prod = x.at(idx);
+        for (int k = 0; k < 3; ++k) {
+          if (k == mode) continue;
+          prod *= factors[static_cast<std::size_t>(k)](idx[static_cast<std::size_t>(k)], r);
+        }
+        direct(idx[static_cast<std::size_t>(mode)], r) += prod;
+      }
+    }
+    EXPECT_LT(max_abs_diff(via_matmul, direct), 1e-10) << "mode " << mode;
+  }
+}
+
+}  // namespace
+}  // namespace mtk

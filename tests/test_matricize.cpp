@@ -1,0 +1,93 @@
+// Tests for mode-n matricization: Kolda-Bader convention, fold/unfold
+// round trips, and the coordinate maps used by the traced algorithms.
+#include <gtest/gtest.h>
+
+#include "src/support/rng.hpp"
+#include "src/tensor/matricize.hpp"
+
+namespace mtk {
+namespace {
+
+TEST(Matricize, KnownThreeWayExample) {
+  // X(i,j,k) = 100*i + 10*j + k over a 2x2x2 tensor.
+  DenseTensor x({2, 2, 2});
+  x.fill_from([](const multi_index_t& i) {
+    return static_cast<double>(100 * i[0] + 10 * i[1] + i[2]);
+  });
+  // Mode-0 unfolding: rows = i, columns linearize (j, k) with j fastest.
+  const Matrix x0 = matricize(x, 0);
+  ASSERT_EQ(x0.rows(), 2);
+  ASSERT_EQ(x0.cols(), 4);
+  EXPECT_DOUBLE_EQ(x0(0, 0), 0.0);    // (0,0,0)
+  EXPECT_DOUBLE_EQ(x0(1, 0), 100.0);  // (1,0,0)
+  EXPECT_DOUBLE_EQ(x0(0, 1), 10.0);   // (0,1,0): j fastest
+  EXPECT_DOUBLE_EQ(x0(0, 2), 1.0);    // (0,0,1)
+  EXPECT_DOUBLE_EQ(x0(1, 3), 111.0);  // (1,1,1)
+
+  // Mode-1 unfolding: columns linearize (i, k) with i fastest.
+  const Matrix x1 = matricize(x, 1);
+  EXPECT_DOUBLE_EQ(x1(1, 0), 10.0);   // (0,1,0)
+  EXPECT_DOUBLE_EQ(x1(0, 1), 100.0);  // (1,0,0)
+  EXPECT_DOUBLE_EQ(x1(1, 3), 111.0);  // (1,1,1)
+
+  // Mode-2 unfolding: columns linearize (i, j) with i fastest.
+  const Matrix x2 = matricize(x, 2);
+  EXPECT_DOUBLE_EQ(x2(1, 0), 1.0);    // (0,0,1)
+  EXPECT_DOUBLE_EQ(x2(0, 3), 110.0);  // (1,1,0)
+}
+
+TEST(Matricize, ModeZeroIsReshape) {
+  // With column-major storage, the mode-0 unfolding column index equals the
+  // linear index divided by I_0.
+  Rng rng(47);
+  const DenseTensor x = DenseTensor::random_normal({3, 4, 5}, rng);
+  const Matrix x0 = matricize(x, 0);
+  for (index_t lin = 0; lin < x.size(); ++lin) {
+    EXPECT_DOUBLE_EQ(x0(lin % 3, lin / 3), x[lin]);
+  }
+}
+
+TEST(Matricize, FoldInvertsMatricize) {
+  Rng rng(53);
+  const shape_t dims{3, 4, 2, 5};
+  const DenseTensor x = DenseTensor::random_normal(dims, rng);
+  for (int mode = 0; mode < 4; ++mode) {
+    const Matrix m = matricize(x, mode);
+    const DenseTensor back = fold(m, dims, mode);
+    EXPECT_DOUBLE_EQ(x.max_abs_diff(back), 0.0) << "mode " << mode;
+  }
+}
+
+TEST(Matricize, CoordMapsRoundTrip) {
+  const shape_t dims{3, 4, 5};
+  for (int mode = 0; mode < 3; ++mode) {
+    for (Odometer od(dims); od.valid(); od.next()) {
+      const UnfoldingCoord rc = unfolding_coord(od.index(), dims, mode);
+      EXPECT_EQ(unfolding_inverse(rc.row, rc.col, dims, mode), od.index());
+    }
+  }
+}
+
+TEST(Matricize, TwoWayTensorUnfoldings) {
+  // For an order-2 tensor (a matrix), mode-0 unfolding is the matrix itself
+  // and mode-1 is its transpose.
+  DenseTensor x({2, 3});
+  x.fill_from([](const multi_index_t& i) {
+    return static_cast<double>(10 * i[0] + i[1]);
+  });
+  const Matrix x0 = matricize(x, 0);
+  EXPECT_DOUBLE_EQ(x0(1, 2), 12.0);
+  const Matrix x1 = matricize(x, 1);
+  EXPECT_DOUBLE_EQ(x1(2, 1), 12.0);
+}
+
+TEST(Matricize, InvalidArgumentsThrow) {
+  DenseTensor x({2, 2}, 0.0);
+  EXPECT_THROW(matricize(x, 2), std::invalid_argument);
+  EXPECT_THROW(matricize(x, -1), std::invalid_argument);
+  EXPECT_THROW(fold(Matrix(3, 2), {2, 2}, 0), std::invalid_argument);
+  EXPECT_THROW(unfolding_coord({0, 0, 0}, {2, 2}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

@@ -1,0 +1,187 @@
+// Unit tests for the Matrix substrate: GEMM, Gram, Hadamard, Cholesky
+// solves, norms, and column scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/support/rng.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+namespace {
+
+Matrix naive_gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (index_t l = 0; l < a.cols(); ++l) acc += a(i, l) * b(l, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  EXPECT_DOUBLE_EQ(m(2, 3), 1.5);
+  m(1, 2) = -7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -7.0);
+  EXPECT_THROW(Matrix(-1, 2), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix eye = Matrix::identity(4);
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Gemm, MatchesNaiveOnRandomShapes) {
+  Rng rng(11);
+  const index_t shapes[][3] = {{1, 1, 1},   {2, 3, 4},   {5, 1, 7},
+                               {64, 64, 64}, {65, 63, 67}, {128, 3, 2}};
+  for (const auto& s : shapes) {
+    const Matrix a = Matrix::random_normal(s[0], s[1], rng);
+    const Matrix b = Matrix::random_normal(s[1], s[2], rng);
+    Matrix c(s[0], s[2]);
+    gemm(a, b, c);
+    EXPECT_LT(max_abs_diff(c, naive_gemm(a, b)), 1e-10)
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(Gemm, AccumulateAddsIntoC) {
+  Rng rng(13);
+  const Matrix a = Matrix::random_normal(5, 6, rng);
+  const Matrix b = Matrix::random_normal(6, 7, rng);
+  Matrix c(5, 7, 1.0);
+  gemm(a, b, c, /*accumulate=*/true);
+  Matrix expected = naive_gemm(a, b);
+  for (index_t i = 0; i < 5; ++i) {
+    for (index_t j = 0; j < 7; ++j) expected(i, j) += 1.0;
+  }
+  EXPECT_LT(max_abs_diff(c, expected), 1e-10);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 5), c(2, 5);
+  EXPECT_THROW(gemm(a, b, c), std::invalid_argument);
+  Matrix b2(3, 5), c_bad(3, 5);
+  EXPECT_THROW(gemm(a, b2, c_bad), std::invalid_argument);
+}
+
+TEST(Gram, MatchesExplicitTransposeProduct) {
+  Rng rng(17);
+  const Matrix a = Matrix::random_normal(20, 6, rng);
+  const Matrix g = gram(a);
+  // G = A' A via gemm_tn.
+  const Matrix expected = gemm_tn(a, a);
+  EXPECT_LT(max_abs_diff(g, expected), 1e-10);
+  // Symmetry.
+  for (index_t p = 0; p < 6; ++p) {
+    for (index_t q = 0; q < 6; ++q) {
+      EXPECT_DOUBLE_EQ(g(p, q), g(q, p));
+    }
+  }
+}
+
+TEST(GemmTn, MatchesNaive) {
+  Rng rng(19);
+  const Matrix a = Matrix::random_normal(8, 3, rng);
+  const Matrix b = Matrix::random_normal(8, 5, rng);
+  const Matrix c = gemm_tn(a, b);
+  for (index_t p = 0; p < 3; ++p) {
+    for (index_t q = 0; q < 5; ++q) {
+      double acc = 0.0;
+      for (index_t i = 0; i < 8; ++i) acc += a(i, p) * b(i, q);
+      EXPECT_NEAR(c(p, q), acc, 1e-12);
+    }
+  }
+  EXPECT_THROW(gemm_tn(Matrix(3, 2), Matrix(4, 2)), std::invalid_argument);
+}
+
+TEST(Hadamard, ElementwiseProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = hadamard(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 5);
+  EXPECT_DOUBLE_EQ(c(0, 1), 12);
+  EXPECT_DOUBLE_EQ(c(1, 0), 21);
+  EXPECT_DOUBLE_EQ(c(1, 1), 32);
+  EXPECT_THROW(hadamard(a, Matrix(3, 2)), std::invalid_argument);
+}
+
+TEST(SolveSpdRight, RecoversKnownSolution) {
+  Rng rng(23);
+  // Build a well-conditioned SPD matrix S = Q' Q + I.
+  const Matrix q = Matrix::random_normal(6, 6, rng);
+  Matrix s = gram(q);
+  for (index_t i = 0; i < 6; ++i) s(i, i) += 1.0;
+  const Matrix x_true = Matrix::random_normal(4, 6, rng);
+  // rhs = X * S.
+  Matrix rhs(4, 6);
+  gemm(x_true, s, rhs);
+  const Matrix x = solve_spd_right(s, rhs);
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-8);
+}
+
+TEST(SolveSpdRight, HandlesSemidefiniteWithJitter) {
+  // Rank-1 Gram matrix: classic CP-ALS degeneracy (collinear factors).
+  Matrix s(3, 3);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) s(i, j) = 1.0;
+  }
+  Matrix rhs(2, 3, 1.0);
+  EXPECT_NO_THROW({
+    const Matrix x = solve_spd_right(s, rhs);
+    EXPECT_EQ(x.rows(), 2);
+  });
+}
+
+TEST(SolveSpdRight, RejectsNonSquare) {
+  EXPECT_THROW(solve_spd_right(Matrix(2, 3), Matrix(2, 3)),
+               std::invalid_argument);
+  EXPECT_THROW(solve_spd_right(Matrix(3, 3), Matrix(2, 4)),
+               std::invalid_argument);
+}
+
+TEST(Matrix, ColumnNormsAndScaling) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0; m(1, 0) = 4.0;  // column 0 norm 5
+  m(0, 1) = 0.0; m(1, 1) = 2.0;  // column 1 norm 2
+  const auto norms = m.column_norms();
+  EXPECT_DOUBLE_EQ(norms[0], 5.0);
+  EXPECT_DOUBLE_EQ(norms[1], 2.0);
+  m.scale_columns_inv(norms);
+  const auto after = m.column_norms();
+  EXPECT_NEAR(after[0], 1.0, 1e-12);
+  EXPECT_NEAR(after[1], 1.0, 1e-12);
+  m.scale_columns(norms);
+  EXPECT_DOUBLE_EQ(m(1, 0), 4.0);
+  EXPECT_THROW(m.scale_columns_inv({1.0}), std::invalid_argument);
+  EXPECT_THROW(m.scale_columns_inv({0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, Norms) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0; m(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(Matrix, DotAndMaxAbsDiff) {
+  Matrix a(2, 2, 2.0), b(2, 2, 3.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 24.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+  EXPECT_THROW(dot(a, Matrix(1, 2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

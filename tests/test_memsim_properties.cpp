@@ -1,0 +1,134 @@
+// Property tests for the memory simulator: the LRU inclusion (stack)
+// property, policy dominance relations, and capacity monotonicity on both
+// random traces and real MTTKRP traces.
+#include <gtest/gtest.h>
+
+#include "src/memsim/traced_mttkrp.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+namespace {
+
+std::vector<TraceEntry> random_trace(Rng& rng, int length,
+                                     index_t address_space,
+                                     double write_fraction) {
+  std::vector<TraceEntry> trace;
+  trace.reserve(static_cast<std::size_t>(length));
+  for (int t = 0; t < length; ++t) {
+    trace.push_back({rng.uniform_int(0, address_space - 1),
+                     rng.uniform(0, 1) < write_fraction});
+  }
+  return trace;
+}
+
+MemoryStats run_policy(const std::vector<TraceEntry>& trace, index_t capacity,
+                       ReplacementPolicy policy) {
+  FastMemory mem(capacity, policy);
+  for (const TraceEntry& e : trace) {
+    if (e.is_write) {
+      mem.write(e.addr);
+    } else {
+      mem.read(e.addr);
+    }
+  }
+  mem.flush();
+  return mem.stats();
+}
+
+TEST(MemsimProperty, LruStackInclusion) {
+  // LRU is a stack algorithm: a larger capacity never causes more misses
+  // (loads). This is the classic inclusion property.
+  Rng rng(17001);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto trace = random_trace(rng, 2000, 40, 0.3);
+    index_t previous_loads = std::numeric_limits<index_t>::max();
+    for (index_t capacity : {2, 4, 8, 16, 32}) {
+      const MemoryStats stats = run_policy(trace, capacity,
+                                           ReplacementPolicy::kLru);
+      EXPECT_LE(stats.loads, previous_loads)
+          << "trial " << trial << " capacity " << capacity;
+      previous_loads = stats.loads;
+    }
+  }
+}
+
+TEST(MemsimProperty, FifoIsNotAStackAlgorithm) {
+  // Belady's anomaly on the canonical reference string
+  // 1 2 3 4 1 2 5 1 2 3 4 5: FIFO faults 9 times with 3 frames but 10
+  // times with 4 — more memory, more misses. This guards against
+  // "fixing" FIFO into LRU by accident (LRU cannot exhibit the anomaly,
+  // per LruStackInclusion above).
+  std::vector<TraceEntry> trace;
+  for (index_t addr : {1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}) {
+    trace.push_back({addr, false});
+  }
+  const MemoryStats three = run_policy(trace, 3, ReplacementPolicy::kFifo);
+  const MemoryStats four = run_policy(trace, 4, ReplacementPolicy::kFifo);
+  EXPECT_EQ(three.loads, 9);
+  EXPECT_EQ(four.loads, 10);
+}
+
+TEST(MemsimProperty, OptDominatesEveryPolicy) {
+  Rng rng(17005);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto trace = random_trace(rng, 1500, 30, 0.25);
+    for (index_t capacity : {3, 7, 15}) {
+      const MemoryStats opt = simulate_optimal(capacity, trace);
+      const MemoryStats lru = run_policy(trace, capacity,
+                                         ReplacementPolicy::kLru);
+      const MemoryStats fifo = run_policy(trace, capacity,
+                                          ReplacementPolicy::kFifo);
+      EXPECT_LE(opt.traffic(), lru.traffic())
+          << "trial " << trial << " capacity " << capacity;
+      EXPECT_LE(opt.traffic(), fifo.traffic())
+          << "trial " << trial << " capacity " << capacity;
+    }
+  }
+}
+
+TEST(MemsimProperty, TrafficLowerBoundedByCompulsoryMisses) {
+  // No policy can beat one load per distinct address read before being
+  // written, plus one store per dirty word.
+  Rng rng(17007);
+  const auto trace = random_trace(rng, 800, 25, 0.2);
+  DistinctSink distinct;
+  for (const TraceEntry& e : trace) {
+    if (e.is_write) {
+      distinct.write(e.addr);
+    } else {
+      distinct.read(e.addr);
+    }
+  }
+  const MemoryStats opt = simulate_optimal(6, trace);
+  // Compulsory floor: every distinct address costs at least one transfer
+  // (a load if first touched by a read, a store if it ends dirty).
+  EXPECT_GE(opt.traffic(), distinct.distinct() / 2);
+}
+
+TEST(MemsimProperty, MttkrpTraceStackInclusion) {
+  // The inclusion property on a real Algorithm 2 trace, tying the memsim
+  // property suite to the paper's workload.
+  TraceProblem p;
+  p.dims = {10, 10, 10};
+  p.rank = 4;
+  p.mode = 1;
+  RecordingSink rec;
+  trace_blocked(p, 4, rec);
+  index_t previous = std::numeric_limits<index_t>::max();
+  for (index_t m : {30, 90, 270, 810}) {
+    FastMemory mem(m, ReplacementPolicy::kLru);
+    for (const TraceEntry& e : rec.trace()) {
+      if (e.is_write) {
+        mem.write(e.addr);
+      } else {
+        mem.read(e.addr);
+      }
+    }
+    mem.flush();
+    EXPECT_LE(mem.stats().loads, previous) << "M = " << m;
+    previous = mem.stats().loads;
+  }
+}
+
+}  // namespace
+}  // namespace mtk

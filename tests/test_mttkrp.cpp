@@ -1,0 +1,251 @@
+// Core MTTKRP correctness tests: all four algorithms against an independent
+// brute-force oracle, parameterized sweeps over order/dims/rank/mode, block
+// size properties, and argument validation.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+namespace {
+
+// Independent oracle: literal Definition 2.1, no shared code with the
+// library implementations beyond element access.
+Matrix oracle_mttkrp(const DenseTensor& x, const std::vector<Matrix>& factors,
+                     int mode) {
+  const index_t rank = factors[static_cast<std::size_t>(mode == 0 ? 1 : 0)].cols();
+  Matrix b(x.dim(mode), rank, 0.0);
+  for (Odometer od(x.dims()); od.valid(); od.next()) {
+    const multi_index_t& i = od.index();
+    for (index_t r = 0; r < rank; ++r) {
+      double prod = x.at(i);
+      for (int k = 0; k < x.order(); ++k) {
+        if (k == mode) continue;
+        prod *= factors[static_cast<std::size_t>(k)](i[static_cast<std::size_t>(k)], r);
+      }
+      b(i[static_cast<std::size_t>(mode)], r) += prod;
+    }
+  }
+  return b;
+}
+
+struct Problem {
+  DenseTensor x;
+  std::vector<Matrix> factors;
+};
+
+Problem make_problem(const shape_t& dims, index_t rank, std::uint64_t seed) {
+  Rng rng(seed);
+  Problem p;
+  p.x = DenseTensor::random_normal(dims, rng);
+  for (index_t d : dims) {
+    p.factors.push_back(Matrix::random_normal(d, rank, rng));
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized sweep: (dims, rank, mode) across orders 2..5.
+
+using SweepParam = std::tuple<shape_t, index_t, int>;
+
+class MttkrpSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MttkrpSweep, AllAlgorithmsMatchOracle) {
+  const auto& [dims, rank, mode] = GetParam();
+  const Problem p = make_problem(dims, rank, 97 + mode);
+  const Matrix expected = oracle_mttkrp(p.x, p.factors, mode);
+
+  for (MttkrpAlgo algo : {MttkrpAlgo::kReference, MttkrpAlgo::kBlocked,
+                          MttkrpAlgo::kMatmul, MttkrpAlgo::kTwoStep}) {
+    MttkrpOptions opts;
+    opts.algo = algo;
+    opts.block_size = 3;  // deliberately awkward block size
+    const Matrix b = mttkrp(p.x, p.factors, mode, opts);
+    EXPECT_LT(max_abs_diff(b, expected), 1e-9)
+        << "algo " << to_string(algo) << " mode " << mode;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderTwo, MttkrpSweep,
+    ::testing::Values(SweepParam{{4, 5}, 3, 0}, SweepParam{{4, 5}, 3, 1},
+                      SweepParam{{1, 7}, 2, 0}, SweepParam{{7, 1}, 2, 1},
+                      SweepParam{{16, 16}, 1, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderThree, MttkrpSweep,
+    ::testing::Values(SweepParam{{4, 5, 6}, 3, 0}, SweepParam{{4, 5, 6}, 3, 1},
+                      SweepParam{{4, 5, 6}, 3, 2}, SweepParam{{2, 2, 2}, 5, 1},
+                      SweepParam{{9, 3, 7}, 4, 2},
+                      SweepParam{{1, 6, 1}, 2, 1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderFour, MttkrpSweep,
+    ::testing::Values(SweepParam{{3, 4, 2, 5}, 3, 0},
+                      SweepParam{{3, 4, 2, 5}, 3, 1},
+                      SweepParam{{3, 4, 2, 5}, 3, 2},
+                      SweepParam{{3, 4, 2, 5}, 3, 3},
+                      SweepParam{{2, 2, 2, 2}, 6, 2}));
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderFive, MttkrpSweep,
+    ::testing::Values(SweepParam{{2, 3, 2, 3, 2}, 2, 0},
+                      SweepParam{{2, 3, 2, 3, 2}, 2, 2},
+                      SweepParam{{2, 3, 2, 3, 2}, 2, 4},
+                      SweepParam{{3, 2, 2, 2, 4}, 3, 3}));
+
+// ---------------------------------------------------------------------------
+// Block-size sweep: the blocked algorithm must be correct for every block
+// size, including b = 1, b dividing dims, b not dividing dims, b > max dim.
+
+class BlockSizeSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(BlockSizeSweep, BlockedMatchesReference) {
+  const index_t b = GetParam();
+  const Problem p = make_problem({7, 5, 6}, 3, 211);
+  const Matrix expected = mttkrp_reference(p.x, p.factors, 1);
+  const Matrix got = mttkrp_blocked(p.x, p.factors, 1, b);
+  EXPECT_LT(max_abs_diff(got, expected), 1e-10) << "block size " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockSizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 100));
+
+TEST(MttkrpBlocked, ParallelMatchesSerial) {
+  const Problem p = make_problem({12, 9, 10}, 4, 223);
+  for (int mode = 0; mode < 3; ++mode) {
+    const Matrix serial = mttkrp_blocked(p.x, p.factors, mode, 4, false);
+    const Matrix parallel = mttkrp_blocked(p.x, p.factors, mode, 4, true);
+    EXPECT_LT(max_abs_diff(serial, parallel), 1e-10) << "mode " << mode;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structured inputs with known outputs.
+
+TEST(Mttkrp, AllOnesInputsCountIterations) {
+  // With X and all factors identically 1, B(i_n, r) = I / I_n.
+  const shape_t dims{3, 4, 5};
+  DenseTensor x(dims, 1.0);
+  std::vector<Matrix> factors;
+  for (index_t d : dims) factors.push_back(Matrix(d, 2, 1.0));
+  for (int mode = 0; mode < 3; ++mode) {
+    const Matrix b = mttkrp_reference(x, factors, mode);
+    const double expect =
+        static_cast<double>(shape_size(dims) / dims[static_cast<std::size_t>(mode)]);
+    for (index_t i = 0; i < b.rows(); ++i) {
+      for (index_t r = 0; r < b.cols(); ++r) {
+        EXPECT_DOUBLE_EQ(b(i, r), expect);
+      }
+    }
+  }
+}
+
+TEST(Mttkrp, RankOneTensorRecoversScaledFactor) {
+  // X = u ∘ v ∘ w. MTTKRP in mode 0 against (v, w) gives
+  // B(:, r) = u * (v'v)(w'w) when factors equal the generators.
+  Rng rng(227);
+  std::vector<Matrix> gen;
+  gen.push_back(Matrix::random_normal(4, 1, rng));
+  gen.push_back(Matrix::random_normal(5, 1, rng));
+  gen.push_back(Matrix::random_normal(6, 1, rng));
+  const DenseTensor x = DenseTensor::from_cp(gen, {1.0});
+  const Matrix b = mttkrp_reference(x, gen, 0);
+  double vv = 0.0, ww = 0.0;
+  for (index_t i = 0; i < 5; ++i) vv += gen[1](i, 0) * gen[1](i, 0);
+  for (index_t i = 0; i < 6; ++i) ww += gen[2](i, 0) * gen[2](i, 0);
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(b(i, 0), gen[0](i, 0) * vv * ww, 1e-10);
+  }
+}
+
+TEST(Mttkrp, FactorForOutputModeIsIgnored) {
+  Problem p = make_problem({4, 5, 6}, 3, 229);
+  const Matrix with_factor = mttkrp_reference(p.x, p.factors, 1);
+  p.factors[1] = Matrix();  // empty
+  const Matrix without = mttkrp_reference(p.x, p.factors, 1);
+  EXPECT_LT(max_abs_diff(with_factor, without), 1e-15);
+}
+
+// ---------------------------------------------------------------------------
+// Argument validation.
+
+TEST(MttkrpValidation, RejectsBadMode) {
+  const Problem p = make_problem({4, 5}, 2, 233);
+  EXPECT_THROW(mttkrp_reference(p.x, p.factors, 2), std::invalid_argument);
+  EXPECT_THROW(mttkrp_reference(p.x, p.factors, -1), std::invalid_argument);
+}
+
+TEST(MttkrpValidation, RejectsWrongFactorCount) {
+  const Problem p = make_problem({4, 5, 6}, 2, 239);
+  std::vector<Matrix> two(p.factors.begin(), p.factors.begin() + 2);
+  EXPECT_THROW(mttkrp_reference(p.x, two, 0), std::invalid_argument);
+}
+
+TEST(MttkrpValidation, RejectsRowMismatch) {
+  Problem p = make_problem({4, 5, 6}, 2, 241);
+  Rng rng(99);
+  p.factors[2] = Matrix::random_normal(7, 2, rng);  // should be 6 rows
+  EXPECT_THROW(mttkrp_reference(p.x, p.factors, 0), std::invalid_argument);
+}
+
+TEST(MttkrpValidation, RejectsRankMismatch) {
+  Problem p = make_problem({4, 5, 6}, 2, 251);
+  Rng rng(100);
+  p.factors[2] = Matrix::random_normal(6, 3, rng);  // rank 3 vs 2
+  EXPECT_THROW(mttkrp_reference(p.x, p.factors, 0), std::invalid_argument);
+}
+
+TEST(MttkrpValidation, RejectsBadBlockSize) {
+  const Problem p = make_problem({4, 5, 6}, 2, 257);
+  EXPECT_THROW(mttkrp_blocked(p.x, p.factors, 0, 0), std::invalid_argument);
+  EXPECT_THROW(mttkrp_blocked(p.x, p.factors, 0, -2), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Block-size selection (Eq. (11)).
+
+TEST(MaxBlockSize, SatisfiesMemoryConstraint) {
+  for (int order = 2; order <= 6; ++order) {
+    for (index_t m : {index_t{16}, index_t{100}, index_t{1024},
+                      index_t{1} << 20}) {
+      if (m < 1 + order) continue;
+      const index_t b = max_block_size(order, m);
+      EXPECT_GE(b, 1);
+      EXPECT_LE(ipow(b, order) + order * b, m)
+          << "order " << order << " M " << m;
+      // Maximality: b+1 must violate the constraint.
+      EXPECT_GT(ipow(b + 1, order) + order * (b + 1), m)
+          << "order " << order << " M " << m;
+    }
+  }
+}
+
+TEST(MaxBlockSize, TooSmallMemoryThrows) {
+  EXPECT_THROW(max_block_size(3, 3), std::invalid_argument);
+  EXPECT_EQ(max_block_size(3, 4), 1);  // 1 + 3 = 4 fits exactly
+}
+
+TEST(MttkrpDispatch, AutoBlockSizeUsesFastMemoryOption) {
+  const Problem p = make_problem({6, 6, 6}, 2, 263);
+  MttkrpOptions opts;
+  opts.algo = MttkrpAlgo::kBlocked;
+  opts.block_size = 0;
+  opts.fast_memory_words = 40;  // max b with b^3 + 3b <= 40 is 3
+  const Matrix b = mttkrp(p.x, p.factors, 0, opts);
+  const Matrix expected = mttkrp_reference(p.x, p.factors, 0);
+  EXPECT_LT(max_abs_diff(b, expected), 1e-10);
+}
+
+TEST(MttkrpDispatch, AlgoNames) {
+  EXPECT_STREQ(to_string(MttkrpAlgo::kReference), "reference");
+  EXPECT_STREQ(to_string(MttkrpAlgo::kBlocked), "blocked");
+  EXPECT_STREQ(to_string(MttkrpAlgo::kMatmul), "matmul");
+  EXPECT_STREQ(to_string(MttkrpAlgo::kTwoStep), "two_step");
+}
+
+}  // namespace
+}  // namespace mtk

@@ -1,0 +1,69 @@
+// Combinatorial sweep: every sequential algorithm x several tensor shapes
+// x every mode x several ranks, all against the reference. Catches
+// convention bugs (mode ordering, matricization direction, KRP orientation)
+// that single-point tests can miss.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/mttkrp/blocked_rect.hpp"
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+namespace {
+
+// (shape id, rank, mode) — mode is validated against the shape's order.
+using ComboParam = std::tuple<int, index_t, int>;
+
+const shape_t kShapes[] = {
+    {6, 7},           // order 2
+    {5, 4, 6},        // order 3, mixed
+    {2, 9, 3},        // order 3, skewed
+    {3, 3, 3, 3},     // order 4, cubical
+    {4, 2, 3, 2, 2},  // order 5
+};
+
+class MttkrpCombinatorial : public ::testing::TestWithParam<ComboParam> {};
+
+TEST_P(MttkrpCombinatorial, AllAlgorithmsAgree) {
+  const auto& [shape_id, rank, mode] = GetParam();
+  const shape_t& dims = kShapes[shape_id];
+  if (mode >= static_cast<int>(dims.size())) {
+    GTEST_SKIP() << "mode exceeds order for this shape";
+  }
+
+  Rng rng(18000 + static_cast<std::uint64_t>(shape_id) * 100 +
+          static_cast<std::uint64_t>(rank) * 10 +
+          static_cast<std::uint64_t>(mode));
+  const DenseTensor x = DenseTensor::random_normal(dims, rng);
+  std::vector<Matrix> factors;
+  for (index_t d : dims) {
+    factors.push_back(Matrix::random_normal(d, rank, rng));
+  }
+
+  const Matrix expected = mttkrp_reference(x, factors, mode);
+  EXPECT_LT(max_abs_diff(mttkrp_blocked(x, factors, mode, 2), expected),
+            1e-9);
+  EXPECT_LT(max_abs_diff(mttkrp_matmul(x, factors, mode), expected), 1e-9);
+  EXPECT_LT(max_abs_diff(mttkrp_two_step(x, factors, mode), expected),
+            1e-9);
+  const shape_t block = optimize_block_shape(dims, rank, mode, 64);
+  EXPECT_LT(
+      max_abs_diff(mttkrp_blocked_rect(x, factors, mode, block), expected),
+      1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MttkrpCombinatorial,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values<index_t>(1, 3, 8),
+                       ::testing::Values(0, 1, 2, 3, 4)),
+    [](const ::testing::TestParamInfo<ComboParam>& info) {
+      return "shape" + std::to_string(std::get<0>(info.param)) + "_r" +
+             std::to_string(std::get<1>(info.param)) + "_m" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace mtk

@@ -1,0 +1,151 @@
+// Tests for the Theorem 6.1 hypothesis checker, reproducing the paper's
+// Section VI-A worked example: with beta = 1 - alpha = 1/100, gamma = 100,
+// delta = epsilon = 1/10 and N <= 10 cubical tensors, the hypotheses hold
+// for M between ~10^4 and min(I/1000, sqrt(NIR)/10)-ish bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bounds/optimality.hpp"
+#include "src/bounds/sequential_bounds.hpp"
+#include "src/mttkrp/mttkrp.hpp"
+
+namespace mtk {
+namespace {
+
+Theorem61Constants paper_constants() {
+  Theorem61Constants c;
+  c.alpha = 0.99;
+  c.beta = 0.01;
+  c.gamma = 100.0;
+  c.delta = 0.1;
+  c.epsilon = 0.1;
+  return c;
+}
+
+TEST(Theorem61, PaperWorkedExampleHolds) {
+  // N = 3, I_k = 2^10 (I = 2^30), R = 64: generous middle-of-range M.
+  const shape_t dims{1024, 1024, 1024};
+  const HypothesisReport report = check_theorem61_hypotheses(
+      dims, 64, index_t{1} << 16, paper_constants());
+  EXPECT_TRUE(report.all_hold) << (report.failures.empty()
+                                       ? ""
+                                       : report.failures.front());
+}
+
+TEST(Theorem61, TooSmallMemoryViolatesEq25Or26) {
+  const shape_t dims{1024, 1024, 1024};
+  const HypothesisReport report =
+      check_theorem61_hypotheses(dims, 64, 100, paper_constants());
+  EXPECT_FALSE(report.all_hold);
+  bool lower_violation = false;
+  for (const std::string& f : report.failures) {
+    if (f.find("Eq.(25)") != std::string::npos ||
+        f.find("Eq.(26)") != std::string::npos) {
+      lower_violation = true;
+    }
+  }
+  EXPECT_TRUE(lower_violation);
+}
+
+TEST(Theorem61, TooLargeMemoryViolatesUpperHypotheses) {
+  // M close to the tensor size breaks Eq. (27)/(28)/(29).
+  const shape_t dims{64, 64, 64};
+  const HypothesisReport report = check_theorem61_hypotheses(
+      dims, 8, shape_size(dims), paper_constants());
+  EXPECT_FALSE(report.all_hold);
+  bool upper_violation = false;
+  for (const std::string& f : report.failures) {
+    if (f.find("Eq.(27)") != std::string::npos ||
+        f.find("Eq.(28)") != std::string::npos ||
+        f.find("Eq.(29)") != std::string::npos) {
+      upper_violation = true;
+    }
+  }
+  EXPECT_TRUE(upper_violation);
+}
+
+TEST(Theorem61, MemoryRangeMatchesPaperOrderOfMagnitude) {
+  // The paper: "the left-hand inequalities require that the fast memory
+  // size M is bounded below by 10^4 ... and above by the minimum of I/1000
+  // and sqrt(NIR)/10" (N <= 10, cubical). The paper's sqrt(NIR)/10 is an
+  // informal approximation of Eq. (29)'s exact cap
+  // ((1/3^(2-1/N) - eps) NIR)^(N/(2N-1)); we verify against the exact
+  // expressions and confirm the paper's lower-edge ballpark.
+  const shape_t dims{1024, 1024, 1024};
+  const Theorem61Constants c = paper_constants();
+  const MemoryRange range = theorem61_memory_range(dims, 64, c);
+  ASSERT_FALSE(range.empty());
+  // Paper's illustration: lower edge ~10^4.
+  EXPECT_GT(range.min_words, 1000);
+  EXPECT_LT(range.min_words, 100000);
+  // Exact upper caps from Eqs. (27)-(29).
+  const double i = std::pow(2.0, 30.0);
+  const double eq29 = std::pow(
+      (1.0 / std::pow(3.0, 5.0 / 3.0) - c.epsilon) * 3.0 * i * 64.0,
+      3.0 / 5.0);
+  const double eq28 = ((1.0 - c.delta) * i + 3.0 * 1024.0 * 64.0) / 2.0;
+  const double upper_exact = std::min(eq28, eq29);
+  EXPECT_GT(static_cast<double>(range.max_words), upper_exact * 0.5);
+  EXPECT_LT(static_cast<double>(range.max_words), upper_exact * 1.5);
+}
+
+TEST(Theorem61, RangeIsContiguous) {
+  // Hypotheses are monotone in M from each side, so feasibility must be an
+  // interval: everything inside holds, immediately outside fails.
+  const shape_t dims{512, 512, 512};
+  const Theorem61Constants c = paper_constants();
+  const MemoryRange range = theorem61_memory_range(dims, 32, c);
+  ASSERT_FALSE(range.empty());
+  EXPECT_TRUE(check_theorem61_hypotheses(dims, 32, range.min_words, c)
+                  .all_hold);
+  EXPECT_TRUE(check_theorem61_hypotheses(dims, 32, range.max_words, c)
+                  .all_hold);
+  EXPECT_FALSE(
+      check_theorem61_hypotheses(dims, 32, range.min_words - 1, c).all_hold);
+  EXPECT_FALSE(
+      check_theorem61_hypotheses(dims, 32, range.max_words + 1, c).all_hold);
+}
+
+TEST(Theorem61, BlockSizeSatisfiesEq11InsideTheRange) {
+  // Whenever the hypotheses hold, b = floor((alpha M)^(1/N)) must satisfy
+  // b^N + N b <= M — that is the point of Eq. (25).
+  const shape_t dims{1024, 1024, 1024};
+  const Theorem61Constants c = paper_constants();
+  const MemoryRange range = theorem61_memory_range(dims, 64, c);
+  ASSERT_FALSE(range.empty());
+  for (index_t m : {range.min_words, (range.min_words + range.max_words) / 2,
+                    range.max_words}) {
+    const index_t b = theorem61_block_size(3, m, c.alpha);
+    EXPECT_LE(ipow(b, 3) + 3 * b, m) << "M = " << m;
+    EXPECT_GE(b, 1);
+  }
+}
+
+TEST(Theorem61, ProvableGapFormula) {
+  const Theorem61Constants c = paper_constants();
+  // 2 * gamma / (beta * min(delta, epsilon)) = 2*100 / (0.01 * 0.1).
+  EXPECT_DOUBLE_EQ(theorem61_provable_gap(c), 200000.0);
+  // The *measured* gap (see bench_seq_traffic) is orders of magnitude
+  // smaller — the theorem's constants are extremely loose, which the paper
+  // acknowledges by choosing them for simplicity.
+}
+
+TEST(Theorem61, ConstantValidation) {
+  const shape_t dims{64, 64, 64};
+  Theorem61Constants c = paper_constants();
+  c.alpha = 1.5;
+  EXPECT_THROW(check_theorem61_hypotheses(dims, 8, 1024, c),
+               std::invalid_argument);
+  c = paper_constants();
+  c.gamma = 1.0;  // must exceed 1 + 1/N
+  EXPECT_THROW(check_theorem61_hypotheses(dims, 8, 1024, c),
+               std::invalid_argument);
+  c = paper_constants();
+  c.epsilon = 0.5;  // must be below 1/3^(2-1/N) ~ 0.16
+  EXPECT_THROW(check_theorem61_hypotheses(dims, 8, 1024, c),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

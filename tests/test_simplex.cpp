@@ -1,0 +1,107 @@
+// Tests for the dense two-phase simplex solver.
+#include <gtest/gtest.h>
+
+#include "src/bounds/simplex.hpp"
+
+namespace mtk {
+namespace {
+
+TEST(Simplex, SimpleTwoVariableProblem) {
+  // min x + y s.t. x + 2y >= 4, 3x + y >= 3.
+  // Optimum at intersection: x = 2/5, y = 9/5, objective 11/5.
+  const LpResult r = lp_solve_min({{1, 2}, {3, 1}}, {4, 3}, {1, 1});
+  ASSERT_TRUE(r.feasible);
+  ASSERT_TRUE(r.bounded);
+  EXPECT_NEAR(r.objective, 11.0 / 5.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 2.0 / 5.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 9.0 / 5.0, 1e-9);
+}
+
+TEST(Simplex, SingleConstraint) {
+  // min 2x + 3y s.t. x + y >= 10 -> all weight on the cheaper variable.
+  const LpResult r = lp_solve_min({{1, 1}}, {10}, {2, 3});
+  ASSERT_TRUE(r.feasible && r.bounded);
+  EXPECT_NEAR(r.objective, 20.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 10.0, 1e-9);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  // x >= 2 and -x >= -1 (x <= 1) cannot both hold.
+  const LpResult r = lp_solve_min({{1}, {-1}}, {2, -1}, {1});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  // min -x s.t. x >= 1: objective decreases without bound.
+  const LpResult r = lp_solve_min({{1}}, {1}, {-1});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_FALSE(r.bounded);
+}
+
+TEST(Simplex, NegativeRhsHandled) {
+  // min x s.t. -x >= -5 (x <= 5), x >= 2 -> minimum 2.
+  const LpResult r = lp_solve_min({{-1}, {1}}, {-5, 2}, {1});
+  ASSERT_TRUE(r.feasible && r.bounded);
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateConstraintsDoNotCycle) {
+  // Multiple redundant constraints meeting at one vertex.
+  const LpResult r = lp_solve_min(
+      {{1, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 2}}, {1, 1, 1, 2, 4}, {1, 1});
+  ASSERT_TRUE(r.feasible && r.bounded);
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, MaxVariantByDuality) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic textbook LP).
+  // Optimum: x = 2, y = 6, objective 36.
+  const LpResult r = lp_solve_max({{1, 0}, {0, 2}, {3, 2}}, {4, 12, 18},
+                                  {3, 5});
+  ASSERT_TRUE(r.feasible && r.bounded);
+  EXPECT_NEAR(r.objective, 36.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, StrongDualityOnMttkrpLp) {
+  // Primal: min 1's s.t. Delta s >= 1 (the Lemma 4.2 LP, N = 3).
+  // Dual:   max 1't s.t. Delta' t <= 1. Both optima must be 2 - 1/N.
+  const std::vector<std::vector<double>> delta{
+      {1, 0, 0, 1},
+      {0, 1, 0, 1},
+      {0, 0, 1, 1},
+      {1, 1, 1, 0},
+  };
+  const LpResult primal =
+      lp_solve_min(delta, {1, 1, 1, 1}, {1, 1, 1, 1});
+  ASSERT_TRUE(primal.feasible && primal.bounded);
+  EXPECT_NEAR(primal.objective, 2.0 - 1.0 / 3.0, 1e-9);
+
+  std::vector<std::vector<double>> delta_t(4, std::vector<double>(4));
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) delta_t[i][j] = delta[j][i];
+  }
+  const LpResult dual = lp_solve_max(delta_t, {1, 1, 1, 1}, {1, 1, 1, 1});
+  ASSERT_TRUE(dual.feasible && dual.bounded);
+  EXPECT_NEAR(dual.objective, primal.objective, 1e-9);
+}
+
+TEST(Simplex, ValidatesShapes) {
+  EXPECT_THROW(lp_solve_min({{1, 2}}, {1, 2}, {1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(lp_solve_min({{1}}, {1}, {1, 1}), std::invalid_argument);
+}
+
+TEST(Simplex, EqualityLikeConstraintPair) {
+  // x + y >= 3 and -(x + y) >= -3 pin x + y = 3; min 2x + y -> x=0, y=3.
+  const LpResult r =
+      lp_solve_min({{1, 1}, {-1, -1}}, {3, -3}, {2, 1});
+  ASSERT_TRUE(r.feasible && r.bounded);
+  EXPECT_NEAR(r.objective, 3.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mtk

@@ -1,0 +1,204 @@
+// Unit tests for src/support: checked math, multi-index utilities, odometer.
+#include <gtest/gtest.h>
+
+#include "src/support/check.hpp"
+#include "src/support/index.hpp"
+#include "src/support/math_util.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+namespace {
+
+TEST(CheckMacros, CheckThrowsInvalidArgument) {
+  EXPECT_THROW(MTK_CHECK(false, "message ", 42), std::invalid_argument);
+  EXPECT_NO_THROW(MTK_CHECK(true, "unused"));
+}
+
+TEST(CheckMacros, RequireThrowsRuntimeError) {
+  EXPECT_THROW(MTK_REQUIRE(false, "state"), std::runtime_error);
+}
+
+TEST(CheckMacros, AssertThrowsLogicError) {
+  EXPECT_THROW(MTK_ASSERT(false, "bug"), std::logic_error);
+}
+
+TEST(CheckMacros, MessageContainsContext) {
+  try {
+    MTK_CHECK(1 == 2, "got ", 7, " expected ", 8);
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("got 7 expected 8"), std::string::npos);
+  }
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_THROW(ceil_div(1, 0), std::invalid_argument);
+  EXPECT_THROW(ceil_div(-1, 2), std::invalid_argument);
+}
+
+TEST(MathUtil, CheckedMulDetectsOverflow) {
+  EXPECT_EQ(checked_mul(6, 7), 42);
+  EXPECT_EQ(checked_mul(0, 1'000'000'000), 0);
+  const index_t big = index_t{1} << 40;
+  EXPECT_THROW(checked_mul(big, big), std::invalid_argument);
+  EXPECT_THROW(checked_mul(-1, 2), std::invalid_argument);
+}
+
+TEST(MathUtil, Ipow) {
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(5, 0), 1);
+  EXPECT_EQ(ipow(1, 100), 1);
+  EXPECT_THROW(ipow(2, -1), std::invalid_argument);
+  EXPECT_THROW(ipow(10, 30), std::invalid_argument);  // overflow
+}
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(-4));
+}
+
+TEST(MathUtil, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_THROW(ilog2(0), std::invalid_argument);
+}
+
+TEST(MathUtil, NthRootFloor) {
+  EXPECT_EQ(nth_root_floor(27, 3), 3);
+  EXPECT_EQ(nth_root_floor(26, 3), 2);
+  EXPECT_EQ(nth_root_floor(28, 3), 3);
+  EXPECT_EQ(nth_root_floor(1, 5), 1);
+  EXPECT_EQ(nth_root_floor(0, 2), 0);
+  EXPECT_EQ(nth_root_floor(1'000'000, 2), 1000);
+  // Near-cube values where floating point rounding could go either way.
+  for (index_t b = 2; b <= 100; ++b) {
+    EXPECT_EQ(nth_root_floor(b * b * b, 3), b) << "b=" << b;
+    EXPECT_EQ(nth_root_floor(b * b * b - 1, 3), b - 1) << "b=" << b;
+  }
+}
+
+TEST(Index, ShapeSizeAndValidation) {
+  EXPECT_EQ(shape_size({3, 4, 5}), 60);
+  EXPECT_EQ(shape_size({7}), 7);
+  EXPECT_THROW(check_shape({}), std::invalid_argument);
+  EXPECT_THROW(check_shape({3, 0, 5}), std::invalid_argument);
+  EXPECT_NO_THROW(check_shape({1, 1, 1}));
+}
+
+TEST(Index, ColMajorStrides) {
+  const shape_t strides = col_major_strides({3, 4, 5});
+  EXPECT_EQ(strides, (shape_t{1, 3, 12}));
+}
+
+TEST(Index, LinearizeDelinearizeRoundTrip) {
+  const shape_t dims{3, 4, 5};
+  for (index_t lin = 0; lin < shape_size(dims); ++lin) {
+    const multi_index_t idx = delinearize(lin, dims);
+    EXPECT_EQ(linearize(idx, dims), lin);
+  }
+}
+
+TEST(Index, LinearizeColumnMajorOrder) {
+  // First index fastest: (1,0,0) maps to 1, (0,1,0) maps to I_1.
+  const shape_t dims{3, 4, 5};
+  EXPECT_EQ(linearize({0, 0, 0}, dims), 0);
+  EXPECT_EQ(linearize({1, 0, 0}, dims), 1);
+  EXPECT_EQ(linearize({0, 1, 0}, dims), 3);
+  EXPECT_EQ(linearize({0, 0, 1}, dims), 12);
+  EXPECT_EQ(linearize({2, 3, 4}, dims), 59);
+}
+
+TEST(Index, LinearizeBoundsChecked) {
+  EXPECT_THROW(linearize({3, 0}, {3, 4}), std::invalid_argument);
+  EXPECT_THROW(linearize({0, -1}, {3, 4}), std::invalid_argument);
+  EXPECT_THROW(linearize({0}, {3, 4}), std::invalid_argument);
+}
+
+TEST(Odometer, VisitsAllIndicesInColumnMajorOrder) {
+  const shape_t dims{2, 3};
+  std::vector<multi_index_t> seen;
+  for (Odometer od(dims); od.valid(); od.next()) {
+    seen.push_back(od.index());
+  }
+  const std::vector<multi_index_t> expected{{0, 0}, {1, 0}, {0, 1},
+                                            {1, 1}, {0, 2}, {1, 2}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Odometer, RangedIteration) {
+  Odometer od({1, 2}, {3, 4});
+  EXPECT_EQ(od.count(), 4);
+  std::vector<multi_index_t> seen;
+  for (; od.valid(); od.next()) seen.push_back(od.index());
+  const std::vector<multi_index_t> expected{{1, 2}, {2, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Odometer, EmptyRangeIsImmediatelyInvalid) {
+  Odometer od({0, 0}, {3, 0});
+  EXPECT_FALSE(od.valid());
+  EXPECT_EQ(od.count(), 0);
+}
+
+TEST(Odometer, ResetRestartsIteration) {
+  Odometer od(shape_t{2, 2});
+  int count = 0;
+  for (; od.valid(); od.next()) ++count;
+  EXPECT_EQ(count, 4);
+  od.reset();
+  EXPECT_TRUE(od.valid());
+  EXPECT_EQ(od.index(), (multi_index_t{0, 0}));
+}
+
+TEST(Odometer, InvalidRangesThrow) {
+  EXPECT_THROW(Odometer({2}, {1}), std::invalid_argument);
+  EXPECT_THROW(Odometer({-1}, {1}), std::invalid_argument);
+  EXPECT_THROW(Odometer({0, 0}, {1}), std::invalid_argument);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const index_t v = rng.uniform_int(2, 4);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+}  // namespace
+}  // namespace mtk

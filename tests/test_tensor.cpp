@@ -1,0 +1,136 @@
+// Unit tests for DenseTensor and block extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/support/rng.hpp"
+#include "src/tensor/block.hpp"
+#include "src/tensor/dense_tensor.hpp"
+
+namespace mtk {
+namespace {
+
+TEST(DenseTensor, ConstructionAndIndexing) {
+  DenseTensor t({2, 3, 4}, 0.5);
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(2), 4);
+  EXPECT_DOUBLE_EQ(t[0], 0.5);
+  t.at({1, 2, 3}) = 9.0;
+  EXPECT_DOUBLE_EQ(t.at({1, 2, 3}), 9.0);
+  EXPECT_DOUBLE_EQ(t[linearize({1, 2, 3}, t.dims())], 9.0);
+  EXPECT_THROW(t.dim(3), std::invalid_argument);
+  EXPECT_THROW(DenseTensor({2, 0, 3}), std::invalid_argument);
+}
+
+TEST(DenseTensor, FillFromGenerator) {
+  DenseTensor t({3, 3});
+  t.fill_from([](const multi_index_t& i) {
+    return static_cast<double>(10 * i[0] + i[1]);
+  });
+  EXPECT_DOUBLE_EQ(t.at({2, 1}), 21.0);
+  EXPECT_DOUBLE_EQ(t.at({0, 2}), 2.0);
+}
+
+TEST(DenseTensor, FrobeniusNorm) {
+  DenseTensor t({2, 2});
+  t.at({0, 0}) = 1.0;
+  t.at({1, 0}) = 2.0;
+  t.at({0, 1}) = 2.0;
+  EXPECT_DOUBLE_EQ(t.frobenius_norm(), 3.0);
+}
+
+TEST(DenseTensor, MaxAbsDiff) {
+  DenseTensor a({2, 2}, 1.0), b({2, 2}, 1.0);
+  b.at({1, 1}) = 4.0;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 3.0);
+  DenseTensor c({2, 3});
+  EXPECT_THROW(a.max_abs_diff(c), std::invalid_argument);
+}
+
+TEST(DenseTensor, FromCpMatchesDirectEvaluation) {
+  Rng rng(31);
+  const index_t rank = 3;
+  std::vector<Matrix> factors;
+  factors.push_back(Matrix::random_normal(4, rank, rng));
+  factors.push_back(Matrix::random_normal(5, rank, rng));
+  factors.push_back(Matrix::random_normal(6, rank, rng));
+  const std::vector<double> lambda{2.0, -1.0, 0.5};
+  const DenseTensor t = DenseTensor::from_cp(factors, lambda);
+  ASSERT_EQ(t.dims(), (shape_t{4, 5, 6}));
+  // Check Eq. (1) at several entries.
+  for (const multi_index_t& idx :
+       {multi_index_t{0, 0, 0}, multi_index_t{3, 4, 5}, multi_index_t{1, 2, 3}}) {
+    double expect = 0.0;
+    for (index_t r = 0; r < rank; ++r) {
+      expect += lambda[static_cast<std::size_t>(r)] * factors[0](idx[0], r) *
+                factors[1](idx[1], r) * factors[2](idx[2], r);
+    }
+    EXPECT_NEAR(t.at(idx), expect, 1e-12);
+  }
+}
+
+TEST(DenseTensor, FromCpValidatesShapes) {
+  Rng rng(37);
+  std::vector<Matrix> factors;
+  factors.push_back(Matrix::random_normal(4, 3, rng));
+  factors.push_back(Matrix::random_normal(5, 2, rng));  // rank mismatch
+  EXPECT_THROW(DenseTensor::from_cp(factors, {1.0, 1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DenseTensor::from_cp({}, {}), std::invalid_argument);
+}
+
+TEST(Block, ExtractAndAddRoundTrip) {
+  Rng rng(41);
+  const DenseTensor t = DenseTensor::random_normal({4, 5, 6}, rng);
+  const std::vector<Range> ranges{{1, 3}, {0, 5}, {2, 4}};
+  const DenseTensor block = extract_block(t, ranges);
+  EXPECT_EQ(block.dims(), (shape_t{2, 5, 2}));
+  EXPECT_DOUBLE_EQ(block.at({0, 0, 0}), t.at({1, 0, 2}));
+  EXPECT_DOUBLE_EQ(block.at({1, 4, 1}), t.at({2, 4, 3}));
+
+  DenseTensor zero({4, 5, 6}, 0.0);
+  add_block(zero, ranges, block);
+  for (Odometer od(block.dims()); od.valid(); od.next()) {
+    multi_index_t gi = od.index();
+    gi[0] += 1;
+    gi[2] += 2;
+    EXPECT_DOUBLE_EQ(zero.at(gi), t.at(gi));
+  }
+}
+
+TEST(Block, InvalidRangesThrow) {
+  DenseTensor t({3, 3}, 0.0);
+  EXPECT_THROW(extract_block(t, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW(extract_block(t, {{0, 4}, {0, 3}}), std::invalid_argument);
+  EXPECT_THROW(extract_block(t, {{2, 2}, {0, 3}}), std::invalid_argument);
+}
+
+TEST(Block, MatrixRowAndSubmatrixOps) {
+  Rng rng(43);
+  const Matrix m = Matrix::random_normal(6, 4, rng);
+  const Matrix rows = extract_rows(m, {2, 5});
+  EXPECT_EQ(rows.rows(), 3);
+  EXPECT_DOUBLE_EQ(rows(0, 0), m(2, 0));
+  EXPECT_DOUBLE_EQ(rows(2, 3), m(4, 3));
+
+  const Matrix sub = extract_submatrix(m, {1, 4}, {1, 3});
+  EXPECT_EQ(sub.rows(), 3);
+  EXPECT_EQ(sub.cols(), 2);
+  EXPECT_DOUBLE_EQ(sub(0, 0), m(1, 1));
+  EXPECT_DOUBLE_EQ(sub(2, 1), m(3, 2));
+
+  Matrix acc(6, 4, 0.0);
+  add_rows(acc, {2, 5}, rows);
+  EXPECT_DOUBLE_EQ(acc(3, 1), m(3, 1));
+  add_submatrix(acc, {1, 4}, {1, 3}, sub);
+  EXPECT_DOUBLE_EQ(acc(1, 1), m(1, 1));
+  EXPECT_DOUBLE_EQ(acc(3, 1), 2.0 * m(3, 1));
+
+  EXPECT_THROW(extract_rows(m, {0, 7}), std::invalid_argument);
+  EXPECT_THROW(add_rows(acc, {0, 2}, Matrix(3, 4)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

@@ -1,0 +1,86 @@
+// Tests for the two-step [13] baseline's address trace: data footprint,
+// traffic above the lower bounds, and its relationship to the blocked and
+// matmul pipelines under scarce memory.
+#include <gtest/gtest.h>
+
+#include "src/bounds/sequential_bounds.hpp"
+#include "src/memsim/traced_mttkrp.hpp"
+#include "src/mttkrp/mttkrp.hpp"
+
+namespace mtk {
+namespace {
+
+TraceProblem make_problem(shape_t dims, index_t rank, int mode) {
+  TraceProblem p;
+  p.dims = std::move(dims);
+  p.rank = rank;
+  p.mode = mode;
+  return p;
+}
+
+TEST(TraceTwoStep, TouchesBaseArraysAndScratch) {
+  const TraceProblem p = make_problem({4, 5, 6}, 2, 1);
+  DistinctSink distinct;
+  trace_two_step(p, 1 << 12, distinct);
+  // Base data: X (120) + A^(0) (8) + A^(2) (12) + B (10); scratch:
+  // K_R (6*2=12), W (4*5*2=40), K_L (4*2=8). Total distinct = 210.
+  EXPECT_EQ(distinct.distinct(), 120 + 8 + 12 + 10 + 12 + 40 + 8);
+}
+
+TEST(TraceTwoStep, TrafficAboveLowerBound) {
+  for (int mode : {0, 1, 2}) {
+    const TraceProblem p = make_problem({10, 10, 10}, 4, mode);
+    const index_t m = 250;
+    const MemoryStats stats = measure_traffic(
+        m, ReplacementPolicy::kLru,
+        [&](AccessSink& sink) { trace_two_step(p, m, sink); });
+    SeqProblem sp;
+    sp.dims = p.dims;
+    sp.rank = p.rank;
+    sp.fast_memory = m;
+    EXPECT_GE(static_cast<double>(stats.traffic()), seq_lower_bound(sp))
+        << "mode " << mode;
+  }
+}
+
+TEST(TraceTwoStep, CheaperThanFullMatmulPipeline) {
+  // The two-step approach avoids the explicit permutation and the full
+  // I/I_n x R KRP; under scarce memory it should move fewer words than the
+  // matricize-KRP-GEMM pipeline for interior modes.
+  const TraceProblem p = make_problem({12, 12, 12}, 8, 1);
+  const index_t m = 400;
+  const MemoryStats two_step = measure_traffic(
+      m, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_two_step(p, m, sink); });
+  const MemoryStats matmul = measure_traffic(
+      m, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_matmul(p, m, sink); });
+  EXPECT_LT(two_step.traffic(), matmul.traffic());
+}
+
+TEST(TraceTwoStep, EdgeModesUseSinglePass) {
+  // mode 0 and mode N-1 skip one contraction; their footprints omit the
+  // unused KRP scratch.
+  const TraceProblem first = make_problem({4, 5, 6}, 2, 0);
+  DistinctSink d0;
+  trace_two_step(first, 1 << 12, d0);
+  // X(120) + A1(10) + A2(12) + B(8) + K_R(30*2=60) + W(8) copied to B.
+  EXPECT_EQ(d0.distinct(), 120 + 10 + 12 + 8 + 60 + 8);
+
+  const TraceProblem last = make_problem({4, 5, 6}, 2, 2);
+  DistinctSink d2;
+  trace_two_step(last, 1 << 12, d2);
+  // X(120) + A0(8) + A1(10) + B(12) + K_L(20*2=40); no W.
+  EXPECT_EQ(d2.distinct(), 120 + 8 + 10 + 12 + 40);
+}
+
+TEST(TraceTwoStep, Validation) {
+  DistinctSink sink;
+  EXPECT_THROW(trace_two_step(make_problem({4, 4}, 0, 0), 1024, sink),
+               std::invalid_argument);
+  EXPECT_THROW(trace_two_step(make_problem({4, 4}, 2, 5), 1024, sink),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

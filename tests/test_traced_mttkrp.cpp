@@ -1,0 +1,212 @@
+// Tests tying the traced algorithms to the bounds of Section IV: measured
+// traffic must lie between the lower bounds (Theorem 4.1 / Fact 4.1) and the
+// upper bounds (Eq. (21) for Algorithm 2), and must respond to M and b the
+// way the theory predicts.
+#include <gtest/gtest.h>
+
+#include "src/bounds/sequential_bounds.hpp"
+#include "src/memsim/traced_mttkrp.hpp"
+#include "src/mttkrp/mttkrp.hpp"
+
+namespace mtk {
+namespace {
+
+TraceProblem make_problem(shape_t dims, index_t rank, int mode) {
+  TraceProblem p;
+  p.dims = std::move(dims);
+  p.rank = rank;
+  p.mode = mode;
+  return p;
+}
+
+index_t total_data_words(const TraceProblem& p) {
+  index_t words = p.tensor_size();
+  for (int k = 0; k < p.order(); ++k) {
+    if (k == p.mode) continue;
+    words += p.dims[static_cast<std::size_t>(k)] * p.rank;
+  }
+  words += p.dims[static_cast<std::size_t>(p.mode)] * p.rank;  // output B
+  return words;
+}
+
+TEST(TraceLayout, ArraysAreDisjoint) {
+  const TraceProblem p = make_problem({4, 5, 6}, 3, 1);
+  const TraceLayout layout = TraceLayout::make(p);
+  EXPECT_EQ(layout.x_base, 0);
+  EXPECT_EQ(layout.factor_base[0], 120);
+  EXPECT_EQ(layout.factor_base[1], 120 + 12);
+  EXPECT_EQ(layout.factor_base[2], 120 + 12 + 15);
+  EXPECT_EQ(layout.b_base, 120 + 12 + 15 + 18);
+  EXPECT_EQ(layout.scratch_base, layout.b_base + 15);
+}
+
+TEST(TraceUnblocked, TouchesExactlyTheProblemData) {
+  const TraceProblem p = make_problem({3, 4, 5}, 2, 0);
+  DistinctSink distinct;
+  trace_unblocked(p, distinct);
+  EXPECT_EQ(distinct.distinct(), total_data_words(p));
+}
+
+TEST(TraceUnblocked, InfiniteMemoryGivesCompulsoryTraffic) {
+  // With M >= all data, traffic = one load per input word read + one store
+  // per output word (B loads hit after first touch... B is read before
+  // first write, so each B word costs one load and one final store).
+  const TraceProblem p = make_problem({3, 4, 5}, 2, 1);
+  const index_t huge = 1 << 20;
+  const MemoryStats stats = measure_traffic(
+      huge, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_unblocked(p, sink); });
+  const index_t b_words = p.dims[1] * p.rank;
+  EXPECT_EQ(stats.loads, total_data_words(p));
+  EXPECT_EQ(stats.stores, b_words);
+}
+
+TEST(TraceUnblocked, SmallMemoryCostsNearIRNPlusOne) {
+  // Algorithm 1's worst case is ~I + IR(N+1) when nothing is reused
+  // across iterations (Section V-A). With tiny M and mode such that B rows
+  // are revisited (mode 0 revisits every row each i_2 step... choose mode 0
+  // and dims so reuse distance exceeds capacity).
+  const TraceProblem p = make_problem({8, 8, 8}, 4, 0);
+  const MemoryStats stats = measure_traffic(
+      8, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_unblocked(p, sink); });
+  SeqProblem sp;
+  sp.dims = p.dims;
+  sp.rank = p.rank;
+  sp.fast_memory = 8;
+  EXPECT_LE(static_cast<double>(stats.traffic()),
+            seq_upper_bound_unblocked(sp) * 2.0);
+  // It must be *large*: at least I*R (every multiply re-fetches something).
+  EXPECT_GE(stats.traffic(), p.tensor_size() * p.rank);
+}
+
+TEST(TraceBlocked, TrafficWithinPaperUpperBound) {
+  // Eq. (21): W <= I + (N+1) * prod(ceil(I_k/b)) * b * R, for any b
+  // satisfying Eq. (11). The simulator (which also counts B re-stores at
+  // block handoff) must stay within a whisker of it.
+  const shape_t dims{12, 12, 12};
+  const index_t rank = 4;
+  for (int mode = 0; mode < 3; ++mode) {
+    const TraceProblem p = make_problem(dims, rank, mode);
+    const index_t m = 300;  // b = max with b^3 + 3b <= 300 -> b = 6
+    const index_t b = max_block_size(3, m);
+    ASSERT_EQ(b, 6);
+    const MemoryStats stats = measure_traffic(
+        m, ReplacementPolicy::kLru,
+        [&](AccessSink& sink) { trace_blocked(p, b, sink); });
+    SeqProblem sp;
+    sp.dims = dims;
+    sp.rank = rank;
+    sp.fast_memory = m;
+    EXPECT_LE(static_cast<double>(stats.traffic()),
+              seq_upper_bound_blocked(sp, b) * 1.05)
+        << "mode " << mode;
+  }
+}
+
+TEST(TraceBlocked, TrafficAboveLowerBounds) {
+  const TraceProblem p = make_problem({12, 12, 12}, 4, 1);
+  const index_t m = 300;
+  const index_t b = max_block_size(3, m);
+  const MemoryStats stats = measure_traffic(
+      m, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_blocked(p, b, sink); });
+  SeqProblem sp;
+  sp.dims = p.dims;
+  sp.rank = p.rank;
+  sp.fast_memory = m;
+  EXPECT_GE(static_cast<double>(stats.traffic()), seq_lower_bound(sp));
+}
+
+TEST(TraceBlocked, OptimalReplacementAlsoRespectsLowerBound) {
+  // The lower bound holds for *any* schedule, so Belady-OPT traffic must
+  // also exceed it.
+  const TraceProblem p = make_problem({10, 10, 10}, 3, 0);
+  const index_t m = 200;
+  const index_t b = max_block_size(3, m);
+  RecordingSink rec;
+  trace_blocked(p, b, rec);
+  const MemoryStats opt = simulate_optimal(m, rec.trace());
+  SeqProblem sp;
+  sp.dims = p.dims;
+  sp.rank = p.rank;
+  sp.fast_memory = m;
+  EXPECT_GE(static_cast<double>(opt.traffic()), seq_lower_bound(sp));
+  // And OPT can only improve on LRU.
+  const MemoryStats lru = measure_traffic(
+      m, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_blocked(p, b, sink); });
+  EXPECT_LE(opt.traffic(), lru.traffic());
+}
+
+TEST(TraceBlocked, LargerMemoryNeverHurts) {
+  const TraceProblem p = make_problem({16, 16, 16}, 4, 2);
+  index_t previous = std::numeric_limits<index_t>::max();
+  for (index_t m : {40, 150, 600, 2500, 10000}) {
+    const index_t b = max_block_size(3, m);
+    const MemoryStats stats = measure_traffic(
+        m, ReplacementPolicy::kLru,
+        [&](AccessSink& sink) { trace_blocked(p, b, sink); });
+    EXPECT_LE(stats.traffic(), previous) << "M = " << m;
+    previous = stats.traffic();
+  }
+}
+
+TEST(TraceBlocked, BeatsUnblockedWhenMemoryIsScarce) {
+  // The headline sequential claim: blocking reduces traffic by roughly
+  // b^(N-1) on the factor-matrix terms. The memory must be small relative
+  // to the factor data (N R I_k words) or Algorithm 1 simply caches
+  // everything.
+  const TraceProblem p = make_problem({32, 32, 32}, 16, 1);
+  const index_t m = 150;  // b = 5; factor data = 3*16*32 = 1536 words >> M
+  const index_t b = max_block_size(3, m);
+  ASSERT_EQ(b, 5);
+  const MemoryStats blocked = measure_traffic(
+      m, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_blocked(p, b, sink); });
+  const MemoryStats unblocked = measure_traffic(
+      m, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_unblocked(p, sink); });
+  EXPECT_LT(blocked.traffic() * 2, unblocked.traffic());
+}
+
+TEST(TraceMatmul, TouchesScratchAndRespectsTrivialFloor) {
+  const TraceProblem p = make_problem({8, 8, 8}, 4, 0);
+  const index_t m = 256;
+  const MemoryStats stats = measure_traffic(
+      m, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_matmul(p, m, sink); });
+  // Must at least read X, write X_(n), form the KRP, and write B once.
+  EXPECT_GE(stats.traffic(),
+            2 * p.tensor_size() + p.tensor_size() / p.dims[0] * p.rank);
+}
+
+TEST(TraceMatmul, BlockedAlgorithmBeatsMatmulWhenFactorsDominate) {
+  // Section VI-A: when NR = Omega(M^(1-1/N)) the tensor-aware algorithm
+  // moves asymptotically fewer words. Pick a configuration in that regime.
+  const TraceProblem p = make_problem({12, 12, 12}, 16, 0);
+  const index_t m = 300;  // b = 6; M^(2/3) ~ 45 << NR = 48
+  const index_t b = max_block_size(3, m);
+  const MemoryStats blocked = measure_traffic(
+      m, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_blocked(p, b, sink); });
+  const MemoryStats matmul = measure_traffic(
+      m, ReplacementPolicy::kLru,
+      [&](AccessSink& sink) { trace_matmul(p, m, sink); });
+  EXPECT_LT(blocked.traffic(), matmul.traffic());
+}
+
+TEST(TraceValidation, RejectsBadArguments) {
+  DistinctSink sink;
+  EXPECT_THROW(trace_unblocked(make_problem({4}, 2, 0), sink),
+               std::invalid_argument);
+  EXPECT_THROW(trace_unblocked(make_problem({4, 4}, 0, 0), sink),
+               std::invalid_argument);
+  EXPECT_THROW(trace_unblocked(make_problem({4, 4}, 2, 2), sink),
+               std::invalid_argument);
+  EXPECT_THROW(trace_blocked(make_problem({4, 4}, 2, 0), 0, sink),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

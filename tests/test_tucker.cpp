@@ -1,0 +1,185 @@
+// Tests for the Tucker substrate: TTM, the Jacobi eigensolver, and
+// ST-HOSVD (exact recovery at full multilinear rank, quasi-optimal
+// truncation, orthonormal factors).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cp/tucker.hpp"
+#include "src/support/rng.hpp"
+#include "src/tensor/eigen_sym.hpp"
+#include "src/tensor/matricize.hpp"
+#include "src/tensor/ttm.hpp"
+
+namespace mtk {
+namespace {
+
+TEST(Ttm, MatchesDefinition) {
+  Rng rng(16001);
+  const DenseTensor x = DenseTensor::random_normal({3, 4, 5}, rng);
+  const Matrix u = Matrix::random_normal(6, 4, rng);  // mode 1: 4 -> 6
+  const DenseTensor y = ttm(x, u, 1);
+  ASSERT_EQ(y.dims(), (shape_t{3, 6, 5}));
+  for (Odometer od(y.dims()); od.valid(); od.next()) {
+    const multi_index_t& idx = od.index();
+    double expect = 0.0;
+    for (index_t i = 0; i < 4; ++i) {
+      expect += u(idx[1], i) * x.at({idx[0], i, idx[2]});
+    }
+    EXPECT_NEAR(y.at(idx), expect, 1e-12);
+  }
+}
+
+TEST(Ttm, IdentityIsNoop) {
+  Rng rng(16003);
+  const DenseTensor x = DenseTensor::random_normal({4, 5, 3}, rng);
+  for (int mode = 0; mode < 3; ++mode) {
+    const DenseTensor y = ttm(x, Matrix::identity(x.dim(mode)), mode);
+    EXPECT_DOUBLE_EQ(x.max_abs_diff(y), 0.0) << "mode " << mode;
+  }
+}
+
+TEST(Ttm, ModesCommute) {
+  // TTMs in distinct modes commute.
+  Rng rng(16005);
+  const DenseTensor x = DenseTensor::random_normal({4, 5, 6}, rng);
+  const Matrix u0 = Matrix::random_normal(3, 4, rng);
+  const Matrix u2 = Matrix::random_normal(2, 6, rng);
+  const DenseTensor a = ttm(ttm(x, u0, 0), u2, 2);
+  const DenseTensor b = ttm(ttm(x, u2, 2), u0, 0);
+  EXPECT_LT(a.max_abs_diff(b), 1e-12);
+}
+
+TEST(Ttm, ChainAppliesAllProvidedModes) {
+  Rng rng(16007);
+  const DenseTensor x = DenseTensor::random_normal({3, 4, 5}, rng);
+  const Matrix u1 = Matrix::random_normal(2, 4, rng);
+  const DenseTensor direct = ttm(x, u1, 1);
+  const DenseTensor chained = ttm_chain(x, {nullptr, &u1, nullptr});
+  EXPECT_DOUBLE_EQ(direct.max_abs_diff(chained), 0.0);
+}
+
+TEST(Ttm, Validation) {
+  DenseTensor x({3, 3}, 1.0);
+  EXPECT_THROW(ttm(x, Matrix(2, 4), 0), std::invalid_argument);
+  EXPECT_THROW(ttm(x, Matrix(2, 3), 2), std::invalid_argument);
+}
+
+TEST(EigenSymmetric, DiagonalizesRandomSymmetricMatrices) {
+  Rng rng(16009);
+  for (index_t n : {index_t{1}, index_t{2}, index_t{5}, index_t{12}}) {
+    const Matrix b = Matrix::random_normal(n, n, rng);
+    Matrix a(n, n);
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        a(i, j) = 0.5 * (b(i, j) + b(j, i));
+      }
+    }
+    const SymmetricEigen eig = eigen_symmetric(a);
+    // A v_j = lambda_j v_j.
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < n; ++i) {
+        double av = 0.0;
+        for (index_t k = 0; k < n; ++k) {
+          av += a(i, k) * eig.vectors(k, j);
+        }
+        EXPECT_NEAR(av,
+                    eig.values[static_cast<std::size_t>(j)] *
+                        eig.vectors(i, j),
+                    1e-8)
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+    // Orthonormal eigenbasis.
+    for (index_t p = 0; p < n; ++p) {
+      for (index_t q = 0; q < n; ++q) {
+        double ip = 0.0;
+        for (index_t i = 0; i < n; ++i) {
+          ip += eig.vectors(i, p) * eig.vectors(i, q);
+        }
+        EXPECT_NEAR(ip, p == q ? 1.0 : 0.0, 1e-9);
+      }
+    }
+    // Descending order.
+    for (std::size_t j = 1; j < eig.values.size(); ++j) {
+      EXPECT_GE(eig.values[j - 1], eig.values[j] - 1e-12);
+    }
+  }
+}
+
+TEST(EigenSymmetric, KnownSpectrum) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 2.0;
+  const SymmetricEigen eig = eigen_symmetric(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+}
+
+TEST(EigenSymmetric, RejectsAsymmetric) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  EXPECT_THROW(eigen_symmetric(a), std::invalid_argument);
+}
+
+DenseTensor random_multilinear(const shape_t& dims, const shape_t& ranks,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  DenseTensor core = DenseTensor::random_normal(ranks, rng);
+  DenseTensor x = core;
+  for (int k = 0; k < static_cast<int>(dims.size()); ++k) {
+    x = ttm(x, Matrix::random_normal(dims[static_cast<std::size_t>(k)],
+                                     ranks[static_cast<std::size_t>(k)], rng),
+            k);
+  }
+  return x;
+}
+
+TEST(StHosvd, ExactAtFullRank) {
+  Rng rng(16011);
+  const DenseTensor x = DenseTensor::random_normal({4, 5, 6}, rng);
+  const TuckerModel model = st_hosvd(x, {.ranks = {4, 5, 6}});
+  const DenseTensor back = model.reconstruct();
+  EXPECT_LT(x.max_abs_diff(back), 1e-9);
+  EXPECT_LT(tucker_residual_norm(x, model), 1e-8);
+}
+
+TEST(StHosvd, RecoversExactLowMultilinearRank) {
+  const shape_t dims{8, 9, 7};
+  const shape_t ranks{3, 2, 4};
+  const DenseTensor x = random_multilinear(dims, ranks, 16013);
+  const TuckerModel model = st_hosvd(x, {.ranks = ranks});
+  EXPECT_EQ(model.core.dims(), ranks);
+  const DenseTensor back = model.reconstruct();
+  EXPECT_LT(x.max_abs_diff(back), 1e-8 * x.frobenius_norm());
+}
+
+TEST(StHosvd, FactorsAreOrthonormal) {
+  const DenseTensor x = random_multilinear({6, 6, 6}, {2, 3, 2}, 16017);
+  const TuckerModel model = st_hosvd(x, {.ranks = {2, 3, 2}});
+  for (const Matrix& u : model.factors) {
+    const Matrix g = gram(u);
+    EXPECT_LT(max_abs_diff(g, Matrix::identity(u.cols())), 1e-9);
+  }
+}
+
+TEST(StHosvd, TruncationErrorMatchesResidualFormula) {
+  Rng rng(16019);
+  const DenseTensor x = DenseTensor::random_normal({6, 6, 6}, rng);
+  const TuckerModel model = st_hosvd(x, {.ranks = {3, 3, 3}});
+  const DenseTensor back = model.reconstruct();
+  DenseTensor diff = x;
+  for (index_t i = 0; i < diff.size(); ++i) diff[i] -= back[i];
+  EXPECT_NEAR(diff.frobenius_norm(), tucker_residual_norm(x, model),
+              1e-8 * x.frobenius_norm());
+}
+
+TEST(StHosvd, Validation) {
+  DenseTensor x({4, 4}, 1.0);
+  EXPECT_THROW(st_hosvd(x, {.ranks = {4}}), std::invalid_argument);
+  EXPECT_THROW(st_hosvd(x, {.ranks = {5, 4}}), std::invalid_argument);
+  EXPECT_THROW(st_hosvd(x, {.ranks = {0, 4}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

@@ -1,0 +1,140 @@
+// Command-line bound calculator: prints every bound the paper proves for a
+// given problem, sequential and parallel, plus the optimal processor grids.
+//
+// Usage:
+//   bounds_cli --dims 1024,1024,1024 --rank 64 --memory 65536 --procs 4096
+#include <cstdio>
+#include <string>
+
+#include "src/mtk.hpp"
+
+namespace {
+
+using namespace mtk;
+
+shape_t parse_dims(const std::string& s) {
+  shape_t dims;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    dims.push_back(std::stoll(s.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return dims;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --dims I1,I2,... --rank R [--memory M] "
+               "[--procs P]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shape_t dims;
+  index_t rank = 0;
+  index_t memory = 0;
+  index_t procs = 0;
+
+  try {
+    for (int a = 1; a < argc; ++a) {
+      const std::string arg = argv[a];
+      auto next = [&]() -> std::string {
+        MTK_CHECK(a + 1 < argc, "missing value after ", arg);
+        return argv[++a];
+      };
+      if (arg == "--dims") {
+        dims = parse_dims(next());
+      } else if (arg == "--rank") {
+        rank = std::stoll(next());
+      } else if (arg == "--memory") {
+        memory = std::stoll(next());
+      } else if (arg == "--procs") {
+        procs = std::stoll(next());
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    if (dims.empty() || rank <= 0) return usage(argv[0]);
+
+    const int n = static_cast<int>(dims.size());
+    std::printf("problem: order %d, I = %lld, R = %lld\n", n,
+                static_cast<long long>(shape_size(dims)),
+                static_cast<long long>(rank));
+
+    if (memory > 0) {
+      SeqProblem sp;
+      sp.dims = dims;
+      sp.rank = rank;
+      sp.fast_memory = memory;
+      const index_t b = max_block_size(n, memory);
+      std::printf("\nsequential (M = %lld words):\n",
+                  static_cast<long long>(memory));
+      std::printf("  Eq.(4)  memory-dependent LB : %.4e\n",
+                  seq_lower_bound_memory(sp));
+      std::printf("  Eq.(5)  trivial LB          : %.4e\n",
+                  seq_lower_bound_trivial(sp));
+      std::printf("  Eq.(21) Algorithm 2 UB      : %.4e (b = %lld)\n",
+                  seq_upper_bound_blocked(sp, b), static_cast<long long>(b));
+      std::printf("  Alg. 1 UB                   : %.4e\n",
+                  seq_upper_bound_unblocked(sp));
+      std::printf("  matmul model                : %.4e\n",
+                  seq_model_matmul_cost(sp));
+      const shape_t rect = optimize_block_shape(dims, rank, 0,
+                                                memory);
+      std::printf("  rectangular block (mode 0) :");
+      for (index_t v : rect) std::printf(" %lld", static_cast<long long>(v));
+      std::printf("  -> model %.4e\n",
+                  blocked_rect_traffic_model(dims, rank, 0, rect));
+    }
+
+    if (procs > 0) {
+      ParProblem pp;
+      pp.dims = dims;
+      pp.rank = rank;
+      pp.procs = procs;
+      std::printf("\nparallel (P = %lld):\n", static_cast<long long>(procs));
+      std::printf("  Thm 4.2 LB                  : %.4e\n",
+                  par_lower_bound_thm42(pp));
+      std::printf("  Thm 4.3 LB                  : %.4e\n",
+                  par_lower_bound_thm43(pp));
+      std::printf("  combined LB                 : %.4e\n",
+                  par_lower_bound(pp));
+
+      CostProblem cp;
+      cp.dims = dims;
+      cp.rank = rank;
+      const GridSearchResult stat = optimal_stationary_grid(cp, procs);
+      if (stat.feasible) {
+        std::printf("  Alg. 3 (Eq. 14) optimal grid:");
+        for (index_t g : stat.grid) {
+          std::printf(" %lld", static_cast<long long>(g));
+        }
+        std::printf("  -> %.4e words sent/rank\n", stat.cost);
+      } else {
+        std::printf("  Alg. 3: no feasible N-way grid (P too large)\n");
+      }
+      const GridSearchResult gen = optimal_general_grid(cp, procs);
+      if (gen.feasible) {
+        std::printf("  Alg. 4 (Eq. 18) optimal grid:");
+        for (index_t g : gen.grid) {
+          std::printf(" %lld", static_cast<long long>(g));
+        }
+        std::printf("  -> %.4e words sent/rank\n", gen.cost);
+      }
+      const CarmaCost mm = mttkrp_via_matmul_cost(
+          n, static_cast<double>(shape_size(dims)),
+          static_cast<double>(rank), static_cast<double>(procs));
+      std::printf("  matmul (CARMA, %d large dim%s): %.4e words\n",
+                  mm.large_dims, mm.large_dims > 1 ? "s" : "", mm.words);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Command-line MTTKRP driver: generates a random dense problem, runs the
+// chosen algorithm, reports wall-clock time and (optionally) the simulated
+// memory traffic against the paper's bounds.
+//
+// Usage:
+//   mttkrp_cli --dims 64,64,64 --rank 16 --mode 1 --algo blocked
+//              [--memory 32768] [--trace] [--seed 7]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/mtk.hpp"
+
+namespace {
+
+using namespace mtk;
+
+shape_t parse_dims(const std::string& s) {
+  shape_t dims;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    dims.push_back(std::stoll(s.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return dims;
+}
+
+MttkrpAlgo parse_algo(const std::string& s) {
+  if (s == "reference") return MttkrpAlgo::kReference;
+  if (s == "blocked") return MttkrpAlgo::kBlocked;
+  if (s == "matmul") return MttkrpAlgo::kMatmul;
+  if (s == "two_step") return MttkrpAlgo::kTwoStep;
+  MTK_CHECK(false, "unknown algorithm '", s,
+            "' (expected reference|blocked|matmul|two_step)");
+  return MttkrpAlgo::kReference;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --dims I1,I2,... --rank R [--mode n] [--algo A]\n"
+      "          [--memory M] [--trace] [--seed S]\n"
+      "  --dims    tensor dimensions, comma separated (required)\n"
+      "  --rank    factor matrix columns R (required)\n"
+      "  --mode    output mode, default 0\n"
+      "  --algo    reference|blocked|matmul|two_step, default blocked\n"
+      "  --memory  fast-memory words for block-size selection/trace,\n"
+      "            default 2^20\n"
+      "  --trace   also simulate the two-level memory traffic and print\n"
+      "            the Section IV bounds\n"
+      "  --seed    RNG seed, default 1\n",
+      argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shape_t dims;
+  index_t rank = 0;
+  int mode = 0;
+  MttkrpAlgo algo = MttkrpAlgo::kBlocked;
+  index_t memory = index_t{1} << 20;
+  bool trace = false;
+  std::uint64_t seed = 1;
+
+  try {
+    for (int a = 1; a < argc; ++a) {
+      const std::string arg = argv[a];
+      auto next = [&]() -> std::string {
+        MTK_CHECK(a + 1 < argc, "missing value after ", arg);
+        return argv[++a];
+      };
+      if (arg == "--dims") {
+        dims = parse_dims(next());
+      } else if (arg == "--rank") {
+        rank = std::stoll(next());
+      } else if (arg == "--mode") {
+        mode = std::stoi(next());
+      } else if (arg == "--algo") {
+        algo = parse_algo(next());
+      } else if (arg == "--memory") {
+        memory = std::stoll(next());
+      } else if (arg == "--trace") {
+        trace = true;
+      } else if (arg == "--seed") {
+        seed = std::stoull(next());
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    if (dims.empty() || rank <= 0) return usage(argv[0]);
+
+    Rng rng(seed);
+    const DenseTensor x = DenseTensor::random_normal(dims, rng);
+    std::vector<Matrix> factors;
+    for (index_t d : dims) {
+      factors.push_back(Matrix::random_normal(d, rank, rng));
+    }
+
+    MttkrpOptions opts;
+    opts.algo = algo;
+    opts.fast_memory_words = memory;
+
+    const auto start = std::chrono::steady_clock::now();
+    const Matrix b = mttkrp(x, factors, mode, opts);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+
+    std::printf("algorithm      : %s\n", to_string(algo));
+    std::printf("tensor         : %lld entries, order %d\n",
+                static_cast<long long>(x.size()), x.order());
+    std::printf("output         : %lld x %lld, frobenius %.6e\n",
+                static_cast<long long>(b.rows()),
+                static_cast<long long>(b.cols()), b.frobenius_norm());
+    std::printf("wall time      : %.2f ms\n", ms);
+
+    if (trace) {
+      TraceProblem tp;
+      tp.dims = dims;
+      tp.rank = rank;
+      tp.mode = mode;
+      const index_t block = max_block_size(x.order(), memory);
+      const MemoryStats stats = measure_traffic(
+          memory, ReplacementPolicy::kLru, [&](AccessSink& sink) {
+            if (algo == MttkrpAlgo::kMatmul) {
+              trace_matmul(tp, memory, sink);
+            } else if (algo == MttkrpAlgo::kBlocked) {
+              trace_blocked(tp, block, sink);
+            } else {
+              trace_unblocked(tp, sink);
+            }
+          });
+      SeqProblem sp;
+      sp.dims = dims;
+      sp.rank = rank;
+      sp.fast_memory = memory;
+      std::printf("traffic (M=%lld): %lld words\n",
+                  static_cast<long long>(memory),
+                  static_cast<long long>(stats.traffic()));
+      std::printf("lower bound    : %.0f words (Eqs. 4/5)\n",
+                  seq_lower_bound(sp));
+      std::printf("Eq.(21) upper  : %.0f words (b = %lld)\n",
+                  seq_upper_bound_blocked(sp, block),
+                  static_cast<long long>(block));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
