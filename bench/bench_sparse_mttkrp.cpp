@@ -1,0 +1,129 @@
+// Sparse-storage MTTKRP shootout (google-benchmark; run with
+// --benchmark_format=json for the BENCH_*.json shape): COO kernel vs CSF
+// kernel vs densify-then-blocked, across densities 1e-4 .. 1e-1 on a cubic
+// order-3 tensor.
+//
+// Expectations: the dense blocked kernel does O(I^3) work regardless of
+// density, so both sparse kernels win by orders of magnitude at low density.
+// Between the sparse kernels, CSF wins as density falls below ~1e-2 — fibers
+// share factor-row loads the COO kernel repeats per nonzero, and the
+// root-mode tree writes disjoint output rows where parallel COO must reduce
+// scratch copies. Set OMP_NUM_THREADS (e.g. 4) to size the *Omp variants.
+//
+// Densities are encoded as negative powers of ten in the benchmark args
+// (range(0) = 4 means 1e-4); range(1) is the rank.
+#include <benchmark/benchmark.h>
+
+#include "src/mttkrp/dispatch.hpp"
+#include "src/support/rng.hpp"
+
+namespace {
+
+using namespace mtk;
+
+constexpr index_t kDim = 96;
+constexpr int kMode = 0;  // output mode; CSF trees are rooted here
+
+struct Fixture {
+  SparseTensor coo;
+  CsfTensor csf;
+  std::vector<Matrix> factors;
+};
+
+Fixture make_fixture(double density, index_t rank) {
+  Rng rng(20240);
+  const shape_t dims{kDim, kDim, kDim};
+  Fixture f;
+  f.coo = SparseTensor::random_sparse(dims, density, rng);
+  f.csf = CsfTensor::from_coo(f.coo, kMode);
+  for (index_t d : dims) {
+    f.factors.push_back(Matrix::random_normal(d, rank, rng));
+  }
+  return f;
+}
+
+double density_from_range(benchmark::State& state) {
+  double d = 1.0;
+  for (index_t i = 0; i < state.range(0); ++i) d /= 10.0;
+  return d;
+}
+
+void annotate(benchmark::State& state, const Fixture& f) {
+  state.counters["nnz"] = static_cast<double>(f.coo.nnz());
+  state.counters["csf_words"] = static_cast<double>(f.csf.storage_words());
+  state.SetItemsProcessed(state.iterations() * f.coo.nnz() *
+                          f.factors.front().cols());
+}
+
+void BM_Coo(benchmark::State& state) {
+  const Fixture f = make_fixture(density_from_range(state), state.range(1));
+  for (auto _ : state) {
+    Matrix b = mttkrp_coo(f.coo, f.factors, kMode, /*parallel=*/false);
+    benchmark::DoNotOptimize(b.data());
+  }
+  annotate(state, f);
+}
+
+void BM_CooOmp(benchmark::State& state) {
+  const Fixture f = make_fixture(density_from_range(state), state.range(1));
+  for (auto _ : state) {
+    Matrix b = mttkrp_coo(f.coo, f.factors, kMode, /*parallel=*/true);
+    benchmark::DoNotOptimize(b.data());
+  }
+  annotate(state, f);
+}
+
+void BM_Csf(benchmark::State& state) {
+  const Fixture f = make_fixture(density_from_range(state), state.range(1));
+  for (auto _ : state) {
+    Matrix b = mttkrp_csf(f.csf, f.factors, kMode, /*parallel=*/false);
+    benchmark::DoNotOptimize(b.data());
+  }
+  annotate(state, f);
+}
+
+void BM_CsfOmp(benchmark::State& state) {
+  const Fixture f = make_fixture(density_from_range(state), state.range(1));
+  for (auto _ : state) {
+    Matrix b = mttkrp_csf(f.csf, f.factors, kMode, /*parallel=*/true);
+    benchmark::DoNotOptimize(b.data());
+  }
+  annotate(state, f);
+}
+
+// The dense baseline a sparse workload would otherwise pay: materialize once
+// (outside the timed loop) and run the communication-optimal blocked kernel.
+void BM_DensifiedBlocked(benchmark::State& state) {
+  const Fixture f = make_fixture(density_from_range(state), state.range(1));
+  const DenseTensor dense = f.coo.to_dense();
+  const index_t block = max_block_size(3, index_t{1} << 15);
+  for (auto _ : state) {
+    Matrix b = mttkrp_blocked(dense, f.factors, kMode, block);
+    benchmark::DoNotOptimize(b.data());
+  }
+  annotate(state, f);
+}
+
+// One-off conversion costs, so the steady-state numbers above can be put
+// against the amortized setup.
+void BM_BuildCsf(benchmark::State& state) {
+  const Fixture f = make_fixture(density_from_range(state), state.range(1));
+  for (auto _ : state) {
+    CsfTensor csf = CsfTensor::from_coo(f.coo, kMode);
+    benchmark::DoNotOptimize(&csf);
+  }
+  annotate(state, f);
+}
+
+#define MTK_DENSITY_ARGS                                                \
+  ->Args({4, 16})->Args({3, 16})->Args({2, 16})->Args({1, 16})          \
+      ->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_Coo) MTK_DENSITY_ARGS;
+BENCHMARK(BM_CooOmp) MTK_DENSITY_ARGS;
+BENCHMARK(BM_Csf) MTK_DENSITY_ARGS;
+BENCHMARK(BM_CsfOmp) MTK_DENSITY_ARGS;
+BENCHMARK(BM_DensifiedBlocked) MTK_DENSITY_ARGS;
+BENCHMARK(BM_BuildCsf) MTK_DENSITY_ARGS;
+
+}  // namespace

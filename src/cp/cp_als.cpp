@@ -59,6 +59,18 @@ std::vector<double> normalize_columns(Matrix& a) {
 }  // namespace
 
 CpAlsResult cp_als(const DenseTensor& x, const CpAlsOptions& opts) {
+  return cp_als(StoredTensor::dense_view(x), opts);
+}
+
+CpAlsResult cp_als(const SparseTensor& x, const CpAlsOptions& opts) {
+  return cp_als(StoredTensor::coo_view(x), opts);
+}
+
+CpAlsResult cp_als(const CsfTensor& x, const CpAlsOptions& opts) {
+  return cp_als(StoredTensor::csf_view(x), opts);
+}
+
+CpAlsResult cp_als(const StoredTensor& x, const CpAlsOptions& opts) {
   const int n = x.order();
   MTK_CHECK(n >= 2, "cp_als requires an order >= 2 tensor");
   MTK_CHECK(opts.rank >= 1, "cp rank must be >= 1, got ", opts.rank);

@@ -2,13 +2,20 @@
 // motivates MTTKRP (Section II-A). Each inner step updates one factor by
 // solving the normal equations A^(n) * V = M, where M is the mode-n MTTKRP
 // and V is the Hadamard product of the other factors' Gram matrices. The
-// MTTKRP backend is pluggable, demonstrating that every algorithm in
-// src/mttkrp is a drop-in bottleneck kernel.
+// MTTKRP backend is pluggable — both the dense algorithm (MttkrpOptions) and
+// the storage format (dense / COO / CSF via StoredTensor) — demonstrating
+// that every kernel behind src/mttkrp/dispatch.hpp is a drop-in bottleneck.
+//
+// The driver never materializes the residual tensor: the fit is evaluated
+// from ||X||^2 + ||model||^2 - 2 <X, model>, where the model norm comes from
+// the factor-Gram identity (cp_model_norm_squared) and the inner product
+// from the last MTTKRP output — so sparse inputs stay sparse throughout.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "src/mttkrp/dispatch.hpp"
 #include "src/mttkrp/mttkrp.hpp"
 #include "src/tensor/dense_tensor.hpp"
 #include "src/tensor/matrix.hpp"
@@ -47,7 +54,12 @@ struct CpAlsResult {
   bool converged = false;
 };
 
+// Storage-polymorphic driver; runs unmodified on dense, COO, or CSF input.
+CpAlsResult cp_als(const StoredTensor& x, const CpAlsOptions& opts);
+// Convenience overloads wrapping the storage in a borrowing view.
 CpAlsResult cp_als(const DenseTensor& x, const CpAlsOptions& opts);
+CpAlsResult cp_als(const SparseTensor& x, const CpAlsOptions& opts);
+CpAlsResult cp_als(const CsfTensor& x, const CpAlsOptions& opts);
 
 // The model-norm trick shared by the sequential and parallel drivers:
 // ||model||^2 = sum_{r,s} lambda_r lambda_s prod_k G_k(r,s).

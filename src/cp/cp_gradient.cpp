@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "src/mttkrp/dim_tree.hpp"
+#include "src/mttkrp/dispatch.hpp"
 #include "src/support/rng.hpp"
 
 namespace mtk {
@@ -31,6 +31,21 @@ std::vector<Matrix> compute_grams(const std::vector<Matrix>& factors) {
 
 CpGradResult cp_gradient_descent(const DenseTensor& x,
                                  const CpGradOptions& opts) {
+  return cp_gradient_descent(StoredTensor::dense_view(x), opts);
+}
+
+CpGradResult cp_gradient_descent(const SparseTensor& x,
+                                 const CpGradOptions& opts) {
+  return cp_gradient_descent(StoredTensor::coo_view(x), opts);
+}
+
+CpGradResult cp_gradient_descent(const CsfTensor& x,
+                                 const CpGradOptions& opts) {
+  return cp_gradient_descent(StoredTensor::csf_view(x), opts);
+}
+
+CpGradResult cp_gradient_descent(const StoredTensor& x,
+                                 const CpGradOptions& opts) {
   const int n = x.order();
   MTK_CHECK(n >= 2, "cp_gradient_descent requires an order >= 2 tensor");
   MTK_CHECK(opts.rank >= 1, "cp rank must be >= 1, got ", opts.rank);
@@ -57,7 +72,7 @@ CpGradResult cp_gradient_descent(const DenseTensor& x,
 
   std::vector<Matrix>& factors = result.model.factors;
   std::vector<Matrix> grams = compute_grams(factors);
-  AllModesResult mttkrps = mttkrp_all_modes_tree(x, factors);
+  AllModesResult mttkrps = mttkrp_all_modes(x, factors);
   double objective = objective_value(
       norm_x_sq, grams, mttkrps.outputs[static_cast<std::size_t>(n - 1)],
       factors[static_cast<std::size_t>(n - 1)], ones);
@@ -114,7 +129,7 @@ CpGradResult cp_gradient_descent(const DenseTensor& x,
         }
       }
       const std::vector<Matrix> trial_grams = compute_grams(trial);
-      AllModesResult trial_mttkrps = mttkrp_all_modes_tree(x, trial);
+      AllModesResult trial_mttkrps = mttkrp_all_modes(x, trial);
       const double trial_obj = objective_value(
           norm_x_sq, trial_grams,
           trial_mttkrps.outputs[static_cast<std::size_t>(n - 1)],

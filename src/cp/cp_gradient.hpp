@@ -44,7 +44,17 @@ struct CpGradResult {
   bool converged = false;
 };
 
+// Storage-polymorphic driver: dense storage computes the all-modes MTTKRP
+// with the dimension tree; sparse storage (COO/CSF) runs the native sparse
+// kernel per mode (src/mttkrp/dispatch.hpp).
+CpGradResult cp_gradient_descent(const StoredTensor& x,
+                                 const CpGradOptions& opts);
+// Convenience overloads wrapping the storage in a borrowing view.
 CpGradResult cp_gradient_descent(const DenseTensor& x,
+                                 const CpGradOptions& opts);
+CpGradResult cp_gradient_descent(const SparseTensor& x,
+                                 const CpGradOptions& opts);
+CpGradResult cp_gradient_descent(const CsfTensor& x,
                                  const CpGradOptions& opts);
 
 }  // namespace mtk

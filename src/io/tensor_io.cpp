@@ -1,7 +1,12 @@
 #include "src/io/tensor_io.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
 
 #include "src/support/check.hpp"
 
@@ -130,6 +135,112 @@ CpModel load_cp_model(const std::string& path) {
   model.lambda.resize(static_cast<std::size_t>(rank));
   read_bytes(in, model.lambda.data(), model.lambda.size() * 8);
   return model;
+}
+
+void save_tensor_tns(const SparseTensor& x, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  MTK_REQUIRE(out.is_open(), "cannot open '", path, "' for writing");
+  out << "# dims:";
+  for (index_t d : x.dims()) out << ' ' << d;
+  out << '\n';
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (index_t p = 0; p < x.nnz(); ++p) {
+    for (int k = 0; k < x.order(); ++k) {
+      out << x.index(k, p) + 1 << ' ';  // FROSTT indices are 1-based
+    }
+    out << x.value(p) << '\n';
+  }
+  MTK_REQUIRE(out.good(), "write failed for '", path, "'");
+}
+
+SparseTensor load_tensor_tns(const std::string& path) {
+  std::ifstream in(path);
+  MTK_REQUIRE(in.is_open(), "cannot open '", path, "' for reading");
+
+  shape_t declared_dims;
+  std::vector<multi_index_t> coords;
+  std::vector<double> values;
+  int order = -1;
+  std::string line;
+  index_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // A "# dims: ..." comment (and only that — a comment merely *containing*
+    // "dims:" somewhere is prose) pins the extents; other comments are
+    // skipped.
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') {
+      const std::size_t body = line.find_first_not_of(" \t", first + 1);
+      if (body != std::string::npos && line.compare(body, 5, "dims:") == 0) {
+        std::istringstream ds(line.substr(body + 5));
+        index_t d = 0;
+        while (ds >> d) declared_dims.push_back(d);
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::vector<double> fields;
+    double v = 0.0;
+    while (ls >> v) fields.push_back(v);
+    MTK_REQUIRE(fields.size() >= 2, "line ", line_no, " of '", path,
+                "' has ", fields.size(), " fields; need >= 2");
+    if (order < 0) {
+      order = static_cast<int>(fields.size()) - 1;
+    }
+    MTK_REQUIRE(static_cast<int>(fields.size()) == order + 1, "line ",
+                line_no, " of '", path, "' has ", fields.size() - 1,
+                " indices, expected ", order);
+    multi_index_t idx(static_cast<std::size_t>(order));
+    for (int k = 0; k < order; ++k) {
+      const double f = fields[static_cast<std::size_t>(k)];
+      MTK_REQUIRE(f == std::floor(f), "line ", line_no, " of '", path,
+                  "': index field ", f, " is not an integer");
+      const index_t i = static_cast<index_t>(f);
+      MTK_REQUIRE(i >= 1, "line ", line_no, " of '", path,
+                  "': index ", i, " is not 1-based positive");
+      idx[static_cast<std::size_t>(k)] = i - 1;
+    }
+    coords.push_back(std::move(idx));
+    values.push_back(fields.back());
+  }
+  if (order <= 0) {
+    // No data lines: a "# dims:" declaration still describes a legal
+    // (all-zero) tensor, so the writer's output for one round-trips.
+    MTK_REQUIRE(!declared_dims.empty(), "'", path,
+                "' contains no nonzero entries and no dims declaration");
+    SparseTensor empty(declared_dims);
+    return empty;
+  }
+
+  shape_t dims(static_cast<std::size_t>(order), 1);
+  for (const multi_index_t& idx : coords) {
+    for (int k = 0; k < order; ++k) {
+      dims[static_cast<std::size_t>(k)] = std::max(
+          dims[static_cast<std::size_t>(k)], idx[static_cast<std::size_t>(k)] + 1);
+    }
+  }
+  if (!declared_dims.empty()) {
+    MTK_REQUIRE(static_cast<int>(declared_dims.size()) == order,
+                "'", path, "' declares ", declared_dims.size(),
+                " dims for order-", order, " data");
+    for (int k = 0; k < order; ++k) {
+      MTK_REQUIRE(declared_dims[static_cast<std::size_t>(k)] >=
+                      dims[static_cast<std::size_t>(k)],
+                  "'", path, "' declares dim ", k, " = ",
+                  declared_dims[static_cast<std::size_t>(k)],
+                  " smaller than max index ",
+                  dims[static_cast<std::size_t>(k)]);
+    }
+    dims = declared_dims;
+  }
+
+  SparseTensor x(dims);
+  for (std::size_t p = 0; p < values.size(); ++p) {
+    x.push_back(coords[p], values[p]);
+  }
+  x.sort_and_dedup();
+  return x;
 }
 
 }  // namespace mtk

@@ -1,13 +1,20 @@
-// Minimal binary serialization for tensors, matrices, and CP models, so the
-// CLI tools and examples can exchange data with downstream pipelines.
+// Serialization for tensors, matrices, and CP models, so the CLI tools and
+// examples can exchange data with downstream pipelines.
 //
-// Format (little-endian, host-width doubles):
+// Binary format (little-endian, host-width doubles):
 //   magic (8 bytes: "MTKTNSR1" / "MTKMATR1" / "MTKCPMD1")
 //   tensor: int64 order, int64 dims[order], double data[prod(dims)]
 //   matrix: int64 rows, int64 cols, double data[rows*cols]
 //   model:  int64 order, int64 rank, matrices..., double lambda[rank]
 // No attempt is made at cross-endian portability; this is a working-set
 // format, not an archive format.
+//
+// Sparse tensors additionally use the FROSTT coordinate text format
+// (http://frostt.io, `.tns`): one nonzero per line as `i_1 ... i_N value`
+// with 1-based indices, `#` comment lines ignored. The writer emits a
+// `# dims: d_1 ... d_N` comment so extents with trailing empty slices
+// round-trip; the reader honors it when present and otherwise infers each
+// extent as the maximum index seen in that mode.
 #pragma once
 
 #include <string>
@@ -15,6 +22,7 @@
 #include "src/cp/cp_als.hpp"
 #include "src/tensor/dense_tensor.hpp"
 #include "src/tensor/matrix.hpp"
+#include "src/tensor/sparse_tensor.hpp"
 
 namespace mtk {
 
@@ -26,5 +34,10 @@ Matrix load_matrix(const std::string& path);
 
 void save_cp_model(const CpModel& model, const std::string& path);
 CpModel load_cp_model(const std::string& path);
+
+// FROSTT `.tns` coordinate format. The loaded tensor is sorted/deduped and
+// ready for any sparse kernel; duplicate lines in the file are summed.
+void save_tensor_tns(const SparseTensor& x, const std::string& path);
+SparseTensor load_tensor_tns(const std::string& path);
 
 }  // namespace mtk

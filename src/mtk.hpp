@@ -2,15 +2,19 @@
 // library. Include this for everything, or the individual module headers
 // for faster builds:
 //
-//   src/tensor/*      dense tensors, matrices, matricization, Khatri-Rao
-//   src/mttkrp/*      sequential MTTKRP algorithms + dimension tree
+//   src/tensor/*      storage backends (dense, sparse COO, CSF), matrices,
+//                     matricization, Khatri-Rao
+//   src/mttkrp/*      sequential MTTKRP algorithms (dense + sparse kernels),
+//                     storage dispatch layer, dimension tree
 //   src/bounds/*      communication lower bounds, HBL/LP machinery,
 //                     Theorem 6.1 optimality checkers
 //   src/memsim/*      two-level memory (I/O) model simulator + traces
 //   src/parsim/*      distributed-machine simulator, collectives,
 //                     Algorithms 3 and 4, all-modes variant
 //   src/costmodel/*   Eq. (14)/(18) grid optimization, CARMA model, Fig. 4
-//   src/cp/*          CP-ALS (sequential + simulated-parallel), CP-gradient
+//   src/cp/*          CP-ALS (sequential + simulated-parallel), CP-gradient;
+//                     storage-polymorphic via src/mttkrp/dispatch.hpp
+//   src/io/*          binary tensor/matrix/model files, FROSTT .tns COO
 #pragma once
 
 #include "src/bounds/hbl.hpp"
@@ -19,17 +23,18 @@
 #include "src/bounds/sequential_bounds.hpp"
 #include "src/bounds/simplex.hpp"
 #include "src/costmodel/carma.hpp"
-#include "src/io/tensor_io.hpp"
 #include "src/costmodel/grid_search.hpp"
 #include "src/costmodel/model.hpp"
 #include "src/cp/cp_als.hpp"
 #include "src/cp/cp_gradient.hpp"
 #include "src/cp/par_cp_als.hpp"
 #include "src/cp/tucker.hpp"
+#include "src/io/tensor_io.hpp"
 #include "src/memsim/memory_model.hpp"
 #include "src/memsim/traced_mttkrp.hpp"
 #include "src/mttkrp/blocked_rect.hpp"
 #include "src/mttkrp/dim_tree.hpp"
+#include "src/mttkrp/dispatch.hpp"
 #include "src/mttkrp/mttkrp.hpp"
 #include "src/mttkrp/partial.hpp"
 #include "src/parsim/collective_variants.hpp"
@@ -44,9 +49,11 @@
 #include "src/support/math_util.hpp"
 #include "src/support/rng.hpp"
 #include "src/tensor/block.hpp"
+#include "src/tensor/csf.hpp"
 #include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/eigen_sym.hpp"
 #include "src/tensor/khatri_rao.hpp"
 #include "src/tensor/matricize.hpp"
-#include "src/tensor/eigen_sym.hpp"
 #include "src/tensor/matrix.hpp"
+#include "src/tensor/sparse_tensor.hpp"
 #include "src/tensor/ttm.hpp"

@@ -1,0 +1,99 @@
+// Storage-backend dispatch for MTTKRP: one entry point, three storage
+// formats.
+//
+//   DenseTensor  — routed to the dense algorithms in src/mttkrp/mttkrp.hpp
+//                  (reference / blocked / matmul / two_step, per
+//                  MttkrpOptions::algo).
+//   SparseTensor — coordinate (COO) kernel: one fused multiply per nonzero,
+//                  OpenMP over nonzero chunks with per-thread scratch rows.
+//   CsfTensor    — compressed-sparse-fiber kernel: factor rows shared along
+//                  fibers, OpenMP over root fibers (direct disjoint writes
+//                  when the output mode is the root level, scratch-row
+//                  accumulation otherwise, as in SPLATT).
+//
+// `StoredTensor` is the type-erased handle the upper layers (CP-ALS,
+// CP-gradient, IO, CLI) hold so they run unmodified on any backend. Adding a
+// new storage format means: add the format tag, a StoredTensor factory, a
+// kernel, and one switch arm in each dispatch function below — no changes
+// above this layer.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/mttkrp/dim_tree.hpp"
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/tensor/csf.hpp"
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/sparse_tensor.hpp"
+
+namespace mtk {
+
+enum class StorageFormat { kDense, kCoo, kCsf };
+
+const char* to_string(StorageFormat format);
+
+// Type-erased tensor handle. Owning factories move the storage in;
+// borrowing factories (`*_view`) alias caller-owned storage, which must
+// outlive the handle. Copies share the underlying (immutable) storage.
+class StoredTensor {
+ public:
+  StoredTensor() = default;
+
+  static StoredTensor dense(DenseTensor x);
+  static StoredTensor coo(SparseTensor x);  // requires sort_and_dedup()
+  static StoredTensor csf(CsfTensor x);
+
+  static StoredTensor dense_view(const DenseTensor& x);
+  static StoredTensor coo_view(const SparseTensor& x);
+  static StoredTensor csf_view(const CsfTensor& x);
+
+  bool empty() const { return storage_ == nullptr; }
+  StorageFormat format() const;
+
+  int order() const;
+  const shape_t& dims() const;
+  index_t dim(int k) const;
+  // Number of explicitly stored values (prod(dims) for dense, nnz for
+  // sparse) — the work/traffic unit of every kernel.
+  index_t stored_values() const;
+  double frobenius_norm() const;
+
+  const DenseTensor& as_dense() const;
+  const SparseTensor& as_coo() const;
+  const CsfTensor& as_csf() const;
+
+ private:
+  StorageFormat format_ = StorageFormat::kDense;
+  // Exactly one is non-null; shared_ptr with a no-op deleter implements the
+  // borrowing views.
+  std::shared_ptr<const void> storage_;
+  const DenseTensor* dense_ = nullptr;
+  const SparseTensor* coo_ = nullptr;
+  const CsfTensor* csf_ = nullptr;
+};
+
+// Direct sparse kernels (used by tests and benchmarks).
+Matrix mttkrp_coo(const SparseTensor& x, const std::vector<Matrix>& factors,
+                  int mode, bool parallel = false);
+Matrix mttkrp_csf(const CsfTensor& x, const std::vector<Matrix>& factors,
+                  int mode, bool parallel = false);
+
+// Dispatching entry points; MttkrpOptions::sparse_algo selects the sparse
+// kernel (kAuto runs the storage-native kernel without conversion).
+Matrix mttkrp(const SparseTensor& x, const std::vector<Matrix>& factors,
+              int mode, const MttkrpOptions& opts = {});
+Matrix mttkrp(const CsfTensor& x, const std::vector<Matrix>& factors,
+              int mode, const MttkrpOptions& opts = {});
+Matrix mttkrp(const StoredTensor& x, const std::vector<Matrix>& factors,
+              int mode, const MttkrpOptions& opts = {});
+
+// All-modes MTTKRP for gradient-style workloads: dense storage uses the
+// dimension tree (partial-contraction reuse); sparse storage runs the
+// native kernel once per mode, since fiber reuse already amortizes the
+// factor traffic the tree would save.
+AllModesResult mttkrp_all_modes(const StoredTensor& x,
+                                const std::vector<Matrix>& factors,
+                                const MttkrpOptions& opts = {});
+
+}  // namespace mtk

@@ -19,9 +19,18 @@ const char* to_string(MttkrpAlgo algo) {
   return "unknown";
 }
 
-index_t check_mttkrp_args(const DenseTensor& x,
+const char* to_string(SparseMttkrpAlgo algo) {
+  switch (algo) {
+    case SparseMttkrpAlgo::kAuto: return "auto";
+    case SparseMttkrpAlgo::kCoo: return "coo";
+    case SparseMttkrpAlgo::kCsf: return "csf";
+  }
+  return "unknown";
+}
+
+index_t check_mttkrp_args(const shape_t& dims,
                           const std::vector<Matrix>& factors, int mode) {
-  const int n = x.order();
+  const int n = static_cast<int>(dims.size());
   MTK_CHECK(n >= 2, "MTTKRP requires an order >= 2 tensor, got order ", n);
   MTK_CHECK(mode >= 0 && mode < n, "mode ", mode,
             " out of range for order-", n, " tensor");
@@ -32,8 +41,9 @@ index_t check_mttkrp_args(const DenseTensor& x,
   for (int k = 0; k < n; ++k) {
     if (k == mode) continue;
     const Matrix& a = factors[static_cast<std::size_t>(k)];
-    MTK_CHECK(a.rows() == x.dim(k), "factor ", k, " has ", a.rows(),
-              " rows, expected ", x.dim(k));
+    MTK_CHECK(a.rows() == dims[static_cast<std::size_t>(k)], "factor ", k,
+              " has ", a.rows(), " rows, expected ",
+              dims[static_cast<std::size_t>(k)]);
     if (rank < 0) {
       rank = a.cols();
       MTK_CHECK(rank >= 1, "factor matrices must have at least one column");
@@ -43,6 +53,11 @@ index_t check_mttkrp_args(const DenseTensor& x,
     }
   }
   return rank;
+}
+
+index_t check_mttkrp_args(const DenseTensor& x,
+                          const std::vector<Matrix>& factors, int mode) {
+  return check_mttkrp_args(x.dims(), factors, mode);
 }
 
 index_t max_block_size(int order, index_t fast_memory_words) {

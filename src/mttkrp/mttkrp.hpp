@@ -26,21 +26,35 @@ namespace mtk {
 
 enum class MttkrpAlgo { kReference, kBlocked, kMatmul, kTwoStep };
 
+// Kernel selection for sparse storage (src/mttkrp/dispatch.hpp). kAuto runs
+// the kernel native to the storage format: COO tensors use the coordinate
+// kernel, CSF tensors the fiber kernel. kCsf on a COO tensor compresses to
+// CSF first; kCoo on a CSF tensor expands (both are conversions worth
+// benchmarking, not fast paths).
+enum class SparseMttkrpAlgo { kAuto, kCoo, kCsf };
+
 const char* to_string(MttkrpAlgo algo);
+const char* to_string(SparseMttkrpAlgo algo);
 
 struct MttkrpOptions {
   MttkrpAlgo algo = MttkrpAlgo::kBlocked;
+  // Kernel used when the storage is sparse (`algo` applies to dense only).
+  SparseMttkrpAlgo sparse_algo = SparseMttkrpAlgo::kAuto;
   // Block size b for kBlocked; 0 derives the largest b with
   // b^N + N*b <= fast_memory_words (Eq. (11)).
   index_t block_size = 0;
   // Fast-memory capacity in words used to derive the block size.
   index_t fast_memory_words = index_t{1} << 20;
-  // OpenMP-parallelize over mode-n blocks (kBlocked only); distinct threads
-  // write disjoint rows of B, so no synchronization is needed.
+  // OpenMP-parallelize: over mode-n blocks (kBlocked), nonzero chunks (COO),
+  // or root fibers (CSF). Dense blocked workers write disjoint rows of B, so
+  // no synchronization is needed; the sparse kernels accumulate into
+  // per-thread scratch rows and reduce.
   bool parallel = false;
 };
 
 // Validates shapes and returns the common rank R.
+index_t check_mttkrp_args(const shape_t& dims,
+                          const std::vector<Matrix>& factors, int mode);
 index_t check_mttkrp_args(const DenseTensor& x,
                           const std::vector<Matrix>& factors, int mode);
 

@@ -1,0 +1,190 @@
+#include "src/tensor/sparse_tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mtk {
+
+SparseTensor::SparseTensor(shape_t dims) : dims_(std::move(dims)) {
+  check_shape(dims_);
+  indices_.resize(dims_.size());
+}
+
+multi_index_t SparseTensor::coordinate(index_t p) const {
+  MTK_CHECK(p >= 0 && p < nnz(), "nonzero index ", p,
+            " out of range for nnz ", nnz());
+  multi_index_t idx(dims_.size());
+  for (std::size_t k = 0; k < dims_.size(); ++k) {
+    idx[k] = indices_[k][static_cast<std::size_t>(p)];
+  }
+  return idx;
+}
+
+void SparseTensor::push_back(const multi_index_t& idx, double value) {
+  MTK_CHECK(idx.size() == dims_.size(), "coordinate has ", idx.size(),
+            " components, expected ", dims_.size());
+  for (std::size_t k = 0; k < dims_.size(); ++k) {
+    MTK_CHECK(idx[k] >= 0 && idx[k] < dims_[k], "coordinate ", idx[k],
+              " out of range [0, ", dims_[k], ") in mode ", k);
+    indices_[k].push_back(idx[k]);
+  }
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void SparseTensor::sort_and_dedup() {
+  if (sorted_) return;
+  const int n = order();
+  const std::size_t count = values_.size();
+
+  // Sort a permutation of nonzero positions, then apply it; the
+  // struct-of-arrays layout never materializes per-entry tuples.
+  std::vector<index_t> perm(count);
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+    for (int k = 0; k < n; ++k) {
+      const auto& ind = indices_[static_cast<std::size_t>(k)];
+      const index_t ia = ind[static_cast<std::size_t>(a)];
+      const index_t ib = ind[static_cast<std::size_t>(b)];
+      if (ia != ib) return ia < ib;
+    }
+    return false;
+  });
+
+  std::vector<std::vector<index_t>> new_indices(static_cast<std::size_t>(n));
+  std::vector<double> new_values;
+  new_values.reserve(count);
+  for (auto& ind : new_indices) ind.reserve(count);
+
+  auto same_coord = [&](index_t p, std::size_t back) {
+    for (int k = 0; k < n; ++k) {
+      const auto& src = indices_[static_cast<std::size_t>(k)];
+      if (src[static_cast<std::size_t>(p)] !=
+          new_indices[static_cast<std::size_t>(k)][back]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const index_t p = perm[i];
+    if (!new_values.empty() && same_coord(p, new_values.size() - 1)) {
+      new_values.back() += values_[static_cast<std::size_t>(p)];
+      continue;
+    }
+    for (int k = 0; k < n; ++k) {
+      new_indices[static_cast<std::size_t>(k)].push_back(
+          indices_[static_cast<std::size_t>(k)][static_cast<std::size_t>(p)]);
+    }
+    new_values.push_back(values_[static_cast<std::size_t>(p)]);
+  }
+
+  // Drop entries that cancelled to exactly zero (e.g. +v and -v duplicates).
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < new_values.size(); ++i) {
+    if (new_values[i] == 0.0) continue;
+    if (keep != i) {
+      for (int k = 0; k < n; ++k) {
+        new_indices[static_cast<std::size_t>(k)][keep] =
+            new_indices[static_cast<std::size_t>(k)][i];
+      }
+      new_values[keep] = new_values[i];
+    }
+    ++keep;
+  }
+  for (auto& ind : new_indices) ind.resize(keep);
+  new_values.resize(keep);
+
+  indices_ = std::move(new_indices);
+  values_ = std::move(new_values);
+  sorted_ = true;
+}
+
+double SparseTensor::frobenius_norm() const {
+  // Correct only post-dedup (duplicates must be summed, not squared apart).
+  MTK_CHECK(sorted_, "frobenius_norm requires sort_and_dedup() first");
+  double acc = 0.0;
+  for (double v : values_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+SparseTensor SparseTensor::from_dense(const DenseTensor& x, double threshold) {
+  MTK_CHECK(threshold >= 0.0, "threshold must be non-negative, got ",
+            threshold);
+  SparseTensor s(x.dims());
+  index_t lin = 0;
+  for (Odometer od(x.dims()); od.valid(); od.next()) {
+    const double v = x[lin++];
+    if (std::fabs(v) > threshold || (threshold == 0.0 && v != 0.0)) {
+      s.push_back(od.index(), v);
+    }
+  }
+  // Dense traversal is column-major (mode 0 fastest), which is *not* the COO
+  // sort order (mode 0 most significant), so sort explicitly.
+  s.sort_and_dedup();
+  return s;
+}
+
+DenseTensor SparseTensor::to_dense() const {
+  DenseTensor x(dims_);
+  const shape_t strides = col_major_strides(dims_);
+  for (index_t p = 0; p < nnz(); ++p) {
+    index_t lin = 0;
+    for (int k = 0; k < order(); ++k) {
+      lin += index(k, p) * strides[static_cast<std::size_t>(k)];
+    }
+    x[lin] += value(p);  // += so un-deduped tensors densify correctly
+  }
+  return x;
+}
+
+SparseTensor SparseTensor::random_sparse(const shape_t& dims, double density,
+                                         Rng& rng) {
+  check_shape(dims);
+  MTK_CHECK(density > 0.0 && density <= 1.0, "density must be in (0, 1], got ",
+            density);
+  const index_t total = shape_size(dims);
+  const index_t target =
+      std::max<index_t>(1, static_cast<index_t>(
+                               std::llround(density * static_cast<double>(total))));
+
+  // Sample linear positions without replacement. Dense targets shuffle the
+  // full index range; sparse targets draw batches of candidates and dedup
+  // until enough distinct positions accumulate (expected O(1) rounds at
+  // density <= 1/2).
+  std::vector<index_t> positions;
+  if (2 * target > total) {
+    positions.resize(static_cast<std::size_t>(total));
+    std::iota(positions.begin(), positions.end(), index_t{0});
+    std::shuffle(positions.begin(), positions.end(), rng.engine());
+    positions.resize(static_cast<std::size_t>(target));
+  } else {
+    positions.reserve(static_cast<std::size_t>(target) + 16);
+    while (static_cast<index_t>(positions.size()) < target) {
+      const index_t missing = target - static_cast<index_t>(positions.size());
+      for (index_t i = 0; i < missing + missing / 8 + 8; ++i) {
+        positions.push_back(rng.uniform_int(0, total - 1));
+      }
+      std::sort(positions.begin(), positions.end());
+      positions.erase(std::unique(positions.begin(), positions.end()),
+                      positions.end());
+    }
+    // Over-drawn positions are discarded *after* a shuffle so the kept
+    // subset is unbiased.
+    std::shuffle(positions.begin(), positions.end(), rng.engine());
+    positions.resize(static_cast<std::size_t>(target));
+  }
+
+  SparseTensor s(dims);
+  for (index_t lin : positions) {
+    double v = rng.normal();
+    if (v == 0.0) v = 1.0;
+    s.push_back(delinearize(lin, dims), v);
+  }
+  s.sort_and_dedup();
+  return s;
+}
+
+}  // namespace mtk

@@ -1,0 +1,81 @@
+// N-way sparse tensor in coordinate (COO) format: one index array per mode
+// plus a value array, kept sorted in lexicographic order (mode 0 most
+// significant) with duplicate coordinates summed. This is the interchange
+// format of the storage-backend layer — FROSTT `.tns` files load into it,
+// dense tensors convert to and from it, and the compressed-sparse-fiber
+// format (src/tensor/csf.hpp) is built from it.
+#pragma once
+
+#include <vector>
+
+#include "src/support/index.hpp"
+#include "src/support/rng.hpp"
+#include "src/tensor/dense_tensor.hpp"
+
+namespace mtk {
+
+class SparseTensor {
+ public:
+  SparseTensor() = default;
+  explicit SparseTensor(shape_t dims);
+
+  int order() const { return static_cast<int>(dims_.size()); }
+  const shape_t& dims() const { return dims_; }
+  index_t dim(int k) const {
+    MTK_CHECK(k >= 0 && k < order(), "dimension index ", k,
+              " out of range for order-", order(), " tensor");
+    return dims_[static_cast<std::size_t>(k)];
+  }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+  bool sorted() const { return sorted_; }
+
+  // Coordinate of nonzero p along `mode` (struct-of-arrays layout).
+  index_t index(int mode, index_t p) const {
+    return indices_[static_cast<std::size_t>(mode)][static_cast<std::size_t>(p)];
+  }
+  double value(index_t p) const { return values_[static_cast<std::size_t>(p)]; }
+
+  // Raw per-mode index array (length nnz) and value array, for kernels.
+  const std::vector<index_t>& mode_indices(int mode) const {
+    MTK_CHECK(mode >= 0 && mode < order(), "mode ", mode, " out of range");
+    return indices_[static_cast<std::size_t>(mode)];
+  }
+  const std::vector<double>& values() const { return values_; }
+
+  multi_index_t coordinate(index_t p) const;
+
+  // Appends an entry (bounds-checked); marks the tensor unsorted. Call
+  // sort_and_dedup() before handing the tensor to a kernel.
+  void push_back(const multi_index_t& idx, double value);
+
+  // Sorts entries lexicographically (mode 0 most significant), sums entries
+  // with identical coordinates, and drops entries whose summed value is
+  // exactly zero. Idempotent.
+  void sort_and_dedup();
+
+  void set_zero() {
+    for (auto& ind : indices_) ind.clear();
+    values_.clear();
+    sorted_ = true;
+  }
+
+  double frobenius_norm() const;
+
+  // Dense <-> sparse conversion. `from_dense` keeps entries with
+  // |x| > threshold (default: keep exact nonzeros).
+  static SparseTensor from_dense(const DenseTensor& x, double threshold = 0.0);
+  DenseTensor to_dense() const;
+
+  // Random tensor with ~density * prod(dims) nonzeros at distinct uniform
+  // coordinates and standard-normal values. Deterministic given the Rng.
+  static SparseTensor random_sparse(const shape_t& dims, double density,
+                                    Rng& rng);
+
+ private:
+  shape_t dims_;
+  std::vector<std::vector<index_t>> indices_;  // [order][nnz]
+  std::vector<double> values_;                 // [nnz]
+  bool sorted_ = true;
+};
+
+}  // namespace mtk

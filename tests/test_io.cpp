@@ -1,4 +1,5 @@
-// Round-trip and failure-path tests for the binary serialization module.
+// Round-trip and failure-path tests for the serialization module: the
+// binary dense/matrix/model formats and the FROSTT .tns COO text format.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -97,6 +98,115 @@ TEST(TensorIo, CrossTypeMagicRejected) {
   const std::string path = temp_path("matrix_as_tensor.bin");
   save_matrix(m, path);
   EXPECT_THROW(load_tensor(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// FROSTT .tns coordinate format.
+
+TEST(TensorIo, TnsRoundTrip) {
+  Rng rng(12011);
+  // Dims chosen so the last slice of every mode is empty — only the
+  // "# dims:" comment preserves the extents across the round trip.
+  SparseTensor x({7, 5, 9});
+  for (int p = 0; p < 20; ++p) {
+    x.push_back({rng.uniform_int(0, 5), rng.uniform_int(0, 3),
+                 rng.uniform_int(0, 7)},
+                rng.normal());
+  }
+  x.sort_and_dedup();
+  const std::string path = temp_path("tensor.tns");
+  save_tensor_tns(x, path);
+  const SparseTensor back = load_tensor_tns(path);
+  EXPECT_EQ(back.dims(), x.dims());
+  ASSERT_EQ(back.nnz(), x.nnz());
+  for (index_t p = 0; p < x.nnz(); ++p) {
+    EXPECT_EQ(back.coordinate(p), x.coordinate(p));
+    EXPECT_DOUBLE_EQ(back.value(p), x.value(p));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, TnsLoadsPlainFrosttFile) {
+  // No dims comment (the common FROSTT case): extents are inferred from the
+  // maximum 1-based index per mode, and duplicate lines are summed.
+  const std::string path = temp_path("plain.tns");
+  {
+    std::ofstream out(path);
+    out << "# a comment line\n";
+    out << "1 1 1 1.5\n";
+    out << "3 2 4 -2.0\n";
+    out << "3 2 4 0.5\n";
+    out << "2 5 1 3.25\n";
+  }
+  const SparseTensor x = load_tensor_tns(path);
+  EXPECT_EQ(x.dims(), (shape_t{3, 5, 4}));
+  ASSERT_EQ(x.nnz(), 3);
+  EXPECT_DOUBLE_EQ(x.to_dense().at({2, 1, 3}), -1.5);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, TnsRejectsMalformedFiles) {
+  const std::string path = temp_path("bad.tns");
+  {
+    std::ofstream out(path);
+    out << "1 2 3 4.0\n";
+    out << "1 2 0.5\n";  // wrong arity
+  }
+  EXPECT_THROW(load_tensor_tns(path), std::runtime_error);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "0 2 3 4.0\n";  // 0 is not a valid 1-based index
+  }
+  EXPECT_THROW(load_tensor_tns(path), std::runtime_error);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "# only comments\n";
+  }
+  EXPECT_THROW(load_tensor_tns(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_tensor_tns(temp_path("missing.tns")), std::runtime_error);
+}
+
+TEST(TensorIo, TnsEmptyTensorRoundTrips) {
+  const std::string path = temp_path("empty.tns");
+  save_tensor_tns(SparseTensor({4, 5}), path);
+  const SparseTensor back = load_tensor_tns(path);
+  EXPECT_EQ(back.dims(), (shape_t{4, 5}));
+  EXPECT_EQ(back.nnz(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, TnsRejectsNonIntegerIndexFields) {
+  const std::string path = temp_path("float_index.tns");
+  {
+    std::ofstream out(path);
+    out << "2.7 1 1 3.0\n";  // column shift / corruption must not truncate
+  }
+  EXPECT_THROW(load_tensor_tns(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, TnsProseCommentMentioningDimsIsIgnored) {
+  const std::string path = temp_path("prose.tns");
+  {
+    std::ofstream out(path);
+    out << "# original matrix dims: 2 2\n";  // prose, not a declaration
+    out << "3 1 1 1.0\n";
+  }
+  const SparseTensor x = load_tensor_tns(path);
+  EXPECT_EQ(x.dims(), (shape_t{3, 1, 1}));
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, TnsDeclaredDimsSmallerThanDataThrows) {
+  const std::string path = temp_path("shrunk.tns");
+  {
+    std::ofstream out(path);
+    out << "# dims: 2 2\n";
+    out << "3 1 1.0\n";
+  }
+  EXPECT_THROW(load_tensor_tns(path), std::runtime_error);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,174 @@
+// Storage-format tests: COO invariants (sorted, deduped, bounds-checked),
+// dense <-> COO conversion, CSF construction for every root mode, CSF <-> COO
+// round trips, and the compression accounting.
+#include <gtest/gtest.h>
+
+#include "src/support/rng.hpp"
+#include "src/tensor/csf.hpp"
+#include "src/tensor/sparse_tensor.hpp"
+
+namespace mtk {
+namespace {
+
+TEST(SparseTensor, PushBackSortAndDedup) {
+  SparseTensor s({3, 4, 5});
+  s.push_back({2, 3, 4}, 1.0);
+  s.push_back({0, 0, 0}, 2.0);
+  s.push_back({2, 3, 4}, 0.5);  // duplicate of the first entry
+  s.push_back({1, 2, 3}, -1.0);
+  EXPECT_FALSE(s.sorted());
+  s.sort_and_dedup();
+  ASSERT_EQ(s.nnz(), 3);
+  EXPECT_TRUE(s.sorted());
+  // Lexicographic order, mode 0 most significant.
+  EXPECT_EQ(s.coordinate(0), (multi_index_t{0, 0, 0}));
+  EXPECT_EQ(s.coordinate(1), (multi_index_t{1, 2, 3}));
+  EXPECT_EQ(s.coordinate(2), (multi_index_t{2, 3, 4}));
+  EXPECT_DOUBLE_EQ(s.value(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.value(1), -1.0);
+  EXPECT_DOUBLE_EQ(s.value(2), 1.5);  // duplicates summed
+}
+
+TEST(SparseTensor, DuplicatesCancellingToZeroAreDropped) {
+  SparseTensor s({2, 2});
+  s.push_back({1, 1}, 3.0);
+  s.push_back({1, 1}, -3.0);
+  s.push_back({0, 1}, 1.0);
+  s.sort_and_dedup();
+  ASSERT_EQ(s.nnz(), 1);
+  EXPECT_EQ(s.coordinate(0), (multi_index_t{0, 1}));
+}
+
+TEST(SparseTensor, RejectsOutOfRangeCoordinates) {
+  SparseTensor s({3, 4});
+  EXPECT_THROW(s.push_back({3, 0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.push_back({0, -1}, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.push_back({0, 0, 0}, 1.0), std::invalid_argument);
+}
+
+TEST(SparseTensor, DenseRoundTrip) {
+  Rng rng(31);
+  const DenseTensor x = DenseTensor::random_normal({4, 3, 5}, rng);
+  const SparseTensor s = SparseTensor::from_dense(x);
+  EXPECT_EQ(s.nnz(), x.size());  // normal draws are almost surely nonzero
+  EXPECT_LT(x.max_abs_diff(s.to_dense()), 1e-15);
+  EXPECT_NEAR(s.frobenius_norm(), x.frobenius_norm(), 1e-12);
+}
+
+TEST(SparseTensor, FromDenseDropsZerosAndThresholds) {
+  DenseTensor x({2, 3});
+  x.at({0, 0}) = 5.0;
+  x.at({1, 2}) = 0.01;
+  const SparseTensor exact = SparseTensor::from_dense(x);
+  EXPECT_EQ(exact.nnz(), 2);
+  const SparseTensor thresholded = SparseTensor::from_dense(x, 0.1);
+  ASSERT_EQ(thresholded.nnz(), 1);
+  EXPECT_DOUBLE_EQ(thresholded.value(0), 5.0);
+}
+
+TEST(SparseTensor, UndedupedToDenseSumsDuplicates) {
+  SparseTensor s({2, 2});
+  s.push_back({1, 0}, 1.0);
+  s.push_back({1, 0}, 2.0);
+  const DenseTensor x = s.to_dense();
+  EXPECT_DOUBLE_EQ(x.at({1, 0}), 3.0);
+}
+
+TEST(SparseTensor, RandomSparseHitsTargetDensity) {
+  Rng rng(37);
+  const shape_t dims{10, 12, 8};
+  const SparseTensor s = SparseTensor::random_sparse(dims, 0.05, rng);
+  const index_t expected =
+      static_cast<index_t>(0.05 * static_cast<double>(shape_size(dims)));
+  EXPECT_EQ(s.nnz(), expected);  // sampled without replacement
+  EXPECT_TRUE(s.sorted());
+  // All coordinates distinct (dedup would have merged otherwise).
+  for (index_t p = 1; p < s.nnz(); ++p) {
+    EXPECT_NE(s.coordinate(p - 1), s.coordinate(p));
+  }
+}
+
+TEST(SparseTensor, RandomSparseHighDensityUsesAllPositions) {
+  Rng rng(41);
+  const SparseTensor s = SparseTensor::random_sparse({3, 3}, 1.0, rng);
+  EXPECT_EQ(s.nnz(), 9);
+}
+
+// ---------------------------------------------------------------------------
+// CSF
+
+TEST(CsfTensor, RoundTripsThroughCooForEveryRootMode) {
+  Rng rng(43);
+  const SparseTensor s = SparseTensor::random_sparse({6, 4, 9, 3}, 0.03, rng);
+  for (int root = -1; root < 4; ++root) {
+    const CsfTensor csf = CsfTensor::from_coo(s, root);
+    EXPECT_EQ(csf.nnz(), s.nnz());
+    if (root >= 0) {
+      EXPECT_EQ(csf.mode_order().front(), root);
+      EXPECT_EQ(csf.level_of_mode(root), 0);
+    }
+    const SparseTensor back = csf.to_coo();
+    ASSERT_EQ(back.nnz(), s.nnz()) << "root " << root;
+    for (index_t p = 0; p < s.nnz(); ++p) {
+      EXPECT_EQ(back.coordinate(p), s.coordinate(p)) << "root " << root;
+      EXPECT_DOUBLE_EQ(back.value(p), s.value(p)) << "root " << root;
+    }
+  }
+}
+
+TEST(CsfTensor, CompressesRepeatedFibers) {
+  // A single dense slice: every nonzero shares the mode-0 coordinate, so the
+  // root level has one fiber and CSF stores far fewer index words than COO.
+  SparseTensor s({4, 8, 8});
+  for (index_t j = 0; j < 8; ++j) {
+    for (index_t k = 0; k < 8; ++k) {
+      s.push_back({2, j, k}, 1.0 + static_cast<double>(j * 8 + k));
+    }
+  }
+  s.sort_and_dedup();
+  const CsfTensor csf = CsfTensor::from_coo(s, 0);
+  EXPECT_EQ(csf.node_count(0), 1);
+  EXPECT_EQ(csf.node_count(1), 8);
+  EXPECT_EQ(csf.node_count(2), 64);
+  const index_t coo_words = s.nnz() * (1 + 3);
+  EXPECT_LT(csf.storage_words(), coo_words);
+}
+
+TEST(CsfTensor, DefaultModeOrderSortsByDimension) {
+  Rng rng(47);
+  const SparseTensor s = SparseTensor::random_sparse({9, 2, 5}, 0.2, rng);
+  const CsfTensor csf = CsfTensor::from_coo(s);
+  EXPECT_EQ(csf.mode_order(), (std::vector<int>{1, 2, 0}));
+}
+
+TEST(CsfTensor, FiberPointersAreConsistent) {
+  Rng rng(53);
+  const SparseTensor s = SparseTensor::random_sparse({7, 6, 5}, 0.1, rng);
+  const CsfTensor csf = CsfTensor::from_coo(s, 1);
+  for (int l = 0; l + 1 < csf.order(); ++l) {
+    const auto& fptr = csf.fptr(l);
+    ASSERT_EQ(static_cast<index_t>(fptr.size()), csf.node_count(l) + 1);
+    EXPECT_EQ(fptr.front(), 0);
+    EXPECT_EQ(fptr.back(), csf.node_count(l + 1));
+    for (std::size_t f = 1; f < fptr.size(); ++f) {
+      EXPECT_LT(fptr[f - 1], fptr[f]);  // every fiber is non-empty
+    }
+  }
+}
+
+TEST(CsfTensor, RequiresSortedCoo) {
+  SparseTensor s({2, 2});
+  s.push_back({1, 0}, 1.0);
+  EXPECT_THROW(CsfTensor::from_coo(s), std::invalid_argument);
+}
+
+TEST(CsfTensor, EmptyTensor) {
+  SparseTensor s({3, 3});
+  const CsfTensor csf = CsfTensor::from_coo(s);
+  EXPECT_EQ(csf.nnz(), 0);
+  EXPECT_EQ(csf.node_count(0), 0);
+  EXPECT_EQ(csf.to_coo().nnz(), 0);
+}
+
+}  // namespace
+}  // namespace mtk
