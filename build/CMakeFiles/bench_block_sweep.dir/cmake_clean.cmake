@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_block_sweep.dir/bench/bench_block_sweep.cpp.o"
+  "CMakeFiles/bench_block_sweep.dir/bench/bench_block_sweep.cpp.o.d"
+  "bench_block_sweep"
+  "bench_block_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cp_als.dir/bench/bench_cp_als.cpp.o"
+  "CMakeFiles/bench_cp_als.dir/bench/bench_cp_als.cpp.o.d"
+  "bench_cp_als"
+  "bench_cp_als.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cp_als.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

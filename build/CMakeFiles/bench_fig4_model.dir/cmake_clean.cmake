@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_model.dir/bench/bench_fig4_model.cpp.o"
+  "CMakeFiles/bench_fig4_model.dir/bench/bench_fig4_model.cpp.o.d"
+  "bench_fig4_model"
+  "bench_fig4_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

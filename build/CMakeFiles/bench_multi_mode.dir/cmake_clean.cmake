@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_mode.dir/bench/bench_multi_mode.cpp.o"
+  "CMakeFiles/bench_multi_mode.dir/bench/bench_multi_mode.cpp.o.d"
+  "bench_multi_mode"
+  "bench_multi_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_par_scaling.dir/bench/bench_par_scaling.cpp.o"
+  "CMakeFiles/bench_par_scaling.dir/bench/bench_par_scaling.cpp.o.d"
+  "bench_par_scaling"
+  "bench_par_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_par_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

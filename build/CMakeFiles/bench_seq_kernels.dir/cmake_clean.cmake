@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seq_kernels.dir/bench/bench_seq_kernels.cpp.o"
+  "CMakeFiles/bench_seq_kernels.dir/bench/bench_seq_kernels.cpp.o.d"
+  "bench_seq_kernels"
+  "bench_seq_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seq_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seq_traffic.dir/bench/bench_seq_traffic.cpp.o"
+  "CMakeFiles/bench_seq_traffic.dir/bench/bench_seq_traffic.cpp.o.d"
+  "bench_seq_traffic"
+  "bench_seq_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seq_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

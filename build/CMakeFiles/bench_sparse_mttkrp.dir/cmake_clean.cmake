@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparse_mttkrp.dir/bench/bench_sparse_mttkrp.cpp.o"
+  "CMakeFiles/bench_sparse_mttkrp.dir/bench/bench_sparse_mttkrp.cpp.o.d"
+  "bench_sparse_mttkrp"
+  "bench_sparse_mttkrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparse_mttkrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_cli.dir/tools/bounds_cli.cpp.o"
+  "CMakeFiles/bounds_cli.dir/tools/bounds_cli.cpp.o.d"
+  "bounds_cli"
+  "bounds_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

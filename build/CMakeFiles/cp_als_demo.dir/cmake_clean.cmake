@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_als_demo.dir/examples/cp_als_demo.cpp.o"
+  "CMakeFiles/cp_als_demo.dir/examples/cp_als_demo.cpp.o.d"
+  "cp_als_demo"
+  "cp_als_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_als_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cp_als_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradient_cp_demo.dir/examples/gradient_cp_demo.cpp.o"
+  "CMakeFiles/gradient_cp_demo.dir/examples/gradient_cp_demo.cpp.o.d"
+  "gradient_cp_demo"
+  "gradient_cp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradient_cp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

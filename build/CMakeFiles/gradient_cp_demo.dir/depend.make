@@ -1,0 +1,2 @@
+# Empty dependencies file for gradient_cp_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/hbl.cpp" "CMakeFiles/mtk.dir/src/bounds/hbl.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/bounds/hbl.cpp.o.d"
+  "/root/repo/src/bounds/optimality.cpp" "CMakeFiles/mtk.dir/src/bounds/optimality.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/bounds/optimality.cpp.o.d"
+  "/root/repo/src/bounds/parallel_bounds.cpp" "CMakeFiles/mtk.dir/src/bounds/parallel_bounds.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/bounds/parallel_bounds.cpp.o.d"
+  "/root/repo/src/bounds/sequential_bounds.cpp" "CMakeFiles/mtk.dir/src/bounds/sequential_bounds.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/bounds/sequential_bounds.cpp.o.d"
+  "/root/repo/src/bounds/simplex.cpp" "CMakeFiles/mtk.dir/src/bounds/simplex.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/bounds/simplex.cpp.o.d"
+  "/root/repo/src/costmodel/carma.cpp" "CMakeFiles/mtk.dir/src/costmodel/carma.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/costmodel/carma.cpp.o.d"
+  "/root/repo/src/costmodel/grid_search.cpp" "CMakeFiles/mtk.dir/src/costmodel/grid_search.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/costmodel/grid_search.cpp.o.d"
+  "/root/repo/src/costmodel/model.cpp" "CMakeFiles/mtk.dir/src/costmodel/model.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/costmodel/model.cpp.o.d"
+  "/root/repo/src/cp/cp_als.cpp" "CMakeFiles/mtk.dir/src/cp/cp_als.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/cp/cp_als.cpp.o.d"
+  "/root/repo/src/cp/cp_gradient.cpp" "CMakeFiles/mtk.dir/src/cp/cp_gradient.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/cp/cp_gradient.cpp.o.d"
+  "/root/repo/src/cp/par_cp_als.cpp" "CMakeFiles/mtk.dir/src/cp/par_cp_als.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/cp/par_cp_als.cpp.o.d"
+  "/root/repo/src/cp/tucker.cpp" "CMakeFiles/mtk.dir/src/cp/tucker.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/cp/tucker.cpp.o.d"
+  "/root/repo/src/io/tensor_io.cpp" "CMakeFiles/mtk.dir/src/io/tensor_io.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/io/tensor_io.cpp.o.d"
+  "/root/repo/src/memsim/memory_model.cpp" "CMakeFiles/mtk.dir/src/memsim/memory_model.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/memsim/memory_model.cpp.o.d"
+  "/root/repo/src/memsim/traced_mttkrp.cpp" "CMakeFiles/mtk.dir/src/memsim/traced_mttkrp.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/memsim/traced_mttkrp.cpp.o.d"
+  "/root/repo/src/mttkrp/blocked_rect.cpp" "CMakeFiles/mtk.dir/src/mttkrp/blocked_rect.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/mttkrp/blocked_rect.cpp.o.d"
+  "/root/repo/src/mttkrp/dim_tree.cpp" "CMakeFiles/mtk.dir/src/mttkrp/dim_tree.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/mttkrp/dim_tree.cpp.o.d"
+  "/root/repo/src/mttkrp/dispatch.cpp" "CMakeFiles/mtk.dir/src/mttkrp/dispatch.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/mttkrp/dispatch.cpp.o.d"
+  "/root/repo/src/mttkrp/mttkrp.cpp" "CMakeFiles/mtk.dir/src/mttkrp/mttkrp.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/mttkrp/mttkrp.cpp.o.d"
+  "/root/repo/src/mttkrp/partial.cpp" "CMakeFiles/mtk.dir/src/mttkrp/partial.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/mttkrp/partial.cpp.o.d"
+  "/root/repo/src/parsim/collective_variants.cpp" "CMakeFiles/mtk.dir/src/parsim/collective_variants.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/parsim/collective_variants.cpp.o.d"
+  "/root/repo/src/parsim/collectives.cpp" "CMakeFiles/mtk.dir/src/parsim/collectives.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/parsim/collectives.cpp.o.d"
+  "/root/repo/src/parsim/distribution.cpp" "CMakeFiles/mtk.dir/src/parsim/distribution.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/parsim/distribution.cpp.o.d"
+  "/root/repo/src/parsim/grid.cpp" "CMakeFiles/mtk.dir/src/parsim/grid.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/parsim/grid.cpp.o.d"
+  "/root/repo/src/parsim/machine.cpp" "CMakeFiles/mtk.dir/src/parsim/machine.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/parsim/machine.cpp.o.d"
+  "/root/repo/src/parsim/par_mttkrp.cpp" "CMakeFiles/mtk.dir/src/parsim/par_mttkrp.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/parsim/par_mttkrp.cpp.o.d"
+  "/root/repo/src/parsim/par_multi_mttkrp.cpp" "CMakeFiles/mtk.dir/src/parsim/par_multi_mttkrp.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/parsim/par_multi_mttkrp.cpp.o.d"
+  "/root/repo/src/support/index.cpp" "CMakeFiles/mtk.dir/src/support/index.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/support/index.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "CMakeFiles/mtk.dir/src/support/rng.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/support/rng.cpp.o.d"
+  "/root/repo/src/tensor/block.cpp" "CMakeFiles/mtk.dir/src/tensor/block.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/tensor/block.cpp.o.d"
+  "/root/repo/src/tensor/csf.cpp" "CMakeFiles/mtk.dir/src/tensor/csf.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/tensor/csf.cpp.o.d"
+  "/root/repo/src/tensor/dense_tensor.cpp" "CMakeFiles/mtk.dir/src/tensor/dense_tensor.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/tensor/dense_tensor.cpp.o.d"
+  "/root/repo/src/tensor/eigen_sym.cpp" "CMakeFiles/mtk.dir/src/tensor/eigen_sym.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/tensor/eigen_sym.cpp.o.d"
+  "/root/repo/src/tensor/khatri_rao.cpp" "CMakeFiles/mtk.dir/src/tensor/khatri_rao.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/tensor/khatri_rao.cpp.o.d"
+  "/root/repo/src/tensor/matricize.cpp" "CMakeFiles/mtk.dir/src/tensor/matricize.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/tensor/matricize.cpp.o.d"
+  "/root/repo/src/tensor/matrix.cpp" "CMakeFiles/mtk.dir/src/tensor/matrix.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/tensor/matrix.cpp.o.d"
+  "/root/repo/src/tensor/sparse_tensor.cpp" "CMakeFiles/mtk.dir/src/tensor/sparse_tensor.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/tensor/sparse_tensor.cpp.o.d"
+  "/root/repo/src/tensor/ttm.cpp" "CMakeFiles/mtk.dir/src/tensor/ttm.cpp.o" "gcc" "CMakeFiles/mtk.dir/src/tensor/ttm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

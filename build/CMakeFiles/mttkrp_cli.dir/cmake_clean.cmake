@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mttkrp_cli.dir/tools/mttkrp_cli.cpp.o"
+  "CMakeFiles/mttkrp_cli.dir/tools/mttkrp_cli.cpp.o.d"
+  "mttkrp_cli"
+  "mttkrp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mttkrp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projections_demo.dir/examples/projections_demo.cpp.o"
+  "CMakeFiles/projections_demo.dir/examples/projections_demo.cpp.o.d"
+  "projections_demo"
+  "projections_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projections_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

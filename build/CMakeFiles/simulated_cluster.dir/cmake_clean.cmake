@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulated_cluster.dir/examples/simulated_cluster.cpp.o"
+  "CMakeFiles/simulated_cluster.dir/examples/simulated_cluster.cpp.o.d"
+  "simulated_cluster"
+  "simulated_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulated_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

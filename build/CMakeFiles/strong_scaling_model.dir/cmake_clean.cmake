@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strong_scaling_model.dir/examples/strong_scaling_model.cpp.o"
+  "CMakeFiles/strong_scaling_model.dir/examples/strong_scaling_model.cpp.o.d"
+  "strong_scaling_model"
+  "strong_scaling_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strong_scaling_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocked_rect.dir/tests/test_blocked_rect.cpp.o"
+  "CMakeFiles/test_blocked_rect.dir/tests/test_blocked_rect.cpp.o.d"
+  "test_blocked_rect"
+  "test_blocked_rect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocked_rect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

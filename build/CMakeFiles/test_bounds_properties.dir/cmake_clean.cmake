@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounds_properties.dir/tests/test_bounds_properties.cpp.o"
+  "CMakeFiles/test_bounds_properties.dir/tests/test_bounds_properties.cpp.o.d"
+  "test_bounds_properties"
+  "test_bounds_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounds_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp_als.dir/tests/test_cp_als.cpp.o"
+  "CMakeFiles/test_cp_als.dir/tests/test_cp_als.cpp.o.d"
+  "test_cp_als"
+  "test_cp_als.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp_als.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

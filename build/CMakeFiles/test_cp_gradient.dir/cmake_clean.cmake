@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp_gradient.dir/tests/test_cp_gradient.cpp.o"
+  "CMakeFiles/test_cp_gradient.dir/tests/test_cp_gradient.cpp.o.d"
+  "test_cp_gradient"
+  "test_cp_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dim_tree.dir/tests/test_dim_tree.cpp.o"
+  "CMakeFiles/test_dim_tree.dir/tests/test_dim_tree.cpp.o.d"
+  "test_dim_tree"
+  "test_dim_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dim_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hbl.dir/tests/test_hbl.cpp.o"
+  "CMakeFiles/test_hbl.dir/tests/test_hbl.cpp.o.d"
+  "test_hbl"
+  "test_hbl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hbl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

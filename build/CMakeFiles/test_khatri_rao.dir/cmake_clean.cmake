@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_khatri_rao.dir/tests/test_khatri_rao.cpp.o"
+  "CMakeFiles/test_khatri_rao.dir/tests/test_khatri_rao.cpp.o.d"
+  "test_khatri_rao"
+  "test_khatri_rao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_khatri_rao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_khatri_rao.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matricize.dir/tests/test_matricize.cpp.o"
+  "CMakeFiles/test_matricize.dir/tests/test_matricize.cpp.o.d"
+  "test_matricize"
+  "test_matricize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matricize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

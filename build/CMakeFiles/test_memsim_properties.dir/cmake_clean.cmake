@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim_properties.dir/tests/test_memsim_properties.cpp.o"
+  "CMakeFiles/test_memsim_properties.dir/tests/test_memsim_properties.cpp.o.d"
+  "test_memsim_properties"
+  "test_memsim_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

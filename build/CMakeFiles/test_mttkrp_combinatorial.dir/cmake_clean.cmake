@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mttkrp_combinatorial.dir/tests/test_mttkrp_combinatorial.cpp.o"
+  "CMakeFiles/test_mttkrp_combinatorial.dir/tests/test_mttkrp_combinatorial.cpp.o.d"
+  "test_mttkrp_combinatorial"
+  "test_mttkrp_combinatorial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mttkrp_combinatorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

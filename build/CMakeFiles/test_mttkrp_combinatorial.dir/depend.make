@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mttkrp_combinatorial.
+# This may be replaced when dependencies are built.

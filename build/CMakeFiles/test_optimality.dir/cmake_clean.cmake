@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimality.dir/tests/test_optimality.cpp.o"
+  "CMakeFiles/test_optimality.dir/tests/test_optimality.cpp.o.d"
+  "test_optimality"
+  "test_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_collective_choice.dir/tests/test_par_collective_choice.cpp.o"
+  "CMakeFiles/test_par_collective_choice.dir/tests/test_par_collective_choice.cpp.o.d"
+  "test_par_collective_choice"
+  "test_par_collective_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_collective_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

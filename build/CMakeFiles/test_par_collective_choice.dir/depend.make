@@ -1,0 +1,2 @@
+# Empty dependencies file for test_par_collective_choice.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_mttkrp.dir/tests/test_par_mttkrp.cpp.o"
+  "CMakeFiles/test_par_mttkrp.dir/tests/test_par_mttkrp.cpp.o.d"
+  "test_par_mttkrp"
+  "test_par_mttkrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_mttkrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

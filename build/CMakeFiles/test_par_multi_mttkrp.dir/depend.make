@@ -1,0 +1,2 @@
+# Empty dependencies file for test_par_multi_mttkrp.
+# This may be replaced when dependencies are built.

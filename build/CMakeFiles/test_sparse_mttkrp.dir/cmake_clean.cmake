@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_mttkrp.dir/tests/test_sparse_mttkrp.cpp.o"
+  "CMakeFiles/test_sparse_mttkrp.dir/tests/test_sparse_mttkrp.cpp.o.d"
+  "test_sparse_mttkrp"
+  "test_sparse_mttkrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_mttkrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_tensor.dir/tests/test_sparse_tensor.cpp.o"
+  "CMakeFiles/test_sparse_tensor.dir/tests/test_sparse_tensor.cpp.o.d"
+  "test_sparse_tensor"
+  "test_sparse_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

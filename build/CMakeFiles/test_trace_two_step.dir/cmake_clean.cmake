@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_two_step.dir/tests/test_trace_two_step.cpp.o"
+  "CMakeFiles/test_trace_two_step.dir/tests/test_trace_two_step.cpp.o.d"
+  "test_trace_two_step"
+  "test_trace_two_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_two_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traced_mttkrp.dir/tests/test_traced_mttkrp.cpp.o"
+  "CMakeFiles/test_traced_mttkrp.dir/tests/test_traced_mttkrp.cpp.o.d"
+  "test_traced_mttkrp"
+  "test_traced_mttkrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traced_mttkrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

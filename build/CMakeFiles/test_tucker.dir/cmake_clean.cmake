@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tucker.dir/tests/test_tucker.cpp.o"
+  "CMakeFiles/test_tucker.dir/tests/test_tucker.cpp.o.d"
+  "test_tucker"
+  "test_tucker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tucker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

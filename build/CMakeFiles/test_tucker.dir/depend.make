@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tucker.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tucker_demo.dir/examples/tucker_demo.cpp.o"
+  "CMakeFiles/tucker_demo.dir/examples/tucker_demo.cpp.o.d"
+  "tucker_demo"
+  "tucker_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tucker_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
