@@ -4,6 +4,7 @@
 
 #include "src/parsim/collectives.hpp"
 #include "src/parsim/distribution.hpp"
+#include "src/parsim/par_common.hpp"
 #include "src/parsim/par_mttkrp.hpp"
 #include "src/support/rng.hpp"
 #include "src/tensor/block.hpp"
@@ -58,6 +59,18 @@ std::vector<double> normalize_columns(Matrix& a) {
 }  // namespace
 
 ParCpAlsResult par_cp_als(const DenseTensor& x, const ParCpAlsOptions& opts) {
+  return par_cp_als(StoredTensor::dense_view(x), opts);
+}
+
+ParCpAlsResult par_cp_als(const SparseTensor& x, const ParCpAlsOptions& opts) {
+  return par_cp_als(StoredTensor::coo_view(x), opts);
+}
+
+ParCpAlsResult par_cp_als(const CsfTensor& x, const ParCpAlsOptions& opts) {
+  return par_cp_als(StoredTensor::csf_view(x), opts);
+}
+
+ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
   const int n = x.order();
   MTK_CHECK(n >= 2, "par_cp_als requires an order >= 2 tensor");
   MTK_CHECK(opts.rank >= 1, "cp rank must be >= 1, got ", opts.rank);
@@ -65,9 +78,17 @@ ParCpAlsResult par_cp_als(const DenseTensor& x, const ParCpAlsOptions& opts) {
             "par_cp_als needs an N-way grid, got ", opts.grid.size(),
             " extents for order ", n);
 
-  int p = 1;
-  for (int e : opts.grid) p *= e;
-  Machine machine(p);
+  Machine machine(grid_size(opts.grid));
+
+  // Sparse inputs are planned once — the distribution (and, for CSF, the
+  // per-rank one-tree-per-mode forest) depends only on (tensor, grid,
+  // scheme), so every per-mode MTTKRP of every iteration reuses it instead
+  // of re-bucketing the nonzeros and re-compressing the trees.
+  const bool dense_input = x.format() == StorageFormat::kDense;
+  StationarySparsePlan plan;
+  if (!dense_input) {
+    plan = plan_stationary_sparse(x, opts.grid, opts.partition);
+  }
 
   Rng rng(opts.seed);
   ParCpAlsResult result;
@@ -97,8 +118,12 @@ ParCpAlsResult par_cp_als(const DenseTensor& x, const ParCpAlsOptions& opts) {
     Matrix last_mttkrp;
     for (int mode = 0; mode < n; ++mode) {
       index_t before = machine.max_words_moved();
-      ParMttkrpResult mr = par_mttkrp_stationary(
-          machine, x, result.model.factors, mode, opts.grid);
+      ParMttkrpResult mr =
+          dense_input
+              ? par_mttkrp_stationary(machine, x, result.model.factors, mode,
+                                      opts.grid)
+              : par_mttkrp_stationary(machine, x, result.model.factors, mode,
+                                      opts.grid, plan);
       mttkrp_words_iter += machine.max_words_moved() - before;
 
       Matrix v(opts.rank, opts.rank, 0.0);

@@ -1,14 +1,19 @@
 // Parallel CP-ALS on the simulated distributed machine: every per-mode
 // MTTKRP runs through Algorithm 3 (stationary tensor, Section V-C) on a
 // persistent machine, so the communication of a full decomposition can be
-// measured. The Gram matrices are formed by local partial Grams followed by
-// a machine-wide All-Reduce of R^2 words (this traffic is *extra* relative
-// to the single-MTTKRP analyses; the paper's Section VII notes that
-// multi-MTTKRP optimizations are future work, and the benchmark reports the
-// breakdown so the MTTKRP share is visible).
+// measured. Storage-polymorphic like the underlying driver — a sparse input
+// (COO or CSF) is partitioned once per MTTKRP by coordinate blocks and the
+// local kernels are the native sparse ones, while the collective traffic is
+// the same dense-factor traffic Algorithm 3 always moves. The Gram matrices
+// are formed by local partial Grams followed by a machine-wide All-Reduce of
+// R^2 words (this traffic is *extra* relative to the single-MTTKRP analyses;
+// the paper's Section VII notes that multi-MTTKRP optimizations are future
+// work, and the benchmark reports the breakdown so the MTTKRP share is
+// visible).
 #pragma once
 
 #include "src/cp/cp_als.hpp"
+#include "src/parsim/distribution.hpp"
 #include "src/parsim/machine.hpp"
 
 namespace mtk {
@@ -19,6 +24,9 @@ struct ParCpAlsOptions {
   double tolerance = 1e-8;
   std::vector<int> grid;    // N-way processor grid for Algorithm 3
   std::uint64_t seed = 42;
+  // Sparse coordinate partition (ignored for dense input): kBlock matches
+  // the dense layout, kMediumGrained balances nonzeros per process.
+  SparsePartitionScheme partition = SparsePartitionScheme::kBlock;
 };
 
 struct ParCpAlsIterate {
@@ -38,6 +46,11 @@ struct ParCpAlsResult {
   index_t total_gram_words_max = 0;
 };
 
+// Storage-polymorphic driver; runs unmodified on dense, COO, or CSF input.
+ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts);
+// Convenience overloads wrapping the storage in a borrowing view.
 ParCpAlsResult par_cp_als(const DenseTensor& x, const ParCpAlsOptions& opts);
+ParCpAlsResult par_cp_als(const SparseTensor& x, const ParCpAlsOptions& opts);
+ParCpAlsResult par_cp_als(const CsfTensor& x, const ParCpAlsOptions& opts);
 
 }  // namespace mtk

@@ -161,6 +161,19 @@ const CsfTensor& StoredTensor::as_csf() const {
   return *csf_;
 }
 
+SparseTensor to_coo(const StoredTensor& x, double dense_threshold) {
+  switch (x.format()) {
+    case StorageFormat::kDense:
+      return SparseTensor::from_dense(x.as_dense(), dense_threshold);
+    case StorageFormat::kCoo:
+      return x.as_coo();
+    case StorageFormat::kCsf:
+      return x.as_csf().to_coo();
+  }
+  MTK_ASSERT(false, "unreachable: unknown storage format");
+  return SparseTensor{};
+}
+
 // ---------------------------------------------------------------------------
 // COO kernel
 

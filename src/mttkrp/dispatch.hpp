@@ -73,6 +73,12 @@ class StoredTensor {
   const CsfTensor* csf_ = nullptr;
 };
 
+// COO expansion of any storage format: returns a fresh (owning) tensor;
+// dense entries with |x| > dense_threshold are kept, matching
+// SparseTensor::from_dense. For a borrowed view of already-sparse storage
+// (no copy) use sparse_coo_view in src/parsim/par_common.hpp instead.
+SparseTensor to_coo(const StoredTensor& x, double dense_threshold = 0.0);
+
 // Direct sparse kernels (used by tests and benchmarks).
 Matrix mttkrp_coo(const SparseTensor& x, const std::vector<Matrix>& factors,
                   int mode, bool parallel = false);

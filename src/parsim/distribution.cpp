@@ -1,5 +1,7 @@
 #include "src/parsim/distribution.hpp"
 
+#include <algorithm>
+
 #include "src/support/check.hpp"
 
 namespace mtk {
@@ -38,6 +40,150 @@ std::vector<index_t> flat_chunk_sizes(index_t total, int parts) {
     sizes[static_cast<std::size_t>(p)] = flat_chunk(total, parts, p).length();
   }
   return sizes;
+}
+
+// ---------------------------------------------------------------------------
+// Sparse nonzero distribution.
+
+const char* to_string(SparsePartitionScheme scheme) {
+  switch (scheme) {
+    case SparsePartitionScheme::kBlock: return "block";
+    case SparsePartitionScheme::kMediumGrained: return "medium-grained";
+  }
+  return "unknown";
+}
+
+std::vector<Range> balanced_mode_partition(const SparseTensor& x, int mode,
+                                           int parts) {
+  MTK_CHECK(mode >= 0 && mode < x.order(), "balanced_mode_partition: mode ",
+            mode, " out of range for order-", x.order(), " tensor");
+  const index_t dim = x.dim(mode);
+  MTK_CHECK(parts >= 1 && parts <= dim, "balanced_mode_partition: parts = ",
+            parts, " must be in [1, ", dim, "]");
+
+  std::vector<index_t> slice_nnz(static_cast<std::size_t>(dim), 0);
+  const std::vector<index_t>& ind = x.mode_indices(mode);
+  for (index_t p = 0; p < x.nnz(); ++p) {
+    ++slice_nnz[static_cast<std::size_t>(ind[static_cast<std::size_t>(p)])];
+  }
+
+  const index_t total = x.nnz();
+  std::vector<Range> ranges;
+  ranges.reserve(static_cast<std::size_t>(parts));
+  index_t lo = 0;
+  index_t cum = 0;
+  for (int j = 0; j < parts; ++j) {
+    index_t hi;
+    if (j == parts - 1) {
+      hi = dim;
+    } else {
+      // Greedy cut: extend this slab until its cumulative count reaches the
+      // proportional target (j+1)/parts of the nonzeros, but never consume
+      // the indices the remaining parts need to stay non-empty.
+      const index_t reserve = static_cast<index_t>(parts - j - 1);
+      hi = lo + 1;
+      cum += slice_nnz[static_cast<std::size_t>(lo)];
+      while (hi < dim - reserve &&
+             cum * parts < (static_cast<index_t>(j) + 1) * total) {
+        cum += slice_nnz[static_cast<std::size_t>(hi)];
+        ++hi;
+      }
+    }
+    ranges.push_back({lo, hi});
+    lo = hi;
+  }
+  return ranges;
+}
+
+std::vector<std::vector<Range>> sparse_mode_partitions(
+    const SparseTensor& x, const std::vector<int>& extents,
+    SparsePartitionScheme scheme) {
+  const int n = x.order();
+  MTK_CHECK(static_cast<int>(extents.size()) == n,
+            "sparse_mode_partitions: got ", extents.size(),
+            " extents for an order-", n, " tensor");
+  std::vector<std::vector<Range>> parts(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const int e = extents[static_cast<std::size_t>(k)];
+    MTK_CHECK(e >= 1 && e <= x.dim(k), "grid extent ", e,
+              " exceeds tensor dimension ", x.dim(k), " in mode ", k);
+    parts[static_cast<std::size_t>(k)] =
+        scheme == SparsePartitionScheme::kBlock
+            ? block_partition(x.dim(k), e)
+            : balanced_mode_partition(x, k, e);
+  }
+  return parts;
+}
+
+std::vector<SparseTensor> partition_nonzeros(
+    const SparseTensor& x, const ProcessorGrid& grid,
+    const std::vector<std::vector<Range>>& mode_ranges) {
+  const int n = x.order();
+  MTK_CHECK(grid.ndims() == n, "partition_nonzeros: grid has ", grid.ndims(),
+            " dims for an order-", n, " tensor");
+  MTK_CHECK(x.sorted(), "partition_nonzeros requires sort_and_dedup() first");
+  MTK_CHECK(static_cast<int>(mode_ranges.size()) == n,
+            "partition_nonzeros: got ", mode_ranges.size(),
+            " mode partitions for an order-", n, " tensor");
+  // Boundary arrays for the per-coordinate binary search, validated as
+  // contiguous non-empty covers of [0, dim).
+  std::vector<std::vector<index_t>> lows(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const std::vector<Range>& ranges = mode_ranges[static_cast<std::size_t>(k)];
+    MTK_CHECK(static_cast<int>(ranges.size()) == grid.extent(k),
+              "mode ", k, " has ", ranges.size(), " ranges but grid extent is ",
+              grid.extent(k));
+    index_t expect = 0;
+    for (const Range& r : ranges) {
+      MTK_CHECK(r.lo == expect && r.hi > r.lo, "mode ", k,
+                " ranges must be non-empty and contiguous from 0");
+      lows[static_cast<std::size_t>(k)].push_back(r.lo);
+      expect = r.hi;
+    }
+    MTK_CHECK(expect == x.dim(k), "mode ", k, " ranges cover [0, ", expect,
+              ") but the dimension is ", x.dim(k));
+  }
+
+  const int p = grid.size();
+  std::vector<SparseTensor> local;
+  local.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const std::vector<int> coords = grid.coords(r);
+    shape_t dims(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      dims[static_cast<std::size_t>(k)] =
+          mode_ranges[static_cast<std::size_t>(k)]
+                     [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])]
+              .length();
+    }
+    local.emplace_back(dims);
+  }
+
+  std::vector<int> coords(static_cast<std::size_t>(n));
+  multi_index_t idx(static_cast<std::size_t>(n));
+  for (index_t q = 0; q < x.nnz(); ++q) {
+    for (int k = 0; k < n; ++k) {
+      const std::vector<index_t>& lo = lows[static_cast<std::size_t>(k)];
+      const index_t i = x.index(k, q);
+      const int c = static_cast<int>(
+          std::upper_bound(lo.begin(), lo.end(), i) - lo.begin() - 1);
+      coords[static_cast<std::size_t>(k)] = c;
+      idx[static_cast<std::size_t>(k)] = i - lo[static_cast<std::size_t>(c)];
+    }
+    local[static_cast<std::size_t>(grid.rank_of(coords))].push_back(
+        idx, x.value(q));
+  }
+  for (SparseTensor& t : local) t.sort_and_dedup();
+  return local;
+}
+
+SparseDistribution distribute_nonzeros(const SparseTensor& x,
+                                       const ProcessorGrid& grid,
+                                       SparsePartitionScheme scheme) {
+  SparseDistribution d;
+  d.mode_ranges = sparse_mode_partitions(x, grid.shape(), scheme);
+  d.local = partition_nonzeros(x, grid, d.mode_ranges);
+  return d;
 }
 
 }  // namespace mtk

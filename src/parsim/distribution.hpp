@@ -1,11 +1,26 @@
 // Data-distribution helpers for the parallel algorithms (Sections V-C1,
 // V-D1): balanced contiguous partitions of index ranges and of flattened
-// entry sets.
+// entry sets, plus the sparse nonzero distribution used by the sparse-aware
+// parallel MTTKRP. Sparse tensors are partitioned over the same N-way
+// processor grid as dense ones — every process owns the nonzeros falling in
+// a rectangular block of coordinate ranges — with two ways of choosing the
+// per-mode range boundaries:
+//
+//   kBlock         — uniform index ranges (block_partition), matching the
+//                    dense algorithm exactly, so dense and sparse runs are
+//                    directly comparable (identical collective payloads).
+//   kMediumGrained — nonzero-balanced index ranges (the medium-grained
+//                    decomposition of Smith & Karypis): each mode's
+//                    boundaries are placed so its slabs hold roughly equal
+//                    nonzero counts, trading the dense-comparable layout for
+//                    sparse load balance.
 #pragma once
 
 #include <vector>
 
+#include "src/parsim/grid.hpp"
 #include "src/tensor/block.hpp"
+#include "src/tensor/sparse_tensor.hpp"
 
 namespace mtk {
 
@@ -20,5 +35,47 @@ Range flat_chunk(index_t total, int parts, int which);
 
 // Sizes of all `parts` chunks of a flat array of `total` entries.
 std::vector<index_t> flat_chunk_sizes(index_t total, int parts);
+
+// ---------------------------------------------------------------------------
+// Sparse nonzero distribution.
+
+enum class SparsePartitionScheme { kBlock, kMediumGrained };
+
+const char* to_string(SparsePartitionScheme scheme);
+
+// Partitions [0, dim(mode)) into `parts` non-empty contiguous ranges whose
+// nonzero counts are as balanced as a greedy contiguous cut allows (each
+// boundary is pushed until the cumulative count reaches the proportional
+// target, while always leaving one index for every remaining part).
+// Requires 1 <= parts <= dim(mode).
+std::vector<Range> balanced_mode_partition(const SparseTensor& x, int mode,
+                                           int parts);
+
+// Per-mode coordinate partitions S^(k) for an N-way grid over `x`:
+// extents[k] ranges in mode k, contiguous and covering [0, dim(k)).
+std::vector<std::vector<Range>> sparse_mode_partitions(
+    const SparseTensor& x, const std::vector<int>& extents,
+    SparsePartitionScheme scheme);
+
+// Assigns every nonzero to the unique process whose coordinate block
+// contains it, rebasing indices so each local tensor's mode-k coordinates
+// run over [0, mode_ranges[k][c_k].length()). Local tensors come back
+// sorted/deduped (kernel-ready); processes whose block holds no nonzeros get
+// an empty tensor of the block's shape. `mode_ranges[k]` must be contiguous
+// non-empty partitions of [0, dim(k)) with grid.extent(k) parts.
+std::vector<SparseTensor> partition_nonzeros(
+    const SparseTensor& x, const ProcessorGrid& grid,
+    const std::vector<std::vector<Range>>& mode_ranges);
+
+// The full sparse distribution: per-mode ranges plus per-process local
+// blocks.
+struct SparseDistribution {
+  std::vector<std::vector<Range>> mode_ranges;  // [order][grid extent]
+  std::vector<SparseTensor> local;              // [grid size], rebased
+};
+
+SparseDistribution distribute_nonzeros(const SparseTensor& x,
+                                       const ProcessorGrid& grid,
+                                       SparsePartitionScheme scheme);
 
 }  // namespace mtk

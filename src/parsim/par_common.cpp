@@ -1,0 +1,163 @@
+#include "src/parsim/par_common.hpp"
+
+#include <algorithm>
+
+#include "src/parsim/distribution.hpp"
+#include "src/tensor/csf.hpp"
+
+namespace mtk {
+
+int grid_size(const std::vector<int>& grid_shape) {
+  int p = 1;
+  for (int e : grid_shape) p *= e;
+  return p;
+}
+
+const SparseTensor& sparse_coo_view(const StoredTensor& x,
+                                    SparseTensor& scratch) {
+  MTK_CHECK(x.format() != StorageFormat::kDense,
+            "sparse_coo_view requires COO or CSF storage");
+  if (x.format() == StorageFormat::kCoo) return x.as_coo();
+  scratch = x.as_csf().to_coo();
+  return scratch;
+}
+
+Matrix local_sparse_mttkrp(const SparseTensor& block,
+                           const std::vector<Matrix>& factors, int mode,
+                           StorageFormat format) {
+  if (format == StorageFormat::kCsf) {
+    return mttkrp_csf(CsfTensor::from_coo(block, mode), factors, mode);
+  }
+  return mttkrp_coo(block, factors, mode);
+}
+
+PhaseScope::PhaseScope(Machine& machine, std::string label, int group_size)
+    : machine_(machine), label_(std::move(label)), group_size_(group_size) {
+  before_.reserve(static_cast<std::size_t>(machine.num_ranks()));
+  for (int r = 0; r < machine.num_ranks(); ++r) {
+    before_.push_back(machine.stats(r).words_moved());
+  }
+}
+
+PhaseScope::~PhaseScope() {
+  index_t max_delta = 0;
+  for (int r = 0; r < machine_.num_ranks(); ++r) {
+    max_delta = std::max(max_delta, machine_.stats(r).words_moved() -
+                                        before_[static_cast<std::size_t>(r)]);
+  }
+  machine_.record_phase({label_, group_size_, max_delta});
+}
+
+std::vector<double> flatten_rows(const Matrix& m, Range rows) {
+  std::vector<double> flat;
+  flat.reserve(static_cast<std::size_t>(rows.length() * m.cols()));
+  for (index_t i = rows.lo; i < rows.hi; ++i) {
+    const double* r = m.row(i);
+    flat.insert(flat.end(), r, r + m.cols());
+  }
+  return flat;
+}
+
+std::vector<double> flatten_submatrix(const Matrix& m, Range rows,
+                                      Range cols) {
+  std::vector<double> flat;
+  flat.reserve(static_cast<std::size_t>(rows.length() * cols.length()));
+  for (index_t i = rows.lo; i < rows.hi; ++i) {
+    const double* r = m.row(i);
+    flat.insert(flat.end(), r + cols.lo, r + cols.hi);
+  }
+  return flat;
+}
+
+Matrix unflatten_matrix(const std::vector<double>& flat, index_t rows,
+                        index_t cols) {
+  MTK_ASSERT(static_cast<index_t>(flat.size()) == rows * cols,
+             "unflatten_matrix: ", flat.size(), " words != ", rows, "x", cols);
+  Matrix m(rows, cols);
+  std::copy(flat.begin(), flat.end(), m.data());
+  return m;
+}
+
+std::vector<Matrix> gather_factor_hyperslices(
+    Machine& machine, const ProcessorGrid& grid, const Matrix& factor,
+    const std::vector<Range>& parts, int grid_dim, CollectiveKind collectives,
+    const std::string& label) {
+  const int n = grid.ndims();
+  const int p = grid.size();
+  PhaseScope scope(machine, label, p / grid.extent(grid_dim));
+  std::vector<Matrix> gathered(static_cast<std::size_t>(grid.extent(grid_dim)));
+  for (int c = 0; c < grid.extent(grid_dim); ++c) {
+    // The group is identical for every member; build it from the first rank
+    // with coordinate c on grid_dim.
+    std::vector<int> coords(static_cast<std::size_t>(n), 0);
+    coords[static_cast<std::size_t>(grid_dim)] = c;
+    const int representative = grid.rank_of(coords);
+    const std::vector<int> group = grid.group_fixing({grid_dim}, representative);
+    const int q = static_cast<int>(group.size());
+
+    const Range rows = parts[static_cast<std::size_t>(c)];
+    const std::vector<double> block_row = flatten_rows(factor, rows);
+    const index_t total = static_cast<index_t>(block_row.size());
+
+    // Member i initially owns the i-th flat chunk of the block row
+    // (Section V-C1: "partitioned arbitrarily across the processors in its
+    // hyperslice"; we use balanced contiguous chunks).
+    std::vector<std::vector<double>> contributions(static_cast<std::size_t>(q));
+    for (int i = 0; i < q; ++i) {
+      const Range chunk = flat_chunk(total, q, i);
+      contributions[static_cast<std::size_t>(i)].assign(
+          block_row.begin() + chunk.lo, block_row.begin() + chunk.hi);
+    }
+    const std::vector<double> full =
+        all_gather_dispatch(machine, group, contributions, collectives);
+    gathered[static_cast<std::size_t>(c)] =
+        unflatten_matrix(full, rows.length(), factor.cols());
+  }
+  return gathered;
+}
+
+Matrix reduce_scatter_hyperslices(
+    Machine& machine, const ProcessorGrid& grid,
+    const std::vector<Matrix>& local_c, const std::vector<Range>& parts,
+    int grid_dim, index_t out_rows, index_t rank_r,
+    CollectiveKind collectives, const std::string& label) {
+  const int n = grid.ndims();
+  const int p = grid.size();
+  Matrix b(out_rows, rank_r);
+  PhaseScope scope(machine, label, p / grid.extent(grid_dim));
+  for (int c = 0; c < grid.extent(grid_dim); ++c) {
+    std::vector<int> coords(static_cast<std::size_t>(n), 0);
+    coords[static_cast<std::size_t>(grid_dim)] = c;
+    const int representative = grid.rank_of(coords);
+    const std::vector<int> group = grid.group_fixing({grid_dim}, representative);
+    const int q = static_cast<int>(group.size());
+
+    const Range rows = parts[static_cast<std::size_t>(c)];
+    const index_t total = checked_mul(rows.length(), rank_r);
+
+    std::vector<std::vector<double>> inputs(static_cast<std::size_t>(q));
+    for (int i = 0; i < q; ++i) {
+      const Matrix& ci =
+          local_c[static_cast<std::size_t>(group[static_cast<std::size_t>(i)])];
+      inputs[static_cast<std::size_t>(i)] = flatten_rows(ci, Range{0, ci.rows()});
+    }
+    const std::vector<index_t> chunk_sizes = flat_chunk_sizes(total, q);
+    const auto reduced =
+        reduce_scatter_dispatch(machine, group, inputs, chunk_sizes,
+                                collectives);
+
+    // Member i's chunk covers flat positions [chunk.lo, chunk.hi) of the
+    // row-major flattened block row B(S_c, :).
+    for (int i = 0; i < q; ++i) {
+      const Range chunk = flat_chunk(total, q, i);
+      for (index_t w = 0; w < chunk.length(); ++w) {
+        const index_t flat = chunk.lo + w;
+        b(rows.lo + flat / rank_r, flat % rank_r) =
+            reduced[static_cast<std::size_t>(i)][static_cast<std::size_t>(w)];
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace mtk

@@ -4,72 +4,14 @@
 
 #include "src/mttkrp/mttkrp.hpp"
 #include "src/parsim/collectives.hpp"
-#include "src/parsim/distribution.hpp"
 #include "src/parsim/grid.hpp"
+#include "src/parsim/par_common.hpp"
 #include "src/tensor/block.hpp"
+#include "src/tensor/csf.hpp"
 
 namespace mtk {
 
 namespace {
-
-// Snapshots per-rank counters around one collective phase and records the
-// per-phase bottleneck.
-class PhaseScope {
- public:
-  PhaseScope(Machine& machine, std::string label, int group_size)
-      : machine_(machine), label_(std::move(label)), group_size_(group_size) {
-    before_.reserve(static_cast<std::size_t>(machine.num_ranks()));
-    for (int r = 0; r < machine.num_ranks(); ++r) {
-      before_.push_back(machine.stats(r).words_moved());
-    }
-  }
-  ~PhaseScope() {
-    index_t max_delta = 0;
-    for (int r = 0; r < machine_.num_ranks(); ++r) {
-      max_delta = std::max(max_delta, machine_.stats(r).words_moved() -
-                                          before_[static_cast<std::size_t>(r)]);
-    }
-    machine_.record_phase({label_, group_size_, max_delta});
-  }
-
- private:
-  Machine& machine_;
-  std::string label_;
-  int group_size_;
-  std::vector<index_t> before_;
-};
-
-// Flattens rows [rows.lo, rows.hi) x all columns of `m` (row-major order).
-std::vector<double> flatten_rows(const Matrix& m, Range rows) {
-  std::vector<double> flat;
-  flat.reserve(static_cast<std::size_t>(rows.length() * m.cols()));
-  for (index_t i = rows.lo; i < rows.hi; ++i) {
-    const double* r = m.row(i);
-    flat.insert(flat.end(), r, r + m.cols());
-  }
-  return flat;
-}
-
-// Flattens the submatrix rows x cols of `m` (row-major order).
-std::vector<double> flatten_submatrix(const Matrix& m, Range rows,
-                                      Range cols) {
-  std::vector<double> flat;
-  flat.reserve(static_cast<std::size_t>(rows.length() * cols.length()));
-  for (index_t i = rows.lo; i < rows.hi; ++i) {
-    const double* r = m.row(i);
-    flat.insert(flat.end(), r + cols.lo, r + cols.hi);
-  }
-  return flat;
-}
-
-Matrix unflatten(const std::vector<double>& flat, index_t rows,
-                 index_t cols) {
-  MTK_ASSERT(static_cast<index_t>(flat.size()) == rows * cols,
-             "unflatten: ", flat.size(), " words != ", rows, "x", cols);
-  Matrix m(rows, cols);
-  std::copy(flat.begin(), flat.end(), m.data());
-  return m;
-}
 
 ParMttkrpResult finalize(Machine& machine, Matrix b) {
   ParMttkrpResult result;
@@ -80,34 +22,38 @@ ParMttkrpResult finalize(Machine& machine, Matrix b) {
   return result;
 }
 
-}  // namespace
-
-ParMttkrpResult par_mttkrp_stationary(Machine& machine, const DenseTensor& x,
-                                      const std::vector<Matrix>& factors,
-                                      int mode,
-                                      const std::vector<int>& grid_shape,
-                                      CollectiveKind collectives) {
-  const index_t rank_r = check_mttkrp_args(x, factors, mode);
+// Common argument validation for the stationary driver.
+void check_stationary_grid(const StoredTensor& x,
+                           const std::vector<int>& grid_shape) {
   const int n = x.order();
   MTK_CHECK(static_cast<int>(grid_shape.size()) == n,
             "stationary algorithm needs an N-way grid; got ",
             grid_shape.size(), " dims for an order-", n, " tensor");
-  const ProcessorGrid grid(grid_shape);
-  const int p = grid.size();
-  MTK_CHECK(machine.num_ranks() == p, "machine has ", machine.num_ranks(),
-            " ranks but grid has ", p);
   for (int k = 0; k < n; ++k) {
     MTK_CHECK(grid_shape[static_cast<std::size_t>(k)] <= x.dim(k),
               "grid extent ", grid_shape[static_cast<std::size_t>(k)],
               " exceeds tensor dimension ", x.dim(k), " in mode ", k);
   }
+}
 
-  // Index partitions S^(k).
-  std::vector<std::vector<Range>> parts(static_cast<std::size_t>(n));
-  for (int k = 0; k < n; ++k) {
-    parts[static_cast<std::size_t>(k)] =
-        block_partition(x.dim(k), grid.extent(k));
-  }
+// Algorithm 3 given a fixed index partition: `local_blocks` is null for
+// dense storage (blocks are extracted on the fly) and the per-process
+// nonzero blocks otherwise; `forest` optionally carries prebuilt per-rank
+// CSF trees for the output mode. With the kBlock scheme the sparse
+// partitions coincide with the dense ones, so the collective payloads are
+// storage-independent.
+ParMttkrpResult stationary_impl(
+    Machine& machine, const StoredTensor& x,
+    const std::vector<Matrix>& factors, int mode, const ProcessorGrid& grid,
+    const std::vector<std::vector<Range>>& parts,
+    const std::vector<SparseTensor>* local_blocks,
+    const std::vector<std::vector<CsfTensor>>* forest,
+    CollectiveKind collectives) {
+  const index_t rank_r = check_mttkrp_args(x.dims(), factors, mode);
+  const int n = x.order();
+  const int p = grid.size();
+  MTK_CHECK(machine.num_ranks() == p, "machine has ", machine.num_ranks(),
+            " ranks but grid has ", p);
 
   // Phase 1 (Line 4): All-Gather each input factor's block rows within the
   // hyperslice normal to mode k. gathered[k][c] is the full block row
@@ -115,54 +61,19 @@ ParMttkrpResult par_mttkrp_stationary(Machine& machine, const DenseTensor& x,
   std::vector<std::vector<Matrix>> gathered(static_cast<std::size_t>(n));
   for (int k = 0; k < n; ++k) {
     if (k == mode) continue;
-    PhaseScope scope(machine, std::string("all-gather A(") +
-                                  std::to_string(k) + ")",
-                     p / grid.extent(k));
-    gathered[static_cast<std::size_t>(k)].resize(
-        static_cast<std::size_t>(grid.extent(k)));
-    for (int c = 0; c < grid.extent(k); ++c) {
-      // The group is identical for every member; build it from the first
-      // rank with p_k = c.
-      std::vector<int> coords(static_cast<std::size_t>(n), 0);
-      coords[static_cast<std::size_t>(k)] = c;
-      const int representative = grid.rank_of(coords);
-      const std::vector<int> group = grid.group_fixing({k}, representative);
-      const int q = static_cast<int>(group.size());
-
-      const Range rows = parts[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)];
-      const std::vector<double> block_row =
-          flatten_rows(factors[static_cast<std::size_t>(k)], rows);
-      const index_t total = static_cast<index_t>(block_row.size());
-
-      // Member i initially owns the i-th flat chunk of the block row
-      // (Section V-C1: "partitioned arbitrarily across the processors in
-      // its hyperslice"; we use balanced contiguous chunks).
-      std::vector<std::vector<double>> contributions(
-          static_cast<std::size_t>(q));
-      for (int i = 0; i < q; ++i) {
-        const Range chunk = flat_chunk(total, q, i);
-        contributions[static_cast<std::size_t>(i)].assign(
-            block_row.begin() + chunk.lo, block_row.begin() + chunk.hi);
-      }
-      const std::vector<double> full =
-          all_gather_dispatch(machine, group, contributions, collectives);
-      gathered[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)] =
-          unflatten(full, rows.length(), rank_r);
-    }
+    gathered[static_cast<std::size_t>(k)] = gather_factor_hyperslices(
+        machine, grid, factors[static_cast<std::size_t>(k)],
+        parts[static_cast<std::size_t>(k)], k, collectives,
+        std::string("all-gather A(") + std::to_string(k) + ")");
   }
 
-  // Phase 2 (Line 6): local MTTKRP on each rank's stationary subtensor.
+  // Phase 2 (Line 6): local MTTKRP on each rank's stationary block — dense
+  // subtensor with the two-step algorithm, or the native COO/CSF kernel on
+  // the rank's nonzeros.
   std::vector<Matrix> local_c(static_cast<std::size_t>(p));
 #pragma omp parallel for schedule(dynamic)
   for (int r = 0; r < p; ++r) {
     const std::vector<int> coords = grid.coords(r);
-    std::vector<Range> ranges(static_cast<std::size_t>(n));
-    for (int k = 0; k < n; ++k) {
-      ranges[static_cast<std::size_t>(k)] =
-          parts[static_cast<std::size_t>(k)]
-               [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])];
-    }
-    const DenseTensor x_local = extract_block(x, ranges);
     std::vector<Matrix> local_factors(static_cast<std::size_t>(n));
     for (int k = 0; k < n; ++k) {
       if (k == mode) continue;
@@ -170,59 +81,127 @@ ParMttkrpResult par_mttkrp_stationary(Machine& machine, const DenseTensor& x,
           gathered[static_cast<std::size_t>(k)]
                   [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])];
     }
-    local_c[static_cast<std::size_t>(r)] =
-        mttkrp(x_local, local_factors, mode, {.algo = MttkrpAlgo::kTwoStep});
+    if (local_blocks == nullptr) {
+      std::vector<Range> ranges(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        ranges[static_cast<std::size_t>(k)] =
+            parts[static_cast<std::size_t>(k)]
+                 [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])];
+      }
+      const DenseTensor x_local = extract_block(x.as_dense(), ranges);
+      local_c[static_cast<std::size_t>(r)] =
+          mttkrp(x_local, local_factors, mode, {.algo = MttkrpAlgo::kTwoStep});
+    } else if (forest != nullptr) {
+      local_c[static_cast<std::size_t>(r)] = mttkrp_csf(
+          (*forest)[static_cast<std::size_t>(r)][static_cast<std::size_t>(mode)],
+          local_factors, mode);
+    } else {
+      local_c[static_cast<std::size_t>(r)] = local_sparse_mttkrp(
+          (*local_blocks)[static_cast<std::size_t>(r)], local_factors, mode,
+          x.format());
+    }
   }
 
   // Phase 3 (Line 7): Reduce-Scatter the contributions within the mode-n
   // hyperslices, then assemble the distributed output into a global B.
-  Matrix b(x.dim(mode), rank_r);
-  {
-    PhaseScope scope(machine, "reduce-scatter B", p / grid.extent(mode));
-    for (int c = 0; c < grid.extent(mode); ++c) {
-      std::vector<int> coords(static_cast<std::size_t>(n), 0);
-      coords[static_cast<std::size_t>(mode)] = c;
-      const int representative = grid.rank_of(coords);
-      const std::vector<int> group = grid.group_fixing({mode}, representative);
-      const int q = static_cast<int>(group.size());
-
-      const Range rows =
-          parts[static_cast<std::size_t>(mode)][static_cast<std::size_t>(c)];
-      const index_t total = checked_mul(rows.length(), rank_r);
-
-      std::vector<std::vector<double>> inputs(static_cast<std::size_t>(q));
-      for (int i = 0; i < q; ++i) {
-        const Matrix& ci = local_c[static_cast<std::size_t>(
-            group[static_cast<std::size_t>(i)])];
-        inputs[static_cast<std::size_t>(i)] =
-            flatten_rows(ci, Range{0, ci.rows()});
-      }
-      const std::vector<index_t> chunk_sizes = flat_chunk_sizes(total, q);
-      const auto reduced =
-          reduce_scatter_dispatch(machine, group, inputs, chunk_sizes,
-                                  collectives);
-
-      // Member i's chunk covers flat positions [chunk.lo, chunk.hi) of the
-      // row-major flattened block row B(S_c, :).
-      for (int i = 0; i < q; ++i) {
-        const Range chunk = flat_chunk(total, q, i);
-        for (index_t w = 0; w < chunk.length(); ++w) {
-          const index_t flat = chunk.lo + w;
-          b(rows.lo + flat / rank_r, flat % rank_r) =
-              reduced[static_cast<std::size_t>(i)][static_cast<std::size_t>(w)];
-        }
-      }
-    }
-  }
+  Matrix b = reduce_scatter_hyperslices(
+      machine, grid, local_c, parts[static_cast<std::size_t>(mode)], mode,
+      x.dim(mode), rank_r, collectives, "reduce-scatter B");
   return finalize(machine, std::move(b));
 }
 
-ParMttkrpResult par_mttkrp_general(Machine& machine, const DenseTensor& x,
+}  // namespace
+
+ParMttkrpResult par_mttkrp_stationary(Machine& machine, const StoredTensor& x,
+                                      const std::vector<Matrix>& factors,
+                                      int mode,
+                                      const std::vector<int>& grid_shape,
+                                      CollectiveKind collectives,
+                                      SparsePartitionScheme scheme) {
+  check_stationary_grid(x, grid_shape);
+  const ProcessorGrid grid(grid_shape);
+  if (x.format() == StorageFormat::kDense) {
+    std::vector<std::vector<Range>> parts(
+        static_cast<std::size_t>(x.order()));
+    for (int k = 0; k < x.order(); ++k) {
+      parts[static_cast<std::size_t>(k)] =
+          block_partition(x.dim(k), grid.extent(k));
+    }
+    return stationary_impl(machine, x, factors, mode, grid, parts, nullptr,
+                           nullptr, collectives);
+  }
+  SparseTensor expanded;
+  const SparseDistribution dist =
+      distribute_nonzeros(sparse_coo_view(x, expanded), grid, scheme);
+  return stationary_impl(machine, x, factors, mode, grid, dist.mode_ranges,
+                         &dist.local, nullptr, collectives);
+}
+
+StationarySparsePlan plan_stationary_sparse(const StoredTensor& x,
+                                            const std::vector<int>& grid_shape,
+                                            SparsePartitionScheme scheme) {
+  MTK_CHECK(x.format() != StorageFormat::kDense,
+            "plan_stationary_sparse applies to sparse storage only");
+  check_stationary_grid(x, grid_shape);
+  const ProcessorGrid grid(grid_shape);
+  StationarySparsePlan plan;
+  SparseTensor expanded;
+  plan.dist = distribute_nonzeros(sparse_coo_view(x, expanded), grid, scheme);
+  if (x.format() == StorageFormat::kCsf) {
+    const int n = x.order();
+    const int p = grid.size();
+    plan.forest.resize(static_cast<std::size_t>(p));
+#pragma omp parallel for schedule(dynamic)
+    for (int r = 0; r < p; ++r) {
+      std::vector<CsfTensor>& trees = plan.forest[static_cast<std::size_t>(r)];
+      trees.reserve(static_cast<std::size_t>(n));
+      for (int mode = 0; mode < n; ++mode) {
+        trees.push_back(CsfTensor::from_coo(
+            plan.dist.local[static_cast<std::size_t>(r)], mode));
+      }
+    }
+  }
+  return plan;
+}
+
+ParMttkrpResult par_mttkrp_stationary(Machine& machine, const StoredTensor& x,
+                                      const std::vector<Matrix>& factors,
+                                      int mode,
+                                      const std::vector<int>& grid_shape,
+                                      const StationarySparsePlan& plan,
+                                      CollectiveKind collectives) {
+  MTK_CHECK(x.format() != StorageFormat::kDense,
+            "a precomputed plan applies to sparse storage only");
+  check_stationary_grid(x, grid_shape);
+  const ProcessorGrid grid(grid_shape);
+  const SparseDistribution& dist = plan.dist;
+  MTK_CHECK(static_cast<int>(dist.local.size()) == grid.size() &&
+                static_cast<int>(dist.mode_ranges.size()) == x.order(),
+            "plan does not match the grid (", dist.local.size(),
+            " blocks for ", grid.size(), " ranks)");
+  for (int k = 0; k < x.order(); ++k) {
+    const std::vector<Range>& ranges =
+        dist.mode_ranges[static_cast<std::size_t>(k)];
+    MTK_CHECK(static_cast<int>(ranges.size()) == grid.extent(k) &&
+                  !ranges.empty() && ranges.back().hi == x.dim(k),
+              "plan mode ", k, " partition does not match the grid");
+  }
+  const bool use_forest = x.format() == StorageFormat::kCsf;
+  MTK_CHECK(!use_forest ||
+                static_cast<int>(plan.forest.size()) == grid.size(),
+            "plan forest does not match the grid");
+  return stationary_impl(machine, x, factors, mode, grid, dist.mode_ranges,
+                         &dist.local, use_forest ? &plan.forest : nullptr,
+                         collectives);
+}
+
+ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
                                    const std::vector<Matrix>& factors,
                                    int mode,
                                    const std::vector<int>& grid_shape,
-                                   CollectiveKind collectives) {
-  const index_t rank_r = check_mttkrp_args(x, factors, mode);
+                                   CollectiveKind collectives,
+                                   SparsePartitionScheme scheme) {
+  const index_t rank_r = check_mttkrp_args(x.dims(), factors, mode);
   const int n = x.order();
   MTK_CHECK(static_cast<int>(grid_shape.size()) == n + 1,
             "general algorithm needs an (N+1)-way grid (P0, P1..PN); got ",
@@ -241,31 +220,46 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const DenseTensor& x,
   }
 
   // Index partitions: S^(k) over grid dim k+1; T over the rank dimension.
-  std::vector<std::vector<Range>> parts(static_cast<std::size_t>(n));
-  for (int k = 0; k < n; ++k) {
-    parts[static_cast<std::size_t>(k)] =
-        block_partition(x.dim(k), grid.extent(k + 1));
+  // The N-way sub-grid over grid dims 1..N enumerates the P0-fibers in the
+  // same column-major order the full grid uses for those dimensions.
+  const bool dense = x.format() == StorageFormat::kDense;
+  const std::vector<int> sub_shape(grid_shape.begin() + 1, grid_shape.end());
+  const ProcessorGrid sub_grid(sub_shape);
+  const int fibers = sub_grid.size();
+
+  SparseTensor expanded;
+  std::vector<std::vector<Range>> parts;
+  std::vector<SparseTensor> fiber_blocks;
+  if (dense) {
+    parts.resize(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      parts[static_cast<std::size_t>(k)] =
+          block_partition(x.dim(k), grid.extent(k + 1));
+    }
+  } else {
+    SparseDistribution dist = distribute_nonzeros(
+        sparse_coo_view(x, expanded), sub_grid, scheme);
+    parts = std::move(dist.mode_ranges);
+    fiber_blocks = std::move(dist.local);
   }
   const std::vector<Range> rank_parts = block_partition(rank_r, p0);
 
-  // Phase 0 (Line 3): All-Gather the subtensor across each P0-fiber.
-  // fiber_tensor[f] is the gathered X(S_{p_1},...,S_{p_N}) shared by fiber f
-  // (f enumerates the N-way sub-grid of dims 1..N).
-  const int fibers = p / p0;
-  std::vector<DenseTensor> fiber_tensor(static_cast<std::size_t>(fibers));
-  std::vector<std::vector<Range>> fiber_ranges(
-      static_cast<std::size_t>(fibers));
+  // Phase 0 (Line 3): All-Gather the subtensor across each P0-fiber. Dense
+  // blocks travel as flat entries; sparse blocks as (coordinates, value)
+  // tuples, N+1 words per nonzero. Every fiber member ends with the full
+  // block X(S_{p_1},...,S_{p_N}).
+  std::vector<DenseTensor> fiber_dense(dense ? static_cast<std::size_t>(fibers)
+                                             : 0);
   {
     PhaseScope scope(machine, "all-gather X", p0);
     std::vector<int> tensor_dims_fixed;
     for (int k = 1; k <= n; ++k) tensor_dims_fixed.push_back(k);
     for (int f = 0; f < fibers; ++f) {
-      // Decode the fiber id into coordinates of grid dims 1..N.
+      const std::vector<int> sub_coords = sub_grid.coords(f);
       std::vector<int> coords(static_cast<std::size_t>(n + 1), 0);
-      int rem = f;
-      for (int k = 1; k <= n; ++k) {
-        coords[static_cast<std::size_t>(k)] = rem % grid.extent(k);
-        rem /= grid.extent(k);
+      for (int k = 0; k < n; ++k) {
+        coords[static_cast<std::size_t>(k + 1)] =
+            sub_coords[static_cast<std::size_t>(k)];
       }
       const int representative = grid.rank_of(coords);
       const std::vector<int> group =
@@ -273,29 +267,69 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const DenseTensor& x,
       MTK_ASSERT(static_cast<int>(group.size()) == p0,
                  "fiber group size mismatch");
 
-      std::vector<Range> ranges(static_cast<std::size_t>(n));
-      for (int k = 0; k < n; ++k) {
-        ranges[static_cast<std::size_t>(k)] = parts[static_cast<std::size_t>(k)]
-            [static_cast<std::size_t>(coords[static_cast<std::size_t>(k + 1)])];
+      std::vector<double> flat;
+      if (dense) {
+        std::vector<Range> ranges(static_cast<std::size_t>(n));
+        for (int k = 0; k < n; ++k) {
+          ranges[static_cast<std::size_t>(k)] =
+              parts[static_cast<std::size_t>(k)][static_cast<std::size_t>(
+                  sub_coords[static_cast<std::size_t>(k)])];
+        }
+        const DenseTensor sub = extract_block(x.as_dense(), ranges);
+        flat.assign(sub.data(), sub.data() + sub.size());
+      } else {
+        const SparseTensor& block =
+            fiber_blocks[static_cast<std::size_t>(f)];
+        flat.reserve(static_cast<std::size_t>(
+            block.nnz() * static_cast<index_t>(n + 1)));
+        for (index_t q = 0; q < block.nnz(); ++q) {
+          for (int k = 0; k < n; ++k) {
+            flat.push_back(static_cast<double>(block.index(k, q)));
+          }
+          flat.push_back(block.value(q));
+        }
       }
-      const DenseTensor sub = extract_block(x, ranges);
-      const index_t total = sub.size();
+      const index_t total = static_cast<index_t>(flat.size());
 
       std::vector<std::vector<double>> contributions(
           static_cast<std::size_t>(p0));
       for (int i = 0; i < p0; ++i) {
         const Range chunk = flat_chunk(total, p0, i);
         contributions[static_cast<std::size_t>(i)].assign(
-            sub.data() + chunk.lo, sub.data() + chunk.hi);
+            flat.begin() + chunk.lo, flat.begin() + chunk.hi);
       }
       const std::vector<double> full =
           all_gather_dispatch(machine, group, contributions, collectives);
-      shape_t sub_dims;
-      for (const Range& rg : ranges) sub_dims.push_back(rg.length());
-      DenseTensor assembled(sub_dims);
-      std::copy(full.begin(), full.end(), assembled.data());
-      fiber_tensor[static_cast<std::size_t>(f)] = std::move(assembled);
-      fiber_ranges[static_cast<std::size_t>(f)] = std::move(ranges);
+      if (dense) {
+        shape_t sub_dims;
+        for (int k = 0; k < n; ++k) {
+          sub_dims.push_back(
+              parts[static_cast<std::size_t>(k)]
+                   [static_cast<std::size_t>(
+                        sub_coords[static_cast<std::size_t>(k)])]
+                  .length());
+        }
+        DenseTensor assembled(sub_dims);
+        std::copy(full.begin(), full.end(), assembled.data());
+        fiber_dense[static_cast<std::size_t>(f)] = std::move(assembled);
+      } else {
+        // Reassemble the block from the collective's output (replacing the
+        // locally partitioned copy) so the gathered data — not just the
+        // counters — feeds the local compute below.
+        SparseTensor assembled(
+            fiber_blocks[static_cast<std::size_t>(f)].dims());
+        multi_index_t idx(static_cast<std::size_t>(n));
+        for (std::size_t w = 0; w + n < full.size();
+             w += static_cast<std::size_t>(n + 1)) {
+          for (int k = 0; k < n; ++k) {
+            idx[static_cast<std::size_t>(k)] = static_cast<index_t>(
+                full[w + static_cast<std::size_t>(k)]);
+          }
+          assembled.push_back(idx, full[w + static_cast<std::size_t>(n)]);
+        }
+        assembled.sort_and_dedup();
+        fiber_blocks[static_cast<std::size_t>(f)] = std::move(assembled);
+      }
     }
   }
 
@@ -340,24 +374,30 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const DenseTensor& x,
             all_gather_dispatch(machine, group, contributions, collectives);
         gathered[static_cast<std::size_t>(k)][static_cast<std::size_t>(c0)]
                 [static_cast<std::size_t>(ck)] =
-                    unflatten(full, rows.length(), cols.length());
+                    unflatten_matrix(full, rows.length(), cols.length());
       }
     }
   }
 
-  // Phase 2 (Line 7): local MTTKRP per rank on the fiber-shared subtensor
-  // with the column-sliced factors. Every rank of a fiber computes the same
-  // subtensor but a different column slice T_{p_0}.
+  // Phase 2 (Line 7): local MTTKRP per rank on the fiber-shared block with
+  // the column-sliced factors. Every rank of a fiber computes the same
+  // block but a different column slice T_{p_0} — so CSF trees are built
+  // once per fiber, not once per rank.
+  std::vector<CsfTensor> fiber_trees;
+  if (!dense && x.format() == StorageFormat::kCsf) {
+    fiber_trees.resize(static_cast<std::size_t>(fibers));
+#pragma omp parallel for schedule(dynamic)
+    for (int f = 0; f < fibers; ++f) {
+      fiber_trees[static_cast<std::size_t>(f)] = CsfTensor::from_coo(
+          fiber_blocks[static_cast<std::size_t>(f)], mode);
+    }
+  }
   std::vector<Matrix> local_c(static_cast<std::size_t>(p));
 #pragma omp parallel for schedule(dynamic)
   for (int r = 0; r < p; ++r) {
     const std::vector<int> coords = grid.coords(r);
-    int fiber = 0;
-    int stride = 1;
-    for (int k = 1; k <= n; ++k) {
-      fiber += coords[static_cast<std::size_t>(k)] * stride;
-      stride *= grid.extent(k);
-    }
+    std::vector<int> sub_coords(coords.begin() + 1, coords.end());
+    const int fiber = sub_grid.rank_of(sub_coords);
     const int c0 = coords[0];
     std::vector<Matrix> local_factors(static_cast<std::size_t>(n));
     for (int k = 0; k < n; ++k) {
@@ -366,9 +406,17 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const DenseTensor& x,
           gathered[static_cast<std::size_t>(k)][static_cast<std::size_t>(c0)]
                   [static_cast<std::size_t>(coords[static_cast<std::size_t>(k + 1)])];
     }
-    local_c[static_cast<std::size_t>(r)] =
-        mttkrp(fiber_tensor[static_cast<std::size_t>(fiber)], local_factors,
-               mode, {.algo = MttkrpAlgo::kTwoStep});
+    if (dense) {
+      local_c[static_cast<std::size_t>(r)] =
+          mttkrp(fiber_dense[static_cast<std::size_t>(fiber)], local_factors,
+                 mode, {.algo = MttkrpAlgo::kTwoStep});
+    } else if (x.format() == StorageFormat::kCsf) {
+      local_c[static_cast<std::size_t>(r)] = mttkrp_csf(
+          fiber_trees[static_cast<std::size_t>(fiber)], local_factors, mode);
+    } else {
+      local_c[static_cast<std::size_t>(r)] = mttkrp_coo(
+          fiber_blocks[static_cast<std::size_t>(fiber)], local_factors, mode);
+    }
   }
 
   // Phase 3 (Line 8): Reduce-Scatter within groups fixing (p_0, p_n), then
@@ -419,13 +467,32 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const DenseTensor& x,
   return finalize(machine, std::move(b));
 }
 
+// ---------------------------------------------------------------------------
+// Dense overloads and convenience wrappers.
+
+ParMttkrpResult par_mttkrp_stationary(Machine& machine, const DenseTensor& x,
+                                      const std::vector<Matrix>& factors,
+                                      int mode,
+                                      const std::vector<int>& grid_shape,
+                                      CollectiveKind collectives) {
+  return par_mttkrp_stationary(machine, StoredTensor::dense_view(x), factors,
+                               mode, grid_shape, collectives);
+}
+
+ParMttkrpResult par_mttkrp_general(Machine& machine, const DenseTensor& x,
+                                   const std::vector<Matrix>& factors,
+                                   int mode,
+                                   const std::vector<int>& grid_shape,
+                                   CollectiveKind collectives) {
+  return par_mttkrp_general(machine, StoredTensor::dense_view(x), factors,
+                            mode, grid_shape, collectives);
+}
+
 ParMttkrpResult par_mttkrp_stationary(const DenseTensor& x,
                                       const std::vector<Matrix>& factors,
                                       int mode,
                                       const std::vector<int>& grid_shape) {
-  int p = 1;
-  for (int e : grid_shape) p *= e;
-  Machine machine(p);
+  Machine machine(grid_size(grid_shape));
   return par_mttkrp_stationary(machine, x, factors, mode, grid_shape);
 }
 
@@ -433,10 +500,28 @@ ParMttkrpResult par_mttkrp_general(const DenseTensor& x,
                                    const std::vector<Matrix>& factors,
                                    int mode,
                                    const std::vector<int>& grid_shape) {
-  int p = 1;
-  for (int e : grid_shape) p *= e;
-  Machine machine(p);
+  Machine machine(grid_size(grid_shape));
   return par_mttkrp_general(machine, x, factors, mode, grid_shape);
+}
+
+ParMttkrpResult par_mttkrp_stationary(const StoredTensor& x,
+                                      const std::vector<Matrix>& factors,
+                                      int mode,
+                                      const std::vector<int>& grid_shape,
+                                      SparsePartitionScheme scheme) {
+  Machine machine(grid_size(grid_shape));
+  return par_mttkrp_stationary(machine, x, factors, mode, grid_shape,
+                               CollectiveKind::kBucket, scheme);
+}
+
+ParMttkrpResult par_mttkrp_general(const StoredTensor& x,
+                                   const std::vector<Matrix>& factors,
+                                   int mode,
+                                   const std::vector<int>& grid_shape,
+                                   SparsePartitionScheme scheme) {
+  Machine machine(grid_size(grid_shape));
+  return par_mttkrp_general(machine, x, factors, mode, grid_shape,
+                            CollectiveKind::kBucket, scheme);
 }
 
 }  // namespace mtk

@@ -11,14 +11,28 @@
 //     subtensor across each P0-fiber. Cost: Eq. (18). With P0 = 1 it
 //     degenerates to Algorithm 3 exactly.
 //
-// Both execute real data movement through the bucket collectives, so the
+// Both are polymorphic over storage (StoredTensor): a dense tensor is
+// distributed as rectangular blocks, a sparse one (COO or CSF) by assigning
+// every nonzero to the process whose coordinate block contains it
+// (src/parsim/distribution.hpp), with the local MTTKRP running the native
+// COO/CSF kernel. The collective phases are shared code, so with the kBlock
+// partition scheme a sparse run moves exactly the same factor and output
+// words as the dense run on the same grid — the tensor is stationary in
+// Algorithm 3, and communication involves only (dense) factors and outputs.
+// In Algorithm 4 the subtensor All-Gather ships sparse blocks as
+// (coordinates, value) tuples, N+1 words per nonzero, instead of the dense
+// block's prod(|S_k|)/P0-per-member volume.
+//
+// All algorithms execute real data movement through the collectives, so the
 // assembled output can be verified against the sequential reference, and the
 // word counters are exact.
 #pragma once
 
 #include <vector>
 
+#include "src/mttkrp/dispatch.hpp"
 #include "src/parsim/collective_variants.hpp"
+#include "src/parsim/distribution.hpp"
 #include "src/parsim/machine.hpp"
 #include "src/tensor/dense_tensor.hpp"
 #include "src/tensor/matrix.hpp"
@@ -32,19 +46,59 @@ struct ParMttkrpResult {
   std::vector<PhaseRecord> phases; // per-collective breakdown
 };
 
-// Algorithm 3. `grid_shape` must have N entries with product equal to the
-// number of ranks of `machine`, and grid_shape[k] <= I_k. `collectives`
-// picks the schedule (bucket ring vs recursive doubling/halving) — word
-// counts are identical, message counts differ.
+// Algorithm 3, storage-polymorphic. `grid_shape` must have N entries with
+// product equal to the number of ranks of `machine`, and grid_shape[k] <=
+// I_k. `collectives` picks the schedule (bucket ring vs recursive
+// doubling/halving) — word counts are identical, message counts differ.
+// `scheme` selects the sparse coordinate partition (ignored for dense
+// storage): kBlock matches the dense layout, kMediumGrained balances
+// nonzeros per process at the cost of uneven factor blocks.
+ParMttkrpResult par_mttkrp_stationary(
+    Machine& machine, const StoredTensor& x,
+    const std::vector<Matrix>& factors, int mode,
+    const std::vector<int>& grid_shape,
+    CollectiveKind collectives = CollectiveKind::kBucket,
+    SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
+
+// Reusable per-process state for repeated stationary MTTKRPs on one sparse
+// tensor and grid (par_cp_als runs N x iterations of them): the nonzero
+// distribution plus, for CSF input, the per-rank one-tree-per-mode forest
+// built from it (SPLATT's layout). Building the plan once skips both the
+// per-call O(nnz log nnz) redistribution and the per-call CSF compression.
+struct StationarySparsePlan {
+  SparseDistribution dist;
+  // forest[rank][mode] — only populated for CSF storage.
+  std::vector<std::vector<CsfTensor>> forest;
+};
+
+StationarySparsePlan plan_stationary_sparse(
+    const StoredTensor& x, const std::vector<int>& grid_shape,
+    SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
+
+// Algorithm 3 against a precomputed plan (sparse storage only); `plan` must
+// come from plan_stationary_sparse on this tensor with `grid_shape`.
+ParMttkrpResult par_mttkrp_stationary(
+    Machine& machine, const StoredTensor& x,
+    const std::vector<Matrix>& factors, int mode,
+    const std::vector<int>& grid_shape, const StationarySparsePlan& plan,
+    CollectiveKind collectives = CollectiveKind::kBucket);
+
+// Algorithm 4, storage-polymorphic. `grid_shape` must have N+1 entries
+// ordered (P0, P1..PN) with product equal to the rank count,
+// grid_shape[0] <= R, and grid_shape[k+1] <= I_k.
+ParMttkrpResult par_mttkrp_general(
+    Machine& machine, const StoredTensor& x,
+    const std::vector<Matrix>& factors, int mode,
+    const std::vector<int>& grid_shape,
+    CollectiveKind collectives = CollectiveKind::kBucket,
+    SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
+
+// Dense overloads (delegate to the StoredTensor drivers via borrowed views).
 ParMttkrpResult par_mttkrp_stationary(
     Machine& machine, const DenseTensor& x,
     const std::vector<Matrix>& factors, int mode,
     const std::vector<int>& grid_shape,
     CollectiveKind collectives = CollectiveKind::kBucket);
-
-// Algorithm 4. `grid_shape` must have N+1 entries ordered (P0, P1..PN) with
-// product equal to the rank count, grid_shape[0] <= R, and
-// grid_shape[k+1] <= I_k.
 ParMttkrpResult par_mttkrp_general(
     Machine& machine, const DenseTensor& x,
     const std::vector<Matrix>& factors, int mode,
@@ -60,5 +114,13 @@ ParMttkrpResult par_mttkrp_general(const DenseTensor& x,
                                    const std::vector<Matrix>& factors,
                                    int mode,
                                    const std::vector<int>& grid_shape);
+ParMttkrpResult par_mttkrp_stationary(
+    const StoredTensor& x, const std::vector<Matrix>& factors, int mode,
+    const std::vector<int>& grid_shape,
+    SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
+ParMttkrpResult par_mttkrp_general(
+    const StoredTensor& x, const std::vector<Matrix>& factors, int mode,
+    const std::vector<int>& grid_shape,
+    SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
 
 }  // namespace mtk

@@ -1,46 +1,37 @@
 #include "src/parsim/par_multi_mttkrp.hpp"
-#include <algorithm>
-
 
 #include "src/mttkrp/dim_tree.hpp"
-#include "src/parsim/collectives.hpp"
-#include "src/parsim/distribution.hpp"
 #include "src/parsim/grid.hpp"
+#include "src/parsim/par_common.hpp"
 #include "src/tensor/block.hpp"
 
 namespace mtk {
 
 namespace {
 
-std::vector<double> flatten_all_rows(const Matrix& m) {
-  return std::vector<double>(m.data(), m.data() + m.size());
-}
-
-// Per-rank snapshot so a phase's bottleneck is max over ranks of that
-// phase's delta (not the delta of the running maximum).
-std::vector<index_t> snapshot(const Machine& machine) {
-  std::vector<index_t> words;
-  words.reserve(static_cast<std::size_t>(machine.num_ranks()));
-  for (int r = 0; r < machine.num_ranks(); ++r) {
-    words.push_back(machine.stats(r).words_moved());
+// All N local contributions of one rank's sparse block: the native kernel
+// once per mode (CSF re-rooted at each output mode, SPLATT's one-tree-per-
+// mode layout).
+std::vector<Matrix> local_sparse_all_modes(const SparseTensor& block,
+                                           const std::vector<Matrix>& factors,
+                                           StorageFormat format) {
+  const int n = block.order();
+  std::vector<Matrix> outputs;
+  outputs.reserve(static_cast<std::size_t>(n));
+  for (int mode = 0; mode < n; ++mode) {
+    outputs.push_back(local_sparse_mttkrp(block, factors, mode, format));
   }
-  return words;
-}
-
-index_t max_delta(const Machine& machine, const std::vector<index_t>& before) {
-  index_t best = 0;
-  for (int r = 0; r < machine.num_ranks(); ++r) {
-    best = std::max(best, machine.stats(r).words_moved() -
-                              before[static_cast<std::size_t>(r)]);
-  }
-  return best;
+  return outputs;
 }
 
 }  // namespace
 
-ParAllModesResult par_mttkrp_all_modes(Machine& machine, const DenseTensor& x,
+ParAllModesResult par_mttkrp_all_modes(Machine& machine,
+                                       const StoredTensor& x,
                                        const std::vector<Matrix>& factors,
-                                       const std::vector<int>& grid_shape) {
+                                       const std::vector<int>& grid_shape,
+                                       CollectiveKind collectives,
+                                       SparsePartitionScheme scheme) {
   const int n = x.order();
   MTK_CHECK(n >= 2, "par_mttkrp_all_modes requires order >= 2");
   MTK_CHECK(static_cast<int>(factors.size()) == n, "expected ", n,
@@ -67,109 +58,77 @@ ParAllModesResult par_mttkrp_all_modes(Machine& machine, const DenseTensor& x,
               "grid extent exceeds tensor dimension in mode ", k);
   }
 
-  std::vector<std::vector<Range>> parts(static_cast<std::size_t>(n));
-  for (int k = 0; k < n; ++k) {
-    parts[static_cast<std::size_t>(k)] =
-        block_partition(x.dim(k), grid.extent(k));
+  const bool dense = x.format() == StorageFormat::kDense;
+  SparseTensor expanded;
+  std::vector<std::vector<Range>> parts;
+  std::vector<SparseTensor> local_blocks;
+  if (dense) {
+    parts.resize(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      parts[static_cast<std::size_t>(k)] =
+          block_partition(x.dim(k), grid.extent(k));
+    }
+  } else {
+    SparseDistribution dist =
+        distribute_nonzeros(sparse_coo_view(x, expanded), grid, scheme);
+    parts = std::move(dist.mode_ranges);
+    local_blocks = std::move(dist.local);
   }
 
   // Phase 1: one All-Gather per mode — every factor's block rows are
   // gathered once and reused by all N local MTTKRPs.
   std::vector<std::vector<Matrix>> gathered(static_cast<std::size_t>(n));
   for (int k = 0; k < n; ++k) {
-    const int pk = grid.extent(k);
-    const std::vector<index_t> before = snapshot(machine);
-    gathered[static_cast<std::size_t>(k)].resize(static_cast<std::size_t>(pk));
-    for (int c = 0; c < pk; ++c) {
-      std::vector<int> coords(static_cast<std::size_t>(n), 0);
-      coords[static_cast<std::size_t>(k)] = c;
-      const std::vector<int> group =
-          grid.group_fixing({k}, grid.rank_of(coords));
-      const int q = static_cast<int>(group.size());
-      const Range rows =
-          parts[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)];
-      const Matrix block =
-          extract_rows(factors[static_cast<std::size_t>(k)], rows);
-      const std::vector<double> flat = flatten_all_rows(block);
-      std::vector<std::vector<double>> contributions(
-          static_cast<std::size_t>(q));
-      for (int i = 0; i < q; ++i) {
-        const Range chunk =
-            flat_chunk(static_cast<index_t>(flat.size()), q, i);
-        contributions[static_cast<std::size_t>(i)].assign(
-            flat.begin() + chunk.lo, flat.begin() + chunk.hi);
-      }
-      const std::vector<double> full =
-          all_gather_bucket(machine, group, contributions);
-      Matrix assembled(rows.length(), rank);
-      std::copy(full.begin(), full.end(), assembled.data());
-      gathered[static_cast<std::size_t>(k)][static_cast<std::size_t>(c)] =
-          std::move(assembled);
-    }
-    machine.record_phase({std::string("all-gather A(") + std::to_string(k) +
-                              ") [shared]",
-                          p / pk, max_delta(machine, before)});
+    gathered[static_cast<std::size_t>(k)] = gather_factor_hyperslices(
+        machine, grid, factors[static_cast<std::size_t>(k)],
+        parts[static_cast<std::size_t>(k)], k, collectives,
+        std::string("all-gather A(") + std::to_string(k) + ") [shared]");
   }
 
-  // Phase 2: one local dimension-tree pass per rank computes all N local
-  // contributions at once.
+  // Phase 2: one local pass per rank computes all N contributions at once —
+  // the dimension tree for dense blocks, the native kernel per mode for
+  // sparse ones.
   std::vector<std::vector<Matrix>> local(static_cast<std::size_t>(p));
 #pragma omp parallel for schedule(dynamic)
   for (int r = 0; r < p; ++r) {
     const std::vector<int> coords = grid.coords(r);
-    std::vector<Range> ranges(static_cast<std::size_t>(n));
     std::vector<Matrix> local_factors(static_cast<std::size_t>(n));
     for (int k = 0; k < n; ++k) {
-      ranges[static_cast<std::size_t>(k)] =
-          parts[static_cast<std::size_t>(k)]
-               [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])];
       local_factors[static_cast<std::size_t>(k)] =
           gathered[static_cast<std::size_t>(k)]
                   [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])];
     }
-    const DenseTensor x_local = extract_block(x, ranges);
-    local[static_cast<std::size_t>(r)] =
-        mttkrp_all_modes_tree(x_local, local_factors).outputs;
+    if (dense) {
+      std::vector<Range> ranges(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        ranges[static_cast<std::size_t>(k)] =
+            parts[static_cast<std::size_t>(k)]
+                 [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])];
+      }
+      const DenseTensor x_local = extract_block(x.as_dense(), ranges);
+      local[static_cast<std::size_t>(r)] =
+          mttkrp_all_modes_tree(x_local, local_factors).outputs;
+    } else {
+      local[static_cast<std::size_t>(r)] = local_sparse_all_modes(
+          local_blocks[static_cast<std::size_t>(r)], local_factors,
+          x.format());
+    }
   }
 
   // Phase 3: one Reduce-Scatter per mode.
   ParAllModesResult result;
   result.outputs.assign(static_cast<std::size_t>(n), Matrix());
+  std::vector<Matrix> local_c(static_cast<std::size_t>(p));
   for (int mode = 0; mode < n; ++mode) {
-    const std::vector<index_t> before = snapshot(machine);
-    Matrix b(x.dim(mode), rank);
-    for (int c = 0; c < grid.extent(mode); ++c) {
-      std::vector<int> coords(static_cast<std::size_t>(n), 0);
-      coords[static_cast<std::size_t>(mode)] = c;
-      const std::vector<int> group =
-          grid.group_fixing({mode}, grid.rank_of(coords));
-      const int q = static_cast<int>(group.size());
-      const Range rows =
-          parts[static_cast<std::size_t>(mode)][static_cast<std::size_t>(c)];
-      const index_t total = checked_mul(rows.length(), rank);
-
-      std::vector<std::vector<double>> inputs(static_cast<std::size_t>(q));
-      for (int i = 0; i < q; ++i) {
-        inputs[static_cast<std::size_t>(i)] = flatten_all_rows(
-            local[static_cast<std::size_t>(group[static_cast<std::size_t>(i)])]
-                 [static_cast<std::size_t>(mode)]);
-      }
-      const std::vector<index_t> chunk_sizes = flat_chunk_sizes(total, q);
-      const auto reduced =
-          reduce_scatter_bucket(machine, group, inputs, chunk_sizes);
-      for (int i = 0; i < q; ++i) {
-        const Range chunk = flat_chunk(total, q, i);
-        for (index_t w = 0; w < chunk.length(); ++w) {
-          const index_t flat = chunk.lo + w;
-          b(rows.lo + flat / rank, flat % rank) =
-              reduced[static_cast<std::size_t>(i)][static_cast<std::size_t>(w)];
-        }
-      }
+    for (int r = 0; r < p; ++r) {
+      local_c[static_cast<std::size_t>(r)] = std::move(
+          local[static_cast<std::size_t>(r)][static_cast<std::size_t>(mode)]);
     }
-    result.outputs[static_cast<std::size_t>(mode)] = std::move(b);
-    machine.record_phase({std::string("reduce-scatter B(") +
-                              std::to_string(mode) + ")",
-                          p / grid.extent(mode), max_delta(machine, before)});
+    result.outputs[static_cast<std::size_t>(mode)] =
+        reduce_scatter_hyperslices(
+            machine, grid, local_c, parts[static_cast<std::size_t>(mode)],
+            mode, x.dim(mode), rank, collectives,
+            std::string("reduce-scatter B(") + std::to_string(mode) + ")");
   }
 
   result.max_words_moved = machine.max_words_moved();
@@ -178,13 +137,27 @@ ParAllModesResult par_mttkrp_all_modes(Machine& machine, const DenseTensor& x,
   return result;
 }
 
+ParAllModesResult par_mttkrp_all_modes(Machine& machine, const DenseTensor& x,
+                                       const std::vector<Matrix>& factors,
+                                       const std::vector<int>& grid_shape) {
+  return par_mttkrp_all_modes(machine, StoredTensor::dense_view(x), factors,
+                              grid_shape);
+}
+
 ParAllModesResult par_mttkrp_all_modes(const DenseTensor& x,
                                        const std::vector<Matrix>& factors,
                                        const std::vector<int>& grid_shape) {
-  int p = 1;
-  for (int e : grid_shape) p *= e;
-  Machine machine(p);
+  Machine machine(grid_size(grid_shape));
   return par_mttkrp_all_modes(machine, x, factors, grid_shape);
+}
+
+ParAllModesResult par_mttkrp_all_modes(const StoredTensor& x,
+                                       const std::vector<Matrix>& factors,
+                                       const std::vector<int>& grid_shape,
+                                       SparsePartitionScheme scheme) {
+  Machine machine(grid_size(grid_shape));
+  return par_mttkrp_all_modes(machine, x, factors, grid_shape,
+                              CollectiveKind::kBucket, scheme);
 }
 
 }  // namespace mtk

@@ -2,13 +2,22 @@
 // extension: a gradient-based CP algorithm (CP-OPT style) needs B^(n) for
 // every mode against the *same* factors, so the stationary-tensor algorithm
 // can All-Gather each factor's block rows once and reuse them for all N
-// local MTTKRPs (computed with the dimension tree), paying N Reduce-
-// Scatters for the outputs. Compared to N independent runs of Algorithm 3,
-// the gather volume drops by a factor of ~(N-1).
+// local MTTKRPs, paying N Reduce-Scatters for the outputs. Compared to N
+// independent runs of Algorithm 3, the gather volume drops by a factor of
+// ~(N-1).
+//
+// Storage-polymorphic like the single-mode drivers: dense blocks compute the
+// N local contributions with the dimension tree (partial-contraction reuse);
+// sparse blocks (COO/CSF) run the native kernel once per mode on the rank's
+// nonzeros — fiber reuse already amortizes the factor traffic the tree would
+// save, mirroring src/mttkrp/dispatch.hpp's all-modes policy.
 #pragma once
 
 #include <vector>
 
+#include "src/mttkrp/dispatch.hpp"
+#include "src/parsim/collective_variants.hpp"
+#include "src/parsim/distribution.hpp"
 #include "src/parsim/machine.hpp"
 #include "src/tensor/dense_tensor.hpp"
 #include "src/tensor/matrix.hpp"
@@ -22,13 +31,23 @@ struct ParAllModesResult {
   std::vector<PhaseRecord> phases;
 };
 
+ParAllModesResult par_mttkrp_all_modes(
+    Machine& machine, const StoredTensor& x,
+    const std::vector<Matrix>& factors, const std::vector<int>& grid_shape,
+    CollectiveKind collectives = CollectiveKind::kBucket,
+    SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
+
+// Dense overload and convenience wrappers building a machine of the grid's
+// size.
 ParAllModesResult par_mttkrp_all_modes(Machine& machine, const DenseTensor& x,
                                        const std::vector<Matrix>& factors,
                                        const std::vector<int>& grid_shape);
-
-// Convenience wrapper building a machine of the grid's size.
 ParAllModesResult par_mttkrp_all_modes(const DenseTensor& x,
                                        const std::vector<Matrix>& factors,
                                        const std::vector<int>& grid_shape);
+ParAllModesResult par_mttkrp_all_modes(
+    const StoredTensor& x, const std::vector<Matrix>& factors,
+    const std::vector<int>& grid_shape,
+    SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
 
 }  // namespace mtk

@@ -1,0 +1,227 @@
+// Property tests for the sparse nonzero distribution layer
+// (src/parsim/distribution.hpp): every nonzero lands on exactly one process
+// and nothing is lost or invented, partitions respect the grid dimensions,
+// the medium-grained scheme actually balances skewed tensors, and the
+// empty-slice / single-process edge cases hold.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/parsim/distribution.hpp"
+#include "src/parsim/grid.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+namespace {
+
+// Asserts ranges are a non-empty contiguous cover of [0, dim) with the
+// expected part count.
+void expect_valid_cover(const std::vector<Range>& ranges, index_t dim,
+                        int parts) {
+  ASSERT_EQ(static_cast<int>(ranges.size()), parts);
+  index_t expect = 0;
+  for (const Range& r : ranges) {
+    EXPECT_EQ(r.lo, expect);
+    EXPECT_GT(r.hi, r.lo);
+    expect = r.hi;
+  }
+  EXPECT_EQ(expect, dim);
+}
+
+// Rebuilds the global tensor from the per-process blocks by undoing the
+// index rebasing; exact equality with the input proves each nonzero was
+// assigned to exactly one process with its value intact.
+SparseTensor reassemble(const SparseDistribution& d, const ProcessorGrid& grid,
+                        const shape_t& dims) {
+  SparseTensor global(dims);
+  const int n = static_cast<int>(dims.size());
+  multi_index_t idx(static_cast<std::size_t>(n));
+  for (int r = 0; r < grid.size(); ++r) {
+    const std::vector<int> coords = grid.coords(r);
+    const SparseTensor& block = d.local[static_cast<std::size_t>(r)];
+    for (index_t p = 0; p < block.nnz(); ++p) {
+      for (int k = 0; k < n; ++k) {
+        idx[static_cast<std::size_t>(k)] =
+            block.index(k, p) +
+            d.mode_ranges[static_cast<std::size_t>(k)]
+                         [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])]
+                .lo;
+      }
+      global.push_back(idx, block.value(p));
+    }
+  }
+  global.sort_and_dedup();
+  return global;
+}
+
+void expect_equal_coo(const SparseTensor& a, const SparseTensor& b) {
+  ASSERT_EQ(a.dims(), b.dims());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (index_t p = 0; p < a.nnz(); ++p) {
+    for (int k = 0; k < a.order(); ++k) {
+      EXPECT_EQ(a.index(k, p), b.index(k, p)) << "nonzero " << p;
+    }
+    EXPECT_DOUBLE_EQ(a.value(p), b.value(p)) << "nonzero " << p;
+  }
+}
+
+using SweepParam =
+    std::tuple<shape_t, double, std::vector<int>, SparsePartitionScheme>;
+
+class DistributionSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DistributionSweep, PartitionIsLosslessAndRespectsGrid) {
+  const auto& [dims, density, grid_shape, scheme] = GetParam();
+  Rng rng(20260730);
+  const SparseTensor x = SparseTensor::random_sparse(dims, density, rng);
+  const ProcessorGrid grid(grid_shape);
+  const SparseDistribution d = distribute_nonzeros(x, grid, scheme);
+
+  // Partition respects grid dims: one cover per mode, extent(k) parts.
+  ASSERT_EQ(static_cast<int>(d.mode_ranges.size()), x.order());
+  for (int k = 0; k < x.order(); ++k) {
+    expect_valid_cover(d.mode_ranges[static_cast<std::size_t>(k)], x.dim(k),
+                       grid.extent(k));
+  }
+
+  // One local block per process, shaped like its coordinate block.
+  ASSERT_EQ(static_cast<int>(d.local.size()), grid.size());
+  index_t total = 0;
+  for (int r = 0; r < grid.size(); ++r) {
+    const std::vector<int> coords = grid.coords(r);
+    const SparseTensor& block = d.local[static_cast<std::size_t>(r)];
+    for (int k = 0; k < x.order(); ++k) {
+      const Range range =
+          d.mode_ranges[static_cast<std::size_t>(k)]
+                       [static_cast<std::size_t>(coords[static_cast<std::size_t>(k)])];
+      EXPECT_EQ(block.dim(k), range.length());
+      for (index_t p = 0; p < block.nnz(); ++p) {
+        EXPECT_GE(block.index(k, p), 0);
+        EXPECT_LT(block.index(k, p), range.length());
+      }
+    }
+    total += block.nnz();
+  }
+  // Every nonzero on exactly one process...
+  EXPECT_EQ(total, x.nnz());
+  // ...and reassembling the blocks reproduces the input exactly.
+  expect_equal_coo(reassemble(d, grid, dims), x);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, DistributionSweep,
+    ::testing::Values(
+        SweepParam{{8, 8, 8}, 0.2, {2, 2, 2}, SparsePartitionScheme::kBlock},
+        SweepParam{{8, 8, 8}, 0.2, {2, 2, 2},
+                   SparsePartitionScheme::kMediumGrained},
+        SweepParam{{7, 5, 9}, 0.3, {2, 1, 3}, SparsePartitionScheme::kBlock},
+        SweepParam{{7, 5, 9}, 0.3, {2, 1, 3},
+                   SparsePartitionScheme::kMediumGrained},
+        SweepParam{{16, 4}, 0.4, {4, 2}, SparsePartitionScheme::kBlock},
+        SweepParam{{16, 4}, 0.4, {4, 2},
+                   SparsePartitionScheme::kMediumGrained},
+        SweepParam{{4, 4, 4, 4}, 0.25, {2, 2, 1, 2},
+                   SparsePartitionScheme::kBlock},
+        SweepParam{{4, 4, 4, 4}, 0.25, {2, 2, 1, 2},
+                   SparsePartitionScheme::kMediumGrained},
+        // Single process: the whole tensor on rank 0.
+        SweepParam{{6, 6, 6}, 0.3, {1, 1, 1}, SparsePartitionScheme::kBlock},
+        SweepParam{{6, 6, 6}, 0.3, {1, 1, 1},
+                   SparsePartitionScheme::kMediumGrained}));
+
+TEST(SparseDistribution, SingleProcessGetsTheWholeTensor) {
+  Rng rng(11);
+  const SparseTensor x = SparseTensor::random_sparse({5, 7, 3}, 0.3, rng);
+  const ProcessorGrid grid({1, 1, 1});
+  const SparseDistribution d =
+      distribute_nonzeros(x, grid, SparsePartitionScheme::kBlock);
+  ASSERT_EQ(d.local.size(), 1u);
+  expect_equal_coo(d.local[0], x);
+}
+
+TEST(SparseDistribution, EmptySlicesYieldEmptyLocalBlocks) {
+  // All nonzeros live in the first two mode-0 slices; under a block
+  // partition of mode 0 into 4 parts, the processes owning slices >= 2 hold
+  // empty (but correctly shaped) blocks.
+  SparseTensor x({8, 4, 4});
+  Rng rng(13);
+  for (int q = 0; q < 30; ++q) {
+    x.push_back({rng.uniform_int(0, 1), rng.uniform_int(0, 3),
+                 rng.uniform_int(0, 3)},
+                rng.normal());
+  }
+  x.sort_and_dedup();
+  const ProcessorGrid grid({4, 1, 1});
+  const SparseDistribution d =
+      distribute_nonzeros(x, grid, SparsePartitionScheme::kBlock);
+  index_t total = 0;
+  for (int r = 0; r < 4; ++r) {
+    const SparseTensor& block = d.local[static_cast<std::size_t>(r)];
+    EXPECT_EQ(block.dim(0), 2);
+    if (r >= 1) EXPECT_EQ(block.nnz(), 0) << "rank " << r;
+    total += block.nnz();
+  }
+  EXPECT_EQ(total, x.nnz());
+}
+
+TEST(SparseDistribution, MediumGrainedBalancesSkewedModes) {
+  // Nonzeros concentrated in the first 10 of 100 mode-0 slices: the uniform
+  // block partition puts everything on one process, the nonzero-balanced
+  // boundaries spread it out.
+  SparseTensor x({100, 4, 4});
+  Rng rng(17);
+  for (int q = 0; q < 400; ++q) {
+    x.push_back({rng.uniform_int(0, 9), rng.uniform_int(0, 3),
+                 rng.uniform_int(0, 3)},
+                rng.normal());
+  }
+  x.sort_and_dedup();
+  const ProcessorGrid grid({4, 1, 1});
+
+  const auto max_local_nnz = [&](SparsePartitionScheme scheme) {
+    const SparseDistribution d = distribute_nonzeros(x, grid, scheme);
+    index_t best = 0;
+    for (const SparseTensor& block : d.local) {
+      best = std::max(best, block.nnz());
+    }
+    return best;
+  };
+  const index_t block_max = max_local_nnz(SparsePartitionScheme::kBlock);
+  const index_t medium_max =
+      max_local_nnz(SparsePartitionScheme::kMediumGrained);
+  EXPECT_EQ(block_max, x.nnz());  // slices 0..9 all fall in block [0, 25)
+  EXPECT_LT(medium_max, block_max);
+  EXPECT_LE(medium_max, ceil_div(x.nnz(), 2));  // genuinely spread out
+}
+
+TEST(SparseDistribution, BalancedModePartitionHandlesZeroNonzeros) {
+  const SparseTensor x({6, 6});
+  const std::vector<Range> ranges = balanced_mode_partition(x, 0, 3);
+  expect_valid_cover(ranges, 6, 3);
+}
+
+TEST(SparseDistributionValidation, RejectsBadArguments) {
+  Rng rng(19);
+  const SparseTensor x = SparseTensor::random_sparse({4, 4, 4}, 0.3, rng);
+  // Grid order mismatch.
+  EXPECT_THROW(distribute_nonzeros(x, ProcessorGrid({2, 2}),
+                                   SparsePartitionScheme::kBlock),
+               std::invalid_argument);
+  // Grid extent exceeding the dimension.
+  EXPECT_THROW(distribute_nonzeros(x, ProcessorGrid({8, 1, 1}),
+                                   SparsePartitionScheme::kBlock),
+               std::invalid_argument);
+  // Wrong number of parts handed to partition_nonzeros.
+  const ProcessorGrid grid({2, 2, 1});
+  std::vector<std::vector<Range>> parts = sparse_mode_partitions(
+      x, {2, 2, 1}, SparsePartitionScheme::kBlock);
+  parts[0].pop_back();
+  EXPECT_THROW(partition_nonzeros(x, grid, parts), std::invalid_argument);
+  // Non-contiguous ranges.
+  parts = sparse_mode_partitions(x, {2, 2, 1}, SparsePartitionScheme::kBlock);
+  parts[1][1].lo += 1;
+  EXPECT_THROW(partition_nonzeros(x, grid, parts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mtk

@@ -1,10 +1,15 @@
-// Command-line MTTKRP driver: generates a random dense problem, runs the
-// chosen algorithm, reports wall-clock time and (optionally) the simulated
-// memory traffic against the paper's bounds.
+// Command-line MTTKRP driver over any storage backend: generates a random
+// dense or sparse problem (or loads a FROSTT `.tns` file), runs the chosen
+// algorithm — sequential, simulated-parallel (Algorithm 3), or a full
+// par_cp_als decomposition — and reports wall-clock time, simulated
+// communication against the paper's bounds, and (optionally) the simulated
+// memory traffic.
 //
 // Usage:
 //   mttkrp_cli --dims 64,64,64 --rank 16 --mode 1 --algo blocked
 //              [--memory 32768] [--trace] [--seed 7]
+//   mttkrp_cli --tns tensor.tns --backend csf --rank 16 --procs 64
+//   mttkrp_cli --tns tensor.tns --backend coo --rank 8 --procs 8 --cp-als
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -28,6 +33,12 @@ shape_t parse_dims(const std::string& s) {
   return dims;
 }
 
+std::vector<int> parse_grid(const std::string& s) {
+  std::vector<int> grid;
+  for (index_t v : parse_dims(s)) grid.push_back(static_cast<int>(v));
+  return grid;
+}
+
 MttkrpAlgo parse_algo(const std::string& s) {
   if (s == "reference") return MttkrpAlgo::kReference;
   if (s == "blocked") return MttkrpAlgo::kBlocked;
@@ -38,31 +49,83 @@ MttkrpAlgo parse_algo(const std::string& s) {
   return MttkrpAlgo::kReference;
 }
 
+StorageFormat parse_backend(const std::string& s) {
+  if (s == "dense") return StorageFormat::kDense;
+  if (s == "coo") return StorageFormat::kCoo;
+  if (s == "csf") return StorageFormat::kCsf;
+  MTK_CHECK(false, "unknown backend '", s, "' (expected dense|coo|csf)");
+  return StorageFormat::kDense;
+}
+
+SparsePartitionScheme parse_scheme(const std::string& s) {
+  if (s == "block") return SparsePartitionScheme::kBlock;
+  if (s == "medium") return SparsePartitionScheme::kMediumGrained;
+  MTK_CHECK(false, "unknown partition scheme '", s,
+            "' (expected block|medium)");
+  return SparsePartitionScheme::kBlock;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --dims I1,I2,... --rank R [--mode n] [--algo A]\n"
+      "usage: %s (--dims I1,I2,... | --tns FILE) --rank R [--mode n]\n"
+      "          [--backend dense|coo|csf] [--algo A] [--density d]\n"
+      "          [--procs P] [--grid P1,P2,...] [--scheme block|medium]\n"
+      "          [--cp-als] [--iters N] [--tol T] [--save-tns FILE]\n"
       "          [--memory M] [--trace] [--seed S]\n"
-      "  --dims    tensor dimensions, comma separated (required)\n"
-      "  --rank    factor matrix columns R (required)\n"
-      "  --mode    output mode, default 0\n"
-      "  --algo    reference|blocked|matmul|two_step, default blocked\n"
-      "  --memory  fast-memory words for block-size selection/trace,\n"
-      "            default 2^20\n"
-      "  --trace   also simulate the two-level memory traffic and print\n"
-      "            the Section IV bounds\n"
-      "  --seed    RNG seed, default 1\n",
+      "  --dims     tensor dimensions for a random problem, comma separated\n"
+      "  --tns      load a FROSTT .tns coordinate file instead\n"
+      "  --rank     factor matrix columns R / CP rank (required)\n"
+      "  --mode     output mode, default 0\n"
+      "  --backend  storage format, default dense (coo for --tns input)\n"
+      "  --algo     dense algorithm: reference|blocked|matmul|two_step,\n"
+      "             default blocked\n"
+      "  --density  nonzero density of random sparse problems, default 0.05\n"
+      "  --procs    simulate the parallel algorithm on P processors\n"
+      "  --grid     explicit N-way processor grid (default: Eq.(14)-optimal)\n"
+      "  --scheme   sparse partition: block|medium, default block\n"
+      "  --cp-als   run a full CP-ALS decomposition (par_cp_als with\n"
+      "             --procs, sequential cp_als otherwise)\n"
+      "  --iters    CP-ALS max iterations, default 20\n"
+      "  --tol      CP-ALS fit tolerance, default 1e-6\n"
+      "  --save-tns write the (sparse) tensor to a .tns file and exit\n"
+      "  --memory   fast-memory words for block-size selection/trace,\n"
+      "             default 2^20\n"
+      "  --trace    also simulate the two-level memory traffic and print\n"
+      "             the Section IV bounds (dense sequential only)\n"
+      "  --seed     RNG seed, default 1\n",
       argv0);
   return 1;
+}
+
+std::vector<int> default_grid(const shape_t& dims, index_t rank, int procs) {
+  CostProblem cp;
+  cp.dims = dims;
+  cp.rank = rank;
+  const GridSearchResult r = optimal_stationary_grid(cp, procs);
+  std::vector<int> grid;
+  for (index_t v : r.grid) grid.push_back(static_cast<int>(v));
+  return grid;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   shape_t dims;
+  std::string tns_path;
+  std::string save_tns_path;
   index_t rank = 0;
   int mode = 0;
   MttkrpAlgo algo = MttkrpAlgo::kBlocked;
+  StorageFormat backend = StorageFormat::kDense;
+  bool backend_set = false;
+  double density = 0.05;
+  int procs = 0;
+  std::vector<int> grid;
+  SparsePartitionScheme scheme = SparsePartitionScheme::kBlock;
+  bool cp_als_run = false;
+  int iters = 20;
+  double tol = 1e-6;
   index_t memory = index_t{1} << 20;
   bool trace = false;
   std::uint64_t seed = 1;
@@ -76,12 +139,33 @@ int main(int argc, char** argv) {
       };
       if (arg == "--dims") {
         dims = parse_dims(next());
+      } else if (arg == "--tns") {
+        tns_path = next();
+      } else if (arg == "--save-tns") {
+        save_tns_path = next();
       } else if (arg == "--rank") {
         rank = std::stoll(next());
       } else if (arg == "--mode") {
         mode = std::stoi(next());
       } else if (arg == "--algo") {
         algo = parse_algo(next());
+      } else if (arg == "--backend") {
+        backend = parse_backend(next());
+        backend_set = true;
+      } else if (arg == "--density") {
+        density = std::stod(next());
+      } else if (arg == "--procs") {
+        procs = std::stoi(next());
+      } else if (arg == "--grid") {
+        grid = parse_grid(next());
+      } else if (arg == "--scheme") {
+        scheme = parse_scheme(next());
+      } else if (arg == "--cp-als") {
+        cp_als_run = true;
+      } else if (arg == "--iters") {
+        iters = std::stoi(next());
+      } else if (arg == "--tol") {
+        tol = std::stod(next());
       } else if (arg == "--memory") {
         memory = std::stoll(next());
       } else if (arg == "--trace") {
@@ -92,13 +176,137 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
     }
-    if (dims.empty() || rank <= 0) return usage(argv[0]);
+    if ((dims.empty() && tns_path.empty()) || rank <= 0) return usage(argv[0]);
+    if (!tns_path.empty() && !backend_set) backend = StorageFormat::kCoo;
+    if (!grid.empty()) {
+      int grid_procs = 1;
+      for (int e : grid) grid_procs *= e;
+      if (procs == 0) procs = grid_procs;  // --grid alone implies --procs
+      MTK_CHECK(procs == grid_procs, "--grid product ", grid_procs,
+                " does not match --procs ", procs);
+    }
 
     Rng rng(seed);
-    const DenseTensor x = DenseTensor::random_normal(dims, rng);
+
+    // Build the tensor in its interchange form, then the requested backend.
+    SparseTensor coo;
+    DenseTensor dense;
+    if (!tns_path.empty()) {
+      coo = load_tensor_tns(tns_path);
+      dims = coo.dims();
+    } else if (backend == StorageFormat::kDense) {
+      dense = DenseTensor::random_normal(dims, rng);
+    } else {
+      coo = SparseTensor::random_sparse(dims, density, rng);
+    }
+    if (backend == StorageFormat::kDense && !tns_path.empty()) {
+      dense = coo.to_dense();
+    }
+
+    // Export-and-exit path, before any backend conversion work.
+    if (!save_tns_path.empty()) {
+      MTK_CHECK(backend != StorageFormat::kDense,
+                "--save-tns needs a sparse backend (coo or csf)");
+      save_tensor_tns(coo, save_tns_path);
+      std::printf("saved          : %s (%lld nonzeros)\n",
+                  save_tns_path.c_str(), static_cast<long long>(coo.nnz()));
+      return 0;
+    }
+
+    CsfTensor csf;
+    if (backend == StorageFormat::kCsf) csf = CsfTensor::from_coo(coo);
+
+    StoredTensor x;
+    switch (backend) {
+      case StorageFormat::kDense: x = StoredTensor::dense_view(dense); break;
+      case StorageFormat::kCoo: x = StoredTensor::coo_view(coo); break;
+      case StorageFormat::kCsf: x = StoredTensor::csf_view(csf); break;
+    }
+
+    std::printf("tensor         : order %d, %lld stored values (%s)\n",
+                x.order(), static_cast<long long>(x.stored_values()),
+                to_string(backend));
+
+    if (cp_als_run && procs > 0) {
+      ParCpAlsOptions opts;
+      opts.rank = rank;
+      opts.max_iterations = iters;
+      opts.tolerance = tol;
+      opts.grid = grid.empty() ? default_grid(dims, rank, procs) : grid;
+      opts.seed = seed;
+      opts.partition = scheme;
+      const auto start = std::chrono::steady_clock::now();
+      const ParCpAlsResult r = par_cp_als(x, opts);
+      const auto stop = std::chrono::steady_clock::now();
+      std::printf("par_cp_als     : P = %d, grid =", procs);
+      for (int e : opts.grid) std::printf(" %d", e);
+      std::printf(", scheme = %s\n", to_string(scheme));
+      std::printf("iterations     : %d (%s)\n", r.iterations,
+                  r.converged ? "converged" : "max iterations");
+      std::printf("final fit      : %.6f\n", r.final_fit);
+      std::printf("mttkrp words   : %lld (bottleneck, all iterations)\n",
+                  static_cast<long long>(r.total_mttkrp_words_max));
+      std::printf("gram words     : %lld\n",
+                  static_cast<long long>(r.total_gram_words_max));
+      std::printf("wall time      : %.2f ms\n",
+                  std::chrono::duration<double, std::milli>(stop - start)
+                      .count());
+      return 0;
+    }
+
+    if (cp_als_run) {
+      CpAlsOptions opts;
+      opts.rank = rank;
+      opts.max_iterations = iters;
+      opts.tolerance = tol;
+      opts.seed = seed;
+      const auto start = std::chrono::steady_clock::now();
+      const CpAlsResult r = cp_als(x, opts);
+      const auto stop = std::chrono::steady_clock::now();
+      std::printf("cp_als         : sequential, backend %s\n",
+                  to_string(backend));
+      std::printf("iterations     : %d (%s)\n", r.iterations,
+                  r.converged ? "converged" : "max iterations");
+      std::printf("final fit      : %.6f\n", r.final_fit);
+      std::printf("wall time      : %.2f ms\n",
+                  std::chrono::duration<double, std::milli>(stop - start)
+                      .count());
+      return 0;
+    }
+
+    // Only the MTTKRP paths consume external factors; the CP-ALS drivers
+    // above initialize their own from the seed.
     std::vector<Matrix> factors;
     for (index_t d : dims) {
       factors.push_back(Matrix::random_normal(d, rank, rng));
+    }
+
+    if (procs > 0) {
+      const std::vector<int> g =
+          grid.empty() ? default_grid(dims, rank, procs) : grid;
+      Machine machine(procs);
+      const auto start = std::chrono::steady_clock::now();
+      const ParMttkrpResult r = par_mttkrp_stationary(
+          machine, x, factors, mode, g, CollectiveKind::kBucket, scheme);
+      const auto stop = std::chrono::steady_clock::now();
+      ParProblem lb;
+      lb.dims = dims;
+      lb.rank = rank;
+      lb.procs = procs;
+      std::printf("par algorithm  : stationary (Alg. 3), grid =");
+      for (int e : g) std::printf(" %d", e);
+      std::printf(", scheme = %s\n", to_string(scheme));
+      std::printf("output         : %lld x %lld, frobenius %.6e\n",
+                  static_cast<long long>(r.b.rows()),
+                  static_cast<long long>(r.b.cols()), r.b.frobenius_norm());
+      std::printf("words moved    : %lld (bottleneck), %lld (total sent)\n",
+                  static_cast<long long>(r.max_words_moved),
+                  static_cast<long long>(r.total_words_sent));
+      std::printf("lower bound    : %.0f words\n", par_lower_bound(lb));
+      std::printf("wall time      : %.2f ms\n",
+                  std::chrono::duration<double, std::milli>(stop - start)
+                      .count());
+      return 0;
     }
 
     MttkrpOptions opts;
@@ -111,15 +319,15 @@ int main(int argc, char** argv) {
     const double ms =
         std::chrono::duration<double, std::milli>(stop - start).count();
 
-    std::printf("algorithm      : %s\n", to_string(algo));
-    std::printf("tensor         : %lld entries, order %d\n",
-                static_cast<long long>(x.size()), x.order());
+    std::printf("algorithm      : %s\n",
+                backend == StorageFormat::kDense ? to_string(algo)
+                                                 : to_string(backend));
     std::printf("output         : %lld x %lld, frobenius %.6e\n",
                 static_cast<long long>(b.rows()),
                 static_cast<long long>(b.cols()), b.frobenius_norm());
     std::printf("wall time      : %.2f ms\n", ms);
 
-    if (trace) {
+    if (trace && backend == StorageFormat::kDense) {
       TraceProblem tp;
       tp.dims = dims;
       tp.rank = rank;
