@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/support/check.hpp"
 #include "src/support/index.hpp"
@@ -101,6 +102,16 @@ double par_lower_bound_cubical_envelope(const ParProblem& p) {
   const double pp = static_cast<double>(p.procs);
   return std::pow(n * i * r / pp, n / (2.0 * n - 1.0)) +
          n * r * std::pow(i / pp, 1.0 / n);
+}
+
+double par_optimality_ratio(double words_moved, const ParProblem& p) {
+  MTK_CHECK(words_moved >= 0.0, "words_moved must be >= 0, got ", words_moved);
+  const double bound = par_lower_bound(p);
+  if (bound <= 0.0) {
+    return words_moved == 0.0 ? 1.0
+                              : std::numeric_limits<double>::infinity();
+  }
+  return words_moved / bound;
 }
 
 bool memory_independent_regime_large_nr(const ParProblem& p) {

@@ -62,4 +62,11 @@ double par_lower_bound_cubical_envelope(const ParProblem& p);
 // (NIR/P)^(N/(2N-1)) dominates.
 bool memory_independent_regime_large_nr(const ParProblem& p);
 
+// How far an algorithm's measured or predicted bottleneck traffic (words
+// sent+received, the same metric the theorems bound) sits above the best
+// proved lower bound: words_moved / par_lower_bound(p). Degenerate cases:
+// when the bound is 0 (e.g. P = 1, where no communication is required) the
+// ratio is 1 if words_moved is also 0 and +infinity otherwise.
+double par_optimality_ratio(double words_moved, const ParProblem& p);
+
 }  // namespace mtk

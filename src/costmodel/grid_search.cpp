@@ -69,6 +69,29 @@ double general_comm_cost(const CostProblem& p,
   return cost;
 }
 
+double general_comm_cost_sparse(const CostProblem& p, index_t nnz,
+                                const std::vector<index_t>& grid) {
+  check_cost_problem(p);
+  MTK_CHECK(nnz >= 0, "nnz must be >= 0, got ", nnz);
+  MTK_CHECK(static_cast<int>(grid.size()) == p.order() + 1,
+            "sparse general cost needs an (N+1)-way grid, got ", grid.size(),
+            " extents for order ", p.order());
+  const double procs = grid_product(grid);
+  const double p0 = static_cast<double>(grid[0]);
+  const double r = static_cast<double>(p.rank);
+  const double tuple_words =
+      static_cast<double>(nnz) * static_cast<double>(p.order() + 1);
+  double cost = (p0 - 1.0) * tuple_words / procs;
+  for (int k = 0; k < p.order(); ++k) {
+    const double pk =
+        static_cast<double>(grid[static_cast<std::size_t>(k + 1)]);
+    const double words_per_proc =
+        static_cast<double>(p.dims[static_cast<std::size_t>(k)]) * r / procs;
+    cost += (procs / (p0 * pk) - 1.0) * words_per_proc;
+  }
+  return cost;
+}
+
 void enumerate_factorizations(
     index_t value, int parts,
     const std::function<void(const std::vector<index_t>&)>& visit) {
@@ -95,23 +118,46 @@ void enumerate_factorizations(
   recurse(recurse, value, 0);
 }
 
-GridSearchResult optimal_stationary_grid(const CostProblem& p,
-                                         index_t procs) {
+bool stationary_grid_feasible(const CostProblem& p,
+                              const std::vector<index_t>& grid) {
+  MTK_CHECK(static_cast<int>(grid.size()) == p.order(),
+            "expected an N-way grid, got ", grid.size(), " extents");
+  for (int k = 0; k < p.order(); ++k) {
+    if (grid[static_cast<std::size_t>(k)] >
+        p.dims[static_cast<std::size_t>(k)]) {
+      return false;  // processor would own an empty block row
+    }
+  }
+  return true;
+}
+
+bool general_grid_feasible(const CostProblem& p,
+                           const std::vector<index_t>& grid) {
+  MTK_CHECK(static_cast<int>(grid.size()) == p.order() + 1,
+            "expected an (N+1)-way grid, got ", grid.size(), " extents");
+  if (grid[0] > p.rank) return false;
+  return stationary_grid_feasible(
+      p, std::vector<index_t>(grid.begin() + 1, grid.end()));
+}
+
+namespace {
+
+// Shared best-grid search: enumerate factorizations of `procs` into `parts`
+// slots, keep the cheapest grid passing `feasible` under `cost`.
+GridSearchResult minimize_over_grids(
+    const CostProblem& p, index_t procs, int parts,
+    const std::function<bool(const std::vector<index_t>&)>& feasible,
+    const std::function<double(const std::vector<index_t>&)>& cost) {
   check_cost_problem(p);
   MTK_CHECK(procs >= 1, "processor count must be >= 1, got ", procs);
   GridSearchResult best;
   best.cost = std::numeric_limits<double>::infinity();
-  enumerate_factorizations(procs, p.order(),
+  enumerate_factorizations(procs, parts,
                            [&](const std::vector<index_t>& grid) {
-    for (int k = 0; k < p.order(); ++k) {
-      if (grid[static_cast<std::size_t>(k)] >
-          p.dims[static_cast<std::size_t>(k)]) {
-        return;  // processor would own an empty block row
-      }
-    }
-    const double cost = stationary_comm_cost(p, grid);
-    if (cost < best.cost) {
-      best.cost = cost;
+    if (!feasible(grid)) return;
+    const double c = cost(grid);
+    if (c < best.cost) {
+      best.cost = c;
       best.grid = grid;
       best.feasible = true;
     }
@@ -119,28 +165,39 @@ GridSearchResult optimal_stationary_grid(const CostProblem& p,
   return best;
 }
 
+}  // namespace
+
+GridSearchResult optimal_stationary_grid(const CostProblem& p,
+                                         index_t procs) {
+  return minimize_over_grids(
+      p, procs, p.order(),
+      [&](const std::vector<index_t>& g) {
+        return stationary_grid_feasible(p, g);
+      },
+      [&](const std::vector<index_t>& g) {
+        return stationary_comm_cost(p, g);
+      });
+}
+
 GridSearchResult optimal_general_grid(const CostProblem& p, index_t procs) {
-  check_cost_problem(p);
-  MTK_CHECK(procs >= 1, "processor count must be >= 1, got ", procs);
-  GridSearchResult best;
-  best.cost = std::numeric_limits<double>::infinity();
-  enumerate_factorizations(procs, p.order() + 1,
-                           [&](const std::vector<index_t>& grid) {
-    if (grid[0] > p.rank) return;
-    for (int k = 0; k < p.order(); ++k) {
-      if (grid[static_cast<std::size_t>(k + 1)] >
-          p.dims[static_cast<std::size_t>(k)]) {
-        return;
-      }
-    }
-    const double cost = general_comm_cost(p, grid);
-    if (cost < best.cost) {
-      best.cost = cost;
-      best.grid = grid;
-      best.feasible = true;
-    }
-  });
-  return best;
+  return minimize_over_grids(
+      p, procs, p.order() + 1,
+      [&](const std::vector<index_t>& g) {
+        return general_grid_feasible(p, g);
+      },
+      [&](const std::vector<index_t>& g) { return general_comm_cost(p, g); });
+}
+
+GridSearchResult optimal_general_grid_sparse(const CostProblem& p, index_t nnz,
+                                             index_t procs) {
+  return minimize_over_grids(
+      p, procs, p.order() + 1,
+      [&](const std::vector<index_t>& g) {
+        return general_grid_feasible(p, g);
+      },
+      [&](const std::vector<index_t>& g) {
+        return general_comm_cost_sparse(p, nnz, g);
+      });
 }
 
 }  // namespace mtk

@@ -29,6 +29,17 @@ double stationary_comm_cost(const CostProblem& p,
 double general_comm_cost(const CostProblem& p,
                          const std::vector<index_t>& grid);
 
+// Nonzero-aware Eq. (18) analogue for sparse storage: Algorithm 4's tensor
+// All-Gather ships (coordinates, value) tuples — N+1 words per nonzero —
+// instead of dense block entries, so under a balanced nonzero distribution
+// (nnz(X_p) = nnz/P) the per-processor sent words are
+//   (P0 - 1) nnz (N+1) / P + sum_k (P/(P0 P_k) - 1) * I_k R / P.
+// The factor terms are unchanged: factors stay dense regardless of tensor
+// storage. With P0 = 1 the tensor term vanishes and the cost degenerates to
+// Eq. (14) exactly, matching the dense model.
+double general_comm_cost_sparse(const CostProblem& p, index_t nnz,
+                                const std::vector<index_t>& grid);
+
 // Enumerates every ordered factorization of `value` into `parts` positive
 // integer factors, invoking `visit` on each.
 void enumerate_factorizations(
@@ -41,11 +52,27 @@ struct GridSearchResult {
   bool feasible = false;
 };
 
+// The feasibility rules every grid consumer shares (the searches below and
+// the planner's shortlists): an N-way grid needs P_k <= I_k so every
+// processor owns a non-empty block row; an (N+1)-way grid (P0 first)
+// additionally needs P0 <= R.
+bool stationary_grid_feasible(const CostProblem& p,
+                              const std::vector<index_t>& grid);
+bool general_grid_feasible(const CostProblem& p,
+                           const std::vector<index_t>& grid);
+
 // Minimizes Eq. (14) over N-way grids with P_k <= I_k (so every processor
 // owns a non-empty subtensor).
 GridSearchResult optimal_stationary_grid(const CostProblem& p, index_t procs);
 
 // Minimizes Eq. (18) over (N+1)-way grids with P0 <= R and P_k <= I_k.
 GridSearchResult optimal_general_grid(const CostProblem& p, index_t procs);
+
+// Minimizes the sparse Eq. (18) analogue over (N+1)-way grids with P0 <= R
+// and P_k <= I_k. At low density the optimal P0 grows earlier than in the
+// dense model: the tensor term costs nnz(N+1)/P per P0 increment instead of
+// I/P, so rank replication becomes profitable at smaller P.
+GridSearchResult optimal_general_grid_sparse(const CostProblem& p, index_t nnz,
+                                             index_t procs);
 
 }  // namespace mtk

@@ -1,8 +1,12 @@
 #include "src/cp/par_cp_als.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "src/parsim/collectives.hpp"
+#include "src/planner/plan_cache.hpp"
+#include "src/tensor/csf.hpp"
 #include "src/parsim/distribution.hpp"
 #include "src/parsim/par_common.hpp"
 #include "src/parsim/par_mttkrp.hpp"
@@ -74,6 +78,46 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
   const int n = x.order();
   MTK_CHECK(n >= 2, "par_cp_als requires an order >= 2 tensor");
   MTK_CHECK(opts.rank >= 1, "cp rank must be >= 1, got ", opts.rank);
+
+  if (opts.autotune) {
+    const int procs = opts.grid.empty() ? opts.procs : grid_size(opts.grid);
+    MTK_CHECK(procs >= 1,
+              "par_cp_als autotune needs procs (or a grid whose product "
+              "sets it), got ", procs);
+    PlannerOptions popts;
+    popts.procs = procs;
+    popts.workload = PlanWorkload::kCpAls;
+    popts.flop_word_ratio = opts.flop_word_ratio;
+    popts.reuse_count = std::max(1, opts.max_iterations) * n;
+    const std::shared_ptr<const PlanReport> report =
+        PlanCache::global().get_or_plan(x, opts.rank, popts);
+    const ExecutionPlan& plan = report->best();
+
+    ParCpAlsOptions tuned = opts;
+    tuned.autotune = false;
+    tuned.grid = plan.grid;
+    tuned.partition = plan.scheme;
+
+    // Honor the planner's backend choice: sparse storage converts once,
+    // here, so the per-rank local kernels run in the recommended format.
+    ParCpAlsResult result;
+    if (plan.backend != x.format() &&
+        x.format() != StorageFormat::kDense) {
+      if (plan.backend == StorageFormat::kCsf) {
+        const CsfTensor csf = CsfTensor::from_coo(x.as_coo());
+        result = par_cp_als(StoredTensor::csf_view(csf), tuned);
+      } else {
+        const SparseTensor coo = x.as_csf().to_coo();
+        result = par_cp_als(StoredTensor::coo_view(coo), tuned);
+      }
+    } else {
+      result = par_cp_als(x, tuned);
+    }
+    result.autotuned = true;
+    result.plan = plan;
+    return result;
+  }
+
   MTK_CHECK(static_cast<int>(opts.grid.size()) == n,
             "par_cp_als needs an N-way grid, got ", opts.grid.size(),
             " extents for order ", n);
@@ -100,12 +144,13 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
   result.model.lambda.assign(static_cast<std::size_t>(opts.rank), 1.0);
 
   std::vector<Matrix> grams(static_cast<std::size_t>(n));
-  index_t gram_words_total = 0;
   for (int k = 0; k < n; ++k) {
     const index_t before = machine.max_words_moved();
     grams[static_cast<std::size_t>(k)] =
         distributed_gram(machine, result.model.factors[static_cast<std::size_t>(k)]);
-    gram_words_total += machine.max_words_moved() - before;
+    // The N initialization Grams are charged to the total (they precede
+    // iteration 1, so no trace entry carries them).
+    result.total_gram_words_max += machine.max_words_moved() - before;
   }
 
   const double norm_x = x.frobenius_norm();

@@ -15,6 +15,7 @@
 #include "src/cp/cp_als.hpp"
 #include "src/parsim/distribution.hpp"
 #include "src/parsim/machine.hpp"
+#include "src/planner/planner.hpp"
 
 namespace mtk {
 
@@ -27,6 +28,14 @@ struct ParCpAlsOptions {
   // Sparse coordinate partition (ignored for dense input): kBlock matches
   // the dense layout, kMediumGrained balances nonzeros per process.
   SparsePartitionScheme partition = SparsePartitionScheme::kBlock;
+  // Autotune: let the planner (through the global plan cache) pick the
+  // grid, partition scheme, and sparse backend for `procs` processors
+  // (or prod(grid) when `grid` is set, whose extents are then ignored).
+  // The chosen plan is reported in ParCpAlsResult::plan.
+  bool autotune = false;
+  int procs = 0;
+  // Machine-balance knob forwarded to PlannerOptions::flop_word_ratio.
+  double flop_word_ratio = 0.0;
 };
 
 struct ParCpAlsIterate {
@@ -44,6 +53,9 @@ struct ParCpAlsResult {
   bool converged = false;
   index_t total_mttkrp_words_max = 0;
   index_t total_gram_words_max = 0;
+  // The planner's choice when ParCpAlsOptions::autotune was set.
+  bool autotuned = false;
+  ExecutionPlan plan;
 };
 
 // Storage-polymorphic driver; runs unmodified on dense, COO, or CSF input.

@@ -12,6 +12,8 @@
 //   src/parsim/*      distributed-machine simulator, collectives,
 //                     Algorithms 3 and 4, all-modes variant
 //   src/costmodel/*   Eq. (14)/(18) grid optimization, CARMA model, Fig. 4
+//   src/planner/*     autotuning planner: exact communication predictor,
+//                     grid/scheme/backend search, memoized plan cache
 //   src/cp/*          CP-ALS (sequential + simulated-parallel), CP-gradient;
 //                     storage-polymorphic via src/mttkrp/dispatch.hpp
 //   src/io/*          binary tensor/matrix/model files, FROSTT .tns COO
@@ -44,6 +46,9 @@
 #include "src/parsim/machine.hpp"
 #include "src/parsim/par_mttkrp.hpp"
 #include "src/parsim/par_multi_mttkrp.hpp"
+#include "src/planner/plan_cache.hpp"
+#include "src/planner/planner.hpp"
+#include "src/planner/predict.hpp"
 #include "src/support/check.hpp"
 #include "src/support/index.hpp"
 #include "src/support/math_util.hpp"

@@ -186,4 +186,53 @@ SparseDistribution distribute_nonzeros(const SparseTensor& x,
   return d;
 }
 
+BlockNnzStats count_block_nnz(
+    const SparseTensor& x, const ProcessorGrid& grid,
+    const std::vector<std::vector<Range>>& mode_ranges) {
+  const int n = x.order();
+  MTK_CHECK(grid.ndims() == n, "count_block_nnz: grid has ", grid.ndims(),
+            " dims for an order-", n, " tensor");
+  MTK_CHECK(static_cast<int>(mode_ranges.size()) == n,
+            "count_block_nnz: got ", mode_ranges.size(),
+            " mode partitions for an order-", n, " tensor");
+  std::vector<std::vector<index_t>> lows(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const std::vector<Range>& ranges = mode_ranges[static_cast<std::size_t>(k)];
+    MTK_CHECK(static_cast<int>(ranges.size()) == grid.extent(k),
+              "mode ", k, " has ", ranges.size(), " ranges but grid extent is ",
+              grid.extent(k));
+    for (const Range& r : ranges) {
+      lows[static_cast<std::size_t>(k)].push_back(r.lo);
+    }
+  }
+
+  BlockNnzStats stats;
+  stats.per_block.assign(static_cast<std::size_t>(grid.size()), 0);
+  std::vector<int> coords(static_cast<std::size_t>(n));
+  for (index_t q = 0; q < x.nnz(); ++q) {
+    for (int k = 0; k < n; ++k) {
+      const std::vector<index_t>& lo = lows[static_cast<std::size_t>(k)];
+      coords[static_cast<std::size_t>(k)] = static_cast<int>(
+          std::upper_bound(lo.begin(), lo.end(), x.index(k, q)) - lo.begin() -
+          1);
+    }
+    ++stats.per_block[static_cast<std::size_t>(grid.rank_of(coords))];
+  }
+
+  stats.min_nnz = x.nnz();
+  for (index_t c : stats.per_block) {
+    stats.max_nnz = std::max(stats.max_nnz, c);
+    stats.min_nnz = std::min(stats.min_nnz, c);
+  }
+  stats.mean_nnz =
+      static_cast<double>(x.nnz()) / static_cast<double>(grid.size());
+  return stats;
+}
+
+BlockNnzStats count_block_nnz(const SparseTensor& x, const ProcessorGrid& grid,
+                              SparsePartitionScheme scheme) {
+  return count_block_nnz(x, grid,
+                         sparse_mode_partitions(x, grid.shape(), scheme));
+}
+
 }  // namespace mtk

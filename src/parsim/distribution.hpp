@@ -78,4 +78,27 @@ SparseDistribution distribute_nonzeros(const SparseTensor& x,
                                        const ProcessorGrid& grid,
                                        SparsePartitionScheme scheme);
 
+// Per-process nonzero counts for a coordinate-block partition, without
+// materializing the local tensors (one O(nnz log P) pass). Feeds the
+// planner's load-balance report and the scaling bench's imbalance columns.
+struct BlockNnzStats {
+  std::vector<index_t> per_block;  // [grid size], grid rank order
+  index_t max_nnz = 0;
+  index_t min_nnz = 0;
+  double mean_nnz = 0.0;
+  // Bottleneck-to-mean ratio (>= 1); 1.0 means perfectly balanced. The
+  // convention of Smith & Karypis' load-imbalance metric.
+  double imbalance() const { return mean_nnz > 0.0 ? max_nnz / mean_nnz : 1.0; }
+};
+
+// Counts the nonzeros of `x` falling in each process's coordinate block.
+// `mode_ranges[k]` must be contiguous partitions of [0, dim(k)) with
+// grid.extent(k) parts (the shape sparse_mode_partitions returns).
+BlockNnzStats count_block_nnz(const SparseTensor& x, const ProcessorGrid& grid,
+                              const std::vector<std::vector<Range>>& mode_ranges);
+
+// Convenience: partitions under `scheme`, then counts.
+BlockNnzStats count_block_nnz(const SparseTensor& x, const ProcessorGrid& grid,
+                              SparsePartitionScheme scheme);
+
 }  // namespace mtk

@@ -1,0 +1,171 @@
+#include "src/planner/plan_cache.hpp"
+
+#include <algorithm>
+
+namespace mtk {
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t state = 1469598103934665603ull;
+
+  void mix_bytes(const void* data, std::size_t len) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      state ^= bytes[i];
+      state *= 1099511628211ull;
+    }
+  }
+  void mix(std::uint64_t v) { mix_bytes(&v, sizeof v); }
+  void mix(double v) { mix_bytes(&v, sizeof v); }
+};
+
+}  // namespace
+
+std::uint64_t plan_cache_key(const StoredTensor& x, index_t rank,
+                             const PlannerOptions& opts) {
+  MTK_CHECK(!x.empty(), "plan_cache_key: empty tensor handle");
+  Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(x.format()));
+  for (index_t d : x.dims()) h.mix(static_cast<std::uint64_t>(d));
+  h.mix(static_cast<std::uint64_t>(rank));
+  h.mix(static_cast<std::uint64_t>(x.stored_values()));
+
+  // Nonzero-profile fingerprint: an evenly strided coordinate sample. COO
+  // storage is sorted, so the sample is deterministic for a given tensor.
+  if (x.format() == StorageFormat::kCoo) {
+    const SparseTensor& coo = x.as_coo();
+    const index_t samples = std::min<index_t>(coo.nnz(), 64);
+    if (samples > 0) {
+      const index_t stride = std::max<index_t>(coo.nnz() / samples, 1);
+      for (index_t s = 0; s < samples; ++s) {
+        const index_t q = std::min(s * stride, coo.nnz() - 1);
+        for (int k = 0; k < coo.order(); ++k) {
+          h.mix(static_cast<std::uint64_t>(coo.index(k, q)));
+        }
+      }
+    }
+  } else if (x.format() == StorageFormat::kCsf) {
+    // Mode order, per-level node counts, and a strided sample of each
+    // level's stored fiber indices: captures coordinate placement (not
+    // just the fiber-count profile) without an O(nnz) COO expansion.
+    const CsfTensor& csf = x.as_csf();
+    for (int mode : csf.mode_order()) {
+      h.mix(static_cast<std::uint64_t>(mode));
+    }
+    for (int level = 0; level < csf.order(); ++level) {
+      const std::vector<index_t>& fids = csf.fids(level);
+      const index_t nodes = static_cast<index_t>(fids.size());
+      h.mix(static_cast<std::uint64_t>(nodes));
+      const index_t samples = std::min<index_t>(nodes, 64);
+      if (samples == 0) continue;
+      const index_t stride = std::max<index_t>(nodes / samples, 1);
+      for (index_t s = 0; s < samples; ++s) {
+        const index_t q = std::min(s * stride, nodes - 1);
+        h.mix(static_cast<std::uint64_t>(fids[static_cast<std::size_t>(q)]));
+      }
+    }
+  }
+
+  h.mix(static_cast<std::uint64_t>(opts.procs));
+  h.mix(static_cast<std::uint64_t>(opts.mode));
+  h.mix(static_cast<std::uint64_t>(opts.workload));
+  h.mix(static_cast<std::uint64_t>(opts.consider_general));
+  h.mix(static_cast<std::uint64_t>(opts.consider_medium_grained));
+  h.mix(static_cast<std::uint64_t>(opts.top_k));
+  h.mix(static_cast<std::uint64_t>(opts.shortlist));
+  h.mix(static_cast<std::uint64_t>(opts.exact_rank_cap));
+  h.mix(opts.flop_word_ratio);
+  h.mix(static_cast<std::uint64_t>(opts.reuse_count));
+  return h.state;
+}
+
+bool PlanCache::KeyFields::operator==(const KeyFields& other) const {
+  return dims == other.dims && rank == other.rank &&
+         format == other.format && nnz == other.nnz &&
+         procs == other.procs && mode == other.mode &&
+         workload == other.workload &&
+         consider_general == other.consider_general &&
+         consider_medium_grained == other.consider_medium_grained &&
+         top_k == other.top_k && shortlist == other.shortlist &&
+         exact_rank_cap == other.exact_rank_cap &&
+         flop_word_ratio == other.flop_word_ratio &&
+         reuse_count == other.reuse_count;
+}
+
+PlanCache::KeyFields PlanCache::make_key_fields(const StoredTensor& x,
+                                                index_t rank,
+                                                const PlannerOptions& opts) {
+  KeyFields k;
+  k.dims = x.dims();
+  k.rank = rank;
+  k.format = x.format();
+  k.nnz = x.stored_values();
+  k.procs = opts.procs;
+  k.mode = opts.mode;
+  k.workload = opts.workload;
+  k.consider_general = opts.consider_general;
+  k.consider_medium_grained = opts.consider_medium_grained;
+  k.top_k = opts.top_k;
+  k.shortlist = opts.shortlist;
+  k.exact_rank_cap = opts.exact_rank_cap;
+  k.flop_word_ratio = opts.flop_word_ratio;
+  k.reuse_count = opts.reuse_count;
+  return k;
+}
+
+std::shared_ptr<const PlanReport> PlanCache::get_or_plan(
+    const StoredTensor& x, index_t rank, const PlannerOptions& opts) {
+  const std::uint64_t key = plan_cache_key(x, rank, opts);
+  KeyFields fields = make_key_fields(x, rank, opts);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end() && it->second.key == fields) {
+      ++hits_;
+      return it->second.report;
+    }
+  }
+  // Plan outside the lock: planning is the expensive part, and concurrent
+  // misses on the same key just race to insert identical reports. A hash
+  // slot whose stored fields mismatch (a cross-problem collision) is
+  // overwritten — correctness over retention.
+  auto report = std::make_shared<const PlanReport>(
+      plan_mttkrp(x, rank, opts));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  auto& entry = map_[key];
+  if (entry.report == nullptr || !(entry.key == fields)) {
+    entry = Entry{std::move(fields), std::move(report)};
+  }
+  return entry.report;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::size_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace mtk

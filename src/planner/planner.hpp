@@ -1,0 +1,110 @@
+// Communication-aware autotuning planner: given a tensor, a CP rank, and a
+// processor count, decide which parallel algorithm, storage backend,
+// processor grid, and sparse partition scheme to run — and report how far
+// the choice sits from the paper's parallel lower bounds.
+//
+// The search reuses the costmodel enumeration (every integer factorization
+// of P, Eq. (14)/(18) feasibility rules) to shortlist candidate grids by the
+// closed-form models, then re-scores the shortlist with the exact per-rank
+// predictor (src/planner/predict.hpp), which replays the simulator's
+// collective schedules word-for-word. Candidates are ranked by
+//
+//   score = predicted bottleneck words
+//         + flop_word_ratio * predicted bottleneck local flops,
+//
+// so the default (flop_word_ratio = 0) minimizes pure communication — the
+// paper's objective — while a positive ratio lets load balance justify the
+// medium-grained partition or the cheaper CSF kernel on skewed tensors.
+// Every plan carries its predicted words/messages, an optimality ratio
+// against bounds/parallel_bounds, and (for sparse input) the per-process
+// nonzero balance of its partition.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "src/bounds/parallel_bounds.hpp"
+#include "src/planner/predict.hpp"
+
+namespace mtk {
+
+enum class PlanWorkload {
+  kSingleMttkrp,  // one B^(n): Algorithm 3 vs Algorithm 4 candidates
+  kAllModes,      // every B^(n) at once: the all-modes driver's grids
+  kCpAls,         // repeated sweeps: stationary grids, per-iteration cost
+};
+
+const char* to_string(PlanWorkload workload);
+
+struct PlannerOptions {
+  int procs = 1;
+  int mode = 0;                   // output mode for kSingleMttkrp
+  PlanWorkload workload = PlanWorkload::kSingleMttkrp;
+  bool consider_general = true;   // Algorithm 4 candidates (kSingleMttkrp)
+  bool consider_medium_grained = true;  // sparse partition candidates
+  int top_k = 8;                  // ranked plans to keep
+  int shortlist = 16;             // closed-form survivors per algorithm
+  int exact_rank_cap = 1 << 15;   // per-rank replay cap (see predict.hpp)
+  // Machine balance: seconds-per-flop / seconds-per-word. 0 ranks by pure
+  // communication; ~1e-2 matches a node moving words ~100x slower than
+  // flops and makes nonzero balance matter on skewed tensors.
+  double flop_word_ratio = 0.0;
+  // MTTKRPs the plan will serve (CP-ALS: iterations x N). Amortizes the
+  // one-time CSF compression cost in the backend choice.
+  int reuse_count = 1;
+};
+
+struct ExecutionPlan {
+  ParAlgo algo = ParAlgo::kStationary;
+  StorageFormat backend = StorageFormat::kDense;
+  std::vector<int> grid;  // N extents (N+1 with P0 first for kGeneral)
+  SparsePartitionScheme scheme = SparsePartitionScheme::kBlock;
+  CommPrediction comm;     // per MTTKRP (per iteration for kCpAls)
+  double compute_flops = 0.0;  // bottleneck rank's modeled local flops
+  double score = 0.0;          // ranking objective (see header comment)
+  // Best proved bound on one MTTKRP's bottleneck words (sent+received) and
+  // the plan's predicted-words ratio against it, normalized to a
+  // per-MTTKRP share so it is comparable across workloads: kCpAls divides
+  // its iteration's MTTKRP traffic (Gram All-Reduces excluded — they are
+  // extra relative to the paper's single-MTTKRP analyses) over the N
+  // per-mode sweeps, kAllModes its combined traffic over the N outputs.
+  double lower_bound = 0.0;
+  double optimality_ratio = 0.0;
+  // Per-process nonzero balance of this plan's partition (sparse input
+  // with available coordinates only; per_block left empty otherwise).
+  BlockNnzStats nnz_stats;
+};
+
+struct PlanReport {
+  shape_t dims;
+  index_t rank = 0;
+  int procs = 1;
+  StorageFormat input_format = StorageFormat::kDense;
+  index_t nnz = 0;
+  std::vector<ExecutionPlan> ranked;  // best first; never empty
+
+  const ExecutionPlan& best() const {
+    MTK_CHECK(!ranked.empty(), "plan report is empty");
+    return ranked.front();
+  }
+};
+
+// Plans against the actual tensor: medium-grained boundaries, Algorithm 4
+// fiber tuples, and nonzero-balance stats all use the real coordinates.
+// Throws if no feasible grid exists (e.g. P exceeds every feasible
+// factorization under the P_k <= I_k rules).
+PlanReport plan_mttkrp(const StoredTensor& x, index_t rank,
+                       const PlannerOptions& opts);
+
+// Model-only planning from the problem shape (no nonzero structure):
+// sparse predictions assume balanced nonzeros. For what-if studies at
+// processor counts too large to simulate.
+PlanReport plan_mttkrp_model(const shape_t& dims, index_t rank,
+                             StorageFormat format, index_t nnz,
+                             const PlannerOptions& opts);
+
+// Prints the ranked plans as an aligned table with the prediction
+// breakdown, optimality ratios, and nonzero-balance columns.
+void print_plan_report(const PlanReport& report, std::FILE* out);
+
+}  // namespace mtk

@@ -1,0 +1,78 @@
+// Unified communication predictor for the simulated parallel MTTKRP
+// algorithms: one entry point covering Algorithm 3 (stationary), Algorithm 4
+// (general), and the all-modes variant, over every storage format and both
+// sparse partition schemes.
+//
+// The predictor replays the ring-collective schedules at the counter level —
+// for a bucket All-Gather of W words over q members, the member at group
+// position i moves 2W - c_i - c_{(i+1) mod q} words (sent plus received,
+// where c_j are the flat chunk sizes); for a Reduce-Scatter it moves
+// 2W - c_i - c_{(i-1) mod q}. Accumulating those closed forms per rank gives
+// predictions that match the simulator's Machine counters *word for word*,
+// including the nnz-aware Algorithm 4 tensor gather (the Eq. (18) analogue
+// with nonzero terms: N+1 words per nonzero of each P0-fiber's block).
+// Above `exact_rank_cap` ranks the per-rank replay is skipped and a balanced
+// closed-form estimate (2x Eqs. (14)/(18), sent+received) is returned with
+// `exact = false`.
+#pragma once
+
+#include <vector>
+
+#include "src/mttkrp/dispatch.hpp"
+#include "src/parsim/distribution.hpp"
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+enum class ParAlgo { kStationary, kGeneral, kAllModes };
+
+const char* to_string(ParAlgo algo);
+
+struct CommPrediction {
+  double words = 0.0;         // bottleneck rank's sent + received
+  double messages = 0.0;      // the same rank's sent message count
+  double tensor_words = 0.0;  // share from the Algorithm 4 tensor All-Gather
+  double factor_words = 0.0;  // share from the factor All-Gathers
+  double output_words = 0.0;  // share from the output Reduce-Scatters
+  double gram_words = 0.0;    // share from Gram All-Reduces (CP-ALS only)
+  // True when the per-rank replay ran (prediction matches the simulator's
+  // counters exactly); false for the balanced closed-form estimate.
+  bool exact = false;
+};
+
+// Problem description the predictor consumes. `coo` optionally carries the
+// nonzero structure (borrowed; may be null): with it the predictor places
+// medium-grained boundaries and counts each Algorithm 4 fiber block's
+// tuples exactly; without it sparse predictions assume balanced nonzeros.
+struct PredictProblem {
+  shape_t dims;
+  index_t rank = 0;
+  StorageFormat format = StorageFormat::kDense;
+  index_t nnz = 0;                    // stored values (dense: prod(dims))
+  const SparseTensor* coo = nullptr;
+};
+
+// Builds a PredictProblem from a stored tensor. For CSF input the COO
+// expansion lands in `scratch`, which must outlive the returned problem.
+PredictProblem make_predict_problem(const StoredTensor& x, index_t rank,
+                                    SparseTensor& scratch);
+
+// Bottleneck communication of one MTTKRP. `grid` has N entries for
+// kStationary/kAllModes and N+1 (P0 first) for kGeneral; `mode` is the
+// output mode (ignored by kAllModes, which produces every mode).
+CommPrediction predict_mttkrp_comm(const PredictProblem& p, ParAlgo algo,
+                                   const std::vector<int>& grid, int mode,
+                                   SparsePartitionScheme scheme =
+                                       SparsePartitionScheme::kBlock,
+                                   int exact_rank_cap = 1 << 15);
+
+// One par_cp_als iteration on an N-way grid: N stationary MTTKRPs (one per
+// output mode) plus N machine-wide R^2 Gram All-Reduces, accumulated per
+// rank so the bottleneck is taken over the iteration's total.
+CommPrediction predict_cp_als_iteration(const PredictProblem& p,
+                                        const std::vector<int>& grid,
+                                        SparsePartitionScheme scheme =
+                                            SparsePartitionScheme::kBlock,
+                                        int exact_rank_cap = 1 << 15);
+
+}  // namespace mtk

@@ -187,4 +187,52 @@ SparseTensor SparseTensor::random_sparse(const shape_t& dims, double density,
   return s;
 }
 
+SparseTensor SparseTensor::random_sparse_skewed(const shape_t& dims,
+                                                double density, double skew,
+                                                Rng& rng) {
+  check_shape(dims);
+  MTK_CHECK(density > 0.0 && density <= 1.0, "density must be in (0, 1], got ",
+            density);
+  MTK_CHECK(skew >= 0.0, "skew must be >= 0, got ", skew);
+  const index_t total = shape_size(dims);
+  const index_t target =
+      std::max<index_t>(1, static_cast<index_t>(std::llround(
+                               density * static_cast<double>(total))));
+
+  // Per-mode cumulative weights for inverse-CDF sampling of the power law.
+  std::vector<std::vector<double>> cumulative(dims.size());
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    cumulative[k].reserve(static_cast<std::size_t>(dims[k]));
+    double sum = 0.0;
+    for (index_t i = 0; i < dims[k]; ++i) {
+      sum += std::pow(static_cast<double>(i + 1), -skew);
+      cumulative[k].push_back(sum);
+    }
+  }
+
+  SparseTensor s(dims);
+  multi_index_t idx(dims.size());
+  for (index_t q = 0; q < target; ++q) {
+    for (std::size_t k = 0; k < dims.size(); ++k) {
+      const std::vector<double>& cum = cumulative[k];
+      const double u = rng.uniform(0.0, cum.back());
+      idx[k] = static_cast<index_t>(
+          std::upper_bound(cum.begin(), cum.end(), u) - cum.begin());
+      if (idx[k] >= dims[k]) idx[k] = dims[k] - 1;  // u == cum.back() edge
+    }
+    double v = rng.normal();
+    if (v == 0.0) v = 1.0;
+    s.push_back(idx, v);
+  }
+  s.sort_and_dedup();
+  // Summed collisions can cancel to exactly zero and be dropped; keep the
+  // tensor non-empty for downstream kernels.
+  if (s.nnz() == 0) {
+    idx.assign(dims.size(), 0);
+    s.push_back(idx, 1.0);
+    s.sort_and_dedup();
+  }
+  return s;
+}
+
 }  // namespace mtk

@@ -71,6 +71,15 @@ class SparseTensor {
   static SparseTensor random_sparse(const shape_t& dims, double density,
                                     Rng& rng);
 
+  // FROSTT-like synthetic tensor: each mode-k coordinate is drawn with
+  // probability proportional to 1/(i+1)^skew, so skew = 0 is uniform and
+  // larger values concentrate nonzeros near low indices (the hub-and-tail
+  // slice profile of real datasets). Coordinate collisions are summed by
+  // sort_and_dedup, so at high skew the final nnz can land below the
+  // ~density * prod(dims) target. Deterministic given the Rng.
+  static SparseTensor random_sparse_skewed(const shape_t& dims, double density,
+                                           double skew, Rng& rng);
+
  private:
   shape_t dims_;
   std::vector<std::vector<index_t>> indices_;  // [order][nnz]

@@ -10,7 +10,11 @@
 //              [--memory 32768] [--trace] [--seed 7]
 //   mttkrp_cli --tns tensor.tns --backend csf --rank 16 --procs 64
 //   mttkrp_cli --tns tensor.tns --backend coo --rank 8 --procs 8 --cp-als
+//   mttkrp_cli --tns tensor.tns --rank 8 --procs 16 --plan      # ranked plans
+//   mttkrp_cli --tns tensor.tns --rank 8 --procs 16 --autotune  # plan + run
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -71,6 +75,7 @@ int usage(const char* argv0) {
       "usage: %s (--dims I1,I2,... | --tns FILE) --rank R [--mode n]\n"
       "          [--backend dense|coo|csf] [--algo A] [--density d]\n"
       "          [--procs P] [--grid P1,P2,...] [--scheme block|medium]\n"
+      "          [--plan] [--autotune] [--flop-word-ratio F]\n"
       "          [--cp-als] [--iters N] [--tol T] [--save-tns FILE]\n"
       "          [--memory M] [--trace] [--seed S]\n"
       "  --dims     tensor dimensions for a random problem, comma separated\n"
@@ -84,6 +89,14 @@ int usage(const char* argv0) {
       "  --procs    simulate the parallel algorithm on P processors\n"
       "  --grid     explicit N-way processor grid (default: Eq.(14)-optimal)\n"
       "  --scheme   sparse partition: block|medium, default block\n"
+      "  --plan     print the planner's ranked execution plans and exit\n"
+      "             (needs --procs)\n"
+      "  --autotune let the planner pick algorithm/backend/grid/scheme for\n"
+      "             --procs processors, run the choice, and report the\n"
+      "             predicted vs simulated traffic and the optimality ratio\n"
+      "             vs the parallel lower bound\n"
+      "  --flop-word-ratio  planner machine balance (seconds-per-flop over\n"
+      "             seconds-per-word), default 0 = communication only\n"
       "  --cp-als   run a full CP-ALS decomposition (par_cp_als with\n"
       "             --procs, sequential cp_als otherwise)\n"
       "  --iters    CP-ALS max iterations, default 20\n"
@@ -124,6 +137,9 @@ int main(int argc, char** argv) {
   std::vector<int> grid;
   SparsePartitionScheme scheme = SparsePartitionScheme::kBlock;
   bool cp_als_run = false;
+  bool plan_only = false;
+  bool autotune = false;
+  double flop_word_ratio = 0.0;
   int iters = 20;
   double tol = 1e-6;
   index_t memory = index_t{1} << 20;
@@ -162,6 +178,12 @@ int main(int argc, char** argv) {
         scheme = parse_scheme(next());
       } else if (arg == "--cp-als") {
         cp_als_run = true;
+      } else if (arg == "--plan") {
+        plan_only = true;
+      } else if (arg == "--autotune") {
+        autotune = true;
+      } else if (arg == "--flop-word-ratio") {
+        flop_word_ratio = std::stod(next());
       } else if (arg == "--iters") {
         iters = std::stoi(next());
       } else if (arg == "--tol") {
@@ -227,20 +249,51 @@ int main(int argc, char** argv) {
                 x.order(), static_cast<long long>(x.stored_values()),
                 to_string(backend));
 
+    MTK_CHECK(!(plan_only || autotune) || procs > 0,
+              "--plan/--autotune need --procs (or --grid)");
+    PlannerOptions popts;
+    popts.procs = procs;
+    popts.mode = mode;
+    popts.workload = cp_als_run ? PlanWorkload::kCpAls
+                                : PlanWorkload::kSingleMttkrp;
+    popts.flop_word_ratio = flop_word_ratio;
+    if (cp_als_run) popts.reuse_count = std::max(1, iters) * x.order();
+
+    if (plan_only) {
+      const PlanReport report = plan_mttkrp(x, rank, popts);
+      print_plan_report(report, stdout);
+      return 0;
+    }
+
     if (cp_als_run && procs > 0) {
       ParCpAlsOptions opts;
       opts.rank = rank;
       opts.max_iterations = iters;
       opts.tolerance = tol;
-      opts.grid = grid.empty() ? default_grid(dims, rank, procs) : grid;
+      opts.grid = grid;
+      if (!autotune && opts.grid.empty()) {
+        opts.grid = default_grid(dims, rank, procs);
+      }
       opts.seed = seed;
       opts.partition = scheme;
+      opts.autotune = autotune;
+      opts.procs = procs;
+      opts.flop_word_ratio = flop_word_ratio;
       const auto start = std::chrono::steady_clock::now();
       const ParCpAlsResult r = par_cp_als(x, opts);
       const auto stop = std::chrono::steady_clock::now();
       std::printf("par_cp_als     : P = %d, grid =", procs);
-      for (int e : opts.grid) std::printf(" %d", e);
-      std::printf(", scheme = %s\n", to_string(scheme));
+      for (int e : (r.autotuned ? r.plan.grid : opts.grid)) {
+        std::printf(" %d", e);
+      }
+      std::printf(", scheme = %s\n",
+                  to_string(r.autotuned ? r.plan.scheme : scheme));
+      if (r.autotuned) {
+        std::printf("autotuned      : backend %s, predicted %.0f words per "
+                    "iteration, %.2fx above the per-MTTKRP lower bound\n",
+                    to_string(r.plan.backend), r.plan.comm.words,
+                    r.plan.optimality_ratio);
+      }
       std::printf("iterations     : %d (%s)\n", r.iterations,
                   r.converged ? "converged" : "max iterations");
       std::printf("final fit      : %.6f\n", r.final_fit);
@@ -279,6 +332,58 @@ int main(int argc, char** argv) {
     std::vector<Matrix> factors;
     for (index_t d : dims) {
       factors.push_back(Matrix::random_normal(d, rank, rng));
+    }
+
+    if (autotune) {
+      const PlanReport report = plan_mttkrp(x, rank, popts);
+      const ExecutionPlan& plan = report.best();
+      print_plan_report(report, stdout);
+
+      // Materialize the planned backend (sparse formats convert once).
+      StoredTensor x_run = x;
+      CsfTensor csf_planned;
+      if (plan.backend != backend) {
+        if (plan.backend == StorageFormat::kCsf) {
+          csf_planned = CsfTensor::from_coo(coo);
+          x_run = StoredTensor::csf_view(csf_planned);
+        } else if (plan.backend == StorageFormat::kCoo) {
+          x_run = StoredTensor::coo_view(coo);
+        }
+      }
+
+      Machine machine(procs);
+      const auto start = std::chrono::steady_clock::now();
+      const ParMttkrpResult r =
+          plan.algo == ParAlgo::kGeneral
+              ? par_mttkrp_general(machine, x_run, factors, mode, plan.grid,
+                                   CollectiveKind::kBucket, plan.scheme)
+              : par_mttkrp_stationary(machine, x_run, factors, mode,
+                                      plan.grid, CollectiveKind::kBucket,
+                                      plan.scheme);
+      const auto stop = std::chrono::steady_clock::now();
+
+      ParProblem lb;
+      lb.dims = dims;
+      lb.rank = rank;
+      lb.procs = procs;
+      const double simulated = static_cast<double>(r.max_words_moved);
+      std::printf("autotuned run  : %s on %s backend\n", to_string(plan.algo),
+                  to_string(plan.backend));
+      std::printf("words moved    : %.0f predicted, %.0f simulated "
+                  "(bottleneck)\n", plan.comm.words, simulated);
+      std::printf("optimality     : %.2fx predicted, %.2fx simulated vs "
+                  "lower bound %.0f\n", plan.optimality_ratio,
+                  par_optimality_ratio(simulated, lb), plan.lower_bound);
+      std::printf("wall time      : %.2f ms\n",
+                  std::chrono::duration<double, std::milli>(stop - start)
+                      .count());
+      // The planner's replay must track the simulator: require agreement
+      // within 10% (the prediction is word-exact in practice).
+      const bool within = std::abs(simulated - plan.comm.words) <=
+                          0.10 * std::max(simulated, 1.0);
+      std::printf("prediction     : %s (within 10%%)\n",
+                  within ? "OK" : "FAIL");
+      return within ? 0 : 3;
     }
 
     if (procs > 0) {
