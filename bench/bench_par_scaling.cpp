@@ -14,6 +14,7 @@
 // partition removes.
 #include <cstdio>
 
+#include "bench/bench_telemetry.hpp"
 #include "src/bounds/parallel_bounds.hpp"
 #include "src/costmodel/grid_search.hpp"
 #include "src/mttkrp/dispatch.hpp"
@@ -34,7 +35,9 @@ std::vector<int> to_int_grid(const std::vector<index_t>& grid) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mtk_bench::Telemetry tele(argc, argv);
+  std::FILE* out = tele.table();
   const shape_t dims{32, 32, 32};
   const index_t rank = 16;
   const int mode = 0;
@@ -49,11 +52,11 @@ int main() {
   cp.dims = dims;
   cp.rank = rank;
 
-  std::printf("=== Measured strong scaling on the simulated machine ===\n");
-  std::printf("dims = 32^3, R = 16, mode = 0; words = bottleneck rank's "
+  std::fprintf(out, "=== Measured strong scaling on the simulated machine ===\n");
+  std::fprintf(out, "dims = 32^3, R = 16, mode = 0; words = bottleneck rank's "
               "sent+received\n\n");
-  std::printf("%-6s %10s %10s %10s %10s %10s %10s %8s\n", "P", "alg3",
-              "eq14x2", "alg4", "eq18x2", "naive1D", "lowerbnd", "ok?");
+  std::fprintf(out, "%-6s %10s %10s %10s %10s %10s %10s %8s\n", "P", "alg3",
+               "eq14x2", "alg4", "eq18x2", "naive1D", "lowerbnd", "ok?");
 
   for (int p = 1; p <= 4096; p *= 4) {
     // Algorithm 3 with the Eq. (14)-optimal grid.
@@ -88,19 +91,31 @@ int main() {
         static_cast<double>(r3.max_words_moved) >= bound &&
         static_cast<double>(r4.max_words_moved) >= bound;
 
-    std::printf("%-6d %10lld %10.0f %10lld %10.0f %10lld %10.0f %8s\n", p,
-                static_cast<long long>(r3.max_words_moved),
-                2.0 * stationary_comm_cost(cp, stat.grid),
-                static_cast<long long>(r4.max_words_moved),
-                2.0 * general_comm_cost(cp, gen.grid),
-                static_cast<long long>(naive.max_words_moved), bound,
-                correct ? "yes" : "NO");
+    std::fprintf(out, "%-6d %10lld %10.0f %10lld %10.0f %10lld %10.0f %8s\n",
+                 p, static_cast<long long>(r3.max_words_moved),
+                 2.0 * stationary_comm_cost(cp, stat.grid),
+                 static_cast<long long>(r4.max_words_moved),
+                 2.0 * general_comm_cost(cp, gen.grid),
+                 static_cast<long long>(naive.max_words_moved), bound,
+                 correct ? "yes" : "NO");
+    tele.add("par_scaling/dense/P:" + std::to_string(p),
+             {{"alg3_words", static_cast<double>(r3.max_words_moved)},
+              {"alg3_messages", static_cast<double>(r3.max_messages)},
+              {"eq14_x2", 2.0 * stationary_comm_cost(cp, stat.grid)},
+              {"alg4_words", static_cast<double>(r4.max_words_moved)},
+              {"alg4_messages", static_cast<double>(r4.max_messages)},
+              {"eq18_x2", 2.0 * general_comm_cost(cp, gen.grid)},
+              {"naive1d_words",
+               static_cast<double>(naive.max_words_moved)},
+              {"lower_bound", bound},
+              {"correct", correct ? 1.0 : 0.0}});
   }
 
-  std::printf("\nReading: alg3/alg4 are measured; eq14x2/eq18x2 are the\n"
-              "model (x2 converts sent-words to sent+received); both\n"
-              "algorithms verify bit-consistent results, always beat the\n"
-              "naive 1D distribution, and never go below the lower bound.\n");
+  std::fprintf(out,
+               "\nReading: alg3/alg4 are measured; eq14x2/eq18x2 are the\n"
+               "model (x2 converts sent-words to sent+received); both\n"
+               "algorithms verify bit-consistent results, always beat the\n"
+               "naive 1D distribution, and never go below the lower bound.\n");
 
   // -------------------------------------------------------------------------
   // Sparse strong scaling: same harness, COO and CSF backends.
@@ -116,14 +131,17 @@ int main() {
   const StoredTensor x_coo = StoredTensor::coo_view(coo);
   const StoredTensor x_csf = StoredTensor::csf_view(csf);
 
-  std::printf("\n=== Sparse strong scaling (nnz = %lld, density = %.3f) ===\n",
-              static_cast<long long>(coo.nnz()), density);
-  std::printf("words are identical across backends under the block scheme;\n"
-              "medium = bottleneck words under the nonzero-balanced\n"
-              "(medium-grained) partition. imb = max/mean nnz per rank for\n"
-              "each partition (1.00 = perfectly balanced compute)\n\n");
-  std::printf("%-6s %10s %10s %10s %10s %9s %9s %8s\n", "P", "dense", "coo",
-              "csf", "medium", "blk-imb", "med-imb", "ok?");
+  std::fprintf(out,
+               "\n=== Sparse strong scaling (nnz = %lld, density = %.3f) "
+               "===\n",
+               static_cast<long long>(coo.nnz()), density);
+  std::fprintf(out,
+               "words are identical across backends under the block scheme;\n"
+               "medium = bottleneck words under the nonzero-balanced\n"
+               "(medium-grained) partition. imb = max/mean nnz per rank for\n"
+               "each partition (1.00 = perfectly balanced compute)\n\n");
+  std::fprintf(out, "%-6s %10s %10s %10s %10s %9s %9s %8s\n", "P", "dense",
+               "coo", "csf", "medium", "blk-imb", "med-imb", "ok?");
   for (int p = 1; p <= 4096; p *= 4) {
     const GridSearchResult stat = optimal_stationary_grid(cp, p);
     const std::vector<int> g = to_int_grid(stat.grid);
@@ -147,15 +165,24 @@ int main() {
                          max_abs_diff(rm.b, sparse_ref) < 1e-8 &&
                          rc.max_words_moved == rd.max_words_moved &&
                          rf.max_words_moved == rd.max_words_moved;
-    std::printf("%-6d %10lld %10lld %10lld %10lld %8.2fx %8.2fx %8s\n", p,
-                static_cast<long long>(rd.max_words_moved),
-                static_cast<long long>(rc.max_words_moved),
-                static_cast<long long>(rf.max_words_moved),
-                static_cast<long long>(rm.max_words_moved),
-                blk.imbalance(), med.imbalance(), correct ? "yes" : "NO");
+    std::fprintf(out, "%-6d %10lld %10lld %10lld %10lld %8.2fx %8.2fx %8s\n",
+                 p, static_cast<long long>(rd.max_words_moved),
+                 static_cast<long long>(rc.max_words_moved),
+                 static_cast<long long>(rf.max_words_moved),
+                 static_cast<long long>(rm.max_words_moved),
+                 blk.imbalance(), med.imbalance(), correct ? "yes" : "NO");
+    tele.add("par_scaling/sparse/P:" + std::to_string(p),
+             {{"dense_words", static_cast<double>(rd.max_words_moved)},
+              {"coo_words", static_cast<double>(rc.max_words_moved)},
+              {"csf_words", static_cast<double>(rf.max_words_moved)},
+              {"medium_words", static_cast<double>(rm.max_words_moved)},
+              {"block_imbalance", blk.imbalance()},
+              {"medium_imbalance", med.imbalance()},
+              {"correct", correct ? 1.0 : 0.0}});
   }
-  std::printf("\nmax/mean nnz per rank (bottleneck compute): block vs\n"
-              "medium-grained across the sweep; the medium partition holds\n"
-              "the compute imbalance near 1 as P grows.\n");
-  return 0;
+  std::fprintf(out,
+               "\nmax/mean nnz per rank (bottleneck compute): block vs\n"
+               "medium-grained across the sweep; the medium partition holds\n"
+               "the compute imbalance near 1 as P grows.\n");
+  return tele.flush() ? 0 : 2;
 }

@@ -1,0 +1,104 @@
+// Minimal google-benchmark-compatible JSON telemetry for the custom-main
+// benches (bench_planner, bench_par_scaling drive their own sweeps instead
+// of benchmark's timing loop, so they cannot use its reporter directly).
+//
+// Honors the same flags the library would:
+//   --benchmark_format=json          emit JSON instead of the human table
+//   --benchmark_out=FILE             write the JSON to FILE
+//   --benchmark_out_format=json      accepted (only json is supported)
+//
+// Emitted shape mirrors benchmark's JSON — a "context" object and a
+// "benchmarks" array whose entries carry custom counters — so downstream
+// tooling (CI artifact diffing, perf-trajectory plots) can consume
+// BENCH_*.json from these benches and from real google-benchmark binaries
+// uniformly. In JSON mode the human tables are routed to stderr so stdout
+// stays machine-parseable.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mtk_bench {
+
+class Telemetry {
+ public:
+  Telemetry(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--benchmark_format=json") == 0) {
+        json_ = true;
+      } else if (std::strncmp(arg, "--benchmark_out=", 16) == 0) {
+        out_path_ = arg + 16;
+      } else if (std::strncmp(arg, "--benchmark_out_format=", 23) == 0) {
+        // only json is supported; accept and ignore
+      }
+    }
+    if (argc >= 1) executable_ = argv[0];
+  }
+
+  // Human-readable tables go here: stdout normally, stderr when stdout is
+  // reserved for JSON.
+  std::FILE* table() const {
+    return json_ && out_path_.empty() ? stderr : stdout;
+  }
+
+  void add(std::string name,
+           std::vector<std::pair<std::string, double>> counters) {
+    rows_.push_back({std::move(name), std::move(counters)});
+  }
+
+  // Writes the JSON report (when requested). Returns false if an output
+  // file was requested but could not be written.
+  bool flush() const {
+    if (!json_ && out_path_.empty()) return true;
+    std::FILE* out = stdout;
+    if (!out_path_.empty()) {
+      out = std::fopen(out_path_.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_path_.c_str());
+        return false;
+      }
+    }
+    std::fprintf(out, "{\n  \"context\": {\n");
+    std::fprintf(out, "    \"executable\": \"%s\",\n", executable_.c_str());
+    std::fprintf(out,
+                 "    \"caveat\": \"simulated-machine counters, not wall "
+                 "time\"\n  },\n");
+    std::fprintf(out, "  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(out, "    {\n      \"name\": \"%s\",\n",
+                   row.name.c_str());
+      std::fprintf(out, "      \"run_name\": \"%s\",\n", row.name.c_str());
+      std::fprintf(out, "      \"run_type\": \"iteration\",\n");
+      std::fprintf(out, "      \"iterations\": 1,\n");
+      std::fprintf(out, "      \"real_time\": 0.0,\n");
+      std::fprintf(out, "      \"cpu_time\": 0.0,\n");
+      std::fprintf(out, "      \"time_unit\": \"ns\"");
+      for (const auto& [key, value] : row.counters) {
+        std::fprintf(out, ",\n      \"%s\": %.17g", key.c_str(), value);
+      }
+      std::fprintf(out, "\n    }%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    const bool ok = std::ferror(out) == 0;
+    if (out != stdout) std::fclose(out);
+    return ok;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  bool json_ = false;
+  std::string out_path_;
+  std::string executable_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mtk_bench

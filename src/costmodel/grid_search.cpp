@@ -4,6 +4,7 @@
 
 #include "src/support/check.hpp"
 #include "src/support/index.hpp"
+#include "src/support/math_util.hpp"
 
 namespace mtk {
 
@@ -198,6 +199,39 @@ GridSearchResult optimal_general_grid_sparse(const CostProblem& p, index_t nnz,
       [&](const std::vector<index_t>& g) {
         return general_comm_cost_sparse(p, nnz, g);
       });
+}
+
+double collective_rounds_model(double group_size, bool recursive) {
+  if (group_size <= 1.0) return 0.0;
+  const index_t q = static_cast<index_t>(group_size + 0.5);
+  if (recursive && is_pow2(q)) {
+    return static_cast<double>(ilog2(q));  // same count parsim's
+                                           // collective_rounds uses
+  }
+  return group_size - 1.0;
+}
+
+double stationary_msg_cost(const std::vector<index_t>& grid, bool recursive) {
+  double procs = 1.0;
+  for (index_t e : grid) procs *= static_cast<double>(e);
+  double msgs = 0.0;
+  for (index_t e : grid) {
+    msgs += collective_rounds_model(procs / static_cast<double>(e), recursive);
+  }
+  return msgs;
+}
+
+double general_msg_cost(const std::vector<index_t>& grid, bool recursive) {
+  MTK_CHECK(grid.size() >= 2, "general grid needs at least (P0, P1)");
+  double procs = 1.0;
+  for (index_t e : grid) procs *= static_cast<double>(e);
+  const double p0 = static_cast<double>(grid[0]);
+  double msgs = collective_rounds_model(p0, recursive);
+  for (std::size_t k = 1; k < grid.size(); ++k) {
+    msgs += collective_rounds_model(
+        procs / (p0 * static_cast<double>(grid[k])), recursive);
+  }
+  return msgs;
 }
 
 }  // namespace mtk

@@ -75,4 +75,27 @@ GridSearchResult optimal_general_grid(const CostProblem& p, index_t procs);
 GridSearchResult optimal_general_grid_sparse(const CostProblem& p, index_t nnz,
                                              index_t procs);
 
+// ---------------------------------------------------------------------------
+// α-β latency terms. The Eq. (14)/(18) expressions above are the β (word)
+// side of the cost; these are the matching α (message-count) side, which is
+// what the bucket vs. recursive collective schedules actually trade: a
+// bucket ring over a group of q members takes q-1 rounds per member, the
+// recursive doubling/halving schedules log2(q) rounds when q is a power of
+// two (they fall back to the ring — same count — otherwise).
+
+// Rounds one collective costs each member under the closed-form model.
+double collective_rounds_model(double group_size, bool recursive);
+
+// Algorithm 3 per-MTTKRP message count for an N-way grid: one collective
+// per mode (N-1 factor All-Gathers + 1 output Reduce-Scatter), each within
+// a hyperslice of P/P_k members — mode-independent, so the sum runs over
+// all modes. The all-modes driver pays the sum twice (every factor gathered
+// AND every mode reduce-scattered).
+double stationary_msg_cost(const std::vector<index_t>& grid, bool recursive);
+
+// Algorithm 4 message count for an (N+1)-way grid (P0 first): the tensor
+// All-Gather across the P0-fiber plus one collective per mode within groups
+// of P/(P0 P_k) members.
+double general_msg_cost(const std::vector<index_t>& grid, bool recursive);
+
 }  // namespace mtk

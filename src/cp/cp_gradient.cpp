@@ -44,15 +44,17 @@ CpGradResult cp_gradient_descent(const CsfTensor& x,
   return cp_gradient_descent(StoredTensor::csf_view(x), opts);
 }
 
-CpGradResult cp_gradient_descent(const StoredTensor& x,
-                                 const CpGradOptions& opts) {
-  const int n = x.order();
+CpGradResult cp_gradient_descent_core(const shape_t& dims, double norm_x,
+                                      const CpGradOptions& opts,
+                                      const GradEvalFn& evaluate) {
+  const int n = static_cast<int>(dims.size());
   MTK_CHECK(n >= 2, "cp_gradient_descent requires an order >= 2 tensor");
   MTK_CHECK(opts.rank >= 1, "cp rank must be >= 1, got ", opts.rank);
   MTK_CHECK(opts.max_iterations >= 1, "need at least one iteration");
   MTK_CHECK(opts.initial_step > 0.0 && opts.backtrack > 0.0 &&
                 opts.backtrack < 1.0 && opts.armijo > 0.0,
             "invalid line-search parameters");
+  MTK_CHECK(norm_x > 0.0, "input tensor is identically zero");
 
   Rng rng(opts.seed);
   CpGradResult result;
@@ -60,21 +62,18 @@ CpGradResult cp_gradient_descent(const StoredTensor& x,
   for (int k = 0; k < n; ++k) {
     // Small magnitudes keep the initial model norm below the data norm,
     // which keeps the first line searches well-behaved.
-    result.model.factors.push_back(
-        Matrix::random_uniform(x.dim(k), opts.rank, rng, 0.0, 0.5));
+    result.model.factors.push_back(Matrix::random_uniform(
+        dims[static_cast<std::size_t>(k)], opts.rank, rng, 0.0, 0.5));
   }
   result.model.lambda.assign(static_cast<std::size_t>(opts.rank), 1.0);
   const std::vector<double> ones(static_cast<std::size_t>(opts.rank), 1.0);
 
-  const double norm_x = x.frobenius_norm();
-  MTK_CHECK(norm_x > 0.0, "input tensor is identically zero");
   const double norm_x_sq = norm_x * norm_x;
 
   std::vector<Matrix>& factors = result.model.factors;
-  std::vector<Matrix> grams = compute_grams(factors);
-  AllModesResult mttkrps = mttkrp_all_modes(x, factors);
+  GradEval eval = evaluate(factors);
   double objective = objective_value(
-      norm_x_sq, grams, mttkrps.outputs[static_cast<std::size_t>(n - 1)],
+      norm_x_sq, eval.grams, eval.mttkrps[static_cast<std::size_t>(n - 1)],
       factors[static_cast<std::size_t>(n - 1)], ones);
 
   double step = opts.initial_step;
@@ -89,15 +88,15 @@ CpGradResult cp_gradient_descent(const StoredTensor& x,
       for (int k = 0; k < n; ++k) {
         if (k == mode) continue;
         if (first) {
-          gamma = grams[static_cast<std::size_t>(k)];
+          gamma = eval.grams[static_cast<std::size_t>(k)];
           first = false;
         } else {
-          hadamard_inplace(gamma, grams[static_cast<std::size_t>(k)]);
+          hadamard_inplace(gamma, eval.grams[static_cast<std::size_t>(k)]);
         }
       }
-      Matrix g(x.dim(mode), opts.rank);
+      Matrix g(dims[static_cast<std::size_t>(mode)], opts.rank);
       gemm(factors[static_cast<std::size_t>(mode)], gamma, g);
-      const Matrix& b = mttkrps.outputs[static_cast<std::size_t>(mode)];
+      const Matrix& b = eval.mttkrps[static_cast<std::size_t>(mode)];
       for (index_t i = 0; i < g.rows(); ++i) {
         double* grow = g.row(i);
         const double* brow = b.row(i);
@@ -128,17 +127,15 @@ CpGradResult cp_gradient_descent(const StoredTensor& x,
           }
         }
       }
-      const std::vector<Matrix> trial_grams = compute_grams(trial);
-      AllModesResult trial_mttkrps = mttkrp_all_modes(x, trial);
+      GradEval trial_eval = evaluate(trial);
       const double trial_obj = objective_value(
-          norm_x_sq, trial_grams,
-          trial_mttkrps.outputs[static_cast<std::size_t>(n - 1)],
+          norm_x_sq, trial_eval.grams,
+          trial_eval.mttkrps[static_cast<std::size_t>(n - 1)],
           trial[static_cast<std::size_t>(n - 1)], ones);
       if (trial_obj <=
           objective - opts.armijo * trial_step * grad_norm_sq) {
         factors = trial;
-        grams = trial_grams;
-        mttkrps = std::move(trial_mttkrps);
+        eval = std::move(trial_eval);
         objective = trial_obj;
         accepted = true;
         break;
@@ -163,6 +160,18 @@ CpGradResult cp_gradient_descent(const StoredTensor& x,
 
   result.final_fit = 1.0 - std::sqrt(std::max(0.0, 2.0 * objective)) / norm_x;
   return result;
+}
+
+CpGradResult cp_gradient_descent(const StoredTensor& x,
+                                 const CpGradOptions& opts) {
+  return cp_gradient_descent_core(
+      x.dims(), x.frobenius_norm(), opts,
+      [&](const std::vector<Matrix>& factors) {
+        GradEval eval;
+        eval.grams = compute_grams(factors);
+        eval.mttkrps = mttkrp_all_modes(x, factors).outputs;
+        return eval;
+      });
 }
 
 }  // namespace mtk

@@ -14,6 +14,8 @@
 // and robust; the point is the kernel, not the optimizer.
 #pragma once
 
+#include <functional>
+
 #include "src/cp/cp_als.hpp"
 
 namespace mtk {
@@ -43,6 +45,26 @@ struct CpGradResult {
   int iterations = 0;
   bool converged = false;
 };
+
+// One gradient evaluation's ingredients: the factor Grams and the
+// all-modes MTTKRP outputs at a given factor block. The optimizer core is
+// parameterized over how these are produced, so the sequential driver
+// (dimension tree / native sparse kernels) and the simulated-parallel
+// driver (par_mttkrp_all_modes + distributed Grams, charging a Machine)
+// share the optimizer verbatim — and therefore iterate identically.
+struct GradEval {
+  std::vector<Matrix> grams;    // grams[k] = A^(k)' A^(k)
+  std::vector<Matrix> mttkrps;  // mttkrps[k] = B^(k)
+};
+
+using GradEvalFn = std::function<GradEval(const std::vector<Matrix>&)>;
+
+// The shared optimizer: plain gradient descent with Armijo backtracking on
+// the full factor block, evaluating objective/gradients only through
+// `evaluate`. `norm_x` is the input's Frobenius norm (must be > 0).
+CpGradResult cp_gradient_descent_core(const shape_t& dims, double norm_x,
+                                      const CpGradOptions& opts,
+                                      const GradEvalFn& evaluate);
 
 // Storage-polymorphic driver: dense storage computes the all-modes MTTKRP
 // with the dimension tree; sparse storage (COO/CSF) runs the native sparse

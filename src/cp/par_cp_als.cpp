@@ -17,40 +17,6 @@ namespace mtk {
 
 namespace {
 
-// Gram of A via partial Grams over a balanced global row partition and a
-// machine-wide bucket All-Reduce; returns the exact Gram and charges the
-// traffic to the machine.
-Matrix distributed_gram(Machine& machine, const Matrix& a) {
-  const int p = machine.num_ranks();
-  const index_t r = a.cols();
-  const std::vector<Range> rows = block_partition(a.rows(), p);
-
-  std::vector<std::vector<double>> partials(static_cast<std::size_t>(p));
-  for (int rank = 0; rank < p; ++rank) {
-    Matrix partial(r, r, 0.0);
-    const Range rg = rows[static_cast<std::size_t>(rank)];
-    for (index_t i = rg.lo; i < rg.hi; ++i) {
-      const double* arow = a.row(i);
-      for (index_t s = 0; s < r; ++s) {
-        for (index_t t = 0; t < r; ++t) {
-          partial(s, t) += arow[s] * arow[t];
-        }
-      }
-    }
-    partials[static_cast<std::size_t>(rank)].assign(
-        partial.data(), partial.data() + partial.size());
-  }
-
-  std::vector<int> group(static_cast<std::size_t>(p));
-  for (int rank = 0; rank < p; ++rank) group[static_cast<std::size_t>(rank)] = rank;
-  const std::vector<double> summed =
-      all_reduce_bucket(machine, group, partials);
-
-  Matrix g(r, r);
-  std::copy(summed.begin(), summed.end(), g.data());
-  return g;
-}
-
 std::vector<double> normalize_columns(Matrix& a) {
   std::vector<double> norms = a.column_norms();
   for (double& v : norms) {
@@ -88,6 +54,8 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
     popts.procs = procs;
     popts.workload = PlanWorkload::kCpAls;
     popts.flop_word_ratio = opts.flop_word_ratio;
+    popts.latency_word_ratio = opts.latency_word_ratio;
+    popts.machine = opts.machine;
     popts.reuse_count = std::max(1, opts.max_iterations) * n;
     const std::shared_ptr<const PlanReport> report =
         PlanCache::global().get_or_plan(x, opts.rank, popts);
@@ -97,6 +65,7 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
     tuned.autotune = false;
     tuned.grid = plan.grid;
     tuned.partition = plan.scheme;
+    tuned.collectives = plan.collectives;
 
     // Honor the planner's backend choice: sparse storage converts once,
     // here, so the per-rank local kernels run in the recommended format.
@@ -146,11 +115,14 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
   std::vector<Matrix> grams(static_cast<std::size_t>(n));
   for (int k = 0; k < n; ++k) {
     const index_t before = machine.max_words_moved();
-    grams[static_cast<std::size_t>(k)] =
-        distributed_gram(machine, result.model.factors[static_cast<std::size_t>(k)]);
+    const index_t before_msgs = machine.max_messages_sent();
+    grams[static_cast<std::size_t>(k)] = distributed_gram(
+        machine, result.model.factors[static_cast<std::size_t>(k)],
+        opts.collectives.gram);
     // The N initialization Grams are charged to the total (they precede
     // iteration 1, so no trace entry carries them).
     result.total_gram_words_max += machine.max_words_moved() - before;
+    result.total_messages_max += machine.max_messages_sent() - before_msgs;
   }
 
   const double norm_x = x.frobenius_norm();
@@ -160,15 +132,16 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
     index_t mttkrp_words_iter = 0;
     index_t gram_words_iter = 0;
+    const index_t msgs_before_iter = machine.max_messages_sent();
     Matrix last_mttkrp;
     for (int mode = 0; mode < n; ++mode) {
       index_t before = machine.max_words_moved();
       ParMttkrpResult mr =
           dense_input
               ? par_mttkrp_stationary(machine, x, result.model.factors, mode,
-                                      opts.grid)
+                                      opts.grid, opts.collectives)
               : par_mttkrp_stationary(machine, x, result.model.factors, mode,
-                                      opts.grid, plan);
+                                      opts.grid, plan, opts.collectives);
       mttkrp_words_iter += machine.max_words_moved() - before;
 
       Matrix v(opts.rank, opts.rank, 0.0);
@@ -189,7 +162,8 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
 
       before = machine.max_words_moved();
       grams[static_cast<std::size_t>(mode)] = distributed_gram(
-          machine, result.model.factors[static_cast<std::size_t>(mode)]);
+          machine, result.model.factors[static_cast<std::size_t>(mode)],
+          opts.collectives.gram);
       gram_words_iter += machine.max_words_moved() - before;
 
       if (mode == n - 1) last_mttkrp = std::move(mr.b);
@@ -204,11 +178,15 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
         std::max(0.0, norm_x * norm_x + norm_model_sq - 2.0 * inner);
     const double fit = 1.0 - std::sqrt(residual_sq) / norm_x;
 
-    result.trace.push_back({iter, fit, mttkrp_words_iter, gram_words_iter});
+    const index_t messages_iter =
+        machine.max_messages_sent() - msgs_before_iter;
+    result.trace.push_back(
+        {iter, fit, mttkrp_words_iter, gram_words_iter, messages_iter});
     result.final_fit = fit;
     result.iterations = iter;
     result.total_mttkrp_words_max += mttkrp_words_iter;
     result.total_gram_words_max += gram_words_iter;
+    result.total_messages_max += messages_iter;
     if (iter > 1 && std::fabs(fit - previous_fit) < opts.tolerance) {
       result.converged = true;
       break;

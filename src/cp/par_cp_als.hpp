@@ -28,14 +28,20 @@ struct ParCpAlsOptions {
   // Sparse coordinate partition (ignored for dense input): kBlock matches
   // the dense layout, kMediumGrained balances nonzeros per process.
   SparsePartitionScheme partition = SparsePartitionScheme::kBlock;
+  // Per-phase collective schedule (bucket ring vs recursive doubling/
+  // halving); replaced by the planner's choice when autotuning.
+  CollectiveSchedule collectives = CollectiveKind::kBucket;
   // Autotune: let the planner (through the global plan cache) pick the
-  // grid, partition scheme, and sparse backend for `procs` processors
-  // (or prod(grid) when `grid` is set, whose extents are then ignored).
-  // The chosen plan is reported in ParCpAlsResult::plan.
+  // grid, partition scheme, sparse backend, and collective schedule for
+  // `procs` processors (or prod(grid) when `grid` is set, whose extents
+  // are then ignored). The chosen plan is reported in ParCpAlsResult::plan.
   bool autotune = false;
   int procs = 0;
-  // Machine-balance knob forwarded to PlannerOptions::flop_word_ratio.
+  // Machine-balance knobs forwarded to PlannerOptions (γ/β and α/β); a
+  // measured calibration supersedes both.
   double flop_word_ratio = 0.0;
+  double latency_word_ratio = 0.0;
+  Calibration machine;
 };
 
 struct ParCpAlsIterate {
@@ -43,6 +49,7 @@ struct ParCpAlsIterate {
   double fit = 0.0;
   index_t mttkrp_words_max = 0;  // bottleneck words in MTTKRP collectives
   index_t gram_words_max = 0;    // bottleneck words in Gram All-Reduces
+  index_t messages_max = 0;      // bottleneck messages, whole iteration
 };
 
 struct ParCpAlsResult {
@@ -53,6 +60,7 @@ struct ParCpAlsResult {
   bool converged = false;
   index_t total_mttkrp_words_max = 0;
   index_t total_gram_words_max = 0;
+  index_t total_messages_max = 0;
   // The planner's choice when ParCpAlsOptions::autotune was set.
   bool autotuned = false;
   ExecutionPlan plan;

@@ -30,6 +30,7 @@
 #include "src/cp/cp_als.hpp"
 #include "src/cp/cp_gradient.hpp"
 #include "src/cp/par_cp_als.hpp"
+#include "src/cp/par_cp_gradient.hpp"
 #include "src/cp/tucker.hpp"
 #include "src/io/tensor_io.hpp"
 #include "src/memsim/memory_model.hpp"
@@ -46,6 +47,7 @@
 #include "src/parsim/machine.hpp"
 #include "src/parsim/par_mttkrp.hpp"
 #include "src/parsim/par_multi_mttkrp.hpp"
+#include "src/planner/calibrate.hpp"
 #include "src/planner/plan_cache.hpp"
 #include "src/planner/planner.hpp"
 #include "src/planner/predict.hpp"

@@ -154,12 +154,54 @@ index_t max_messages_sent(const Machine& machine,
   return best;
 }
 
+const char* to_string(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kBucket: return "bucket";
+    case CollectiveKind::kRecursive: return "rec";
+  }
+  return "unknown";
+}
+
+std::string to_string(const CollectiveSchedule& schedule) {
+  std::string s = to_string(schedule.tensor);
+  s += '/';
+  s += to_string(schedule.factor);
+  s += '/';
+  s += to_string(schedule.output);
+  s += '/';
+  s += to_string(schedule.gram);
+  return s;
+}
+
+bool recursive_all_gather_applies(int group_size) {
+  return is_pow2(static_cast<index_t>(group_size));
+}
+
+bool recursive_reduce_scatter_applies(
+    int group_size, const std::vector<index_t>& chunk_sizes) {
+  if (!is_pow2(static_cast<index_t>(group_size)) || chunk_sizes.empty()) {
+    return false;
+  }
+  return std::all_of(chunk_sizes.begin(), chunk_sizes.end(),
+                     [&](index_t s) { return s == chunk_sizes.front(); });
+}
+
+index_t collective_rounds(int group_size, bool recursive_applies) {
+  if (group_size <= 1) return 0;
+  if (!recursive_applies) return group_size - 1;
+  // ceil(log2 q): one round per doubling (q is a power of two whenever the
+  // recursive schedules actually apply; the ceil keeps the count honest if
+  // a caller models a hypothetical non-pow2 recursion).
+  const index_t q = static_cast<index_t>(group_size);
+  return is_pow2(q) ? ilog2(q) : ilog2(q) + 1;
+}
+
 std::vector<double> all_gather_dispatch(
     Machine& machine, const std::vector<int>& group,
     const std::vector<std::vector<double>>& contributions,
     CollectiveKind kind) {
   if (kind == CollectiveKind::kRecursive &&
-      is_pow2(static_cast<index_t>(group.size()))) {
+      recursive_all_gather_applies(static_cast<int>(group.size()))) {
     return all_gather_doubling(machine, group, contributions);
   }
   return all_gather_bucket(machine, group, contributions);
@@ -170,15 +212,31 @@ std::vector<std::vector<double>> reduce_scatter_dispatch(
     const std::vector<std::vector<double>>& inputs,
     const std::vector<index_t>& chunk_sizes, CollectiveKind kind) {
   if (kind == CollectiveKind::kRecursive &&
-      is_pow2(static_cast<index_t>(group.size())) && !chunk_sizes.empty()) {
-    const bool uniform = std::all_of(
-        chunk_sizes.begin(), chunk_sizes.end(),
-        [&](index_t s) { return s == chunk_sizes.front(); });
-    if (uniform) {
-      return reduce_scatter_halving(machine, group, inputs);
-    }
+      recursive_reduce_scatter_applies(static_cast<int>(group.size()),
+                                       chunk_sizes)) {
+    return reduce_scatter_halving(machine, group, inputs);
   }
   return reduce_scatter_bucket(machine, group, inputs, chunk_sizes);
+}
+
+std::vector<double> all_reduce_dispatch(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs, CollectiveKind kind) {
+  MTK_CHECK(!inputs.empty() &&
+                inputs.size() == group.size(),
+            "all_reduce_dispatch: expected ", group.size(), " inputs, got ",
+            inputs.size());
+  const int q = static_cast<int>(group.size());
+  const index_t total = static_cast<index_t>(inputs.front().size());
+  // Balanced flat chunks, matching all_reduce_bucket's stage boundaries.
+  std::vector<index_t> chunk_sizes(static_cast<std::size_t>(q));
+  for (int j = 0; j < q; ++j) {
+    chunk_sizes[static_cast<std::size_t>(j)] =
+        total / q + (j < static_cast<int>(total % q) ? 1 : 0);
+  }
+  auto reduced = reduce_scatter_dispatch(machine, group, inputs, chunk_sizes,
+                                         kind);
+  return all_gather_dispatch(machine, group, reduced, kind);
 }
 
 }  // namespace mtk

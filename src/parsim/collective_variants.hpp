@@ -14,6 +14,7 @@
 // divides evenly. For irregular inputs use the bucket variants.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "src/parsim/machine.hpp"
@@ -46,6 +47,45 @@ index_t max_messages_sent(const Machine& machine,
 // to the bucket schedule, whose word counts are identical.
 enum class CollectiveKind { kBucket, kRecursive };
 
+const char* to_string(CollectiveKind kind);
+
+// The fallback rules, exposed so the communication predictor can mirror the
+// dispatchers decision-for-decision (the replayed message counts must match
+// the simulator's counters exactly).
+bool recursive_all_gather_applies(int group_size);
+bool recursive_reduce_scatter_applies(int group_size,
+                                      const std::vector<index_t>& chunk_sizes);
+
+// Rounds (= messages sent per member) of one collective over a group of
+// q members: q-1 for the bucket ring, log2(q) for a recursive schedule
+// that applies, q-1 again when it falls back.
+index_t collective_rounds(int group_size, bool recursive_applies);
+
+// Per-phase collective choice for one parallel MTTKRP (or CP-ALS
+// iteration). Every phase of the drivers maps to one field; the planner
+// fills them independently by message-size regime, and a bare
+// CollectiveKind converts to the uniform schedule so existing call sites
+// keep reading naturally.
+struct CollectiveSchedule {
+  CollectiveKind tensor = CollectiveKind::kBucket;  // Alg. 4 tensor gather
+  CollectiveKind factor = CollectiveKind::kBucket;  // factor All-Gathers
+  CollectiveKind output = CollectiveKind::kBucket;  // output Reduce-Scatters
+  CollectiveKind gram = CollectiveKind::kBucket;    // Gram All-Reduces
+
+  CollectiveSchedule() = default;
+  CollectiveSchedule(CollectiveKind kind)  // NOLINT: implicit by design
+      : tensor(kind), factor(kind), output(kind), gram(kind) {}
+
+  bool operator==(const CollectiveSchedule& o) const {
+    return tensor == o.tensor && factor == o.factor && output == o.output &&
+           gram == o.gram;
+  }
+  bool operator!=(const CollectiveSchedule& o) const { return !(*this == o); }
+};
+
+// Compact "tensor/factor/output/gram" rendering, e.g. "bucket/rec/rec/bucket".
+std::string to_string(const CollectiveSchedule& schedule);
+
 std::vector<double> all_gather_dispatch(
     Machine& machine, const std::vector<int>& group,
     const std::vector<std::vector<double>>& contributions,
@@ -55,5 +95,12 @@ std::vector<std::vector<double>> reduce_scatter_dispatch(
     Machine& machine, const std::vector<int>& group,
     const std::vector<std::vector<double>>& inputs,
     const std::vector<index_t>& chunk_sizes, CollectiveKind kind);
+
+// All-Reduce assembled from the dispatched Reduce-Scatter + All-Gather over
+// balanced flat chunks; both stages consult the fallback rules
+// independently, exactly as the predictor assumes.
+std::vector<double> all_reduce_dispatch(
+    Machine& machine, const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs, CollectiveKind kind);
 
 }  // namespace mtk

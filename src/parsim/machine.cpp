@@ -40,6 +40,14 @@ index_t Machine::max_words_moved() const {
   return best;
 }
 
+index_t Machine::max_messages_sent() const {
+  index_t best = 0;
+  for (const CommStats& s : stats_) {
+    best = std::max(best, s.messages_sent);
+  }
+  return best;
+}
+
 index_t Machine::total_words_sent() const {
   index_t total = 0;
   for (const CommStats& s : stats_) total += s.words_sent;

@@ -5,8 +5,10 @@
 // keeps exact per-rank word counters, which stand in for the MPI machine the
 // paper assumes (no MPI exists in this environment; see DESIGN.md).
 //
-// Only bandwidth (word counts) is tracked, matching the paper's scope;
-// latency (message counts) is recorded but unused by the analyses.
+// Both bandwidth (word counts) and latency (message counts) are tracked:
+// the paper's analyses are bandwidth-only (Section II-C), but the planner's
+// α-β cost model also consumes the per-rank message counters when choosing
+// between the bucket and recursive collective schedules.
 #pragma once
 
 #include <string>
@@ -47,6 +49,8 @@ class Machine {
 
   // Bottleneck metric over all ranks: max_p (sent_p + received_p).
   index_t max_words_moved() const;
+  // Latency bottleneck: max_p messages sent (the α term of an α-β model).
+  index_t max_messages_sent() const;
   // Aggregate words sent across the machine.
   index_t total_words_sent() const;
 

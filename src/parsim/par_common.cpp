@@ -48,6 +48,40 @@ PhaseScope::~PhaseScope() {
   machine_.record_phase({label_, group_size_, max_delta});
 }
 
+Matrix distributed_gram(Machine& machine, const Matrix& a,
+                        CollectiveKind kind) {
+  const int p = machine.num_ranks();
+  const index_t r = a.cols();
+  const std::vector<Range> rows = block_partition(a.rows(), p);
+
+  std::vector<std::vector<double>> partials(static_cast<std::size_t>(p));
+  for (int rank = 0; rank < p; ++rank) {
+    Matrix partial(r, r, 0.0);
+    const Range rg = rows[static_cast<std::size_t>(rank)];
+    for (index_t i = rg.lo; i < rg.hi; ++i) {
+      const double* arow = a.row(i);
+      for (index_t s = 0; s < r; ++s) {
+        for (index_t t = 0; t < r; ++t) {
+          partial(s, t) += arow[s] * arow[t];
+        }
+      }
+    }
+    partials[static_cast<std::size_t>(rank)].assign(
+        partial.data(), partial.data() + partial.size());
+  }
+
+  std::vector<int> group(static_cast<std::size_t>(p));
+  for (int rank = 0; rank < p; ++rank) {
+    group[static_cast<std::size_t>(rank)] = rank;
+  }
+  const std::vector<double> summed =
+      all_reduce_dispatch(machine, group, partials, kind);
+
+  Matrix g(r, r);
+  std::copy(summed.begin(), summed.end(), g.data());
+  return g;
+}
+
 std::vector<double> flatten_rows(const Matrix& m, Range rows) {
   std::vector<double> flat;
   flat.reserve(static_cast<std::size_t>(rows.length() * m.cols()));

@@ -63,6 +63,13 @@ std::vector<double> flatten_submatrix(const Matrix& m, Range rows, Range cols);
 Matrix unflatten_matrix(const std::vector<double>& flat, index_t rows,
                         index_t cols);
 
+// Gram of A via per-rank partial Grams over a balanced global row partition
+// and a machine-wide All-Reduce of R^2 words under `kind`; returns the
+// exact Gram and charges the traffic to the machine. Shared by par_cp_als
+// and par_cp_gradient.
+Matrix distributed_gram(Machine& machine, const Matrix& a,
+                        CollectiveKind kind);
+
 // Line 4 of Algorithms 3/4 for one input factor: All-Gathers the block rows
 // A(parts[c], :) within each hyperslice of ranks sharing grid coordinate c
 // on dimension `grid_dim` (member i of a hyperslice initially owns the i-th

@@ -17,6 +17,7 @@ ParMttkrpResult finalize(Machine& machine, Matrix b) {
   ParMttkrpResult result;
   result.b = std::move(b);
   result.max_words_moved = machine.max_words_moved();
+  result.max_messages = machine.max_messages_sent();
   result.total_words_sent = machine.total_words_sent();
   result.phases = machine.phases();
   return result;
@@ -48,7 +49,7 @@ ParMttkrpResult stationary_impl(
     const std::vector<std::vector<Range>>& parts,
     const std::vector<SparseTensor>* local_blocks,
     const std::vector<std::vector<CsfTensor>>* forest,
-    CollectiveKind collectives) {
+    const CollectiveSchedule& collectives) {
   const index_t rank_r = check_mttkrp_args(x.dims(), factors, mode);
   const int n = x.order();
   const int p = grid.size();
@@ -63,7 +64,7 @@ ParMttkrpResult stationary_impl(
     if (k == mode) continue;
     gathered[static_cast<std::size_t>(k)] = gather_factor_hyperslices(
         machine, grid, factors[static_cast<std::size_t>(k)],
-        parts[static_cast<std::size_t>(k)], k, collectives,
+        parts[static_cast<std::size_t>(k)], k, collectives.factor,
         std::string("all-gather A(") + std::to_string(k) + ")");
   }
 
@@ -106,7 +107,7 @@ ParMttkrpResult stationary_impl(
   // hyperslices, then assemble the distributed output into a global B.
   Matrix b = reduce_scatter_hyperslices(
       machine, grid, local_c, parts[static_cast<std::size_t>(mode)], mode,
-      x.dim(mode), rank_r, collectives, "reduce-scatter B");
+      x.dim(mode), rank_r, collectives.output, "reduce-scatter B");
   return finalize(machine, std::move(b));
 }
 
@@ -116,7 +117,7 @@ ParMttkrpResult par_mttkrp_stationary(Machine& machine, const StoredTensor& x,
                                       const std::vector<Matrix>& factors,
                                       int mode,
                                       const std::vector<int>& grid_shape,
-                                      CollectiveKind collectives,
+                                      CollectiveSchedule collectives,
                                       SparsePartitionScheme scheme) {
   check_stationary_grid(x, grid_shape);
   const ProcessorGrid grid(grid_shape);
@@ -169,7 +170,7 @@ ParMttkrpResult par_mttkrp_stationary(Machine& machine, const StoredTensor& x,
                                       int mode,
                                       const std::vector<int>& grid_shape,
                                       const StationarySparsePlan& plan,
-                                      CollectiveKind collectives) {
+                                      CollectiveSchedule collectives) {
   MTK_CHECK(x.format() != StorageFormat::kDense,
             "a precomputed plan applies to sparse storage only");
   check_stationary_grid(x, grid_shape);
@@ -199,7 +200,7 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
                                    const std::vector<Matrix>& factors,
                                    int mode,
                                    const std::vector<int>& grid_shape,
-                                   CollectiveKind collectives,
+                                   CollectiveSchedule collectives,
                                    SparsePartitionScheme scheme) {
   const index_t rank_r = check_mttkrp_args(x.dims(), factors, mode);
   const int n = x.order();
@@ -299,7 +300,8 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
             flat.begin() + chunk.lo, flat.begin() + chunk.hi);
       }
       const std::vector<double> full =
-          all_gather_dispatch(machine, group, contributions, collectives);
+          all_gather_dispatch(machine, group, contributions,
+                              collectives.tensor);
       if (dense) {
         shape_t sub_dims;
         for (int k = 0; k < n; ++k) {
@@ -371,7 +373,8 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
               block.begin() + chunk.lo, block.begin() + chunk.hi);
         }
         const std::vector<double> full =
-            all_gather_dispatch(machine, group, contributions, collectives);
+            all_gather_dispatch(machine, group, contributions,
+                                collectives.factor);
         gathered[static_cast<std::size_t>(k)][static_cast<std::size_t>(c0)]
                 [static_cast<std::size_t>(ck)] =
                     unflatten_matrix(full, rows.length(), cols.length());
@@ -450,7 +453,7 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
         const std::vector<index_t> chunk_sizes = flat_chunk_sizes(total, q);
         const auto reduced =
             reduce_scatter_dispatch(machine, group, inputs, chunk_sizes,
-                                  collectives);
+                                    collectives.output);
 
         for (int i = 0; i < q; ++i) {
           const Range chunk = flat_chunk(total, q, i);
@@ -474,7 +477,7 @@ ParMttkrpResult par_mttkrp_stationary(Machine& machine, const DenseTensor& x,
                                       const std::vector<Matrix>& factors,
                                       int mode,
                                       const std::vector<int>& grid_shape,
-                                      CollectiveKind collectives) {
+                                      CollectiveSchedule collectives) {
   return par_mttkrp_stationary(machine, StoredTensor::dense_view(x), factors,
                                mode, grid_shape, collectives);
 }
@@ -483,7 +486,7 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const DenseTensor& x,
                                    const std::vector<Matrix>& factors,
                                    int mode,
                                    const std::vector<int>& grid_shape,
-                                   CollectiveKind collectives) {
+                                   CollectiveSchedule collectives) {
   return par_mttkrp_general(machine, StoredTensor::dense_view(x), factors,
                             mode, grid_shape, collectives);
 }

@@ -42,14 +42,16 @@ namespace mtk {
 struct ParMttkrpResult {
   Matrix b;                        // assembled global B^(n) (for checking)
   index_t max_words_moved = 0;     // bottleneck processor: sent + received
+  index_t max_messages = 0;        // bottleneck processor: messages sent
   index_t total_words_sent = 0;    // machine-wide volume
   std::vector<PhaseRecord> phases; // per-collective breakdown
 };
 
 // Algorithm 3, storage-polymorphic. `grid_shape` must have N entries with
 // product equal to the number of ranks of `machine`, and grid_shape[k] <=
-// I_k. `collectives` picks the schedule (bucket ring vs recursive
-// doubling/halving) — word counts are identical, message counts differ.
+// I_k. `collectives` picks the per-phase schedule (bucket ring vs recursive
+// doubling/halving; a bare CollectiveKind applies to every phase) — word
+// counts are near-identical, message counts differ by (q-1)/log2(q).
 // `scheme` selects the sparse coordinate partition (ignored for dense
 // storage): kBlock matches the dense layout, kMediumGrained balances
 // nonzeros per process at the cost of uneven factor blocks.
@@ -57,7 +59,7 @@ ParMttkrpResult par_mttkrp_stationary(
     Machine& machine, const StoredTensor& x,
     const std::vector<Matrix>& factors, int mode,
     const std::vector<int>& grid_shape,
-    CollectiveKind collectives = CollectiveKind::kBucket,
+    CollectiveSchedule collectives = CollectiveKind::kBucket,
     SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
 
 // Reusable per-process state for repeated stationary MTTKRPs on one sparse
@@ -81,7 +83,7 @@ ParMttkrpResult par_mttkrp_stationary(
     Machine& machine, const StoredTensor& x,
     const std::vector<Matrix>& factors, int mode,
     const std::vector<int>& grid_shape, const StationarySparsePlan& plan,
-    CollectiveKind collectives = CollectiveKind::kBucket);
+    CollectiveSchedule collectives = CollectiveKind::kBucket);
 
 // Algorithm 4, storage-polymorphic. `grid_shape` must have N+1 entries
 // ordered (P0, P1..PN) with product equal to the rank count,
@@ -90,7 +92,7 @@ ParMttkrpResult par_mttkrp_general(
     Machine& machine, const StoredTensor& x,
     const std::vector<Matrix>& factors, int mode,
     const std::vector<int>& grid_shape,
-    CollectiveKind collectives = CollectiveKind::kBucket,
+    CollectiveSchedule collectives = CollectiveKind::kBucket,
     SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
 
 // Dense overloads (delegate to the StoredTensor drivers via borrowed views).
@@ -98,12 +100,12 @@ ParMttkrpResult par_mttkrp_stationary(
     Machine& machine, const DenseTensor& x,
     const std::vector<Matrix>& factors, int mode,
     const std::vector<int>& grid_shape,
-    CollectiveKind collectives = CollectiveKind::kBucket);
+    CollectiveSchedule collectives = CollectiveKind::kBucket);
 ParMttkrpResult par_mttkrp_general(
     Machine& machine, const DenseTensor& x,
     const std::vector<Matrix>& factors, int mode,
     const std::vector<int>& grid_shape,
-    CollectiveKind collectives = CollectiveKind::kBucket);
+    CollectiveSchedule collectives = CollectiveKind::kBucket);
 
 // Convenience wrappers that build a fresh machine with prod(grid) ranks.
 ParMttkrpResult par_mttkrp_stationary(const DenseTensor& x,

@@ -30,7 +30,7 @@ ParAllModesResult par_mttkrp_all_modes(Machine& machine,
                                        const StoredTensor& x,
                                        const std::vector<Matrix>& factors,
                                        const std::vector<int>& grid_shape,
-                                       CollectiveKind collectives,
+                                       CollectiveSchedule collectives,
                                        SparsePartitionScheme scheme) {
   const int n = x.order();
   MTK_CHECK(n >= 2, "par_mttkrp_all_modes requires order >= 2");
@@ -81,7 +81,7 @@ ParAllModesResult par_mttkrp_all_modes(Machine& machine,
   for (int k = 0; k < n; ++k) {
     gathered[static_cast<std::size_t>(k)] = gather_factor_hyperslices(
         machine, grid, factors[static_cast<std::size_t>(k)],
-        parts[static_cast<std::size_t>(k)], k, collectives,
+        parts[static_cast<std::size_t>(k)], k, collectives.factor,
         std::string("all-gather A(") + std::to_string(k) + ") [shared]");
   }
 
@@ -127,11 +127,12 @@ ParAllModesResult par_mttkrp_all_modes(Machine& machine,
     result.outputs[static_cast<std::size_t>(mode)] =
         reduce_scatter_hyperslices(
             machine, grid, local_c, parts[static_cast<std::size_t>(mode)],
-            mode, x.dim(mode), rank, collectives,
+            mode, x.dim(mode), rank, collectives.output,
             std::string("reduce-scatter B(") + std::to_string(mode) + ")");
   }
 
   result.max_words_moved = machine.max_words_moved();
+  result.max_messages = machine.max_messages_sent();
   result.total_words_sent = machine.total_words_sent();
   result.phases = machine.phases();
   return result;

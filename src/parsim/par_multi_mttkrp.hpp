@@ -27,6 +27,7 @@ namespace mtk {
 struct ParAllModesResult {
   std::vector<Matrix> outputs;     // outputs[n] = assembled global B^(n)
   index_t max_words_moved = 0;
+  index_t max_messages = 0;        // bottleneck processor: messages sent
   index_t total_words_sent = 0;
   std::vector<PhaseRecord> phases;
 };
@@ -34,7 +35,7 @@ struct ParAllModesResult {
 ParAllModesResult par_mttkrp_all_modes(
     Machine& machine, const StoredTensor& x,
     const std::vector<Matrix>& factors, const std::vector<int>& grid_shape,
-    CollectiveKind collectives = CollectiveKind::kBucket,
+    CollectiveSchedule collectives = CollectiveKind::kBucket,
     SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
 
 // Dense overload and convenience wrappers building a machine of the grid's

@@ -1,6 +1,10 @@
 #include "src/planner/plan_cache.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace mtk {
 
@@ -76,6 +80,13 @@ std::uint64_t plan_cache_key(const StoredTensor& x, index_t rank,
   h.mix(static_cast<std::uint64_t>(opts.shortlist));
   h.mix(static_cast<std::uint64_t>(opts.exact_rank_cap));
   h.mix(opts.flop_word_ratio);
+  h.mix(opts.latency_word_ratio);
+  h.mix(static_cast<std::uint64_t>(opts.machine.measured));
+  h.mix(opts.machine.alpha_seconds);
+  h.mix(opts.machine.beta_seconds_per_word);
+  h.mix(opts.machine.dense_seconds_per_flop);
+  h.mix(opts.machine.coo_seconds_per_flop);
+  h.mix(opts.machine.csf_seconds_per_flop);
   h.mix(static_cast<std::uint64_t>(opts.reuse_count));
   return h.state;
 }
@@ -90,7 +101,8 @@ bool PlanCache::KeyFields::operator==(const KeyFields& other) const {
          top_k == other.top_k && shortlist == other.shortlist &&
          exact_rank_cap == other.exact_rank_cap &&
          flop_word_ratio == other.flop_word_ratio &&
-         reuse_count == other.reuse_count;
+         latency_word_ratio == other.latency_word_ratio &&
+         machine == other.machine && reuse_count == other.reuse_count;
 }
 
 PlanCache::KeyFields PlanCache::make_key_fields(const StoredTensor& x,
@@ -110,6 +122,8 @@ PlanCache::KeyFields PlanCache::make_key_fields(const StoredTensor& x,
   k.shortlist = opts.shortlist;
   k.exact_rank_cap = opts.exact_rank_cap;
   k.flop_word_ratio = opts.flop_word_ratio;
+  k.latency_word_ratio = opts.latency_word_ratio;
+  k.machine = opts.machine;
   k.reuse_count = opts.reuse_count;
   return k;
 }
@@ -166,6 +180,355 @@ void PlanCache::clear() {
 PlanCache& PlanCache::global() {
   static PlanCache cache;
   return cache;
+}
+
+// ---------------------------------------------------------------------------
+// On-disk persistence. Line-oriented text; every double is written as a hex
+// float (%a) so scores, ratios, and calibration parameters round-trip
+// bit-exactly — the load-time KeyFields comparison relies on that.
+
+namespace {
+
+void put(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, " %a", v);
+  out << buf;
+}
+void put(std::ostream& out, index_t v) { out << ' ' << v; }
+void put(std::ostream& out, int v) { out << ' ' << v; }
+void put(std::ostream& out, bool v) { out << ' ' << (v ? 1 : 0); }
+
+// Whitespace tokenizer with typed, range-checked extraction; any failure
+// latches `ok = false` and every later read also fails, so parse code can
+// run straight-line and check once.
+struct TokenParser {
+  std::istringstream in;
+  bool ok = true;
+
+  explicit TokenParser(const std::string& line) : in(line) {}
+
+  std::string word() {
+    std::string w;
+    if (!(in >> w)) ok = false;
+    return w;
+  }
+  double dbl() {
+    const std::string w = word();
+    if (!ok) return 0.0;
+    char* end = nullptr;
+    const double v = std::strtod(w.c_str(), &end);
+    if (end == nullptr || *end != '\0') ok = false;
+    return v;
+  }
+  long long ll() {
+    const std::string w = word();
+    if (!ok) return 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(w.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || w.empty()) ok = false;
+    return v;
+  }
+  index_t idx() { return static_cast<index_t>(ll()); }
+  int i32() { return static_cast<int>(ll()); }
+  bool flag() {
+    const long long v = ll();
+    if (v != 0 && v != 1) ok = false;
+    return v == 1;
+  }
+  // Enum decoded from its serialized integer, validated against the
+  // inclusive maximum enumerator.
+  template <typename E>
+  E enum_of(int max_value) {
+    const long long v = ll();
+    if (v < 0 || v > max_value) ok = false;
+    return static_cast<E>(v);
+  }
+  bool done() {
+    std::string rest;
+    return ok && !(in >> rest);
+  }
+};
+
+}  // namespace
+
+bool PlanCache::save(const std::string& path,
+                     const Calibration* calibration) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "mtkplancache " << kFileVersion << "\n";
+  if (calibration != nullptr) {
+    write_calibration(out, *calibration);
+  }
+  for (const auto& [hash, entry] : map_) {
+    out << "entry " << hash << "\n";
+
+    // The entry body is built first so a checksum over its exact bytes can
+    // be appended as the entry's last line; the loader recomputes it and
+    // treats any disagreement as corruption. The fingerprint hash alone
+    // cannot catch payload damage — it is computed from the *problem*,
+    // not from the stored plans.
+    std::ostringstream body;
+
+    const KeyFields& k = entry.key;
+    body << "key";
+    put(body, static_cast<int>(k.dims.size()));
+    for (index_t d : k.dims) put(body, d);
+    put(body, k.rank);
+    put(body, static_cast<int>(k.format));
+    put(body, k.nnz);
+    put(body, k.procs);
+    put(body, k.mode);
+    put(body, static_cast<int>(k.workload));
+    put(body, k.consider_general);
+    put(body, k.consider_medium_grained);
+    put(body, k.top_k);
+    put(body, k.shortlist);
+    put(body, k.exact_rank_cap);
+    put(body, k.flop_word_ratio);
+    put(body, k.latency_word_ratio);
+    put(body, k.machine.measured);
+    put(body, k.machine.alpha_seconds);
+    put(body, k.machine.beta_seconds_per_word);
+    put(body, k.machine.dense_seconds_per_flop);
+    put(body, k.machine.coo_seconds_per_flop);
+    put(body, k.machine.csf_seconds_per_flop);
+    put(body, k.reuse_count);
+    body << "\n";
+
+    const PlanReport& r = *entry.report;
+    body << "report";
+    put(body, static_cast<int>(r.dims.size()));
+    for (index_t d : r.dims) put(body, d);
+    put(body, r.rank);
+    put(body, r.procs);
+    put(body, static_cast<int>(r.input_format));
+    put(body, r.nnz);
+    put(body, static_cast<int>(r.ranked.size()));
+    body << "\n";
+
+    for (const ExecutionPlan& plan : r.ranked) {
+      body << "plan";
+      put(body, static_cast<int>(plan.algo));
+      put(body, static_cast<int>(plan.backend));
+      put(body, static_cast<int>(plan.scheme));
+      put(body, static_cast<int>(plan.collectives.tensor));
+      put(body, static_cast<int>(plan.collectives.factor));
+      put(body, static_cast<int>(plan.collectives.output));
+      put(body, static_cast<int>(plan.collectives.gram));
+      put(body, static_cast<int>(plan.grid.size()));
+      for (int e : plan.grid) put(body, e);
+      put(body, plan.comm.words);
+      put(body, plan.comm.messages);
+      put(body, plan.comm.tensor_words);
+      put(body, plan.comm.factor_words);
+      put(body, plan.comm.output_words);
+      put(body, plan.comm.gram_words);
+      put(body, plan.comm.tensor_messages);
+      put(body, plan.comm.factor_messages);
+      put(body, plan.comm.output_messages);
+      put(body, plan.comm.gram_messages);
+      put(body, plan.comm.exact);
+      put(body, plan.compute_flops);
+      put(body, plan.score);
+      put(body, plan.lower_bound);
+      put(body, plan.optimality_ratio);
+      put(body, static_cast<int>(plan.nnz_stats.per_block.size()));
+      for (index_t b : plan.nnz_stats.per_block) put(body, b);
+      put(body, plan.nnz_stats.max_nnz);
+      put(body, plan.nnz_stats.min_nnz);
+      put(body, plan.nnz_stats.mean_nnz);
+      body << "\n";
+    }
+
+    const std::string text = body.str();
+    Fnv1a sum;
+    sum.mix_bytes(text.data(), text.size());
+    out << text << "sum " << sum.state << "\n";
+  }
+  out << "end\n";
+  out.flush();  // surface deferred write errors (e.g. disk full) here, not
+                // silently at destruction after success was reported
+  return out.good();
+}
+
+bool PlanCache::load(const std::string& path, Calibration* calibration) {
+  // Whatever happens, the previous contents are gone: a reload replaces.
+  clear();
+
+  std::ifstream in(path);
+  if (!in) return false;
+
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  {
+    TokenParser p(line);
+    if (p.word() != "mtkplancache") return false;
+    const long long version = p.ll();
+    if (!p.done() || version != kFileVersion) return false;
+  }
+
+  std::unordered_map<std::uint64_t, Entry> loaded;
+  Calibration loaded_cal;
+  bool have_cal = false;
+  bool saw_end = false;
+
+  while (std::getline(in, line)) {
+    TokenParser p(line);
+    const std::string tag = p.word();
+    if (!p.ok) {
+      if (line.empty()) continue;  // stray blank lines are harmless
+      return false;
+    }
+    if (tag == "end") {
+      if (!p.done()) return false;
+      saw_end = true;
+      break;
+    }
+    if (tag == "calibration") {
+      std::string payload;
+      std::getline(p.in, payload);
+      if (!parse_calibration(payload, loaded_cal)) return false;
+      have_cal = true;
+      continue;
+    }
+    if (tag != "entry") return false;
+    char* end = nullptr;
+    const std::string hash_word = p.word();
+    const std::uint64_t hash =
+        std::strtoull(hash_word.c_str(), &end, 10);
+    if (!p.done() || end == nullptr || *end != '\0' || hash_word.empty()) {
+      return false;
+    }
+
+    // Every body line feeds the checksum verified at the entry's end.
+    Fnv1a sum;
+    const auto next_body_line = [&]() -> bool {
+      if (!std::getline(in, line)) return false;
+      sum.mix_bytes(line.data(), line.size());
+      sum.mix_bytes("\n", 1);
+      return true;
+    };
+
+    // --- key line ---------------------------------------------------------
+    if (!next_body_line()) return false;
+    TokenParser kp(line);
+    if (kp.word() != "key") return false;
+    KeyFields k;
+    const int nd = kp.i32();
+    if (!kp.ok || nd < 0 || nd > 64) return false;
+    k.dims.resize(static_cast<std::size_t>(nd));
+    for (index_t& d : k.dims) d = kp.idx();
+    k.rank = kp.idx();
+    k.format = kp.enum_of<StorageFormat>(2);
+    k.nnz = kp.idx();
+    k.procs = kp.i32();
+    k.mode = kp.i32();
+    k.workload = kp.enum_of<PlanWorkload>(2);
+    k.consider_general = kp.flag();
+    k.consider_medium_grained = kp.flag();
+    k.top_k = kp.i32();
+    k.shortlist = kp.i32();
+    k.exact_rank_cap = kp.i32();
+    k.flop_word_ratio = kp.dbl();
+    k.latency_word_ratio = kp.dbl();
+    k.machine.measured = kp.flag();
+    k.machine.alpha_seconds = kp.dbl();
+    k.machine.beta_seconds_per_word = kp.dbl();
+    k.machine.dense_seconds_per_flop = kp.dbl();
+    k.machine.coo_seconds_per_flop = kp.dbl();
+    k.machine.csf_seconds_per_flop = kp.dbl();
+    k.reuse_count = kp.i32();
+    if (!kp.done()) return false;
+
+    // --- report line ------------------------------------------------------
+    if (!next_body_line()) return false;
+    TokenParser rp(line);
+    if (rp.word() != "report") return false;
+    auto report = std::make_shared<PlanReport>();
+    const int rd = rp.i32();
+    if (!rp.ok || rd < 0 || rd > 64) return false;
+    report->dims.resize(static_cast<std::size_t>(rd));
+    for (index_t& d : report->dims) d = rp.idx();
+    report->rank = rp.idx();
+    report->procs = rp.i32();
+    report->input_format = rp.enum_of<StorageFormat>(2);
+    report->nnz = rp.idx();
+    const int nplans = rp.i32();
+    if (!rp.done() || nplans < 1 || nplans > 4096) return false;
+
+    // --- plan lines -------------------------------------------------------
+    for (int i = 0; i < nplans; ++i) {
+      if (!next_body_line()) return false;
+      TokenParser pp(line);
+      if (pp.word() != "plan") return false;
+      ExecutionPlan plan;
+      plan.algo = pp.enum_of<ParAlgo>(2);
+      plan.backend = pp.enum_of<StorageFormat>(2);
+      plan.scheme = pp.enum_of<SparsePartitionScheme>(1);
+      plan.collectives.tensor = pp.enum_of<CollectiveKind>(1);
+      plan.collectives.factor = pp.enum_of<CollectiveKind>(1);
+      plan.collectives.output = pp.enum_of<CollectiveKind>(1);
+      plan.collectives.gram = pp.enum_of<CollectiveKind>(1);
+      const int ng = pp.i32();
+      if (!pp.ok || ng < 0 || ng > 65) return false;
+      plan.grid.resize(static_cast<std::size_t>(ng));
+      long long grid_procs = 1;
+      for (int& e : plan.grid) {
+        e = pp.i32();
+        if (e < 1) return false;
+        grid_procs *= e;
+      }
+      // Semantic cross-check in addition to the checksum: a plan's grid
+      // must describe exactly the key's processor count.
+      if (pp.ok && grid_procs != k.procs) return false;
+      plan.comm.words = pp.dbl();
+      plan.comm.messages = pp.dbl();
+      plan.comm.tensor_words = pp.dbl();
+      plan.comm.factor_words = pp.dbl();
+      plan.comm.output_words = pp.dbl();
+      plan.comm.gram_words = pp.dbl();
+      plan.comm.tensor_messages = pp.dbl();
+      plan.comm.factor_messages = pp.dbl();
+      plan.comm.output_messages = pp.dbl();
+      plan.comm.gram_messages = pp.dbl();
+      plan.comm.exact = pp.flag();
+      plan.compute_flops = pp.dbl();
+      plan.score = pp.dbl();
+      plan.lower_bound = pp.dbl();
+      plan.optimality_ratio = pp.dbl();
+      const int nb = pp.i32();
+      if (!pp.ok || nb < 0 || nb > (1 << 22)) return false;
+      plan.nnz_stats.per_block.resize(static_cast<std::size_t>(nb));
+      for (index_t& b : plan.nnz_stats.per_block) b = pp.idx();
+      plan.nnz_stats.max_nnz = pp.idx();
+      plan.nnz_stats.min_nnz = pp.idx();
+      plan.nnz_stats.mean_nnz = pp.dbl();
+      if (!pp.done()) return false;
+      report->ranked.push_back(std::move(plan));
+    }
+
+    // --- checksum line ----------------------------------------------------
+    if (!std::getline(in, line)) return false;
+    TokenParser sp(line);
+    if (sp.word() != "sum") return false;
+    const std::string sum_word = sp.word();
+    char* sum_end = nullptr;
+    const std::uint64_t stored_sum =
+        std::strtoull(sum_word.c_str(), &sum_end, 10);
+    if (!sp.done() || sum_end == nullptr || *sum_end != '\0' ||
+        sum_word.empty() || stored_sum != sum.state) {
+      return false;
+    }
+
+    loaded[hash] = Entry{std::move(k), std::move(report)};
+  }
+  if (!saw_end) return false;  // truncated
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_ = std::move(loaded);
+  if (calibration != nullptr && have_cal) *calibration = loaded_cal;
+  return true;
 }
 
 }  // namespace mtk

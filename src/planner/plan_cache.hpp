@@ -11,11 +11,20 @@
 // returning another problem's grids. Values are shared_ptr-owned and
 // immutable, so callers may hold a report after eviction (clear()) and
 // across threads; the cache itself is mutex-guarded.
+//
+// The cache also persists across processes: save() writes a versioned,
+// line-oriented text file (doubles as hex floats, so every field — scores,
+// ratios, calibration parameters — round-trips bit-exactly) keyed by the
+// same fingerprints, optionally carrying a machine Calibration; load()
+// restores it. Any version mismatch, truncation, or corruption degrades
+// gracefully to a cold cache (load clears and returns false) — a damaged
+// file can cost re-planning, never a wrong plan.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "src/planner/planner.hpp"
@@ -24,6 +33,9 @@ namespace mtk {
 
 class PlanCache {
  public:
+  // Bump when the on-disk layout or any serialized enum changes; readers
+  // reject every other version (cold cache, no migration attempts).
+  static constexpr int kFileVersion = 1;
   // Returns the cached report for this (tensor, rank, options) key, planning
   // on a miss. The CSF path expands to COO once per *miss* only.
   std::shared_ptr<const PlanReport> get_or_plan(const StoredTensor& x,
@@ -34,6 +46,18 @@ class PlanCache {
   std::size_t hits() const;
   std::size_t misses() const;
   void clear();
+
+  // Writes every entry (and, when non-null, `calibration`) to `path`.
+  // Returns false if the file cannot be written.
+  bool save(const std::string& path,
+            const Calibration* calibration = nullptr) const;
+
+  // Restores entries saved by save(), replacing the current contents (hit/
+  // miss counters reset). On a missing, version-mismatched, truncated, or
+  // corrupt file the cache is left cold (cleared) and load returns false;
+  // `calibration`, when non-null, receives the stored calibration only on
+  // a fully successful parse.
+  bool load(const std::string& path, Calibration* calibration = nullptr);
 
   // Process-wide instance used by par_cp_als --autotune and the CLI.
   static PlanCache& global();
@@ -55,6 +79,8 @@ class PlanCache {
     int shortlist = 0;
     int exact_rank_cap = 0;
     double flop_word_ratio = 0.0;
+    double latency_word_ratio = 0.0;
+    Calibration machine;
     int reuse_count = 0;
 
     bool operator==(const KeyFields& other) const;

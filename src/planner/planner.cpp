@@ -53,20 +53,6 @@ std::vector<std::vector<int>> shortlist_grids(
   return grids;
 }
 
-// Modeled local multiply-adds per stored value, as a multiple of the factor
-// column count: the COO kernel touches one row of each of the N factors per
-// nonzero; CSF's fiber sharing amortizes roughly half of the non-leaf row
-// loads (the bench's observed CSF <= COO ordering); the dense two-step
-// kernel is per-element times N.
-double flops_per_value(StorageFormat format, int order) {
-  switch (format) {
-    case StorageFormat::kDense: return static_cast<double>(order);
-    case StorageFormat::kCoo: return static_cast<double>(order);
-    case StorageFormat::kCsf: return static_cast<double>(order + 1) / 2.0;
-  }
-  return static_cast<double>(order);
-}
-
 struct Candidate {
   ParAlgo algo;
   std::vector<int> grid;
@@ -93,7 +79,21 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
                 (opts.mode >= 0 && opts.mode < n),
             "output mode ", opts.mode, " out of range for order ", n);
   MTK_CHECK(opts.flop_word_ratio >= 0.0, "flop_word_ratio must be >= 0");
+  MTK_CHECK(opts.latency_word_ratio >= 0.0,
+            "latency_word_ratio must be >= 0");
   MTK_CHECK(opts.reuse_count >= 1, "reuse_count must be >= 1");
+
+  // Machine-balance ratios: a measured calibration supersedes the knobs.
+  const double lat = opts.machine.measured
+                         ? opts.machine.latency_word_ratio()
+                         : opts.latency_word_ratio;
+  const auto flop_ratio = [&](StorageFormat backend) {
+    return opts.machine.measured ? opts.machine.flop_word_ratio(backend)
+                                 : opts.flop_word_ratio;
+  };
+  const bool flops_matter = flop_ratio(StorageFormat::kDense) > 0.0 ||
+                            flop_ratio(StorageFormat::kCoo) > 0.0 ||
+                            flop_ratio(StorageFormat::kCsf) > 0.0;
 
   const bool sparse = p.format != StorageFormat::kDense;
   const index_t procs = opts.procs;
@@ -112,13 +112,22 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
   const ParAlgo base_algo = opts.workload == PlanWorkload::kAllModes
                                 ? ParAlgo::kAllModes
                                 : ParAlgo::kStationary;
+  // The shortlists rank grids by the closed-form α-β cost: the Eq. (14)/
+  // (18) word terms plus the matching round counts (recursive rounds where
+  // a power-of-two group allows them — the per-phase selection below can
+  // only do better). With lat = 0 this is the paper's bandwidth-only
+  // shortlist unchanged.
+  const double sweeps_per_mttkrp =
+      opts.workload == PlanWorkload::kAllModes ? 2.0 : 1.0;
   for (const std::vector<int>& g : shortlist_grids(
            procs, n, keep,
            [&](const std::vector<index_t>& grid) {
              return stationary_grid_feasible(cp, grid);
            },
            [&](const std::vector<index_t>& grid) {
-             return stationary_comm_cost(cp, grid);
+             return stationary_comm_cost(cp, grid) +
+                    lat * sweeps_per_mttkrp *
+                        stationary_msg_cost(grid, true);
            })) {
     for (SparsePartitionScheme scheme : schemes) {
       candidates.push_back({base_algo, g, scheme});
@@ -132,8 +141,10 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
                return general_grid_feasible(cp, grid);
              },
              [&](const std::vector<index_t>& grid) {
-               return sparse ? general_comm_cost_sparse(cp, p.nnz, grid)
-                             : general_comm_cost(cp, grid);
+               const double words =
+                   sparse ? general_comm_cost_sparse(cp, p.nnz, grid)
+                          : general_comm_cost(cp, grid);
+               return words + lat * general_msg_cost(grid, true);
              })) {
       for (SparsePartitionScheme scheme : schemes) {
         candidates.push_back({ParAlgo::kGeneral, g, scheme});
@@ -160,16 +171,55 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
     // Communication depends on (algo, grid, scheme) but not on the sparse
     // backend: collective payloads are factor/output matrices plus, for
     // Algorithm 4, (coordinates, value) tuples of either sparse format.
-    CommPrediction comm;
-    switch (opts.workload) {
-      case PlanWorkload::kCpAls:
-        comm = predict_cp_als_iteration(p, cand.grid, cand.scheme,
-                                        opts.exact_rank_cap);
-        break;
-      default:
-        comm = predict_mttkrp_comm(p, cand.algo, cand.grid, opts.mode,
-                                   cand.scheme, opts.exact_rank_cap);
-        break;
+    const auto predict = [&](const CollectiveSchedule& sched) {
+      switch (opts.workload) {
+        case PlanWorkload::kCpAls:
+          return predict_cp_als_iteration(p, cand.grid, cand.scheme, sched,
+                                          opts.exact_rank_cap);
+        default:
+          return predict_mttkrp_comm(p, cand.algo, cand.grid, opts.mode,
+                                     cand.scheme, sched,
+                                     opts.exact_rank_cap);
+      }
+    };
+
+    // Per-phase collective-kind selection by the α-β model: compare each
+    // phase's (words, rounds) under the all-bucket and all-recursive
+    // replays and keep the cheaper kind, with ties staying on the bucket
+    // ring (bandwidth-optimal for any group size). Small-message phases go
+    // recursive once α · (q-1-log2 q) outweighs any word penalty of the
+    // non-uniform doubling exchange; large-message phases stay on the
+    // ring. The mixed schedule is then re-replayed so the reported
+    // prediction is exact for what the run will actually do.
+    CollectiveSchedule sched;  // all-bucket
+    CommPrediction comm = predict(sched);
+    if (lat > 0.0) {
+      const CommPrediction rec = predict(CollectiveKind::kRecursive);
+      const auto cheaper = [&](double words_b, double msgs_b, double words_r,
+                               double msgs_r) {
+        return words_r + lat * msgs_r < words_b + lat * msgs_b;
+      };
+      if (cheaper(comm.tensor_words, comm.tensor_messages, rec.tensor_words,
+                  rec.tensor_messages)) {
+        sched.tensor = CollectiveKind::kRecursive;
+      }
+      if (cheaper(comm.factor_words, comm.factor_messages, rec.factor_words,
+                  rec.factor_messages)) {
+        sched.factor = CollectiveKind::kRecursive;
+      }
+      if (cheaper(comm.output_words, comm.output_messages, rec.output_words,
+                  rec.output_messages)) {
+        sched.output = CollectiveKind::kRecursive;
+      }
+      if (cheaper(comm.gram_words, comm.gram_messages, rec.gram_words,
+                  rec.gram_messages)) {
+        sched.gram = CollectiveKind::kRecursive;
+      }
+      if (sched != CollectiveSchedule()) {
+        comm = sched == CollectiveSchedule(CollectiveKind::kRecursive)
+                   ? rec
+                   : predict(sched);
+      }
     }
 
     // Bottleneck stored values of this candidate's partition. Algorithm 4
@@ -184,7 +234,7 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
         cand.algo == ParAlgo::kGeneral
             ? std::vector<int>(cand.grid.begin() + 1, cand.grid.end())
             : cand.grid;
-    if (sparse && p.coo != nullptr && opts.flop_word_ratio > 0.0) {
+    if (sparse && p.coo != nullptr && flops_matter) {
       stats = count_block_nnz(*p.coo, ProcessorGrid(tensor_extents),
                               cand.scheme);
       bottleneck_values = stats.max_nnz;
@@ -214,11 +264,12 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
       plan.backend = backend;
       plan.grid = cand.grid;
       plan.scheme = cand.scheme;
+      plan.collectives = sched;
       plan.comm = comm;
       plan.nnz_stats = stats;
       plan.compute_flops = sweeps * static_cast<double>(bottleneck_values) *
                            static_cast<double>(cols) *
-                           flops_per_value(backend, n);
+                           modeled_flops_per_value(backend, n);
       if (backend == StorageFormat::kCsf && p.format != StorageFormat::kCsf) {
         // One-time COO -> CSF compression (a sort-dominated pass), amortized
         // over the MTTKRPs the plan serves.
@@ -227,8 +278,8 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
             2.0 * nnz_d * std::log2(nnz_d + 1.0) /
             static_cast<double>(opts.reuse_count);
       }
-      plan.score =
-          comm.words + opts.flop_word_ratio * plan.compute_flops;
+      plan.score = comm.words + lat * comm.messages +
+                   flop_ratio(backend) * plan.compute_flops;
       plan.lower_bound = bound;
       // Normalize multi-MTTKRP workloads to a per-MTTKRP share so the
       // ratio column is comparable across workloads: kCpAls divides its
@@ -297,6 +348,12 @@ PlanReport plan_mttkrp(const StoredTensor& x, index_t rank,
   return plan_impl(p, opts);
 }
 
+PlanReport plan_cp_gradient(const StoredTensor& x, index_t rank,
+                            PlannerOptions opts) {
+  opts.workload = PlanWorkload::kAllModes;
+  return plan_mttkrp(x, rank, opts);
+}
+
 PlanReport plan_mttkrp_model(const shape_t& dims, index_t rank,
                              StorageFormat format, index_t nnz,
                              const PlannerOptions& opts) {
@@ -317,9 +374,10 @@ void print_plan_report(const PlanReport& report, std::FILE* out) {
                static_cast<long long>(report.rank), report.procs,
                to_string(report.input_format),
                static_cast<long long>(report.nnz));
-  std::fprintf(out, "%-3s %-10s %-6s %-14s %-7s %12s %9s %8s %9s %9s\n", "#",
-               "algo", "fmt", "grid", "scheme", "words", "msgs", "vs-lb",
-               "max-nnz", "nnz-imb");
+  std::fprintf(out,
+               "%-3s %-10s %-6s %-14s %-7s %-21s %12s %9s %8s %9s %9s\n",
+               "#", "algo", "fmt", "grid", "scheme", "collectives", "words",
+               "msgs", "vs-lb", "max-nnz", "nnz-imb");
   for (std::size_t i = 0; i < report.ranked.size(); ++i) {
     const ExecutionPlan& plan = report.ranked[i];
     char ratio[32];
@@ -329,11 +387,12 @@ void print_plan_report(const PlanReport& report, std::FILE* out) {
       std::snprintf(ratio, sizeof ratio, "%.2fx", plan.optimality_ratio);
     }
     const bool have_nnz = !plan.nnz_stats.per_block.empty();
-    std::fprintf(out, "%-3zu %-10s %-6s %-14s %-7s %12.0f %9.0f %8s",
+    std::fprintf(out, "%-3zu %-10s %-6s %-14s %-7s %-21s %12.0f %9.0f %8s",
                  i + 1, to_string(plan.algo), to_string(plan.backend),
                  grid_string(plan.grid).c_str(),
                  plan.scheme == SparsePartitionScheme::kBlock ? "block"
                                                               : "medium",
+                 to_string(plan.collectives).c_str(),
                  plan.comm.words, plan.comm.messages, ratio);
     if (have_nnz) {
       std::fprintf(out, " %9lld %8.2fx",

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/bounds/parallel_bounds.hpp"
+#include "src/planner/calibrate.hpp"
 #include "src/planner/predict.hpp"
 
 namespace mtk {
@@ -45,10 +46,21 @@ struct PlannerOptions {
   int top_k = 8;                  // ranked plans to keep
   int shortlist = 16;             // closed-form survivors per algorithm
   int exact_rank_cap = 1 << 15;   // per-rank replay cap (see predict.hpp)
-  // Machine balance: seconds-per-flop / seconds-per-word. 0 ranks by pure
-  // communication; ~1e-2 matches a node moving words ~100x slower than
+  // Machine balance: seconds-per-flop / seconds-per-word (γ/β). 0 ranks by
+  // pure communication; ~1e-2 matches a node moving words ~100x slower than
   // flops and makes nonzero balance matter on skewed tensors.
   double flop_word_ratio = 0.0;
+  // Latency balance: seconds-per-message / seconds-per-word (α/β). 0 keeps
+  // the paper's bandwidth-only objective and the bucket rings; > 0 makes
+  // the per-phase collective-kind selection live — recursive doubling/
+  // halving wins a phase when its log2(q) rounds beat the ring's q-1 by
+  // more than any word-count penalty of the non-uniform doubling exchange.
+  double latency_word_ratio = 0.0;
+  // Measured machine parameters (mttkrp_cli --calibrate). When
+  // machine.measured is set, the two hand-set ratios above are superseded:
+  // α/β comes from the calibration and γ/β is taken per candidate backend,
+  // so a measured CSF-vs-COO kernel gap steers the backend choice.
+  Calibration machine;
   // MTTKRPs the plan will serve (CP-ALS: iterations x N). Amortizes the
   // one-time CSF compression cost in the backend choice.
   int reuse_count = 1;
@@ -59,6 +71,10 @@ struct ExecutionPlan {
   StorageFormat backend = StorageFormat::kDense;
   std::vector<int> grid;  // N extents (N+1 with P0 first for kGeneral)
   SparsePartitionScheme scheme = SparsePartitionScheme::kBlock;
+  // Per-phase collective choice (bucket ring vs recursive doubling/halving)
+  // the plan's run must use for the prediction to stay word- and
+  // message-exact; all-bucket unless the α-β model favored fewer rounds.
+  CollectiveSchedule collectives;
   CommPrediction comm;     // per MTTKRP (per iteration for kCpAls)
   double compute_flops = 0.0;  // bottleneck rank's modeled local flops
   double score = 0.0;          // ranking objective (see header comment)
@@ -95,6 +111,14 @@ struct PlanReport {
 // factorization under the P_k <= I_k rules).
 PlanReport plan_mttkrp(const StoredTensor& x, index_t rank,
                        const PlannerOptions& opts);
+
+// Plans the all-modes exchange a gradient-based CP iteration needs (every
+// B^(n) against the same factors at once — the workload par_cp_gradient
+// runs): forces PlanWorkload::kAllModes, otherwise identical to
+// plan_mttkrp. The ranked grids trade the shared factor All-Gathers
+// against the N output Reduce-Scatters.
+PlanReport plan_cp_gradient(const StoredTensor& x, index_t rank,
+                            PlannerOptions opts);
 
 // Model-only planning from the problem shape (no nonzero structure):
 // sparse predictions assume balanced nonzeros. For what-if studies at

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/costmodel/grid_search.hpp"
 #include "src/parsim/grid.hpp"
 #include "src/parsim/par_common.hpp"
 #include "src/support/check.hpp"
+#include "src/support/math_util.hpp"
 
 namespace mtk {
 
@@ -21,33 +23,48 @@ const char* to_string(ParAlgo algo) {
 namespace {
 
 // Per-rank accumulators for one replayed schedule; the bottleneck rank (by
-// total words) supplies the reported prediction and its breakdown.
+// total words) supplies the reported word breakdown, while the message
+// bottleneck is the max over all ranks (the two can differ when a rank
+// sits in small-word, many-round groups).
 struct RankAccum {
-  std::vector<double> tensor, factor, output, gram, messages;
+  std::vector<double> tensor, factor, output, gram;
+  std::vector<double> tensor_m, factor_m, output_m, gram_m;
 
   explicit RankAccum(int p)
       : tensor(static_cast<std::size_t>(p), 0.0),
         factor(static_cast<std::size_t>(p), 0.0),
         output(static_cast<std::size_t>(p), 0.0),
         gram(static_cast<std::size_t>(p), 0.0),
-        messages(static_cast<std::size_t>(p), 0.0) {}
+        tensor_m(static_cast<std::size_t>(p), 0.0),
+        factor_m(static_cast<std::size_t>(p), 0.0),
+        output_m(static_cast<std::size_t>(p), 0.0),
+        gram_m(static_cast<std::size_t>(p), 0.0) {}
 
   double total(std::size_t r) const {
     return tensor[r] + factor[r] + output[r] + gram[r];
   }
+  double total_msgs(std::size_t r) const {
+    return tensor_m[r] + factor_m[r] + output_m[r] + gram_m[r];
+  }
 
   CommPrediction finalize() const {
     std::size_t best = 0;
+    double max_msgs = total_msgs(0);
     for (std::size_t r = 1; r < tensor.size(); ++r) {
       if (total(r) > total(best)) best = r;
+      max_msgs = std::max(max_msgs, total_msgs(r));
     }
     CommPrediction c;
     c.words = total(best);
-    c.messages = messages[best];
+    c.messages = max_msgs;
     c.tensor_words = tensor[best];
     c.factor_words = factor[best];
     c.output_words = output[best];
     c.gram_words = gram[best];
+    c.tensor_messages = tensor_m[best];
+    c.factor_messages = factor_m[best];
+    c.output_messages = output_m[best];
+    c.gram_messages = gram_m[best];
     c.exact = true;
     return c;
   }
@@ -57,22 +74,60 @@ index_t chunk_len(index_t total, int q, int i) {
   return flat_chunk(total, q, i).length();
 }
 
+// Words moved (sent + received) and messages sent by one group position in
+// one collective, mirroring the dispatcher's algorithm choice exactly.
+struct Moved {
+  double words = 0.0;
+  double msgs = 0.0;
+};
+
+// Recursive-doubling All-Gather: at round dist, position i sends its whole
+// subcube {i ^ m : m < dist} and receives the partner's. Summing the flat
+// chunk sizes over those subcubes replays all_gather_doubling's counters.
+double doubling_moved(index_t w, int q, int pos) {
+  double moved = 0.0;
+  for (int dist = 1; dist < q; dist *= 2) {
+    const int own_lo = pos & ~(dist - 1);
+    const int partner_lo = (pos ^ dist) & ~(dist - 1);
+    for (int m = 0; m < dist; ++m) {
+      moved += static_cast<double>(chunk_len(w, q, own_lo + m)) +
+               static_cast<double>(chunk_len(w, q, partner_lo + m));
+    }
+  }
+  return moved;
+}
+
 // Ring bucket All-Gather of W words over q members: position i sends every
 // chunk except c_{(i+1) mod q} and receives every chunk except c_i.
-double ag_moved(index_t w, int q, int pos) {
-  if (q <= 1) return 0.0;
-  return 2.0 * static_cast<double>(w) -
-         static_cast<double>(chunk_len(w, q, pos)) -
-         static_cast<double>(chunk_len(w, q, (pos + 1) % q));
+Moved ag_replay(index_t w, int q, int pos, CollectiveKind kind) {
+  if (q <= 1) return {};
+  if (kind == CollectiveKind::kRecursive &&
+      recursive_all_gather_applies(q)) {
+    return {doubling_moved(w, q, pos),
+            static_cast<double>(collective_rounds(q, true))};
+  }
+  return {2.0 * static_cast<double>(w) -
+              static_cast<double>(chunk_len(w, q, pos)) -
+              static_cast<double>(chunk_len(w, q, (pos + 1) % q)),
+          static_cast<double>(q - 1)};
 }
 
 // Ring bucket Reduce-Scatter: position i sends every chunk except c_i and
-// receives every chunk except c_{(i-1) mod q}.
-double rs_moved(index_t w, int q, int pos) {
-  if (q <= 1) return 0.0;
-  return 2.0 * static_cast<double>(w) -
-         static_cast<double>(chunk_len(w, q, pos)) -
-         static_cast<double>(chunk_len(w, q, (pos - 1 + q) % q));
+// receives every chunk except c_{(i-1) mod q}. The recursive-halving
+// fallback rule (uniform flat chunks <=> w divisible by q) matches
+// reduce_scatter_dispatch; halving moves the same 2W(q-1)/q words.
+Moved rs_replay(index_t w, int q, int pos, CollectiveKind kind) {
+  if (q <= 1) return {};
+  if (kind == CollectiveKind::kRecursive &&
+      is_pow2(static_cast<index_t>(q)) && w % q == 0) {
+    return {2.0 * static_cast<double>(w) * static_cast<double>(q - 1) /
+                static_cast<double>(q),
+            static_cast<double>(collective_rounds(q, true))};
+  }
+  return {2.0 * static_cast<double>(w) -
+              static_cast<double>(chunk_len(w, q, pos)) -
+              static_cast<double>(chunk_len(w, q, (pos - 1 + q) % q)),
+          static_cast<double>(q - 1)};
 }
 
 // Position of a rank within group_fixing(fixed, rank): column-major
@@ -127,7 +182,8 @@ std::vector<std::vector<Range>> planned_partitions(
 // reduce-scatters every mode.
 void accumulate_stationary(RankAccum& acc, const ProcessorGrid& grid,
                            const std::vector<std::vector<Range>>& parts,
-                           index_t rank_r, int mode, bool all_modes) {
+                           index_t rank_r, int mode, bool all_modes,
+                           const CollectiveSchedule& sched) {
   const int n = grid.ndims();
   const int p = grid.size();
   std::vector<bool> fixed(static_cast<std::size_t>(n), false);
@@ -144,12 +200,14 @@ void accumulate_stationary(RankAccum& acc, const ProcessorGrid& grid,
                    .length(),
           rank_r);
       if (all_modes || k != mode) {
-        acc.factor[static_cast<std::size_t>(r)] += ag_moved(w, q, pos);
-        acc.messages[static_cast<std::size_t>(r)] += q - 1;
+        const Moved m = ag_replay(w, q, pos, sched.factor);
+        acc.factor[static_cast<std::size_t>(r)] += m.words;
+        acc.factor_m[static_cast<std::size_t>(r)] += m.msgs;
       }
       if (all_modes || k == mode) {
-        acc.output[static_cast<std::size_t>(r)] += rs_moved(w, q, pos);
-        acc.messages[static_cast<std::size_t>(r)] += q - 1;
+        const Moved m = rs_replay(w, q, pos, sched.output);
+        acc.output[static_cast<std::size_t>(r)] += m.words;
+        acc.output_m[static_cast<std::size_t>(r)] += m.msgs;
       }
     }
   }
@@ -162,7 +220,8 @@ void accumulate_general(RankAccum& acc, const ProcessorGrid& grid,
                         const ProcessorGrid& sub_grid,
                         const std::vector<std::vector<Range>>& parts,
                         const std::vector<Range>& rank_parts,
-                        const std::vector<index_t>& fiber_words, int mode) {
+                        const std::vector<index_t>& fiber_words, int mode,
+                        const CollectiveSchedule& sched) {
   const int n = grid.ndims() - 1;
   const int p = grid.size();
   const int p0 = grid.extent(0);
@@ -175,9 +234,12 @@ void accumulate_general(RankAccum& acc, const ProcessorGrid& grid,
 
     // Phase 0: tensor All-Gather across the P0-fiber (varying dim 0 only,
     // so the group position is the rank's own c0 coordinate).
-    acc.tensor[static_cast<std::size_t>(r)] += ag_moved(
-        fiber_words[static_cast<std::size_t>(fiber)], p0, c0);
-    acc.messages[static_cast<std::size_t>(r)] += p0 - 1;
+    {
+      const Moved m = ag_replay(
+          fiber_words[static_cast<std::size_t>(fiber)], p0, c0, sched.tensor);
+      acc.tensor[static_cast<std::size_t>(r)] += m.words;
+      acc.tensor_m[static_cast<std::size_t>(r)] += m.msgs;
+    }
 
     for (int k = 0; k < n; ++k) {
       const int q = p / (p0 * grid.extent(k + 1));
@@ -192,32 +254,41 @@ void accumulate_general(RankAccum& acc, const ProcessorGrid& grid,
                    .length(),
           rank_parts[static_cast<std::size_t>(c0)].length());
       if (k != mode) {
-        acc.factor[static_cast<std::size_t>(r)] += ag_moved(w, q, pos);
+        const Moved m = ag_replay(w, q, pos, sched.factor);
+        acc.factor[static_cast<std::size_t>(r)] += m.words;
+        acc.factor_m[static_cast<std::size_t>(r)] += m.msgs;
       } else {
-        acc.output[static_cast<std::size_t>(r)] += rs_moved(w, q, pos);
+        const Moved m = rs_replay(w, q, pos, sched.output);
+        acc.output[static_cast<std::size_t>(r)] += m.words;
+        acc.output_m[static_cast<std::size_t>(r)] += m.msgs;
       }
-      acc.messages[static_cast<std::size_t>(r)] += q - 1;
     }
   }
 }
 
-// Machine-wide Gram All-Reduce of R^2 words (distributed_gram's bucket
-// Reduce-Scatter + All-Gather over all P ranks in rank order).
-void accumulate_gram(RankAccum& acc, int p, index_t r_squared) {
+// Machine-wide Gram All-Reduce of R^2 words (distributed_gram's dispatched
+// Reduce-Scatter + All-Gather over all P ranks in rank order; both stages
+// consult the fallback rules independently, as all_reduce_dispatch does).
+void accumulate_gram(RankAccum& acc, int p, index_t r_squared,
+                     const CollectiveSchedule& sched) {
   for (int r = 0; r < p; ++r) {
-    acc.gram[static_cast<std::size_t>(r)] +=
-        rs_moved(r_squared, p, r) + ag_moved(r_squared, p, r);
-    acc.messages[static_cast<std::size_t>(r)] += 2 * (p - 1);
+    const Moved rs = rs_replay(r_squared, p, r, sched.gram);
+    const Moved ag = ag_replay(r_squared, p, r, sched.gram);
+    acc.gram[static_cast<std::size_t>(r)] += rs.words + ag.words;
+    acc.gram_m[static_cast<std::size_t>(r)] += rs.msgs + ag.msgs;
   }
 }
 
 // Balanced closed-form estimates (sent+received = 2x the Eq. (14)/(18)
-// per-processor sends, with ceil'd block sizes), used above the per-rank
-// replay cap. Medium-grained boundaries are unknown without the nonzero
-// structure, so the same index-balanced ranges are assumed.
+// per-processor sends, with ceil'd block sizes, and the α-side round counts
+// from costmodel), used above the per-rank replay cap. Medium-grained
+// boundaries are unknown without the nonzero structure, so the same
+// index-balanced ranges are assumed; Reduce-Scatter divisibility is taken
+// as satisfied (the balanced model's chunks are uniform by construction).
 CommPrediction closed_stationary(const PredictProblem& p,
                                  const std::vector<int>& grid, int mode,
-                                 bool all_modes) {
+                                 bool all_modes,
+                                 const CollectiveSchedule& sched) {
   const int n = static_cast<int>(p.dims.size());
   double procs = 1.0;
   for (int e : grid) procs *= static_cast<double>(e);
@@ -232,19 +303,23 @@ CommPrediction closed_stationary(const PredictProblem& p,
     const double moved = 2.0 * w * (q - 1.0) / q;
     if (all_modes || k != mode) {
       c.factor_words += moved;
-      c.messages += q - 1.0;
+      c.factor_messages += collective_rounds_model(
+          q, sched.factor == CollectiveKind::kRecursive);
     }
     if (all_modes || k == mode) {
       c.output_words += moved;
-      c.messages += q - 1.0;
+      c.output_messages += collective_rounds_model(
+          q, sched.output == CollectiveKind::kRecursive);
     }
   }
   c.words = c.factor_words + c.output_words;
+  c.messages = c.factor_messages + c.output_messages;
   return c;
 }
 
 CommPrediction closed_general(const PredictProblem& p,
-                              const std::vector<int>& grid, int mode) {
+                              const std::vector<int>& grid, int mode,
+                              const CollectiveSchedule& sched) {
   const int n = static_cast<int>(p.dims.size());
   double procs = 1.0;
   for (int e : grid) procs *= static_cast<double>(e);
@@ -267,7 +342,8 @@ CommPrediction closed_general(const PredictProblem& p,
         static_cast<index_t>(n + 1));
   }
   c.tensor_words = 2.0 * tensor_payload * (p0 - 1.0) / p0;
-  c.messages += p0 - 1.0;
+  c.tensor_messages = collective_rounds_model(
+      p0, sched.tensor == CollectiveKind::kRecursive);
 
   const index_t rank_block = ceil_div(p.rank, grid[0]);
   for (int k = 0; k < n; ++k) {
@@ -281,12 +357,16 @@ CommPrediction closed_general(const PredictProblem& p,
     const double moved = 2.0 * w * (q - 1.0) / q;
     if (k != mode) {
       c.factor_words += moved;
+      c.factor_messages += collective_rounds_model(
+          q, sched.factor == CollectiveKind::kRecursive);
     } else {
       c.output_words += moved;
+      c.output_messages += collective_rounds_model(
+          q, sched.output == CollectiveKind::kRecursive);
     }
-    c.messages += q - 1.0;
   }
   c.words = c.tensor_words + c.factor_words + c.output_words;
+  c.messages = c.tensor_messages + c.factor_messages + c.output_messages;
   return c;
 }
 
@@ -309,6 +389,7 @@ PredictProblem make_predict_problem(const StoredTensor& x, index_t rank,
 CommPrediction predict_mttkrp_comm(const PredictProblem& p, ParAlgo algo,
                                    const std::vector<int>& grid, int mode,
                                    SparsePartitionScheme scheme,
+                                   CollectiveSchedule collectives,
                                    int exact_rank_cap) {
   check_problem(p);
   const int n = static_cast<int>(p.dims.size());
@@ -335,7 +416,7 @@ CommPrediction predict_mttkrp_comm(const PredictProblem& p, ParAlgo algo,
     index_t procs = 1;
     for (int e : grid) procs = checked_mul(procs, e);
     if (procs > exact_rank_cap || (need_coo && p.coo == nullptr)) {
-      return closed_general(p, grid, mode);
+      return closed_general(p, grid, mode, collectives);
     }
 
     const ProcessorGrid pgrid(grid);
@@ -370,7 +451,7 @@ CommPrediction predict_mttkrp_comm(const PredictProblem& p, ParAlgo algo,
 
     RankAccum acc(pgrid.size());
     accumulate_general(acc, pgrid, sub_grid, parts, rank_parts, fiber_words,
-                       mode);
+                       mode, collectives);
     return acc.finalize();
   }
 
@@ -379,20 +460,22 @@ CommPrediction predict_mttkrp_comm(const PredictProblem& p, ParAlgo algo,
   for (int e : grid) procs = checked_mul(procs, e);
   const bool all_modes = algo == ParAlgo::kAllModes;
   if (procs > exact_rank_cap || (need_coo && p.coo == nullptr)) {
-    return closed_stationary(p, grid, mode, all_modes);
+    return closed_stationary(p, grid, mode, all_modes, collectives);
   }
 
   const ProcessorGrid pgrid(grid);
   const std::vector<std::vector<Range>> parts =
       planned_partitions(p, grid, scheme);
   RankAccum acc(pgrid.size());
-  accumulate_stationary(acc, pgrid, parts, p.rank, mode, all_modes);
+  accumulate_stationary(acc, pgrid, parts, p.rank, mode, all_modes,
+                        collectives);
   return acc.finalize();
 }
 
 CommPrediction predict_cp_als_iteration(const PredictProblem& p,
                                         const std::vector<int>& grid,
                                         SparsePartitionScheme scheme,
+                                        CollectiveSchedule collectives,
                                         int exact_rank_cap) {
   check_problem(p);
   check_n_way_grid(p, grid);
@@ -407,16 +490,21 @@ CommPrediction predict_cp_als_iteration(const PredictProblem& p,
   if (procs > exact_rank_cap || (need_coo && p.coo == nullptr)) {
     CommPrediction c;
     for (int mode = 0; mode < n; ++mode) {
-      const CommPrediction m = closed_stationary(p, grid, mode, false);
+      const CommPrediction m =
+          closed_stationary(p, grid, mode, false, collectives);
       c.factor_words += m.factor_words;
       c.output_words += m.output_words;
-      c.messages += m.messages;
+      c.factor_messages += m.factor_messages;
+      c.output_messages += m.output_messages;
     }
     const double pp = static_cast<double>(procs);
     c.gram_words = 4.0 * static_cast<double>(n) *
                    static_cast<double>(r_squared) * (pp - 1.0) / pp;
-    c.messages += 2.0 * static_cast<double>(n) * (pp - 1.0);
+    c.gram_messages = 2.0 * static_cast<double>(n) *
+                      collective_rounds_model(
+                          pp, collectives.gram == CollectiveKind::kRecursive);
     c.words = c.factor_words + c.output_words + c.gram_words;
+    c.messages = c.factor_messages + c.output_messages + c.gram_messages;
     return c;
   }
 
@@ -425,8 +513,9 @@ CommPrediction predict_cp_als_iteration(const PredictProblem& p,
       planned_partitions(p, grid, scheme);
   RankAccum acc(pgrid.size());
   for (int mode = 0; mode < n; ++mode) {
-    accumulate_stationary(acc, pgrid, parts, p.rank, mode, false);
-    accumulate_gram(acc, pgrid.size(), r_squared);
+    accumulate_stationary(acc, pgrid, parts, p.rank, mode, false,
+                          collectives);
+    accumulate_gram(acc, pgrid.size(), r_squared, collectives);
   }
   return acc.finalize();
 }

@@ -1,24 +1,31 @@
 // Unified communication predictor for the simulated parallel MTTKRP
 // algorithms: one entry point covering Algorithm 3 (stationary), Algorithm 4
-// (general), and the all-modes variant, over every storage format and both
-// sparse partition schemes.
+// (general), and the all-modes variant, over every storage format, both
+// sparse partition schemes, and both collective schedules (bucket ring vs
+// recursive doubling/halving).
 //
-// The predictor replays the ring-collective schedules at the counter level —
-// for a bucket All-Gather of W words over q members, the member at group
+// The predictor replays the collective schedules at the counter level — for
+// a bucket All-Gather of W words over q members, the member at group
 // position i moves 2W - c_i - c_{(i+1) mod q} words (sent plus received,
-// where c_j are the flat chunk sizes); for a Reduce-Scatter it moves
-// 2W - c_i - c_{(i-1) mod q}. Accumulating those closed forms per rank gives
-// predictions that match the simulator's Machine counters *word for word*,
-// including the nnz-aware Algorithm 4 tensor gather (the Eq. (18) analogue
-// with nonzero terms: N+1 words per nonzero of each P0-fiber's block).
-// Above `exact_rank_cap` ranks the per-rank replay is skipped and a balanced
-// closed-form estimate (2x Eqs. (14)/(18), sent+received) is returned with
+// where c_j are the flat chunk sizes) in q-1 messages; for a Reduce-Scatter
+// it moves 2W - c_i - c_{(i-1) mod q} in q-1 messages. The recursive
+// variants are replayed through their hypercube exchange (log2(q) messages;
+// subcube chunk sums for the doubling words), honoring the dispatcher's
+// fallback rules (power-of-two groups, uniform Reduce-Scatter chunks)
+// decision-for-decision. Accumulating those closed forms per rank gives
+// predictions that match the simulator's Machine counters *word for word
+// and message for message*, including the nnz-aware Algorithm 4 tensor
+// gather (the Eq. (18) analogue with nonzero terms: N+1 words per nonzero
+// of each P0-fiber's block). Above `exact_rank_cap` ranks the per-rank
+// replay is skipped and a balanced closed-form estimate (2x Eqs. (14)/(18),
+// sent+received, with the matching α-side round counts) is returned with
 // `exact = false`.
 #pragma once
 
 #include <vector>
 
 #include "src/mttkrp/dispatch.hpp"
+#include "src/parsim/collective_variants.hpp"
 #include "src/parsim/distribution.hpp"
 #include "src/support/index.hpp"
 
@@ -30,11 +37,18 @@ const char* to_string(ParAlgo algo);
 
 struct CommPrediction {
   double words = 0.0;         // bottleneck rank's sent + received
-  double messages = 0.0;      // the same rank's sent message count
+  double messages = 0.0;      // max over ranks of messages sent
   double tensor_words = 0.0;  // share from the Algorithm 4 tensor All-Gather
   double factor_words = 0.0;  // share from the factor All-Gathers
   double output_words = 0.0;  // share from the output Reduce-Scatters
   double gram_words = 0.0;    // share from Gram All-Reduces (CP-ALS only)
+  // Message counts of the max-words rank per phase (the α-side breakdown
+  // the planner's per-phase schedule selection consumes). Note `messages`
+  // above is a max over *all* ranks, so it can exceed the sum of these.
+  double tensor_messages = 0.0;
+  double factor_messages = 0.0;
+  double output_messages = 0.0;
+  double gram_messages = 0.0;
   // True when the per-rank replay ran (prediction matches the simulator's
   // counters exactly); false for the balanced closed-form estimate.
   bool exact = false;
@@ -60,10 +74,14 @@ PredictProblem make_predict_problem(const StoredTensor& x, index_t rank,
 // Bottleneck communication of one MTTKRP. `grid` has N entries for
 // kStationary/kAllModes and N+1 (P0 first) for kGeneral; `mode` is the
 // output mode (ignored by kAllModes, which produces every mode).
+// `collectives` is the per-phase schedule the run will use; the default
+// replays the bucket rings everywhere.
 CommPrediction predict_mttkrp_comm(const PredictProblem& p, ParAlgo algo,
                                    const std::vector<int>& grid, int mode,
                                    SparsePartitionScheme scheme =
                                        SparsePartitionScheme::kBlock,
+                                   CollectiveSchedule collectives =
+                                       CollectiveKind::kBucket,
                                    int exact_rank_cap = 1 << 15);
 
 // One par_cp_als iteration on an N-way grid: N stationary MTTKRPs (one per
@@ -73,6 +91,8 @@ CommPrediction predict_cp_als_iteration(const PredictProblem& p,
                                         const std::vector<int>& grid,
                                         SparsePartitionScheme scheme =
                                             SparsePartitionScheme::kBlock,
+                                        CollectiveSchedule collectives =
+                                            CollectiveKind::kBucket,
                                         int exact_rank_cap = 1 << 15);
 
 }  // namespace mtk

@@ -1,0 +1,130 @@
+// Parallel gradient-based CP (the all-modes workload): the simulated-
+// parallel driver shares the sequential optimizer core, so the two must
+// produce matching decompositions while the parallel one charges the
+// machine for every gradient evaluation; the autotuned path must plan the
+// all-modes exchange through the planner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cp/par_cp_gradient.hpp"
+#include "src/planner/plan_cache.hpp"
+#include "src/planner/predict.hpp"
+#include "src/support/rng.hpp"
+#include "src/tensor/csf.hpp"
+
+namespace mtk {
+namespace {
+
+CpGradOptions descent_options() {
+  CpGradOptions o;
+  o.rank = 3;
+  o.max_iterations = 15;
+  o.tolerance = 1e-5;
+  o.seed = 7;
+  return o;
+}
+
+TEST(ParCpGradient, MatchesSequentialOptimizer) {
+  Rng rng(51);
+  const DenseTensor x = DenseTensor::random_normal({8, 7, 6}, rng);
+  const CpGradOptions o = descent_options();
+
+  const CpGradResult seq = cp_gradient_descent(x, o);
+
+  ParCpGradOptions po;
+  po.descent = o;
+  po.grid = {2, 2, 1};
+  const ParCpGradResult par = par_cp_gradient(StoredTensor::dense_view(x), po);
+
+  // Same seed, same optimizer core, numerically equivalent evaluations
+  // (the parallel all-modes MTTKRP reduces in a different order, so allow
+  // floating-point slack but require the same trajectory shape).
+  EXPECT_EQ(par.descent.iterations, seq.iterations);
+  EXPECT_EQ(par.descent.converged, seq.converged);
+  EXPECT_NEAR(par.descent.final_fit, seq.final_fit, 1e-8);
+  ASSERT_EQ(par.descent.trace.size(), seq.trace.size());
+  for (std::size_t i = 0; i < seq.trace.size(); ++i) {
+    EXPECT_NEAR(par.descent.trace[i].objective, seq.trace[i].objective,
+                1e-6 * std::max(1.0, std::fabs(seq.trace[i].objective)));
+  }
+
+  // Every evaluation (initial + one per accepted/rejected trial) moved
+  // data: at least the initial evaluation plus one per iteration.
+  EXPECT_GE(par.evaluations, seq.iterations + 1);
+  EXPECT_GT(par.total_words_max, 0);
+  EXPECT_GT(par.total_messages_max, 0);
+}
+
+TEST(ParCpGradient, SparseBackendsAgree) {
+  Rng rng(53);
+  const SparseTensor coo = SparseTensor::random_sparse({10, 9, 8}, 0.15, rng);
+  const CsfTensor csf = CsfTensor::from_coo(coo);
+  ParCpGradOptions po;
+  po.descent = descent_options();
+  po.grid = {2, 1, 2};
+
+  const ParCpGradResult rc = par_cp_gradient(coo, po);
+  const ParCpGradResult rf = par_cp_gradient(csf, po);
+  EXPECT_NEAR(rc.descent.final_fit, rf.descent.final_fit, 1e-8);
+  // Block partitions + identical collective payloads: the bottleneck
+  // traffic is storage-independent in Algorithm 3 form.
+  EXPECT_EQ(rc.total_words_max, rf.total_words_max);
+  EXPECT_EQ(rc.total_messages_max, rf.total_messages_max);
+}
+
+TEST(ParCpGradient, TrafficConsistentWithAllModesPrediction) {
+  Rng rng(57);
+  const DenseTensor x = DenseTensor::random_normal({8, 8, 8}, rng);
+  ParCpGradOptions po;
+  po.descent = descent_options();
+  po.descent.max_iterations = 4;
+  po.grid = {2, 2, 2};
+
+  const ParCpGradResult par = par_cp_gradient(StoredTensor::dense_view(x), po);
+
+  SparseTensor scratch;
+  const StoredTensor xs = StoredTensor::dense_view(x);
+  const PredictProblem p = make_predict_problem(xs, po.descent.rank, scratch);
+  const CommPrediction mttkrp =
+      predict_mttkrp_comm(p, ParAlgo::kAllModes, po.grid, 0);
+  // Every evaluation pays one all-modes MTTKRP plus N Gram All-Reduces;
+  // the all-modes share alone already lower-bounds the measured total.
+  EXPECT_GE(static_cast<double>(par.total_words_max),
+            static_cast<double>(par.evaluations) * mttkrp.words);
+}
+
+TEST(ParCpGradient, AutotunePlansTheAllModesExchange) {
+  Rng rng(59);
+  const SparseTensor coo = SparseTensor::random_sparse({16, 14, 12}, 0.1, rng);
+  ParCpGradOptions po;
+  po.descent = descent_options();
+  po.descent.max_iterations = 8;
+  po.autotune = true;
+  po.procs = 8;
+  po.latency_word_ratio = 1.0;
+
+  const ParCpGradResult r = par_cp_gradient(coo, po);
+  EXPECT_TRUE(r.autotuned);
+  EXPECT_EQ(r.plan.algo, ParAlgo::kAllModes);
+  int grid_procs = 1;
+  for (int e : r.plan.grid) grid_procs *= e;
+  EXPECT_EQ(grid_procs, 8);
+  EXPECT_GT(r.descent.final_fit, 0.0);
+  EXPECT_GT(r.total_words_max, 0);
+
+  // plan_cp_gradient is the same planning entry the autotuner used: same
+  // options must reproduce the same best plan (via the global cache).
+  PlannerOptions popts;
+  popts.procs = 8;
+  popts.latency_word_ratio = 1.0;
+  popts.reuse_count = po.descent.max_iterations;
+  const PlanReport direct =
+      plan_cp_gradient(StoredTensor::coo_view(coo), po.descent.rank, popts);
+  EXPECT_EQ(direct.best().grid, r.plan.grid);
+  EXPECT_EQ(direct.best().algo, r.plan.algo);
+  EXPECT_TRUE(direct.best().collectives == r.plan.collectives);
+}
+
+}  // namespace
+}  // namespace mtk

@@ -9,6 +9,7 @@
 
 #include "src/costmodel/grid_search.hpp"
 #include "src/cp/par_cp_als.hpp"
+#include "src/parsim/par_common.hpp"
 #include "src/parsim/par_mttkrp.hpp"
 #include "src/parsim/par_multi_mttkrp.hpp"
 #include "src/planner/plan_cache.hpp"
@@ -102,6 +103,42 @@ TEST(CostModel, SparseEq18TensorTermUsesNnzTuples) {
             general_comm_cost_sparse(cp, nnz, dense_best.grid) + 1e-9);
 }
 
+// The costmodel's closed-form round counts must agree with the balanced
+// predictor's message terms (the shortlist uses the former, the scoring
+// the latter — they cannot be allowed to drift apart).
+TEST(CostModel, MsgCostsMatchClosedFormPredictor) {
+  const PredictProblem p = dense_problem({64, 64, 64}, 32);
+  for (const bool recursive : {false, true}) {
+    const CollectiveSchedule sched(recursive ? CollectiveKind::kRecursive
+                                             : CollectiveKind::kBucket);
+    // exact_rank_cap = 1 forces the closed-form estimate.
+    const CommPrediction stat = predict_mttkrp_comm(
+        p, ParAlgo::kStationary, {4, 2, 2}, 0,
+        SparsePartitionScheme::kBlock, sched, 1);
+    EXPECT_FALSE(stat.exact);
+    EXPECT_DOUBLE_EQ(stat.messages,
+                     stationary_msg_cost({4, 2, 2}, recursive));
+
+    const CommPrediction all = predict_mttkrp_comm(
+        p, ParAlgo::kAllModes, {4, 2, 2}, 0, SparsePartitionScheme::kBlock,
+        sched, 1);
+    EXPECT_DOUBLE_EQ(all.messages,
+                     2.0 * stationary_msg_cost({4, 2, 2}, recursive));
+
+    const CommPrediction gen = predict_mttkrp_comm(
+        p, ParAlgo::kGeneral, {4, 2, 2, 2}, 0,
+        SparsePartitionScheme::kBlock, sched, 1);
+    EXPECT_DOUBLE_EQ(gen.messages,
+                     general_msg_cost({4, 2, 2, 2}, recursive));
+  }
+  // The recursive counts only differ on power-of-two groups.
+  EXPECT_DOUBLE_EQ(stationary_msg_cost({4, 2, 2}, false),
+                   3.0 + 7.0 + 7.0);
+  EXPECT_DOUBLE_EQ(stationary_msg_cost({4, 2, 2}, true), 2.0 + 3.0 + 3.0);
+  EXPECT_DOUBLE_EQ(stationary_msg_cost({3, 1, 1}, true),
+                   stationary_msg_cost({3, 1, 1}, false));
+}
+
 // ---------------------------------------------------------------------------
 // Predictor vs the simulator's measured counters (word-for-word).
 
@@ -191,6 +228,104 @@ TEST_F(PredictAgreement, CsfStorageSameCollectiveTraffic) {
   EXPECT_DOUBLE_EQ(c.words, static_cast<double>(r.max_words_moved));
 }
 
+// The acceptance matrix for the α-β predictor: predicted bottleneck words
+// AND messages must equal the simulator's per-rank counters exactly, for
+// both collective kinds, across stationary/general/all-modes and
+// dense/COO/CSF. Grids mix power-of-two hyperslices (recursive schedules
+// engage) with non-power-of-two ones (the dispatcher falls back to the
+// bucket ring, and the predictor must fall back identically).
+TEST_F(PredictAgreement, WordsAndMessagesExactBothKindsAllAlgosAllFormats) {
+  const CsfTensor csf = CsfTensor::from_coo(coo_);
+  std::vector<std::pair<const char*, StoredTensor>> storages;
+  storages.emplace_back("dense", StoredTensor::dense_view(dense_));
+  storages.emplace_back("coo", StoredTensor::coo_view(coo_));
+  storages.emplace_back("csf", StoredTensor::csf_view(csf));
+
+  for (auto& [name, x] : storages) {
+    SparseTensor scratch;
+    const PredictProblem p = make_predict_problem(x, rank_, scratch);
+    for (const CollectiveKind kind :
+         {CollectiveKind::kBucket, CollectiveKind::kRecursive}) {
+      const CollectiveSchedule sched(kind);
+
+      for (const std::vector<int>& g :
+           {std::vector<int>{2, 2, 2}, {2, 3, 2}}) {
+        for (int mode = 0; mode < 3; ++mode) {
+          const CommPrediction c = predict_mttkrp_comm(
+              p, ParAlgo::kStationary, g, mode,
+              SparsePartitionScheme::kBlock, sched);
+          Machine machine(grid_size(g));
+          const ParMttkrpResult r = par_mttkrp_stationary(
+              machine, x, factors_, mode, g, sched);
+          ASSERT_TRUE(c.exact);
+          EXPECT_DOUBLE_EQ(c.words, static_cast<double>(r.max_words_moved))
+              << name << " stationary " << to_string(kind) << " mode "
+              << mode;
+          EXPECT_DOUBLE_EQ(c.messages, static_cast<double>(r.max_messages))
+              << name << " stationary " << to_string(kind) << " mode "
+              << mode;
+        }
+
+        const CommPrediction c = predict_mttkrp_comm(
+            p, ParAlgo::kAllModes, g, 0, SparsePartitionScheme::kBlock,
+            sched);
+        Machine machine(grid_size(g));
+        const ParAllModesResult r =
+            par_mttkrp_all_modes(machine, x, factors_, g, sched);
+        EXPECT_DOUBLE_EQ(c.words, static_cast<double>(r.max_words_moved))
+            << name << " all-modes " << to_string(kind);
+        EXPECT_DOUBLE_EQ(c.messages, static_cast<double>(r.max_messages))
+            << name << " all-modes " << to_string(kind);
+      }
+
+      for (const std::vector<int>& g :
+           {std::vector<int>{2, 2, 1, 3}, {2, 2, 2, 2}, {4, 2, 2, 1}}) {
+        const CommPrediction c = predict_mttkrp_comm(
+            p, ParAlgo::kGeneral, g, 1, SparsePartitionScheme::kBlock,
+            sched);
+        Machine machine(grid_size(g));
+        const ParMttkrpResult r = par_mttkrp_general(
+            machine, x, factors_, 1, g, sched);
+        ASSERT_TRUE(c.exact);
+        EXPECT_DOUBLE_EQ(c.words, static_cast<double>(r.max_words_moved))
+            << name << " general " << to_string(kind);
+        EXPECT_DOUBLE_EQ(c.messages, static_cast<double>(r.max_messages))
+            << name << " general " << to_string(kind);
+      }
+    }
+  }
+}
+
+// Mixed per-phase schedules must stay exact too (the planner emits these).
+TEST_F(PredictAgreement, MixedScheduleExact) {
+  const StoredTensor x = StoredTensor::coo_view(coo_);
+  SparseTensor scratch;
+  const PredictProblem p = make_predict_problem(x, rank_, scratch);
+  CollectiveSchedule sched;
+  sched.factor = CollectiveKind::kRecursive;
+  sched.output = CollectiveKind::kBucket;
+  sched.tensor = CollectiveKind::kRecursive;
+  for (const SparsePartitionScheme scheme :
+       {SparsePartitionScheme::kBlock,
+        SparsePartitionScheme::kMediumGrained}) {
+    const CommPrediction stat = predict_mttkrp_comm(
+        p, ParAlgo::kStationary, {2, 2, 2}, 0, scheme, sched);
+    Machine ms(8);
+    const ParMttkrpResult rs = par_mttkrp_stationary(
+        ms, x, factors_, 0, {2, 2, 2}, sched, scheme);
+    EXPECT_DOUBLE_EQ(stat.words, static_cast<double>(rs.max_words_moved));
+    EXPECT_DOUBLE_EQ(stat.messages, static_cast<double>(rs.max_messages));
+
+    const CommPrediction gen = predict_mttkrp_comm(
+        p, ParAlgo::kGeneral, {2, 2, 1, 3}, 2, scheme, sched);
+    Machine mg(12);
+    const ParMttkrpResult rg = par_mttkrp_general(
+        mg, x, factors_, 2, {2, 2, 1, 3}, sched, scheme);
+    EXPECT_DOUBLE_EQ(gen.words, static_cast<double>(rg.max_words_moved));
+    EXPECT_DOUBLE_EQ(gen.messages, static_cast<double>(rg.max_messages));
+  }
+}
+
 TEST_F(PredictAgreement, AllModesExact) {
   SparseTensor scratch;
   const StoredTensor x = StoredTensor::dense_view(dense_);
@@ -224,8 +359,87 @@ TEST_F(PredictAgreement, CpAlsIterationExact) {
   EXPECT_DOUBLE_EQ(c.words, measured);
 }
 
+// The recursive Gram All-Reduce mixes schedules internally on this problem
+// (R^2 = 25 does not divide P = 8, so the Reduce-Scatter stage falls back
+// to the ring while the All-Gather stage runs doubling); the iteration
+// prediction must still be word- and message-exact.
+TEST_F(PredictAgreement, CpAlsIterationExactRecursive) {
+  const StoredTensor x = StoredTensor::coo_view(coo_);
+  SparseTensor scratch;
+  const PredictProblem p = make_predict_problem(x, rank_, scratch);
+  const std::vector<int> grid{2, 2, 2};
+  const CommPrediction c = predict_cp_als_iteration(
+      p, grid, SparsePartitionScheme::kBlock, CollectiveKind::kRecursive);
+
+  ParCpAlsOptions opts;
+  opts.rank = rank_;
+  opts.max_iterations = 3;
+  opts.tolerance = 0.0;
+  opts.grid = grid;
+  opts.collectives = CollectiveKind::kRecursive;
+  const ParCpAlsResult r = par_cp_als(x, opts);
+  ASSERT_GE(r.trace.size(), 2u);
+  const double words =
+      static_cast<double>(r.trace[1].mttkrp_words_max) +
+      static_cast<double>(r.trace[1].gram_words_max);
+  EXPECT_DOUBLE_EQ(c.words, words);
+  EXPECT_DOUBLE_EQ(c.messages,
+                   static_cast<double>(r.trace[1].messages_max));
+}
+
 // ---------------------------------------------------------------------------
 // Planner search properties.
+
+// With a positive latency/word ratio the planner must trade rounds for
+// words per phase: on a power-of-two grid with divisible payloads the
+// recursive schedules move identical words in fewer rounds, so they must
+// be selected, and the reported prediction must reflect the mix.
+TEST(Planner, LatencyRatioSelectsRecursiveSchedules) {
+  PlannerOptions opts;
+  opts.procs = 8;
+  opts.consider_general = false;
+
+  const shape_t dims{16, 16, 16};
+  const PlanReport bucket_report =
+      plan_mttkrp_model(dims, 8, StorageFormat::kDense, 0, opts);
+  EXPECT_TRUE(bucket_report.best().collectives == CollectiveSchedule());
+
+  opts.latency_word_ratio = 4.0;
+  const PlanReport report =
+      plan_mttkrp_model(dims, 8, StorageFormat::kDense, 0, opts);
+  const ExecutionPlan& best = report.best();
+  EXPECT_EQ(best.collectives.factor, CollectiveKind::kRecursive);
+  EXPECT_EQ(best.collectives.output, CollectiveKind::kRecursive);
+  // Same words as the bucket plan on the same grid, strictly fewer rounds.
+  ASSERT_EQ(best.grid, bucket_report.best().grid);
+  EXPECT_DOUBLE_EQ(best.comm.words, bucket_report.best().comm.words);
+  EXPECT_LT(best.comm.messages, bucket_report.best().comm.messages);
+}
+
+// A measured calibration supersedes both knob ratios; planning twice with
+// the same calibration must be deterministic and cache-compatible.
+TEST(Planner, CalibrationSupersedesKnobs) {
+  Calibration cal;
+  cal.alpha_seconds = 4.0e-6;
+  cal.beta_seconds_per_word = 1.0e-9;
+  cal.dense_seconds_per_flop = 1.0e-10;
+  cal.coo_seconds_per_flop = 1.0e-10;
+  cal.csf_seconds_per_flop = 5.0e-11;
+  cal.measured = true;
+  EXPECT_DOUBLE_EQ(cal.latency_word_ratio(), 4000.0);
+  EXPECT_DOUBLE_EQ(cal.flop_word_ratio(StorageFormat::kCsf), 0.05);
+
+  PlannerOptions opts;
+  opts.procs = 8;
+  opts.consider_general = false;
+  opts.machine = cal;
+  // The knob says "pure bandwidth", the calibration says otherwise; the
+  // calibration must win and pull in the recursive schedules.
+  opts.latency_word_ratio = 0.0;
+  const PlanReport report =
+      plan_mttkrp_model({16, 16, 16}, 8, StorageFormat::kDense, 0, opts);
+  EXPECT_EQ(report.best().collectives.factor, CollectiveKind::kRecursive);
+}
 
 TEST(Planner, ChosenGridNeverWorseThanTrivial1D) {
   Rng rng(11);

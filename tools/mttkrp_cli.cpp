@@ -12,6 +12,8 @@
 //   mttkrp_cli --tns tensor.tns --backend coo --rank 8 --procs 8 --cp-als
 //   mttkrp_cli --tns tensor.tns --rank 8 --procs 16 --plan      # ranked plans
 //   mttkrp_cli --tns tensor.tns --rank 8 --procs 16 --autotune  # plan + run
+//   mttkrp_cli --tns t.tns --rank 8 --procs 16 --autotune \
+//              --calibrate --cache-file plan.cache   # measure machine, persist
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -69,13 +71,23 @@ SparsePartitionScheme parse_scheme(const std::string& s) {
   return SparsePartitionScheme::kBlock;
 }
 
+CollectiveKind parse_collectives(const std::string& s) {
+  if (s == "bucket") return CollectiveKind::kBucket;
+  if (s == "rec" || s == "recursive") return CollectiveKind::kRecursive;
+  MTK_CHECK(false, "unknown collective kind '", s,
+            "' (expected bucket|rec)");
+  return CollectiveKind::kBucket;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s (--dims I1,I2,... | --tns FILE) --rank R [--mode n]\n"
       "          [--backend dense|coo|csf] [--algo A] [--density d]\n"
       "          [--procs P] [--grid P1,P2,...] [--scheme block|medium]\n"
-      "          [--plan] [--autotune] [--flop-word-ratio F]\n"
+      "          [--collectives bucket|rec] [--plan] [--autotune]\n"
+      "          [--flop-word-ratio F] [--latency-word-ratio L]\n"
+      "          [--calibrate] [--cache-file FILE]\n"
       "          [--cp-als] [--iters N] [--tol T] [--save-tns FILE]\n"
       "          [--memory M] [--trace] [--seed S]\n"
       "  --dims     tensor dimensions for a random problem, comma separated\n"
@@ -89,6 +101,10 @@ int usage(const char* argv0) {
       "  --procs    simulate the parallel algorithm on P processors\n"
       "  --grid     explicit N-way processor grid (default: Eq.(14)-optimal)\n"
       "  --scheme   sparse partition: block|medium, default block\n"
+      "  --collectives  collective schedule for explicit parallel runs:\n"
+      "             bucket (ring) or rec (recursive doubling/halving,\n"
+      "             falling back per group), default bucket; autotuned\n"
+      "             runs use the planner's per-phase choice\n"
       "  --plan     print the planner's ranked execution plans and exit\n"
       "             (needs --procs)\n"
       "  --autotune let the planner pick algorithm/backend/grid/scheme for\n"
@@ -97,6 +113,14 @@ int usage(const char* argv0) {
       "             vs the parallel lower bound\n"
       "  --flop-word-ratio  planner machine balance (seconds-per-flop over\n"
       "             seconds-per-word), default 0 = communication only\n"
+      "  --latency-word-ratio  planner latency balance (seconds-per-message\n"
+      "             over seconds-per-word); > 0 lets the planner pick\n"
+      "             recursive collectives per phase, default 0\n"
+      "  --calibrate  measure this machine (copy bandwidth, per-message\n"
+      "             overhead, kernel flop rates) and plan with the\n"
+      "             measured alpha-beta-gamma ratios\n"
+      "  --cache-file  persistent plan cache: load before planning, save\n"
+      "             after (also stores the calibration)\n"
       "  --cp-als   run a full CP-ALS decomposition (par_cp_als with\n"
       "             --procs, sequential cp_als otherwise)\n"
       "  --iters    CP-ALS max iterations, default 20\n"
@@ -136,10 +160,14 @@ int main(int argc, char** argv) {
   int procs = 0;
   std::vector<int> grid;
   SparsePartitionScheme scheme = SparsePartitionScheme::kBlock;
+  CollectiveKind collectives = CollectiveKind::kBucket;
   bool cp_als_run = false;
   bool plan_only = false;
   bool autotune = false;
+  bool run_calibrate = false;
+  std::string cache_path;
   double flop_word_ratio = 0.0;
+  double latency_word_ratio = 0.0;
   int iters = 20;
   double tol = 1e-6;
   index_t memory = index_t{1} << 20;
@@ -176,6 +204,8 @@ int main(int argc, char** argv) {
         grid = parse_grid(next());
       } else if (arg == "--scheme") {
         scheme = parse_scheme(next());
+      } else if (arg == "--collectives") {
+        collectives = parse_collectives(next());
       } else if (arg == "--cp-als") {
         cp_als_run = true;
       } else if (arg == "--plan") {
@@ -184,6 +214,12 @@ int main(int argc, char** argv) {
         autotune = true;
       } else if (arg == "--flop-word-ratio") {
         flop_word_ratio = std::stod(next());
+      } else if (arg == "--latency-word-ratio") {
+        latency_word_ratio = std::stod(next());
+      } else if (arg == "--calibrate") {
+        run_calibrate = true;
+      } else if (arg == "--cache-file") {
+        cache_path = next();
       } else if (arg == "--iters") {
         iters = std::stoi(next());
       } else if (arg == "--tol") {
@@ -251,17 +287,55 @@ int main(int argc, char** argv) {
 
     MTK_CHECK(!(plan_only || autotune) || procs > 0,
               "--plan/--autotune need --procs (or --grid)");
+
+    // Persistent plan cache + machine calibration. The cache file (when
+    // given) is loaded into the global cache before planning and written
+    // back after; a calibration stored in it is reused unless --calibrate
+    // asks for fresh probes.
+    Calibration cal;
+    if (!cache_path.empty()) {
+      if (PlanCache::global().load(cache_path, &cal)) {
+        std::printf("cache file     : %s (%zu plan%s%s)\n",
+                    cache_path.c_str(), PlanCache::global().size(),
+                    PlanCache::global().size() == 1 ? "" : "s",
+                    cal.measured ? ", calibrated" : "");
+      } else {
+        std::printf("cache file     : %s (cold)\n", cache_path.c_str());
+      }
+    }
+    if (run_calibrate) {
+      cal = calibrate_machine();
+      print_calibration(cal, stdout);
+    }
+    const auto save_cache = [&]() {
+      if (cache_path.empty()) return;
+      if (!PlanCache::global().save(cache_path, &cal)) {
+        std::fprintf(stderr, "warning: could not write plan cache %s\n",
+                     cache_path.c_str());
+      }
+    };
+    const auto report_cache = [&](std::size_t hits_before) {
+      std::printf("plan cache     : %s\n",
+                  PlanCache::global().hits() > hits_before ? "hit" : "miss");
+    };
+
     PlannerOptions popts;
     popts.procs = procs;
     popts.mode = mode;
     popts.workload = cp_als_run ? PlanWorkload::kCpAls
                                 : PlanWorkload::kSingleMttkrp;
     popts.flop_word_ratio = flop_word_ratio;
+    popts.latency_word_ratio = latency_word_ratio;
+    popts.machine = cal;
     if (cp_als_run) popts.reuse_count = std::max(1, iters) * x.order();
 
     if (plan_only) {
-      const PlanReport report = plan_mttkrp(x, rank, popts);
-      print_plan_report(report, stdout);
+      const std::size_t hits_before = PlanCache::global().hits();
+      const std::shared_ptr<const PlanReport> report =
+          PlanCache::global().get_or_plan(x, rank, popts);
+      print_plan_report(*report, stdout);
+      report_cache(hits_before);
+      save_cache();
       return 0;
     }
 
@@ -276,12 +350,20 @@ int main(int argc, char** argv) {
       }
       opts.seed = seed;
       opts.partition = scheme;
+      opts.collectives = collectives;
       opts.autotune = autotune;
       opts.procs = procs;
       opts.flop_word_ratio = flop_word_ratio;
+      opts.latency_word_ratio = latency_word_ratio;
+      opts.machine = cal;
+      const std::size_t hits_before = PlanCache::global().hits();
       const auto start = std::chrono::steady_clock::now();
       const ParCpAlsResult r = par_cp_als(x, opts);
       const auto stop = std::chrono::steady_clock::now();
+      if (autotune) {
+        report_cache(hits_before);
+        save_cache();
+      }
       std::printf("par_cp_als     : P = %d, grid =", procs);
       for (int e : (r.autotuned ? r.plan.grid : opts.grid)) {
         std::printf(" %d", e);
@@ -289,9 +371,12 @@ int main(int argc, char** argv) {
       std::printf(", scheme = %s\n",
                   to_string(r.autotuned ? r.plan.scheme : scheme));
       if (r.autotuned) {
-        std::printf("autotuned      : backend %s, predicted %.0f words per "
-                    "iteration, %.2fx above the per-MTTKRP lower bound\n",
-                    to_string(r.plan.backend), r.plan.comm.words,
+        std::printf("autotuned      : backend %s, collectives %s, predicted "
+                    "%.0f words / %.0f messages per iteration, %.2fx above "
+                    "the per-MTTKRP lower bound\n",
+                    to_string(r.plan.backend),
+                    to_string(r.plan.collectives).c_str(),
+                    r.plan.comm.words, r.plan.comm.messages,
                     r.plan.optimality_ratio);
       }
       std::printf("iterations     : %d (%s)\n", r.iterations,
@@ -301,6 +386,8 @@ int main(int argc, char** argv) {
                   static_cast<long long>(r.total_mttkrp_words_max));
       std::printf("gram words     : %lld\n",
                   static_cast<long long>(r.total_gram_words_max));
+      std::printf("messages       : %lld (bottleneck, incl. init)\n",
+                  static_cast<long long>(r.total_messages_max));
       std::printf("wall time      : %.2f ms\n",
                   std::chrono::duration<double, std::milli>(stop - start)
                       .count());
@@ -335,9 +422,13 @@ int main(int argc, char** argv) {
     }
 
     if (autotune) {
-      const PlanReport report = plan_mttkrp(x, rank, popts);
-      const ExecutionPlan& plan = report.best();
-      print_plan_report(report, stdout);
+      const std::size_t hits_before = PlanCache::global().hits();
+      const std::shared_ptr<const PlanReport> report =
+          PlanCache::global().get_or_plan(x, rank, popts);
+      const ExecutionPlan& plan = report->best();
+      print_plan_report(*report, stdout);
+      report_cache(hits_before);
+      save_cache();
 
       // Materialize the planned backend (sparse formats convert once).
       StoredTensor x_run = x;
@@ -356,9 +447,9 @@ int main(int argc, char** argv) {
       const ParMttkrpResult r =
           plan.algo == ParAlgo::kGeneral
               ? par_mttkrp_general(machine, x_run, factors, mode, plan.grid,
-                                   CollectiveKind::kBucket, plan.scheme)
+                                   plan.collectives, plan.scheme)
               : par_mttkrp_stationary(machine, x_run, factors, mode,
-                                      plan.grid, CollectiveKind::kBucket,
+                                      plan.grid, plan.collectives,
                                       plan.scheme);
       const auto stop = std::chrono::steady_clock::now();
 
@@ -367,10 +458,14 @@ int main(int argc, char** argv) {
       lb.rank = rank;
       lb.procs = procs;
       const double simulated = static_cast<double>(r.max_words_moved);
-      std::printf("autotuned run  : %s on %s backend\n", to_string(plan.algo),
-                  to_string(plan.backend));
+      std::printf("autotuned run  : %s on %s backend, collectives %s\n",
+                  to_string(plan.algo), to_string(plan.backend),
+                  to_string(plan.collectives).c_str());
       std::printf("words moved    : %.0f predicted, %.0f simulated "
                   "(bottleneck)\n", plan.comm.words, simulated);
+      std::printf("messages       : %.0f predicted, %lld simulated "
+                  "(bottleneck)\n", plan.comm.messages,
+                  static_cast<long long>(r.max_messages));
       std::printf("optimality     : %.2fx predicted, %.2fx simulated vs "
                   "lower bound %.0f\n", plan.optimality_ratio,
                   par_optimality_ratio(simulated, lb), plan.lower_bound);
@@ -392,7 +487,7 @@ int main(int argc, char** argv) {
       Machine machine(procs);
       const auto start = std::chrono::steady_clock::now();
       const ParMttkrpResult r = par_mttkrp_stationary(
-          machine, x, factors, mode, g, CollectiveKind::kBucket, scheme);
+          machine, x, factors, mode, g, collectives, scheme);
       const auto stop = std::chrono::steady_clock::now();
       ParProblem lb;
       lb.dims = dims;
@@ -400,13 +495,16 @@ int main(int argc, char** argv) {
       lb.procs = procs;
       std::printf("par algorithm  : stationary (Alg. 3), grid =");
       for (int e : g) std::printf(" %d", e);
-      std::printf(", scheme = %s\n", to_string(scheme));
+      std::printf(", scheme = %s, collectives = %s\n", to_string(scheme),
+                  to_string(collectives));
       std::printf("output         : %lld x %lld, frobenius %.6e\n",
                   static_cast<long long>(r.b.rows()),
                   static_cast<long long>(r.b.cols()), r.b.frobenius_norm());
       std::printf("words moved    : %lld (bottleneck), %lld (total sent)\n",
                   static_cast<long long>(r.max_words_moved),
                   static_cast<long long>(r.total_words_sent));
+      std::printf("messages       : %lld (bottleneck)\n",
+                  static_cast<long long>(r.max_messages));
       std::printf("lower bound    : %.0f words\n", par_lower_bound(lb));
       std::printf("wall time      : %.2f ms\n",
                   std::chrono::duration<double, std::milli>(stop - start)
