@@ -12,9 +12,20 @@
 //
 // Densities are encoded as negative powers of ten in the benchmark args
 // (range(0) = 4 means 1e-4); range(1) is the rank.
+//
+// The kernel-variant sweep (BM_*Variant*) times every parallel reduction
+// schedule (privatized scratch-and-merge / atomic / owner-computed tiles)
+// across thread counts on a skewed gen_tns-style tensor — the regime where
+// the seed's critical-section schedule pays thread-count full-output
+// copies. The fused sweep compares the memoized multi-tree all-modes walk
+// against N independent per-mode calls (reuse factor and CSF-rebuild
+// counters are reported). CI uploads this binary's JSON as
+// BENCH_kernels.json.
 #include <benchmark/benchmark.h>
 
+#include "src/io/frostt_presets.hpp"
 #include "src/mttkrp/dispatch.hpp"
+#include "src/support/omp_threads.hpp"
 #include "src/support/rng.hpp"
 
 namespace {
@@ -125,5 +136,176 @@ BENCHMARK(BM_Csf) MTK_DENSITY_ARGS;
 BENCHMARK(BM_CsfOmp) MTK_DENSITY_ARGS;
 BENCHMARK(BM_DensifiedBlocked) MTK_DENSITY_ARGS;
 BENCHMARK(BM_BuildCsf) MTK_DENSITY_ARGS;
+
+// ---------------------------------------------------------------------------
+// Kernel-variant x thread-count sweep on a skewed gen_tns-style tensor.
+// range(0) encodes the variant (0 = privatized, 1 = atomic, 2 = tiled),
+// range(1) the OpenMP thread count. The tree is rooted at the long mode so
+// the output is large: the privatized (seed critical-section) schedule
+// zeroes and merges thread-count copies of it, which tiled never touches.
+
+constexpr index_t kSweepRank = 16;
+
+struct SkewFixture {
+  SparseTensor coo;
+  CsfTensor csf;   // rooted at mode 0 (the long mode)
+  std::vector<Matrix> factors;
+  int long_mode = 0;
+};
+
+const SkewFixture& skew_fixture() {
+  static const SkewFixture f = [] {
+    SkewFixture fx;
+    // The same tensor the kernel smoke and the CI gate measure.
+    fx.coo = make_frostt_like(*find_frostt_preset("long-mode"), 7);
+    fx.long_mode = 0;
+    fx.csf = CsfTensor::from_coo(fx.coo, fx.long_mode);
+    Rng rng(7);
+    for (index_t d : fx.coo.dims()) {
+      fx.factors.push_back(Matrix::random_normal(d, kSweepRank, rng));
+    }
+    return fx;
+  }();
+  return f;
+}
+
+SparseKernelVariant variant_of(index_t code) {
+  switch (code) {
+    case 0: return SparseKernelVariant::kPrivatized;
+    case 1: return SparseKernelVariant::kAtomic;
+    default: return SparseKernelVariant::kTiled;
+  }
+}
+
+// Scopes a thread-count override to one benchmark run.
+using ThreadCountGuard = OmpThreadCountGuard;
+
+void annotate_sweep(benchmark::State& state, const SkewFixture& f) {
+  state.counters["nnz"] = static_cast<double>(f.coo.nnz());
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.SetItemsProcessed(state.iterations() * f.coo.nnz() * kSweepRank);
+}
+
+void BM_CsfVariant(benchmark::State& state) {
+  const SkewFixture& f = skew_fixture();
+  const SparseKernelVariant variant = variant_of(state.range(0));
+  ThreadCountGuard guard(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    Matrix b = mttkrp_csf(f.csf, f.factors, f.long_mode, /*parallel=*/true,
+                          variant);
+    benchmark::DoNotOptimize(b.data());
+  }
+  annotate_sweep(state, f);
+}
+
+void BM_CooVariant(benchmark::State& state) {
+  const SkewFixture& f = skew_fixture();
+  const SparseKernelVariant variant = variant_of(state.range(0));
+  ThreadCountGuard guard(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    Matrix b = mttkrp_coo(f.coo, f.factors, f.long_mode, /*parallel=*/true,
+                          variant);
+    benchmark::DoNotOptimize(b.data());
+  }
+  annotate_sweep(state, f);
+}
+
+#define MTK_VARIANT_ARGS                                                  \
+  ->Args({0, 1})->Args({0, 2})->Args({0, 4})->Args({0, 8})               \
+      ->Args({1, 4})->Args({2, 1})->Args({2, 2})->Args({2, 4})           \
+      ->Args({2, 8})->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_CsfVariant) MTK_VARIANT_ARGS;
+BENCHMARK(BM_CooVariant) MTK_VARIANT_ARGS;
+
+// ---------------------------------------------------------------------------
+// Memoized multi-tree all-modes vs N independent per-mode calls on the
+// skewed tensor. Counters report the multiply reuse factor and the CSF
+// compressions per iteration (the fused path must show zero).
+
+void BM_AllModesSeparate(benchmark::State& state) {
+  const SkewFixture& f = skew_fixture();
+  const CsfSet forest = CsfSet::build(f.coo, CsfSetPolicy::kOnePerMode);
+  for (auto _ : state) {
+    for (int mode = 0; mode < f.coo.order(); ++mode) {
+      Matrix b = mttkrp(forest, f.factors, mode);
+      benchmark::DoNotOptimize(b.data());
+    }
+  }
+  state.counters["multiplies"] = static_cast<double>(
+      csf_separate_multiply_count(forest, kSweepRank));
+  state.counters["nnz"] = static_cast<double>(f.coo.nnz());
+}
+
+void BM_AllModesFused(benchmark::State& state) {
+  const SkewFixture& f = skew_fixture();
+  const StoredTensor handle = StoredTensor::coo_view(f.coo);
+  const AllModesResult warm = mttkrp_all_modes(handle, f.factors);
+  const index_t builds_before = CsfTensor::build_count();
+  for (auto _ : state) {
+    AllModesResult r = mttkrp_all_modes(handle, f.factors);
+    benchmark::DoNotOptimize(r.outputs.front().data());
+  }
+  const CsfSet forest = CsfSet::build(f.coo, CsfSetPolicy::kOnePerMode);
+  state.counters["multiplies"] = static_cast<double>(warm.multiplies);
+  state.counters["reuse_factor"] =
+      static_cast<double>(csf_separate_multiply_count(forest, kSweepRank)) /
+      static_cast<double>(warm.multiplies);
+  state.counters["csf_rebuilds_per_iter"] =
+      static_cast<double>(CsfTensor::build_count() - builds_before -
+                          forest.tree_count()) /
+      static_cast<double>(state.iterations());
+  state.counters["nnz"] = static_cast<double>(f.coo.nnz());
+}
+
+BENCHMARK(BM_AllModesSeparate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AllModesFused)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// FROSTT-shape presets (gen_tns --preset): tiled vs privatized CSF at the
+// host's thread count. range(0) indexes the preset, range(1) the variant
+// code.
+
+const std::vector<SkewFixture>& preset_fixtures() {
+  static const std::vector<SkewFixture> fixtures = [] {
+    std::vector<SkewFixture> all;
+    for (const FrosttPreset& preset : frostt_presets()) {
+      SkewFixture fx;
+      fx.coo = make_frostt_like(preset, 7);
+      fx.long_mode = 0;
+      for (int k = 1; k < fx.coo.order(); ++k) {
+        if (fx.coo.dim(k) > fx.coo.dim(fx.long_mode)) fx.long_mode = k;
+      }
+      fx.csf = CsfTensor::from_coo(fx.coo, fx.long_mode);
+      Rng rng(11);
+      for (index_t d : fx.coo.dims()) {
+        fx.factors.push_back(Matrix::random_normal(d, kSweepRank, rng));
+      }
+      all.push_back(std::move(fx));
+    }
+    return all;
+  }();
+  return fixtures;
+}
+
+void BM_PresetCsf(benchmark::State& state) {
+  const SkewFixture& f =
+      preset_fixtures()[static_cast<std::size_t>(state.range(0))];
+  const SparseKernelVariant variant = variant_of(state.range(1));
+  for (auto _ : state) {
+    Matrix b = mttkrp_csf(f.csf, f.factors, f.long_mode, /*parallel=*/true,
+                          variant);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetLabel(frostt_presets()[static_cast<std::size_t>(state.range(0))]
+                     .name);
+  state.counters["nnz"] = static_cast<double>(f.coo.nnz());
+}
+
+BENCHMARK(BM_PresetCsf)
+    ->Args({0, 0})->Args({0, 2})
+    ->Args({1, 0})->Args({1, 2})
+    ->Args({2, 0})->Args({2, 2})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

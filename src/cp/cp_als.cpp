@@ -94,11 +94,24 @@ CpAlsResult cp_als(const StoredTensor& x, const CpAlsOptions& opts) {
   const double norm_x = x.frobenius_norm();
   MTK_CHECK(norm_x > 0.0, "cp_als: input tensor is identically zero");
 
+  // Sparse inputs: build the one-tree-per-mode CSF forest once and hold it
+  // across every sweep — each per-mode MTTKRP then runs the root-level
+  // owner-computes kernel with zero per-iteration tree rebuilds. An
+  // explicit kCoo request keeps the per-mode coordinate kernel instead.
+  const CsfSet* forest = nullptr;
+  if (x.format() != StorageFormat::kDense &&
+      opts.mttkrp.sparse_algo != SparseMttkrpAlgo::kCoo) {
+    forest = &x.csf_forest();
+  }
+
   double previous_fit = 0.0;
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
     Matrix last_mttkrp;
     for (int mode = 0; mode < n; ++mode) {
-      Matrix m = mttkrp(x, result.model.factors, mode, opts.mttkrp);
+      Matrix m = forest != nullptr
+                     ? mttkrp(*forest, result.model.factors, mode,
+                              opts.mttkrp)
+                     : mttkrp(x, result.model.factors, mode, opts.mttkrp);
 
       // V = Hadamard of all Gram matrices except mode's.
       Matrix v(opts.rank, opts.rank, 0.0);

@@ -164,12 +164,16 @@ CpGradResult cp_gradient_descent_core(const shape_t& dims, double norm_x,
 
 CpGradResult cp_gradient_descent(const StoredTensor& x,
                                  const CpGradOptions& opts) {
+  // `x` is captured by reference, so every evaluation (one per accepted
+  // iterate plus one per rejected Armijo trial) hits the same handle and
+  // therefore the same cached fused CSF tree — built once, reused for the
+  // whole descent.
   return cp_gradient_descent_core(
       x.dims(), x.frobenius_norm(), opts,
       [&](const std::vector<Matrix>& factors) {
         GradEval eval;
         eval.grams = compute_grams(factors);
-        eval.mttkrps = mttkrp_all_modes(x, factors).outputs;
+        eval.mttkrps = mttkrp_all_modes(x, factors, opts.mttkrp).outputs;
         return eval;
       });
 }

@@ -28,6 +28,9 @@ struct CpGradOptions {
   double backtrack = 0.5;      // step shrink factor
   double armijo = 1e-4;        // sufficient-decrease coefficient
   std::uint64_t seed = 42;
+  // Backend/schedule for the per-evaluation all-modes MTTKRP (sparse
+  // storage: fused multi-tree walk unless sparse_algo forces kCoo).
+  MttkrpOptions mttkrp;
 };
 
 struct CpGradIterate {
@@ -67,8 +70,10 @@ CpGradResult cp_gradient_descent_core(const shape_t& dims, double norm_x,
                                       const GradEvalFn& evaluate);
 
 // Storage-polymorphic driver: dense storage computes the all-modes MTTKRP
-// with the dimension tree; sparse storage (COO/CSF) runs the native sparse
-// kernel per mode (src/mttkrp/dispatch.hpp).
+// with the dimension tree; sparse storage (COO/CSF) runs the fused
+// multi-tree CSF walk on the handle's cached tree — every evaluation
+// (including rejected line-search trials) reuses the same tree, so the
+// whole descent performs at most one CSF compression.
 CpGradResult cp_gradient_descent(const StoredTensor& x,
                                  const CpGradOptions& opts);
 // Convenience overloads wrapping the storage in a borrowing view.

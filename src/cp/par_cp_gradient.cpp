@@ -81,6 +81,17 @@ ParCpGradResult par_cp_gradient(const StoredTensor& x,
   Machine machine(grid_size(opts.grid));
   ParCpGradResult result;
 
+  // Sparse inputs are planned once: the nonzero distribution and each
+  // rank's fused CSF tree depend only on (tensor, grid, scheme), so every
+  // evaluation — one per accepted iterate plus one per rejected Armijo
+  // trial — reuses them instead of re-bucketing nonzeros and re-compressing
+  // trees.
+  const bool dense_input = x.format() == StorageFormat::kDense;
+  AllModesSparsePlan plan;
+  if (!dense_input) {
+    plan = plan_all_modes_sparse(x, opts.grid, opts.partition);
+  }
+
   // The machine-charging evaluation: distributed Grams plus one all-modes
   // MTTKRP per call. Every Armijo trial pays full communication, exactly
   // as a real distributed line search would.
@@ -91,8 +102,12 @@ ParCpGradResult par_cp_gradient(const StoredTensor& x,
       eval.grams.push_back(
           distributed_gram(machine, a, opts.collectives.gram));
     }
-    ParAllModesResult r = par_mttkrp_all_modes(
-        machine, x, factors, opts.grid, opts.collectives, opts.partition);
+    ParAllModesResult r =
+        dense_input
+            ? par_mttkrp_all_modes(machine, x, factors, opts.grid,
+                                   opts.collectives, opts.partition)
+            : par_mttkrp_all_modes(machine, x, factors, opts.grid, plan,
+                                   opts.collectives);
     eval.mttkrps = std::move(r.outputs);
     ++result.evaluations;
     return eval;

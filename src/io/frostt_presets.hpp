@@ -1,0 +1,39 @@
+// Synthetic presets that mimic real FROSTT tensor shapes (scaled down to
+// bench-friendly nonzero counts, aspect ratios and slice skew preserved),
+// so `tools/gen_tns`, `bench_sparse_mttkrp`, and `bench_par_scaling` can
+// sweep realistic sparse scenarios without external downloads.
+//
+//   nell-2    — the NELL knowledge-base slice: three comparable extents
+//               with one ~2.5x longer mode, mild hub skew.
+//   delicious — the delicious-3d tagging tensor: extremely rectangular
+//               (one mode ~30x the smallest), heavy hub skew.
+//   amazon    — review-style tensor: two long user/item modes against a
+//               short context mode, moderate skew.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/rng.hpp"
+#include "src/tensor/sparse_tensor.hpp"
+
+namespace mtk {
+
+struct FrosttPreset {
+  const char* name;
+  shape_t dims;
+  double density;
+  double skew;  // per-mode Zipf exponent (SparseTensor::random_sparse_skewed)
+};
+
+// All built-in presets (stable order; names are unique).
+const std::vector<FrosttPreset>& frostt_presets();
+
+// Preset by name, or nullptr when unknown.
+const FrosttPreset* find_frostt_preset(const std::string& name);
+
+// Generates the preset's tensor (sorted/deduped), deterministic per seed.
+SparseTensor make_frostt_like(const FrosttPreset& preset,
+                              std::uint64_t seed);
+
+}  // namespace mtk

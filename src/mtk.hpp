@@ -32,6 +32,7 @@
 #include "src/cp/par_cp_als.hpp"
 #include "src/cp/par_cp_gradient.hpp"
 #include "src/cp/tucker.hpp"
+#include "src/io/frostt_presets.hpp"
 #include "src/io/tensor_io.hpp"
 #include "src/memsim/memory_model.hpp"
 #include "src/memsim/traced_mttkrp.hpp"
@@ -40,6 +41,8 @@
 #include "src/mttkrp/dispatch.hpp"
 #include "src/mttkrp/mttkrp.hpp"
 #include "src/mttkrp/partial.hpp"
+#include "src/mttkrp/sparse_kernels.hpp"
+#include "src/mttkrp/thread_arena.hpp"
 #include "src/parsim/collective_variants.hpp"
 #include "src/parsim/collectives.hpp"
 #include "src/parsim/distribution.hpp"
@@ -57,6 +60,7 @@
 #include "src/support/rng.hpp"
 #include "src/tensor/block.hpp"
 #include "src/tensor/csf.hpp"
+#include "src/tensor/csf_set.hpp"
 #include "src/tensor/dense_tensor.hpp"
 #include "src/tensor/eigen_sym.hpp"
 #include "src/tensor/khatri_rao.hpp"

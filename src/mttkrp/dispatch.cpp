@@ -1,11 +1,7 @@
 #include "src/mttkrp/dispatch.hpp"
 
-#include <algorithm>
 #include <cmath>
-
-#ifdef _OPENMP
-#include <omp.h>
-#endif
+#include <mutex>
 
 namespace mtk {
 
@@ -17,6 +13,49 @@ const char* to_string(StorageFormat format) {
   }
   return "unknown";
 }
+
+// ---------------------------------------------------------------------------
+// CsfAccel: the handle-shared CSF cache. Trees are built on first use under
+// a mutex and then served lock-free-ish (double-checked via shared_ptr
+// loads under the same mutex — building dominates, lookups are rare enough
+// that a plain mutex is fine).
+
+class CsfAccel {
+ public:
+  const CsfSet& forest(const StoredTensor& x) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (forest_ == nullptr) {
+      SparseTensor scratch;
+      forest_ = std::make_shared<const CsfSet>(
+          CsfSet::build(coo_of(x, scratch), CsfSetPolicy::kOnePerMode));
+    }
+    return *forest_;
+  }
+
+  const CsfTensor& fused_tree(const StoredTensor& x) {
+    // CSF storage already holds a usable single tree; no copy.
+    if (x.format() == StorageFormat::kCsf) return x.as_csf();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fused_ == nullptr) {
+      SparseTensor scratch;
+      fused_ = std::make_shared<const CsfSet>(
+          CsfSet::build(coo_of(x, scratch), CsfSetPolicy::kSingle));
+    }
+    return fused_->tree(0);
+  }
+
+ private:
+  static const SparseTensor& coo_of(const StoredTensor& x,
+                                    SparseTensor& scratch) {
+    if (x.format() == StorageFormat::kCoo) return x.as_coo();
+    scratch = x.as_csf().to_coo();
+    return scratch;
+  }
+
+  std::mutex mu_;
+  std::shared_ptr<const CsfSet> forest_;
+  std::shared_ptr<const CsfSet> fused_;
+};
 
 // ---------------------------------------------------------------------------
 // StoredTensor
@@ -53,6 +92,7 @@ StoredTensor StoredTensor::coo(SparseTensor x) {
   t.format_ = StorageFormat::kCoo;
   t.coo_ = p.get();
   t.storage_ = std::move(p);
+  t.accel_ = std::make_shared<CsfAccel>();
   return t;
 }
 
@@ -62,6 +102,7 @@ StoredTensor StoredTensor::csf(CsfTensor x) {
   t.format_ = StorageFormat::kCsf;
   t.csf_ = p.get();
   t.storage_ = std::move(p);
+  t.accel_ = std::make_shared<CsfAccel>();
   return t;
 }
 
@@ -80,6 +121,7 @@ StoredTensor StoredTensor::coo_view(const SparseTensor& x) {
   t.format_ = StorageFormat::kCoo;
   t.coo_ = &x;
   t.storage_ = borrow(x);
+  t.accel_ = std::make_shared<CsfAccel>();
   return t;
 }
 
@@ -88,6 +130,7 @@ StoredTensor StoredTensor::csf_view(const CsfTensor& x) {
   t.format_ = StorageFormat::kCsf;
   t.csf_ = &x;
   t.storage_ = borrow(x);
+  t.accel_ = std::make_shared<CsfAccel>();
   return t;
 }
 
@@ -161,6 +204,18 @@ const CsfTensor& StoredTensor::as_csf() const {
   return *csf_;
 }
 
+const CsfSet& StoredTensor::csf_forest() const {
+  MTK_CHECK(!empty() && format_ != StorageFormat::kDense && accel_ != nullptr,
+            "csf_forest requires sparse storage");
+  return accel_->forest(*this);
+}
+
+const CsfTensor& StoredTensor::csf_fused_tree() const {
+  MTK_CHECK(!empty() && format_ != StorageFormat::kDense && accel_ != nullptr,
+            "csf_fused_tree requires sparse storage");
+  return accel_->fused_tree(*this);
+}
+
 SparseTensor to_coo(const StoredTensor& x, double dense_threshold) {
   switch (x.format()) {
     case StorageFormat::kDense:
@@ -175,258 +230,6 @@ SparseTensor to_coo(const StoredTensor& x, double dense_threshold) {
 }
 
 // ---------------------------------------------------------------------------
-// COO kernel
-
-namespace {
-
-// Accumulates the contribution of nonzeros [begin, end) into `b`.
-void coo_range_kernel(const SparseTensor& x,
-                      const std::vector<Matrix>& factors, int mode,
-                      index_t begin, index_t end, Matrix& b,
-                      std::vector<double>& prod) {
-  const int n = x.order();
-  const index_t rank = b.cols();
-  const std::vector<index_t>& out_ind = x.mode_indices(mode);
-  // Hoist the per-mode index arrays and factor matrices out of the nonzero
-  // loop so the innermost path is free of accessor checks.
-  std::vector<const index_t*> ind;
-  std::vector<const Matrix*> fac;
-  for (int k = 0; k < n; ++k) {
-    if (k == mode) continue;
-    ind.push_back(x.mode_indices(k).data());
-    fac.push_back(&factors[static_cast<std::size_t>(k)]);
-  }
-  for (index_t p = begin; p < end; ++p) {
-    const double xv = x.value(p);
-    for (index_t r = 0; r < rank; ++r) prod[static_cast<std::size_t>(r)] = xv;
-    for (std::size_t k = 0; k < ind.size(); ++k) {
-      const double* arow = fac[k]->row(ind[k][p]);
-      for (index_t r = 0; r < rank; ++r) {
-        prod[static_cast<std::size_t>(r)] *= arow[r];
-      }
-    }
-    double* brow = b.row(out_ind[static_cast<std::size_t>(p)]);
-    for (index_t r = 0; r < rank; ++r) {
-      brow[r] += prod[static_cast<std::size_t>(r)];
-    }
-  }
-}
-
-void add_into(Matrix& dst, const Matrix& src) {
-  double* d = dst.data();
-  const double* s = src.data();
-  const index_t count = dst.size();
-  for (index_t i = 0; i < count; ++i) d[i] += s[i];
-}
-
-}  // namespace
-
-Matrix mttkrp_coo(const SparseTensor& x, const std::vector<Matrix>& factors,
-                  int mode, bool parallel) {
-  const index_t rank = check_mttkrp_args(x.dims(), factors, mode);
-  MTK_CHECK(x.sorted(), "mttkrp_coo requires sort_and_dedup() first");
-  Matrix b(x.dim(mode), rank);
-  const index_t count = x.nnz();
-  if (!parallel) {
-    std::vector<double> prod(static_cast<std::size_t>(rank));
-    coo_range_kernel(x, factors, mode, 0, count, b, prod);
-    return b;
-  }
-  // Nonzeros sharing an output row can land in different chunks, so each
-  // thread accumulates its contiguous chunk into scratch rows (a private
-  // copy of B) and reduces.
-#pragma omp parallel
-  {
-#ifdef _OPENMP
-    const index_t nth = omp_get_num_threads();
-    const index_t tid = omp_get_thread_num();
-#else
-    const index_t nth = 1, tid = 0;
-#endif
-    const index_t chunk = ceil_div(count, nth);
-    const index_t begin = std::min(count, tid * chunk);
-    const index_t end = std::min(count, begin + chunk);
-    if (begin < end) {
-      Matrix scratch(b.rows(), rank);
-      std::vector<double> prod(static_cast<std::size_t>(rank));
-      coo_range_kernel(x, factors, mode, begin, end, scratch, prod);
-#pragma omp critical(mtk_mttkrp_coo_reduce)
-      add_into(b, scratch);
-    }
-  }
-  return b;
-}
-
-// ---------------------------------------------------------------------------
-// CSF kernel
-
-namespace {
-
-// Adds to `out` the subtree sum of (level, node):
-//   out[r] += A_{order[level]}(fid, r) * (value at leaf | sum over children),
-// i.e. the product of all factor rows strictly below the target level,
-// weighted by the nonzero values. Only called for levels below the target.
-void csf_bottom_sum(const CsfTensor& x, const std::vector<Matrix>& factors,
-                    int level, index_t node,
-                    std::vector<std::vector<double>>& scratch, double* out) {
-  const int n = x.order();
-  const int k = x.mode_order()[static_cast<std::size_t>(level)];
-  const double* arow = factors[static_cast<std::size_t>(k)].row(
-      x.fids(level)[static_cast<std::size_t>(node)]);
-  const index_t rank = static_cast<index_t>(
-      scratch[static_cast<std::size_t>(level)].size());
-  if (level == n - 1) {
-    const double v = x.values()[static_cast<std::size_t>(node)];
-    for (index_t r = 0; r < rank; ++r) out[r] += v * arow[r];
-    return;
-  }
-  std::vector<double>& acc = scratch[static_cast<std::size_t>(level)];
-  std::fill(acc.begin(), acc.end(), 0.0);
-  const index_t begin = x.fptr(level)[static_cast<std::size_t>(node)];
-  const index_t end = x.fptr(level)[static_cast<std::size_t>(node) + 1];
-  for (index_t c = begin; c < end; ++c) {
-    csf_bottom_sum(x, factors, level + 1, c, scratch, acc.data());
-  }
-  for (index_t r = 0; r < rank; ++r) {
-    out[r] += arow[r] * acc[static_cast<std::size_t>(r)];
-  }
-}
-
-// Walks the tree from (level, node) with `top` holding the elementwise
-// product of ancestor factor rows; at the target level it combines top and
-// the subtree ("bottom") sum into the output row for that fiber's index.
-void csf_walk(const CsfTensor& x, const std::vector<Matrix>& factors,
-              int target_level, int level, index_t node, const double* top,
-              std::vector<std::vector<double>>& top_scratch,
-              std::vector<std::vector<double>>& bot_scratch, Matrix& b) {
-  const int n = x.order();
-  const index_t rank = b.cols();
-  const index_t fid = x.fids(level)[static_cast<std::size_t>(node)];
-  if (level == target_level) {
-    double* brow = b.row(fid);
-    if (level == n - 1) {
-      const double v = x.values()[static_cast<std::size_t>(node)];
-      for (index_t r = 0; r < rank; ++r) brow[r] += v * top[r];
-      return;
-    }
-    std::vector<double>& bot = bot_scratch[static_cast<std::size_t>(level)];
-    std::fill(bot.begin(), bot.end(), 0.0);
-    const index_t begin = x.fptr(level)[static_cast<std::size_t>(node)];
-    const index_t end = x.fptr(level)[static_cast<std::size_t>(node) + 1];
-    for (index_t c = begin; c < end; ++c) {
-      csf_bottom_sum(x, factors, level + 1, c, bot_scratch, bot.data());
-    }
-    for (index_t r = 0; r < rank; ++r) {
-      brow[r] += top[r] * bot[static_cast<std::size_t>(r)];
-    }
-    return;
-  }
-  const int k = x.mode_order()[static_cast<std::size_t>(level)];
-  const double* arow = factors[static_cast<std::size_t>(k)].row(fid);
-  std::vector<double>& next = top_scratch[static_cast<std::size_t>(level)];
-  for (index_t r = 0; r < rank; ++r) {
-    next[static_cast<std::size_t>(r)] = top[r] * arow[r];
-  }
-  const index_t begin = x.fptr(level)[static_cast<std::size_t>(node)];
-  const index_t end = x.fptr(level)[static_cast<std::size_t>(node) + 1];
-  for (index_t c = begin; c < end; ++c) {
-    csf_walk(x, factors, target_level, level + 1, c, next.data(), top_scratch,
-             bot_scratch, b);
-  }
-}
-
-void csf_roots_kernel(const CsfTensor& x, const std::vector<Matrix>& factors,
-                      int target_level, index_t root_begin, index_t root_end,
-                      Matrix& b) {
-  const std::size_t n = static_cast<std::size_t>(x.order());
-  const index_t rank = b.cols();
-  std::vector<std::vector<double>> top_scratch(
-      n, std::vector<double>(static_cast<std::size_t>(rank)));
-  std::vector<std::vector<double>> bot_scratch(
-      n, std::vector<double>(static_cast<std::size_t>(rank)));
-  const std::vector<double> ones(static_cast<std::size_t>(rank), 1.0);
-  for (index_t f = root_begin; f < root_end; ++f) {
-    csf_walk(x, factors, target_level, 0, f, ones.data(), top_scratch,
-             bot_scratch, b);
-  }
-}
-
-}  // namespace
-
-namespace {
-
-// Leaf index where each root fiber's subtree begins (plus an nnz sentinel),
-// by chasing first-child pointers; used to split roots into chunks of
-// near-equal nonzero count.
-std::vector<index_t> csf_root_leaf_offsets(const CsfTensor& x) {
-  const int n = x.order();
-  const index_t roots = x.node_count(0);
-  std::vector<index_t> offsets(static_cast<std::size_t>(roots) + 1);
-  for (index_t f = 0; f < roots; ++f) {
-    index_t c = f;
-    for (int l = 0; l + 1 < n; ++l) {
-      c = x.fptr(l)[static_cast<std::size_t>(c)];
-    }
-    offsets[static_cast<std::size_t>(f)] = c;
-  }
-  offsets.back() = x.nnz();
-  return offsets;
-}
-
-}  // namespace
-
-Matrix mttkrp_csf(const CsfTensor& x, const std::vector<Matrix>& factors,
-                  int mode, bool parallel) {
-  const index_t rank = check_mttkrp_args(x.dims(), factors, mode);
-  const int target_level = x.level_of_mode(mode);
-  Matrix b(x.dim(mode), rank);
-  const index_t roots = x.node_count(0);
-  if (!parallel) {
-    csf_roots_kernel(x, factors, target_level, 0, roots, b);
-    return b;
-  }
-  // Root fibers have wildly uneven subtree sizes, so chunk boundaries are
-  // placed by nonzero count, not fiber count.
-  const std::vector<index_t> leaf_offsets = csf_root_leaf_offsets(x);
-  const index_t count = x.nnz();
-#pragma omp parallel
-  {
-#ifdef _OPENMP
-    const index_t nth = omp_get_num_threads();
-    const index_t tid = omp_get_thread_num();
-#else
-    const index_t nth = 1, tid = 0;
-#endif
-    const index_t chunk = ceil_div(std::max<index_t>(count, 1), nth);
-    // First root whose subtree starts at or after tid * chunk nonzeros.
-    const auto lo = std::lower_bound(leaf_offsets.begin(),
-                                     leaf_offsets.end() - 1, tid * chunk);
-    const auto hi = std::lower_bound(lo, leaf_offsets.end() - 1,
-                                     (tid + 1) * chunk);
-    const index_t root_begin =
-        static_cast<index_t>(lo - leaf_offsets.begin());
-    const index_t root_end = static_cast<index_t>(hi - leaf_offsets.begin());
-    if (root_begin < root_end) {
-      if (target_level == 0) {
-        // Root-mode fast path: each root fiber owns exactly one output row,
-        // so workers write disjoint rows with no synchronization.
-        csf_roots_kernel(x, factors, target_level, root_begin, root_end, b);
-      } else {
-        // Non-root output mode: distinct root subtrees can hit the same
-        // output row, so accumulate into per-thread scratch rows and reduce
-        // (SPLATT's privatized-output strategy).
-        Matrix scratch(b.rows(), rank);
-        csf_roots_kernel(x, factors, target_level, root_begin, root_end,
-                         scratch);
-#pragma omp critical(mtk_mttkrp_csf_reduce)
-        add_into(b, scratch);
-      }
-    }
-  }
-  return b;
-}
-
-// ---------------------------------------------------------------------------
 // Dispatch
 
 Matrix mttkrp(const SparseTensor& x, const std::vector<Matrix>& factors,
@@ -434,10 +237,12 @@ Matrix mttkrp(const SparseTensor& x, const std::vector<Matrix>& factors,
   switch (opts.sparse_algo) {
     case SparseMttkrpAlgo::kAuto:
     case SparseMttkrpAlgo::kCoo:
-      return mttkrp_coo(x, factors, mode, opts.parallel);
+      return mttkrp_coo(x, factors, mode, opts.parallel, opts.kernel_variant);
     case SparseMttkrpAlgo::kCsf:
+      // One-shot conversion; handle-level callers go through StoredTensor,
+      // whose cached forest avoids this per-call compression.
       return mttkrp_csf(CsfTensor::from_coo(x, mode), factors, mode,
-                        opts.parallel);
+                        opts.parallel, opts.kernel_variant);
   }
   MTK_ASSERT(false, "unreachable: unknown sparse MTTKRP algorithm");
   return Matrix{};
@@ -448,9 +253,10 @@ Matrix mttkrp(const CsfTensor& x, const std::vector<Matrix>& factors,
   switch (opts.sparse_algo) {
     case SparseMttkrpAlgo::kAuto:
     case SparseMttkrpAlgo::kCsf:
-      return mttkrp_csf(x, factors, mode, opts.parallel);
+      return mttkrp_csf(x, factors, mode, opts.parallel, opts.kernel_variant);
     case SparseMttkrpAlgo::kCoo:
-      return mttkrp_coo(x.to_coo(), factors, mode, opts.parallel);
+      return mttkrp_coo(x.to_coo(), factors, mode, opts.parallel,
+                        opts.kernel_variant);
   }
   MTK_ASSERT(false, "unreachable: unknown sparse MTTKRP algorithm");
   return Matrix{};
@@ -462,6 +268,12 @@ Matrix mttkrp(const StoredTensor& x, const std::vector<Matrix>& factors,
     case StorageFormat::kDense:
       return mttkrp(x.as_dense(), factors, mode, opts);
     case StorageFormat::kCoo:
+      if (opts.sparse_algo == SparseMttkrpAlgo::kCsf) {
+        // Cached per-mode forest: the tree rooted at `mode` is compressed
+        // once per handle family, not once per call.
+        return mttkrp_csf(x.csf_forest().tree_for(mode), factors, mode,
+                          opts.parallel, opts.kernel_variant);
+      }
       return mttkrp(x.as_coo(), factors, mode, opts);
     case StorageFormat::kCsf:
       return mttkrp(x.as_csf(), factors, mode, opts);
@@ -476,19 +288,27 @@ AllModesResult mttkrp_all_modes(const StoredTensor& x,
   if (x.format() == StorageFormat::kDense) {
     return mttkrp_all_modes_tree(x.as_dense(), factors);
   }
-  AllModesResult result;
-  const int n = x.order();
-  result.outputs.reserve(static_cast<std::size_t>(n));
-  index_t rank = 0;
-  for (int mode = 0; mode < n; ++mode) {
-    result.outputs.push_back(mttkrp(x, factors, mode, opts));
-    rank = result.outputs.back().cols();
+  if (opts.sparse_algo == SparseMttkrpAlgo::kCoo) {
+    // Explicit COO request: the per-mode coordinate loop (the seed
+    // behavior), with the seed's fused-chain multiply accounting.
+    AllModesResult result;
+    const int n = x.order();
+    result.outputs.reserve(static_cast<std::size_t>(n));
+    index_t rank = 0;
+    for (int mode = 0; mode < n; ++mode) {
+      result.outputs.push_back(mttkrp(x, factors, mode, opts));
+      rank = result.outputs.back().cols();
+    }
+    // One fused multiply chain of length N-1 per stored value, per mode.
+    result.multiplies = checked_mul(
+        checked_mul(x.stored_values(), static_cast<index_t>(n) * (n - 1)),
+        rank);
+    return result;
   }
-  // One fused multiply chain of length N-1 per stored value, per mode.
-  result.multiplies = checked_mul(
-      checked_mul(x.stored_values(), static_cast<index_t>(n) * (n - 1)),
-      rank);
-  return result;
+  // Fused multi-tree walk on the handle's cached tree: one traversal serves
+  // every mode with memoized subtree partials; repeated calls (CP-gradient
+  // evaluations) reuse the tree with zero rebuilds.
+  return mttkrp_all_modes_fused(x.csf_fused_tree(), factors, opts.parallel);
 }
 
 }  // namespace mtk

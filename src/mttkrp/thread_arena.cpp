@@ -1,0 +1,33 @@
+#include "src/mttkrp/thread_arena.hpp"
+
+namespace mtk {
+
+void ThreadArena::prepare(int threads, std::size_t words) {
+  MTK_CHECK(threads >= 1, "arena needs at least one thread, got ", threads);
+  if (static_cast<int>(slots_.size()) < threads) {
+    slots_.resize(static_cast<std::size_t>(threads));
+  }
+  // Every slot is kept at the high-water mark so a later call with fewer
+  // threads or words is a no-op.
+  for (auto& slot : slots_) {
+    if (slot.size() < words) slot.resize(words);
+  }
+}
+
+index_t* ThreadArena::index_scratch(std::size_t count) {
+  if (indices_.size() < count) indices_.resize(count);
+  return indices_.data();
+}
+
+std::size_t ThreadArena::footprint_words() const {
+  std::size_t total = indices_.size();
+  for (const auto& slot : slots_) total += slot.size();
+  return total;
+}
+
+ThreadArena& mttkrp_arena() {
+  thread_local ThreadArena arena;
+  return arena;
+}
+
+}  // namespace mtk

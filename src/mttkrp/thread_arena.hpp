@@ -1,0 +1,66 @@
+// Reusable per-thread scratch storage for the sparse MTTKRP kernels.
+//
+// The seed kernels allocated a full `rows x rank` scratch Matrix (plus a
+// rank-sized product buffer) inside every OpenMP parallel region — once per
+// thread per call, in the hot path of every CP-ALS sweep. A ThreadArena
+// hoists those buffers out of the loop: it is prepared (sized) once before a
+// parallel region and handed out as raw slots inside it, growing
+// monotonically and never shrinking, so steady-state kernel calls perform
+// zero allocations.
+//
+// Lifetime rules (also documented in README "Sparse kernels"):
+//   * `mttkrp_arena()` returns a thread_local arena — each top-level calling
+//     thread owns one, so concurrent top-level MTTKRP calls (e.g. the
+//     simulator's per-rank loop) never share buffers.
+//   * `prepare(threads, words)` must be called OUTSIDE the parallel region
+//     it serves; `slot(tid)` is then safe to call concurrently because it
+//     only reads the prepared pointers.
+//   * Slots are not zeroed by prepare; kernels that need cleared scratch
+//     clear exactly the prefix they use (in parallel, on their own slot).
+//   * `index_scratch(count)` is a single shared (not per-thread) index
+//     buffer for tiling structures (permutations, histograms); it follows
+//     the same prepare-outside / read-inside discipline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+class ThreadArena {
+ public:
+  // Ensures at least `threads` slots of at least `words` doubles each.
+  // Existing slots keep their capacity (high-water mark); must not be
+  // called while any slot is in use.
+  void prepare(int threads, std::size_t words);
+
+  // Slot for thread `tid` (0 <= tid < prepared thread count).
+  double* slot(int tid) {
+    MTK_ASSERT(tid >= 0 && tid < static_cast<int>(slots_.size()),
+               "arena slot ", tid, " outside prepared range ", slots_.size());
+    return slots_[static_cast<std::size_t>(tid)].data();
+  }
+
+  // Shared index buffer of at least `count` entries; same discipline as
+  // prepare (size before the parallel region, use inside).
+  index_t* index_scratch(std::size_t count);
+
+  int prepared_threads() const { return static_cast<int>(slots_.size()); }
+  std::size_t slot_words() const {
+    return slots_.empty() ? 0 : slots_.front().size();
+  }
+  // Total doubles + index words currently held (for tests / telemetry).
+  std::size_t footprint_words() const;
+
+ private:
+  std::vector<std::vector<double>> slots_;
+  std::vector<index_t> indices_;
+};
+
+// The calling thread's arena (thread_local): reused across every sparse
+// MTTKRP call this thread issues, for the life of the thread.
+ThreadArena& mttkrp_arena();
+
+}  // namespace mtk

@@ -8,9 +8,13 @@
 //
 // Storage-polymorphic like the single-mode drivers: dense blocks compute the
 // N local contributions with the dimension tree (partial-contraction reuse);
-// sparse blocks (COO/CSF) run the native kernel once per mode on the rank's
-// nonzeros — fiber reuse already amortizes the factor traffic the tree would
-// save, mirroring src/mttkrp/dispatch.hpp's all-modes policy.
+// COO blocks run the coordinate kernel once per mode on the rank's
+// nonzeros, and CSF blocks run the fused multi-tree walk
+// (src/mttkrp/sparse_kernels.hpp) — one traversal of the rank's tree
+// computes all N contributions with memoized subtree partials. Repeated
+// evaluations (par_cp_gradient's line search) should build an
+// AllModesSparsePlan once and pass it in, which also skips the per-call
+// nonzero redistribution.
 #pragma once
 
 #include <vector>
@@ -37,6 +41,29 @@ ParAllModesResult par_mttkrp_all_modes(
     const std::vector<Matrix>& factors, const std::vector<int>& grid_shape,
     CollectiveSchedule collectives = CollectiveKind::kBucket,
     SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
+
+// Reusable per-process state for repeated all-modes MTTKRPs on one sparse
+// tensor and grid (par_cp_gradient evaluates once per accepted iterate plus
+// once per rejected Armijo trial): the nonzero distribution plus, for CSF
+// storage, each rank's single fused tree. Building the plan once skips both
+// the per-call O(nnz log nnz) redistribution and every per-call CSF
+// compression.
+struct AllModesSparsePlan {
+  SparseDistribution dist;
+  std::vector<CsfTensor> fused;  // [rank] — only populated for CSF storage
+};
+
+AllModesSparsePlan plan_all_modes_sparse(
+    const StoredTensor& x, const std::vector<int>& grid_shape,
+    SparsePartitionScheme scheme = SparsePartitionScheme::kBlock);
+
+// All-modes driver against a precomputed plan (sparse storage only); `plan`
+// must come from plan_all_modes_sparse on this tensor with `grid_shape`.
+ParAllModesResult par_mttkrp_all_modes(
+    Machine& machine, const StoredTensor& x,
+    const std::vector<Matrix>& factors, const std::vector<int>& grid_shape,
+    const AllModesSparsePlan& plan,
+    CollectiveSchedule collectives = CollectiveKind::kBucket);
 
 // Dense overload and convenience wrappers building a machine of the grid's
 // size.

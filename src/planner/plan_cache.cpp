@@ -87,6 +87,10 @@ std::uint64_t plan_cache_key(const StoredTensor& x, index_t rank,
   h.mix(opts.machine.dense_seconds_per_flop);
   h.mix(opts.machine.coo_seconds_per_flop);
   h.mix(opts.machine.csf_seconds_per_flop);
+  h.mix(opts.machine.coo_privatized_seconds_per_flop);
+  h.mix(opts.machine.coo_tiled_seconds_per_flop);
+  h.mix(opts.machine.csf_privatized_seconds_per_flop);
+  h.mix(opts.machine.csf_tiled_seconds_per_flop);
   h.mix(static_cast<std::uint64_t>(opts.reuse_count));
   return h.state;
 }
@@ -293,6 +297,10 @@ bool PlanCache::save(const std::string& path,
     put(body, k.machine.dense_seconds_per_flop);
     put(body, k.machine.coo_seconds_per_flop);
     put(body, k.machine.csf_seconds_per_flop);
+    put(body, k.machine.coo_privatized_seconds_per_flop);
+    put(body, k.machine.coo_tiled_seconds_per_flop);
+    put(body, k.machine.csf_privatized_seconds_per_flop);
+    put(body, k.machine.csf_tiled_seconds_per_flop);
     put(body, k.reuse_count);
     body << "\n";
 
@@ -312,6 +320,7 @@ bool PlanCache::save(const std::string& path,
       put(body, static_cast<int>(plan.algo));
       put(body, static_cast<int>(plan.backend));
       put(body, static_cast<int>(plan.scheme));
+      put(body, static_cast<int>(plan.kernel_variant));
       put(body, static_cast<int>(plan.collectives.tensor));
       put(body, static_cast<int>(plan.collectives.factor));
       put(body, static_cast<int>(plan.collectives.output));
@@ -438,6 +447,10 @@ bool PlanCache::load(const std::string& path, Calibration* calibration) {
     k.machine.dense_seconds_per_flop = kp.dbl();
     k.machine.coo_seconds_per_flop = kp.dbl();
     k.machine.csf_seconds_per_flop = kp.dbl();
+    k.machine.coo_privatized_seconds_per_flop = kp.dbl();
+    k.machine.coo_tiled_seconds_per_flop = kp.dbl();
+    k.machine.csf_privatized_seconds_per_flop = kp.dbl();
+    k.machine.csf_tiled_seconds_per_flop = kp.dbl();
     k.reuse_count = kp.i32();
     if (!kp.done()) return false;
 
@@ -466,6 +479,7 @@ bool PlanCache::load(const std::string& path, Calibration* calibration) {
       plan.algo = pp.enum_of<ParAlgo>(2);
       plan.backend = pp.enum_of<StorageFormat>(2);
       plan.scheme = pp.enum_of<SparsePartitionScheme>(1);
+      plan.kernel_variant = pp.enum_of<SparseKernelVariant>(3);
       plan.collectives.tensor = pp.enum_of<CollectiveKind>(1);
       plan.collectives.factor = pp.enum_of<CollectiveKind>(1);
       plan.collectives.output = pp.enum_of<CollectiveKind>(1);

@@ -35,7 +35,7 @@ class PlanCache {
  public:
   // Bump when the on-disk layout or any serialized enum changes; readers
   // reject every other version (cold cache, no migration attempts).
-  static constexpr int kFileVersion = 1;
+  static constexpr int kFileVersion = 2;
   // Returns the cached report for this (tensor, rank, options) key, planning
   // on a miss. The CSF path expands to COO once per *miss* only.
   std::shared_ptr<const PlanReport> get_or_plan(const StoredTensor& x,

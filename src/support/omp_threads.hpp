@@ -1,0 +1,35 @@
+// RAII scope for an OpenMP thread-count override: tests and benches pin
+// the team size for one kernel run and restore the previous setting on
+// exit. Compiles to a no-op without OpenMP.
+#pragma once
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace mtk {
+
+class OmpThreadCountGuard {
+ public:
+  explicit OmpThreadCountGuard(int threads) {
+#ifdef _OPENMP
+    saved_ = omp_get_max_threads();
+    omp_set_num_threads(threads);
+#else
+    (void)threads;
+#endif
+  }
+  ~OmpThreadCountGuard() {
+#ifdef _OPENMP
+    omp_set_num_threads(saved_);
+#endif
+  }
+
+  OmpThreadCountGuard(const OmpThreadCountGuard&) = delete;
+  OmpThreadCountGuard& operator=(const OmpThreadCountGuard&) = delete;
+
+ private:
+  int saved_ = 1;
+};
+
+}  // namespace mtk

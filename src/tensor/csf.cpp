@@ -1,9 +1,20 @@
 #include "src/tensor/csf.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 namespace mtk {
+
+namespace {
+
+std::atomic<index_t> g_csf_builds{0};
+
+}  // namespace
+
+index_t CsfTensor::build_count() {
+  return g_csf_builds.load(std::memory_order_relaxed);
+}
 
 int CsfTensor::level_of_mode(int mode) const {
   MTK_CHECK(mode >= 0 && mode < order(), "mode ", mode,
@@ -18,12 +29,8 @@ int CsfTensor::level_of_mode(int mode) const {
 CsfTensor CsfTensor::from_coo(const SparseTensor& coo, int root_mode) {
   const int n = coo.order();
   MTK_CHECK(n >= 1, "cannot build CSF from an order-0 tensor");
-  MTK_CHECK(coo.sorted(), "from_coo requires sort_and_dedup() first");
   MTK_CHECK(root_mode >= -1 && root_mode < n, "root mode ", root_mode,
             " out of range for order-", n, " tensor");
-
-  CsfTensor csf;
-  csf.dims_ = coo.dims();
 
   // Mode order: requested root first, remaining modes by increasing
   // dimension (ties broken by mode number for determinism).
@@ -34,12 +41,33 @@ CsfTensor CsfTensor::from_coo(const SparseTensor& coo, int root_mode) {
   std::stable_sort(rest.begin(), rest.end(), [&](int a, int b) {
     return coo.dim(a) < coo.dim(b);
   });
-  if (root_mode < 0) {
-    csf.mode_order_ = std::move(rest);
-  } else {
-    csf.mode_order_.push_back(root_mode);
-    csf.mode_order_.insert(csf.mode_order_.end(), rest.begin(), rest.end());
+  std::vector<int> order;
+  if (root_mode >= 0) order.push_back(root_mode);
+  order.insert(order.end(), rest.begin(), rest.end());
+  return from_coo_ordered(coo, std::move(order));
+}
+
+CsfTensor CsfTensor::from_coo_ordered(const SparseTensor& coo,
+                                      std::vector<int> mode_order) {
+  const int n = coo.order();
+  MTK_CHECK(n >= 1, "cannot build CSF from an order-0 tensor");
+  MTK_CHECK(coo.sorted(), "from_coo requires sort_and_dedup() first");
+  MTK_CHECK(static_cast<int>(mode_order.size()) == n,
+            "mode order has ", mode_order.size(), " entries for order-", n,
+            " tensor");
+  {
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    for (int k : mode_order) {
+      MTK_CHECK(k >= 0 && k < n && !seen[static_cast<std::size_t>(k)],
+                "mode order is not a permutation of 0..", n - 1);
+      seen[static_cast<std::size_t>(k)] = true;
+    }
   }
+  g_csf_builds.fetch_add(1, std::memory_order_relaxed);
+
+  CsfTensor csf;
+  csf.dims_ = coo.dims();
+  csf.mode_order_ = std::move(mode_order);
 
   // Sort nonzero positions lexicographically in the permuted mode order.
   const index_t count = coo.nnz();

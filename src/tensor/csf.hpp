@@ -29,6 +29,13 @@ class CsfTensor {
   // near the root. `root_mode == -1` picks the smallest-dimension mode.
   static CsfTensor from_coo(const SparseTensor& coo, int root_mode = -1);
 
+  // Compression with a fully explicit level ordering (`mode_order[l]` is the
+  // tensor mode stored at level l; must be a permutation of 0..N-1). The
+  // hybrid CsfSet uses this to pin one mode at the root AND one at the leaf
+  // level, so both get owner-computes kernels from a single tree.
+  static CsfTensor from_coo_ordered(const SparseTensor& coo,
+                                    std::vector<int> mode_order);
+
   int order() const { return static_cast<int>(dims_.size()); }
   const shape_t& dims() const { return dims_; }
   index_t dim(int k) const {
@@ -62,6 +69,11 @@ class CsfTensor {
   // Total index/pointer/value words stored — the compression the format
   // exists to provide; compare against 1 + order() words per COO nonzero.
   index_t storage_words() const;
+
+  // Process-wide count of CSF compressions performed (every from_coo /
+  // from_coo_ordered call increments it). Benchmarks and tests snapshot it
+  // around CP-ALS sweeps to assert zero per-iteration tree rebuilds.
+  static index_t build_count();
 
  private:
   shape_t dims_;

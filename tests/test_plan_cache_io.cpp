@@ -87,6 +87,7 @@ TEST_F(PlanCacheIo, RoundTripServesHitsWithIdenticalReports) {
     EXPECT_EQ(a.backend, b.backend);
     EXPECT_EQ(a.grid, b.grid);
     EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.kernel_variant, b.kernel_variant);
     EXPECT_TRUE(a.collectives == b.collectives);
     EXPECT_EQ(a.comm.words, b.comm.words);
     EXPECT_EQ(a.comm.messages, b.comm.messages);
@@ -113,6 +114,10 @@ TEST_F(PlanCacheIo, CalibrationTravelsWithTheFile) {
   cal.dense_seconds_per_flop = 1.0e-10;
   cal.coo_seconds_per_flop = 1.5e-10;
   cal.csf_seconds_per_flop = 0.75e-10;
+  cal.coo_privatized_seconds_per_flop = 1.6e-10;
+  cal.coo_tiled_seconds_per_flop = 0.8e-10;
+  cal.csf_privatized_seconds_per_flop = 1.1e-10;
+  cal.csf_tiled_seconds_per_flop = 0.5e-10;
   cal.measured = true;
   ASSERT_TRUE(cache.save(file.path(), &cal));
 
@@ -136,7 +141,8 @@ TEST_F(PlanCacheIo, VersionMismatchDegradesToCold) {
   ASSERT_TRUE(cache.save(file.path()));
 
   std::string content = slurp(file.path());
-  const std::string header = "mtkplancache 1";
+  const std::string header =
+      "mtkplancache " + std::to_string(PlanCache::kFileVersion);
   ASSERT_EQ(content.compare(0, header.size(), header), 0);
   content.replace(0, header.size(), "mtkplancache 999");
   spit(file.path(), content);

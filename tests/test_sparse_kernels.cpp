@@ -1,0 +1,201 @@
+// Agreement battery for the sparse kernel variants: every parallel
+// reduction schedule (privatized / atomic / tiled / auto) must match the
+// serial reference kernel bit-tightly across thread counts 1-8, uniform and
+// skewed nonzero patterns, and every output mode — for both the COO and CSF
+// kernels, including non-root CSF targets (the tile-filtered walk). Also
+// covers the ThreadArena reuse contract: steady-state kernel calls grow the
+// arena footprint by zero words.
+#include <gtest/gtest.h>
+
+#include "src/mttkrp/dispatch.hpp"
+#include "src/mttkrp/thread_arena.hpp"
+#include "src/support/omp_threads.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+using ThreadCountGuard = OmpThreadCountGuard;
+
+std::vector<Matrix> make_factors(const shape_t& dims, index_t rank,
+                                 Rng& rng) {
+  std::vector<Matrix> factors;
+  for (index_t d : dims) {
+    factors.push_back(Matrix::random_normal(d, rank, rng));
+  }
+  return factors;
+}
+
+constexpr SparseKernelVariant kVariants[] = {
+    SparseKernelVariant::kAuto, SparseKernelVariant::kPrivatized,
+    SparseKernelVariant::kAtomic, SparseKernelVariant::kTiled};
+
+// (dims, rank, density, skew) — skew 0 is uniform; > 0 concentrates
+// nonzeros in hub slices, the regime that stresses tile balancing.
+using SweepParam = std::tuple<shape_t, index_t, double, double>;
+
+class KernelVariantSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(KernelVariantSweep, EveryVariantMatchesSerialOnEveryMode) {
+  const auto& [dims, rank, density, skew] = GetParam();
+  Rng rng(211 + static_cast<std::uint64_t>(dims.size()));
+  const SparseTensor coo =
+      skew == 0.0 ? SparseTensor::random_sparse(dims, density, rng)
+                  : SparseTensor::random_sparse_skewed(dims, density, skew,
+                                                       rng);
+  const std::vector<Matrix> factors = make_factors(dims, rank, rng);
+  const int n = static_cast<int>(dims.size());
+
+  for (int mode = 0; mode < n; ++mode) {
+    const Matrix expected = mttkrp_coo(coo, factors, mode, false);
+    // Root the tree both at the output mode (owner-computes fast path) and
+    // away from it (tile-filtered / privatized / atomic non-root targets).
+    const CsfTensor csf_root = CsfTensor::from_coo(coo, mode);
+    const CsfTensor csf_off = CsfTensor::from_coo(coo, (mode + 1) % n);
+    ASSERT_LT(max_abs_diff(mttkrp_csf(csf_root, factors, mode, false),
+                           expected),
+              kTol);
+
+    for (int threads : {1, 2, 4, 8}) {
+      ThreadCountGuard guard(threads);
+      for (SparseKernelVariant variant : kVariants) {
+        EXPECT_LT(max_abs_diff(
+                      mttkrp_coo(coo, factors, mode, true, variant),
+                      expected),
+                  kTol)
+            << "coo " << to_string(variant) << ", mode " << mode << ", "
+            << threads << " threads";
+        EXPECT_LT(max_abs_diff(
+                      mttkrp_csf(csf_root, factors, mode, true, variant),
+                      expected),
+                  kTol)
+            << "csf-root " << to_string(variant) << ", mode " << mode
+            << ", " << threads << " threads";
+        EXPECT_LT(max_abs_diff(
+                      mttkrp_csf(csf_off, factors, mode, true, variant),
+                      expected),
+                  kTol)
+            << "csf-offroot " << to_string(variant) << ", mode " << mode
+            << ", " << threads << " threads";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Uniform, KernelVariantSweep,
+    ::testing::Values(SweepParam{{14, 10, 12}, 4, 0.05, 0.0},
+                      SweepParam{{40, 6, 9}, 3, 0.03, 0.0},
+                      SweepParam{{5, 4, 6, 3}, 3, 0.05, 0.0},
+                      SweepParam{{4, 3, 5, 3, 4}, 2, 0.03, 0.0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Skewed, KernelVariantSweep,
+    ::testing::Values(SweepParam{{60, 12, 10}, 4, 0.02, 1.5},
+                      SweepParam{{25, 25, 25}, 3, 0.01, 2.0},
+                      SweepParam{{12, 8, 6, 5}, 2, 0.02, 1.2}));
+
+// Degenerate shapes: empty tensors and single-row outputs must survive
+// every schedule (tile cuts and row snapping have edge cases at 0 and 1).
+TEST(SparseKernelVariants, EmptyAndTinyTensors) {
+  Rng rng(223);
+  const std::vector<shape_t> shapes = {{3, 4, 5}, {1, 6, 2}};
+  for (const shape_t& dims : shapes) {
+    SparseTensor empty(dims);
+    const std::vector<Matrix> factors = make_factors(dims, 2, rng);
+    ThreadCountGuard guard(4);
+    for (SparseKernelVariant variant : kVariants) {
+      for (int mode = 0; mode < 3; ++mode) {
+        EXPECT_EQ(mttkrp_coo(empty, factors, mode, true, variant).max_abs(),
+                  0.0);
+        EXPECT_EQ(mttkrp_csf(CsfTensor::from_coo(empty, mode), factors,
+                             mode, true, variant)
+                      .max_abs(),
+                  0.0);
+      }
+    }
+  }
+  // One nonzero: all schedules degenerate to a single write.
+  SparseTensor one({5, 4, 3});
+  one.push_back({2, 1, 0}, 2.5);
+  one.sort_and_dedup();
+  const std::vector<Matrix> factors = make_factors(one.dims(), 3, rng);
+  const Matrix expected = mttkrp_coo(one, factors, 1, false);
+  ThreadCountGuard guard(8);
+  for (SparseKernelVariant variant : kVariants) {
+    EXPECT_LT(max_abs_diff(mttkrp_coo(one, factors, 1, true, variant),
+                           expected),
+              kTol);
+  }
+}
+
+// Dispatch plumbing: MttkrpOptions::kernel_variant reaches the kernels.
+TEST(SparseKernelVariants, DispatchHonorsKernelVariant) {
+  Rng rng(227);
+  const SparseTensor coo = SparseTensor::random_sparse({10, 8, 9}, 0.1, rng);
+  const std::vector<Matrix> factors = make_factors(coo.dims(), 3, rng);
+  const StoredTensor handle = StoredTensor::coo_view(coo);
+  const Matrix expected = mttkrp_coo(coo, factors, 0, false);
+  ThreadCountGuard guard(4);
+  for (SparseKernelVariant variant : kVariants) {
+    MttkrpOptions opts;
+    opts.parallel = true;
+    opts.kernel_variant = variant;
+    EXPECT_LT(max_abs_diff(mttkrp(handle, factors, 0, opts), expected),
+              kTol)
+        << to_string(variant);
+  }
+}
+
+// The arena grows to a high-water mark and then stops allocating: repeated
+// kernel calls at steady state must not change the footprint.
+TEST(ThreadArena, SteadyStateCallsDoNotGrowTheArena) {
+  Rng rng(229);
+  const SparseTensor coo =
+      SparseTensor::random_sparse({30, 20, 25}, 0.05, rng);
+  const CsfTensor csf = CsfTensor::from_coo(coo, 1);
+  const std::vector<Matrix> factors = make_factors(coo.dims(), 4, rng);
+  ThreadCountGuard guard(4);
+
+  // Warm-up establishes the high-water mark for every schedule.
+  for (SparseKernelVariant variant : kVariants) {
+    for (int mode = 0; mode < 3; ++mode) {
+      mttkrp_coo(coo, factors, mode, true, variant);
+      mttkrp_csf(csf, factors, mode, true, variant);
+    }
+  }
+  const std::size_t footprint = mttkrp_arena().footprint_words();
+  EXPECT_GT(footprint, 0u);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (SparseKernelVariant variant : kVariants) {
+      for (int mode = 0; mode < 3; ++mode) {
+        mttkrp_coo(coo, factors, mode, true, variant);
+        mttkrp_csf(csf, factors, mode, true, variant);
+      }
+    }
+  }
+  EXPECT_EQ(mttkrp_arena().footprint_words(), footprint);
+}
+
+TEST(ThreadArena, PrepareKeepsHighWaterMark) {
+  ThreadArena arena;
+  arena.prepare(4, 100);
+  EXPECT_EQ(arena.prepared_threads(), 4);
+  EXPECT_EQ(arena.slot_words(), 100u);
+  arena.prepare(2, 10);  // smaller request: no shrink
+  EXPECT_EQ(arena.prepared_threads(), 4);
+  EXPECT_EQ(arena.slot_words(), 100u);
+  arena.prepare(6, 200);
+  EXPECT_EQ(arena.prepared_threads(), 6);
+  EXPECT_GE(arena.slot_words(), 200u);
+  // Slots are distinct, writable buffers.
+  arena.slot(0)[0] = 1.0;
+  arena.slot(5)[199] = 2.0;
+  EXPECT_EQ(arena.slot(0)[0], 1.0);
+  EXPECT_EQ(arena.slot(5)[199], 2.0);
+}
+
+}  // namespace
+}  // namespace mtk

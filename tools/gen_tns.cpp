@@ -37,12 +37,21 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --dims I1,I2,... --out FILE [--density d] [--skew s]\n"
       "          [--seed S]\n"
-      "  --dims     tensor dimensions, comma separated (required)\n"
+      "       %s --preset NAME --out FILE [--seed S]\n"
+      "  --dims     tensor dimensions, comma separated\n"
+      "  --preset   FROSTT-shape preset (",
+      argv0, argv0);
+  for (std::size_t i = 0; i < frostt_presets().size(); ++i) {
+    std::fprintf(stderr, "%s%s", i ? ", " : "", frostt_presets()[i].name);
+  }
+  std::fprintf(
+      stderr,
+      "):\n"
+      "             scaled-down dims/density/skew mimicking the real shape\n"
       "  --out      output .tns path (required)\n"
       "  --density  target nnz / prod(dims), default 0.01\n"
       "  --skew     per-mode Zipf exponent, default 0 (uniform)\n"
-      "  --seed     RNG seed, default 1\n",
-      argv0);
+      "  --seed     RNG seed, default 1\n");
   return 1;
 }
 
@@ -75,6 +84,14 @@ int main(int argc, char** argv) {
       };
       if (arg == "--dims") {
         dims = parse_dims(next());
+      } else if (arg == "--preset") {
+        const std::string name = next();
+        const FrosttPreset* preset = find_frostt_preset(name);
+        MTK_CHECK(preset != nullptr, "unknown preset '", name,
+                  "' (see --help for the list)");
+        dims = preset->dims;
+        density = preset->density;
+        skew = preset->skew;
       } else if (arg == "--out") {
         out_path = next();
       } else if (arg == "--density") {

@@ -21,6 +21,10 @@
 #include <cstring>
 #include <string>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "src/mtk.hpp"
 
 namespace {
@@ -89,7 +93,8 @@ int usage(const char* argv0) {
       "          [--flop-word-ratio F] [--latency-word-ratio L]\n"
       "          [--calibrate] [--cache-file FILE]\n"
       "          [--cp-als] [--iters N] [--tol T] [--save-tns FILE]\n"
-      "          [--memory M] [--trace] [--seed S]\n"
+      "          [--threads T] [--variant V] [--memory M] [--trace]\n"
+      "          [--seed S]\n"
       "  --dims     tensor dimensions for a random problem, comma separated\n"
       "  --tns      load a FROSTT .tns coordinate file instead\n"
       "  --rank     factor matrix columns R / CP rank (required)\n"
@@ -126,6 +131,12 @@ int usage(const char* argv0) {
       "  --iters    CP-ALS max iterations, default 20\n"
       "  --tol      CP-ALS fit tolerance, default 1e-6\n"
       "  --save-tns write the (sparse) tensor to a .tns file and exit\n"
+      "  --threads  run the local (non-simulated) kernels with T OpenMP\n"
+      "             threads; the sparse reduction schedule defaults to the\n"
+      "             calibration's measured preference when one is loaded\n"
+      "             (--calibrate / --cache-file), else the kernel heuristic\n"
+      "  --variant  sparse kernel schedule override for --threads runs:\n"
+      "             auto|privatized|atomic|tiled\n"
       "  --memory   fast-memory words for block-size selection/trace,\n"
       "             default 2^20\n"
       "  --trace    also simulate the two-level memory traffic and print\n"
@@ -172,6 +183,9 @@ int main(int argc, char** argv) {
   double tol = 1e-6;
   index_t memory = index_t{1} << 20;
   bool trace = false;
+  int local_threads = 0;
+  SparseKernelVariant variant = SparseKernelVariant::kAuto;
+  bool variant_set = false;
   std::uint64_t seed = 1;
 
   try {
@@ -224,6 +238,24 @@ int main(int argc, char** argv) {
         iters = std::stoi(next());
       } else if (arg == "--tol") {
         tol = std::stod(next());
+      } else if (arg == "--threads") {
+        local_threads = std::stoi(next());
+        MTK_CHECK(local_threads >= 1, "--threads must be >= 1");
+      } else if (arg == "--variant") {
+        const std::string v = next();
+        variant_set = true;
+        if (v == "auto") {
+          variant = SparseKernelVariant::kAuto;
+        } else if (v == "privatized") {
+          variant = SparseKernelVariant::kPrivatized;
+        } else if (v == "atomic") {
+          variant = SparseKernelVariant::kAtomic;
+        } else if (v == "tiled") {
+          variant = SparseKernelVariant::kTiled;
+        } else {
+          MTK_CHECK(false, "unknown --variant '", v,
+                    "' (auto|privatized|atomic|tiled)");
+        }
       } else if (arg == "--memory") {
         memory = std::stoll(next());
       } else if (arg == "--trace") {
@@ -319,6 +351,30 @@ int main(int argc, char** argv) {
                   PlanCache::global().hits() > hits_before ? "hit" : "miss");
     };
 
+    // Local (non-simulated) kernel schedule: --threads enables the threaded
+    // sparse kernels; the reduction schedule comes from --variant when
+    // given, otherwise from the measured calibration's tiled-vs-privatized
+    // preference for this backend (the executable consumer of
+    // Calibration::preferred_variant / ExecutionPlan::kernel_variant).
+    MttkrpOptions local_opts;
+    local_opts.algo = algo;
+    local_opts.fast_memory_words = memory;
+    if (local_threads > 0) {
+#ifdef _OPENMP
+      omp_set_num_threads(local_threads);
+#endif
+      local_opts.parallel = true;
+      local_opts.kernel_variant =
+          variant_set ? variant : cal.preferred_variant(backend);
+      if (backend != StorageFormat::kDense) {
+        std::printf("local kernels  : %d threads, %s variant%s\n",
+                    local_threads, to_string(local_opts.kernel_variant),
+                    variant_set ? ""
+                    : cal.measured ? " (calibrated)"
+                                   : " (heuristic)");
+      }
+    }
+
     PlannerOptions popts;
     popts.procs = procs;
     popts.mode = mode;
@@ -400,6 +456,7 @@ int main(int argc, char** argv) {
       opts.max_iterations = iters;
       opts.tolerance = tol;
       opts.seed = seed;
+      opts.mttkrp = local_opts;
       const auto start = std::chrono::steady_clock::now();
       const CpAlsResult r = cp_als(x, opts);
       const auto stop = std::chrono::steady_clock::now();
@@ -512,12 +569,8 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    MttkrpOptions opts;
-    opts.algo = algo;
-    opts.fast_memory_words = memory;
-
     const auto start = std::chrono::steady_clock::now();
-    const Matrix b = mttkrp(x, factors, mode, opts);
+    const Matrix b = mttkrp(x, factors, mode, local_opts);
     const auto stop = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(stop - start).count();
