@@ -23,8 +23,18 @@
 // BENCH_kernels.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_telemetry.hpp"
+#include "src/cp/cp_als.hpp"
 #include "src/io/frostt_presets.hpp"
 #include "src/mttkrp/dispatch.hpp"
+#include "src/sketch/krp_sample.hpp"
+#include "src/sketch/sampled_mttkrp.hpp"
 #include "src/support/omp_threads.hpp"
 #include "src/support/rng.hpp"
 
@@ -308,4 +318,165 @@ BENCHMARK(BM_PresetCsf)
     ->Args({2, 0})->Args({2, 2})
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Randomized sketched backend sweep (`--sampled`): leverage-sampled MTTKRP
+// vs the exact serial CSF kernel on the amazon-shaped preset, across KRP
+// sample counts, plus exact vs sketched CP-ALS at epsilon-derived counts.
+// Runs outside google-benchmark's timing loop (the draw/kernel split and
+// the accuracy counters don't fit its model), so `--sampled` switches to a
+// bench_telemetry.hpp sweep; CI uploads the JSON as BENCH_sampled.json.
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+template <class Fn>
+double best_of_ms(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, ms_since(t0));
+  }
+  return best;
+}
+
+int run_sampled_sweep(mtk_bench::Telemetry& tele) {
+  std::FILE* out = tele.table();
+  const FrosttPreset* preset = find_frostt_preset("amazon");
+  const SparseTensor coo = make_frostt_like(*preset, 7);
+  int mode = 0;
+  for (int k = 1; k < coo.order(); ++k) {
+    if (coo.dim(k) > coo.dim(mode)) mode = k;
+  }
+  // Exact runs on the output-rooted tree, sampled routes to a
+  // complement-rooted tree (root-level pruning); both prebuilt.
+  const CsfSet forest = CsfSet::build(coo, CsfSetPolicy::kOnePerMode);
+  const CsfTensor& csf = forest.tree_for(mode);
+  Rng rng(7);
+  std::vector<Matrix> factors;
+  for (index_t d : coo.dims()) {
+    factors.push_back(Matrix::random_uniform(d, kSweepRank, rng, 0.1, 1.0));
+  }
+
+  std::fprintf(out, "=== Sampled vs exact MTTKRP (%s preset, %lld nnz, "
+                    "R = %lld, output mode %d) ===\n",
+               preset->name, static_cast<long long>(coo.nnz()),
+               static_cast<long long>(kSweepRank), mode);
+  const Matrix exact_b = mttkrp_csf(csf, factors, mode, /*parallel=*/false);
+  const double exact_norm = exact_b.frobenius_norm();
+  const double exact_ms = best_of_ms(3, [&]() {
+    Matrix b = mttkrp_csf(csf, factors, mode, /*parallel=*/false);
+    benchmark::DoNotOptimize(b.data());
+  });
+  std::fprintf(out, "exact csf      : %.3f ms (serial)\n\n", exact_ms);
+  std::fprintf(out, "%10s %10s %10s %10s %9s %10s %10s\n", "S", "draw_ms",
+               "kernel_ms", "speedup", "survivors", "rel_err", "pred_err");
+
+  for (const index_t s : {index_t{512}, index_t{2048}, index_t{8192},
+                          index_t{32768}}) {
+    Rng srng(derive_seed(7, static_cast<std::uint64_t>(s)));
+    const auto td = std::chrono::steady_clock::now();
+    const KrpSample sample = sample_krp_leverage(factors, mode, s, srng);
+    const double draw_ms = ms_since(td);
+
+    SampledMttkrpStats stats;
+    Matrix sampled_b = mttkrp_sampled(forest, factors, sample, {}, &stats);
+    const double sampled_ms = best_of_ms(3, [&]() {
+      Matrix b = mttkrp_sampled(forest, factors, sample);
+      benchmark::DoNotOptimize(b.data());
+    });
+
+    double diff_sq = 0.0;
+    for (index_t i = 0; i < sampled_b.rows(); ++i) {
+      for (index_t r = 0; r < sampled_b.cols(); ++r) {
+        const double d = sampled_b(i, r) - exact_b(i, r);
+        diff_sq += d * d;
+      }
+    }
+    const double rel_error = std::sqrt(diff_sq) / exact_norm;
+    const double pred = predicted_sampling_error(kSweepRank, s);
+    const double speedup = exact_ms / std::max(sampled_ms, 1e-9);
+
+    std::fprintf(out, "%10lld %10.3f %10.3f %9.2fx %9lld %10.4f %10.4f\n",
+                 static_cast<long long>(s), draw_ms, sampled_ms, speedup,
+                 static_cast<long long>(stats.surviving_nonzeros), rel_error,
+                 pred);
+    tele.add("SampledMttkrp/" + std::string(preset->name) +
+                 "/S:" + std::to_string(s),
+             {{"nnz", static_cast<double>(coo.nnz())},
+              {"sample_count", static_cast<double>(s)},
+              {"survivors", static_cast<double>(stats.surviving_nonzeros)},
+              {"distinct_tuples", static_cast<double>(stats.distinct_tuples)},
+              {"exact_ms", exact_ms},
+              {"sampled_ms", sampled_ms},
+              {"draw_ms", draw_ms},
+              {"kernel_speedup", speedup},
+              {"rel_error", rel_error},
+              {"predicted_error", pred}});
+  }
+
+  // End-to-end: sketched CP-ALS at the planner's epsilon-derived sample
+  // counts vs the exact driver. Final fits are exact-evaluated by the
+  // driver, so residual_ratio compares true model quality.
+  std::fprintf(out, "\n%10s %10s %10s %10s %10s %12s\n", "epsilon", "S",
+               "exact_s", "sampled_s", "speedup", "resid_ratio");
+  CpAlsOptions exact_opts;
+  exact_opts.rank = kSweepRank;
+  exact_opts.max_iterations = 10;
+  exact_opts.seed = 7;
+  const auto te = std::chrono::steady_clock::now();
+  const CpAlsResult exact_als = cp_als(coo, exact_opts);
+  const double exact_als_s = ms_since(te) / 1e3;
+
+  for (const double eps : {0.25, 0.1}) {
+    CpAlsOptions opts = exact_opts;
+    opts.sketch.epsilon = eps;
+    opts.sketch.seed = derive_seed(7, 99);
+    const index_t s = opts.sketch.resolve_sample_count(kSweepRank);
+    const auto ts = std::chrono::steady_clock::now();
+    const CpAlsResult sampled_als = cp_als(coo, opts);
+    const double sampled_als_s = ms_since(ts) / 1e3;
+    const double ratio = (1.0 - sampled_als.final_fit) /
+                         std::max(1.0 - exact_als.final_fit, 1e-12);
+    std::fprintf(out, "%10.2f %10lld %10.2f %10.2f %9.2fx %12.4f\n", eps,
+                 static_cast<long long>(s), exact_als_s, sampled_als_s,
+                 exact_als_s / std::max(sampled_als_s, 1e-9), ratio);
+    tele.add("SampledCpAls/" + std::string(preset->name) +
+                 "/eps:" + std::to_string(eps),
+             {{"nnz", static_cast<double>(coo.nnz())},
+              {"epsilon", eps},
+              {"sample_count", static_cast<double>(s)},
+              {"exact_seconds", exact_als_s},
+              {"sampled_seconds", sampled_als_s},
+              {"als_speedup", exact_als_s / std::max(sampled_als_s, 1e-9)},
+              {"exact_fit", exact_als.final_fit},
+              {"sampled_fit", sampled_als.final_fit},
+              {"residual_ratio", ratio}});
+  }
+  return tele.flush() ? 0 : 1;
+}
+
 }  // namespace
+
+// Custom main: `--sampled` runs the telemetry sweep above; anything else
+// falls through to the regular google-benchmark driver. Linking against
+// benchmark_main stays safe — its main object is only pulled from the
+// static library when no other main is defined (same idiom as
+// bench_planner.cpp).
+int main(int argc, char** argv) {
+  bool sampled = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sampled") == 0) sampled = true;
+  }
+  if (sampled) {
+    mtk_bench::Telemetry tele(argc, argv);
+    return run_sampled_sweep(tele);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/sketch/sampled_mttkrp.hpp"
+#include "src/sketch/sketched_solve.hpp"
 #include "src/support/rng.hpp"
 
 namespace mtk {
@@ -104,29 +106,66 @@ CpAlsResult cp_als(const StoredTensor& x, const CpAlsOptions& opts) {
     forest = &x.csf_forest();
   }
 
+  // Randomized path: per-sweep leverage samples (sparse) or Gaussian KRP
+  // projections (dense) replace the exact MTTKRP + Hadamard-Gram solve.
+  const bool sampled = opts.sketch.enabled();
+  const index_t s_count =
+      sampled ? opts.sketch.resolve_sample_count(opts.rank) : 0;
+  const int refresh = std::max(1, opts.sketch.refresh_every);
+  std::vector<KrpSample> samples(sampled ? static_cast<std::size_t>(n) : 0);
+
   double previous_fit = 0.0;
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    const bool redraw = sampled && ((iter - 1) % refresh == 0);
     Matrix last_mttkrp;
     for (int mode = 0; mode < n; ++mode) {
-      Matrix m = forest != nullptr
-                     ? mttkrp(*forest, result.model.factors, mode,
-                              opts.mttkrp)
-                     : mttkrp(x, result.model.factors, mode, opts.mttkrp);
-
-      // V = Hadamard of all Gram matrices except mode's.
-      Matrix v(opts.rank, opts.rank, 0.0);
-      bool first = true;
-      for (int k = 0; k < n; ++k) {
-        if (k == mode) continue;
-        if (first) {
-          v = grams[static_cast<std::size_t>(k)];
-          first = false;
-        } else {
-          hadamard_inplace(v, grams[static_cast<std::size_t>(k)]);
+      Matrix m, a;
+      if (sampled && x.format() == StorageFormat::kDense) {
+        Rng srng(derive_seed(opts.sketch.seed,
+                             static_cast<std::uint64_t>(iter) * 131u +
+                                 static_cast<std::uint64_t>(mode)));
+        const SketchedNormalEq eq = sketched_normal_eq_gaussian(
+            x.as_dense(), result.model.factors, mode, s_count, srng);
+        m = eq.rhs;
+        a = solve_spd_right(eq.gram, m);
+      } else if (sampled) {
+        KrpSample& sample = samples[static_cast<std::size_t>(mode)];
+        if (redraw) {
+          // Salted by (sweep, mode): bit-reproducible regardless of the
+          // refresh cadence, and no two draws share a stream.
+          Rng srng(derive_seed(opts.sketch.seed,
+                               static_cast<std::uint64_t>(iter) * 131u +
+                                   static_cast<std::uint64_t>(mode)));
+          sample = sample_krp_leverage(result.model.factors, grams, mode,
+                                       s_count, srng);
         }
-      }
+        m = forest != nullptr
+                ? mttkrp_sampled(*forest, result.model.factors, sample,
+                                 opts.mttkrp)
+                : mttkrp_sampled(x, result.model.factors, sample,
+                                 opts.mttkrp);
+        a = solve_spd_right(
+            sketched_krp_gram(result.model.factors, sample), m);
+      } else {
+        m = forest != nullptr
+                ? mttkrp(*forest, result.model.factors, mode, opts.mttkrp)
+                : mttkrp(x, result.model.factors, mode, opts.mttkrp);
 
-      Matrix a = solve_spd_right(v, m);
+        // V = Hadamard of all Gram matrices except mode's.
+        Matrix v(opts.rank, opts.rank, 0.0);
+        bool first = true;
+        for (int k = 0; k < n; ++k) {
+          if (k == mode) continue;
+          if (first) {
+            v = grams[static_cast<std::size_t>(k)];
+            first = false;
+          } else {
+            hadamard_inplace(v, grams[static_cast<std::size_t>(k)]);
+          }
+        }
+
+        a = solve_spd_right(v, m);
+      }
       result.model.lambda = normalize_columns(a);
       result.model.factors[static_cast<std::size_t>(mode)] = std::move(a);
       grams[static_cast<std::size_t>(mode)] =
@@ -152,6 +191,23 @@ CpAlsResult cp_als(const StoredTensor& x, const CpAlsOptions& opts) {
       break;
     }
     previous_fit = fit;
+  }
+
+  if (sampled) {
+    // The per-sweep fits above are sampled estimates; report the true
+    // quality of the returned model with one exact MTTKRP.
+    const Matrix m_exact =
+        forest != nullptr
+            ? mttkrp(*forest, result.model.factors, n - 1, opts.mttkrp)
+            : mttkrp(x, result.model.factors, n - 1, opts.mttkrp);
+    const double norm_model_sq =
+        cp_model_norm_squared(grams, result.model.lambda);
+    const double inner = cp_inner_product(
+        m_exact, result.model.factors[static_cast<std::size_t>(n - 1)],
+        result.model.lambda);
+    const double residual_sq =
+        std::max(0.0, norm_x * norm_x + norm_model_sq - 2.0 * inner);
+    result.final_fit = 1.0 - std::sqrt(residual_sq) / norm_x;
   }
   return result;
 }

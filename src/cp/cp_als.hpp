@@ -17,6 +17,7 @@
 
 #include "src/mttkrp/dispatch.hpp"
 #include "src/mttkrp/mttkrp.hpp"
+#include "src/sketch/krp_sample.hpp"
 #include "src/tensor/dense_tensor.hpp"
 #include "src/tensor/matrix.hpp"
 
@@ -38,6 +39,13 @@ struct CpAlsOptions {
   double tolerance = 1e-8;  // stop when the fit improves by less than this
   MttkrpOptions mttkrp;     // backend used for every MTTKRP call
   std::uint64_t seed = 42;  // factor initialization
+  // Randomized (kSampled) execution: when enabled, every factor update
+  // solves the leverage-sampled normal equations (sampled MTTKRP +
+  // sketched KRP Gram) instead of the exact ones, re-drawing the samples
+  // every `sketch.refresh_every` sweeps; dense storage uses the Gaussian
+  // KRP projection. Per-sweep trace fits are then sampled estimates; the
+  // reported final_fit is always re-evaluated exactly (one exact MTTKRP).
+  SketchOptions sketch;
 };
 
 struct CpAlsIterate {

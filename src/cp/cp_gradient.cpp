@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/mttkrp/dispatch.hpp"
+#include "src/sketch/sampled_mttkrp.hpp"
 #include "src/support/rng.hpp"
 
 namespace mtk {
@@ -168,6 +169,57 @@ CpGradResult cp_gradient_descent(const StoredTensor& x,
   // iterate plus one per rejected Armijo trial) hits the same handle and
   // therefore the same cached fused CSF tree — built once, reused for the
   // whole descent.
+  const int n = x.order();
+  if (opts.sketch.enabled() && x.format() != StorageFormat::kDense) {
+    // Sampled gradients: the per-mode samples are shared by refresh_every
+    // consecutive evaluations, so each Armijo line search compares
+    // objectives of one fixed sketched problem (redraw mid-search would
+    // make the sufficient-decrease test compare different estimators).
+    const index_t s_count = opts.sketch.resolve_sample_count(opts.rank);
+    const int refresh = std::max(1, opts.sketch.refresh_every);
+    std::vector<KrpSample> samples(static_cast<std::size_t>(n));
+    std::uint64_t calls = 0;
+    const CsfSet& forest = x.csf_forest();
+
+    CpGradResult result = cp_gradient_descent_core(
+        x.dims(), x.frobenius_norm(), opts,
+        [&](const std::vector<Matrix>& factors) {
+          GradEval eval;
+          eval.grams = compute_grams(factors);
+          if (calls % static_cast<std::uint64_t>(refresh) == 0) {
+            for (int mode = 0; mode < n; ++mode) {
+              Rng srng(derive_seed(opts.sketch.seed,
+                                   calls * 131u +
+                                       static_cast<std::uint64_t>(mode)));
+              samples[static_cast<std::size_t>(mode)] = sample_krp_leverage(
+                  factors, eval.grams, mode, s_count, srng);
+            }
+          }
+          ++calls;
+          eval.mttkrps.reserve(static_cast<std::size_t>(n));
+          for (int mode = 0; mode < n; ++mode) {
+            eval.mttkrps.push_back(mttkrp_sampled(
+                forest, factors, samples[static_cast<std::size_t>(mode)],
+                opts.mttkrp));
+          }
+          return eval;
+        });
+
+    // Exact final objective/fit for the returned model (one exact MTTKRP).
+    const std::vector<Matrix> grams = compute_grams(result.model.factors);
+    const Matrix m_exact =
+        mttkrp(forest, result.model.factors, n - 1, opts.mttkrp);
+    const std::vector<double> ones(
+        static_cast<std::size_t>(opts.rank), 1.0);
+    const double norm_x = x.frobenius_norm();
+    result.final_objective = objective_value(
+        norm_x * norm_x, grams, m_exact,
+        result.model.factors[static_cast<std::size_t>(n - 1)], ones);
+    result.final_fit =
+        1.0 -
+        std::sqrt(std::max(0.0, 2.0 * result.final_objective)) / norm_x;
+    return result;
+  }
   return cp_gradient_descent_core(
       x.dims(), x.frobenius_norm(), opts,
       [&](const std::vector<Matrix>& factors) {

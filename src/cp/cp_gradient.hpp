@@ -31,6 +31,12 @@ struct CpGradOptions {
   // Backend/schedule for the per-evaluation all-modes MTTKRP (sparse
   // storage: fused multi-tree walk unless sparse_algo forces kCoo).
   MttkrpOptions mttkrp;
+  // Randomized execution: every gradient evaluation's per-mode MTTKRPs are
+  // leverage-sampled (sketch.refresh_every evaluations share one draw, so
+  // each line search optimizes a fixed sketched objective). The reported
+  // final_objective/final_fit are re-evaluated exactly. Dense storage
+  // ignores the knob (the dimension tree already reuses partials).
+  SketchOptions sketch;
 };
 
 struct CpGradIterate {

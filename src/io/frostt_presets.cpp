@@ -27,6 +27,23 @@ const FrosttPreset* find_frostt_preset(const std::string& name) {
   return nullptr;
 }
 
+FrosttPreset scale_frostt_preset(const FrosttPreset& preset, double scale) {
+  MTK_CHECK(scale > 0.0, "preset scale must be > 0, got ", scale);
+  FrosttPreset scaled = preset;
+  double extent_ratio = 1.0;  // actual prod(dims) change after clamping
+  for (index_t& d : scaled.dims) {
+    const index_t grown = std::max<index_t>(
+        2, static_cast<index_t>(std::llround(static_cast<double>(d) * scale)));
+    extent_ratio *= static_cast<double>(grown) / static_cast<double>(d);
+    d = grown;
+  }
+  // Keep expected nnz ~ scale * original: nnz = density * prod(dims), so
+  // divide the density by the per-value extent growth beyond `scale`.
+  scaled.density =
+      std::min(0.5, preset.density * scale / std::max(extent_ratio, 1e-300));
+  return scaled;
+}
+
 SparseTensor make_frostt_like(const FrosttPreset& preset,
                               std::uint64_t seed) {
   Rng rng(seed);

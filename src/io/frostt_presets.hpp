@@ -32,6 +32,14 @@ const std::vector<FrosttPreset>& frostt_presets();
 // Preset by name, or nullptr when unknown.
 const FrosttPreset* find_frostt_preset(const std::string& name);
 
+// Rescales a preset's output size while keeping its shape ratios and skew
+// profile: every extent is multiplied by `scale` (clamped to >= 2 so no
+// mode collapses) and the density is adjusted by scale^-(N-1), so the
+// expected nonzero count scales ~linearly with `scale`. scale < 1 shrinks
+// a preset to CI size (gen_tns --preset amazon --scale 0.1); scale > 1
+// grows it for stress runs. The returned struct aliases the input's name.
+FrosttPreset scale_frostt_preset(const FrosttPreset& preset, double scale);
+
 // Generates the preset's tensor (sorted/deduped), deterministic per seed.
 SparseTensor make_frostt_like(const FrosttPreset& preset,
                               std::uint64_t seed);

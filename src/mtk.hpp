@@ -14,6 +14,8 @@
 //   src/costmodel/*   Eq. (14)/(18) grid optimization, CARMA model, Fig. 4
 //   src/planner/*     autotuning planner: exact communication predictor,
 //                     grid/scheme/backend search, memoized plan cache
+//   src/sketch/*      randomized sketched backend: leverage scores, exact
+//                     KRP sampling, sampled MTTKRP, sketched Gram solves
 //   src/cp/*          CP-ALS (sequential + simulated-parallel), CP-gradient;
 //                     storage-polymorphic via src/mttkrp/dispatch.hpp
 //   src/io/*          binary tensor/matrix/model files, FROSTT .tns COO
@@ -54,6 +56,10 @@
 #include "src/planner/plan_cache.hpp"
 #include "src/planner/planner.hpp"
 #include "src/planner/predict.hpp"
+#include "src/sketch/krp_sample.hpp"
+#include "src/sketch/leverage.hpp"
+#include "src/sketch/sampled_mttkrp.hpp"
+#include "src/sketch/sketched_solve.hpp"
 #include "src/support/check.hpp"
 #include "src/support/index.hpp"
 #include "src/support/math_util.hpp"

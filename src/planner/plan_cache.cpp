@@ -92,6 +92,13 @@ std::uint64_t plan_cache_key(const StoredTensor& x, index_t rank,
   h.mix(opts.machine.csf_privatized_seconds_per_flop);
   h.mix(opts.machine.csf_tiled_seconds_per_flop);
   h.mix(static_cast<std::uint64_t>(opts.reuse_count));
+  // Sketch knobs enter the fingerprint only when set: exact-execution
+  // queries (epsilon = 0) keep the pre-sketch hash, so entries migrated
+  // from a version-2 file — written before these knobs existed — still hit.
+  if (opts.epsilon != 0.0 || opts.sample_count != 0) {
+    h.mix(opts.epsilon);
+    h.mix(static_cast<std::uint64_t>(opts.sample_count));
+  }
   return h.state;
 }
 
@@ -106,7 +113,8 @@ bool PlanCache::KeyFields::operator==(const KeyFields& other) const {
          exact_rank_cap == other.exact_rank_cap &&
          flop_word_ratio == other.flop_word_ratio &&
          latency_word_ratio == other.latency_word_ratio &&
-         machine == other.machine && reuse_count == other.reuse_count;
+         machine == other.machine && reuse_count == other.reuse_count &&
+         epsilon == other.epsilon && sample_count == other.sample_count;
 }
 
 PlanCache::KeyFields PlanCache::make_key_fields(const StoredTensor& x,
@@ -129,6 +137,8 @@ PlanCache::KeyFields PlanCache::make_key_fields(const StoredTensor& x,
   k.latency_word_ratio = opts.latency_word_ratio;
   k.machine = opts.machine;
   k.reuse_count = opts.reuse_count;
+  k.epsilon = opts.epsilon;
+  k.sample_count = opts.sample_count;
   return k;
 }
 
@@ -256,11 +266,14 @@ struct TokenParser {
 }  // namespace
 
 bool PlanCache::save(const std::string& path,
-                     const Calibration* calibration) const {
+                     const Calibration* calibration, int version) const {
+  MTK_CHECK(version == kFileVersion || version == kLegacyFileVersion,
+            "unsupported plan-cache file version ", version);
+  const bool v3 = version >= 3;
   std::lock_guard<std::mutex> lock(mutex_);
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
-  out << "mtkplancache " << kFileVersion << "\n";
+  out << "mtkplancache " << version << "\n";
   if (calibration != nullptr) {
     write_calibration(out, *calibration);
   }
@@ -302,6 +315,10 @@ bool PlanCache::save(const std::string& path,
     put(body, k.machine.csf_privatized_seconds_per_flop);
     put(body, k.machine.csf_tiled_seconds_per_flop);
     put(body, k.reuse_count);
+    if (v3) {
+      put(body, k.epsilon);
+      put(body, k.sample_count);
+    }
     body << "\n";
 
     const PlanReport& r = *entry.report;
@@ -347,6 +364,11 @@ bool PlanCache::save(const std::string& path,
       put(body, plan.nnz_stats.max_nnz);
       put(body, plan.nnz_stats.min_nnz);
       put(body, plan.nnz_stats.mean_nnz);
+      if (v3) {
+        put(body, static_cast<int>(plan.path));
+        put(body, plan.sample_count);
+        put(body, plan.predicted_error);
+      }
       body << "\n";
     }
 
@@ -369,12 +391,17 @@ bool PlanCache::load(const std::string& path, Calibration* calibration) {
   if (!in) return false;
 
   std::string line;
+  bool v3 = true;
   if (!std::getline(in, line)) return false;
   {
     TokenParser p(line);
     if (p.word() != "mtkplancache") return false;
     const long long version = p.ll();
-    if (!p.done() || version != kFileVersion) return false;
+    if (!p.done() ||
+        (version != kFileVersion && version != kLegacyFileVersion)) {
+      return false;
+    }
+    v3 = version >= 3;
   }
 
   std::unordered_map<std::uint64_t, Entry> loaded;
@@ -452,6 +479,10 @@ bool PlanCache::load(const std::string& path, Calibration* calibration) {
     k.machine.csf_privatized_seconds_per_flop = kp.dbl();
     k.machine.csf_tiled_seconds_per_flop = kp.dbl();
     k.reuse_count = kp.i32();
+    if (v3) {
+      k.epsilon = kp.dbl();
+      k.sample_count = kp.idx();
+    }  // v2: both stay at their exact-execution defaults (0)
     if (!kp.done()) return false;
 
     // --- report line ------------------------------------------------------
@@ -518,6 +549,15 @@ bool PlanCache::load(const std::string& path, Calibration* calibration) {
       plan.nnz_stats.max_nnz = pp.idx();
       plan.nnz_stats.min_nnz = pp.idx();
       plan.nnz_stats.mean_nnz = pp.dbl();
+      if (v3) {
+        plan.path = pp.enum_of<ExecutionPath>(1);
+        plan.sample_count = pp.idx();
+        plan.predicted_error = pp.dbl();
+        if (plan.sample_count < 0 ||
+            (plan.path == ExecutionPath::kExact && plan.sample_count != 0)) {
+          return false;
+        }
+      }  // v2: exact path, no sample — the only path that version knew
       if (!pp.done()) return false;
       report->ranked.push_back(std::move(plan));
     }

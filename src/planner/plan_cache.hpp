@@ -33,9 +33,13 @@ namespace mtk {
 
 class PlanCache {
  public:
-  // Bump when the on-disk layout or any serialized enum changes; readers
-  // reject every other version (cold cache, no migration attempts).
-  static constexpr int kFileVersion = 2;
+  // Bump when the on-disk layout or any serialized enum changes. The
+  // reader accepts the current version and (as the one supported
+  // migration) version 2 — the pre-sketch layout, whose entries load with
+  // the sampled-path fields at their exact-execution defaults; anything
+  // else degrades to a cold cache.
+  static constexpr int kFileVersion = 3;
+  static constexpr int kLegacyFileVersion = 2;
   // Returns the cached report for this (tensor, rank, options) key, planning
   // on a miss. The CSF path expands to COO once per *miss* only.
   std::shared_ptr<const PlanReport> get_or_plan(const StoredTensor& x,
@@ -48,9 +52,14 @@ class PlanCache {
   void clear();
 
   // Writes every entry (and, when non-null, `calibration`) to `path`.
-  // Returns false if the file cannot be written.
+  // Returns false if the file cannot be written. `version` selects the
+  // on-disk layout: kFileVersion (default) or kLegacyFileVersion, the
+  // latter for producing v2 files (migration tests, downgrade escapes) —
+  // legacy files drop the sampled-path fields, so only entries planned
+  // with epsilon = 0 round-trip losslessly through v2.
   bool save(const std::string& path,
-            const Calibration* calibration = nullptr) const;
+            const Calibration* calibration = nullptr,
+            int version = kFileVersion) const;
 
   // Restores entries saved by save(), replacing the current contents (hit/
   // miss counters reset). On a missing, version-mismatched, truncated, or
@@ -82,6 +91,8 @@ class PlanCache {
     double latency_word_ratio = 0.0;
     Calibration machine;
     int reuse_count = 0;
+    double epsilon = 0.0;
+    index_t sample_count = 0;
 
     bool operator==(const KeyFields& other) const;
   };

@@ -7,6 +7,7 @@
 #include "src/costmodel/grid_search.hpp"
 #include "src/parsim/grid.hpp"
 #include "src/parsim/par_common.hpp"
+#include "src/sketch/krp_sample.hpp"
 #include "src/support/check.hpp"
 
 namespace mtk {
@@ -16,6 +17,14 @@ const char* to_string(PlanWorkload workload) {
     case PlanWorkload::kSingleMttkrp: return "single-mttkrp";
     case PlanWorkload::kAllModes: return "all-modes";
     case PlanWorkload::kCpAls: return "cp-als";
+  }
+  return "unknown";
+}
+
+const char* to_string(ExecutionPath path) {
+  switch (path) {
+    case ExecutionPath::kExact: return "exact";
+    case ExecutionPath::kSampled: return "sampled";
   }
   return "unknown";
 }
@@ -82,6 +91,9 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
   MTK_CHECK(opts.latency_word_ratio >= 0.0,
             "latency_word_ratio must be >= 0");
   MTK_CHECK(opts.reuse_count >= 1, "reuse_count must be >= 1");
+  MTK_CHECK(opts.epsilon >= 0.0 && opts.epsilon < 1.0,
+            "epsilon must be in [0, 1), got ", opts.epsilon);
+  MTK_CHECK(opts.sample_count >= 0, "sample_count must be >= 0");
 
   // Machine-balance ratios: a measured calibration supersedes the knobs.
   const double lat = opts.machine.measured
@@ -165,6 +177,35 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
       sparse ? std::vector<StorageFormat>{StorageFormat::kCoo,
                                           StorageFormat::kCsf}
              : std::vector<StorageFormat>{StorageFormat::kDense};
+
+  // Randomized-backend candidates (sparse only, epsilon-gated): the sample
+  // size the budget buys, and the expected fraction of nonzeros whose
+  // complement tuple survives a size-S sample — S draws from the
+  // complement-KRP row space, so under the balanced model a stored value
+  // survives with probability ~ S / (rows of the complement KRP). The
+  // workloads that produce several outputs average that row count over the
+  // modes they sweep.
+  const bool consider_sampled = sparse && opts.epsilon > 0.0;
+  index_t sampled_count = 0;
+  double survivor_fraction = 1.0;
+  if (consider_sampled) {
+    sampled_count = opts.sample_count > 0
+                        ? opts.sample_count
+                        : sample_count_for_epsilon(p.rank, opts.epsilon);
+    double total = 1.0;
+    for (index_t d : p.dims) total *= static_cast<double>(d);
+    double cells;
+    if (opts.workload == PlanWorkload::kSingleMttkrp) {
+      cells = total / static_cast<double>(
+                          p.dims[static_cast<std::size_t>(opts.mode)]);
+    } else {
+      cells = 0.0;
+      for (index_t d : p.dims) cells += total / static_cast<double>(d);
+      cells /= static_cast<double>(n);
+    }
+    survivor_fraction = std::min(
+        1.0, static_cast<double>(sampled_count) / std::max(cells, 1.0));
+  }
 
   std::vector<ExecutionPlan> plans;
   for (const Candidate& cand : candidates) {
@@ -295,6 +336,54 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
       }
       plan.optimality_ratio =
           par_optimality_ratio(mttkrp_words, bound_problem);
+
+      if (consider_sampled) {
+        // Sampled twin: same (algo, grid, scheme, backend), randomized
+        // kernels. Compute charges one filter probe per stored value, the
+        // full kernel flops only for the expected survivors, and the
+        // sketched Gram assembly (S rank^2-ish work folded into S * cols *
+        // (n+1)). Communication keeps the exact plan's outputs and Grams
+        // but moves only surviving tensor values and at most the sampled
+        // factor rows; the prediction is a balanced model, not a replay.
+        ExecutionPlan sp = plan;
+        sp.path = ExecutionPath::kSampled;
+        sp.sample_count = sampled_count;
+        sp.predicted_error = predicted_sampling_error(p.rank, sampled_count);
+        const double bv_d = static_cast<double>(bottleneck_values);
+        const double cols_d = static_cast<double>(cols);
+        const double s_d = static_cast<double>(sampled_count);
+        sp.compute_flops =
+            sweeps * (bv_d + survivor_fraction * bv_d * cols_d *
+                                 modeled_flops_per_value(backend, n) +
+                      s_d * cols_d * static_cast<double>(n + 1));
+        if (backend == StorageFormat::kCsf &&
+            p.format != StorageFormat::kCsf) {
+          const double nnz_d =
+              static_cast<double>(std::max<index_t>(p.nnz, 1));
+          sp.compute_flops += 2.0 * nnz_d * std::log2(nnz_d + 1.0) /
+                              static_cast<double>(opts.reuse_count);
+        }
+        sp.comm.tensor_words *= survivor_fraction;
+        sp.comm.factor_words =
+            std::min(sp.comm.factor_words,
+                     sweeps * s_d * static_cast<double>(n - 1) * cols_d);
+        sp.comm.words = sp.comm.tensor_words + sp.comm.factor_words +
+                        sp.comm.output_words + sp.comm.gram_words;
+        sp.comm.exact = false;
+        sp.score = sp.comm.words + lat * sp.comm.messages +
+                   flop_ratio(backend) * sp.compute_flops;
+        double sp_mttkrp_words = sp.comm.words;
+        if (opts.workload == PlanWorkload::kCpAls) {
+          sp_mttkrp_words =
+              (sp.comm.words - sp.comm.gram_words) / static_cast<double>(n);
+        } else if (opts.workload == PlanWorkload::kAllModes) {
+          sp_mttkrp_words = sp.comm.words / static_cast<double>(n);
+        }
+        sp.optimality_ratio =
+            par_optimality_ratio(sp_mttkrp_words, bound_problem);
+        plans.push_back(std::move(sp));
+      }
+
       plans.push_back(std::move(plan));
     }
   }
@@ -310,6 +399,11 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
     const int a_conv = a.backend == p.format ? 0 : 1;
     const int b_conv = b.backend == p.format ? 0 : 1;
     if (a_conv != b_conv) return a_conv < b_conv;
+    // A sampled plan must *win* on cost to displace exact execution: ties
+    // keep the deterministic answer.
+    if (a.path != b.path) {
+      return static_cast<int>(a.path) < static_cast<int>(b.path);
+    }
     return static_cast<int>(a.algo) < static_cast<int>(b.algo);
   });
   if (static_cast<int>(plans.size()) > opts.top_k) {
@@ -375,10 +469,10 @@ void print_plan_report(const PlanReport& report, std::FILE* out) {
                static_cast<long long>(report.rank), report.procs,
                to_string(report.input_format),
                static_cast<long long>(report.nnz));
-  std::fprintf(out,
-               "%-3s %-10s %-6s %-14s %-7s %-21s %12s %9s %8s %9s %9s\n",
-               "#", "algo", "fmt", "grid", "scheme", "collectives", "words",
-               "msgs", "vs-lb", "max-nnz", "nnz-imb");
+  std::fprintf(
+      out, "%-3s %-10s %-6s %-7s %-14s %-7s %-21s %12s %9s %8s %9s %9s\n",
+      "#", "algo", "fmt", "path", "grid", "scheme", "collectives", "words",
+      "msgs", "vs-lb", "max-nnz", "nnz-imb");
   for (std::size_t i = 0; i < report.ranked.size(); ++i) {
     const ExecutionPlan& plan = report.ranked[i];
     char ratio[32];
@@ -388,9 +482,10 @@ void print_plan_report(const PlanReport& report, std::FILE* out) {
       std::snprintf(ratio, sizeof ratio, "%.2fx", plan.optimality_ratio);
     }
     const bool have_nnz = !plan.nnz_stats.per_block.empty();
-    std::fprintf(out, "%-3zu %-10s %-6s %-14s %-7s %-21s %12.0f %9.0f %8s",
+    std::fprintf(out,
+                 "%-3zu %-10s %-6s %-7s %-14s %-7s %-21s %12.0f %9.0f %8s",
                  i + 1, to_string(plan.algo), to_string(plan.backend),
-                 grid_string(plan.grid).c_str(),
+                 to_string(plan.path), grid_string(plan.grid).c_str(),
                  plan.scheme == SparsePartitionScheme::kBlock ? "block"
                                                               : "medium",
                  to_string(plan.collectives).c_str(),
@@ -420,6 +515,13 @@ void print_plan_report(const PlanReport& report, std::FILE* out) {
       std::fprintf(out, "local kernel   : %s %s (calibrated)\n",
                    to_string(best.backend),
                    to_string(best.kernel_variant));
+    }
+    if (best.path == ExecutionPath::kSampled) {
+      std::fprintf(out,
+                   "sampled path   : S = %lld KRP rows per MTTKRP, "
+                   "predicted relative error %.3f\n",
+                   static_cast<long long>(best.sample_count),
+                   best.predicted_error);
     }
   }
 }

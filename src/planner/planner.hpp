@@ -37,6 +37,19 @@ enum class PlanWorkload {
 
 const char* to_string(PlanWorkload workload);
 
+// How the plan's local MTTKRP kernels execute: exactly, or through the
+// randomized sketched backend (src/sketch) — leverage-score KRP sampling
+// with sketched normal equations. Sampled plans are only generated when the
+// caller grants an accuracy budget (PlannerOptions::epsilon > 0), carry the
+// sample count and the model's predicted relative error, and compete with
+// the exact plans under the same score.
+enum class ExecutionPath {
+  kExact,
+  kSampled,
+};
+
+const char* to_string(ExecutionPath path);
+
 struct PlannerOptions {
   int procs = 1;
   int mode = 0;                   // output mode for kSingleMttkrp
@@ -64,6 +77,16 @@ struct PlannerOptions {
   // MTTKRPs the plan will serve (CP-ALS: iterations x N). Amortizes the
   // one-time CSF compression cost in the backend choice.
   int reuse_count = 1;
+  // Accuracy budget for the randomized sketched backend. 0 (the default)
+  // plans exact execution only — kSampled candidates are never generated.
+  // A value in (0, 1) admits sampled twins of every sparse candidate: the
+  // sample count follows S = O(R log R / epsilon^2) (sketch/krp_sample),
+  // the cost model charges only the surviving nonzeros and the sketched
+  // Gram work, and each sampled plan reports its predicted relative error.
+  double epsilon = 0.0;
+  // Explicit sample count override; 0 derives it from epsilon. Only
+  // meaningful when epsilon > 0 (the gate stays epsilon).
+  index_t sample_count = 0;
 };
 
 struct ExecutionPlan {
@@ -96,6 +119,12 @@ struct ExecutionPlan {
   // Per-process nonzero balance of this plan's partition (sparse input
   // with available coordinates only; per_block left empty otherwise).
   BlockNnzStats nnz_stats;
+  // Exact kernels, or the leverage-sampled backend (epsilon-gated).
+  ExecutionPath path = ExecutionPath::kExact;
+  // kSampled only: KRP sample rows per MTTKRP, and the model's predicted
+  // relative error for that sample size (0 for exact plans).
+  index_t sample_count = 0;
+  double predicted_error = 0.0;
 };
 
 struct PlanReport {

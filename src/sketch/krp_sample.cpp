@@ -1,0 +1,88 @@
+#include "src/sketch/krp_sample.hpp"
+
+#include <cmath>
+
+#include "src/sketch/leverage.hpp"
+#include "src/support/check.hpp"
+
+namespace mtk {
+
+index_t SketchOptions::resolve_sample_count(index_t rank) const {
+  if (sample_count > 0) return sample_count;
+  MTK_CHECK(epsilon > 0.0,
+            "SketchOptions: need sample_count > 0 or epsilon > 0");
+  return sample_count_for_epsilon(rank, epsilon);
+}
+
+index_t sample_count_for_epsilon(index_t rank, double epsilon) {
+  MTK_CHECK(rank >= 1, "rank must be >= 1, got ", rank);
+  MTK_CHECK(epsilon > 0.0, "epsilon must be > 0, got ", epsilon);
+  const double r = static_cast<double>(rank);
+  const double s = std::ceil(r * std::log2(r + 2.0) / (epsilon * epsilon));
+  return std::max<index_t>(16, static_cast<index_t>(s));
+}
+
+double predicted_sampling_error(index_t rank, index_t sample_count) {
+  MTK_CHECK(rank >= 1 && sample_count >= 1,
+            "predicted_sampling_error: rank and sample_count must be >= 1");
+  const double r = static_cast<double>(rank);
+  const double s = static_cast<double>(sample_count);
+  return std::min(1.0, std::sqrt(r * std::log2(r + 2.0) / s));
+}
+
+KrpSample sample_krp_leverage(const std::vector<Matrix>& factors,
+                              const std::vector<Matrix>& grams, int skip_mode,
+                              index_t sample_count, Rng& rng) {
+  const int n = static_cast<int>(factors.size());
+  MTK_CHECK(n >= 2, "sample_krp_leverage needs >= 2 factors");
+  MTK_CHECK(skip_mode >= 0 && skip_mode < n, "skip_mode ", skip_mode,
+            " out of range for ", n, " factors");
+  MTK_CHECK(static_cast<int>(grams.size()) == n,
+            "need one Gram per factor, got ", grams.size());
+  MTK_CHECK(sample_count >= 1, "sample_count must be >= 1");
+
+  KrpSample sample;
+  sample.skip_mode = skip_mode;
+  sample.dims.reserve(static_cast<std::size_t>(n));
+  for (const Matrix& a : factors) sample.dims.push_back(a.rows());
+  sample.indices.assign(static_cast<std::size_t>(n), {});
+  sample.weights.assign(static_cast<std::size_t>(sample_count),
+                        1.0 / static_cast<double>(sample_count));
+
+  for (int k = 0; k < n; ++k) {
+    if (k == skip_mode) continue;
+    const Matrix& a = factors[static_cast<std::size_t>(k)];
+    std::vector<double> scores =
+        leverage_scores_from_gram(a, grams[static_cast<std::size_t>(k)]);
+    double total = 0.0;
+    for (double v : scores) total += v;
+    if (total <= 0.0) {
+      // Degenerate factor (all zero): fall back to the uniform distribution
+      // so the sampler stays well-defined.
+      scores.assign(scores.size(), 1.0);
+    }
+    const DiscreteSampler sampler(scores);
+
+    std::vector<index_t>& drawn =
+        sample.indices[static_cast<std::size_t>(k)];
+    drawn.resize(static_cast<std::size_t>(sample_count));
+    for (index_t s = 0; s < sample_count; ++s) {
+      const index_t i = sampler.sample(rng);
+      drawn[static_cast<std::size_t>(s)] = i;
+      // The joint probability is the product of the per-mode masses; fold
+      // each mode's contribution into the weight as we go: w_s = 1/(S p_s).
+      sample.weights[static_cast<std::size_t>(s)] /= sampler.probability(i);
+    }
+  }
+  return sample;
+}
+
+KrpSample sample_krp_leverage(const std::vector<Matrix>& factors,
+                              int skip_mode, index_t sample_count, Rng& rng) {
+  std::vector<Matrix> grams;
+  grams.reserve(factors.size());
+  for (const Matrix& a : factors) grams.push_back(gram(a));
+  return sample_krp_leverage(factors, grams, skip_mode, sample_count, rng);
+}
+
+}  // namespace mtk

@@ -1,0 +1,86 @@
+// Exact leverage-score sampling of Khatri-Rao product rows without forming
+// the product (Bharadwaj et al. 2023, CP-ARLS-LEV lineage).
+//
+// A row of the mode-n KRP K = A^(N-1) ⊙ ... ⊙ A^(n+1) ⊙ A^(n-1) ⊙ ... ⊙
+// A^(0) is indexed by one coordinate per non-output mode. The *product*
+// distribution that draws mode-k coordinate i with probability
+// l^(k)_i / sum(l^(k)) independently per mode upper-bounds the true KRP
+// leverage distribution within a rank^{N-2} factor and is exactly samplable
+// in O(log I_k) per draw — each drawn KRP row s then carries the
+// importance weight w_s = 1 / (S * p_s) that makes the sampled MTTKRP and
+// the sampled normal equations unbiased estimators of their exact
+// counterparts.
+//
+// The accuracy knob: S = O(R log R / eps^2) samples give the classic
+// (1 + eps) residual-norm guarantee for the sketched least-squares solve;
+// sample_count_for_epsilon / predicted_sampling_error expose the two
+// directions of that trade so the planner can budget eps against flops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/index.hpp"
+#include "src/support/rng.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+// Knobs of the randomized (kSampled) execution path, carried by
+// CpAlsOptions / CpGradOptions and built by the CLI from
+// --sample-count/--epsilon/--seed. Disabled (exact execution) unless a
+// sample count or an epsilon budget is set.
+struct SketchOptions {
+  // Number S of KRP rows to draw; 0 derives S from epsilon and the rank.
+  index_t sample_count = 0;
+  // Target relative accuracy of the sketched least-squares solves; used to
+  // derive S when sample_count == 0. 0 with sample_count == 0 disables
+  // sketching.
+  double epsilon = 0.0;
+  // Sweeps (CP-ALS) or accepted iterations (CP-gradient) between sample
+  // redraws; 1 redraws every sweep. The redraw salt folds the sweep and
+  // mode indices into the seed, so runs are bit-reproducible regardless of
+  // cadence.
+  int refresh_every = 1;
+  // Root seed of every sampling stream (see derive_seed in
+  // src/support/rng.hpp).
+  std::uint64_t seed = 0x5eed5a17u;
+
+  bool enabled() const { return sample_count > 0 || epsilon > 0.0; }
+  // S actually used for a rank-R problem: sample_count when set, otherwise
+  // sample_count_for_epsilon(rank, epsilon).
+  index_t resolve_sample_count(index_t rank) const;
+};
+
+// S = ceil(rank * log2(rank + 2) / eps^2), clamped to >= 16: the standard
+// leverage-sampling count for a (1 + eps)-accurate sketched LS solve.
+index_t sample_count_for_epsilon(index_t rank, double epsilon);
+
+// Inverse of the above: the eps the model predicts for S samples,
+// min(1, sqrt(rank * log2(rank + 2) / S)).
+double predicted_sampling_error(index_t rank, index_t sample_count);
+
+// S drawn KRP rows for the mode-`skip_mode` least-squares problem.
+// indices[k] holds the S mode-k coordinates (empty for k == skip_mode);
+// weights[s] is the importance weight 1 / (S * p_s). Duplicate draws are
+// kept as-is — the sampled kernels merge them by summing weights.
+struct KrpSample {
+  int skip_mode = 0;
+  shape_t dims;  // full tensor dims (dims[skip_mode] is the output extent)
+  std::vector<std::vector<index_t>> indices;
+  std::vector<double> weights;
+
+  index_t count() const { return static_cast<index_t>(weights.size()); }
+};
+
+// Draws `sample_count` KRP rows from the per-mode leverage product
+// distribution. `grams[k]` must be the Gram of factors[k] (CP-ALS already
+// holds them); the overload without Grams computes them. Modes whose
+// leverage mass vanishes (all-zero factor) fall back to uniform draws.
+KrpSample sample_krp_leverage(const std::vector<Matrix>& factors,
+                              const std::vector<Matrix>& grams, int skip_mode,
+                              index_t sample_count, Rng& rng);
+KrpSample sample_krp_leverage(const std::vector<Matrix>& factors,
+                              int skip_mode, index_t sample_count, Rng& rng);
+
+}  // namespace mtk

@@ -1,0 +1,56 @@
+#include "src/sketch/leverage.hpp"
+
+#include <cmath>
+
+#include "src/support/check.hpp"
+#include "src/tensor/eigen_sym.hpp"
+
+namespace mtk {
+
+std::vector<double> leverage_scores_from_gram(const Matrix& a,
+                                              const Matrix& gram,
+                                              double rank_tolerance) {
+  const index_t rows = a.rows();
+  const index_t r = a.cols();
+  MTK_CHECK(gram.rows() == r && gram.cols() == r,
+            "leverage_scores: Gram must be ", r, " x ", r, ", got ",
+            gram.rows(), " x ", gram.cols());
+  MTK_CHECK(rank_tolerance >= 0.0, "rank_tolerance must be >= 0");
+
+  // G = V diag(lambda) V^T with lambda descending. l_i is the squared norm
+  // of row i of A V diag(lambda^{-1/2}) over the numerically nonzero
+  // eigenvalues.
+  const SymmetricEigen eig = eigen_symmetric(gram);
+  const double lambda_max = eig.values.empty() ? 0.0 : eig.values.front();
+  const double cutoff = lambda_max * rank_tolerance;
+
+  std::vector<double> inv_lambda(static_cast<std::size_t>(r), 0.0);
+  for (index_t j = 0; j < r; ++j) {
+    const double lam = eig.values[static_cast<std::size_t>(j)];
+    if (lam > cutoff && lam > 0.0) {
+      inv_lambda[static_cast<std::size_t>(j)] = 1.0 / lam;
+    }
+  }
+
+  Matrix w(rows, r, 0.0);
+  gemm(a, eig.vectors, w);  // w = A V, row i holds a_i in the eigenbasis
+
+  std::vector<double> scores(static_cast<std::size_t>(rows), 0.0);
+  for (index_t i = 0; i < rows; ++i) {
+    const double* wi = w.row(i);
+    double acc = 0.0;
+    for (index_t j = 0; j < r; ++j) {
+      acc += wi[j] * wi[j] * inv_lambda[static_cast<std::size_t>(j)];
+    }
+    // Exact scores lie in [0, 1]; clamp the tiny eigen-solver overshoot so
+    // downstream samplers never see a negative weight.
+    scores[static_cast<std::size_t>(i)] = std::max(0.0, acc);
+  }
+  return scores;
+}
+
+std::vector<double> leverage_scores(const Matrix& a, double rank_tolerance) {
+  return leverage_scores_from_gram(a, gram(a), rank_tolerance);
+}
+
+}  // namespace mtk

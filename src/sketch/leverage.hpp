@@ -1,0 +1,39 @@
+// Statistical leverage scores of a factor matrix's rows — the sampling
+// distribution of the randomized MTTKRP backend (CP-ARLS-LEV style, after
+// Larsen & Kolda and Bharadwaj et al.).
+//
+// The leverage score of row i of A (I x R) is
+//
+//   l_i = a_i^T (A^T A)^+ a_i = || (G^+)^{1/2} a_i ||^2,   G = A^T A,
+//
+// the squared row norm of A projected onto the column space and whitened:
+// sum_i l_i = rank(A), and sampling KRP rows with probability proportional
+// to the product of per-mode leverage scores gives the near-optimal
+// row-sampling distribution for the CP-ALS least-squares problems without
+// ever forming the Khatri-Rao product.
+//
+// The Gram matrix is an input (leverage_scores_from_gram) because CP-ALS
+// already maintains every factor's Gram per sweep — the scores then cost one
+// R x R eigendecomposition (Jacobi, src/tensor/eigen_sym.hpp) plus an I x R
+// transform, asymptotically free next to an exact MTTKRP.
+#pragma once
+
+#include <vector>
+
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+// l_i from a precomputed Gram matrix G = A^T A. Rank-deficient Grams are
+// handled by the eigenvalue pseudo-inverse: eigenvalues below
+// rank_tolerance * lambda_max are treated as zero (their directions carry
+// no mass, so they contribute no leverage).
+std::vector<double> leverage_scores_from_gram(const Matrix& a,
+                                              const Matrix& gram,
+                                              double rank_tolerance = 1e-12);
+
+// Convenience overload computing the Gram matrix itself.
+std::vector<double> leverage_scores(const Matrix& a,
+                                    double rank_tolerance = 1e-12);
+
+}  // namespace mtk

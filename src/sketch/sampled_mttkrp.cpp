@@ -1,0 +1,556 @@
+#include "src/sketch/sampled_mttkrp.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/mttkrp/dispatch.hpp"
+#include "src/mttkrp/thread_arena.hpp"
+#include "src/support/check.hpp"
+#include "src/support/math_util.hpp"
+
+namespace mtk {
+
+namespace {
+
+int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+index_t check_sampled_args(const shape_t& dims,
+                           const std::vector<Matrix>& factors,
+                           const KrpSample& sample) {
+  const int n = static_cast<int>(dims.size());
+  MTK_CHECK(static_cast<int>(factors.size()) == n,
+            "mttkrp_sampled: need one factor per mode");
+  MTK_CHECK(sample.skip_mode >= 0 && sample.skip_mode < n,
+            "mttkrp_sampled: sample mode ", sample.skip_mode,
+            " out of range for order-", n, " tensor");
+  MTK_CHECK(sample.dims == dims,
+            "mttkrp_sampled: sample was drawn for different dims");
+  MTK_CHECK(sample.count() >= 1, "mttkrp_sampled: empty sample");
+  const index_t rank = factors.front().cols();
+  for (int k = 0; k < n; ++k) {
+    const Matrix& a = factors[static_cast<std::size_t>(k)];
+    MTK_CHECK(a.rows() == dims[static_cast<std::size_t>(k)] &&
+                  a.cols() == rank,
+              "mttkrp_sampled: factor ", k, " must be ",
+              dims[static_cast<std::size_t>(k)], " x ", rank, ", got ",
+              a.rows(), " x ", a.cols());
+    if (k == sample.skip_mode) continue;
+    MTK_CHECK(static_cast<index_t>(
+                  sample.indices[static_cast<std::size_t>(k)].size()) ==
+                  sample.count(),
+              "mttkrp_sampled: sample is missing mode-", k, " draws");
+  }
+  return rank;
+}
+
+// The drawn complement tuples, linearized under a caller-chosen mode
+// visitation order, merged by key (duplicate draws sum their weights):
+//   weight  — final-key -> accumulated importance weight
+//   prefix  — for the CSF walk, the partial keys after each non-final
+//             complement level, so undrawn subtrees prune early
+//   bitmap  — flat fast-reject over the final key space when it is small
+//             enough (a bit test is ~10x cheaper than a hash probe, and
+//             almost every nonzero of a well-sampled tensor is rejected
+//             here, never reaching the map)
+struct ComplementFilter {
+  std::unordered_map<index_t, double> weight;
+  std::vector<std::unordered_set<index_t>> prefix;
+  // prefix_bitmap[l] replaces prefix[l] (then emptied) when level l's key
+  // space fits the cap; the CSF walk probes once per node at every
+  // non-final level, so this bit test — not the leaf probe — is the hot
+  // path that decides whether sampling beats the exact kernel.
+  std::vector<std::vector<std::uint64_t>> prefix_bitmap;
+  std::vector<std::uint64_t> bitmap;
+
+  static bool bit_set(const std::vector<std::uint64_t>& bits, index_t key) {
+    return ((bits[static_cast<std::size_t>(key >> 6)] >>
+             (static_cast<std::uint64_t>(key) & 63)) &
+            1u) != 0;
+  }
+
+  bool maybe(index_t key) const {
+    return bitmap.empty() || bit_set(bitmap, key);
+  }
+
+  bool maybe_prefix(int level, index_t key) const {
+    const auto& bits = prefix_bitmap[static_cast<std::size_t>(level)];
+    if (!bits.empty()) return bit_set(bits, key);
+    return prefix[static_cast<std::size_t>(level)].count(key) != 0;
+  }
+};
+
+constexpr index_t kBitmapBitCap = index_t{1} << 27;  // 16 MiB of bits
+
+// Builds the filter with complement modes visited in `mode_at(l)` order for
+// l = 0..levels-1 (skipping the output mode is the caller's job: mode_at
+// must enumerate only complement modes). `track_prefixes` fills
+// prefix[l] for every non-final level l.
+template <typename ModeAt>
+ComplementFilter build_filter(const KrpSample& sample, int levels,
+                              const ModeAt& mode_at, bool track_prefixes) {
+  ComplementFilter f;
+  if (track_prefixes) {
+    f.prefix.resize(static_cast<std::size_t>(levels));
+  }
+  const index_t s_count = sample.count();
+  f.weight.reserve(static_cast<std::size_t>(s_count) * 2);
+  for (index_t s = 0; s < s_count; ++s) {
+    index_t key = 0;
+    for (int l = 0; l < levels; ++l) {
+      const int m = mode_at(l);
+      key = key * sample.dims[static_cast<std::size_t>(m)] +
+            sample.indices[static_cast<std::size_t>(m)]
+                          [static_cast<std::size_t>(s)];
+      if (track_prefixes && l + 1 < levels) {
+        f.prefix[static_cast<std::size_t>(l)].insert(key);
+      }
+    }
+    f.weight[key] += sample.weights[static_cast<std::size_t>(s)];
+  }
+
+  // Key space per level = product of complement extents so far;
+  // overflow-guarded, bitmaps only where the space fits the cap. The final
+  // level's bitmap guards the weight map; each non-final level's bitmap
+  // supersedes its prefix hash set (which is then released).
+  if (track_prefixes) {
+    f.prefix_bitmap.resize(static_cast<std::size_t>(levels));
+  }
+  index_t space = 1;
+  bool overflow = false;
+  for (int l = 0; l < levels; ++l) {
+    const index_t d = sample.dims[static_cast<std::size_t>(mode_at(l))];
+    if (!overflow && space > kBitmapBitCap / std::max<index_t>(d, 1) + 1) {
+      overflow = true;
+    }
+    if (overflow) continue;
+    space = space * d;
+    if (space > kBitmapBitCap) {
+      overflow = true;
+      continue;
+    }
+    const std::size_t words = static_cast<std::size_t>((space + 63) / 64);
+    if (l + 1 == levels) {
+      f.bitmap.assign(words, 0);
+      for (const auto& [key, w] : f.weight) {
+        f.bitmap[static_cast<std::size_t>(key >> 6)] |=
+            std::uint64_t{1} << (static_cast<std::uint64_t>(key) & 63);
+      }
+    } else if (track_prefixes) {
+      auto& bits = f.prefix_bitmap[static_cast<std::size_t>(l)];
+      bits.assign(words, 0);
+      for (const index_t key : f.prefix[static_cast<std::size_t>(l)]) {
+        bits[static_cast<std::size_t>(key >> 6)] |=
+            std::uint64_t{1} << (static_cast<std::uint64_t>(key) & 63);
+      }
+      f.prefix[static_cast<std::size_t>(l)].clear();
+    }
+  }
+  return f;
+}
+
+void fill_stats(SampledMttkrpStats* stats, const ComplementFilter& f,
+                index_t survivors) {
+  if (stats == nullptr) return;
+  stats->distinct_tuples = static_cast<index_t>(f.weight.size());
+  stats->surviving_nonzeros = survivors;
+}
+
+// ---------------------------------------------------------------------------
+// COO hash-filter kernel.
+
+// Accumulates nonzeros [begin, end) of x into `out` (dim(mode) x rank),
+// using `prod` as an R-wide scratch. Returns the survivor count.
+index_t coo_accumulate_sampled(const SparseTensor& x,
+                               const std::vector<Matrix>& factors, int mode,
+                               const ComplementFilter& f, index_t begin,
+                               index_t end, double* out, index_t rank,
+                               double* prod) {
+  const int n = x.order();
+  index_t survivors = 0;
+  for (index_t q = begin; q < end; ++q) {
+    index_t key = 0;
+    for (int k = 0; k < n; ++k) {
+      if (k == mode) continue;
+      key = key * x.dim(k) + x.index(k, q);
+    }
+    if (!f.maybe(key)) continue;
+    const auto it = f.weight.find(key);
+    if (it == f.weight.end()) continue;
+    ++survivors;
+    const double wv = it->second * x.values()[static_cast<std::size_t>(q)];
+    for (index_t r = 0; r < rank; ++r) prod[r] = wv;
+    for (int k = 0; k < n; ++k) {
+      if (k == mode) continue;
+      const double* row =
+          factors[static_cast<std::size_t>(k)].row(x.index(k, q));
+      for (index_t r = 0; r < rank; ++r) prod[r] *= row[r];
+    }
+    double* dst = out + x.index(mode, q) * rank;
+    for (index_t r = 0; r < rank; ++r) dst[r] += prod[r];
+  }
+  return survivors;
+}
+
+// ---------------------------------------------------------------------------
+// CSF filtered walk.
+
+struct CsfSampledCtx {
+  const CsfTensor* x = nullptr;
+  const std::vector<Matrix>* factors = nullptr;
+  const ComplementFilter* filter = nullptr;
+  int out_level = 0;
+  int final_level = 0;  // tree level at which the complement key completes
+  index_t rank = 0;
+  double* stack = nullptr;  // order x rank running products
+  double* out = nullptr;    // rows x rank (direct or privatized)
+  index_t survivors = 0;
+};
+
+// Walks the subtree at (level, node). `key` is the complement key over the
+// complement levels consumed so far; `prod` the matching factor-row product
+// (importance weight folded in at final_level); `out_row` the output row
+// once the output level has been passed.
+void csf_sampled_walk(CsfSampledCtx& c, int level, index_t node, index_t key,
+                      index_t out_row, const double* prod) {
+  const CsfTensor& x = *c.x;
+  const int m = x.mode_order()[static_cast<std::size_t>(level)];
+  const index_t i = x.fids(level)[static_cast<std::size_t>(node)];
+  const int order = x.order();
+  const index_t rank = c.rank;
+
+  if (level == order - 1) {  // leaf: values live here
+    const double v = x.values()[static_cast<std::size_t>(node)];
+    if (level == c.out_level) {
+      // Complement key completed (and weight folded into prod) one level
+      // up; scatter into the leaf-mode output row.
+      double* dst = c.out + i * rank;
+      for (index_t r = 0; r < rank; ++r) dst[r] += v * prod[r];
+      ++c.survivors;
+      return;
+    }
+    const index_t full_key = key * x.dim(m) + i;
+    if (!c.filter->maybe(full_key)) return;
+    const auto it = c.filter->weight.find(full_key);
+    if (it == c.filter->weight.end()) return;
+    ++c.survivors;
+    const double* row = (*c.factors)[static_cast<std::size_t>(m)].row(i);
+    const double wv = it->second * v;
+    double* dst = c.out + out_row * rank;
+    for (index_t r = 0; r < rank; ++r) dst[r] += wv * prod[r] * row[r];
+    return;
+  }
+
+  index_t next_key = key;
+  const double* next_prod = prod;
+  if (level == c.out_level) {
+    out_row = i;  // pass through: the output level contributes no key bits
+  } else {
+    next_key = key * x.dim(m) + i;
+    double weight = 1.0;
+    if (level == c.final_level) {
+      // Interior completing level (the output mode sits at the leaf):
+      // resolve the weight here and fold it into the running product.
+      if (!c.filter->maybe(next_key)) return;
+      const auto it = c.filter->weight.find(next_key);
+      if (it == c.filter->weight.end()) return;
+      weight = it->second;
+    } else {
+      // Filter levels enumerate only complement modes, so a tree level past
+      // the output level maps one slot down.
+      const int fl = level - (level > c.out_level ? 1 : 0);
+      if (!c.filter->maybe_prefix(fl, next_key)) {
+        return;  // no drawn tuple starts with this prefix: prune the subtree
+      }
+    }
+    const double* row = (*c.factors)[static_cast<std::size_t>(m)].row(i);
+    double* slot = c.stack + static_cast<index_t>(level) * rank;
+    for (index_t r = 0; r < rank; ++r) slot[r] = weight * prod[r] * row[r];
+    next_prod = slot;
+  }
+
+  const std::vector<index_t>& ptr = x.fptr(level);
+  for (index_t ch = ptr[static_cast<std::size_t>(node)];
+       ch < ptr[static_cast<std::size_t>(node) + 1]; ++ch) {
+    csf_sampled_walk(c, level + 1, ch, next_key, out_row, next_prod);
+  }
+}
+
+}  // namespace
+
+Matrix mttkrp_sampled(const SparseTensor& x,
+                      const std::vector<Matrix>& factors,
+                      const KrpSample& sample, const MttkrpOptions& opts,
+                      SampledMttkrpStats* stats) {
+  const index_t rank = check_sampled_args(x.dims(), factors, sample);
+  MTK_CHECK(x.sorted(), "mttkrp_sampled requires sort_and_dedup() first");
+  const int n = x.order();
+  const int mode = sample.skip_mode;
+
+  // Ascending-mode visitation, skipping the output mode.
+  std::vector<int> comp_modes;
+  comp_modes.reserve(static_cast<std::size_t>(n - 1));
+  for (int k = 0; k < n; ++k) {
+    if (k != mode) comp_modes.push_back(k);
+  }
+  const ComplementFilter filter = build_filter(
+      sample, n - 1,
+      [&](int l) { return comp_modes[static_cast<std::size_t>(l)]; },
+      /*track_prefixes=*/false);
+
+  Matrix b(x.dim(mode), rank, 0.0);
+  const index_t count = x.nnz();
+  ThreadArena& arena = mttkrp_arena();
+  const int threads = opts.parallel ? max_threads() : 1;
+  index_t survivors = 0;
+
+  if (threads <= 1) {
+    arena.prepare(1, static_cast<std::size_t>(rank));
+    survivors = coo_accumulate_sampled(x, factors, mode, filter, 0, count,
+                                       b.data(), rank, arena.slot(0));
+  } else {
+    // Privatized outputs merged under a critical section — the survivor set
+    // is sparse and scattered, so owner-computes tiling buys nothing here.
+    const index_t out_words = checked_mul(b.rows(), rank);
+    arena.prepare(threads, static_cast<std::size_t>(out_words + rank));
+#pragma omp parallel reduction(+ : survivors)
+    {
+#ifdef _OPENMP
+      const index_t nth = omp_get_num_threads();
+      const index_t tid = omp_get_thread_num();
+#else
+      const index_t nth = 1, tid = 0;
+#endif
+      const index_t chunk = ceil_div(std::max<index_t>(count, 1), nth);
+      const index_t begin = std::min(count, tid * chunk);
+      const index_t end = std::min(count, begin + chunk);
+      if (begin < end) {
+        double* scratch = arena.slot(static_cast<int>(tid));
+        double* prod = scratch + out_words;
+        std::fill(scratch, scratch + out_words, 0.0);
+        survivors += coo_accumulate_sampled(x, factors, mode, filter, begin,
+                                            end, scratch, rank, prod);
+#pragma omp critical(mtk_mttkrp_sampled_coo_reduce)
+        {
+          double* dst = b.data();
+          for (index_t w = 0; w < out_words; ++w) dst[w] += scratch[w];
+        }
+      }
+    }
+  }
+  fill_stats(stats, filter, survivors);
+  return b;
+}
+
+Matrix mttkrp_sampled(const CsfTensor& x, const std::vector<Matrix>& factors,
+                      const KrpSample& sample, const MttkrpOptions& opts,
+                      SampledMttkrpStats* stats) {
+  const index_t rank = check_sampled_args(x.dims(), factors, sample);
+  const int n = x.order();
+  const int mode = sample.skip_mode;
+  const int out_level = x.level_of_mode(mode);
+  const int final_level = out_level == n - 1 ? n - 2 : n - 1;
+
+  // Tree-order visitation of the complement levels.
+  std::vector<int> comp_modes;
+  comp_modes.reserve(static_cast<std::size_t>(n - 1));
+  for (int l = 0; l < n; ++l) {
+    if (l != out_level) {
+      comp_modes.push_back(x.mode_order()[static_cast<std::size_t>(l)]);
+    }
+  }
+  const ComplementFilter filter = build_filter(
+      sample, n - 1,
+      [&](int l) { return comp_modes[static_cast<std::size_t>(l)]; },
+      /*track_prefixes=*/true);
+
+  Matrix b(x.dim(mode), rank, 0.0);
+  const index_t roots = x.node_count(0);
+  ThreadArena& arena = mttkrp_arena();
+  const int threads = opts.parallel ? max_threads() : 1;
+  const std::size_t stack_words =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(rank) +
+      static_cast<std::size_t>(rank);
+  const bool owner_computes = out_level == 0;
+  const index_t out_words = checked_mul(b.rows(), rank);
+  const std::size_t slot_words =
+      stack_words + (owner_computes || threads <= 1
+                         ? 0
+                         : static_cast<std::size_t>(out_words));
+  arena.prepare(std::max(threads, 1), slot_words);
+
+  const auto make_ctx = [&](double* slot, double* out) {
+    CsfSampledCtx c;
+    c.x = &x;
+    c.factors = &factors;
+    c.filter = &filter;
+    c.out_level = out_level;
+    c.final_level = final_level;
+    c.rank = rank;
+    c.stack = slot;
+    c.out = out;
+    return c;
+  };
+  const auto ones_of = [&](double* slot) -> const double* {
+    double* ones = slot + static_cast<std::size_t>(n) * rank;
+    std::fill(ones, ones + rank, 1.0);
+    return ones;
+  };
+
+  index_t survivors = 0;
+  if (threads <= 1) {
+    double* slot = arena.slot(0);
+    CsfSampledCtx c = make_ctx(slot, b.data());
+    const double* ones = ones_of(slot);
+    for (index_t f = 0; f < roots; ++f) {
+      csf_sampled_walk(c, 0, f, 0, 0, ones);
+    }
+    survivors = c.survivors;
+  } else if (owner_computes) {
+    // Root level is the output mode: root subtrees write disjoint rows.
+#pragma omp parallel reduction(+ : survivors)
+    {
+#ifdef _OPENMP
+      const int tid = omp_get_thread_num();
+#else
+      const int tid = 0;
+#endif
+      double* slot = arena.slot(tid);
+      CsfSampledCtx c = make_ctx(slot, b.data());
+      const double* ones = ones_of(slot);
+#pragma omp for schedule(dynamic, 16)
+      for (index_t f = 0; f < roots; ++f) {
+        csf_sampled_walk(c, 0, f, 0, 0, ones);
+      }
+      survivors += c.survivors;
+    }
+  } else {
+#pragma omp parallel reduction(+ : survivors)
+    {
+#ifdef _OPENMP
+      const int tid = omp_get_thread_num();
+#else
+      const int tid = 0;
+#endif
+      double* slot = arena.slot(tid);
+      double* priv = slot + stack_words;
+      std::fill(priv, priv + out_words, 0.0);
+      CsfSampledCtx c = make_ctx(slot, priv);
+      const double* ones = ones_of(slot);
+#pragma omp for schedule(dynamic, 16)
+      for (index_t f = 0; f < roots; ++f) {
+        csf_sampled_walk(c, 0, f, 0, 0, ones);
+      }
+      survivors += c.survivors;
+#pragma omp critical(mtk_mttkrp_sampled_csf_reduce)
+      {
+        double* dst = b.data();
+        for (index_t w = 0; w < out_words; ++w) dst[w] += priv[w];
+      }
+    }
+  }
+  fill_stats(stats, filter, survivors);
+  return b;
+}
+
+Matrix mttkrp_sampled_dense(const DenseTensor& x,
+                            const std::vector<Matrix>& factors,
+                            const KrpSample& sample,
+                            SampledMttkrpStats* stats) {
+  const index_t rank = check_sampled_args(x.dims(), factors, sample);
+  const int n = x.order();
+  const int mode = sample.skip_mode;
+  const shape_t strides = col_major_strides(x.dims());
+  const index_t out_rows = x.dim(mode);
+  const index_t out_stride = strides[static_cast<std::size_t>(mode)];
+
+  Matrix b(out_rows, rank, 0.0);
+  std::vector<double> krow(static_cast<std::size_t>(rank));
+  index_t touched = 0;
+  for (index_t s = 0; s < sample.count(); ++s) {
+    index_t base = 0;
+    const double w = sample.weights[static_cast<std::size_t>(s)];
+    for (index_t r = 0; r < rank; ++r) krow[static_cast<std::size_t>(r)] = w;
+    for (int k = 0; k < n; ++k) {
+      if (k == mode) continue;
+      const index_t i = sample.indices[static_cast<std::size_t>(k)]
+                                      [static_cast<std::size_t>(s)];
+      base += i * strides[static_cast<std::size_t>(k)];
+      const double* row = factors[static_cast<std::size_t>(k)].row(i);
+      for (index_t r = 0; r < rank; ++r) {
+        krow[static_cast<std::size_t>(r)] *= row[r];
+      }
+    }
+    for (index_t i = 0; i < out_rows; ++i) {
+      const double v = x[base + i * out_stride];
+      if (v == 0.0) continue;
+      ++touched;
+      double* dst = b.row(i);
+      for (index_t r = 0; r < rank; ++r) {
+        dst[r] += v * krow[static_cast<std::size_t>(r)];
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->distinct_tuples = sample.count();
+    stats->surviving_nonzeros = touched;
+  }
+  return b;
+}
+
+Matrix mttkrp_sampled(const CsfSet& forest, const std::vector<Matrix>& factors,
+                      const KrpSample& sample, const MttkrpOptions& opts,
+                      SampledMttkrpStats* stats) {
+  MTK_CHECK(!forest.empty(), "mttkrp_sampled: empty CSF set");
+  // The exact walk wants the output mode at the root (owner-computes
+  // writes); the sampled walk wants the opposite. With a complement mode at
+  // the root, undrawn root fibers are pruned wholesale by the prefix
+  // filter, and at most min(S, extent) root subtrees survive — so route to
+  // the tree rooted at the largest-extent complement mode when the forest
+  // holds one, and fall back to the output tree otherwise.
+  const CsfTensor* pick = &forest.tree_for(sample.skip_mode);
+  index_t pick_extent = -1;
+  for (int t = 0; t < forest.tree_count(); ++t) {
+    const CsfTensor& tree = forest.tree(t);
+    const int root = tree.mode_order().front();
+    if (root == sample.skip_mode) continue;
+    if (tree.dim(root) > pick_extent) {
+      pick = &tree;
+      pick_extent = tree.dim(root);
+    }
+  }
+  return mttkrp_sampled(*pick, factors, sample, opts, stats);
+}
+
+Matrix mttkrp_sampled(const StoredTensor& x,
+                      const std::vector<Matrix>& factors,
+                      const KrpSample& sample, const MttkrpOptions& opts,
+                      SampledMttkrpStats* stats) {
+  MTK_CHECK(!x.empty(), "mttkrp_sampled: empty tensor handle");
+  switch (x.format()) {
+    case StorageFormat::kDense:
+      return mttkrp_sampled_dense(x.as_dense(), factors, sample, stats);
+    case StorageFormat::kCoo:
+      if (opts.sparse_algo == SparseMttkrpAlgo::kCsf) {
+        return mttkrp_sampled(x.csf_forest(), factors, sample, opts, stats);
+      }
+      return mttkrp_sampled(x.as_coo(), factors, sample, opts, stats);
+    case StorageFormat::kCsf:
+      return mttkrp_sampled(x.csf_forest(), factors, sample, opts, stats);
+  }
+  MTK_ASSERT(false, "unreachable: unknown storage format");
+  return Matrix();
+}
+
+}  // namespace mtk

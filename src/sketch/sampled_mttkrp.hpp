@@ -1,0 +1,76 @@
+// Sampled MTTKRP: evaluate only the S Khatri-Rao rows drawn by
+// src/sketch/krp_sample.hpp instead of all prod_{k != n} I_k of them.
+//
+//   M_hat(i, :) = sum_{s} w_s * X(i, j_s) * K(j_s, :)
+//
+// is an unbiased estimator of the exact mode-n MTTKRP, and for sparse X the
+// kernels below never enumerate the samples against the full index space —
+// they walk the stored nonzeros and keep only those whose mode-n-complement
+// coordinate tuple was drawn:
+//
+//   COO  — hash-filter fallback: the sample's complement tuples are
+//          linearized into a weight table (plus a flat bitmap fast-reject
+//          when the complement space is small enough); one pass over the
+//          nonzeros, survivors do the usual R-wide fused multiply.
+//   CSF  — filtered tree walk: the sample's tuples become per-level prefix
+//          key sets in the tree's own mode order, so entire subtrees whose
+//          prefix was never drawn are pruned high up; the surviving paths
+//          reuse the exact kernel's memoized partial products. Scratch
+//          (product stacks, privatized outputs) lives in the shared
+//          ThreadArena like every other sparse kernel.
+//   dense— direct evaluation, O(S * I_n * R) instead of O(I_n * F * R).
+//
+// Weighted duplicate draws are merged at filter-build time, so a nonzero is
+// visited once regardless of sample multiplicity.
+#pragma once
+
+#include <vector>
+
+#include "src/mttkrp/mttkrp.hpp"
+#include "src/sketch/krp_sample.hpp"
+#include "src/tensor/csf.hpp"
+#include "src/tensor/csf_set.hpp"
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/matrix.hpp"
+#include "src/tensor/sparse_tensor.hpp"
+
+namespace mtk {
+
+class StoredTensor;  // src/mttkrp/dispatch.hpp
+
+// Work counters for benches and tests: how much of the tensor the sampled
+// kernel actually touched.
+struct SampledMttkrpStats {
+  index_t distinct_tuples = 0;     // sample tuples after duplicate merging
+  index_t surviving_nonzeros = 0;  // nonzeros whose complement was drawn
+};
+
+// The output mode is sample.skip_mode; factor shapes must match
+// sample.dims. `opts.parallel` enables the OpenMP schedules.
+Matrix mttkrp_sampled(const SparseTensor& x,
+                      const std::vector<Matrix>& factors,
+                      const KrpSample& sample, const MttkrpOptions& opts = {},
+                      SampledMttkrpStats* stats = nullptr);
+Matrix mttkrp_sampled(const CsfTensor& x, const std::vector<Matrix>& factors,
+                      const KrpSample& sample, const MttkrpOptions& opts = {},
+                      SampledMttkrpStats* stats = nullptr);
+Matrix mttkrp_sampled_dense(const DenseTensor& x,
+                            const std::vector<Matrix>& factors,
+                            const KrpSample& sample,
+                            SampledMttkrpStats* stats = nullptr);
+
+// Multi-tree form: routes to the forest's tree for the output mode, the
+// same tree the exact CP-ALS sweep uses (zero extra compressions).
+Matrix mttkrp_sampled(const CsfSet& forest, const std::vector<Matrix>& factors,
+                      const KrpSample& sample, const MttkrpOptions& opts = {},
+                      SampledMttkrpStats* stats = nullptr);
+
+// Storage dispatch, mirroring mttkrp(StoredTensor, ...): dense runs the
+// direct kernel, COO the hash filter (or the cached CSF forest under
+// SparseMttkrpAlgo::kCsf), CSF the filtered walk.
+Matrix mttkrp_sampled(const StoredTensor& x,
+                      const std::vector<Matrix>& factors,
+                      const KrpSample& sample, const MttkrpOptions& opts = {},
+                      SampledMttkrpStats* stats = nullptr);
+
+}  // namespace mtk

@@ -1,0 +1,129 @@
+#include "src/sketch/sketched_solve.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "src/mttkrp/dispatch.hpp"
+#include "src/support/check.hpp"
+#include "src/support/index.hpp"
+
+namespace mtk {
+
+Matrix sketched_krp_gram(const std::vector<Matrix>& factors,
+                         const KrpSample& sample) {
+  const int n = static_cast<int>(factors.size());
+  MTK_CHECK(n >= 2, "sketched_krp_gram needs >= 2 factors");
+  const index_t rank = factors.front().cols();
+  Matrix v(rank, rank, 0.0);
+  std::vector<double> krow(static_cast<std::size_t>(rank));
+  for (index_t s = 0; s < sample.count(); ++s) {
+    const double w = sample.weights[static_cast<std::size_t>(s)];
+    for (index_t r = 0; r < rank; ++r) krow[static_cast<std::size_t>(r)] = 1.0;
+    for (int k = 0; k < n; ++k) {
+      if (k == sample.skip_mode) continue;
+      const index_t i = sample.indices[static_cast<std::size_t>(k)]
+                                      [static_cast<std::size_t>(s)];
+      const double* row = factors[static_cast<std::size_t>(k)].row(i);
+      for (index_t r = 0; r < rank; ++r) {
+        krow[static_cast<std::size_t>(r)] *= row[r];
+      }
+    }
+    // Rank-1 update w * k k^T; only the upper triangle, mirrored below.
+    for (index_t p = 0; p < rank; ++p) {
+      const double wp = w * krow[static_cast<std::size_t>(p)];
+      for (index_t q = p; q < rank; ++q) {
+        v(p, q) += wp * krow[static_cast<std::size_t>(q)];
+      }
+    }
+  }
+  for (index_t p = 0; p < rank; ++p) {
+    for (index_t q = 0; q < p; ++q) v(p, q) = v(q, p);
+  }
+  return v;
+}
+
+SketchedNormalEq sketched_normal_eq(const StoredTensor& x,
+                                    const std::vector<Matrix>& factors,
+                                    const KrpSample& sample,
+                                    const MttkrpOptions& opts,
+                                    SampledMttkrpStats* stats) {
+  SketchedNormalEq eq;
+  eq.gram = sketched_krp_gram(factors, sample);
+  eq.rhs = mttkrp_sampled(x, factors, sample, opts, stats);
+  return eq;
+}
+
+SketchedNormalEq sketched_normal_eq_gaussian(
+    const DenseTensor& x, const std::vector<Matrix>& factors, int mode,
+    index_t sketch_count, Rng& rng) {
+  const int n = x.order();
+  MTK_CHECK(n >= 2, "sketched_normal_eq_gaussian needs an order >= 2 tensor");
+  MTK_CHECK(mode >= 0 && mode < n, "mode ", mode, " out of range");
+  MTK_CHECK(sketch_count >= 1, "sketch_count must be >= 1");
+  const index_t rank = factors.front().cols();
+  const index_t out_rows = x.dim(mode);
+
+  // Per-mode Gaussian vectors g_k^s; the KRP structure means row s of
+  // Omega^T K is prod_k (g_k^s . A_k(:, r)) — no I_1*...*I_N work anywhere.
+  // The 1/sqrt(S) scale makes P^T P estimate K^T K and Q^T P estimate M.
+  std::vector<Matrix> g;  // g[k] is S x I_k
+  g.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    g.push_back(k == mode ? Matrix()
+                          : Matrix::random_normal(sketch_count, x.dim(k),
+                                                  rng));
+  }
+
+  const double scale = 1.0 / std::sqrt(static_cast<double>(sketch_count));
+  Matrix p(sketch_count, rank, 0.0);
+  for (index_t s = 0; s < sketch_count; ++s) {
+    double* prow = p.row(s);
+    for (index_t r = 0; r < rank; ++r) prow[r] = scale;
+    for (int k = 0; k < n; ++k) {
+      if (k == mode) continue;
+      const Matrix& a = factors[static_cast<std::size_t>(k)];
+      const double* gs = g[static_cast<std::size_t>(k)].row(s);
+      for (index_t r = 0; r < rank; ++r) {
+        double acc = 0.0;
+        for (index_t i = 0; i < a.rows(); ++i) acc += gs[i] * a(i, r);
+        prow[r] *= acc;
+      }
+    }
+  }
+
+  // Q(s, i) = sum over the mode-i slice of X of value * prod_k g_k^s[i_k]:
+  // one pass over the dense tensor per sketch row.
+  const shape_t strides = col_major_strides(x.dims());
+  Matrix q(sketch_count, out_rows, 0.0);
+  multi_index_t idx(static_cast<std::size_t>(n), 0);
+  const index_t total = x.size();
+  for (index_t lin = 0; lin < total; ++lin) {
+    const double v = x[lin];
+    if (v == 0.0) continue;
+    for (int k = 0; k < n; ++k) {
+      idx[static_cast<std::size_t>(k)] =
+          (lin / strides[static_cast<std::size_t>(k)]) % x.dim(k);
+    }
+    const index_t i_out = idx[static_cast<std::size_t>(mode)];
+    for (index_t s = 0; s < sketch_count; ++s) {
+      double gprod = scale;
+      for (int k = 0; k < n; ++k) {
+        if (k == mode) continue;
+        gprod *= g[static_cast<std::size_t>(k)](
+            s, idx[static_cast<std::size_t>(k)]);
+      }
+      q(s, i_out) += v * gprod;
+    }
+  }
+
+  SketchedNormalEq eq;
+  eq.gram = gemm_tn(p, p);
+  eq.rhs = gemm_tn(q, p);
+  return eq;
+}
+
+Matrix solve_sketched(const SketchedNormalEq& eq) {
+  return solve_spd_right(eq.gram, eq.rhs);
+}
+
+}  // namespace mtk

@@ -1,0 +1,63 @@
+// Sketched normal equations for the CP-ALS least-squares updates.
+//
+// The exact mode-n update solves A^(n) V = M with V the Hadamard product of
+// the other Grams and M the exact MTTKRP. The sketched update replaces both
+// sides with their sampled estimates over the same S drawn KRP rows:
+//
+//   V_S = sum_s w_s k_s k_s^T          (R x R, k_s = KRP row s)
+//   M_S = sampled MTTKRP               (I_n x R)
+//
+// i.e. the normal equations of the row-sampled least-squares problem
+// min || diag(sqrt w) (S K A^T - S X^T) ||_F — with S = O(R log R / eps^2)
+// leverage samples the solve is (1 + eps)-optimal in residual norm with
+// high probability (the guarantee the planner's epsilon knob budgets).
+//
+// For the dense backend there is also a Khatri-Rao random-projection
+// variant (Saibaba-Verma-Ballard style): the sketch matrix is a KRP of
+// per-mode Gaussian vectors, so Omega^T K collapses to per-mode
+// vector-matrix products and never materializes K either.
+#pragma once
+
+#include <vector>
+
+#include "src/sketch/krp_sample.hpp"
+#include "src/sketch/sampled_mttkrp.hpp"
+#include "src/support/rng.hpp"
+#include "src/tensor/dense_tensor.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace mtk {
+
+class StoredTensor;  // src/mttkrp/dispatch.hpp
+
+struct SketchedNormalEq {
+  Matrix gram;  // R x R sketched left-hand side (V_S or P^T P)
+  Matrix rhs;   // I_n x R sketched right-hand side (M_S or Q^T P)
+};
+
+// V_S = sum_s w_s k_s k_s^T, assembled from factor rows on the fly.
+Matrix sketched_krp_gram(const std::vector<Matrix>& factors,
+                         const KrpSample& sample);
+
+// Leverage-sampled normal equations: gram = sketched_krp_gram, rhs = the
+// sampled MTTKRP of `x` for mode sample.skip_mode.
+SketchedNormalEq sketched_normal_eq(const StoredTensor& x,
+                                    const std::vector<Matrix>& factors,
+                                    const KrpSample& sample,
+                                    const MttkrpOptions& opts = {},
+                                    SampledMttkrpStats* stats = nullptr);
+
+// Gaussian KRP projection for dense storage: draws `sketch_count` KRP-
+// structured Gaussian test vectors, forms P = Omega^T K (S x R) from
+// per-mode products and Q = Omega^T X_(n)^T (S x I_n) in one pass over the
+// tensor, and returns gram = P^T P, rhs = Q^T P (both scaled so they
+// estimate the exact V and M).
+SketchedNormalEq sketched_normal_eq_gaussian(
+    const DenseTensor& x, const std::vector<Matrix>& factors, int mode,
+    index_t sketch_count, Rng& rng);
+
+// The factor update: solve_spd_right(eq.gram, eq.rhs) with the library's
+// jittered Cholesky (rank-deficient sketches stay solvable).
+Matrix solve_sketched(const SketchedNormalEq& eq);
+
+}  // namespace mtk

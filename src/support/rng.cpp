@@ -1,5 +1,8 @@
 #include "src/support/rng.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/support/check.hpp"
 
 namespace mtk {
@@ -27,6 +30,46 @@ void Rng::fill_uniform(std::vector<double>& v, double lo, double hi) {
 void Rng::fill_normal(std::vector<double>& v) {
   std::normal_distribution<double> dist(0.0, 1.0);
   for (double& x : v) x = dist(engine_);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) {
+  // splitmix64 finalizer; full-avalanche, so nearby salts give unrelated
+  // streams.
+  std::uint64_t z = seed ^ (salt + 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  MTK_CHECK(!weights.empty(), "DiscreteSampler needs at least one weight");
+  cdf_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    MTK_CHECK(w >= 0.0 && std::isfinite(w),
+              "DiscreteSampler weights must be finite and >= 0, got ", w);
+    acc += w;
+    cdf_.push_back(acc);
+  }
+  total_ = acc;
+  MTK_CHECK(total_ > 0.0, "DiscreteSampler weights sum to zero");
+}
+
+double DiscreteSampler::probability(index_t i) const {
+  MTK_CHECK(i >= 0 && i < size(), "DiscreteSampler index ", i,
+            " out of range");
+  const std::size_t u = static_cast<std::size_t>(i);
+  const double lo = u == 0 ? 0.0 : cdf_[u - 1];
+  return (cdf_[u] - lo) / total_;
+}
+
+index_t DiscreteSampler::sample(Rng& rng) const {
+  const double u = rng.uniform(0.0, total_);
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const std::size_t pos = it == cdf_.end()
+                              ? cdf_.size() - 1
+                              : static_cast<std::size_t>(it - cdf_.begin());
+  return static_cast<index_t>(pos);
 }
 
 }  // namespace mtk

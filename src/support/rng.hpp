@@ -30,4 +30,29 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+// Deterministic seed derivation (splitmix64 over seed ^ salt): one
+// user-facing seed fans out into independent per-use streams (per sweep,
+// per mode, per trial) without the streams aliasing each other. The same
+// (seed, salt) pair always yields the same derived seed, so sampled runs
+// stay bit-reproducible across platforms and thread counts.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt);
+
+// Samples indices from a fixed discrete distribution given by non-negative
+// weights (not necessarily normalized), via inverse-CDF binary search —
+// O(log n) per draw. The sampling workhorse of src/sketch: per-mode
+// leverage-score draws.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  index_t size() const { return static_cast<index_t>(cdf_.size()); }
+  // Probability mass of index i under the normalized distribution.
+  double probability(index_t i) const;
+  index_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums of the weights
+  double total_ = 0.0;
+};
+
 }  // namespace mtk

@@ -48,6 +48,9 @@ int usage(const char* argv0) {
       stderr,
       "):\n"
       "             scaled-down dims/density/skew mimicking the real shape\n"
+      "  --scale    multiply every preset extent by this factor, adjusting\n"
+      "             density so nnz scales ~linearly and skew is preserved\n"
+      "             (e.g. --preset amazon --scale 0.1); default 1\n"
       "  --out      output .tns path (required)\n"
       "  --density  target nnz / prod(dims), default 0.01\n"
       "  --skew     per-mode Zipf exponent, default 0 (uniform)\n"
@@ -73,6 +76,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   double density = 0.01;
   double skew = 0.0;
+  double scale = 1.0;
   std::uint64_t seed = 1;
 
   try {
@@ -92,6 +96,9 @@ int main(int argc, char** argv) {
         dims = preset->dims;
         density = preset->density;
         skew = preset->skew;
+      } else if (arg == "--scale") {
+        scale = std::stod(next());
+        MTK_CHECK(scale > 0.0, "--scale must be > 0");
       } else if (arg == "--out") {
         out_path = next();
       } else if (arg == "--density") {
@@ -105,6 +112,14 @@ int main(int argc, char** argv) {
       }
     }
     if (dims.empty() || out_path.empty()) return usage(argv[0]);
+    if (scale != 1.0) {
+      // Works for presets and explicit --dims alike: wrap the current
+      // shape/density/skew in a throwaway preset and rescale it.
+      const FrosttPreset rescaled =
+          scale_frostt_preset({"cli", dims, density, skew}, scale);
+      dims = rescaled.dims;
+      density = rescaled.density;
+    }
 
     Rng rng(seed);
     const SparseTensor x =

@@ -94,7 +94,7 @@ int usage(const char* argv0) {
       "          [--calibrate] [--cache-file FILE]\n"
       "          [--cp-als] [--iters N] [--tol T] [--save-tns FILE]\n"
       "          [--threads T] [--variant V] [--memory M] [--trace]\n"
-      "          [--seed S]\n"
+      "          [--epsilon E] [--sample-count S] [--seed S]\n"
       "  --dims     tensor dimensions for a random problem, comma separated\n"
       "  --tns      load a FROSTT .tns coordinate file instead\n"
       "  --rank     factor matrix columns R / CP rank (required)\n"
@@ -141,7 +141,13 @@ int usage(const char* argv0) {
       "             default 2^20\n"
       "  --trace    also simulate the two-level memory traffic and print\n"
       "             the Section IV bounds (dense sequential only)\n"
-      "  --seed     RNG seed, default 1\n",
+      "  --epsilon  accuracy budget for the randomized sketched backend:\n"
+      "             > 0 runs leverage-sampled MTTKRP / sketched CP-ALS and\n"
+      "             lets --plan generate sampled candidates, default 0 =\n"
+      "             exact execution\n"
+      "  --sample-count  explicit KRP sample rows (overrides the\n"
+      "             epsilon-derived count)\n"
+      "  --seed     RNG seed (also drives the sampling streams), default 1\n",
       argv0);
   return 1;
 }
@@ -186,6 +192,8 @@ int main(int argc, char** argv) {
   int local_threads = 0;
   SparseKernelVariant variant = SparseKernelVariant::kAuto;
   bool variant_set = false;
+  double epsilon = 0.0;
+  index_t sample_count = 0;
   std::uint64_t seed = 1;
 
   try {
@@ -260,6 +268,13 @@ int main(int argc, char** argv) {
         memory = std::stoll(next());
       } else if (arg == "--trace") {
         trace = true;
+      } else if (arg == "--epsilon") {
+        epsilon = std::stod(next());
+        MTK_CHECK(epsilon >= 0.0 && epsilon < 1.0,
+                  "--epsilon must be in [0, 1)");
+      } else if (arg == "--sample-count") {
+        sample_count = std::stoll(next());
+        MTK_CHECK(sample_count >= 0, "--sample-count must be >= 0");
       } else if (arg == "--seed") {
         seed = std::stoull(next());
       } else {
@@ -383,7 +398,14 @@ int main(int argc, char** argv) {
     popts.flop_word_ratio = flop_word_ratio;
     popts.latency_word_ratio = latency_word_ratio;
     popts.machine = cal;
+    popts.epsilon = epsilon;
+    popts.sample_count = sample_count;
     if (cp_als_run) popts.reuse_count = std::max(1, iters) * x.order();
+
+    SketchOptions sketch;
+    sketch.epsilon = epsilon;
+    sketch.sample_count = sample_count;
+    sketch.seed = seed;
 
     if (plan_only) {
       const std::size_t hits_before = PlanCache::global().hits();
@@ -457,11 +479,19 @@ int main(int argc, char** argv) {
       opts.tolerance = tol;
       opts.seed = seed;
       opts.mttkrp = local_opts;
+      opts.sketch = sketch;
       const auto start = std::chrono::steady_clock::now();
       const CpAlsResult r = cp_als(x, opts);
       const auto stop = std::chrono::steady_clock::now();
-      std::printf("cp_als         : sequential, backend %s\n",
-                  to_string(backend));
+      std::printf("cp_als         : sequential, backend %s%s\n",
+                  to_string(backend),
+                  sketch.enabled() ? ", sampled sweeps" : "");
+      if (sketch.enabled()) {
+        std::printf("sampled        : S = %lld KRP rows per sweep "
+                    "(final fit is exact-evaluated)\n",
+                    static_cast<long long>(
+                        sketch.resolve_sample_count(rank)));
+      }
       std::printf("iterations     : %d (%s)\n", r.iterations,
                   r.converged ? "converged" : "max iterations");
       std::printf("final fit      : %.6f\n", r.final_fit);
@@ -566,6 +596,57 @@ int main(int argc, char** argv) {
       std::printf("wall time      : %.2f ms\n",
                   std::chrono::duration<double, std::milli>(stop - start)
                       .count());
+      return 0;
+    }
+
+    if (sketch.enabled()) {
+      // Sampled single MTTKRP: run the exact kernel for reference, then the
+      // leverage-sampled estimator, and report the accuracy/speedup trade.
+      const index_t s_count = sketch.resolve_sample_count(rank);
+      Rng srng(derive_seed(sketch.seed, static_cast<std::uint64_t>(mode)));
+      const auto td = std::chrono::steady_clock::now();
+      const KrpSample sample =
+          sample_krp_leverage(factors, mode, s_count, srng);
+      const auto t0 = std::chrono::steady_clock::now();
+      // Warm both paths before timing: the dispatch layer builds its CSF
+      // forest lazily on the first call, and that one-time compression is
+      // amortized across a CP workload, not part of the kernel trade.
+      SampledMttkrpStats stats;
+      (void)mttkrp(x, factors, mode, local_opts);
+      (void)mttkrp_sampled(x, factors, sample, local_opts, &stats);
+      const auto t1 = std::chrono::steady_clock::now();
+      const Matrix exact = mttkrp(x, factors, mode, local_opts);
+      const auto t2 = std::chrono::steady_clock::now();
+      const Matrix approx =
+          mttkrp_sampled(x, factors, sample, local_opts);
+      const auto t3 = std::chrono::steady_clock::now();
+
+      double num = 0.0, den = 0.0;
+      for (index_t i = 0; i < exact.rows(); ++i) {
+        for (index_t r = 0; r < exact.cols(); ++r) {
+          const double d = approx(i, r) - exact(i, r);
+          num += d * d;
+          den += exact(i, r) * exact(i, r);
+        }
+      }
+      const double draw_ms =
+          std::chrono::duration<double, std::milli>(t0 - td).count();
+      const double exact_ms =
+          std::chrono::duration<double, std::milli>(t2 - t1).count();
+      const double kernel_ms =
+          std::chrono::duration<double, std::milli>(t3 - t2).count();
+      std::printf("sampled mttkrp : S = %lld KRP rows, %lld of %lld "
+                  "nonzeros visited\n",
+                  static_cast<long long>(s_count),
+                  static_cast<long long>(stats.surviving_nonzeros),
+                  static_cast<long long>(x.stored_values()));
+      std::printf("relative error : %.4f (predicted %.4f)\n",
+                  std::sqrt(num / std::max(den, 1e-300)),
+                  predicted_sampling_error(rank, s_count));
+      std::printf("exact kernel   : %.2f ms\n", exact_ms);
+      std::printf("sampled kernel : %.2f ms (+%.2f ms sample draw), "
+                  "%.2fx kernel speedup\n",
+                  kernel_ms, draw_ms, exact_ms / std::max(kernel_ms, 1e-9));
       return 0;
     }
 

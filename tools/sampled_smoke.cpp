@@ -1,0 +1,192 @@
+// Release perf/accuracy smoke for the randomized sketched backend: on a
+// FROSTT-preset-shaped tensor (gen_tns --preset amazon), the leverage-
+// sampled MTTKRP kernel must beat the exact CSF kernel by --min-speedup
+// wall-clock (sample prebuilt, both serial — the regime CP-ALS pays every
+// sweep after the once-per-refresh draw), and a sketched CP-ALS run must
+// land within --max-error of the exact driver's residual:
+//
+//   ||X - model_sampled|| <= (1 + max_error) * ||X - model_exact||.
+//
+// Exit codes: 0 OK, 2 usage/error, 3 speedup assertion failed, 4 accuracy
+// assertion failed. Perf assertions are noise-prone under Debug/sanitizer
+// builds, so CMake registers this for Release only (RUN_SERIAL).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/mtk.hpp"
+
+namespace {
+
+using namespace mtk;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --tns FILE [--rank R] [--sample-count S] [--iters N]\n"
+      "          [--min-speedup X] [--max-error E] [--reps K] [--seed S]\n"
+      "  --tns          FROSTT .tns input (required; typically\n"
+      "                 gen_tns --preset amazon)\n"
+      "  --rank         CP rank, default 16\n"
+      "  --sample-count KRP sample rows, default 2048 (kernel) and the\n"
+      "                 epsilon-derived count for the CP-ALS check\n"
+      "  --iters        CP-ALS sweeps for the accuracy check, default 10\n"
+      "  --min-speedup  required exact-CSF / sampled wall-clock ratio,\n"
+      "                 default 5.0\n"
+      "  --max-error    allowed relative residual excess, default 0.05\n"
+      "  --reps         timing repetitions (best-of), default 5\n"
+      "  --seed         sampling/init seed, default 7\n",
+      argv0);
+  return 2;
+}
+
+double best_of_ms(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string tns_path;
+  index_t rank = 16;
+  index_t sample_count = 2048;
+  int iters = 10;
+  double min_speedup = 5.0;
+  double max_error = 0.05;
+  int reps = 5;
+  std::uint64_t seed = 7;
+
+  try {
+    for (int a = 1; a < argc; ++a) {
+      const std::string arg = argv[a];
+      auto next = [&]() -> std::string {
+        MTK_CHECK(a + 1 < argc, "missing value after ", arg);
+        return argv[++a];
+      };
+      if (arg == "--tns") {
+        tns_path = next();
+      } else if (arg == "--rank") {
+        rank = std::stoll(next());
+      } else if (arg == "--sample-count") {
+        sample_count = std::stoll(next());
+      } else if (arg == "--iters") {
+        iters = std::stoi(next());
+      } else if (arg == "--min-speedup") {
+        min_speedup = std::stod(next());
+      } else if (arg == "--max-error") {
+        max_error = std::stod(next());
+      } else if (arg == "--reps") {
+        reps = std::stoi(next());
+      } else if (arg == "--seed") {
+        seed = std::stoull(next());
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    if (tns_path.empty() || rank < 1 || sample_count < 1 || reps < 1) {
+      return usage(argv[0]);
+    }
+
+    const SparseTensor coo = load_tensor_tns(tns_path);
+    const int n = coo.order();
+    int mode = 0;  // output the longest mode: the biggest exact kernel
+    for (int k = 1; k < n; ++k) {
+      if (coo.dim(k) > coo.dim(mode)) mode = k;
+    }
+    // The forest holds one tree per root mode: the exact kernel runs on
+    // the output-rooted tree (owner-computes), the sampled kernel routes
+    // to a complement-rooted tree (root-level pruning) — both prebuilt,
+    // the same amortized structures a CP-ALS sweep reuses.
+    const CsfSet forest = CsfSet::build(coo, CsfSetPolicy::kOnePerMode);
+    const CsfTensor& csf = forest.tree_for(mode);
+    Rng frng(seed);
+    std::vector<Matrix> factors;
+    for (index_t d : coo.dims()) {
+      factors.push_back(Matrix::random_uniform(d, rank, frng, 0.1, 1.0));
+    }
+    std::printf("tensor         : %lld nonzeros, output mode %d (extent "
+                "%lld), rank %lld\n",
+                static_cast<long long>(coo.nnz()), mode,
+                static_cast<long long>(coo.dim(mode)),
+                static_cast<long long>(rank));
+
+    // --- kernel speedup: exact CSF vs sampled (prebuilt sample) ----------
+    Rng srng(derive_seed(seed, 1));
+    const KrpSample sample =
+        sample_krp_leverage(factors, mode, sample_count, srng);
+    SampledMttkrpStats stats;
+    const Matrix warm = mttkrp_sampled(forest, factors, sample, {}, &stats);
+
+    const double exact_ms = best_of_ms(reps, [&]() {
+      Matrix b = mttkrp_csf(csf, factors, mode, /*parallel=*/false);
+      (void)b;
+    });
+    const double sampled_ms = best_of_ms(reps, [&]() {
+      Matrix b = mttkrp_sampled(forest, factors, sample);
+      (void)b;
+    });
+    const double speedup = exact_ms / std::max(sampled_ms, 1e-9);
+    std::printf("kernel         : exact csf %.3f ms, sampled %.3f ms "
+                "(S = %lld, %lld of %lld nonzeros) -> %.2fx\n",
+                exact_ms, sampled_ms,
+                static_cast<long long>(sample_count),
+                static_cast<long long>(stats.surviving_nonzeros),
+                static_cast<long long>(coo.nnz()), speedup);
+
+    // --- accuracy: sketched CP-ALS residual vs the exact driver ----------
+    CpAlsOptions exact_opts;
+    exact_opts.rank = rank;
+    exact_opts.max_iterations = iters;
+    exact_opts.seed = seed;
+    const CpAlsResult exact = cp_als(coo, exact_opts);
+
+    CpAlsOptions sampled_opts = exact_opts;
+    sampled_opts.sketch.sample_count = sample_count;
+    sampled_opts.sketch.seed = derive_seed(seed, 2);
+    const CpAlsResult sampled = cp_als(coo, sampled_opts);
+
+    // Both final fits are exact-evaluated (the sampled driver re-measures
+    // its returned model with one exact MTTKRP), so the residual ratio
+    // compares true model quality.
+    const double res_exact = 1.0 - exact.final_fit;
+    const double res_sampled = 1.0 - sampled.final_fit;
+    const double ratio = res_sampled / std::max(res_exact, 1e-12);
+    std::printf("cp-als         : exact fit %.6f, sampled fit %.6f "
+                "(residual ratio %.4f, budget %.2f)\n",
+                exact.final_fit, sampled.final_fit, ratio,
+                1.0 + max_error);
+
+    bool ok = true;
+    if (speedup < min_speedup) {
+      std::printf("speedup        : FAIL (%.2fx < %.2fx)\n", speedup,
+                  min_speedup);
+      ok = false;
+    } else {
+      std::printf("speedup        : OK (>= %.2fx)\n", min_speedup);
+    }
+    if (!ok) return 3;
+    if (ratio > 1.0 + max_error) {
+      std::printf("accuracy       : FAIL (ratio %.4f > %.4f)\n", ratio,
+                  1.0 + max_error);
+      return 4;
+    }
+    std::printf("accuracy       : OK (within %.0f%% of the exact "
+                "residual)\n", 100.0 * max_error);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
