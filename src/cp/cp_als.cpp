@@ -113,6 +113,9 @@ CpAlsResult cp_als(const StoredTensor& x, const CpAlsOptions& opts) {
       sampled ? opts.sketch.resolve_sample_count(opts.rank) : 0;
   const int refresh = std::max(1, opts.sketch.refresh_every);
   std::vector<KrpSample> samples(sampled ? static_cast<std::size_t>(n) : 0);
+  // Memoized per-mode leverage CDFs: within a redraw sweep, mode k's CDF is
+  // reused across skip-modes until factor k itself is updated below.
+  KrpLeverageCache leverage_cache(std::max(2, n));
 
   double previous_fit = 0.0;
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
@@ -136,8 +139,8 @@ CpAlsResult cp_als(const StoredTensor& x, const CpAlsOptions& opts) {
           Rng srng(derive_seed(opts.sketch.seed,
                                static_cast<std::uint64_t>(iter) * 131u +
                                    static_cast<std::uint64_t>(mode)));
-          sample = sample_krp_leverage(result.model.factors, grams, mode,
-                                       s_count, srng);
+          sample = leverage_cache.sample(result.model.factors, grams, mode,
+                                         s_count, srng);
         }
         m = forest != nullptr
                 ? mttkrp_sampled(*forest, result.model.factors, sample,
@@ -170,6 +173,7 @@ CpAlsResult cp_als(const StoredTensor& x, const CpAlsOptions& opts) {
       result.model.factors[static_cast<std::size_t>(mode)] = std::move(a);
       grams[static_cast<std::size_t>(mode)] =
           gram(result.model.factors[static_cast<std::size_t>(mode)]);
+      if (sampled) leverage_cache.invalidate(mode);
       if (mode == n - 1) last_mttkrp = std::move(m);
     }
 
@@ -209,6 +213,7 @@ CpAlsResult cp_als(const StoredTensor& x, const CpAlsOptions& opts) {
         std::max(0.0, norm_x * norm_x + norm_model_sq - 2.0 * inner);
     result.final_fit = 1.0 - std::sqrt(residual_sq) / norm_x;
   }
+  result.leverage_rebuilds = leverage_cache.rebuilds();
   return result;
 }
 

@@ -66,6 +66,9 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
     tuned.grid = plan.grid;
     tuned.partition = plan.scheme;
     tuned.collectives = plan.collectives;
+    // The bug this fixes: the planner's kernel_variant used to be dropped
+    // here, so autotuned runs always fell back to the per-call heuristic.
+    tuned.kernel_variant = plan.kernel_variant;
 
     // Honor the planner's backend choice: sparse storage converts once,
     // here, so the per-rank local kernels run in the recommended format.
@@ -91,7 +94,9 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
             "par_cp_als needs an N-way grid, got ", opts.grid.size(),
             " extents for order ", n);
 
-  Machine machine(grid_size(opts.grid));
+  const std::unique_ptr<Transport> transport_owner =
+      make_transport(opts.transport, grid_size(opts.grid));
+  Transport& transport = *transport_owner;
 
   // Sparse inputs are planned once — the distribution (and, for CSF, the
   // per-rank one-tree-per-mode forest) depends only on (tensor, grid,
@@ -114,15 +119,15 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
 
   std::vector<Matrix> grams(static_cast<std::size_t>(n));
   for (int k = 0; k < n; ++k) {
-    const index_t before = machine.max_words_moved();
-    const index_t before_msgs = machine.max_messages_sent();
+    const index_t before = transport.max_words_moved();
+    const index_t before_msgs = transport.max_messages_sent();
     grams[static_cast<std::size_t>(k)] = distributed_gram(
-        machine, result.model.factors[static_cast<std::size_t>(k)],
+        transport, result.model.factors[static_cast<std::size_t>(k)],
         opts.collectives.gram);
     // The N initialization Grams are charged to the total (they precede
     // iteration 1, so no trace entry carries them).
-    result.total_gram_words_max += machine.max_words_moved() - before;
-    result.total_messages_max += machine.max_messages_sent() - before_msgs;
+    result.total_gram_words_max += transport.max_words_moved() - before;
+    result.total_messages_max += transport.max_messages_sent() - before_msgs;
   }
 
   const double norm_x = x.frobenius_norm();
@@ -132,17 +137,19 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
     index_t mttkrp_words_iter = 0;
     index_t gram_words_iter = 0;
-    const index_t msgs_before_iter = machine.max_messages_sent();
+    const index_t msgs_before_iter = transport.max_messages_sent();
     Matrix last_mttkrp;
     for (int mode = 0; mode < n; ++mode) {
-      index_t before = machine.max_words_moved();
+      index_t before = transport.max_words_moved();
       ParMttkrpResult mr =
           dense_input
-              ? par_mttkrp_stationary(machine, x, result.model.factors, mode,
-                                      opts.grid, opts.collectives)
-              : par_mttkrp_stationary(machine, x, result.model.factors, mode,
-                                      opts.grid, plan, opts.collectives);
-      mttkrp_words_iter += machine.max_words_moved() - before;
+              ? par_mttkrp_stationary(transport, x, result.model.factors,
+                                      mode, opts.grid, opts.collectives,
+                                      opts.partition, opts.kernel_variant)
+              : par_mttkrp_stationary(transport, x, result.model.factors,
+                                      mode, opts.grid, plan, opts.collectives,
+                                      opts.kernel_variant);
+      mttkrp_words_iter += transport.max_words_moved() - before;
 
       Matrix v(opts.rank, opts.rank, 0.0);
       bool first = true;
@@ -160,11 +167,11 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
       result.model.lambda = normalize_columns(a);
       result.model.factors[static_cast<std::size_t>(mode)] = std::move(a);
 
-      before = machine.max_words_moved();
+      before = transport.max_words_moved();
       grams[static_cast<std::size_t>(mode)] = distributed_gram(
-          machine, result.model.factors[static_cast<std::size_t>(mode)],
+          transport, result.model.factors[static_cast<std::size_t>(mode)],
           opts.collectives.gram);
-      gram_words_iter += machine.max_words_moved() - before;
+      gram_words_iter += transport.max_words_moved() - before;
 
       if (mode == n - 1) last_mttkrp = std::move(mr.b);
     }
@@ -179,7 +186,7 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
     const double fit = 1.0 - std::sqrt(residual_sq) / norm_x;
 
     const index_t messages_iter =
-        machine.max_messages_sent() - msgs_before_iter;
+        transport.max_messages_sent() - msgs_before_iter;
     result.trace.push_back(
         {iter, fit, mttkrp_words_iter, gram_words_iter, messages_iter});
     result.final_fit = fit;
@@ -193,6 +200,9 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
     }
     previous_fit = fit;
   }
+  result.transport = transport.kind();
+  result.comm_seconds = transport.comm_seconds();
+  result.compute_seconds = transport.compute_seconds();
   return result;
 }
 

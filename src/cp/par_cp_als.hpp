@@ -14,7 +14,7 @@
 
 #include "src/cp/cp_als.hpp"
 #include "src/parsim/distribution.hpp"
-#include "src/parsim/machine.hpp"
+#include "src/parsim/transport/transport.hpp"
 #include "src/planner/planner.hpp"
 
 namespace mtk {
@@ -31,6 +31,12 @@ struct ParCpAlsOptions {
   // Per-phase collective schedule (bucket ring vs recursive doubling/
   // halving); replaced by the planner's choice when autotuning.
   CollectiveSchedule collectives = CollectiveKind::kBucket;
+  // Execution backend: kSim counts words on the counting machine, kThreads
+  // runs the same schedules for real on P rank threads (and still counts).
+  TransportKind transport = TransportKind::kSim;
+  // Local sparse-kernel schedule; replaced by the planner's choice when
+  // autotuning. kAuto keeps the per-call heuristic.
+  SparseKernelVariant kernel_variant = SparseKernelVariant::kAuto;
   // Autotune: let the planner (through the global plan cache) pick the
   // grid, partition scheme, sparse backend, and collective schedule for
   // `procs` processors (or prod(grid) when `grid` is set, whose extents
@@ -64,6 +70,12 @@ struct ParCpAlsResult {
   // The planner's choice when ParCpAlsOptions::autotune was set.
   bool autotuned = false;
   ExecutionPlan plan;
+  // Which backend executed, and its measured wall-clock split (collective
+  // time vs local-kernel time; both zero-cost simulated phases still take
+  // real time on kSim, so the split is meaningful on either backend).
+  TransportKind transport = TransportKind::kSim;
+  double comm_seconds = 0.0;
+  double compute_seconds = 0.0;
 };
 
 // Storage-polymorphic driver; runs unmodified on dense, COO, or CSF input.

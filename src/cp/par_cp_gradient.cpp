@@ -54,6 +54,8 @@ ParCpGradResult par_cp_gradient(const StoredTensor& x,
     tuned.grid = plan.grid;
     tuned.partition = plan.scheme;
     tuned.collectives = plan.collectives;
+    // Honor the planner's local-kernel schedule (previously dropped here).
+    tuned.kernel_variant = plan.kernel_variant;
 
     // Honor the planner's backend choice: sparse storage converts once,
     // here, so the per-rank local kernels run in the recommended format.
@@ -78,7 +80,9 @@ ParCpGradResult par_cp_gradient(const StoredTensor& x,
             "par_cp_gradient needs an N-way grid, got ", opts.grid.size(),
             " extents for order ", n);
 
-  Machine machine(grid_size(opts.grid));
+  const std::unique_ptr<Transport> transport_owner =
+      make_transport(opts.transport, grid_size(opts.grid));
+  Transport& transport = *transport_owner;
   ParCpGradResult result;
 
   // Sparse inputs are planned once: the nonzero distribution and each
@@ -100,14 +104,15 @@ ParCpGradResult par_cp_gradient(const StoredTensor& x,
     eval.grams.reserve(static_cast<std::size_t>(n));
     for (const Matrix& a : factors) {
       eval.grams.push_back(
-          distributed_gram(machine, a, opts.collectives.gram));
+          distributed_gram(transport, a, opts.collectives.gram));
     }
     ParAllModesResult r =
         dense_input
-            ? par_mttkrp_all_modes(machine, x, factors, opts.grid,
-                                   opts.collectives, opts.partition)
-            : par_mttkrp_all_modes(machine, x, factors, opts.grid, plan,
-                                   opts.collectives);
+            ? par_mttkrp_all_modes(transport, x, factors, opts.grid,
+                                   opts.collectives, opts.partition,
+                                   opts.kernel_variant)
+            : par_mttkrp_all_modes(transport, x, factors, opts.grid, plan,
+                                   opts.collectives, opts.kernel_variant);
     eval.mttkrps = std::move(r.outputs);
     ++result.evaluations;
     return eval;
@@ -115,8 +120,11 @@ ParCpGradResult par_cp_gradient(const StoredTensor& x,
 
   result.descent = cp_gradient_descent_core(x.dims(), x.frobenius_norm(),
                                             opts.descent, evaluate);
-  result.total_words_max = machine.max_words_moved();
-  result.total_messages_max = machine.max_messages_sent();
+  result.total_words_max = transport.max_words_moved();
+  result.total_messages_max = transport.max_messages_sent();
+  result.transport = transport.kind();
+  result.comm_seconds = transport.comm_seconds();
+  result.compute_seconds = transport.compute_seconds();
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "src/cp/cp_gradient.hpp"
 #include "src/parsim/collective_variants.hpp"
 #include "src/parsim/distribution.hpp"
+#include "src/parsim/transport/transport.hpp"
 #include "src/planner/planner.hpp"
 
 namespace mtk {
@@ -31,6 +32,10 @@ struct ParCpGradOptions {
   SparsePartitionScheme partition = SparsePartitionScheme::kBlock;
   // Per-phase collective schedule; replaced by the plan when autotuning.
   CollectiveSchedule collectives = CollectiveKind::kBucket;
+  // Execution backend (counting simulator vs real rank threads).
+  TransportKind transport = TransportKind::kSim;
+  // Local sparse-kernel schedule; replaced by the plan when autotuning.
+  SparseKernelVariant kernel_variant = SparseKernelVariant::kAuto;
   // Autotune through plan_cp_gradient + the global plan cache.
   bool autotune = false;
   int procs = 0;
@@ -48,6 +53,10 @@ struct ParCpGradResult {
   int evaluations = 0;  // gradient evaluations the machine was charged for
   bool autotuned = false;
   ExecutionPlan plan;
+  // Which backend executed, and its measured wall-clock split.
+  TransportKind transport = TransportKind::kSim;
+  double comm_seconds = 0.0;
+  double compute_seconds = 0.0;
 };
 
 ParCpGradResult par_cp_gradient(const StoredTensor& x,

@@ -52,6 +52,9 @@
 #include "src/parsim/machine.hpp"
 #include "src/parsim/par_mttkrp.hpp"
 #include "src/parsim/par_multi_mttkrp.hpp"
+#include "src/parsim/transport/counting_transport.hpp"
+#include "src/parsim/transport/thread_transport.hpp"
+#include "src/parsim/transport/transport.hpp"
 #include "src/planner/calibrate.hpp"
 #include "src/planner/plan_cache.hpp"
 #include "src/planner/planner.hpp"

@@ -1,6 +1,7 @@
 #include "src/mttkrp/sparse_kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -11,6 +12,34 @@
 namespace mtk {
 
 namespace {
+
+// Which schedule actually executed, process-wide (relaxed atomics: the
+// counters are a regression hook, read between runs, not a synchronization
+// point). `serial` counts the kAuto fast path that bypasses scheduling.
+std::atomic<index_t> g_serial_calls{0};
+std::atomic<index_t> g_privatized_calls{0};
+std::atomic<index_t> g_atomic_calls{0};
+std::atomic<index_t> g_tiled_calls{0};
+
+void note_serial_executed() {
+  g_serial_calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+void note_variant_executed(SparseKernelVariant v) {
+  switch (v) {
+    case SparseKernelVariant::kPrivatized:
+      g_privatized_calls.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SparseKernelVariant::kAtomic:
+      g_atomic_calls.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SparseKernelVariant::kTiled:
+      g_tiled_calls.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SparseKernelVariant::kAuto:
+      break;  // resolved before this point
+  }
+}
 
 int max_threads() {
 #ifdef _OPENMP
@@ -140,6 +169,22 @@ SparseKernelVariant resolve_coo_variant(SparseKernelVariant variant, int mode,
 
 }  // namespace
 
+KernelVariantCounters kernel_variant_counters() {
+  KernelVariantCounters c;
+  c.serial = g_serial_calls.load(std::memory_order_relaxed);
+  c.privatized = g_privatized_calls.load(std::memory_order_relaxed);
+  c.atomic_adds = g_atomic_calls.load(std::memory_order_relaxed);
+  c.tiled = g_tiled_calls.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_kernel_variant_counters() {
+  g_serial_calls.store(0, std::memory_order_relaxed);
+  g_privatized_calls.store(0, std::memory_order_relaxed);
+  g_atomic_calls.store(0, std::memory_order_relaxed);
+  g_tiled_calls.store(0, std::memory_order_relaxed);
+}
+
 Matrix mttkrp_coo(const SparseTensor& x, const std::vector<Matrix>& factors,
                   int mode, bool parallel, SparseKernelVariant variant) {
   const index_t rank = check_mttkrp_args(x.dims(), factors, mode);
@@ -149,7 +194,12 @@ Matrix mttkrp_coo(const SparseTensor& x, const std::vector<Matrix>& factors,
   ThreadArena& arena = mttkrp_arena();
   const int threads = parallel ? max_threads() : 1;
 
-  if (threads <= 1) {
+  // The plain serial loop is the kAuto fast path only: an explicitly
+  // requested variant must execute its schedule even at one thread (its
+  // single tile/chunk reproduces the serial accumulation order bit-for-bit),
+  // so planner-chosen variants are honored wherever the call lands.
+  if (threads <= 1 && variant == SparseKernelVariant::kAuto) {
+    note_serial_executed();
     arena.prepare(1, static_cast<std::size_t>(rank));
     coo_accumulate(x, factors, mode, nullptr, 0, count, b.data(), rank,
                    arena.slot(0), /*atomic_adds=*/false);
@@ -157,12 +207,15 @@ Matrix mttkrp_coo(const SparseTensor& x, const std::vector<Matrix>& factors,
   }
 
   const index_t out_words = checked_mul(b.rows(), rank);
-  switch (resolve_coo_variant(variant, mode, out_words)) {
+  const SparseKernelVariant resolved =
+      resolve_coo_variant(variant, mode, out_words);
+  note_variant_executed(resolved);
+  switch (resolved) {
     case SparseKernelVariant::kPrivatized: {
       // Seed schedule, arena-backed: private copies of B merged under a
       // critical section.
       arena.prepare(threads, static_cast<std::size_t>(out_words + rank));
-#pragma omp parallel
+#pragma omp parallel num_threads(threads)
       {
 #ifdef _OPENMP
         const index_t nth = omp_get_num_threads();
@@ -187,7 +240,7 @@ Matrix mttkrp_coo(const SparseTensor& x, const std::vector<Matrix>& factors,
     }
     case SparseKernelVariant::kAtomic: {
       arena.prepare(threads, static_cast<std::size_t>(rank));
-#pragma omp parallel
+#pragma omp parallel num_threads(threads)
       {
 #ifdef _OPENMP
         const index_t nth = omp_get_num_threads();
@@ -434,7 +487,10 @@ Matrix mttkrp_csf(const CsfTensor& x, const std::vector<Matrix>& factors,
     return ones;
   };
 
-  if (threads <= 1) {
+  // Like the COO kernel: the plain walk serves kAuto only, so an explicitly
+  // requested variant runs its schedule even at one thread.
+  if (threads <= 1 && variant == SparseKernelVariant::kAuto) {
+    note_serial_executed();
     arena.prepare(1, stack_words);
     double* slot = arena.slot(0);
     CsfWalkCtx c = make_ctx(slot, b.data(), false);
@@ -445,6 +501,7 @@ Matrix mttkrp_csf(const CsfTensor& x, const std::vector<Matrix>& factors,
   const index_t out_words = checked_mul(b.rows(), rank);
   const SparseKernelVariant resolved =
       resolve_csf_variant(variant, target, out_words);
+  note_variant_executed(resolved);
 
   if (resolved == SparseKernelVariant::kTiled && target > 0) {
     // Owner-computes over output tiles: rows are cut into per-thread tiles

@@ -38,6 +38,20 @@
 
 namespace mtk {
 
+// Process-wide counts of which sparse-kernel schedule actually executed —
+// the regression hook for planner plumbing: tests assert that a plan's
+// kernel_variant reaches the kernels instead of being silently dropped.
+// `serial` counts kAuto calls that took the unscheduled serial fast path;
+// explicitly requested variants always land in their schedule's counter.
+struct KernelVariantCounters {
+  index_t serial = 0;
+  index_t privatized = 0;
+  index_t atomic_adds = 0;
+  index_t tiled = 0;
+};
+KernelVariantCounters kernel_variant_counters();
+void reset_kernel_variant_counters();
+
 // Direct sparse kernels (used by the dispatch layer, tests, benchmarks).
 Matrix mttkrp_coo(const SparseTensor& x, const std::vector<Matrix>& factors,
                   int mode, bool parallel = false,

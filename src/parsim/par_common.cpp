@@ -24,33 +24,37 @@ const SparseTensor& sparse_coo_view(const StoredTensor& x,
 
 Matrix local_sparse_mttkrp(const SparseTensor& block,
                            const std::vector<Matrix>& factors, int mode,
-                           StorageFormat format) {
+                           StorageFormat format, SparseKernelVariant variant) {
   if (format == StorageFormat::kCsf) {
-    return mttkrp_csf(CsfTensor::from_coo(block, mode), factors, mode);
+    return mttkrp_csf(CsfTensor::from_coo(block, mode), factors, mode,
+                      /*parallel=*/false, variant);
   }
-  return mttkrp_coo(block, factors, mode);
+  return mttkrp_coo(block, factors, mode, /*parallel=*/false, variant);
 }
 
-PhaseScope::PhaseScope(Machine& machine, std::string label, int group_size)
-    : machine_(machine), label_(std::move(label)), group_size_(group_size) {
-  before_.reserve(static_cast<std::size_t>(machine.num_ranks()));
-  for (int r = 0; r < machine.num_ranks(); ++r) {
-    before_.push_back(machine.stats(r).words_moved());
+PhaseScope::PhaseScope(Transport& transport, std::string label,
+                       int group_size)
+    : transport_(transport),
+      label_(std::move(label)),
+      group_size_(group_size) {
+  before_.reserve(static_cast<std::size_t>(transport.num_ranks()));
+  for (int r = 0; r < transport.num_ranks(); ++r) {
+    before_.push_back(transport.stats(r).words_moved());
   }
 }
 
 PhaseScope::~PhaseScope() {
   index_t max_delta = 0;
-  for (int r = 0; r < machine_.num_ranks(); ++r) {
-    max_delta = std::max(max_delta, machine_.stats(r).words_moved() -
+  for (int r = 0; r < transport_.num_ranks(); ++r) {
+    max_delta = std::max(max_delta, transport_.stats(r).words_moved() -
                                         before_[static_cast<std::size_t>(r)]);
   }
-  machine_.record_phase({label_, group_size_, max_delta});
+  transport_.record_phase({label_, group_size_, max_delta});
 }
 
-Matrix distributed_gram(Machine& machine, const Matrix& a,
+Matrix distributed_gram(Transport& transport, const Matrix& a,
                         CollectiveKind kind) {
-  const int p = machine.num_ranks();
+  const int p = transport.num_ranks();
   const index_t r = a.cols();
   const std::vector<Range> rows = block_partition(a.rows(), p);
 
@@ -74,12 +78,17 @@ Matrix distributed_gram(Machine& machine, const Matrix& a,
   for (int rank = 0; rank < p; ++rank) {
     group[static_cast<std::size_t>(rank)] = rank;
   }
-  const std::vector<double> summed =
-      all_reduce_dispatch(machine, group, partials, kind);
+  const std::vector<double> summed = transport.all_reduce(group, partials, kind);
 
   Matrix g(r, r);
   std::copy(summed.begin(), summed.end(), g.data());
   return g;
+}
+
+Matrix distributed_gram(Machine& machine, const Matrix& a,
+                        CollectiveKind kind) {
+  SimTransport transport(machine);
+  return distributed_gram(static_cast<Transport&>(transport), a, kind);
 }
 
 std::vector<double> flatten_rows(const Matrix& m, Range rows) {
@@ -113,12 +122,12 @@ Matrix unflatten_matrix(const std::vector<double>& flat, index_t rows,
 }
 
 std::vector<Matrix> gather_factor_hyperslices(
-    Machine& machine, const ProcessorGrid& grid, const Matrix& factor,
+    Transport& transport, const ProcessorGrid& grid, const Matrix& factor,
     const std::vector<Range>& parts, int grid_dim, CollectiveKind collectives,
     const std::string& label) {
   const int n = grid.ndims();
   const int p = grid.size();
-  PhaseScope scope(machine, label, p / grid.extent(grid_dim));
+  PhaseScope scope(transport, label, p / grid.extent(grid_dim));
   std::vector<Matrix> gathered(static_cast<std::size_t>(grid.extent(grid_dim)));
   for (int c = 0; c < grid.extent(grid_dim); ++c) {
     // The group is identical for every member; build it from the first rank
@@ -143,7 +152,7 @@ std::vector<Matrix> gather_factor_hyperslices(
           block_row.begin() + chunk.lo, block_row.begin() + chunk.hi);
     }
     const std::vector<double> full =
-        all_gather_dispatch(machine, group, contributions, collectives);
+        transport.all_gather(group, contributions, collectives);
     gathered[static_cast<std::size_t>(c)] =
         unflatten_matrix(full, rows.length(), factor.cols());
   }
@@ -151,14 +160,14 @@ std::vector<Matrix> gather_factor_hyperslices(
 }
 
 Matrix reduce_scatter_hyperslices(
-    Machine& machine, const ProcessorGrid& grid,
+    Transport& transport, const ProcessorGrid& grid,
     const std::vector<Matrix>& local_c, const std::vector<Range>& parts,
     int grid_dim, index_t out_rows, index_t rank_r,
     CollectiveKind collectives, const std::string& label) {
   const int n = grid.ndims();
   const int p = grid.size();
   Matrix b(out_rows, rank_r);
-  PhaseScope scope(machine, label, p / grid.extent(grid_dim));
+  PhaseScope scope(transport, label, p / grid.extent(grid_dim));
   for (int c = 0; c < grid.extent(grid_dim); ++c) {
     std::vector<int> coords(static_cast<std::size_t>(n), 0);
     coords[static_cast<std::size_t>(grid_dim)] = c;
@@ -177,8 +186,7 @@ Matrix reduce_scatter_hyperslices(
     }
     const std::vector<index_t> chunk_sizes = flat_chunk_sizes(total, q);
     const auto reduced =
-        reduce_scatter_dispatch(machine, group, inputs, chunk_sizes,
-                                collectives);
+        transport.reduce_scatter(group, inputs, chunk_sizes, collectives);
 
     // Member i's chunk covers flat positions [chunk.lo, chunk.hi) of the
     // row-major flattened block row B(S_c, :).

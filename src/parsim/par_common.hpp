@@ -6,6 +6,10 @@
 // Keeping these here lets the dense and sparse paths (and the single-mode
 // and all-modes drivers) differ only in how the local MTTKRP is computed;
 // the communication — and therefore the word counts — is shared code.
+//
+// Everything is written against the Transport interface (see DESIGN.md), so
+// the same driver code runs on the counting Machine simulator or on real
+// std::thread ranks, depending on which Transport the caller passes.
 #pragma once
 
 #include <string>
@@ -14,7 +18,7 @@
 #include "src/mttkrp/dispatch.hpp"
 #include "src/parsim/collective_variants.hpp"
 #include "src/parsim/grid.hpp"
-#include "src/parsim/machine.hpp"
+#include "src/parsim/transport/transport.hpp"
 #include "src/tensor/block.hpp"
 #include "src/tensor/matrix.hpp"
 
@@ -31,23 +35,26 @@ const SparseTensor& sparse_coo_view(const StoredTensor& x,
 
 // Local MTTKRP on one process's (rebased) sparse block with the kernel
 // native to the input's storage format; CSF blocks are rooted at the output
-// mode, the per-mode ordering SPLATT uses.
-Matrix local_sparse_mttkrp(const SparseTensor& block,
-                           const std::vector<Matrix>& factors, int mode,
-                           StorageFormat format);
+// mode, the per-mode ordering SPLATT uses. `variant` is the planner-chosen
+// sparse kernel schedule (ExecutionPlan::kernel_variant); kAuto keeps the
+// heuristic choice.
+Matrix local_sparse_mttkrp(
+    const SparseTensor& block, const std::vector<Matrix>& factors, int mode,
+    StorageFormat format,
+    SparseKernelVariant variant = SparseKernelVariant::kAuto);
 
 // Snapshots per-rank counters around one collective phase and records the
 // per-phase bottleneck on destruction.
 class PhaseScope {
  public:
-  PhaseScope(Machine& machine, std::string label, int group_size);
+  PhaseScope(Transport& transport, std::string label, int group_size);
   ~PhaseScope();
 
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
 
  private:
-  Machine& machine_;
+  Transport& transport_;
   std::string label_;
   int group_size_;
   std::vector<index_t> before_;
@@ -65,8 +72,10 @@ Matrix unflatten_matrix(const std::vector<double>& flat, index_t rows,
 
 // Gram of A via per-rank partial Grams over a balanced global row partition
 // and a machine-wide All-Reduce of R^2 words under `kind`; returns the
-// exact Gram and charges the traffic to the machine. Shared by par_cp_als
+// exact Gram and charges the traffic to the transport. Shared by par_cp_als
 // and par_cp_gradient.
+Matrix distributed_gram(Transport& transport, const Matrix& a,
+                        CollectiveKind kind);
 Matrix distributed_gram(Machine& machine, const Matrix& a,
                         CollectiveKind kind);
 
@@ -76,7 +85,7 @@ Matrix distributed_gram(Machine& machine, const Matrix& a,
 // balanced flat chunk, Section V-C1). Returns the assembled block row per
 // coordinate; records one phase under `label`.
 std::vector<Matrix> gather_factor_hyperslices(
-    Machine& machine, const ProcessorGrid& grid, const Matrix& factor,
+    Transport& transport, const ProcessorGrid& grid, const Matrix& factor,
     const std::vector<Range>& parts, int grid_dim, CollectiveKind collectives,
     const std::string& label);
 
@@ -86,7 +95,7 @@ std::vector<Matrix> gather_factor_hyperslices(
 // distributed chunks into the global out_rows x rank_r output; records one
 // phase under `label`.
 Matrix reduce_scatter_hyperslices(
-    Machine& machine, const ProcessorGrid& grid,
+    Transport& transport, const ProcessorGrid& grid,
     const std::vector<Matrix>& local_c, const std::vector<Range>& parts,
     int grid_dim, index_t out_rows, index_t rank_r,
     CollectiveKind collectives, const std::string& label);

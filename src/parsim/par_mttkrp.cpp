@@ -13,13 +13,16 @@ namespace mtk {
 
 namespace {
 
-ParMttkrpResult finalize(Machine& machine, Matrix b) {
+ParMttkrpResult finalize(Transport& transport, Matrix b) {
   ParMttkrpResult result;
   result.b = std::move(b);
-  result.max_words_moved = machine.max_words_moved();
-  result.max_messages = machine.max_messages_sent();
-  result.total_words_sent = machine.total_words_sent();
-  result.phases = machine.phases();
+  result.max_words_moved = transport.max_words_moved();
+  result.max_messages = transport.max_messages_sent();
+  result.total_words_sent = transport.total_words_sent();
+  result.phases = transport.phases();
+  result.transport = transport.kind();
+  result.comm_seconds = transport.comm_seconds();
+  result.compute_seconds = transport.compute_seconds();
   return result;
 }
 
@@ -44,17 +47,17 @@ void check_stationary_grid(const StoredTensor& x,
 // partitions coincide with the dense ones, so the collective payloads are
 // storage-independent.
 ParMttkrpResult stationary_impl(
-    Machine& machine, const StoredTensor& x,
+    Transport& transport, const StoredTensor& x,
     const std::vector<Matrix>& factors, int mode, const ProcessorGrid& grid,
     const std::vector<std::vector<Range>>& parts,
     const std::vector<SparseTensor>* local_blocks,
     const std::vector<std::vector<CsfTensor>>* forest,
-    const CollectiveSchedule& collectives) {
+    const CollectiveSchedule& collectives, SparseKernelVariant variant) {
   const index_t rank_r = check_mttkrp_args(x.dims(), factors, mode);
   const int n = x.order();
   const int p = grid.size();
-  MTK_CHECK(machine.num_ranks() == p, "machine has ", machine.num_ranks(),
-            " ranks but grid has ", p);
+  MTK_CHECK(transport.num_ranks() == p, "transport has ",
+            transport.num_ranks(), " ranks but grid has ", p);
 
   // Phase 1 (Line 4): All-Gather each input factor's block rows within the
   // hyperslice normal to mode k. gathered[k][c] is the full block row
@@ -63,17 +66,18 @@ ParMttkrpResult stationary_impl(
   for (int k = 0; k < n; ++k) {
     if (k == mode) continue;
     gathered[static_cast<std::size_t>(k)] = gather_factor_hyperslices(
-        machine, grid, factors[static_cast<std::size_t>(k)],
+        transport, grid, factors[static_cast<std::size_t>(k)],
         parts[static_cast<std::size_t>(k)], k, collectives.factor,
         std::string("all-gather A(") + std::to_string(k) + ")");
   }
 
   // Phase 2 (Line 6): local MTTKRP on each rank's stationary block — dense
   // subtensor with the two-step algorithm, or the native COO/CSF kernel on
-  // the rank's nonzeros.
+  // the rank's nonzeros. Runs on the transport's rank threads (or the
+  // simulator's OpenMP team), each rank serially with the planner-chosen
+  // kernel variant.
   std::vector<Matrix> local_c(static_cast<std::size_t>(p));
-#pragma omp parallel for schedule(dynamic)
-  for (int r = 0; r < p; ++r) {
+  transport.run_ranks([&](int r) {
     const std::vector<int> coords = grid.coords(r);
     std::vector<Matrix> local_factors(static_cast<std::size_t>(n));
     for (int k = 0; k < n; ++k) {
@@ -95,30 +99,32 @@ ParMttkrpResult stationary_impl(
     } else if (forest != nullptr) {
       local_c[static_cast<std::size_t>(r)] = mttkrp_csf(
           (*forest)[static_cast<std::size_t>(r)][static_cast<std::size_t>(mode)],
-          local_factors, mode);
+          local_factors, mode, /*parallel=*/false, variant);
     } else {
       local_c[static_cast<std::size_t>(r)] = local_sparse_mttkrp(
           (*local_blocks)[static_cast<std::size_t>(r)], local_factors, mode,
-          x.format());
+          x.format(), variant);
     }
-  }
+  });
 
   // Phase 3 (Line 7): Reduce-Scatter the contributions within the mode-n
   // hyperslices, then assemble the distributed output into a global B.
   Matrix b = reduce_scatter_hyperslices(
-      machine, grid, local_c, parts[static_cast<std::size_t>(mode)], mode,
+      transport, grid, local_c, parts[static_cast<std::size_t>(mode)], mode,
       x.dim(mode), rank_r, collectives.output, "reduce-scatter B");
-  return finalize(machine, std::move(b));
+  return finalize(transport, std::move(b));
 }
 
 }  // namespace
 
-ParMttkrpResult par_mttkrp_stationary(Machine& machine, const StoredTensor& x,
+ParMttkrpResult par_mttkrp_stationary(Transport& transport,
+                                      const StoredTensor& x,
                                       const std::vector<Matrix>& factors,
                                       int mode,
                                       const std::vector<int>& grid_shape,
                                       CollectiveSchedule collectives,
-                                      SparsePartitionScheme scheme) {
+                                      SparsePartitionScheme scheme,
+                                      SparseKernelVariant kernel_variant) {
   check_stationary_grid(x, grid_shape);
   const ProcessorGrid grid(grid_shape);
   if (x.format() == StorageFormat::kDense) {
@@ -128,14 +134,25 @@ ParMttkrpResult par_mttkrp_stationary(Machine& machine, const StoredTensor& x,
       parts[static_cast<std::size_t>(k)] =
           block_partition(x.dim(k), grid.extent(k));
     }
-    return stationary_impl(machine, x, factors, mode, grid, parts, nullptr,
-                           nullptr, collectives);
+    return stationary_impl(transport, x, factors, mode, grid, parts, nullptr,
+                           nullptr, collectives, kernel_variant);
   }
   SparseTensor expanded;
   const SparseDistribution dist =
       distribute_nonzeros(sparse_coo_view(x, expanded), grid, scheme);
-  return stationary_impl(machine, x, factors, mode, grid, dist.mode_ranges,
-                         &dist.local, nullptr, collectives);
+  return stationary_impl(transport, x, factors, mode, grid, dist.mode_ranges,
+                         &dist.local, nullptr, collectives, kernel_variant);
+}
+
+ParMttkrpResult par_mttkrp_stationary(Machine& machine, const StoredTensor& x,
+                                      const std::vector<Matrix>& factors,
+                                      int mode,
+                                      const std::vector<int>& grid_shape,
+                                      CollectiveSchedule collectives,
+                                      SparsePartitionScheme scheme) {
+  SimTransport transport(machine);
+  return par_mttkrp_stationary(static_cast<Transport&>(transport), x, factors,
+                               mode, grid_shape, collectives, scheme);
 }
 
 StationarySparsePlan plan_stationary_sparse(const StoredTensor& x,
@@ -165,12 +182,14 @@ StationarySparsePlan plan_stationary_sparse(const StoredTensor& x,
   return plan;
 }
 
-ParMttkrpResult par_mttkrp_stationary(Machine& machine, const StoredTensor& x,
+ParMttkrpResult par_mttkrp_stationary(Transport& transport,
+                                      const StoredTensor& x,
                                       const std::vector<Matrix>& factors,
                                       int mode,
                                       const std::vector<int>& grid_shape,
                                       const StationarySparsePlan& plan,
-                                      CollectiveSchedule collectives) {
+                                      CollectiveSchedule collectives,
+                                      SparseKernelVariant kernel_variant) {
   MTK_CHECK(x.format() != StorageFormat::kDense,
             "a precomputed plan applies to sparse storage only");
   check_stationary_grid(x, grid_shape);
@@ -191,17 +210,29 @@ ParMttkrpResult par_mttkrp_stationary(Machine& machine, const StoredTensor& x,
   MTK_CHECK(!use_forest ||
                 static_cast<int>(plan.forest.size()) == grid.size(),
             "plan forest does not match the grid");
-  return stationary_impl(machine, x, factors, mode, grid, dist.mode_ranges,
+  return stationary_impl(transport, x, factors, mode, grid, dist.mode_ranges,
                          &dist.local, use_forest ? &plan.forest : nullptr,
-                         collectives);
+                         collectives, kernel_variant);
 }
 
-ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
+ParMttkrpResult par_mttkrp_stationary(Machine& machine, const StoredTensor& x,
+                                      const std::vector<Matrix>& factors,
+                                      int mode,
+                                      const std::vector<int>& grid_shape,
+                                      const StationarySparsePlan& plan,
+                                      CollectiveSchedule collectives) {
+  SimTransport transport(machine);
+  return par_mttkrp_stationary(static_cast<Transport&>(transport), x, factors,
+                               mode, grid_shape, plan, collectives);
+}
+
+ParMttkrpResult par_mttkrp_general(Transport& transport, const StoredTensor& x,
                                    const std::vector<Matrix>& factors,
                                    int mode,
                                    const std::vector<int>& grid_shape,
                                    CollectiveSchedule collectives,
-                                   SparsePartitionScheme scheme) {
+                                   SparsePartitionScheme scheme,
+                                   SparseKernelVariant kernel_variant) {
   const index_t rank_r = check_mttkrp_args(x.dims(), factors, mode);
   const int n = x.order();
   MTK_CHECK(static_cast<int>(grid_shape.size()) == n + 1,
@@ -210,8 +241,8 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
   const ProcessorGrid grid(grid_shape);
   const int p = grid.size();
   const int p0 = grid.extent(0);
-  MTK_CHECK(machine.num_ranks() == p, "machine has ", machine.num_ranks(),
-            " ranks but grid has ", p);
+  MTK_CHECK(transport.num_ranks() == p, "transport has ",
+            transport.num_ranks(), " ranks but grid has ", p);
   MTK_CHECK(p0 <= rank_r, "grid extent P0 = ", p0, " exceeds rank R = ",
             rank_r);
   for (int k = 0; k < n; ++k) {
@@ -252,7 +283,7 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
   std::vector<DenseTensor> fiber_dense(dense ? static_cast<std::size_t>(fibers)
                                              : 0);
   {
-    PhaseScope scope(machine, "all-gather X", p0);
+    PhaseScope scope(transport, "all-gather X", p0);
     std::vector<int> tensor_dims_fixed;
     for (int k = 1; k <= n; ++k) tensor_dims_fixed.push_back(k);
     for (int f = 0; f < fibers; ++f) {
@@ -300,8 +331,7 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
             flat.begin() + chunk.lo, flat.begin() + chunk.hi);
       }
       const std::vector<double> full =
-          all_gather_dispatch(machine, group, contributions,
-                              collectives.tensor);
+          transport.all_gather(group, contributions, collectives.tensor);
       if (dense) {
         shape_t sub_dims;
         for (int k = 0; k < n; ++k) {
@@ -342,8 +372,8 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
       static_cast<std::size_t>(n));
   for (int k = 0; k < n; ++k) {
     if (k == mode) continue;
-    PhaseScope scope(machine, std::string("all-gather A(") +
-                                  std::to_string(k) + ")",
+    PhaseScope scope(transport, std::string("all-gather A(") +
+                                    std::to_string(k) + ")",
                      p / (p0 * grid.extent(k + 1)));
     gathered[static_cast<std::size_t>(k)].assign(
         static_cast<std::size_t>(p0),
@@ -373,8 +403,7 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
               block.begin() + chunk.lo, block.begin() + chunk.hi);
         }
         const std::vector<double> full =
-            all_gather_dispatch(machine, group, contributions,
-                                collectives.factor);
+            transport.all_gather(group, contributions, collectives.factor);
         gathered[static_cast<std::size_t>(k)][static_cast<std::size_t>(c0)]
                 [static_cast<std::size_t>(ck)] =
                     unflatten_matrix(full, rows.length(), cols.length());
@@ -396,8 +425,7 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
     }
   }
   std::vector<Matrix> local_c(static_cast<std::size_t>(p));
-#pragma omp parallel for schedule(dynamic)
-  for (int r = 0; r < p; ++r) {
+  transport.run_ranks([&](int r) {
     const std::vector<int> coords = grid.coords(r);
     std::vector<int> sub_coords(coords.begin() + 1, coords.end());
     const int fiber = sub_grid.rank_of(sub_coords);
@@ -415,18 +443,20 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
                  mode, {.algo = MttkrpAlgo::kTwoStep});
     } else if (x.format() == StorageFormat::kCsf) {
       local_c[static_cast<std::size_t>(r)] = mttkrp_csf(
-          fiber_trees[static_cast<std::size_t>(fiber)], local_factors, mode);
+          fiber_trees[static_cast<std::size_t>(fiber)], local_factors, mode,
+          /*parallel=*/false, kernel_variant);
     } else {
       local_c[static_cast<std::size_t>(r)] = mttkrp_coo(
-          fiber_blocks[static_cast<std::size_t>(fiber)], local_factors, mode);
+          fiber_blocks[static_cast<std::size_t>(fiber)], local_factors, mode,
+          /*parallel=*/false, kernel_variant);
     }
-  }
+  });
 
   // Phase 3 (Line 8): Reduce-Scatter within groups fixing (p_0, p_n), then
   // assemble the global B from the distributed chunks.
   Matrix b(x.dim(mode), rank_r);
   {
-    PhaseScope scope(machine, "reduce-scatter B",
+    PhaseScope scope(transport, "reduce-scatter B",
                      p / (p0 * grid.extent(mode + 1)));
     for (int c0 = 0; c0 < p0; ++c0) {
       for (int cn = 0; cn < grid.extent(mode + 1); ++cn) {
@@ -451,9 +481,8 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
               flatten_rows(ci, Range{0, ci.rows()});
         }
         const std::vector<index_t> chunk_sizes = flat_chunk_sizes(total, q);
-        const auto reduced =
-            reduce_scatter_dispatch(machine, group, inputs, chunk_sizes,
-                                    collectives.output);
+        const auto reduced = transport.reduce_scatter(
+            group, inputs, chunk_sizes, collectives.output);
 
         for (int i = 0; i < q; ++i) {
           const Range chunk = flat_chunk(total, q, i);
@@ -467,7 +496,18 @@ ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
       }
     }
   }
-  return finalize(machine, std::move(b));
+  return finalize(transport, std::move(b));
+}
+
+ParMttkrpResult par_mttkrp_general(Machine& machine, const StoredTensor& x,
+                                   const std::vector<Matrix>& factors,
+                                   int mode,
+                                   const std::vector<int>& grid_shape,
+                                   CollectiveSchedule collectives,
+                                   SparsePartitionScheme scheme) {
+  SimTransport transport(machine);
+  return par_mttkrp_general(static_cast<Transport&>(transport), x, factors,
+                            mode, grid_shape, collectives, scheme);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,4 +1,4 @@
-// Parallel MTTKRP algorithms on the simulated distributed machine.
+// Parallel MTTKRP algorithms on a distributed machine abstraction.
 //
 //   par_mttkrp_stationary — Algorithm 3: N-way processor grid, the tensor is
 //     never communicated. Per mode k != n, the block row A^(k)_{p_k} is
@@ -23,9 +23,11 @@
 // (coordinates, value) tuples, N+1 words per nonzero, instead of the dense
 // block's prod(|S_k|)/P0-per-member volume.
 //
-// All algorithms execute real data movement through the collectives, so the
-// assembled output can be verified against the sequential reference, and the
-// word counters are exact.
+// All algorithms execute real data movement through a Transport (see
+// DESIGN.md): the counting Machine simulator or real std::thread ranks.
+// Either way the assembled output can be verified against the sequential
+// reference and the word counters are exact; the thread transport
+// additionally reports measured wall-clock seconds.
 #pragma once
 
 #include <vector>
@@ -33,7 +35,7 @@
 #include "src/mttkrp/dispatch.hpp"
 #include "src/parsim/collective_variants.hpp"
 #include "src/parsim/distribution.hpp"
-#include "src/parsim/machine.hpp"
+#include "src/parsim/transport/transport.hpp"
 #include "src/tensor/dense_tensor.hpp"
 #include "src/tensor/matrix.hpp"
 
@@ -45,16 +47,31 @@ struct ParMttkrpResult {
   index_t max_messages = 0;        // bottleneck processor: messages sent
   index_t total_words_sent = 0;    // machine-wide volume
   std::vector<PhaseRecord> phases; // per-collective breakdown
+  TransportKind transport = TransportKind::kSim;  // backend that executed
+  double comm_seconds = 0.0;     // measured wall-clock inside collectives
+  double compute_seconds = 0.0;  // measured wall-clock inside local MTTKRP
 };
 
-// Algorithm 3, storage-polymorphic. `grid_shape` must have N entries with
-// product equal to the number of ranks of `machine`, and grid_shape[k] <=
-// I_k. `collectives` picks the per-phase schedule (bucket ring vs recursive
-// doubling/halving; a bare CollectiveKind applies to every phase) — word
-// counts are near-identical, message counts differ by (q-1)/log2(q).
-// `scheme` selects the sparse coordinate partition (ignored for dense
-// storage): kBlock matches the dense layout, kMediumGrained balances
-// nonzeros per process at the cost of uneven factor blocks.
+// Algorithm 3, storage-polymorphic, on any Transport. `grid_shape` must have
+// N entries with product equal to the transport's rank count, and
+// grid_shape[k] <= I_k. `collectives` picks the per-phase schedule (bucket
+// ring vs recursive doubling/halving; a bare CollectiveKind applies to every
+// phase) — word counts are near-identical, message counts differ by
+// (q-1)/log2(q). `scheme` selects the sparse coordinate partition (ignored
+// for dense storage): kBlock matches the dense layout, kMediumGrained
+// balances nonzeros per process at the cost of uneven factor blocks.
+// `kernel_variant` is the planner-chosen sparse local-kernel schedule
+// (ExecutionPlan::kernel_variant); kAuto keeps the per-call heuristic.
+ParMttkrpResult par_mttkrp_stationary(
+    Transport& transport, const StoredTensor& x,
+    const std::vector<Matrix>& factors, int mode,
+    const std::vector<int>& grid_shape,
+    CollectiveSchedule collectives = CollectiveKind::kBucket,
+    SparsePartitionScheme scheme = SparsePartitionScheme::kBlock,
+    SparseKernelVariant kernel_variant = SparseKernelVariant::kAuto);
+
+// Machine-backed compatibility overload (borrows the machine via a
+// SimTransport, so counters accumulate where existing callers read them).
 ParMttkrpResult par_mttkrp_stationary(
     Machine& machine, const StoredTensor& x,
     const std::vector<Matrix>& factors, int mode,
@@ -80,6 +97,12 @@ StationarySparsePlan plan_stationary_sparse(
 // Algorithm 3 against a precomputed plan (sparse storage only); `plan` must
 // come from plan_stationary_sparse on this tensor with `grid_shape`.
 ParMttkrpResult par_mttkrp_stationary(
+    Transport& transport, const StoredTensor& x,
+    const std::vector<Matrix>& factors, int mode,
+    const std::vector<int>& grid_shape, const StationarySparsePlan& plan,
+    CollectiveSchedule collectives = CollectiveKind::kBucket,
+    SparseKernelVariant kernel_variant = SparseKernelVariant::kAuto);
+ParMttkrpResult par_mttkrp_stationary(
     Machine& machine, const StoredTensor& x,
     const std::vector<Matrix>& factors, int mode,
     const std::vector<int>& grid_shape, const StationarySparsePlan& plan,
@@ -88,6 +111,13 @@ ParMttkrpResult par_mttkrp_stationary(
 // Algorithm 4, storage-polymorphic. `grid_shape` must have N+1 entries
 // ordered (P0, P1..PN) with product equal to the rank count,
 // grid_shape[0] <= R, and grid_shape[k+1] <= I_k.
+ParMttkrpResult par_mttkrp_general(
+    Transport& transport, const StoredTensor& x,
+    const std::vector<Matrix>& factors, int mode,
+    const std::vector<int>& grid_shape,
+    CollectiveSchedule collectives = CollectiveKind::kBucket,
+    SparsePartitionScheme scheme = SparsePartitionScheme::kBlock,
+    SparseKernelVariant kernel_variant = SparseKernelVariant::kAuto);
 ParMttkrpResult par_mttkrp_general(
     Machine& machine, const StoredTensor& x,
     const std::vector<Matrix>& factors, int mode,

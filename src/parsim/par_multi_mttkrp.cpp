@@ -17,8 +17,11 @@ namespace {
 std::vector<Matrix> local_sparse_all_modes(const SparseTensor& block,
                                            const std::vector<Matrix>& factors,
                                            StorageFormat format,
-                                           const CsfTensor* fused) {
+                                           const CsfTensor* fused,
+                                           SparseKernelVariant variant) {
   if (format == StorageFormat::kCsf) {
+    // The fused multi-tree walk has a single schedule; the variant knob
+    // applies to the per-mode kernels only.
     if (fused != nullptr) {
       return mttkrp_all_modes_fused(*fused, factors).outputs;
     }
@@ -29,7 +32,8 @@ std::vector<Matrix> local_sparse_all_modes(const SparseTensor& block,
   std::vector<Matrix> outputs;
   outputs.reserve(static_cast<std::size_t>(n));
   for (int mode = 0; mode < n; ++mode) {
-    outputs.push_back(mttkrp_coo(block, factors, mode));
+    outputs.push_back(
+        mttkrp_coo(block, factors, mode, /*parallel=*/false, variant));
   }
   return outputs;
 }
@@ -63,17 +67,18 @@ void check_all_modes_args(const StoredTensor& x,
 // The driver body shared by the plan-less and planned entry points:
 // `local_blocks` is null for dense storage, and `fused` (per-rank trees)
 // is non-null only when a plan supplies prebuilt CSF trees.
-ParAllModesResult all_modes_impl(Machine& machine, const StoredTensor& x,
+ParAllModesResult all_modes_impl(Transport& transport, const StoredTensor& x,
                                  const std::vector<Matrix>& factors,
                                  const ProcessorGrid& grid, index_t rank,
                                  const std::vector<std::vector<Range>>& parts,
                                  const std::vector<SparseTensor>* local_blocks,
                                  const std::vector<CsfTensor>* fused,
-                                 const CollectiveSchedule& collectives) {
+                                 const CollectiveSchedule& collectives,
+                                 SparseKernelVariant variant) {
   const int n = x.order();
   const int p = grid.size();
-  MTK_CHECK(machine.num_ranks() == p, "machine has ", machine.num_ranks(),
-            " ranks but grid has ", p);
+  MTK_CHECK(transport.num_ranks() == p, "transport has ",
+            transport.num_ranks(), " ranks but grid has ", p);
   const bool dense = local_blocks == nullptr;
 
   // Phase 1: one All-Gather per mode — every factor's block rows are
@@ -81,7 +86,7 @@ ParAllModesResult all_modes_impl(Machine& machine, const StoredTensor& x,
   std::vector<std::vector<Matrix>> gathered(static_cast<std::size_t>(n));
   for (int k = 0; k < n; ++k) {
     gathered[static_cast<std::size_t>(k)] = gather_factor_hyperslices(
-        machine, grid, factors[static_cast<std::size_t>(k)],
+        transport, grid, factors[static_cast<std::size_t>(k)],
         parts[static_cast<std::size_t>(k)], k, collectives.factor,
         std::string("all-gather A(") + std::to_string(k) + ") [shared]");
   }
@@ -90,8 +95,7 @@ ParAllModesResult all_modes_impl(Machine& machine, const StoredTensor& x,
   // the dimension tree for dense blocks, the fused CSF walk / per-mode COO
   // kernel for sparse ones.
   std::vector<std::vector<Matrix>> local(static_cast<std::size_t>(p));
-#pragma omp parallel for schedule(dynamic)
-  for (int r = 0; r < p; ++r) {
+  transport.run_ranks([&](int r) {
     const std::vector<int> coords = grid.coords(r);
     std::vector<Matrix> local_factors(static_cast<std::size_t>(n));
     for (int k = 0; k < n; ++k) {
@@ -114,9 +118,10 @@ ParAllModesResult all_modes_impl(Machine& machine, const StoredTensor& x,
           (*local_blocks)[static_cast<std::size_t>(r)], local_factors,
           x.format(),
           fused != nullptr ? &(*fused)[static_cast<std::size_t>(r)]
-                           : nullptr);
+                           : nullptr,
+          variant);
     }
-  }
+  });
 
   // Phase 3: one Reduce-Scatter per mode.
   ParAllModesResult result;
@@ -129,26 +134,30 @@ ParAllModesResult all_modes_impl(Machine& machine, const StoredTensor& x,
     }
     result.outputs[static_cast<std::size_t>(mode)] =
         reduce_scatter_hyperslices(
-            machine, grid, local_c, parts[static_cast<std::size_t>(mode)],
+            transport, grid, local_c, parts[static_cast<std::size_t>(mode)],
             mode, x.dim(mode), rank, collectives.output,
             std::string("reduce-scatter B(") + std::to_string(mode) + ")");
   }
 
-  result.max_words_moved = machine.max_words_moved();
-  result.max_messages = machine.max_messages_sent();
-  result.total_words_sent = machine.total_words_sent();
-  result.phases = machine.phases();
+  result.max_words_moved = transport.max_words_moved();
+  result.max_messages = transport.max_messages_sent();
+  result.total_words_sent = transport.total_words_sent();
+  result.phases = transport.phases();
+  result.transport = transport.kind();
+  result.comm_seconds = transport.comm_seconds();
+  result.compute_seconds = transport.compute_seconds();
   return result;
 }
 
 }  // namespace
 
-ParAllModesResult par_mttkrp_all_modes(Machine& machine,
+ParAllModesResult par_mttkrp_all_modes(Transport& transport,
                                        const StoredTensor& x,
                                        const std::vector<Matrix>& factors,
                                        const std::vector<int>& grid_shape,
                                        CollectiveSchedule collectives,
-                                       SparsePartitionScheme scheme) {
+                                       SparsePartitionScheme scheme,
+                                       SparseKernelVariant kernel_variant) {
   index_t rank = 0;
   check_all_modes_args(x, factors, grid_shape, &rank);
   const ProcessorGrid grid(grid_shape);
@@ -160,14 +169,25 @@ ParAllModesResult par_mttkrp_all_modes(Machine& machine,
       parts[static_cast<std::size_t>(k)] =
           block_partition(x.dim(k), grid.extent(k));
     }
-    return all_modes_impl(machine, x, factors, grid, rank, parts, nullptr,
-                          nullptr, collectives);
+    return all_modes_impl(transport, x, factors, grid, rank, parts, nullptr,
+                          nullptr, collectives, kernel_variant);
   }
   SparseTensor expanded;
   const SparseDistribution dist =
       distribute_nonzeros(sparse_coo_view(x, expanded), grid, scheme);
-  return all_modes_impl(machine, x, factors, grid, rank, dist.mode_ranges,
-                        &dist.local, nullptr, collectives);
+  return all_modes_impl(transport, x, factors, grid, rank, dist.mode_ranges,
+                        &dist.local, nullptr, collectives, kernel_variant);
+}
+
+ParAllModesResult par_mttkrp_all_modes(Machine& machine,
+                                       const StoredTensor& x,
+                                       const std::vector<Matrix>& factors,
+                                       const std::vector<int>& grid_shape,
+                                       CollectiveSchedule collectives,
+                                       SparsePartitionScheme scheme) {
+  SimTransport transport(machine);
+  return par_mttkrp_all_modes(static_cast<Transport&>(transport), x, factors,
+                              grid_shape, collectives, scheme);
 }
 
 AllModesSparsePlan plan_all_modes_sparse(const StoredTensor& x,
@@ -191,12 +211,13 @@ AllModesSparsePlan plan_all_modes_sparse(const StoredTensor& x,
   return plan;
 }
 
-ParAllModesResult par_mttkrp_all_modes(Machine& machine,
+ParAllModesResult par_mttkrp_all_modes(Transport& transport,
                                        const StoredTensor& x,
                                        const std::vector<Matrix>& factors,
                                        const std::vector<int>& grid_shape,
                                        const AllModesSparsePlan& plan,
-                                       CollectiveSchedule collectives) {
+                                       CollectiveSchedule collectives,
+                                       SparseKernelVariant kernel_variant) {
   MTK_CHECK(x.format() != StorageFormat::kDense,
             "a precomputed plan applies to sparse storage only");
   index_t rank = 0;
@@ -210,9 +231,21 @@ ParAllModesResult par_mttkrp_all_modes(Machine& machine,
   MTK_CHECK(!use_fused ||
                 static_cast<int>(plan.fused.size()) == grid.size(),
             "plan fused forest does not match the grid");
-  return all_modes_impl(machine, x, factors, grid, rank,
+  return all_modes_impl(transport, x, factors, grid, rank,
                         plan.dist.mode_ranges, &plan.dist.local,
-                        use_fused ? &plan.fused : nullptr, collectives);
+                        use_fused ? &plan.fused : nullptr, collectives,
+                        kernel_variant);
+}
+
+ParAllModesResult par_mttkrp_all_modes(Machine& machine,
+                                       const StoredTensor& x,
+                                       const std::vector<Matrix>& factors,
+                                       const std::vector<int>& grid_shape,
+                                       const AllModesSparsePlan& plan,
+                                       CollectiveSchedule collectives) {
+  SimTransport transport(machine);
+  return par_mttkrp_all_modes(static_cast<Transport&>(transport), x, factors,
+                              grid_shape, plan, collectives);
 }
 
 ParAllModesResult par_mttkrp_all_modes(Machine& machine, const DenseTensor& x,

@@ -15,6 +15,9 @@
 // evaluations (par_cp_gradient's line search) should build an
 // AllModesSparsePlan once and pass it in, which also skips the per-call
 // nonzero redistribution.
+//
+// Like the single-mode drivers, executes on any Transport (see DESIGN.md):
+// the counting Machine simulator or real std::thread ranks.
 #pragma once
 
 #include <vector>
@@ -22,7 +25,7 @@
 #include "src/mttkrp/dispatch.hpp"
 #include "src/parsim/collective_variants.hpp"
 #include "src/parsim/distribution.hpp"
-#include "src/parsim/machine.hpp"
+#include "src/parsim/transport/transport.hpp"
 #include "src/tensor/dense_tensor.hpp"
 #include "src/tensor/matrix.hpp"
 
@@ -34,8 +37,20 @@ struct ParAllModesResult {
   index_t max_messages = 0;        // bottleneck processor: messages sent
   index_t total_words_sent = 0;
   std::vector<PhaseRecord> phases;
+  TransportKind transport = TransportKind::kSim;  // backend that executed
+  double comm_seconds = 0.0;     // measured wall-clock inside collectives
+  double compute_seconds = 0.0;  // measured wall-clock inside local MTTKRP
 };
 
+// `kernel_variant` is the planner-chosen sparse local-kernel schedule; it
+// reaches the per-mode COO kernel (the fused CSF walk has a single
+// schedule, so CSF storage ignores it here).
+ParAllModesResult par_mttkrp_all_modes(
+    Transport& transport, const StoredTensor& x,
+    const std::vector<Matrix>& factors, const std::vector<int>& grid_shape,
+    CollectiveSchedule collectives = CollectiveKind::kBucket,
+    SparsePartitionScheme scheme = SparsePartitionScheme::kBlock,
+    SparseKernelVariant kernel_variant = SparseKernelVariant::kAuto);
 ParAllModesResult par_mttkrp_all_modes(
     Machine& machine, const StoredTensor& x,
     const std::vector<Matrix>& factors, const std::vector<int>& grid_shape,
@@ -59,6 +74,12 @@ AllModesSparsePlan plan_all_modes_sparse(
 
 // All-modes driver against a precomputed plan (sparse storage only); `plan`
 // must come from plan_all_modes_sparse on this tensor with `grid_shape`.
+ParAllModesResult par_mttkrp_all_modes(
+    Transport& transport, const StoredTensor& x,
+    const std::vector<Matrix>& factors, const std::vector<int>& grid_shape,
+    const AllModesSparsePlan& plan,
+    CollectiveSchedule collectives = CollectiveKind::kBucket,
+    SparseKernelVariant kernel_variant = SparseKernelVariant::kAuto);
 ParAllModesResult par_mttkrp_all_modes(
     Machine& machine, const StoredTensor& x,
     const std::vector<Matrix>& factors, const std::vector<int>& grid_shape,

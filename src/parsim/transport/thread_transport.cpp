@@ -1,0 +1,434 @@
+#include "src/parsim/transport/thread_transport.hpp"
+
+#include <algorithm>
+
+namespace mtk {
+
+namespace {
+
+// Mirrors check_group in collectives.cpp: collectives reject empty groups,
+// out-of-range ranks, and duplicate members before any thread is involved,
+// so rank threads only ever run validated schedules (a worker-side throw
+// would strand its peers in recv until the abort path wakes them).
+void check_group(int num_ranks, const std::vector<int>& group) {
+  MTK_CHECK(!group.empty(), "collective group must be non-empty");
+  for (int r : group) {
+    MTK_CHECK(r >= 0 && r < num_ranks, "group contains invalid rank ", r);
+  }
+  std::vector<int> sorted = group;
+  std::sort(sorted.begin(), sorted.end());
+  MTK_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+            "collective group contains duplicate ranks");
+}
+
+}  // namespace
+
+// Shared read-only context of one All-Gather: every member knows all
+// contribution sizes (as an MPI rank knows its recv counts) but reads data
+// only from its own contribution and its mailbox.
+struct ThreadTransport::GatherCtx {
+  const std::vector<int>* group = nullptr;
+  const std::vector<std::vector<double>>* contributions = nullptr;
+  std::vector<index_t> sizes;    // per-position contribution length
+  std::vector<index_t> offsets;  // position of each chunk in the concat
+  index_t total = 0;
+  // Per-position assembled result; slot i is written only by member i's
+  // thread.
+  std::vector<std::vector<double>>* results = nullptr;
+};
+
+struct ThreadTransport::ReduceCtx {
+  const std::vector<int>* group = nullptr;
+  const std::vector<std::vector<double>>* inputs = nullptr;
+  std::vector<index_t> chunk_sizes;
+  std::vector<index_t> offsets;
+  index_t total = 0;
+  std::vector<std::vector<double>>* results = nullptr;
+};
+
+ThreadTransport::ThreadTransport(int num_ranks) {
+  MTK_CHECK(num_ranks >= 1, "ThreadTransport needs at least one rank");
+  MTK_CHECK(num_ranks <= 1024, "ThreadTransport caps at 1024 rank threads, "
+            "got ", num_ranks, " (use the sim transport for larger grids)");
+  mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    auto box = std::make_unique<Mailbox>();
+    box->from.resize(static_cast<std::size_t>(num_ranks));
+    mailboxes_.push_back(std::move(box));
+  }
+  stats_.resize(static_cast<std::size_t>(num_ranks));
+  workers_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    workers_.emplace_back([this, r] { worker_loop(r); });
+  }
+}
+
+ThreadTransport::~ThreadTransport() {
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+const CommStats& ThreadTransport::stats(int rank) const {
+  MTK_CHECK(rank >= 0 && rank < num_ranks(), "rank ", rank,
+            " out of range for ", num_ranks(), " ranks");
+  return stats_[static_cast<std::size_t>(rank)].s;
+}
+
+void ThreadTransport::reset_stats() {
+  // Orchestrator-only, between jobs: the completion handshake of the last
+  // dispatch ordered all worker writes before this.
+  for (PaddedStats& p : stats_) p.s = CommStats{};
+}
+
+void ThreadTransport::worker_loop(int rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(job_mu_);
+      job_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    std::exception_ptr err;
+    try {
+      (*job)(rank);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (err) {
+      {
+        std::lock_guard<std::mutex> lk(job_mu_);
+        if (!first_error_) first_error_ = err;
+      }
+      aborted_.store(true, std::memory_order_release);
+      abort_waiters();
+    }
+    {
+      std::lock_guard<std::mutex> lk(job_mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadTransport::abort_waiters() {
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lk(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+void ThreadTransport::dispatch(const std::function<void(int)>& job) {
+  std::unique_lock<std::mutex> lk(job_mu_);
+  MTK_REQUIRE(!shutdown_, "ThreadTransport is shutting down");
+  MTK_REQUIRE(remaining_ == 0,
+              "ThreadTransport::dispatch is orchestrator-only and cannot "
+              "nest inside a running job");
+  first_error_ = nullptr;
+  aborted_.store(false, std::memory_order_relaxed);
+  job_ = &job;
+  remaining_ = num_ranks();
+  ++generation_;
+  job_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadTransport::send(int from, int to, std::vector<double> payload) {
+  // Sender-side counters: each thread touches only its own stats slot.
+  CommStats& s = stats_[static_cast<std::size_t>(from)].s;
+  s.words_sent += static_cast<index_t>(payload.size());
+  s.messages_sent += 1;
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard<std::mutex> lk(box.mu);
+    box.from[static_cast<std::size_t>(from)].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<double> ThreadTransport::recv(int to, int from) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
+  std::vector<double> payload;
+  {
+    std::unique_lock<std::mutex> lk(box.mu);
+    std::deque<std::vector<double>>& queue =
+        box.from[static_cast<std::size_t>(from)];
+    box.cv.wait(lk, [&] {
+      return !queue.empty() || aborted_.load(std::memory_order_acquire);
+    });
+    MTK_REQUIRE(!queue.empty(),
+                "transport collective aborted while rank ", to,
+                " was waiting on rank ", from);
+    payload = std::move(queue.front());
+    queue.pop_front();
+  }
+  stats_[static_cast<std::size_t>(to)].s.words_received +=
+      static_cast<index_t>(payload.size());
+  return payload;
+}
+
+// ---------------------------------------------------------------------------
+// SPMD collective bodies. Each replicates the per-member schedule of the
+// centralized counting implementation exactly — same neighbors, same chunk
+// arithmetic, same accumulation order — so data and counters both match.
+
+void ThreadTransport::run_all_gather_bucket(const GatherCtx& ctx, int pos) {
+  const std::vector<int>& group = *ctx.group;
+  const int q = static_cast<int>(group.size());
+  const int self = group[static_cast<std::size_t>(pos)];
+  std::vector<double> result(static_cast<std::size_t>(ctx.total));
+  const std::vector<double>& own =
+      (*ctx.contributions)[static_cast<std::size_t>(pos)];
+  std::copy(own.begin(), own.end(),
+            result.begin() + ctx.offsets[static_cast<std::size_t>(pos)]);
+
+  // Ring: at step s, send chunk (pos - s) mod q right and receive chunk
+  // (pos - 1 - s) mod q from the left (collectives.cpp's schedule).
+  const int right = group[static_cast<std::size_t>((pos + 1) % q)];
+  const int left = group[static_cast<std::size_t>((pos - 1 + q) % q)];
+  for (int s = 0; s + 1 < q; ++s) {
+    const int cs = ((pos - s) % q + q) % q;
+    std::vector<double> payload(
+        result.begin() + ctx.offsets[static_cast<std::size_t>(cs)],
+        result.begin() + ctx.offsets[static_cast<std::size_t>(cs)] +
+            ctx.sizes[static_cast<std::size_t>(cs)]);
+    send(self, right, std::move(payload));
+    std::vector<double> incoming = recv(self, left);
+    const int cr = ((pos - 1 - s) % q + q) % q;
+    MTK_ASSERT(static_cast<index_t>(incoming.size()) ==
+                   ctx.sizes[static_cast<std::size_t>(cr)],
+               "bucket all-gather chunk size mismatch");
+    std::copy(incoming.begin(), incoming.end(),
+              result.begin() + ctx.offsets[static_cast<std::size_t>(cr)]);
+  }
+  (*ctx.results)[static_cast<std::size_t>(pos)] = std::move(result);
+}
+
+void ThreadTransport::run_all_gather_doubling(const GatherCtx& ctx, int pos) {
+  const std::vector<int>& group = *ctx.group;
+  const int q = static_cast<int>(group.size());
+  const int self = group[static_cast<std::size_t>(pos)];
+  std::vector<double> result(static_cast<std::size_t>(ctx.total));
+  const std::vector<double>& own =
+      (*ctx.contributions)[static_cast<std::size_t>(pos)];
+  std::copy(own.begin(), own.end(),
+            result.begin() + ctx.offsets[static_cast<std::size_t>(pos)]);
+
+  // Every member tracks all members' held chunk sets with the same
+  // deterministic evolution the counting implementation uses; only its own
+  // payloads actually move.
+  std::vector<std::vector<int>> held(static_cast<std::size_t>(q));
+  for (int i = 0; i < q; ++i) held[static_cast<std::size_t>(i)] = {i};
+
+  for (int dist = 1; dist < q; dist *= 2) {
+    const int partner = pos ^ dist;
+    std::vector<double> payload;
+    for (int c : held[static_cast<std::size_t>(pos)]) {
+      payload.insert(payload.end(),
+                     result.begin() + ctx.offsets[static_cast<std::size_t>(c)],
+                     result.begin() + ctx.offsets[static_cast<std::size_t>(c)] +
+                         ctx.sizes[static_cast<std::size_t>(c)]);
+    }
+    send(self, group[static_cast<std::size_t>(partner)], std::move(payload));
+    const std::vector<double> incoming =
+        recv(self, group[static_cast<std::size_t>(partner)]);
+    std::size_t at = 0;
+    for (int c : held[static_cast<std::size_t>(partner)]) {
+      const std::size_t len =
+          static_cast<std::size_t>(ctx.sizes[static_cast<std::size_t>(c)]);
+      MTK_ASSERT(at + len <= incoming.size(),
+                 "doubling all-gather payload too short");
+      std::copy(incoming.begin() + static_cast<std::ptrdiff_t>(at),
+                incoming.begin() + static_cast<std::ptrdiff_t>(at + len),
+                result.begin() + ctx.offsets[static_cast<std::size_t>(c)]);
+      at += len;
+    }
+    std::vector<std::vector<int>> next = held;
+    for (int j = 0; j < q; ++j) {
+      next[static_cast<std::size_t>(j ^ dist)].insert(
+          next[static_cast<std::size_t>(j ^ dist)].end(),
+          held[static_cast<std::size_t>(j)].begin(),
+          held[static_cast<std::size_t>(j)].end());
+    }
+    held = std::move(next);
+  }
+  (*ctx.results)[static_cast<std::size_t>(pos)] = std::move(result);
+}
+
+void ThreadTransport::run_reduce_scatter_bucket(const ReduceCtx& ctx,
+                                                int pos) {
+  const std::vector<int>& group = *ctx.group;
+  const int q = static_cast<int>(group.size());
+  const int self = group[static_cast<std::size_t>(pos)];
+  const std::vector<double>& own =
+      (*ctx.inputs)[static_cast<std::size_t>(pos)];
+
+  // Traveling partials: start with the own copy of chunk (pos-1) mod q;
+  // each step the received partial accumulates this member's contribution
+  // to the chunk it carries — identical order to reduce_scatter_bucket.
+  const int c0 = ((pos - 1) % q + q) % q;
+  std::vector<double> traveling(
+      own.begin() + ctx.offsets[static_cast<std::size_t>(c0)],
+      own.begin() + ctx.offsets[static_cast<std::size_t>(c0)] +
+          ctx.chunk_sizes[static_cast<std::size_t>(c0)]);
+  const int right = group[static_cast<std::size_t>((pos + 1) % q)];
+  const int left = group[static_cast<std::size_t>((pos - 1 + q) % q)];
+  for (int s = 0; s + 1 < q; ++s) {
+    send(self, right, std::move(traveling));
+    std::vector<double> partial = recv(self, left);
+    const int c = ((pos - 2 - s) % q + q) % q;
+    MTK_ASSERT(static_cast<index_t>(partial.size()) ==
+                   ctx.chunk_sizes[static_cast<std::size_t>(c)],
+               "bucket reduce-scatter chunk size mismatch");
+    const double* mine = own.data() + ctx.offsets[static_cast<std::size_t>(c)];
+    for (std::size_t w = 0; w < partial.size(); ++w) {
+      partial[w] += mine[w];
+    }
+    traveling = std::move(partial);
+  }
+  (*ctx.results)[static_cast<std::size_t>(pos)] = std::move(traveling);
+}
+
+void ThreadTransport::run_reduce_scatter_halving(const ReduceCtx& ctx,
+                                                 int pos) {
+  const std::vector<int>& group = *ctx.group;
+  const int q = static_cast<int>(group.size());
+  const int self = group[static_cast<std::size_t>(pos)];
+  const index_t chunk = ctx.total / q;
+
+  std::vector<double> cur = (*ctx.inputs)[static_cast<std::size_t>(pos)];
+  int lo = 0;
+  for (int half = q / 2; half >= 1; half /= 2) {
+    const int partner = pos ^ half;
+    const bool keep_upper = (pos & half) != 0;
+    const int send_lo = lo + (keep_upper ? 0 : half);
+    const index_t off = static_cast<index_t>(send_lo - lo) * chunk;
+    std::vector<double> payload(cur.begin() + off,
+                                cur.begin() + off + half * chunk);
+    send(self, group[static_cast<std::size_t>(partner)], std::move(payload));
+    const std::vector<double> incoming =
+        recv(self, group[static_cast<std::size_t>(partner)]);
+    const int new_lo = lo + (keep_upper ? half : 0);
+    const index_t koff = static_cast<index_t>(new_lo - lo) * chunk;
+    std::vector<double> kept(cur.begin() + koff,
+                             cur.begin() + koff + half * chunk);
+    MTK_ASSERT(incoming.size() == kept.size(),
+               "recursive halving window mismatch");
+    for (std::size_t w = 0; w < kept.size(); ++w) kept[w] += incoming[w];
+    cur = std::move(kept);
+    lo = new_lo;
+  }
+  MTK_ASSERT(lo == pos, "member ended with the wrong chunk");
+  (*ctx.results)[static_cast<std::size_t>(pos)] = std::move(cur);
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator entry points.
+
+std::vector<double> ThreadTransport::do_all_gather(
+    const std::vector<int>& group,
+    const std::vector<std::vector<double>>& contributions,
+    CollectiveKind kind) {
+  check_group(num_ranks(), group);
+  const int q = static_cast<int>(group.size());
+  MTK_CHECK(static_cast<int>(contributions.size()) == q,
+            "all_gather: expected ", q, " contributions, got ",
+            contributions.size());
+  GatherCtx ctx;
+  ctx.group = &group;
+  ctx.contributions = &contributions;
+  ctx.sizes.resize(static_cast<std::size_t>(q));
+  ctx.offsets.resize(static_cast<std::size_t>(q));
+  for (int i = 0; i < q; ++i) {
+    ctx.sizes[static_cast<std::size_t>(i)] = static_cast<index_t>(
+        contributions[static_cast<std::size_t>(i)].size());
+    ctx.offsets[static_cast<std::size_t>(i)] = ctx.total;
+    ctx.total += ctx.sizes[static_cast<std::size_t>(i)];
+  }
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(q));
+  ctx.results = &results;
+
+  std::vector<int> pos_of(static_cast<std::size_t>(num_ranks()), -1);
+  for (int i = 0; i < q; ++i) pos_of[static_cast<std::size_t>(group[i])] = i;
+  const bool doubling =
+      kind == CollectiveKind::kRecursive && recursive_all_gather_applies(q);
+  dispatch([&](int rank) {
+    const int pos = pos_of[static_cast<std::size_t>(rank)];
+    if (pos < 0) return;
+    if (doubling) {
+      run_all_gather_doubling(ctx, pos);
+    } else {
+      run_all_gather_bucket(ctx, pos);
+    }
+  });
+  // Every member assembled identical bits; hand back position 0's copy.
+  return std::move(results[0]);
+}
+
+std::vector<std::vector<double>> ThreadTransport::do_reduce_scatter(
+    const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs,
+    const std::vector<index_t>& chunk_sizes, CollectiveKind kind) {
+  check_group(num_ranks(), group);
+  const int q = static_cast<int>(group.size());
+  MTK_CHECK(static_cast<int>(inputs.size()) == q, "reduce_scatter: expected ",
+            q, " inputs, got ", inputs.size());
+  MTK_CHECK(static_cast<int>(chunk_sizes.size()) == q,
+            "reduce_scatter: expected ", q, " chunk sizes, got ",
+            chunk_sizes.size());
+  ReduceCtx ctx;
+  ctx.group = &group;
+  ctx.inputs = &inputs;
+  ctx.chunk_sizes = chunk_sizes;
+  ctx.offsets.resize(static_cast<std::size_t>(q));
+  for (int j = 0; j < q; ++j) {
+    MTK_CHECK(chunk_sizes[static_cast<std::size_t>(j)] >= 0,
+              "negative chunk size");
+    ctx.offsets[static_cast<std::size_t>(j)] = ctx.total;
+    ctx.total += chunk_sizes[static_cast<std::size_t>(j)];
+  }
+  for (int i = 0; i < q; ++i) {
+    MTK_CHECK(static_cast<index_t>(inputs[static_cast<std::size_t>(i)].size()) ==
+                  ctx.total,
+              "reduce_scatter: input ", i, " has ",
+              inputs[static_cast<std::size_t>(i)].size(),
+              " words, expected ", ctx.total);
+  }
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(q));
+  ctx.results = &results;
+
+  std::vector<int> pos_of(static_cast<std::size_t>(num_ranks()), -1);
+  for (int i = 0; i < q; ++i) pos_of[static_cast<std::size_t>(group[i])] = i;
+  const bool halving = kind == CollectiveKind::kRecursive &&
+                       recursive_reduce_scatter_applies(q, chunk_sizes);
+  dispatch([&](int rank) {
+    const int pos = pos_of[static_cast<std::size_t>(rank)];
+    if (pos < 0) return;
+    if (halving) {
+      run_reduce_scatter_halving(ctx, pos);
+    } else {
+      run_reduce_scatter_bucket(ctx, pos);
+    }
+  });
+  return results;
+}
+
+void ThreadTransport::do_run_ranks(const std::function<void(int)>& body) {
+  dispatch(body);
+}
+
+}  // namespace mtk

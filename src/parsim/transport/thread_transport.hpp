@@ -1,0 +1,122 @@
+// ThreadTransport: the real-execution Transport backend — one persistent
+// std::thread per rank, communicating through per-receiver mailboxes
+// (mutex + condvar, one FIFO queue per sender). No MPI exists in this
+// environment, so P threads in one process stand in for the paper's P
+// processors; every collective is executed SPMD, with each rank thread
+// running exactly the per-member schedule the counting simulator charges:
+//
+//   bucket All-Gather      — ring: at step s member i sends chunk
+//                            (i - s) mod q to member (i+1) mod q.
+//   bucket Reduce-Scatter  — traveling partials: member i starts with its
+//                            copy of chunk (i-1) mod q; each step the
+//                            received partial accumulates the receiver's
+//                            own contribution (partial[w] += own[w]).
+//   recursive doubling     — pairs (i, i ^ 2^t) swap their held chunk sets.
+//   recursive halving      — pairs (i, i ^ q/2^(t+1)) exchange half of the
+//                            active window; kept[w] += incoming[w].
+//
+// Because the reduction order per output element is identical to the
+// centralized implementations in collectives.cpp / collective_variants.cpp,
+// the results are bit-identical to SimTransport's, and because each rank
+// thread performs exactly the sends the simulator records, the per-rank
+// word and message counters match exactly (CountingTransport asserts this).
+//
+// Thread-sanitizer discipline: stats_[r] is written only by rank r's thread
+// while a job is running; the orchestrator reads counters only between
+// jobs, after the completion condvar handshake establishes happens-before.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "src/parsim/transport/transport.hpp"
+
+namespace mtk {
+
+class ThreadTransport final : public Transport {
+ public:
+  explicit ThreadTransport(int num_ranks);
+  ~ThreadTransport() override;
+
+  ThreadTransport(const ThreadTransport&) = delete;
+  ThreadTransport& operator=(const ThreadTransport&) = delete;
+
+  TransportKind kind() const override { return TransportKind::kThreads; }
+  int num_ranks() const override { return static_cast<int>(workers_.size()); }
+
+  const CommStats& stats(int rank) const override;
+  void reset_stats() override;
+  void record_phase(PhaseRecord record) override {
+    phases_.push_back(std::move(record));
+  }
+  const std::vector<PhaseRecord>& phases() const override { return phases_; }
+
+ protected:
+  std::vector<double> do_all_gather(
+      const std::vector<int>& group,
+      const std::vector<std::vector<double>>& contributions,
+      CollectiveKind kind) override;
+  std::vector<std::vector<double>> do_reduce_scatter(
+      const std::vector<int>& group,
+      const std::vector<std::vector<double>>& inputs,
+      const std::vector<index_t>& chunk_sizes, CollectiveKind kind) override;
+  void do_run_ranks(const std::function<void(int)>& body) override;
+
+ private:
+  // One receiver's mailbox: a FIFO queue per sender, so concurrent sends
+  // from distinct ranks never reorder a (sender, receiver) stream.
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::deque<std::vector<double>>> from;  // indexed by sender
+  };
+
+  // Avoid false sharing between adjacent ranks' hot counters.
+  struct alignas(64) PaddedStats {
+    CommStats s;
+  };
+
+  void worker_loop(int rank);
+  // Runs job(rank) on every rank's thread and blocks until all complete;
+  // rethrows the first exception any rank raised.
+  void dispatch(const std::function<void(int)>& job);
+  void abort_waiters();
+
+  // Point-to-point primitives (called from rank threads only).
+  void send(int from, int to, std::vector<double> payload);
+  std::vector<double> recv(int to, int from);
+
+  // SPMD per-member collective bodies (run on the member's thread).
+  struct GatherCtx;
+  struct ReduceCtx;
+  void run_all_gather_bucket(const GatherCtx& ctx, int pos);
+  void run_all_gather_doubling(const GatherCtx& ctx, int pos);
+  void run_reduce_scatter_bucket(const ReduceCtx& ctx, int pos);
+  void run_reduce_scatter_halving(const ReduceCtx& ctx, int pos);
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<PaddedStats> stats_;
+  std::vector<PhaseRecord> phases_;
+
+  // Job dispatch state (generation handshake).
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;  // orchestrator waits for completion
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  // Set on job error to wake blocked receivers; atomic because receivers
+  // check it under their mailbox mutex, not job_mu_.
+  std::atomic<bool> aborted_{false};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mtk

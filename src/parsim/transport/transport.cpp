@@ -1,0 +1,133 @@
+#include "src/parsim/transport/transport.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/parsim/transport/thread_transport.hpp"
+
+namespace mtk {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kSim: return "sim";
+    case TransportKind::kThreads: return "threads";
+  }
+  return "unknown";
+}
+
+std::vector<double> Transport::all_gather(
+    const std::vector<int>& group,
+    const std::vector<std::vector<double>>& contributions,
+    CollectiveKind kind) {
+  const auto start = Clock::now();
+  std::vector<double> result = do_all_gather(group, contributions, kind);
+  comm_seconds_ += seconds_since(start);
+  return result;
+}
+
+std::vector<std::vector<double>> Transport::reduce_scatter(
+    const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs,
+    const std::vector<index_t>& chunk_sizes, CollectiveKind kind) {
+  const auto start = Clock::now();
+  std::vector<std::vector<double>> result =
+      do_reduce_scatter(group, inputs, chunk_sizes, kind);
+  comm_seconds_ += seconds_since(start);
+  return result;
+}
+
+std::vector<double> Transport::all_reduce(
+    const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs, CollectiveKind kind) {
+  MTK_CHECK(!inputs.empty() && inputs.size() == group.size(),
+            "all_reduce: expected ", group.size(), " inputs, got ",
+            inputs.size());
+  // Balanced flat chunks, matching all_reduce_dispatch's stage boundaries,
+  // so both stages consult the recursive fallback rules independently and
+  // the counters line up with the predictor's replay.
+  const int q = static_cast<int>(group.size());
+  const index_t total = static_cast<index_t>(inputs.front().size());
+  std::vector<index_t> chunk_sizes(static_cast<std::size_t>(q));
+  for (int j = 0; j < q; ++j) {
+    chunk_sizes[static_cast<std::size_t>(j)] =
+        total / q + (j < static_cast<int>(total % q) ? 1 : 0);
+  }
+  auto reduced = reduce_scatter(group, inputs, chunk_sizes, kind);
+  return all_gather(group, reduced, kind);
+}
+
+void Transport::run_ranks(const std::function<void(int)>& body) {
+  const auto start = Clock::now();
+  do_run_ranks(body);
+  compute_seconds_ += seconds_since(start);
+}
+
+index_t Transport::max_words_moved() const {
+  index_t best = 0;
+  for (int r = 0; r < num_ranks(); ++r) {
+    best = std::max(best, stats(r).words_moved());
+  }
+  return best;
+}
+
+index_t Transport::max_messages_sent() const {
+  index_t best = 0;
+  for (int r = 0; r < num_ranks(); ++r) {
+    best = std::max(best, stats(r).messages_sent);
+  }
+  return best;
+}
+
+index_t Transport::total_words_sent() const {
+  index_t total = 0;
+  for (int r = 0; r < num_ranks(); ++r) {
+    total += stats(r).words_sent;
+  }
+  return total;
+}
+
+SimTransport::SimTransport(Machine& machine) : machine_(&machine) {}
+
+SimTransport::SimTransport(int num_ranks)
+    : owned_(std::make_unique<Machine>(num_ranks)), machine_(owned_.get()) {}
+
+std::vector<double> SimTransport::do_all_gather(
+    const std::vector<int>& group,
+    const std::vector<std::vector<double>>& contributions,
+    CollectiveKind kind) {
+  return all_gather_dispatch(*machine_, group, contributions, kind);
+}
+
+std::vector<std::vector<double>> SimTransport::do_reduce_scatter(
+    const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs,
+    const std::vector<index_t>& chunk_sizes, CollectiveKind kind) {
+  return reduce_scatter_dispatch(*machine_, group, inputs, chunk_sizes, kind);
+}
+
+void SimTransport::do_run_ranks(const std::function<void(int)>& body) {
+  const int p = machine_->num_ranks();
+#pragma omp parallel for schedule(dynamic)
+  for (int r = 0; r < p; ++r) {
+    body(r);
+  }
+}
+
+std::unique_ptr<Transport> make_transport(TransportKind kind, int num_ranks) {
+  if (kind == TransportKind::kThreads) {
+    return std::make_unique<ThreadTransport>(num_ranks);
+  }
+  return std::make_unique<SimTransport>(num_ranks);
+}
+
+}  // namespace mtk

@@ -1,0 +1,144 @@
+// Transport: the execution backend behind the collective-phase helpers of
+// src/parsim/par_common (see DESIGN.md). The parallel drivers are written
+// against this interface, so the same planner-chosen CollectiveSchedule
+// runs either on the counting Machine simulator (SimTransport — exact
+// per-rank word/message counters, centralized data movement) or on real
+// std::thread ranks exchanging mutex/condvar mailbox messages
+// (ThreadTransport, src/parsim/transport/thread_transport.hpp). The two
+// produce bit-identical collective outputs and identical counters; the
+// CountingTransport wrapper (counting_transport.hpp) asserts both.
+//
+// The API is orchestrator-level, mirroring the dispatch functions of
+// collective_variants.hpp: the caller holds every rank's buffers in one
+// address space and the transport decides how the exchange is realized.
+// Wall-clock spent inside collectives (comm_seconds) and inside run_ranks
+// bodies (compute_seconds) is accumulated so the drivers can report
+// measured time next to the simulated counters.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/parsim/collective_variants.hpp"
+#include "src/parsim/machine.hpp"
+
+namespace mtk {
+
+enum class TransportKind {
+  kSim,      // counting Machine: centralized exchange, exact counters
+  kThreads,  // one std::thread per rank, mutex/condvar mailboxes
+};
+
+const char* to_string(TransportKind kind);
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const = 0;
+  virtual int num_ranks() const = 0;
+
+  // Collectives over an ordered group of machine ranks, with the same
+  // contracts as the *_dispatch functions (collective_variants.hpp):
+  // all_gather concatenates contributions in group order; reduce_scatter
+  // returns the reduced chunk per group position; all_reduce is
+  // Reduce-Scatter over balanced flat chunks followed by All-Gather, each
+  // stage consulting the recursive fallback rules independently. These
+  // public entry points time the exchange into comm_seconds().
+  std::vector<double> all_gather(
+      const std::vector<int>& group,
+      const std::vector<std::vector<double>>& contributions,
+      CollectiveKind kind);
+  std::vector<std::vector<double>> reduce_scatter(
+      const std::vector<int>& group,
+      const std::vector<std::vector<double>>& inputs,
+      const std::vector<index_t>& chunk_sizes, CollectiveKind kind);
+  std::vector<double> all_reduce(const std::vector<int>& group,
+                                 const std::vector<std::vector<double>>& inputs,
+                                 CollectiveKind kind);
+
+  // Runs body(rank) for every rank — the local-compute phase. SimTransport
+  // uses an OpenMP loop in the calling thread's team; ThreadTransport runs
+  // each rank's body on that rank's dedicated thread. Timed into
+  // compute_seconds().
+  void run_ranks(const std::function<void(int)>& body);
+
+  // Per-rank counters and phase records, with Machine's exact semantics.
+  virtual const CommStats& stats(int rank) const = 0;
+  virtual void reset_stats() = 0;
+  virtual void record_phase(PhaseRecord record) = 0;
+  virtual const std::vector<PhaseRecord>& phases() const = 0;
+
+  index_t max_words_moved() const;
+  index_t max_messages_sent() const;
+  index_t total_words_sent() const;
+
+  // Measured wall-clock, cumulative over the transport's lifetime (like
+  // the word counters): time inside collective exchanges and inside
+  // run_ranks bodies respectively.
+  double comm_seconds() const { return comm_seconds_; }
+  double compute_seconds() const { return compute_seconds_; }
+
+ protected:
+  virtual std::vector<double> do_all_gather(
+      const std::vector<int>& group,
+      const std::vector<std::vector<double>>& contributions,
+      CollectiveKind kind) = 0;
+  virtual std::vector<std::vector<double>> do_reduce_scatter(
+      const std::vector<int>& group,
+      const std::vector<std::vector<double>>& inputs,
+      const std::vector<index_t>& chunk_sizes, CollectiveKind kind) = 0;
+  virtual void do_run_ranks(const std::function<void(int)>& body) = 0;
+
+  double comm_seconds_ = 0.0;
+  double compute_seconds_ = 0.0;
+};
+
+// The counting-Machine backend: collectives delegate to the centralized
+// dispatch implementations, which move the data once in the orchestrator
+// and record the schedule's exact per-rank traffic. Borrows the caller's
+// Machine (so counters accumulate where existing code reads them) or owns
+// a fresh one.
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(Machine& machine);
+  explicit SimTransport(int num_ranks);
+
+  TransportKind kind() const override { return TransportKind::kSim; }
+  int num_ranks() const override { return machine_->num_ranks(); }
+
+  const CommStats& stats(int rank) const override {
+    return machine_->stats(rank);
+  }
+  void reset_stats() override { machine_->reset_stats(); }
+  void record_phase(PhaseRecord record) override {
+    machine_->record_phase(std::move(record));
+  }
+  const std::vector<PhaseRecord>& phases() const override {
+    return machine_->phases();
+  }
+
+  Machine& machine() { return *machine_; }
+
+ protected:
+  std::vector<double> do_all_gather(
+      const std::vector<int>& group,
+      const std::vector<std::vector<double>>& contributions,
+      CollectiveKind kind) override;
+  std::vector<std::vector<double>> do_reduce_scatter(
+      const std::vector<int>& group,
+      const std::vector<std::vector<double>>& inputs,
+      const std::vector<index_t>& chunk_sizes, CollectiveKind kind) override;
+  void do_run_ranks(const std::function<void(int)>& body) override;
+
+ private:
+  std::unique_ptr<Machine> owned_;
+  Machine* machine_;
+};
+
+// Factory used by the drivers' TransportKind plumbing (par_cp_als,
+// par_cp_gradient, mttkrp_cli --transport).
+std::unique_ptr<Transport> make_transport(TransportKind kind, int num_ranks);
+
+}  // namespace mtk

@@ -1,6 +1,7 @@
 #include "src/sketch/krp_sample.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "src/sketch/leverage.hpp"
 #include "src/support/check.hpp"
@@ -30,17 +31,38 @@ double predicted_sampling_error(index_t rank, index_t sample_count) {
   return std::min(1.0, std::sqrt(r * std::log2(r + 2.0) / s));
 }
 
-KrpSample sample_krp_leverage(const std::vector<Matrix>& factors,
-                              const std::vector<Matrix>& grams, int skip_mode,
-                              index_t sample_count, Rng& rng) {
-  const int n = static_cast<int>(factors.size());
+namespace {
+
+DiscreteSampler build_leverage_sampler(const Matrix& a, const Matrix& g) {
+  std::vector<double> scores = leverage_scores_from_gram(a, g);
+  double total = 0.0;
+  for (double v : scores) total += v;
+  if (total <= 0.0) {
+    // Degenerate factor (all zero): fall back to the uniform distribution
+    // so the sampler stays well-defined.
+    scores.assign(scores.size(), 1.0);
+  }
+  return DiscreteSampler(scores);
+}
+
+void check_sample_args(int n, int skip_mode, std::size_t num_grams,
+                       index_t sample_count) {
   MTK_CHECK(n >= 2, "sample_krp_leverage needs >= 2 factors");
   MTK_CHECK(skip_mode >= 0 && skip_mode < n, "skip_mode ", skip_mode,
             " out of range for ", n, " factors");
-  MTK_CHECK(static_cast<int>(grams.size()) == n,
-            "need one Gram per factor, got ", grams.size());
+  MTK_CHECK(static_cast<int>(num_grams) == n,
+            "need one Gram per factor, got ", num_grams);
   MTK_CHECK(sample_count >= 1, "sample_count must be >= 1");
+}
 
+// The shared draw loop: one sampler per non-skip mode (provided by
+// `sampler_for`, fresh or cached), S draws each, joint probability folded
+// into the weights as we go: w_s = 1/(S p_s).
+template <typename SamplerFor>
+KrpSample draw_krp_sample(const std::vector<Matrix>& factors, int skip_mode,
+                          index_t sample_count, Rng& rng,
+                          SamplerFor&& sampler_for) {
+  const int n = static_cast<int>(factors.size());
   KrpSample sample;
   sample.skip_mode = skip_mode;
   sample.dims.reserve(static_cast<std::size_t>(n));
@@ -51,30 +73,34 @@ KrpSample sample_krp_leverage(const std::vector<Matrix>& factors,
 
   for (int k = 0; k < n; ++k) {
     if (k == skip_mode) continue;
-    const Matrix& a = factors[static_cast<std::size_t>(k)];
-    std::vector<double> scores =
-        leverage_scores_from_gram(a, grams[static_cast<std::size_t>(k)]);
-    double total = 0.0;
-    for (double v : scores) total += v;
-    if (total <= 0.0) {
-      // Degenerate factor (all zero): fall back to the uniform distribution
-      // so the sampler stays well-defined.
-      scores.assign(scores.size(), 1.0);
-    }
-    const DiscreteSampler sampler(scores);
-
+    const DiscreteSampler& sampler = sampler_for(k);
     std::vector<index_t>& drawn =
         sample.indices[static_cast<std::size_t>(k)];
     drawn.resize(static_cast<std::size_t>(sample_count));
     for (index_t s = 0; s < sample_count; ++s) {
       const index_t i = sampler.sample(rng);
       drawn[static_cast<std::size_t>(s)] = i;
-      // The joint probability is the product of the per-mode masses; fold
-      // each mode's contribution into the weight as we go: w_s = 1/(S p_s).
       sample.weights[static_cast<std::size_t>(s)] /= sampler.probability(i);
     }
   }
   return sample;
+}
+
+}  // namespace
+
+KrpSample sample_krp_leverage(const std::vector<Matrix>& factors,
+                              const std::vector<Matrix>& grams, int skip_mode,
+                              index_t sample_count, Rng& rng) {
+  const int n = static_cast<int>(factors.size());
+  check_sample_args(n, skip_mode, grams.size(), sample_count);
+  std::optional<DiscreteSampler> current;
+  return draw_krp_sample(
+      factors, skip_mode, sample_count, rng,
+      [&](int k) -> const DiscreteSampler& {
+        current = build_leverage_sampler(factors[static_cast<std::size_t>(k)],
+                                         grams[static_cast<std::size_t>(k)]);
+        return *current;
+      });
 }
 
 KrpSample sample_krp_leverage(const std::vector<Matrix>& factors,
@@ -83,6 +109,42 @@ KrpSample sample_krp_leverage(const std::vector<Matrix>& factors,
   grams.reserve(factors.size());
   for (const Matrix& a : factors) grams.push_back(gram(a));
   return sample_krp_leverage(factors, grams, skip_mode, sample_count, rng);
+}
+
+KrpLeverageCache::KrpLeverageCache(int num_modes) {
+  MTK_CHECK(num_modes >= 2, "KrpLeverageCache needs >= 2 modes, got ",
+            num_modes);
+  samplers_.resize(static_cast<std::size_t>(num_modes));
+  dirty_.assign(static_cast<std::size_t>(num_modes), 1);
+}
+
+void KrpLeverageCache::invalidate(int mode) {
+  MTK_CHECK(mode >= 0 && mode < static_cast<int>(dirty_.size()), "mode ",
+            mode, " out of range for ", dirty_.size(), " cached modes");
+  dirty_[static_cast<std::size_t>(mode)] = 1;
+}
+
+KrpSample KrpLeverageCache::sample(const std::vector<Matrix>& factors,
+                                   const std::vector<Matrix>& grams,
+                                   int skip_mode, index_t sample_count,
+                                   Rng& rng) {
+  const int n = static_cast<int>(factors.size());
+  check_sample_args(n, skip_mode, grams.size(), sample_count);
+  MTK_CHECK(n == static_cast<int>(samplers_.size()),
+            "KrpLeverageCache built for ", samplers_.size(),
+            " modes, called with ", n, " factors");
+  return draw_krp_sample(
+      factors, skip_mode, sample_count, rng,
+      [&](int k) -> const DiscreteSampler& {
+        const std::size_t ks = static_cast<std::size_t>(k);
+        if (dirty_[ks] || !samplers_[ks].has_value()) {
+          samplers_[ks] =
+              build_leverage_sampler(factors[ks], grams[ks]);
+          dirty_[ks] = 0;
+          ++rebuilds_;
+        }
+        return *samplers_[ks];
+      });
 }
 
 }  // namespace mtk

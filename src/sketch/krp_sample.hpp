@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/support/index.hpp"
@@ -82,5 +83,34 @@ KrpSample sample_krp_leverage(const std::vector<Matrix>& factors,
                               index_t sample_count, Rng& rng);
 KrpSample sample_krp_leverage(const std::vector<Matrix>& factors,
                               int skip_mode, index_t sample_count, Rng& rng);
+
+// Memoized per-mode leverage CDFs for a driver that redraws samples many
+// times over slowly-changing factors (sampled CP-ALS). A redraw sweep draws
+// against n skip-modes, so the plain entry point above rebuilds every
+// factor's CDF (an eigendecomposition plus an I_k scan) n-1 times per sweep
+// even though the factor only changed once. The cache rebuilds mode k's
+// sampler only when invalidate(k) has been called since its last build —
+// the draw stream is bit-identical to sample_krp_leverage because the CDF
+// is a pure function of (factor, Gram) and the Rng is caller-supplied.
+class KrpLeverageCache {
+ public:
+  explicit KrpLeverageCache(int num_modes);
+
+  // Call after factor `mode` (and its Gram) changes.
+  void invalidate(int mode);
+  // CDF rebuilds performed so far — the regression hook for amortization:
+  // a cached run's count stays strictly below draws x (n-1) once n >= 3.
+  index_t rebuilds() const { return rebuilds_; }
+
+  // Drop-in replacement for sample_krp_leverage(factors, grams, ...).
+  KrpSample sample(const std::vector<Matrix>& factors,
+                   const std::vector<Matrix>& grams, int skip_mode,
+                   index_t sample_count, Rng& rng);
+
+ private:
+  std::vector<std::optional<DiscreteSampler>> samplers_;
+  std::vector<char> dirty_;  // vector<bool> avoided for addressability
+  index_t rebuilds_ = 0;
+};
 
 }  // namespace mtk

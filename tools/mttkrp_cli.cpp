@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #ifdef _OPENMP
@@ -83,13 +84,21 @@ CollectiveKind parse_collectives(const std::string& s) {
   return CollectiveKind::kBucket;
 }
 
+TransportKind parse_transport(const std::string& s) {
+  if (s == "sim") return TransportKind::kSim;
+  if (s == "threads" || s == "thread") return TransportKind::kThreads;
+  MTK_CHECK(false, "unknown transport '", s, "' (expected sim|threads)");
+  return TransportKind::kSim;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s (--dims I1,I2,... | --tns FILE) --rank R [--mode n]\n"
       "          [--backend dense|coo|csf] [--algo A] [--density d]\n"
       "          [--procs P] [--grid P1,P2,...] [--scheme block|medium]\n"
-      "          [--collectives bucket|rec] [--plan] [--autotune]\n"
+      "          [--collectives bucket|rec] [--transport sim|threads]\n"
+      "          [--verify-counts] [--plan] [--autotune]\n"
       "          [--flop-word-ratio F] [--latency-word-ratio L]\n"
       "          [--calibrate] [--cache-file FILE]\n"
       "          [--cp-als] [--iters N] [--tol T] [--save-tns FILE]\n"
@@ -110,6 +119,16 @@ int usage(const char* argv0) {
       "             bucket (ring) or rec (recursive doubling/halving,\n"
       "             falling back per group), default bucket; autotuned\n"
       "             runs use the planner's per-phase choice\n"
+      "  --transport  execution backend for parallel runs: sim (counting\n"
+      "             machine, default) or threads (one std::thread per rank\n"
+      "             exchanging real mailbox messages); both run the same\n"
+      "             schedules bit-identically and report measured seconds\n"
+      "             next to the simulated word counts (--transport=X also\n"
+      "             accepted)\n"
+      "  --verify-counts  wrap the parallel-MTTKRP transport in the\n"
+      "             counting checker: every collective is replayed on a\n"
+      "             shadow machine and word/message counters must match\n"
+      "             the real exchange exactly\n"
       "  --plan     print the planner's ranked execution plans and exit\n"
       "             (needs --procs)\n"
       "  --autotune let the planner pick algorithm/backend/grid/scheme for\n"
@@ -178,6 +197,8 @@ int main(int argc, char** argv) {
   std::vector<int> grid;
   SparsePartitionScheme scheme = SparsePartitionScheme::kBlock;
   CollectiveKind collectives = CollectiveKind::kBucket;
+  TransportKind transport = TransportKind::kSim;
+  bool verify_counts = false;
   bool cp_als_run = false;
   bool plan_only = false;
   bool autotune = false;
@@ -228,6 +249,12 @@ int main(int argc, char** argv) {
         scheme = parse_scheme(next());
       } else if (arg == "--collectives") {
         collectives = parse_collectives(next());
+      } else if (arg == "--transport") {
+        transport = parse_transport(next());
+      } else if (arg.rfind("--transport=", 0) == 0) {
+        transport = parse_transport(arg.substr(std::strlen("--transport=")));
+      } else if (arg == "--verify-counts") {
+        verify_counts = true;
       } else if (arg == "--cp-als") {
         cp_als_run = true;
       } else if (arg == "--plan") {
@@ -434,6 +461,8 @@ int main(int argc, char** argv) {
       opts.flop_word_ratio = flop_word_ratio;
       opts.latency_word_ratio = latency_word_ratio;
       opts.machine = cal;
+      opts.transport = transport;
+      if (variant_set) opts.kernel_variant = variant;
       const std::size_t hits_before = PlanCache::global().hits();
       const auto start = std::chrono::steady_clock::now();
       const ParCpAlsResult r = par_cp_als(x, opts);
@@ -466,6 +495,10 @@ int main(int argc, char** argv) {
                   static_cast<long long>(r.total_gram_words_max));
       std::printf("messages       : %lld (bottleneck, incl. init)\n",
                   static_cast<long long>(r.total_messages_max));
+      std::printf("transport      : %s, comm %.2f ms, compute %.2f ms "
+                  "(measured)\n",
+                  to_string(r.transport), r.comm_seconds * 1e3,
+                  r.compute_seconds * 1e3);
       std::printf("wall time      : %.2f ms\n",
                   std::chrono::duration<double, std::milli>(stop - start)
                       .count());
@@ -529,15 +562,19 @@ int main(int argc, char** argv) {
         }
       }
 
-      Machine machine(procs);
+      std::unique_ptr<Transport> tp = make_transport(transport, procs);
+      if (verify_counts) {
+        tp = std::make_unique<CountingTransport>(std::move(tp));
+      }
       const auto start = std::chrono::steady_clock::now();
       const ParMttkrpResult r =
           plan.algo == ParAlgo::kGeneral
-              ? par_mttkrp_general(machine, x_run, factors, mode, plan.grid,
-                                   plan.collectives, plan.scheme)
-              : par_mttkrp_stationary(machine, x_run, factors, mode,
+              ? par_mttkrp_general(*tp, x_run, factors, mode, plan.grid,
+                                   plan.collectives, plan.scheme,
+                                   plan.kernel_variant)
+              : par_mttkrp_stationary(*tp, x_run, factors, mode,
                                       plan.grid, plan.collectives,
-                                      plan.scheme);
+                                      plan.scheme, plan.kernel_variant);
       const auto stop = std::chrono::steady_clock::now();
 
       ParProblem lb;
@@ -556,6 +593,15 @@ int main(int argc, char** argv) {
       std::printf("optimality     : %.2fx predicted, %.2fx simulated vs "
                   "lower bound %.0f\n", plan.optimality_ratio,
                   par_optimality_ratio(simulated, lb), plan.lower_bound);
+      std::printf("transport      : %s, kernel variant %s, comm %.2f ms, "
+                  "compute %.2f ms (measured)\n",
+                  to_string(r.transport), to_string(plan.kernel_variant),
+                  r.comm_seconds * 1e3, r.compute_seconds * 1e3);
+      if (const auto* ct = dynamic_cast<const CountingTransport*>(tp.get())) {
+        std::printf("verify counts  : %lld collectives matched the "
+                    "simulator word-for-word\n",
+                    static_cast<long long>(ct->collectives_checked()));
+      }
       std::printf("wall time      : %.2f ms\n",
                   std::chrono::duration<double, std::milli>(stop - start)
                       .count());
@@ -571,10 +617,13 @@ int main(int argc, char** argv) {
     if (procs > 0) {
       const std::vector<int> g =
           grid.empty() ? default_grid(dims, rank, procs) : grid;
-      Machine machine(procs);
+      std::unique_ptr<Transport> tp = make_transport(transport, procs);
+      if (verify_counts) {
+        tp = std::make_unique<CountingTransport>(std::move(tp));
+      }
       const auto start = std::chrono::steady_clock::now();
       const ParMttkrpResult r = par_mttkrp_stationary(
-          machine, x, factors, mode, g, collectives, scheme);
+          *tp, x, factors, mode, g, collectives, scheme, variant);
       const auto stop = std::chrono::steady_clock::now();
       ParProblem lb;
       lb.dims = dims;
@@ -593,6 +642,15 @@ int main(int argc, char** argv) {
       std::printf("messages       : %lld (bottleneck)\n",
                   static_cast<long long>(r.max_messages));
       std::printf("lower bound    : %.0f words\n", par_lower_bound(lb));
+      std::printf("transport      : %s, comm %.2f ms, compute %.2f ms "
+                  "(measured)\n",
+                  to_string(r.transport), r.comm_seconds * 1e3,
+                  r.compute_seconds * 1e3);
+      if (const auto* ct = dynamic_cast<const CountingTransport*>(tp.get())) {
+        std::printf("verify counts  : %lld collectives matched the "
+                    "simulator word-for-word\n",
+                    static_cast<long long>(ct->collectives_checked()));
+      }
       std::printf("wall time      : %.2f ms\n",
                   std::chrono::duration<double, std::milli>(stop - start)
                       .count());
