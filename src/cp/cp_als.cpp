@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/obs/trace.hpp"
 #include "src/sketch/sampled_mttkrp.hpp"
 #include "src/sketch/sketched_solve.hpp"
 #include "src/support/rng.hpp"
@@ -119,7 +120,13 @@ CpAlsResult cp_als(const StoredTensor& x, const CpAlsOptions& opts) {
 
   double previous_fit = 0.0;
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    Span sweep_span(SpanCategory::kSweep, "cp_als sweep");
     const bool redraw = sampled && ((iter - 1) % refresh == 0);
+    if (sweep_span.enabled()) {
+      sweep_span.arg("iter", iter);
+      sweep_span.arg("sampled", sampled ? 1 : 0);
+      sweep_span.arg("redraw", redraw ? 1 : 0);
+    }
     Matrix last_mttkrp;
     for (int mode = 0; mode < n; ++mode) {
       Matrix m, a;

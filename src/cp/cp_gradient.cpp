@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/mttkrp/dispatch.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sketch/sampled_mttkrp.hpp"
 #include "src/support/rng.hpp"
 
@@ -79,6 +80,8 @@ CpGradResult cp_gradient_descent_core(const shape_t& dims, double norm_x,
 
   double step = opts.initial_step;
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    Span sweep_span(SpanCategory::kSweep, "cp_gradient sweep");
+    if (sweep_span.enabled()) sweep_span.arg("iter", iter);
     // Gradients for every mode from the shared all-modes MTTKRP.
     std::vector<Matrix> gradients;
     gradients.reserve(static_cast<std::size_t>(n));

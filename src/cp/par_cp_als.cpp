@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "src/obs/trace.hpp"
 #include "src/parsim/collectives.hpp"
 #include "src/planner/plan_cache.hpp"
 #include "src/tensor/csf.hpp"
@@ -94,9 +95,17 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
             "par_cp_als needs an N-way grid, got ", opts.grid.size(),
             " extents for order ", n);
 
-  const std::unique_ptr<Transport> transport_owner =
-      make_transport(opts.transport, grid_size(opts.grid));
-  Transport& transport = *transport_owner;
+  std::unique_ptr<Transport> transport_owner;
+  if (opts.transport_ptr == nullptr) {
+    transport_owner = make_transport(opts.transport, grid_size(opts.grid));
+  } else {
+    MTK_CHECK(opts.transport_ptr->num_ranks() == grid_size(opts.grid),
+              "par_cp_als: caller transport has ",
+              opts.transport_ptr->num_ranks(), " ranks, grid needs ",
+              grid_size(opts.grid));
+  }
+  Transport& transport =
+      opts.transport_ptr != nullptr ? *opts.transport_ptr : *transport_owner;
 
   // Sparse inputs are planned once — the distribution (and, for CSF, the
   // per-rank one-tree-per-mode forest) depends only on (tensor, grid,
@@ -135,6 +144,11 @@ ParCpAlsResult par_cp_als(const StoredTensor& x, const ParCpAlsOptions& opts) {
 
   double previous_fit = 0.0;
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    Span sweep_span(SpanCategory::kSweep, "par_cp_als sweep");
+    if (sweep_span.enabled()) {
+      sweep_span.arg("iter", iter);
+      sweep_span.arg("ranks", transport.num_ranks());
+    }
     index_t mttkrp_words_iter = 0;
     index_t gram_words_iter = 0;
     const index_t msgs_before_iter = transport.max_messages_sent();

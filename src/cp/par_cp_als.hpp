@@ -48,6 +48,11 @@ struct ParCpAlsOptions {
   double flop_word_ratio = 0.0;
   double latency_word_ratio = 0.0;
   Calibration machine;
+  // Caller-owned transport to run on instead of a fresh one of `transport`
+  // kind (which is then ignored, but must have grid_size(grid) ranks). Lets
+  // the CLI wrap the run in a CountingTransport for --verify-counts and read
+  // phase records for the drift report. Borrowed; must outlive the call.
+  Transport* transport_ptr = nullptr;
 };
 
 struct ParCpAlsIterate {

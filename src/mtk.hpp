@@ -18,6 +18,8 @@
 //                     KRP sampling, sampled MTTKRP, sketched Gram solves
 //   src/cp/*          CP-ALS (sequential + simulated-parallel), CP-gradient;
 //                     storage-polymorphic via src/mttkrp/dispatch.hpp
+//   src/obs/*         observability: span tracer + Chrome-trace export,
+//                     process-wide metrics registry, plan-vs-actual drift
 //   src/io/*          binary tensor/matrix/model files, FROSTT .tns COO
 #pragma once
 
@@ -45,6 +47,9 @@
 #include "src/mttkrp/partial.hpp"
 #include "src/mttkrp/sparse_kernels.hpp"
 #include "src/mttkrp/thread_arena.hpp"
+#include "src/obs/drift.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/parsim/collective_variants.hpp"
 #include "src/parsim/collectives.hpp"
 #include "src/parsim/distribution.hpp"
@@ -65,6 +70,7 @@
 #include "src/sketch/sketched_solve.hpp"
 #include "src/support/check.hpp"
 #include "src/support/index.hpp"
+#include "src/support/json.hpp"
 #include "src/support/math_util.hpp"
 #include "src/support/rng.hpp"
 #include "src/tensor/block.hpp"

@@ -8,34 +8,46 @@
 #endif
 
 #include "src/mttkrp/thread_arena.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace mtk {
 
 namespace {
 
-// Which schedule actually executed, process-wide (relaxed atomics: the
-// counters are a regression hook, read between runs, not a synchronization
-// point). `serial` counts the kAuto fast path that bypasses scheduling.
-std::atomic<index_t> g_serial_calls{0};
-std::atomic<index_t> g_privatized_calls{0};
-std::atomic<index_t> g_atomic_calls{0};
-std::atomic<index_t> g_tiled_calls{0};
-
-void note_serial_executed() {
-  g_serial_calls.fetch_add(1, std::memory_order_relaxed);
+// Which schedule actually executed, process-wide — the regression hook for
+// planner plumbing, now homed on the MetricsRegistry under the stable
+// mtk.kernel.variant.* names (kernel_variant_counters() reads them back).
+// `serial` counts the kAuto fast path that bypasses scheduling. The
+// function-local statics resolve the registry lookup once per process.
+Counter& serial_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("mtk.kernel.variant.serial");
+  return c;
 }
+Counter& privatized_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("mtk.kernel.variant.privatized");
+  return c;
+}
+Counter& atomic_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("mtk.kernel.variant.atomic");
+  return c;
+}
+Counter& tiled_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("mtk.kernel.variant.tiled");
+  return c;
+}
+
+void note_serial_executed() { serial_counter().add(); }
 
 void note_variant_executed(SparseKernelVariant v) {
   switch (v) {
-    case SparseKernelVariant::kPrivatized:
-      g_privatized_calls.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case SparseKernelVariant::kAtomic:
-      g_atomic_calls.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case SparseKernelVariant::kTiled:
-      g_tiled_calls.fetch_add(1, std::memory_order_relaxed);
-      break;
+    case SparseKernelVariant::kPrivatized: privatized_counter().add(); break;
+    case SparseKernelVariant::kAtomic: atomic_counter().add(); break;
+    case SparseKernelVariant::kTiled: tiled_counter().add(); break;
     case SparseKernelVariant::kAuto:
       break;  // resolved before this point
   }
@@ -171,24 +183,30 @@ SparseKernelVariant resolve_coo_variant(SparseKernelVariant variant, int mode,
 
 KernelVariantCounters kernel_variant_counters() {
   KernelVariantCounters c;
-  c.serial = g_serial_calls.load(std::memory_order_relaxed);
-  c.privatized = g_privatized_calls.load(std::memory_order_relaxed);
-  c.atomic_adds = g_atomic_calls.load(std::memory_order_relaxed);
-  c.tiled = g_tiled_calls.load(std::memory_order_relaxed);
+  c.serial = serial_counter().value();
+  c.privatized = privatized_counter().value();
+  c.atomic_adds = atomic_counter().value();
+  c.tiled = tiled_counter().value();
   return c;
 }
 
 void reset_kernel_variant_counters() {
-  g_serial_calls.store(0, std::memory_order_relaxed);
-  g_privatized_calls.store(0, std::memory_order_relaxed);
-  g_atomic_calls.store(0, std::memory_order_relaxed);
-  g_tiled_calls.store(0, std::memory_order_relaxed);
+  serial_counter().reset();
+  privatized_counter().reset();
+  atomic_counter().reset();
+  tiled_counter().reset();
 }
 
 Matrix mttkrp_coo(const SparseTensor& x, const std::vector<Matrix>& factors,
                   int mode, bool parallel, SparseKernelVariant variant) {
   const index_t rank = check_mttkrp_args(x.dims(), factors, mode);
   MTK_CHECK(x.sorted(), "mttkrp_coo requires sort_and_dedup() first");
+  Span span(SpanCategory::kKernel, "mttkrp_coo");
+  if (span.enabled()) {
+    span.arg("nnz", x.nnz());
+    span.arg("mode", mode);
+    span.arg("variant", static_cast<int>(variant));
+  }
   Matrix b(x.dim(mode), rank);
   const index_t count = x.nnz();
   ThreadArena& arena = mttkrp_arena();
@@ -456,6 +474,12 @@ SparseKernelVariant resolve_csf_variant(SparseKernelVariant variant,
 Matrix mttkrp_csf(const CsfTensor& x, const std::vector<Matrix>& factors,
                   int mode, bool parallel, SparseKernelVariant variant) {
   const index_t rank = check_mttkrp_args(x.dims(), factors, mode);
+  Span span(SpanCategory::kKernel, "mttkrp_csf");
+  if (span.enabled()) {
+    span.arg("nnz", x.nnz());
+    span.arg("mode", mode);
+    span.arg("variant", static_cast<int>(variant));
+  }
   const int target = x.level_of_mode(mode);
   const int n = x.order();
   Matrix b(x.dim(mode), rank);
@@ -732,6 +756,11 @@ AllModesResult mttkrp_all_modes_fused(const CsfTensor& tree,
                                       bool parallel) {
   const int n = tree.order();
   MTK_CHECK(n >= 2, "all-modes MTTKRP requires order >= 2");
+  Span span(SpanCategory::kKernel, "mttkrp_all_modes_fused");
+  if (span.enabled()) {
+    span.arg("nnz", tree.nnz());
+    span.arg("order", n);
+  }
   const index_t rank = check_mttkrp_args(tree.dims(), factors, 0);
   for (int mode = 1; mode < n; ++mode) {
     check_mttkrp_args(tree.dims(), factors, mode);

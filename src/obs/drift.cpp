@@ -1,0 +1,186 @@
+#include "src/obs/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtk {
+namespace {
+
+enum class PhaseKind { kTensor, kFactor, kOutput, kGram, kUnknown };
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Maps the PhaseScope labels the drivers use onto the predictor's four
+// traffic categories. Labels are an API the drivers own; keep this switch
+// in sync when adding phases.
+PhaseKind classify(const std::string& label) {
+  if (starts_with(label, "all-gather X")) return PhaseKind::kTensor;
+  if (starts_with(label, "all-gather A")) return PhaseKind::kFactor;
+  if (starts_with(label, "reduce-scatter B")) return PhaseKind::kOutput;
+  if (starts_with(label, "all-reduce gram")) return PhaseKind::kGram;
+  return PhaseKind::kUnknown;
+}
+
+double drift_pct(double predicted, double actual) {
+  if (predicted == actual) return 0.0;
+  if (predicted == 0.0) return 100.0;
+  return 100.0 * (actual - predicted) / predicted;
+}
+
+}  // namespace
+
+double DriftRow::word_drift_pct() const {
+  return drift_pct(predicted_words, actual_words);
+}
+
+double DriftRow::message_drift_pct() const {
+  return drift_pct(predicted_messages, actual_messages);
+}
+
+const DriftRow* DriftReport::find(const std::string& phase) const {
+  for (const auto& row : rows) {
+    if (row.phase == phase) return &row;
+  }
+  return nullptr;
+}
+
+DriftReport compute_drift(const Transport& transport,
+                          const CommPrediction& predicted, double sweep_count,
+                          double gram_count) {
+  MTK_CHECK(sweep_count > 0.0 && gram_count > 0.0,
+            "compute_drift: counts must be positive");
+  const std::size_t p = static_cast<std::size_t>(transport.num_ranks());
+
+  // Per-rank, per-category accumulation over every recorded phase,
+  // normalized to one sweep so it is comparable to the per-iteration
+  // prediction. Legacy records without per-rank deltas contribute nothing
+  // (all current drivers record them).
+  constexpr int kCategories = 4;  // tensor, factor, output, gram
+  std::vector<double> words(p * kCategories, 0.0);
+  std::vector<double> msgs(p * kCategories, 0.0);
+  int recorded = 0;
+  for (const PhaseRecord& phase : transport.phases()) {
+    const PhaseKind kind = classify(phase.label);
+    if (kind == PhaseKind::kUnknown) continue;
+    if (phase.rank_words.size() != p || phase.rank_messages.size() != p) {
+      continue;
+    }
+    ++recorded;
+    const std::size_t c = static_cast<std::size_t>(kind);
+    for (std::size_t r = 0; r < p; ++r) {
+      words[r * kCategories + c] += static_cast<double>(phase.rank_words[r]);
+      msgs[r * kCategories + c] +=
+          static_cast<double>(phase.rank_messages[r]);
+    }
+  }
+
+  // Normalize to one sweep with a single division per category: the raw
+  // sums are exact integers, and one correctly-rounded division returns the
+  // exact quotient whenever it is representable — scaling each phase by a
+  // reciprocal instead would smear ~1e-16 of error into the exact-parity
+  // comparison.
+  for (std::size_t r = 0; r < p; ++r) {
+    for (int c = 0; c < kCategories; ++c) {
+      const double divisor = c == static_cast<int>(PhaseKind::kGram)
+                                 ? gram_count
+                                 : sweep_count;
+      words[r * kCategories + static_cast<std::size_t>(c)] /= divisor;
+      msgs[r * kCategories + static_cast<std::size_t>(c)] /= divisor;
+    }
+  }
+
+  // Mirror RankAccum::finalize (predict.cpp): the first rank with maximal
+  // total words supplies the breakdown; messages are the max over all ranks.
+  auto total_words = [&](std::size_t r) {
+    double t = 0.0;
+    for (int c = 0; c < kCategories; ++c) t += words[r * kCategories + c];
+    return t;
+  };
+  auto total_msgs = [&](std::size_t r) {
+    double t = 0.0;
+    for (int c = 0; c < kCategories; ++c) t += msgs[r * kCategories + c];
+    return t;
+  };
+  std::size_t best = 0;
+  double max_msgs = p > 0 ? total_msgs(0) : 0.0;
+  for (std::size_t r = 1; r < p; ++r) {
+    if (total_words(r) > total_words(best)) best = r;
+    max_msgs = std::max(max_msgs, total_msgs(r));
+  }
+
+  auto category = [&](PhaseKind kind, double* w, double* m) {
+    const std::size_t c = static_cast<std::size_t>(kind);
+    *w = p > 0 ? words[best * kCategories + c] : 0.0;
+    *m = p > 0 ? msgs[best * kCategories + c] : 0.0;
+  };
+
+  DriftReport report;
+  report.phases_recorded = recorded;
+  report.exact_expected =
+      transport.kind() == TransportKind::kSim && predicted.exact;
+
+  struct CatSpec {
+    const char* name;
+    PhaseKind kind;
+    double pred_words;
+    double pred_msgs;
+  };
+  const CatSpec cats[] = {
+      {"tensor", PhaseKind::kTensor, predicted.tensor_words,
+       predicted.tensor_messages},
+      {"factor", PhaseKind::kFactor, predicted.factor_words,
+       predicted.factor_messages},
+      {"output", PhaseKind::kOutput, predicted.output_words,
+       predicted.output_messages},
+      {"gram", PhaseKind::kGram, predicted.gram_words,
+       predicted.gram_messages},
+  };
+  for (const CatSpec& cat : cats) {
+    DriftRow row;
+    row.phase = cat.name;
+    row.predicted_words = cat.pred_words;
+    row.predicted_messages = cat.pred_msgs;
+    category(cat.kind, &row.actual_words, &row.actual_messages);
+    if (row.predicted_words == 0.0 && row.actual_words == 0.0 &&
+        row.predicted_messages == 0.0 && row.actual_messages == 0.0) {
+      continue;  // phase absent from this run (e.g. no tensor gather)
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  DriftRow total;
+  total.phase = "total";
+  total.predicted_words = predicted.words;
+  total.predicted_messages = predicted.messages;
+  total.actual_words = p > 0 ? total_words(best) : 0.0;
+  total.actual_messages = max_msgs;
+  report.rows.push_back(std::move(total));
+
+  for (const DriftRow& row : report.rows) {
+    report.max_abs_drift_pct =
+        std::max({report.max_abs_drift_pct, std::fabs(row.word_drift_pct()),
+                  std::fabs(row.message_drift_pct())});
+  }
+  return report;
+}
+
+void print_drift_report(std::FILE* out, const DriftReport& report) {
+  std::fprintf(out, "plan-vs-actual drift (%d phase records, %s parity)\n",
+               report.phases_recorded,
+               report.exact_expected ? "exact" : "best-effort");
+  std::fprintf(out, "  %-8s %14s %14s %8s %12s %12s %8s\n", "phase",
+               "pred words", "actual words", "drift", "pred msgs",
+               "actual msgs", "drift");
+  for (const DriftRow& row : report.rows) {
+    std::fprintf(out, "  %-8s %14.1f %14.1f %7.2f%% %12.1f %12.1f %7.2f%%\n",
+                 row.phase.c_str(), row.predicted_words, row.actual_words,
+                 row.word_drift_pct(), row.predicted_messages,
+                 row.actual_messages, row.message_drift_pct());
+  }
+  std::fprintf(out, "  max |drift| = %.4f%%%s\n", report.max_abs_drift_pct,
+               report.ok() ? "" : "  ** exceeds exact-parity requirement **");
+}
+
+}  // namespace mtk

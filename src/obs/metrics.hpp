@@ -1,0 +1,146 @@
+// Process-wide metrics registry: the one home for every counter the library
+// used to scatter across subsystems (kernel-variant witnesses, CSF build
+// counts, plan-cache hit rates, leverage-CDF rebuilds, collective traffic).
+//
+// Design rules (see DESIGN.md, "Observability"):
+//   * Instruments are registered once by stable dotted name
+//     ("mtk.kernel.variant.tiled") and live for the process lifetime — the
+//     returned references never dangle, so call sites hold them in
+//     function-local statics and the steady-state path never touches the
+//     registry lock.
+//   * The fast path is lock-free: Counter::add and Histogram::observe are
+//     relaxed atomic RMWs; Gauge::set is a relaxed store. Only registration
+//     (first call per site) and snapshotting take the mutex.
+//   * Snapshots are consistent-enough: values are read with relaxed loads
+//     while writers may be running; the registry is accounting, not a
+//     synchronization mechanism.
+//
+// Stable names in use are tabulated in README.md ("Observability").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mtk {
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    // Relaxed CAS loop: gauges are updated from orchestrator code, not the
+    // per-nonzero hot loop, so contention is negligible.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Power-of-two histogram over nonnegative integer observations: bucket b
+// counts values whose bit width is b (value 0 lands in bucket 0), so 64
+// fixed buckets cover the full int64 range with no configuration and the
+// observe path is two relaxed RMWs plus two bounded CAS loops.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(std::int64_t value);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Smallest / largest observation; 0 when empty.
+  std::int64_t min() const;
+  std::int64_t max() const;
+  std::int64_t bucket_count(int bucket) const;
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};  // valid only when count_ > 0
+  std::atomic<std::int64_t> max_{0};
+  std::atomic<std::int64_t> buckets_[kBuckets] = {};
+};
+
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+  };
+  std::vector<CounterRow> counters;      // sorted by name
+  std::vector<GaugeRow> gauges;          // sorted by name
+  std::vector<HistogramRow> histograms;  // sorted by name
+
+  const CounterRow* find_counter(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry. Intentionally leaked: instruments are
+  // referenced from function-local statics all over the library, so the
+  // registry must survive static destruction.
+  static MetricsRegistry& global();
+
+  // Returns the instrument registered under `name`, creating it on first
+  // use. A name identifies exactly one instrument kind; asking for the same
+  // name as a different kind throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  // Metrics snapshot in the BENCH_* telemetry shape: a "context" object
+  // (kind mtk-metrics-v1) and a "benchmarks" array with one row per
+  // instrument, so the same downstream tooling consumes bench telemetry and
+  // metrics snapshots uniformly (tools/validate_telemetry checks both).
+  void write_json(std::FILE* out) const;
+  bool write_json_file(const std::string& path) const;
+
+  // Zeroes every registered instrument (names stay registered). Tests only.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mtk

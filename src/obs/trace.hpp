@@ -1,0 +1,160 @@
+// Span-based tracer with a near-zero-cost disabled path.
+//
+// Usage:
+//   TraceSession session;
+//   session.start();                     // tracing on, process-wide
+//   { Span s(SpanCategory::kKernel, "mttkrp_csf"); s.arg("nnz", nnz); ... }
+//   session.stop();                      // tracing off; events retained
+//   session.write_chrome_trace_file("trace.json");
+//
+// Overhead discipline (the invariants DESIGN.md's appendix explains):
+//   * Disabled (the default — no session started): a Span constructor is one
+//     relaxed atomic load and trivial stack initialization. No clock read, no
+//     allocation, no branch beyond the null check. Tier-1 perf gates
+//     (kernel_smoke) run with tracing off and must not see the tracer.
+//   * Enabled: events land in per-thread buffers (vector push_back onto
+//     pre-reserved storage), so the hot path takes no lock and shares no
+//     cache line across threads. Buffer registration — once per thread per
+//     session — is the only locked operation.
+//   * Span names and arg names must be string literals (or otherwise outlive
+//     the session): spans store `const char*` and never copy or allocate.
+//
+// Rank attribution: transports call TraceSession::set_current_rank(r) on the
+// thread about to run rank r's work (ThreadTransport worker threads do it
+// once at spawn; SimTransport brackets each run_ranks body). Spans opened
+// while a rank is current are emitted on that rank's track in the Chrome
+// trace (tid = rank + 1; tid 0 is the orchestrator thread).
+//
+// stop() requires quiescence: the caller must ensure no thread is inside a
+// Span when stop() flips the session off. All call sites in this repo stop
+// only after transports are joined / parallel regions ended.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mtk {
+
+enum class SpanCategory : std::uint8_t {
+  kCollective,  // one collective phase (all-gather / reduce-scatter / ...)
+  kKernel,      // one local MTTKRP kernel dispatch
+  kPlanner,     // plan_mttkrp scoring, plan-cache lookups
+  kSweep,       // one CP-ALS / CP-gradient iteration, leverage redraws
+  kPhase,       // driver-level phase (gather factors / local compute / ...)
+  kOther,
+};
+
+const char* to_string(SpanCategory category);
+
+struct TraceEvent {
+  static constexpr int kMaxArgs = 3;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  int track = 0;  // 0 = orchestrator, r + 1 = transport rank r
+  SpanCategory category = SpanCategory::kOther;
+  const char* name = "";
+  struct Arg {
+    const char* name = "";
+    std::int64_t value = 0;
+  };
+  Arg args[kMaxArgs];
+  int arg_count = 0;
+};
+
+class TraceSession {
+ public:
+  // Out of line: the implicit member instantiations need the complete
+  // ThreadBuffer type, which only trace.cpp has.
+  TraceSession();
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  // Makes this session the process-wide active one. Only one session may be
+  // active at a time.
+  void start();
+  // Deactivates tracing. Requires span quiescence (see file comment).
+  // Collected events remain available for export.
+  void stop();
+  bool active() const { return active_; }
+
+  // The active session, or nullptr when tracing is off. One relaxed load.
+  static TraceSession* current() {
+    return g_current.load(std::memory_order_relaxed);
+  }
+
+  // Tags the calling thread as executing `rank`'s work (-1 = orchestrator).
+  // No-op when no session is active.
+  static void set_current_rank(int rank);
+  static int current_rank();
+
+  // Monotonic clock in nanoseconds (0 at first use in the process).
+  static std::int64_t now_ns();
+
+  void record(const TraceEvent& event);
+
+  // All recorded events, merged across threads (stable within a thread).
+  // Call only while stopped.
+  std::vector<TraceEvent> events() const;
+
+  // Chrome trace-event JSON ("trace event format"), loadable in Perfetto /
+  // chrome://tracing: thread_name metadata per track, then complete ("X")
+  // events sorted by timestamp. Call only while stopped.
+  void write_chrome_trace(std::FILE* out) const;
+  bool write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer;
+  ThreadBuffer* buffer_for_this_thread();
+
+  static std::atomic<TraceSession*> g_current;
+
+  bool active_ = false;
+  std::uint64_t generation_ = 0;  // distinguishes sessions for TL caching
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+// RAII span. Construction snapshots the clock when tracing is enabled;
+// destruction records one TraceEvent into the calling thread's buffer.
+class Span {
+ public:
+  Span(SpanCategory category, const char* name) {
+    session_ = TraceSession::current();
+    if (session_ == nullptr) return;
+    event_.category = category;
+    event_.name = name;
+    event_.track = TraceSession::current_rank() + 1;
+    event_.start_ns = TraceSession::now_ns();
+  }
+
+  ~Span() {
+    if (session_ == nullptr) return;
+    event_.dur_ns = TraceSession::now_ns() - event_.start_ns;
+    session_->record(event_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attaches a labeled integer to the event; `name` must be a literal.
+  // Silently drops args beyond TraceEvent::kMaxArgs.
+  void arg(const char* name, std::int64_t value) {
+    if (session_ == nullptr) return;
+    if (event_.arg_count >= TraceEvent::kMaxArgs) return;
+    event_.args[event_.arg_count++] = {name, value};
+  }
+
+  bool enabled() const { return session_ != nullptr; }
+
+ private:
+  TraceSession* session_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace mtk

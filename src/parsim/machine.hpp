@@ -28,11 +28,18 @@ struct CommStats {
   index_t words_moved() const { return words_sent + words_received; }
 };
 
-// One collective phase, recorded for per-phase breakdowns in benchmarks.
+// One collective phase, recorded for per-phase breakdowns in benchmarks and
+// for the plan-vs-actual drift report (src/obs/drift).
 struct PhaseRecord {
   std::string label;
   int group_size = 0;
   index_t max_words_one_rank = 0;  // max over group members of sent+received
+  // Per-machine-rank deltas over the phase: words moved (sent + received)
+  // and messages sent. Empty in records built by hand; PhaseScope fills
+  // them, and the drift report needs them to reproduce the predictor's
+  // bottleneck-rank semantics.
+  std::vector<index_t> rank_words;
+  std::vector<index_t> rank_messages;
 };
 
 class Machine {

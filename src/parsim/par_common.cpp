@@ -37,19 +37,30 @@ PhaseScope::PhaseScope(Transport& transport, std::string label,
     : transport_(transport),
       label_(std::move(label)),
       group_size_(group_size) {
-  before_.reserve(static_cast<std::size_t>(transport.num_ranks()));
+  const std::size_t p = static_cast<std::size_t>(transport.num_ranks());
+  before_.reserve(p);
+  before_messages_.reserve(p);
   for (int r = 0; r < transport.num_ranks(); ++r) {
     before_.push_back(transport.stats(r).words_moved());
+    before_messages_.push_back(transport.stats(r).messages_sent);
   }
 }
 
 PhaseScope::~PhaseScope() {
-  index_t max_delta = 0;
-  for (int r = 0; r < transport_.num_ranks(); ++r) {
-    max_delta = std::max(max_delta, transport_.stats(r).words_moved() -
-                                        before_[static_cast<std::size_t>(r)]);
+  PhaseRecord record;
+  record.label = label_;
+  record.group_size = group_size_;
+  const std::size_t p = static_cast<std::size_t>(transport_.num_ranks());
+  record.rank_words.resize(p);
+  record.rank_messages.resize(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    const CommStats& stats = transport_.stats(static_cast<int>(r));
+    record.rank_words[r] = stats.words_moved() - before_[r];
+    record.rank_messages[r] = stats.messages_sent - before_messages_[r];
+    record.max_words_one_rank =
+        std::max(record.max_words_one_rank, record.rank_words[r]);
   }
-  transport_.record_phase({label_, group_size_, max_delta});
+  transport_.record_phase(std::move(record));
 }
 
 Matrix distributed_gram(Transport& transport, const Matrix& a,
@@ -78,6 +89,7 @@ Matrix distributed_gram(Transport& transport, const Matrix& a,
   for (int rank = 0; rank < p; ++rank) {
     group[static_cast<std::size_t>(rank)] = rank;
   }
+  PhaseScope scope(transport, "all-reduce gram", p);
   const std::vector<double> summed = transport.all_reduce(group, partials, kind);
 
   Matrix g(r, r);

@@ -58,6 +58,7 @@ class PhaseScope {
   std::string label_;
   int group_size_;
   std::vector<index_t> before_;
+  std::vector<index_t> before_messages_;
 };
 
 // Flattens rows [rows.lo, rows.hi) x all columns of `m` (row-major order).

@@ -11,6 +11,25 @@ CountingTransport::CountingTransport(std::unique_ptr<Transport> inner)
   MTK_CHECK(inner_ != nullptr, "CountingTransport needs an inner transport");
   // The shadow replays from zero, so the inner counters must start there too.
   inner_->reset_stats();
+  // The do_* replays call the inner transport's *public* entry points; let
+  // those record the telemetry once instead of double-counting it here.
+  record_telemetry_ = false;
+}
+
+index_t CountingTransport::words_compared() const {
+  index_t total = 0;
+  for (int r = 0; r < num_ranks(); ++r) {
+    total += shadow_.stats(r).words_sent + shadow_.stats(r).words_received;
+  }
+  return total;
+}
+
+index_t CountingTransport::messages_compared() const {
+  index_t total = 0;
+  for (int r = 0; r < num_ranks(); ++r) {
+    total += shadow_.stats(r).messages_sent;
+  }
+  return total;
 }
 
 void CountingTransport::check_counters(const char* what) {

@@ -37,6 +37,11 @@ class CountingTransport final : public Transport {
   const Machine& shadow() const { return shadow_; }
   index_t collectives_checked() const { return collectives_checked_; }
 
+  // Totals compared so far, summed over ranks — the numbers the CLI's
+  // --verify-counts parity summary reports.
+  index_t words_compared() const;
+  index_t messages_compared() const;
+
  protected:
   std::vector<double> do_all_gather(
       const std::vector<int>& group,

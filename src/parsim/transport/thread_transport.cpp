@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.hpp"
+
 namespace mtk {
 
 namespace {
@@ -97,6 +99,10 @@ void ThreadTransport::worker_loop(int rank) {
       seen = generation_;
       job = job_;
     }
+    // Tag this worker thread with its rank per job (not once at spawn): a
+    // TraceSession started after the transport still attributes spans to
+    // the right track, since the tag is per session generation.
+    TraceSession::set_current_rank(rank);
     std::exception_ptr err;
     try {
       (*job)(rank);
@@ -187,8 +193,13 @@ std::vector<double> ThreadTransport::recv(int to, int from) {
 // arithmetic, same accumulation order — so data and counters both match.
 
 void ThreadTransport::run_all_gather_bucket(const GatherCtx& ctx, int pos) {
+  Span span(SpanCategory::kCollective, "member all-gather/bucket");
   const std::vector<int>& group = *ctx.group;
   const int q = static_cast<int>(group.size());
+  if (span.enabled()) {
+    span.arg("group", q);
+    span.arg("words", ctx.total);
+  }
   const int self = group[static_cast<std::size_t>(pos)];
   std::vector<double> result(static_cast<std::size_t>(ctx.total));
   const std::vector<double>& own =
@@ -219,8 +230,13 @@ void ThreadTransport::run_all_gather_bucket(const GatherCtx& ctx, int pos) {
 }
 
 void ThreadTransport::run_all_gather_doubling(const GatherCtx& ctx, int pos) {
+  Span span(SpanCategory::kCollective, "member all-gather/recursive");
   const std::vector<int>& group = *ctx.group;
   const int q = static_cast<int>(group.size());
+  if (span.enabled()) {
+    span.arg("group", q);
+    span.arg("words", ctx.total);
+  }
   const int self = group[static_cast<std::size_t>(pos)];
   std::vector<double> result(static_cast<std::size_t>(ctx.total));
   const std::vector<double>& own =
@@ -271,8 +287,13 @@ void ThreadTransport::run_all_gather_doubling(const GatherCtx& ctx, int pos) {
 
 void ThreadTransport::run_reduce_scatter_bucket(const ReduceCtx& ctx,
                                                 int pos) {
+  Span span(SpanCategory::kCollective, "member reduce-scatter/bucket");
   const std::vector<int>& group = *ctx.group;
   const int q = static_cast<int>(group.size());
+  if (span.enabled()) {
+    span.arg("group", q);
+    span.arg("words", ctx.total);
+  }
   const int self = group[static_cast<std::size_t>(pos)];
   const std::vector<double>& own =
       (*ctx.inputs)[static_cast<std::size_t>(pos)];
@@ -305,8 +326,13 @@ void ThreadTransport::run_reduce_scatter_bucket(const ReduceCtx& ctx,
 
 void ThreadTransport::run_reduce_scatter_halving(const ReduceCtx& ctx,
                                                  int pos) {
+  Span span(SpanCategory::kCollective, "member reduce-scatter/recursive");
   const std::vector<int>& group = *ctx.group;
   const int q = static_cast<int>(group.size());
+  if (span.enabled()) {
+    span.arg("group", q);
+    span.arg("words", ctx.total);
+  }
   const int self = group[static_cast<std::size_t>(pos)];
   const index_t chunk = ctx.total / q;
 

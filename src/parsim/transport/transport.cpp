@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/parsim/transport/thread_transport.hpp"
 
 namespace mtk {
@@ -13,6 +15,12 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+index_t payload_words(const std::vector<std::vector<double>>& buffers) {
+  index_t words = 0;
+  for (const auto& b : buffers) words += static_cast<index_t>(b.size());
+  return words;
 }
 
 }  // namespace
@@ -29,6 +37,21 @@ std::vector<double> Transport::all_gather(
     const std::vector<int>& group,
     const std::vector<std::vector<double>>& contributions,
     CollectiveKind kind) {
+  if (!record_telemetry_) return do_all_gather(group, contributions, kind);
+  Span span(SpanCategory::kCollective, kind == CollectiveKind::kRecursive
+                                           ? "all-gather/recursive"
+                                           : "all-gather/bucket");
+  const int q = static_cast<int>(group.size());
+  if (span.enabled()) {
+    span.arg("group", q);
+    span.arg("words", payload_words(contributions));
+    span.arg("rounds", collective_rounds(
+                           q, kind == CollectiveKind::kRecursive &&
+                                  recursive_all_gather_applies(q)));
+  }
+  static Counter& calls =
+      MetricsRegistry::global().counter("mtk.transport.all_gather.calls");
+  calls.add();
   const auto start = Clock::now();
   std::vector<double> result = do_all_gather(group, contributions, kind);
   comm_seconds_ += seconds_since(start);
@@ -39,6 +62,24 @@ std::vector<std::vector<double>> Transport::reduce_scatter(
     const std::vector<int>& group,
     const std::vector<std::vector<double>>& inputs,
     const std::vector<index_t>& chunk_sizes, CollectiveKind kind) {
+  if (!record_telemetry_) {
+    return do_reduce_scatter(group, inputs, chunk_sizes, kind);
+  }
+  Span span(SpanCategory::kCollective, kind == CollectiveKind::kRecursive
+                                           ? "reduce-scatter/recursive"
+                                           : "reduce-scatter/bucket");
+  const int q = static_cast<int>(group.size());
+  if (span.enabled()) {
+    span.arg("group", q);
+    span.arg("words", payload_words(inputs));
+    span.arg("rounds",
+             collective_rounds(
+                 q, kind == CollectiveKind::kRecursive &&
+                        recursive_reduce_scatter_applies(q, chunk_sizes)));
+  }
+  static Counter& calls =
+      MetricsRegistry::global().counter("mtk.transport.reduce_scatter.calls");
+  calls.add();
   const auto start = Clock::now();
   std::vector<std::vector<double>> result =
       do_reduce_scatter(group, inputs, chunk_sizes, kind);
@@ -67,6 +108,11 @@ std::vector<double> Transport::all_reduce(
 }
 
 void Transport::run_ranks(const std::function<void(int)>& body) {
+  Span span(SpanCategory::kPhase, "run_ranks");
+  if (span.enabled()) span.arg("ranks", num_ranks());
+  static Counter& calls =
+      MetricsRegistry::global().counter("mtk.transport.run_ranks.calls");
+  if (record_telemetry_) calls.add();
   const auto start = Clock::now();
   do_run_ranks(body);
   compute_seconds_ += seconds_since(start);
@@ -119,7 +165,11 @@ void SimTransport::do_run_ranks(const std::function<void(int)>& body) {
   const int p = machine_->num_ranks();
 #pragma omp parallel for schedule(dynamic)
   for (int r = 0; r < p; ++r) {
+    // Tag the worker thread so spans opened inside the body land on rank
+    // r's trace track; OpenMP reuses threads across ranks, so reset after.
+    TraceSession::set_current_rank(r);
     body(r);
+    TraceSession::set_current_rank(-1);
   }
 }
 

@@ -93,6 +93,11 @@ class Transport {
 
   double comm_seconds_ = 0.0;
   double compute_seconds_ = 0.0;
+  // Whether the public entry points emit spans and registry counters.
+  // CountingTransport turns this off on itself: its do_* methods replay
+  // every collective through the inner transport's *public* entry points,
+  // which would otherwise record each exchange twice.
+  bool record_telemetry_ = true;
 };
 
 // The counting-Machine backend: collectives delegate to the centralized

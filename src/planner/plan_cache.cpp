@@ -6,6 +6,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace mtk {
 
 namespace {
@@ -144,6 +147,11 @@ PlanCache::KeyFields PlanCache::make_key_fields(const StoredTensor& x,
 
 std::shared_ptr<const PlanReport> PlanCache::get_or_plan(
     const StoredTensor& x, index_t rank, const PlannerOptions& opts) {
+  Span span(SpanCategory::kPlanner, "plan_cache.get_or_plan");
+  static Counter& hit_count =
+      MetricsRegistry::global().counter("mtk.plan.cache.hits");
+  static Counter& miss_count =
+      MetricsRegistry::global().counter("mtk.plan.cache.misses");
   const std::uint64_t key = plan_cache_key(x, rank, opts);
   KeyFields fields = make_key_fields(x, rank, opts);
   {
@@ -151,9 +159,12 @@ std::shared_ptr<const PlanReport> PlanCache::get_or_plan(
     const auto it = map_.find(key);
     if (it != map_.end() && it->second.key == fields) {
       ++hits_;
+      hit_count.add();
+      span.arg("hit", 1);
       return it->second.report;
     }
   }
+  span.arg("hit", 0);
   // Plan outside the lock: planning is the expensive part, and concurrent
   // misses on the same key just race to insert identical reports. A hash
   // slot whose stored fields mismatch (a cross-problem collision) is
@@ -162,6 +173,7 @@ std::shared_ptr<const PlanReport> PlanCache::get_or_plan(
       plan_mttkrp(x, rank, opts));
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
+  miss_count.add();
   auto& entry = map_[key];
   if (entry.report == nullptr || !(entry.key == fields)) {
     entry = Entry{std::move(fields), std::move(report)};

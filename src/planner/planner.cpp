@@ -5,6 +5,8 @@
 #include <string>
 
 #include "src/costmodel/grid_search.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/parsim/grid.hpp"
 #include "src/parsim/par_common.hpp"
 #include "src/sketch/krp_sample.hpp"
@@ -206,6 +208,15 @@ PlanReport plan_impl(const PredictProblem& p, const PlannerOptions& opts) {
     survivor_fraction = std::min(
         1.0, static_cast<double>(sampled_count) / std::max(cells, 1.0));
   }
+
+  Span span(SpanCategory::kPlanner, "plan_mttkrp");
+  if (span.enabled()) {
+    span.arg("candidates", static_cast<index_t>(candidates.size()));
+    span.arg("procs", opts.procs);
+  }
+  static Counter& plans_scored =
+      MetricsRegistry::global().counter("mtk.plan.candidates_scored");
+  plans_scored.add(static_cast<index_t>(candidates.size()));
 
   std::vector<ExecutionPlan> plans;
   for (const Candidate& cand : candidates) {

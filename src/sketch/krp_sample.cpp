@@ -3,6 +3,8 @@
 #include <cmath>
 #include <optional>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sketch/leverage.hpp"
 #include "src/support/check.hpp"
 
@@ -138,10 +140,15 @@ KrpSample KrpLeverageCache::sample(const std::vector<Matrix>& factors,
       [&](int k) -> const DiscreteSampler& {
         const std::size_t ks = static_cast<std::size_t>(k);
         if (dirty_[ks] || !samplers_[ks].has_value()) {
+          Span span(SpanCategory::kSweep, "leverage redraw");
+          if (span.enabled()) span.arg("mode", k);
           samplers_[ks] =
               build_leverage_sampler(factors[ks], grams[ks]);
           dirty_[ks] = 0;
           ++rebuilds_;
+          static Counter& rebuild_count = MetricsRegistry::global().counter(
+              "mtk.sketch.leverage_rebuilds");
+          rebuild_count.add();
         }
         return *samplers_[ks];
       });

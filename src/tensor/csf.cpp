@@ -1,20 +1,24 @@
 #include "src/tensor/csf.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <numeric>
+
+#include "src/obs/metrics.hpp"
 
 namespace mtk {
 
 namespace {
 
-std::atomic<index_t> g_csf_builds{0};
+// Lives on the MetricsRegistry so CSF (re)build pressure shows up in
+// metrics snapshots; build_count() stays as the legacy accessor.
+Counter& csf_build_counter() {
+  static Counter& c = MetricsRegistry::global().counter("mtk.csf.builds");
+  return c;
+}
 
 }  // namespace
 
-index_t CsfTensor::build_count() {
-  return g_csf_builds.load(std::memory_order_relaxed);
-}
+index_t CsfTensor::build_count() { return csf_build_counter().value(); }
 
 int CsfTensor::level_of_mode(int mode) const {
   MTK_CHECK(mode >= 0 && mode < order(), "mode ", mode,
@@ -63,7 +67,7 @@ CsfTensor CsfTensor::from_coo_ordered(const SparseTensor& coo,
       seen[static_cast<std::size_t>(k)] = true;
     }
   }
-  g_csf_builds.fetch_add(1, std::memory_order_relaxed);
+  csf_build_counter().add();
 
   CsfTensor csf;
   csf.dims_ = coo.dims();

@@ -99,6 +99,7 @@ int usage(const char* argv0) {
       "          [--procs P] [--grid P1,P2,...] [--scheme block|medium]\n"
       "          [--collectives bucket|rec] [--transport sim|threads]\n"
       "          [--verify-counts] [--plan] [--autotune]\n"
+      "          [--trace-out FILE] [--metrics-json FILE] [--drift-report]\n"
       "          [--flop-word-ratio F] [--latency-word-ratio L]\n"
       "          [--calibrate] [--cache-file FILE]\n"
       "          [--cp-als] [--iters N] [--tol T] [--save-tns FILE]\n"
@@ -125,10 +126,22 @@ int usage(const char* argv0) {
       "             schedules bit-identically and report measured seconds\n"
       "             next to the simulated word counts (--transport=X also\n"
       "             accepted)\n"
-      "  --verify-counts  wrap the parallel-MTTKRP transport in the\n"
-      "             counting checker: every collective is replayed on a\n"
-      "             shadow machine and word/message counters must match\n"
-      "             the real exchange exactly\n"
+      "  --verify-counts  wrap the parallel transport (MTTKRP or --cp-als)\n"
+      "             in the counting checker: every collective is replayed\n"
+      "             on a shadow machine and word/message counters must\n"
+      "             match the real exchange exactly; prints a one-line\n"
+      "             parity summary\n"
+      "  --trace-out  record a span trace of the whole run (collectives,\n"
+      "             kernels, planner, sweeps; one track per transport rank)\n"
+      "             and write Chrome trace-event JSON to FILE — load it in\n"
+      "             Perfetto or chrome://tracing\n"
+      "  --metrics-json  write a snapshot of the process-wide metrics\n"
+      "             registry (mtk.* counters) to FILE in the BENCH_*\n"
+      "             telemetry JSON shape\n"
+      "  --drift-report  after a parallel run, print the plan-vs-actual\n"
+      "             table: the predictor's per-phase words/messages vs the\n"
+      "             transport's recorded phase counters; exits nonzero on\n"
+      "             any drift when the sim backend promises exactness\n"
       "  --plan     print the planner's ranked execution plans and exit\n"
       "             (needs --procs)\n"
       "  --autotune let the planner pick algorithm/backend/grid/scheme for\n"
@@ -199,6 +212,9 @@ int main(int argc, char** argv) {
   CollectiveKind collectives = CollectiveKind::kBucket;
   TransportKind transport = TransportKind::kSim;
   bool verify_counts = false;
+  std::string trace_out;
+  std::string metrics_json;
+  bool drift_report = false;
   bool cp_als_run = false;
   bool plan_only = false;
   bool autotune = false;
@@ -255,6 +271,12 @@ int main(int argc, char** argv) {
         transport = parse_transport(arg.substr(std::strlen("--transport=")));
       } else if (arg == "--verify-counts") {
         verify_counts = true;
+      } else if (arg == "--trace-out") {
+        trace_out = next();
+      } else if (arg == "--metrics-json") {
+        metrics_json = next();
+      } else if (arg == "--drift-report") {
+        drift_report = true;
       } else if (arg == "--cp-als") {
         cp_als_run = true;
       } else if (arg == "--plan") {
@@ -318,6 +340,36 @@ int main(int argc, char** argv) {
                 " does not match --procs ", procs);
     }
 
+    MTK_CHECK(!drift_report || procs > 0,
+              "--drift-report needs a parallel run (--procs or --grid)");
+
+    // Observability: the span tracer covers everything from here on
+    // (planning, backend conversion, the run itself); artifacts are written
+    // by finish() on every exit path.
+    TraceSession session;
+    if (!trace_out.empty()) session.start();
+    const auto finish = [&](int rc) -> int {
+      if (session.active()) {
+        session.stop();
+        if (session.write_chrome_trace_file(trace_out)) {
+          std::printf("trace          : %s (%zu spans)\n", trace_out.c_str(),
+                      session.events().size());
+        } else {
+          std::fprintf(stderr, "warning: could not write trace %s\n",
+                       trace_out.c_str());
+        }
+      }
+      if (!metrics_json.empty()) {
+        if (MetricsRegistry::global().write_json_file(metrics_json)) {
+          std::printf("metrics        : %s\n", metrics_json.c_str());
+        } else {
+          std::fprintf(stderr, "warning: could not write metrics %s\n",
+                       metrics_json.c_str());
+        }
+      }
+      return rc;
+    };
+
     Rng rng(seed);
 
     // Build the tensor in its interchange form, then the requested backend.
@@ -342,7 +394,7 @@ int main(int argc, char** argv) {
       save_tensor_tns(coo, save_tns_path);
       std::printf("saved          : %s (%lld nonzeros)\n",
                   save_tns_path.c_str(), static_cast<long long>(coo.nnz()));
-      return 0;
+      return finish(0);
     }
 
     CsfTensor csf;
@@ -441,7 +493,7 @@ int main(int argc, char** argv) {
       print_plan_report(*report, stdout);
       report_cache(hits_before);
       save_cache();
-      return 0;
+      return finish(0);
     }
 
     if (cp_als_run && procs > 0) {
@@ -463,6 +515,21 @@ int main(int argc, char** argv) {
       opts.machine = cal;
       opts.transport = transport;
       if (variant_set) opts.kernel_variant = variant;
+      // --verify-counts / --drift-report need access to the transport after
+      // the run (shadow counters, recorded phases), so the CLI owns it and
+      // lends it to the solver. Planner grids are exact factorizations of
+      // P, so `procs` ranks fit every path including autotune.
+      std::unique_ptr<Transport> tp;
+      const CountingTransport* counting = nullptr;
+      if (verify_counts || drift_report) {
+        tp = make_transport(transport, procs);
+        if (verify_counts) {
+          auto ct = std::make_unique<CountingTransport>(std::move(tp));
+          counting = ct.get();
+          tp = std::move(ct);
+        }
+        opts.transport_ptr = tp.get();
+      }
       const std::size_t hits_before = PlanCache::global().hits();
       const auto start = std::chrono::steady_clock::now();
       const ParCpAlsResult r = par_cp_als(x, opts);
@@ -499,10 +566,35 @@ int main(int argc, char** argv) {
                   "(measured)\n",
                   to_string(r.transport), r.comm_seconds * 1e3,
                   r.compute_seconds * 1e3);
+      if (counting != nullptr) {
+        std::printf("verify counts  : %lld collectives matched the "
+                    "simulator word-for-word (%lld words, %lld messages "
+                    "compared)\n",
+                    static_cast<long long>(counting->collectives_checked()),
+                    static_cast<long long>(counting->words_compared()),
+                    static_cast<long long>(counting->messages_compared()));
+      }
       std::printf("wall time      : %.2f ms\n",
                   std::chrono::duration<double, std::milli>(stop - start)
                       .count());
-      return 0;
+      if (drift_report) {
+        // Compare the run's recorded phases against the per-iteration
+        // prediction for the configuration that actually executed
+        // (autotuned runs may have converted backend / picked the grid).
+        SparseTensor scratch;
+        PredictProblem pp = make_predict_problem(x, rank, scratch);
+        pp.format = r.autotuned ? r.plan.backend : backend;
+        const CommPrediction pred = predict_cp_als_iteration(
+            pp, r.autotuned ? r.plan.grid : opts.grid,
+            r.autotuned ? r.plan.scheme : scheme,
+            r.autotuned ? r.plan.collectives
+                        : CollectiveSchedule(collectives));
+        const DriftReport drift =
+            compute_drift(*tp, pred, r.iterations, r.iterations + 1);
+        print_drift_report(stdout, drift);
+        if (!drift.ok()) return finish(4);
+      }
+      return finish(0);
     }
 
     if (cp_als_run) {
@@ -531,7 +623,7 @@ int main(int argc, char** argv) {
       std::printf("wall time      : %.2f ms\n",
                   std::chrono::duration<double, std::milli>(stop - start)
                       .count());
-      return 0;
+      return finish(0);
     }
 
     // Only the MTTKRP paths consume external factors; the CP-ALS drivers
@@ -599,8 +691,11 @@ int main(int argc, char** argv) {
                   r.comm_seconds * 1e3, r.compute_seconds * 1e3);
       if (const auto* ct = dynamic_cast<const CountingTransport*>(tp.get())) {
         std::printf("verify counts  : %lld collectives matched the "
-                    "simulator word-for-word\n",
-                    static_cast<long long>(ct->collectives_checked()));
+                    "simulator word-for-word (%lld words, %lld messages "
+                    "compared)\n",
+                    static_cast<long long>(ct->collectives_checked()),
+                    static_cast<long long>(ct->words_compared()),
+                    static_cast<long long>(ct->messages_compared()));
       }
       std::printf("wall time      : %.2f ms\n",
                   std::chrono::duration<double, std::milli>(stop - start)
@@ -611,7 +706,16 @@ int main(int argc, char** argv) {
                           0.10 * std::max(simulated, 1.0);
       std::printf("prediction     : %s (within 10%%)\n",
                   within ? "OK" : "FAIL");
-      return within ? 0 : 3;
+      if (drift_report) {
+        SparseTensor scratch;
+        const PredictProblem pp = make_predict_problem(x_run, rank, scratch);
+        const CommPrediction pred = predict_mttkrp_comm(
+            pp, plan.algo, plan.grid, mode, plan.scheme, plan.collectives);
+        const DriftReport drift = compute_drift(*tp, pred);
+        print_drift_report(stdout, drift);
+        if (!drift.ok()) return finish(4);
+      }
+      return finish(within ? 0 : 3);
     }
 
     if (procs > 0) {
@@ -648,13 +752,26 @@ int main(int argc, char** argv) {
                   r.compute_seconds * 1e3);
       if (const auto* ct = dynamic_cast<const CountingTransport*>(tp.get())) {
         std::printf("verify counts  : %lld collectives matched the "
-                    "simulator word-for-word\n",
-                    static_cast<long long>(ct->collectives_checked()));
+                    "simulator word-for-word (%lld words, %lld messages "
+                    "compared)\n",
+                    static_cast<long long>(ct->collectives_checked()),
+                    static_cast<long long>(ct->words_compared()),
+                    static_cast<long long>(ct->messages_compared()));
       }
       std::printf("wall time      : %.2f ms\n",
                   std::chrono::duration<double, std::milli>(stop - start)
                       .count());
-      return 0;
+      if (drift_report) {
+        SparseTensor scratch;
+        const PredictProblem pp = make_predict_problem(x, rank, scratch);
+        const CommPrediction pred = predict_mttkrp_comm(
+            pp, ParAlgo::kStationary, g, mode, scheme,
+            CollectiveSchedule(collectives));
+        const DriftReport drift = compute_drift(*tp, pred);
+        print_drift_report(stdout, drift);
+        if (!drift.ok()) return finish(4);
+      }
+      return finish(0);
     }
 
     if (sketch.enabled()) {
@@ -705,7 +822,7 @@ int main(int argc, char** argv) {
       std::printf("sampled kernel : %.2f ms (+%.2f ms sample draw), "
                   "%.2fx kernel speedup\n",
                   kernel_ms, draw_ms, exact_ms / std::max(kernel_ms, 1e-9));
-      return 0;
+      return finish(0);
     }
 
     const auto start = std::chrono::steady_clock::now();
@@ -751,6 +868,7 @@ int main(int argc, char** argv) {
                   seq_upper_bound_blocked(sp, block),
                   static_cast<long long>(block));
     }
+    return finish(0);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -1,0 +1,289 @@
+// Telemetry artifact validator: one home for the structural checks CI used
+// to run as inline python. Validates three artifact families the repo
+// emits, all through src/support/json:
+//
+//   --bench FILE     google-benchmark JSON (BENCH_*.json): a non-empty
+//                    "benchmarks" array, plus the per-suite invariants the
+//                    perf trajectory tracks (keyed off the file's basename):
+//                      BENCH_par_scaling  transport rows are bit-exact
+//                                         against the simulator and report
+//                                         positive measured comm seconds
+//                      BENCH_kernels      BM_AllModesFused reuses multiplies
+//                                         (> 1x) with zero CSF rebuilds
+//                      BENCH_sampled      >= 3 kernel + >= 2 CP-ALS rows
+//                                         with sane counters
+//   --metrics FILE   metrics snapshots (mttkrp_cli --metrics-json): context
+//                    kind mtk-metrics-v1 and well-formed counter / gauge /
+//                    histogram rows
+//   --trace FILE     Chrome trace-event JSON (mttkrp_cli --trace-out):
+//                    a traceEvents array whose "X" events carry the
+//                    required keys with monotonically nondecreasing
+//                    timestamps
+//
+//   --require-categories a,b,c   these span categories must appear across
+//                                the given traces
+//   --require-ranks N            at least N distinct rank tracks (tid >= 1)
+//                                must appear across the given traces
+//
+// Exits 0 with one "ok" line per file, or 1 with a diagnostic.
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/support/check.hpp"
+#include "src/support/json.hpp"
+
+namespace {
+
+using mtk::JsonValue;
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    if (next > pos) out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+double field(const JsonValue& row, const char* key) {
+  const JsonValue* v = row.find(key);
+  MTK_REQUIRE(v != nullptr && v->is_number(), "missing numeric field '", key,
+              "' in benchmark row");
+  return v->as_number();
+}
+
+// The google-benchmark-shaped suites: generic shape first, then the
+// per-suite invariants (mirrors what .github/workflows/ci.yml asserted
+// inline before this tool existed).
+void validate_bench(const std::string& path) {
+  const JsonValue doc = JsonValue::parse_file(path);
+  const JsonValue* rows = doc.find("benchmarks");
+  MTK_REQUIRE(rows != nullptr && rows->is_array(),
+              path, ": no \"benchmarks\" array");
+  MTK_REQUIRE(!rows->items().empty(), path, ": empty benchmark telemetry");
+  for (const JsonValue& row : rows->items()) {
+    MTK_REQUIRE(row.is_object() && row.has("name") &&
+                    row.at("name").is_string(),
+                path, ": benchmark row without a string \"name\"");
+  }
+
+  const std::string base = basename_of(path);
+  if (starts_with(base, "BENCH_par_scaling")) {
+    int transport_rows = 0;
+    for (const JsonValue& row : rows->items()) {
+      if (!starts_with(row.at("name").as_string(), "par_scaling/transport/")) {
+        continue;
+      }
+      ++transport_rows;
+      MTK_REQUIRE(field(row, "bitexact") == 1.0, path, ": ",
+                  row.at("name").as_string(),
+                  " is not bit-exact against the simulator");
+      MTK_REQUIRE(field(row, "measured_comm_s") > 0.0, path, ": ",
+                  row.at("name").as_string(), " has no measured comm time");
+    }
+    MTK_REQUIRE(transport_rows > 0, path, ": no transport rows");
+    std::printf("%s: %d transport rows bit-exact ok\n", path.c_str(),
+                transport_rows);
+  } else if (starts_with(base, "BENCH_kernels")) {
+    const JsonValue* fused = nullptr;
+    for (const JsonValue& row : rows->items()) {
+      if (row.at("name").as_string() == "BM_AllModesFused") fused = &row;
+    }
+    MTK_REQUIRE(fused != nullptr, path, ": no BM_AllModesFused row");
+    MTK_REQUIRE(field(*fused, "reuse_factor") > 1.0, path,
+                ": BM_AllModesFused reuse_factor <= 1");
+    MTK_REQUIRE(field(*fused, "csf_rebuilds_per_iter") == 0.0, path,
+                ": BM_AllModesFused performed CSF rebuilds");
+    std::printf("%s: BM_AllModesFused reuse %.2fx, 0 rebuilds ok\n",
+                path.c_str(), field(*fused, "reuse_factor"));
+  } else if (starts_with(base, "BENCH_sampled")) {
+    int kernels = 0, als = 0;
+    for (const JsonValue& row : rows->items()) {
+      const std::string& name = row.at("name").as_string();
+      if (starts_with(name, "SampledMttkrp/")) {
+        ++kernels;
+        MTK_REQUIRE(field(row, "sampled_ms") > 0.0 &&
+                        field(row, "exact_ms") > 0.0,
+                    path, ": ", name, " has non-positive timings");
+        MTK_REQUIRE(field(row, "survivors") <= field(row, "nnz"), path, ": ",
+                    name, " visits more nonzeros than exist");
+      } else if (starts_with(name, "SampledCpAls/")) {
+        ++als;
+        const double ratio = field(row, "residual_ratio");
+        MTK_REQUIRE(ratio > 0.0 && ratio < 2.0, path, ": ", name,
+                    " residual ratio ", ratio, " out of range");
+      }
+    }
+    MTK_REQUIRE(kernels >= 3 && als >= 2, path, ": expected >= 3 kernel and "
+                ">= 2 cp-als rows, got ", kernels, " + ", als);
+    std::printf("%s: %d kernel + %d cp-als rows ok\n", path.c_str(), kernels,
+                als);
+  } else {
+    std::printf("%s: %zu rows ok\n", path.c_str(), rows->items().size());
+  }
+}
+
+// Metrics snapshots share the benchmark-array shape; every row must be a
+// well-formed instrument of a known kind.
+void validate_metrics(const std::string& path) {
+  const JsonValue doc = JsonValue::parse_file(path);
+  const JsonValue* ctx = doc.find("context");
+  MTK_REQUIRE(ctx != nullptr && ctx->is_object() && ctx->has("kind") &&
+                  ctx->at("kind").as_string() == "mtk-metrics-v1",
+              path, ": context.kind is not mtk-metrics-v1");
+  const JsonValue* rows = doc.find("benchmarks");
+  MTK_REQUIRE(rows != nullptr && rows->is_array(),
+              path, ": no \"benchmarks\" array");
+  for (const JsonValue& row : rows->items()) {
+    MTK_REQUIRE(row.is_object() && row.has("name") &&
+                    row.at("name").is_string() && row.has("run_type"),
+                path, ": malformed metrics row");
+    const std::string& name = row.at("name").as_string();
+    const std::string& kind = row.at("run_type").as_string();
+    if (kind == "counter") {
+      MTK_REQUIRE(row.has("value") && row.at("value").is_integer(), path,
+                  ": counter ", name, " without an integer value");
+    } else if (kind == "gauge") {
+      MTK_REQUIRE(row.has("value") && row.at("value").is_number(), path,
+                  ": gauge ", name, " without a numeric value");
+    } else if (kind == "histogram") {
+      for (const char* key : {"count", "sum", "min", "max"}) {
+        MTK_REQUIRE(row.has(key) && row.at(key).is_integer(), path,
+                    ": histogram ", name, " without an integer ", key);
+      }
+    } else {
+      MTK_REQUIRE(false, path, ": unknown run_type '", kind, "' on ", name);
+    }
+  }
+  std::printf("%s: %zu instruments ok\n", path.c_str(),
+              rows->items().size());
+}
+
+struct TraceSummary {
+  std::set<std::string> categories;
+  std::set<std::int64_t> rank_tracks;  // tid >= 1 (tid 0 = orchestrator)
+};
+
+void validate_trace(const std::string& path, TraceSummary* summary) {
+  const JsonValue doc = JsonValue::parse_file(path);
+  const JsonValue* events = doc.find("traceEvents");
+  MTK_REQUIRE(events != nullptr && events->is_array(),
+              path, ": no \"traceEvents\" array");
+  double last_ts = -1.0;
+  std::size_t spans = 0;
+  for (const JsonValue& ev : events->items()) {
+    MTK_REQUIRE(ev.is_object() && ev.has("ph"), path,
+                ": trace event without a phase");
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "M") continue;  // thread_name metadata
+    MTK_REQUIRE(ph == "X", path, ": unexpected event phase '", ph, "'");
+    for (const char* key : {"name", "cat"}) {
+      MTK_REQUIRE(ev.has(key) && ev.at(key).is_string(), path,
+                  ": X event without a string '", key, "'");
+    }
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      MTK_REQUIRE(ev.has(key) && ev.at(key).is_number(), path,
+                  ": X event without a numeric '", key, "'");
+    }
+    const double ts = ev.at("ts").as_number();
+    MTK_REQUIRE(ts >= last_ts, path,
+                ": timestamps are not monotonically nondecreasing");
+    last_ts = ts;
+    MTK_REQUIRE(ev.at("dur").as_number() >= 0.0, path,
+                ": negative span duration");
+    ++spans;
+    summary->categories.insert(ev.at("cat").as_string());
+    const std::int64_t tid = ev.at("tid").as_integer();
+    if (tid >= 1) summary->rank_tracks.insert(tid);
+  }
+  MTK_REQUIRE(spans > 0, path, ": no spans recorded");
+  std::printf("%s: %zu spans, %zu categories, %zu rank tracks ok\n",
+              path.c_str(), spans, summary->categories.size(),
+              summary->rank_tracks.size());
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--bench FILE]... [--metrics FILE]...\n"
+               "          [--trace FILE]... [--require-categories a,b,c]\n"
+               "          [--require-ranks N]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> bench, metrics, traces;
+  std::vector<std::string> required_categories;
+  int required_ranks = 0;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> std::string {
+      MTK_CHECK(a + 1 < argc, "missing value after ", arg);
+      return argv[++a];
+    };
+    try {
+      if (arg == "--bench") {
+        bench.push_back(next());
+      } else if (arg == "--metrics") {
+        metrics.push_back(next());
+      } else if (arg == "--trace") {
+        traces.push_back(next());
+      } else if (arg == "--require-categories") {
+        required_categories = split_commas(next());
+      } else if (arg == "--require-ranks") {
+        required_ranks = std::stoi(next());
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (bench.empty() && metrics.empty() && traces.empty()) {
+    return usage(argv[0]);
+  }
+
+  try {
+    for (const std::string& path : bench) validate_bench(path);
+    for (const std::string& path : metrics) validate_metrics(path);
+    TraceSummary summary;
+    for (const std::string& path : traces) validate_trace(path, &summary);
+    for (const std::string& cat : required_categories) {
+      MTK_REQUIRE(summary.categories.count(cat) > 0,
+                  "required span category '", cat,
+                  "' absent from the given traces");
+    }
+    MTK_REQUIRE(static_cast<int>(summary.rank_tracks.size()) >=
+                    required_ranks,
+                "traces cover ", summary.rank_tracks.size(),
+                " rank tracks, need ", required_ranks);
+    if (required_ranks > 0 || !required_categories.empty()) {
+      std::printf("trace requirements satisfied (%zu categories, "
+                  "%zu rank tracks)\n",
+                  summary.categories.size(), summary.rank_tracks.size());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
