@@ -1,0 +1,205 @@
+// Serving-latency bench: drives MttkrpServer in-process with concurrent
+// client threads and reports exact client-observed per-request percentiles
+// (sorted latency vectors, not the histogram's power-of-two buckets),
+// throughput, and the plan-cache hit rate after warmup.
+//
+// Rows:
+//   serve/mttkrp/w{1,2,4}  same-key mttkrp flood at 1/2/4 workers
+//   serve/mixed/w2         mttkrp + streaming appends + warm CP-ALS refines
+//
+// Emits google-benchmark-compatible JSON via bench_telemetry.hpp
+// (--benchmark_format=json --benchmark_out=BENCH_serve.json); CI validates
+// the output with validate_telemetry --bench (serve family: p50<=p95<=p99,
+// positive throughput, hit rate > 0.9 somewhere after warmup).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_telemetry.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/planner/plan_cache.hpp"
+#include "src/serve/server.hpp"
+#include "src/support/rng.hpp"
+#include "src/tensor/sparse_tensor.hpp"
+
+namespace {
+
+using namespace mtk;
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+double quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::int64_t counter_value(const char* name) {
+  return MetricsRegistry::global().counter(name).value();
+}
+
+std::string mttkrp_line(int id, int mode, int seed) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"id\":%d,\"op\":\"mttkrp\",\"tensor\":\"t\",\"rank\":8,"
+                "\"mode\":%d,\"seed\":%d}",
+                id, mode, seed);
+  return buf;
+}
+
+struct RunResult {
+  std::vector<double> latencies_us;  // client-observed, sorted
+  double wall_us = 0.0;
+  double hit_rate = 0.0;  // plan-cache, post-warmup
+  std::int64_t batches = 0;
+  std::int64_t rebuilds = 0;
+  std::int64_t warm_starts = 0;
+};
+
+// Runs `clients` threads, each issuing synchronous requests produced by
+// `make_line(client, i)`, after a warmup that plans every (mode) key once.
+RunResult run_load(const SparseTensor& tensor, int workers, int clients,
+                   int per_client, bool mixed) {
+  ServeOptions sopts;
+  sopts.workers = workers;
+  sopts.batch_window = 8;
+  MttkrpServer server(sopts);
+  server.registry().load("t", tensor, StorageFormat::kCsf);
+
+  for (int mode = 0; mode < 3; ++mode) {
+    server.handle(mttkrp_line(mode, mode, 7));
+  }
+  if (mixed) {
+    server.handle(
+        "{\"id\":3,\"op\":\"refine\",\"tensor\":\"t\",\"rank\":4,"
+        "\"iters\":2}");
+  }
+
+  const std::size_t hits0 = PlanCache::global().hits();
+  const std::size_t misses0 = PlanCache::global().misses();
+  const std::int64_t batches0 = counter_value("mtk.serve.batches");
+  const std::int64_t rebuilds0 = counter_value("mtk.serve.rebuilds");
+  const std::int64_t warm0 = counter_value("mtk.serve.warm_starts");
+
+  RunResult result;
+  std::mutex mu;
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(static_cast<std::uint64_t>(1000 + c));
+      std::vector<double> local;
+      local.reserve(static_cast<std::size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        std::string line;
+        if (mixed && c == clients - 1 && i % 3 == 0) {
+          // Streaming tail: alternate small appends and warm refines.
+          if (i % 6 == 0) {
+            char buf[200];
+            std::snprintf(
+                buf, sizeof(buf),
+                "{\"id\":%d,\"op\":\"append\",\"tensor\":\"t\",\"entries\":"
+                "[[%lld,%lld,%lld,0.25]]}",
+                9000 + i, static_cast<long long>(rng.uniform_int(0, 23)),
+                static_cast<long long>(rng.uniform_int(0, 19)),
+                static_cast<long long>(rng.uniform_int(0, 15)));
+            line = buf;
+          } else {
+            char buf[120];
+            std::snprintf(buf, sizeof(buf),
+                          "{\"id\":%d,\"op\":\"refine\",\"tensor\":\"t\","
+                          "\"rank\":4,\"iters\":2}",
+                          9000 + i);
+            line = buf;
+          }
+        } else {
+          line = mttkrp_line(100 * c + i, c % 2, 50 + i);
+        }
+        const Clock::time_point start = Clock::now();
+        server.handle(line);
+        local.push_back(micros_since(start));
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.latencies_us.insert(result.latencies_us.end(), local.begin(),
+                                 local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.wait_idle();
+  result.wall_us = micros_since(t0);
+
+  const std::size_t hits = PlanCache::global().hits() - hits0;
+  const std::size_t misses = PlanCache::global().misses() - misses0;
+  result.hit_rate = hits + misses == 0
+                        ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(hits + misses);
+  result.batches = counter_value("mtk.serve.batches") - batches0;
+  result.rebuilds = counter_value("mtk.serve.rebuilds") - rebuilds0;
+  result.warm_starts = counter_value("mtk.serve.warm_starts") - warm0;
+  std::sort(result.latencies_us.begin(), result.latencies_us.end());
+  return result;
+}
+
+void report(mtk_bench::Telemetry& tele, std::FILE* out,
+            const std::string& name, const RunResult& r) {
+  const double requests = static_cast<double>(r.latencies_us.size());
+  const double throughput =
+      r.wall_us > 0.0 ? requests / (r.wall_us * 1e-6) : 0.0;
+  const double p50 = quantile(r.latencies_us, 0.50);
+  const double p95 = quantile(r.latencies_us, 0.95);
+  const double p99 = quantile(r.latencies_us, 0.99);
+  std::fprintf(out,
+               "%-18s %5.0f req %8.1f req/s  p50 %8.1fus  p95 %8.1fus  "
+               "p99 %8.1fus  hit %.3f  batches %lld\n",
+               name.c_str(), requests, throughput, p50, p95, p99, r.hit_rate,
+               static_cast<long long>(r.batches));
+  tele.add(name, {{"requests", requests},
+                  {"throughput_rps", throughput},
+                  {"p50_us", p50},
+                  {"p95_us", p95},
+                  {"p99_us", p99},
+                  {"plan_hit_rate", r.hit_rate},
+                  {"batches", static_cast<double>(r.batches)},
+                  {"rebuilds", static_cast<double>(r.rebuilds)},
+                  {"warm_starts", static_cast<double>(r.warm_starts)}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mtk_bench::Telemetry tele(argc, argv);
+  std::FILE* out = tele.table();
+
+  Rng rng(20180521);
+  const shape_t dims{24, 20, 16};
+  const SparseTensor tensor = SparseTensor::random_sparse(dims, 0.05, rng);
+
+  std::fprintf(out, "=== Serving latency (client-observed, exact) ===\n");
+  std::fprintf(out,
+               "dims = 24x20x16, R = 8, density 0.05; percentiles from\n"
+               "sorted per-request latencies; hit rate excludes warmup\n\n");
+
+  for (int workers : {1, 2, 4}) {
+    const RunResult r =
+        run_load(tensor, workers, /*clients=*/4, /*per_client=*/15,
+                 /*mixed=*/false);
+    report(tele, out, "serve/mttkrp/w" + std::to_string(workers), r);
+  }
+  {
+    const RunResult r = run_load(tensor, /*workers=*/2, /*clients=*/4,
+                                 /*per_client=*/15, /*mixed=*/true);
+    report(tele, out, "serve/mixed/w2", r);
+  }
+
+  if (!tele.flush()) return 2;
+  return 0;
+}

@@ -79,14 +79,33 @@ CpAlsResult cp_als(const StoredTensor& x, const CpAlsOptions& opts) {
   MTK_CHECK(opts.rank >= 1, "cp rank must be >= 1, got ", opts.rank);
   MTK_CHECK(opts.max_iterations >= 1, "need at least one iteration");
 
-  Rng rng(opts.seed);
   CpAlsResult result;
-  result.model.factors.reserve(static_cast<std::size_t>(n));
-  for (int k = 0; k < n; ++k) {
-    result.model.factors.push_back(
-        Matrix::random_uniform(x.dim(k), opts.rank, rng));
+  if (opts.initial != nullptr) {
+    const CpModel& init = *opts.initial;
+    MTK_CHECK(static_cast<int>(init.factors.size()) == n,
+              "warm start: model has ", init.factors.size(),
+              " factors for an order-", n, " tensor");
+    MTK_CHECK(init.rank() == opts.rank, "warm start: model rank ",
+              init.rank(), " != requested rank ", opts.rank);
+    for (int k = 0; k < n; ++k) {
+      MTK_CHECK(init.factors[static_cast<std::size_t>(k)].rows() == x.dim(k),
+                "warm start: factor ", k, " has ",
+                init.factors[static_cast<std::size_t>(k)].rows(),
+                " rows, tensor dim is ", x.dim(k));
+    }
+    result.model = init;
+    if (result.model.lambda.size() != static_cast<std::size_t>(opts.rank)) {
+      result.model.lambda.assign(static_cast<std::size_t>(opts.rank), 1.0);
+    }
+  } else {
+    Rng rng(opts.seed);
+    result.model.factors.reserve(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      result.model.factors.push_back(
+          Matrix::random_uniform(x.dim(k), opts.rank, rng));
+    }
+    result.model.lambda.assign(static_cast<std::size_t>(opts.rank), 1.0);
   }
-  result.model.lambda.assign(static_cast<std::size_t>(opts.rank), 1.0);
 
   std::vector<Matrix> grams(static_cast<std::size_t>(n));
   for (int k = 0; k < n; ++k) {

@@ -46,6 +46,12 @@ struct CpAlsOptions {
   // KRP projection. Per-sweep trace fits are then sampled estimates; the
   // reported final_fit is always re-evaluated exactly (one exact MTTKRP).
   SketchOptions sketch;
+  // Warm start: when non-null, iteration begins from a copy of this model
+  // instead of the random initialization (`seed` is then unused). The model
+  // must match the input — one factor per mode with matching row counts —
+  // and its rank must equal `rank`; a missing/short lambda is reset to
+  // all-ones. Borrowed: the caller keeps the model alive through the call.
+  const CpModel* initial = nullptr;
 };
 
 struct CpAlsIterate {

@@ -64,6 +64,8 @@
 #include "src/planner/plan_cache.hpp"
 #include "src/planner/planner.hpp"
 #include "src/planner/predict.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/tensor_registry.hpp"
 #include "src/sketch/krp_sample.hpp"
 #include "src/sketch/leverage.hpp"
 #include "src/sketch/sampled_mttkrp.hpp"

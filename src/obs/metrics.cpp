@@ -1,6 +1,8 @@
 #include "src/obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "src/support/check.hpp"
 
@@ -81,6 +83,28 @@ std::int64_t Histogram::max() const {
 std::int64_t Histogram::bucket_count(int bucket) const {
   MTK_CHECK(bucket >= 0 && bucket < kBuckets, "histogram bucket out of range");
   return buckets_[bucket].load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::approx_quantile_upper(double q) const {
+  MTK_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1], got ", q);
+  const std::int64_t total = count();
+  if (total <= 0) return 0;
+  // Rank of the q-quantile (1-based), then walk the cumulative bucket
+  // counts. Buckets hold values of one bit width, so bucket b's upper
+  // bound is 2^b - 1 (bucket 0 holds exactly the value 0).
+  std::int64_t target = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (target < 1) target = 1;
+  std::int64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      if (b == 0) return 0;
+      if (b >= 63) return std::numeric_limits<std::int64_t>::max();
+      return (std::int64_t{1} << b) - 1;
+    }
+  }
+  return max();
 }
 
 void Histogram::reset() {

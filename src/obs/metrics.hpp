@@ -75,6 +75,11 @@ class Histogram {
   std::int64_t min() const;
   std::int64_t max() const;
   std::int64_t bucket_count(int bucket) const;
+  // Upper bound of the power-of-two bucket holding the q-quantile
+  // (q in [0, 1]) of the observations so far; 0 when empty. Within 2x of
+  // the true quantile — runbook-grade latency reporting (exact percentiles
+  // come from recorded samples, e.g. bench_serve).
+  std::int64_t approx_quantile_upper(double q) const;
   void reset();
 
  private:

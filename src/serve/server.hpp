@@ -1,0 +1,136 @@
+// The MTTKRP serving loop behind tools/mttkrp_serve: a worker pool
+// answering JSON-lines requests against the TensorRegistry, with the
+// process-wide PlanCache supplying warm plans and the planner's predicted
+// cost driving admission.
+//
+// Protocol (one JSON object per line; see docs/serving.md for the full
+// schemas):
+//
+//   {"id":1,"op":"load","tensor":"t","path":"x.tns","backend":"csf"}
+//   {"id":2,"op":"mttkrp","tensor":"t","rank":16,"mode":0,"seed":7}
+//   {"id":3,"op":"append","tensor":"t","entries":[[0,1,2,0.5]]}
+//   {"id":4,"op":"refine","tensor":"t","rank":8,"iters":5}
+//   {"id":5,"op":"stats"}
+//   {"id":6,"op":"shutdown"}
+//
+// Responses are JSON lines tagged with the request id; completion order is
+// not arrival order (workers run concurrently and batch by key).
+//
+// Execution policy:
+//   * Admission happens on the submitting thread: a full queue or a
+//     planner-predicted cost above ServeOptions::admit_max_cost rejects
+//     the request immediately (`mtk.serve.rejected`). The cost lookup is
+//     PlanCache::global().get_or_plan — a warm hit after the first request
+//     per (tensor, rank, mode) key, which is what makes per-request
+//     planning affordable (`mtk.plan.cache.hits`).
+//   * Workers coalesce queued mttkrp requests with the same
+//     (tensor, rank, mode, epsilon) key into one batch (up to
+//     batch_window), sharing the version snapshot, the plan, and the
+//     worker's thread-local kernel arena.
+//   * A request's `epsilon` (default ServeOptions::default_epsilon)
+//     routes it to the leverage-sampled backend; 0 runs exact kernels.
+//   * `stats` and `shutdown` are barriers: they drain in-flight work
+//     before answering, so scripted runs observe a quiescent snapshot.
+#pragma once
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/planner/calibrate.hpp"
+#include "src/serve/tensor_registry.hpp"
+
+namespace mtk {
+
+struct ServeOptions {
+  int workers = 2;
+  // Max mttkrp requests coalesced into one batch (1 disables batching).
+  int batch_window = 8;
+  // Admission: queue slots; submissions beyond this are rejected.
+  std::size_t max_queue = 256;
+  // Pending/base nonzero ratio that folds deltas into a fresh base.
+  double staleness_threshold = 0.25;
+  // Epsilon applied to requests that do not carry their own; 0 = exact.
+  double default_epsilon = 0.0;
+  // Admission: reject requests whose planner-predicted score exceeds this
+  // (0 disables the cost gate).
+  double admit_max_cost = 0.0;
+  // Modeled processor count for the predicted-cost lookup. This is a
+  // planning knob, not the worker count: the score ranks request cost on
+  // the machine the calibration describes.
+  int plan_procs = 4;
+  // OpenMP threads for the local kernels (> 0 enables the parallel
+  // schedules inside each request; workers are still the concurrency unit).
+  int local_threads = 0;
+  // Measured machine parameters for the cost model (optional).
+  Calibration machine;
+};
+
+class MttkrpServer {
+ public:
+  explicit MttkrpServer(const ServeOptions& opts);
+  ~MttkrpServer();
+
+  MttkrpServer(const MttkrpServer&) = delete;
+  MttkrpServer& operator=(const MttkrpServer&) = delete;
+
+  // Parses, admits, and enqueues one request line. Thread-safe. The future
+  // resolves to the JSON response line; parse errors and admission
+  // rejections resolve immediately.
+  std::future<std::string> submit(const std::string& request_line);
+
+  // submit() + wait.
+  std::string handle(const std::string& request_line);
+
+  // Drives the stdio protocol: reads request lines from `in` until EOF or
+  // a shutdown request, writing each response to `out` (flushed per line)
+  // as it completes. Returns 0 after draining outstanding work.
+  int run(std::FILE* in, std::FILE* out);
+
+  // Blocks until every submitted request has completed.
+  void wait_idle();
+
+  bool shutdown_requested() const;
+
+  TensorRegistry& registry() { return registry_; }
+  const ServeOptions& options() const { return opts_; }
+
+  // Defined in server.cpp; public so the parser helpers there can build one.
+  struct Request;
+
+ private:
+  void worker_loop();
+  void execute_batch(std::vector<std::unique_ptr<Request>>& batch);
+  std::string execute_control(Request& req);
+  std::string execute_mttkrp(
+      Request& req, const std::shared_ptr<const TensorVersion>& version,
+      int batch_size);
+  std::string execute_refine(
+      Request& req, const std::shared_ptr<const TensorVersion>& version);
+  std::string execute_append(Request& req);
+  void finish(Request& req, std::string response);
+
+  ServeOptions opts_;
+  TensorRegistry registry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // workers: work available / stop
+  std::condition_variable idle_cv_;   // waiters: outstanding_ == 0
+  std::deque<std::unique_ptr<Request>> queue_;
+  std::size_t outstanding_ = 0;  // queued + executing
+  bool stop_ = false;
+  bool shutdown_ = false;
+
+  std::mutex sink_mu_;
+  std::FILE* sink_ = nullptr;  // run(): responses stream here
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mtk

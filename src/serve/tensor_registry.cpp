@@ -1,0 +1,163 @@
+#include "src/serve/tensor_registry.hpp"
+
+#include "src/obs/metrics.hpp"
+
+namespace mtk {
+
+namespace {
+
+Counter& rebuild_counter() {
+  static Counter& c = MetricsRegistry::global().counter("mtk.serve.rebuilds");
+  return c;
+}
+
+Counter& delta_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("mtk.serve.deltas.appended");
+  return c;
+}
+
+Gauge& tensors_gauge() {
+  static Gauge& g = MetricsRegistry::global().gauge("mtk.serve.tensors");
+  return g;
+}
+
+}  // namespace
+
+double TensorVersion::staleness() const {
+  const index_t b = base_nnz();
+  if (b == 0) return pending_nnz() > 0 ? 1.0 : 0.0;
+  return static_cast<double>(pending_nnz()) / static_cast<double>(b);
+}
+
+TensorRegistry::TensorRegistry(double staleness_threshold)
+    : threshold_(staleness_threshold) {
+  MTK_CHECK(staleness_threshold > 0.0,
+            "staleness threshold must be > 0, got ", staleness_threshold);
+}
+
+std::shared_ptr<const TensorVersion> TensorRegistry::make_version(
+    std::uint64_t version, std::shared_ptr<const SparseTensor> base,
+    SparseTensor pending, StorageFormat backend) {
+  auto v = std::make_shared<TensorVersion>();
+  v->version = version;
+  v->base = std::move(base);
+  v->handle = StoredTensor::coo_view(*v->base);
+  v->pending = std::move(pending);
+  v->backend = backend;
+  return v;
+}
+
+std::shared_ptr<const TensorVersion> TensorRegistry::load(
+    const std::string& name, SparseTensor x, StorageFormat backend) {
+  MTK_CHECK(!name.empty(), "tensor name must be non-empty");
+  MTK_CHECK(backend == StorageFormat::kCoo || backend == StorageFormat::kCsf,
+            "serving backend must be coo or csf");
+  x.sort_and_dedup();
+  MTK_CHECK(x.nnz() > 0, "refusing to register empty tensor '", name, "'");
+  auto base = std::make_shared<const SparseTensor>(std::move(x));
+  SparseTensor empty_pending(base->dims());
+  auto v = make_version(1, std::move(base), std::move(empty_pending), backend);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  e.current = std::move(v);
+  e.models.clear();
+  tensors_gauge().set(static_cast<double>(entries_.size()));
+  return e.current;
+}
+
+std::shared_ptr<const TensorVersion> TensorRegistry::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.current;
+}
+
+std::shared_ptr<const TensorVersion> TensorRegistry::append(
+    const std::string& name, const std::vector<DeltaEntry>& entries,
+    bool* rebuilt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  MTK_CHECK(it != entries_.end(), "append: unknown tensor '", name, "'");
+  const TensorVersion& cur = *it->second.current;
+
+  // Merge the new deltas into a copy of the pending store. push_back
+  // bounds-checks each coordinate against the (fixed) dims.
+  SparseTensor pending = cur.pending;
+  for (const DeltaEntry& d : entries) {
+    pending.push_back(d.index, d.value);
+  }
+  pending.sort_and_dedup();
+  delta_counter().add(static_cast<std::int64_t>(entries.size()));
+
+  const bool fold =
+      static_cast<double>(pending.nnz()) >=
+      threshold_ * static_cast<double>(cur.base_nnz());
+  std::shared_ptr<const TensorVersion> next;
+  if (fold) {
+    // Fold base + pending into a fresh sorted base. The fresh handle's CSF
+    // forest is compressed lazily on the next kernel call — that build is
+    // what `mtk.csf.builds` witnesses; this counter records the decision.
+    SparseTensor merged = *cur.base;
+    for (index_t p = 0; p < pending.nnz(); ++p) {
+      merged.push_back(pending.coordinate(p), pending.value(p));
+    }
+    merged.sort_and_dedup();
+    auto base = std::make_shared<const SparseTensor>(std::move(merged));
+    next = make_version(cur.version + 1, std::move(base),
+                        SparseTensor(cur.base->dims()), cur.backend);
+    rebuild_counter().add(1);
+  } else {
+    // Sub-threshold: share base and handle (and therefore the warm CSF
+    // accel cache) with the previous version.
+    auto v = std::make_shared<TensorVersion>();
+    v->version = cur.version + 1;
+    v->base = cur.base;
+    v->handle = cur.handle;
+    v->pending = std::move(pending);
+    v->backend = cur.backend;
+    next = std::move(v);
+  }
+  if (rebuilt != nullptr) *rebuilt = fold;
+  it->second.current = std::move(next);
+  return it->second.current;
+}
+
+bool TensorRegistry::evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool erased = entries_.erase(name) > 0;
+  tensors_gauge().set(static_cast<double>(entries_.size()));
+  return erased;
+}
+
+std::vector<std::string> TensorRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& kv : entries_) out.push_back(kv.first);
+  return out;
+}
+
+std::size_t TensorRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::shared_ptr<const CpModel> TensorRegistry::model(const std::string& name,
+                                                     index_t rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  auto mit = it->second.models.find(rank);
+  return mit == it->second.models.end() ? nullptr : mit->second;
+}
+
+void TensorRegistry::store_model(const std::string& name, index_t rank,
+                                 CpModel model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  MTK_CHECK(it != entries_.end(), "store_model: unknown tensor '", name, "'");
+  it->second.models[rank] = std::make_shared<const CpModel>(std::move(model));
+}
+
+}  // namespace mtk

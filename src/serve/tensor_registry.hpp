@@ -1,0 +1,122 @@
+// Named-tensor registry for the serving layer: the long-lived store behind
+// mttkrp_serve that keeps hot StoredTensor handles (and their lazily built
+// CSF forests) alive across requests, so the compression cost the paper's
+// reuse argument amortizes is actually amortized — one build per tensor
+// *version*, not per request.
+//
+// A version is an immutable snapshot:
+//
+//   base     — the sorted COO coordinates the handle (and therefore the
+//              shared CSF accel cache) was built from.
+//   handle   — a StoredTensor viewing base. Handle copies share the accel
+//              cache, so every sub-threshold version serves kernels from
+//              the same forest with zero rebuilds.
+//   pending  — sorted delta nonzeros appended since base was built. MTTKRP
+//              is linear in the tensor, so the serving layer answers
+//              queries exactly as  mttkrp(base) + mttkrp(pending)  without
+//              touching the compressed structure.
+//
+// append() publishes a new version. Below the staleness threshold
+// (pending_nnz < threshold * base_nnz) the new version shares base and
+// handle — a cheap delta merge. At or above it the deltas are folded into
+// a fresh base (sort_and_dedup) and a fresh handle is cut: the actual CSF
+// re-compression then happens lazily on the next kernel call and is
+// witnessed by the existing `mtk.csf.builds` counter, while the registry's
+// own `mtk.serve.rebuilds` counts the fold decisions.
+//
+// The registry also stores the latest CP model per (name, rank) so
+// streaming refinement warm-starts from the previous fit instead of a
+// random initialization (`mtk.serve.warm_starts`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cp/cp_als.hpp"
+#include "src/mttkrp/dispatch.hpp"
+#include "src/tensor/sparse_tensor.hpp"
+
+namespace mtk {
+
+struct TensorVersion {
+  std::uint64_t version = 0;
+  // Owns the coordinates the handle views; shared across sub-threshold
+  // versions so the CSF accel cache stays valid and warm.
+  std::shared_ptr<const SparseTensor> base;
+  StoredTensor handle;   // COO view of *base; copies share the accel cache
+  SparseTensor pending;  // sorted deltas not yet folded into base
+  // Requested serving backend: kCsf engages the handle's shared forest
+  // (sparse_algo kCsf), kCoo keeps the per-nonzero coordinate kernel.
+  StorageFormat backend = StorageFormat::kCsf;
+
+  index_t base_nnz() const { return base ? base->nnz() : 0; }
+  index_t pending_nnz() const { return pending.nnz(); }
+  index_t total_nnz() const { return base_nnz() + pending_nnz(); }
+  // pending/base nonzero ratio the rebuild policy thresholds on.
+  double staleness() const;
+};
+
+// One nonzero delta: coordinate plus additive value (summed into any
+// existing entry at the same coordinate when the fold happens).
+struct DeltaEntry {
+  multi_index_t index;
+  double value = 0.0;
+};
+
+class TensorRegistry {
+ public:
+  // `staleness_threshold` is the pending/base nonzero ratio at which
+  // append() folds deltas into a fresh base (and thus a fresh CSF build).
+  explicit TensorRegistry(double staleness_threshold = 0.25);
+
+  // Registers `x` under `name`, replacing any existing entry (models are
+  // dropped with it). The tensor is sorted here if needed.
+  std::shared_ptr<const TensorVersion> load(const std::string& name,
+                                            SparseTensor x,
+                                            StorageFormat backend);
+
+  // Current version, or nullptr when the name is not registered.
+  std::shared_ptr<const TensorVersion> get(const std::string& name) const;
+
+  // Appends delta nonzeros (bounds-checked against the tensor dims) and
+  // publishes the new version; `rebuilt`, when non-null, reports whether
+  // the staleness threshold folded the deltas into a fresh base. Throws if
+  // the name is not registered.
+  std::shared_ptr<const TensorVersion> append(
+      const std::string& name, const std::vector<DeltaEntry>& entries,
+      bool* rebuilt = nullptr);
+
+  bool evict(const std::string& name);
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+  // Warm CP model store, keyed by (name, rank). Models are snapshots: a
+  // stored model survives sub-threshold appends and rebuilds (the factors
+  // stay shape-compatible because dims are fixed at load).
+  std::shared_ptr<const CpModel> model(const std::string& name,
+                                       index_t rank) const;
+  void store_model(const std::string& name, index_t rank, CpModel model);
+
+  double staleness_threshold() const { return threshold_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const TensorVersion> current;
+    std::map<index_t, std::shared_ptr<const CpModel>> models;
+  };
+
+  static std::shared_ptr<const TensorVersion> make_version(
+      std::uint64_t version, std::shared_ptr<const SparseTensor> base,
+      SparseTensor pending, StorageFormat backend);
+
+  double threshold_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace mtk

@@ -1,0 +1,238 @@
+// Doc-lint: keeps the docs from drifting away from the code. Three checks,
+// all pure-stdlib so CI can build and run this target without the library:
+//
+//   flags    every `--flag` literal parsed by a tool in tools/*.cpp must
+//            appear in docs/cli.md (the complete flag reference)
+//   metrics  every quoted `mtk.*` instrument name in src/ must appear in
+//            docs/metrics.md (the stable-name table)
+//   links    every intra-repo markdown link in the root *.md files and
+//            docs/*.md must resolve to an existing file
+//
+// Exits 0 with a one-line summary per check, or 1 listing every violation.
+// Run from CI as:  check_docs --repo-root <checkout>
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.string().c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool flag_char(char c) {
+  return std::islower(static_cast<unsigned char>(c)) != 0 ||
+         std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-';
+}
+
+// Collects `--flag` tokens from C++ source text. Only tokens that start a
+// lowercase word after the dashes count, which skips decrement operators,
+// comment rules (`// ---`), and table separators.
+std::set<std::string> collect_flags(const std::string& text) {
+  std::set<std::string> flags;
+  for (std::size_t i = 0; i + 2 < text.size(); ++i) {
+    if (text[i] != '-' || text[i + 1] != '-') continue;
+    if (i > 0 && (flag_char(text[i - 1]) || text[i - 1] == '-')) continue;
+    if (std::islower(static_cast<unsigned char>(text[i + 2])) == 0) continue;
+    std::size_t end = i + 2;
+    while (end < text.size() && flag_char(text[end])) ++end;
+    std::string flag = text.substr(i, end - i);
+    while (!flag.empty() && flag.back() == '-') flag.pop_back();
+    if (flag.size() > 2) flags.insert(flag);
+    i = end - 1;
+  }
+  return flags;
+}
+
+// Collects quoted "mtk.*" instrument names: a dotted lowercase path right
+// after an opening double quote, with at least one dot past the prefix.
+std::set<std::string> collect_metric_names(const std::string& text) {
+  std::set<std::string> names;
+  const std::string prefix = "\"mtk.";
+  std::size_t pos = 0;
+  while ((pos = text.find(prefix, pos)) != std::string::npos) {
+    std::size_t end = pos + 1;
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) != 0 ||
+            std::isdigit(static_cast<unsigned char>(text[end])) != 0 ||
+            text[end] == '.' || text[end] == '_')) {
+      ++end;
+    }
+    if (end < text.size() && text[end] == '"') {
+      const std::string name = text.substr(pos + 1, end - pos - 1);
+      if (name.find('.', 4) != std::string::npos) names.insert(name);
+    }
+    pos = end;
+  }
+  return names;
+}
+
+// True when `needle` appears in `haystack` with non-word characters (or
+// string edges) on both sides, so `--trace` does not satisfy `--trace-out`.
+bool contains_token(const std::string& haystack, const std::string& needle) {
+  std::size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !flag_char(haystack[pos - 1]);
+    const std::size_t after = pos + needle.size();
+    const bool right_ok =
+        after >= haystack.size() ||
+        (!flag_char(haystack[after]) && haystack[after] != '_' &&
+         haystack[after] != '.');
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+std::vector<fs::path> sorted_files(const fs::path& dir,
+                                   const std::string& ext,
+                                   bool recursive) {
+  std::vector<fs::path> out;
+  if (!fs::exists(dir)) return out;
+  if (recursive) {
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+      if (e.is_regular_file() && e.path().extension() == ext) {
+        out.push_back(e.path());
+      }
+    }
+  } else {
+    for (const auto& e : fs::directory_iterator(dir)) {
+      if (e.is_regular_file() && e.path().extension() == ext) {
+        out.push_back(e.path());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int check_flags(const fs::path& root, int* violations) {
+  const std::string cli_md = read_file(root / "docs" / "cli.md");
+  int checked = 0;
+  for (const fs::path& tool : sorted_files(root / "tools", ".cpp", false)) {
+    if (tool.filename() == "check_docs.cpp") continue;  // lints, not a CLI
+    const std::set<std::string> flags = collect_flags(read_file(tool));
+    for (const std::string& flag : flags) {
+      ++checked;
+      if (!contains_token(cli_md, flag)) {
+        std::fprintf(stderr, "docs/cli.md: missing flag %s (parsed by %s)\n",
+                     flag.c_str(), tool.filename().string().c_str());
+        ++*violations;
+      }
+    }
+  }
+  std::printf("flags   : %d flags across tools/*.cpp checked against "
+              "docs/cli.md\n", checked);
+  return checked;
+}
+
+int check_metrics(const fs::path& root, int* violations) {
+  const std::string metrics_md = read_file(root / "docs" / "metrics.md");
+  std::map<std::string, std::string> first_seen;  // name -> file
+  for (const char* ext : {".cpp", ".hpp"}) {
+    for (const fs::path& src : sorted_files(root / "src", ext, true)) {
+      for (const std::string& name : collect_metric_names(read_file(src))) {
+        first_seen.emplace(name, src.filename().string());
+      }
+    }
+  }
+  for (const auto& [name, file] : first_seen) {
+    if (!contains_token(metrics_md, name)) {
+      std::fprintf(stderr, "docs/metrics.md: missing metric %s (used in %s)\n",
+                   name.c_str(), file.c_str());
+      ++*violations;
+    }
+  }
+  std::printf("metrics : %zu mtk.* names across src/ checked against "
+              "docs/metrics.md\n", first_seen.size());
+  return static_cast<int>(first_seen.size());
+}
+
+int check_links(const fs::path& root, int* violations) {
+  std::vector<fs::path> docs = sorted_files(root, ".md", false);
+  for (const fs::path& p : sorted_files(root / "docs", ".md", false)) {
+    docs.push_back(p);
+  }
+  int checked = 0;
+  for (const fs::path& doc : docs) {
+    const std::string text = read_file(doc);
+    std::size_t pos = 0;
+    while ((pos = text.find("](", pos)) != std::string::npos) {
+      const std::size_t start = pos + 2;
+      const std::size_t end = text.find(')', start);
+      pos = start;
+      if (end == std::string::npos) break;
+      std::string target = text.substr(start, end - start);
+      if (target.empty() || target[0] == '#' ||
+          target.rfind("http://", 0) == 0 ||
+          target.rfind("https://", 0) == 0 ||
+          target.rfind("mailto:", 0) == 0) {
+        continue;
+      }
+      const std::size_t anchor = target.find('#');
+      if (anchor != std::string::npos) target = target.substr(0, anchor);
+      if (target.empty()) continue;
+      ++checked;
+      const fs::path resolved = doc.parent_path() / target;
+      if (!fs::exists(resolved)) {
+        std::fprintf(stderr, "%s: broken link %s\n",
+                     doc.lexically_relative(root).string().c_str(),
+                     target.c_str());
+        ++*violations;
+      }
+    }
+  }
+  std::printf("links   : %d intra-repo markdown links resolved\n", checked);
+  return checked;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repo-root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: check_docs [--repo-root PATH]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!fs::exists(root / "docs" / "cli.md")) {
+    std::fprintf(stderr, "error: %s does not look like the repo root "
+                 "(no docs/cli.md)\n", root.string().c_str());
+    return 2;
+  }
+
+  int violations = 0;
+  check_flags(root, &violations);
+  check_metrics(root, &violations);
+  check_links(root, &violations);
+  if (violations > 0) {
+    std::fprintf(stderr, "check_docs: %d violation%s\n", violations,
+                 violations == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("check_docs: ok\n");
+  return 0;
+}

@@ -107,6 +107,9 @@ int main(int argc, char** argv) {
         skew = std::stod(next());
       } else if (arg == "--seed") {
         seed = std::stoull(next());
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
       } else {
         return usage(argv[0]);
       }

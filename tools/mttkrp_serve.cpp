@@ -1,0 +1,233 @@
+// mttkrp_serve: the long-running serving frontend. Reads JSON-lines
+// requests from stdin (or --script FILE), answers them on a worker pool
+// against the named-tensor registry, and streams JSON-line responses to
+// stdout. Status and summary lines go to stderr so stdout stays a clean
+// response stream. Full protocol and flag reference: docs/serving.md and
+// docs/cli.md.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "src/io/tensor_io.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/planner/calibrate.hpp"
+#include "src/planner/plan_cache.hpp"
+#include "src/serve/server.hpp"
+#include "src/support/check.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: mttkrp_serve [--preload NAME=PATH]... [--backend coo|csf]\n"
+      "          [--workers N] [--batch-window N] [--max-queue N]\n"
+      "          [--staleness F] [--epsilon F] [--admit-max-cost F]\n"
+      "          [--plan-procs P] [--threads T]\n"
+      "          [--cache-file PATH] [--calibrate] [--script FILE]\n"
+      "          [--trace-out FILE] [--metrics-json FILE]\n"
+      "\n"
+      "  Long-running MTTKRP / CP-ALS server: one JSON request per input\n"
+      "  line, one JSON response per output line (see docs/serving.md).\n"
+      "  Runs until stdin EOF or a {\"op\":\"shutdown\"} request.\n"
+      "\n"
+      "  --preload   register a FROSTT .tns file under NAME before serving\n"
+      "              (repeatable)\n"
+      "  --backend   storage backend for preloaded tensors: csf (default,\n"
+      "              shared-forest kernels) or coo\n"
+      "  --workers   worker threads answering requests (default 2)\n"
+      "  --batch-window  max same-key mttkrp requests coalesced into one\n"
+      "              batch (default 8; 1 disables batching)\n"
+      "  --max-queue admission: queued-request cap; submissions beyond it\n"
+      "              are rejected (default 256)\n"
+      "  --staleness pending/base nonzero ratio at which appended deltas\n"
+      "              are folded into a fresh base + CSF rebuild\n"
+      "              (default 0.25)\n"
+      "  --epsilon   default accuracy budget routing requests without their\n"
+      "              own epsilon to the leverage-sampled backend (default\n"
+      "              0 = exact)\n"
+      "  --admit-max-cost  reject requests whose planner-predicted score\n"
+      "              exceeds this (default 0 = no cost gate)\n"
+      "  --plan-procs  modeled processor count for the predicted-cost\n"
+      "              lookup (default 4)\n"
+      "  --threads   OpenMP threads for the local kernels inside each\n"
+      "              request (default: serial kernels)\n"
+      "  --cache-file  persistent plan cache: loaded (with any stored\n"
+      "              calibration) before serving, saved on shutdown\n"
+      "  --calibrate measure machine parameters before serving instead of\n"
+      "              using cached/default ones\n"
+      "  --script    read requests from FILE instead of stdin ('#' lines\n"
+      "              are comments)\n"
+      "  --trace-out write a Chrome trace of the serving run on shutdown\n"
+      "  --metrics-json  write the metrics snapshot on shutdown\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mtk;
+  try {
+    std::vector<std::pair<std::string, std::string>> preloads;
+    StorageFormat backend = StorageFormat::kCsf;
+    ServeOptions sopts;
+    std::string cache_path;
+    std::string script_path;
+    std::string trace_out;
+    std::string metrics_json;
+    bool run_calibrate = false;
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        MTK_CHECK(i + 1 < argc, "missing value for ", arg);
+        return argv[++i];
+      };
+      if (arg == "--preload") {
+        const std::string spec = next();
+        const std::size_t eq = spec.find('=');
+        MTK_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < spec.size(),
+                  "--preload expects NAME=PATH, got '", spec, "'");
+        preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      } else if (arg == "--backend") {
+        const std::string b = next();
+        if (b == "coo") {
+          backend = StorageFormat::kCoo;
+        } else if (b == "csf") {
+          backend = StorageFormat::kCsf;
+        } else {
+          MTK_CHECK(false, "unknown backend '", b, "' (expected coo|csf)");
+        }
+      } else if (arg == "--workers") {
+        sopts.workers = std::stoi(next());
+      } else if (arg == "--batch-window") {
+        sopts.batch_window = std::stoi(next());
+      } else if (arg == "--max-queue") {
+        sopts.max_queue = static_cast<std::size_t>(std::stoul(next()));
+      } else if (arg == "--staleness") {
+        sopts.staleness_threshold = std::stod(next());
+      } else if (arg == "--epsilon") {
+        sopts.default_epsilon = std::stod(next());
+      } else if (arg == "--admit-max-cost") {
+        sopts.admit_max_cost = std::stod(next());
+      } else if (arg == "--plan-procs") {
+        sopts.plan_procs = std::stoi(next());
+      } else if (arg == "--threads") {
+        sopts.local_threads = std::stoi(next());
+        MTK_CHECK(sopts.local_threads >= 1, "--threads must be >= 1");
+      } else if (arg == "--cache-file") {
+        cache_path = next();
+      } else if (arg == "--calibrate") {
+        run_calibrate = true;
+      } else if (arg == "--script") {
+        script_path = next();
+      } else if (arg == "--trace-out") {
+        trace_out = next();
+      } else if (arg == "--metrics-json") {
+        metrics_json = next();
+      } else if (arg == "--help" || arg == "-h") {
+        usage(stdout);
+        return 0;
+      } else {
+        std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+        usage(stderr);
+        return 2;
+      }
+    }
+
+#ifdef _OPENMP
+    if (sopts.local_threads > 0) omp_set_num_threads(sopts.local_threads);
+#endif
+
+    // Persistent plan cache + calibration, shared with mttkrp_cli: warm
+    // plans (and a measured machine) survive across server runs.
+    Calibration cal;
+    if (!cache_path.empty()) {
+      if (PlanCache::global().load(cache_path, &cal)) {
+        std::fprintf(stderr, "cache file     : %s (%zu plans%s)\n",
+                     cache_path.c_str(), PlanCache::global().size(),
+                     cal.measured ? ", calibrated" : "");
+      } else {
+        std::fprintf(stderr, "cache file     : %s (cold)\n",
+                     cache_path.c_str());
+      }
+    }
+    if (run_calibrate) {
+      cal = calibrate_machine();
+      print_calibration(cal, stderr);
+    }
+    sopts.machine = cal;
+
+    TraceSession session;
+    if (!trace_out.empty()) session.start();
+
+    int rc = 0;
+    {
+      MttkrpServer server(sopts);
+      for (const auto& preload : preloads) {
+        SparseTensor x = load_tensor_tns(preload.second);
+        auto v = server.registry().load(preload.first, std::move(x), backend);
+        std::fprintf(stderr, "preloaded      : %s (%lld nonzeros, %s)\n",
+                     preload.first.c_str(),
+                     static_cast<long long>(v->total_nnz()),
+                     to_string(v->backend));
+      }
+      std::fprintf(stderr,
+                   "serving        : %d workers, batch window %d, "
+                   "staleness %.3g, plan procs %d\n",
+                   sopts.workers, sopts.batch_window,
+                   sopts.staleness_threshold, sopts.plan_procs);
+
+      std::FILE* in = stdin;
+      if (!script_path.empty()) {
+        in = std::fopen(script_path.c_str(), "r");
+        MTK_CHECK(in != nullptr, "cannot open script ", script_path);
+      }
+      rc = server.run(in, stdout);
+      if (in != stdin) std::fclose(in);
+
+      std::fprintf(stderr,
+                   "served         : %lld requests "
+                   "(plan cache: %zu hits, %zu misses)\n",
+                   static_cast<long long>(
+                       MetricsRegistry::global()
+                           .counter("mtk.serve.requests")
+                           .value()),
+                   PlanCache::global().hits(), PlanCache::global().misses());
+    }  // joins workers before the trace session stops
+
+    if (!cache_path.empty()) {
+      if (!PlanCache::global().save(cache_path, &cal)) {
+        std::fprintf(stderr, "warning: could not write plan cache %s\n",
+                     cache_path.c_str());
+      }
+    }
+    if (session.active()) {
+      session.stop();
+      if (session.write_chrome_trace_file(trace_out)) {
+        std::fprintf(stderr, "trace          : %s\n", trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "warning: could not write trace %s\n",
+                     trace_out.c_str());
+      }
+    }
+    if (!metrics_json.empty()) {
+      if (MetricsRegistry::global().write_json_file(metrics_json)) {
+        std::fprintf(stderr, "metrics        : %s\n", metrics_json.c_str());
+      } else {
+        std::fprintf(stderr, "warning: could not write metrics %s\n",
+                     metrics_json.c_str());
+      }
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

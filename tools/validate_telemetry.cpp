@@ -12,6 +12,11 @@
 //                                         (> 1x) with zero CSF rebuilds
 //                      BENCH_sampled      >= 3 kernel + >= 2 CP-ALS rows
 //                                         with sane counters
+//                      BENCH_serve        per-row latency percentiles are
+//                                         ordered (p50 <= p95 <= p99) with
+//                                         positive throughput, and the
+//                                         post-warmup plan-cache hit rate
+//                                         reaches > 0.9 on some row
 //   --metrics FILE   metrics snapshots (mttkrp_cli --metrics-json): context
 //                    kind mtk-metrics-v1 and well-formed counter / gauge /
 //                    histogram rows
@@ -133,6 +138,35 @@ void validate_bench(const std::string& path) {
                 ">= 2 cp-als rows, got ", kernels, " + ", als);
     std::printf("%s: %d kernel + %d cp-als rows ok\n", path.c_str(), kernels,
                 als);
+  } else if (starts_with(base, "BENCH_serve")) {
+    int serve_rows = 0;
+    double best_hit_rate = 0.0;
+    for (const JsonValue& row : rows->items()) {
+      const std::string& name = row.at("name").as_string();
+      if (!starts_with(name, "serve/")) continue;
+      ++serve_rows;
+      MTK_REQUIRE(field(row, "requests") > 0.0, path, ": ", name,
+                  " served no requests");
+      MTK_REQUIRE(field(row, "throughput_rps") > 0.0, path, ": ", name,
+                  " has non-positive throughput");
+      const double p50 = field(row, "p50_us");
+      const double p95 = field(row, "p95_us");
+      const double p99 = field(row, "p99_us");
+      MTK_REQUIRE(p50 > 0.0 && p50 <= p95 && p95 <= p99, path, ": ", name,
+                  " latency percentiles are not ordered (p50 ", p50,
+                  ", p95 ", p95, ", p99 ", p99, ")");
+      const double hit_rate = field(row, "plan_hit_rate");
+      MTK_REQUIRE(hit_rate >= 0.0 && hit_rate <= 1.0, path, ": ", name,
+                  " plan_hit_rate ", hit_rate, " out of [0, 1]");
+      if (hit_rate > best_hit_rate) best_hit_rate = hit_rate;
+    }
+    MTK_REQUIRE(serve_rows >= 4, path, ": expected >= 4 serve rows, got ",
+                serve_rows);
+    MTK_REQUIRE(best_hit_rate > 0.9, path,
+                ": no serve row reaches a post-warmup plan-cache hit rate "
+                "> 0.9 (best ", best_hit_rate, ")");
+    std::printf("%s: %d serve rows, best hit rate %.3f ok\n", path.c_str(),
+                serve_rows, best_hit_rate);
   } else {
     std::printf("%s: %zu rows ok\n", path.c_str(), rows->items().size());
   }
