@@ -1,0 +1,319 @@
+#include "src/parsim/transport/fault.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/obs/metrics.hpp"
+#include "src/parsim/transport/thread_transport.hpp"
+#include "src/support/check.hpp"
+#include "src/support/rng.hpp"
+
+namespace mtk {
+
+namespace {
+
+// Uniform double in [0, 1) from a derived-seed draw: every fault decision
+// is one splitmix64 evaluation, keyed on the event coordinates.
+double chance(std::uint64_t seed, std::uint64_t salt) {
+  return static_cast<double>(derive_seed(seed, salt) >> 11) * 0x1.0p-53;
+}
+
+// Folds event coordinates into a single salt; chained derive_seed keeps the
+// streams for distinct (tag, a, b, c) tuples independent.
+std::uint64_t event_salt(std::uint64_t tag, std::uint64_t a, std::uint64_t b,
+                         std::uint64_t c) {
+  std::uint64_t s = derive_seed(tag, a);
+  s = derive_seed(s, b);
+  return derive_seed(s, c);
+}
+
+double parse_prob(const std::string& tok, const std::string& clause) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  MTK_CHECK(used == tok.size(), "fault schedule: bad number '", tok,
+            "' in clause '", clause, "'");
+  MTK_CHECK(v >= 0.0 && v <= 1.0, "fault schedule: probability ", v,
+            " outside [0, 1] in clause '", clause, "'");
+  return v;
+}
+
+double parse_us(const std::string& tok, const std::string& clause) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  MTK_CHECK(used == tok.size() && v >= 0.0,
+            "fault schedule: bad microsecond count '", tok, "' in clause '",
+            clause, "'");
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& tok, const std::string& clause) {
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(tok, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  MTK_CHECK(used == tok.size(), "fault schedule: bad integer '", tok,
+            "' in clause '", clause, "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+void sleep_us(std::int64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+Counter& fault_counter(const char* name) {
+  return MetricsRegistry::global().counter(name);
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::parse(const std::string& script) {
+  FaultSchedule sched;
+  // Strip comments, then split on whitespace and commas.
+  std::string clean;
+  clean.reserve(script.size());
+  bool in_comment = false;
+  for (char c : script) {
+    if (c == '#') in_comment = true;
+    if (c == '\n') in_comment = false;
+    clean.push_back(in_comment || c == ',' ? ' ' : c);
+  }
+  std::istringstream in(clean);
+  std::string clause;
+  while (in >> clause) {
+    const std::size_t eq = clause.find('=');
+    MTK_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < clause.size(),
+              "fault schedule: expected key=value, got '", clause, "'");
+    const std::string key = clause.substr(0, eq);
+    const std::string val = clause.substr(eq + 1);
+    if (key == "seed") {
+      sched.seed = parse_u64(val, clause);
+    } else if (key == "delay") {
+      const std::size_t colon = val.find(':');
+      MTK_CHECK(colon != std::string::npos,
+                "fault schedule: delay wants P:US, got '", clause, "'");
+      sched.delay_prob = parse_prob(val.substr(0, colon), clause);
+      sched.delay_us = parse_us(val.substr(colon + 1), clause);
+    } else if (key == "drop") {
+      sched.drop_prob = parse_prob(val, clause);
+    } else if (key == "corrupt") {
+      sched.corrupt_prob = parse_prob(val, clause);
+    } else if (key == "stall") {
+      const std::size_t at = val.find('@');
+      const std::size_t colon = val.find(':', at == std::string::npos ? 0 : at);
+      MTK_CHECK(at != std::string::npos && colon != std::string::npos &&
+                    at < colon,
+                "fault schedule: stall wants R@N:US, got '", clause, "'");
+      sched.stall_rank =
+          static_cast<int>(parse_u64(val.substr(0, at), clause));
+      sched.stall_every = parse_u64(val.substr(at + 1, colon - at - 1), clause);
+      MTK_CHECK(sched.stall_every >= 1,
+                "fault schedule: stall period must be >= 1 in '", clause, "'");
+      sched.stall_us = parse_us(val.substr(colon + 1), clause);
+    } else if (key == "fail") {
+      sched.fail_prob = parse_prob(val, clause);
+    } else {
+      MTK_CHECK(false, "fault schedule: unknown clause '", clause,
+                "' (known: seed, delay, drop, corrupt, stall, fail)");
+    }
+  }
+  return sched;
+}
+
+std::string FaultSchedule::describe() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  if (delay_prob > 0.0) out << " delay=" << delay_prob << ":" << delay_us;
+  if (drop_prob > 0.0) out << " drop=" << drop_prob;
+  if (corrupt_prob > 0.0) out << " corrupt=" << corrupt_prob;
+  if (stall_rank >= 0 && stall_every > 0 && stall_us > 0.0) {
+    out << " stall=" << stall_rank << "@" << stall_every << ":" << stall_us;
+  }
+  if (fail_prob > 0.0) out << " fail=" << fail_prob;
+  return out.str();
+}
+
+FaultSchedule parse_fault_schedule_arg(const std::string& arg) {
+  if (!arg.empty() && arg.front() == '@') {
+    const std::string path = arg.substr(1);
+    std::ifstream in(path);
+    MTK_CHECK(in.good(), "fault schedule file not readable: ", path);
+    std::ostringstream body;
+    body << in.rdbuf();
+    return FaultSchedule::parse(body.str());
+  }
+  return FaultSchedule::parse(arg);
+}
+
+FaultInjector::MessageFault FaultInjector::on_message(
+    int from, int to, std::uint64_t seq) const {
+  MessageFault fault;
+  const std::uint64_t salt =
+      event_salt(0x6d736716, static_cast<std::uint64_t>(from),
+                 static_cast<std::uint64_t>(to), seq);
+  // Mutually exclusive draws (a dropped message cannot also be corrupted):
+  // one uniform split across the three probability bands.
+  const double u = chance(schedule_.seed, salt);
+  if (u < schedule_.drop_prob) {
+    fault.drop = true;
+  } else if (u < schedule_.drop_prob + schedule_.corrupt_prob) {
+    fault.corrupt = true;
+  } else if (u <
+             schedule_.drop_prob + schedule_.corrupt_prob +
+                 schedule_.delay_prob) {
+    fault.delay_us = static_cast<std::int64_t>(schedule_.delay_us);
+  }
+  return fault;
+}
+
+std::int64_t FaultInjector::stall_us(int rank,
+                                     std::uint64_t collective_seq) const {
+  if (rank != schedule_.stall_rank || schedule_.stall_every == 0 ||
+      schedule_.stall_us <= 0.0) {
+    return 0;
+  }
+  if ((collective_seq + 1) % schedule_.stall_every != 0) return 0;
+  return static_cast<std::int64_t>(schedule_.stall_us);
+}
+
+FaultInjector::CollectiveFault FaultInjector::on_collective(
+    std::uint64_t collective_seq) const {
+  CollectiveFault fault;
+  const std::uint64_t salt = event_salt(0x636f6c6c, collective_seq, 0, 0);
+  const double u = chance(schedule_.seed, salt);
+  if (u < schedule_.drop_prob) {
+    fault.drop = true;
+  } else if (u < schedule_.drop_prob + schedule_.corrupt_prob) {
+    fault.corrupt = true;
+  } else if (u <
+             schedule_.drop_prob + schedule_.corrupt_prob +
+                 schedule_.delay_prob) {
+    fault.delay_us = static_cast<std::int64_t>(schedule_.delay_us);
+  }
+  return fault;
+}
+
+FaultInjector::AttemptFault FaultInjector::on_attempt(std::uint64_t request_id,
+                                                      int attempt) const {
+  AttemptFault fault;
+  const std::uint64_t salt = event_salt(
+      0x61747470, request_id, static_cast<std::uint64_t>(attempt), 0);
+  const double u = chance(schedule_.seed, salt);
+  if (u < schedule_.delay_prob) {
+    fault.delay_us = static_cast<std::int64_t>(schedule_.delay_us);
+  }
+  // Transient by construction: attempts beyond the second always run clean,
+  // so any retry budget >= 2 converges unless the deadline expires first.
+  if (attempt < 2 && chance(schedule_.seed, derive_seed(salt, 0x66616971)) <
+                         schedule_.fail_prob) {
+    fault.fail = true;
+    fault.kind = (derive_seed(salt, 0x6b696e64) & 1)
+                     ? TransportErrorKind::kTimeout
+                     : TransportErrorKind::kCorruption;
+  }
+  return fault;
+}
+
+std::uint64_t wire_checksum(const double* data, std::size_t count) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &data[i], sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> inner,
+    std::shared_ptr<const FaultInjector> injector)
+    : inner_(std::move(inner)), injector_(std::move(injector)) {
+  MTK_CHECK(inner_ != nullptr, "FaultInjectingTransport needs a transport");
+  MTK_CHECK(injector_ != nullptr, "FaultInjectingTransport needs an injector");
+  // Like CountingTransport: do_* delegates to the inner transport's public
+  // entry points, which record spans/counters/timing once.
+  record_telemetry_ = false;
+  if (auto* threads = dynamic_cast<ThreadTransport*>(inner_.get())) {
+    // Real wire: arm the message-level hooks so delay/drop/corrupt happen
+    // on individual mailbox messages and stalls on the rank threads.
+    threads->set_fault_injector(injector_);
+    inner_handles_faults_ = true;
+  }
+}
+
+void FaultInjectingTransport::apply_sim_collective_faults() {
+  const std::uint64_t seq = collective_seq_++;
+  const std::int64_t stall =
+      injector_->stall_us(injector_->schedule().stall_rank, seq);
+  if (stall > 0) {
+    static Counter& stalls = fault_counter("mtk.fault.stalls");
+    stalls.add();
+    sleep_us(stall);
+  }
+  const FaultInjector::CollectiveFault fault = injector_->on_collective(seq);
+  if (fault.delay_us > 0) {
+    static Counter& delays = fault_counter("mtk.fault.delays");
+    delays.add();
+    sleep_us(fault.delay_us);
+  }
+  if (fault.drop) {
+    static Counter& drops = fault_counter("mtk.fault.drops");
+    drops.add();
+    // The collective never completes: burn the deadline budget (bounded),
+    // then surface the timeout the blocked ranks would have seen.
+    if (deadline_seconds() > 0.0) {
+      sleep_us(static_cast<std::int64_t>(deadline_seconds() * 1e6));
+    }
+    throw TransportError(TransportErrorKind::kTimeout, -1,
+                         "injected drop: collective " + std::to_string(seq) +
+                             " timed out");
+  }
+  if (fault.corrupt) {
+    static Counter& corruptions = fault_counter("mtk.fault.corruptions");
+    corruptions.add();
+    throw TransportError(TransportErrorKind::kCorruption, -1,
+                         "injected corruption: collective " +
+                             std::to_string(seq) + " failed its checksum");
+  }
+}
+
+std::vector<double> FaultInjectingTransport::do_all_gather(
+    const std::vector<int>& group,
+    const std::vector<std::vector<double>>& contributions,
+    CollectiveKind kind) {
+  if (!inner_handles_faults_) apply_sim_collective_faults();
+  return inner_->all_gather(group, contributions, kind);
+}
+
+std::vector<std::vector<double>> FaultInjectingTransport::do_reduce_scatter(
+    const std::vector<int>& group,
+    const std::vector<std::vector<double>>& inputs,
+    const std::vector<index_t>& chunk_sizes, CollectiveKind kind) {
+  if (!inner_handles_faults_) apply_sim_collective_faults();
+  return inner_->reduce_scatter(group, inputs, chunk_sizes, kind);
+}
+
+void FaultInjectingTransport::do_run_ranks(
+    const std::function<void(int)>& body) {
+  inner_->run_ranks(body);
+}
+
+}  // namespace mtk

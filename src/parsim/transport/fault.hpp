@@ -1,0 +1,177 @@
+// Seeded, deterministic fault injection for the transport and serving
+// stacks. Three pieces:
+//
+//   FaultSchedule — a parsed fault-schedule script ("delay=0.1:200
+//     drop=0.02 corrupt=0.01 stall=1@3:5000 fail=0.2 seed=7"): the
+//     operator-facing description of which faults to inject and how often.
+//
+//   FaultInjector — pure decision functions over the schedule. Every
+//     decision is a deterministic hash of (seed, event coordinates): the
+//     same schedule replays the same faults at the same points regardless
+//     of thread interleaving, so chaos runs are reproducible and the chaos
+//     harness can compare a faulted run against a fault-free golden run.
+//
+//   FaultInjectingTransport — a Transport wrapper (CountingTransport's
+//     idiom). Wrapping a ThreadTransport arms its message-level hooks:
+//     sends are delayed/dropped/bit-flipped on the wire and ranks stall at
+//     collective entry, so peers genuinely block in their mailbox waits
+//     until the collective deadline converts the hang into a typed
+//     TransportError. Wrapping a SimTransport (centralized, nothing can
+//     block) models the same faults at collective granularity: a dropped
+//     collective burns the deadline budget and surfaces kTimeout, a
+//     corrupted one surfaces kCorruption with the result discarded.
+//
+// Injected faults are observable via the mtk.fault.* counters
+// (docs/metrics.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/parsim/transport/transport.hpp"
+
+namespace mtk {
+
+struct FaultSchedule {
+  std::uint64_t seed = 1;
+  // Message delay: with probability delay_prob, hold a message (threads) or
+  // a collective (sim) for delay_us microseconds before delivery.
+  double delay_prob = 0.0;
+  double delay_us = 0.0;
+  // Message drop: the message never arrives; the receiver blocks until the
+  // collective deadline and surfaces TransportError{kTimeout}.
+  double drop_prob = 0.0;
+  // Payload corruption: one wire word is bit-flipped after the checksum is
+  // computed; the receiver detects the mismatch and surfaces
+  // TransportError{kCorruption}.
+  double corrupt_prob = 0.0;
+  // Rank stall: rank stall_rank sleeps stall_us microseconds at the entry
+  // of every stall_every-th collective (1 = every collective).
+  int stall_rank = -1;
+  std::uint64_t stall_every = 0;
+  double stall_us = 0.0;
+  // Serve-level transient failure: with probability fail_prob a work-item
+  // attempt throws a retryable TransportError before executing.
+  double fail_prob = 0.0;
+
+  bool message_faults() const {
+    return delay_prob > 0.0 || drop_prob > 0.0 || corrupt_prob > 0.0 ||
+           (stall_rank >= 0 && stall_every > 0 && stall_us > 0.0);
+  }
+
+  // Parses a schedule script: whitespace/comma-separated clauses
+  //   seed=S  delay=P:US  drop=P  corrupt=P  stall=R@N:US  fail=P
+  // with '#' starting a comment that runs to end of line. Unknown clauses
+  // and malformed numbers throw std::invalid_argument.
+  static FaultSchedule parse(const std::string& script);
+  // One-line canonical rendering (for logs and the chaos harness banner).
+  std::string describe() const;
+};
+
+// Resolves a --chaos/--schedule argument: "@path" loads the script from a
+// file (the fault-schedule script checked into tests/data), anything else
+// is parsed inline.
+FaultSchedule parse_fault_schedule_arg(const std::string& arg);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSchedule schedule) : schedule_(schedule) {}
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  struct MessageFault {
+    std::int64_t delay_us = 0;
+    bool drop = false;
+    bool corrupt = false;
+  };
+  // Decision for the seq-th message on the (from, to) stream. Deterministic
+  // in its arguments; per-stream sequence numbers are deterministic because
+  // each (sender, receiver) FIFO is ordered regardless of interleaving.
+  MessageFault on_message(int from, int to, std::uint64_t seq) const;
+
+  // Microseconds rank `rank` must stall at the entry of collective
+  // `collective_seq`; 0 when the schedule does not stall this rank here.
+  std::int64_t stall_us(int rank, std::uint64_t collective_seq) const;
+
+  struct CollectiveFault {
+    std::int64_t delay_us = 0;
+    bool drop = false;
+    bool corrupt = false;
+  };
+  // Collective-granularity decision used by the sim backend (no wire to
+  // fault message-by-message).
+  CollectiveFault on_collective(std::uint64_t collective_seq) const;
+
+  struct AttemptFault {
+    std::int64_t delay_us = 0;
+    bool fail = false;
+    TransportErrorKind kind = TransportErrorKind::kTimeout;
+  };
+  // Serve-level decision for attempt `attempt` of request `request_id`:
+  // transient failures clear after at most two attempts so a bounded retry
+  // budget always converges on a fault that is genuinely transient.
+  AttemptFault on_attempt(std::uint64_t request_id, int attempt) const;
+
+ private:
+  FaultSchedule schedule_;
+};
+
+// Checksum over a wire payload (FNV-1a over the byte representation).
+// ThreadTransport stamps each message with it when an injector is armed,
+// so an injected bit-flip is detected at the receiver instead of silently
+// poisoning the collective result.
+std::uint64_t wire_checksum(const double* data, std::size_t count);
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<Transport> inner,
+                          std::shared_ptr<const FaultInjector> injector);
+
+  TransportKind kind() const override { return inner_->kind(); }
+  int num_ranks() const override { return inner_->num_ranks(); }
+
+  const CommStats& stats(int rank) const override {
+    return inner_->stats(rank);
+  }
+  void reset_stats() override { inner_->reset_stats(); }
+  void record_phase(PhaseRecord record) override {
+    inner_->record_phase(std::move(record));
+  }
+  const std::vector<PhaseRecord>& phases() const override {
+    return inner_->phases();
+  }
+
+  void set_deadline(double seconds) override {
+    Transport::set_deadline(seconds);
+    inner_->set_deadline(seconds);
+  }
+
+  const FaultInjector& injector() const { return *injector_; }
+
+ protected:
+  std::vector<double> do_all_gather(
+      const std::vector<int>& group,
+      const std::vector<std::vector<double>>& contributions,
+      CollectiveKind kind) override;
+  std::vector<std::vector<double>> do_reduce_scatter(
+      const std::vector<int>& group,
+      const std::vector<std::vector<double>>& inputs,
+      const std::vector<index_t>& chunk_sizes, CollectiveKind kind) override;
+  void do_run_ranks(const std::function<void(int)>& body) override;
+
+ private:
+  // Applies the sim-backend collective-granularity faults; throws the typed
+  // error when the collective is dropped or corrupted. No-op when the inner
+  // transport handles faults itself (threads).
+  void apply_sim_collective_faults();
+
+  std::unique_ptr<Transport> inner_;
+  std::shared_ptr<const FaultInjector> injector_;
+  // Orchestrator-side collective ordinal (deterministic: collectives are
+  // issued from one thread).
+  std::uint64_t collective_seq_ = 0;
+  bool inner_handles_faults_ = false;
+};
+
+}  // namespace mtk

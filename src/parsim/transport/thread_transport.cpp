@@ -1,8 +1,13 @@
 #include "src/parsim/transport/thread_transport.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
 
+#include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
+#include "src/parsim/transport/fault.hpp"
 
 namespace mtk {
 
@@ -59,6 +64,9 @@ ThreadTransport::ThreadTransport(int num_ranks) {
     mailboxes_.push_back(std::move(box));
   }
   stats_.resize(static_cast<std::size_t>(num_ranks));
+  pair_seq_.assign(
+      static_cast<std::size_t>(num_ranks) * static_cast<std::size_t>(num_ranks),
+      0);
   workers_.reserve(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r) {
     workers_.emplace_back([this, r] { worker_loop(r); });
@@ -86,6 +94,14 @@ void ThreadTransport::reset_stats() {
   // Orchestrator-only, between jobs: the completion handshake of the last
   // dispatch ordered all worker writes before this.
   for (PaddedStats& p : stats_) p.s = CommStats{};
+}
+
+void ThreadTransport::set_fault_injector(
+    std::shared_ptr<const FaultInjector> injector) {
+  std::lock_guard<std::mutex> lk(job_mu_);
+  MTK_REQUIRE(remaining_ == 0,
+              "set_fault_injector is orchestrator-only, between jobs");
+  injector_ = std::move(injector);
 }
 
 void ThreadTransport::worker_loop(int rank) {
@@ -149,42 +165,131 @@ void ThreadTransport::dispatch(const std::function<void(int)>& job) {
     std::exception_ptr err = first_error_;
     first_error_ = nullptr;
     lk.unlock();
+    // All ranks have returned, so the mailboxes are quiescent: drain any
+    // in-flight payloads the aborted collective left behind, otherwise a
+    // stale chunk would poison the next collective a retrying caller runs.
+    for (auto& box : mailboxes_) {
+      std::lock_guard<std::mutex> box_lk(box->mu);
+      for (auto& queue : box->from) queue.clear();
+    }
     std::rethrow_exception(err);
   }
 }
 
+void ThreadTransport::arm_collective(bool with_deadline) {
+  // Orchestrator-side, before dispatch: the generation handshake orders
+  // these writes before any worker reads them.
+  current_collective_seq_ = collective_seq_++;
+  has_deadline_ = with_deadline && deadline_seconds() > 0.0;
+  if (has_deadline_) {
+    deadline_tp_ = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(deadline_seconds()));
+  }
+}
+
+void ThreadTransport::apply_stall(int rank) {
+  if (!injector_) return;
+  const std::int64_t us = injector_->stall_us(rank, current_collective_seq_);
+  if (us <= 0) return;
+  static Counter& stalls = MetricsRegistry::global().counter("mtk.fault.stalls");
+  stalls.add();
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
 void ThreadTransport::send(int from, int to, std::vector<double> payload) {
-  // Sender-side counters: each thread touches only its own stats slot.
+  // Sender-side counters: each thread touches only its own stats slot. A
+  // dropped message still counts as sent — it left this rank and was lost
+  // on the wire.
   CommStats& s = stats_[static_cast<std::size_t>(from)].s;
   s.words_sent += static_cast<index_t>(payload.size());
   s.messages_sent += 1;
+  WireMessage msg;
+  if (injector_) {
+    std::uint64_t& seq =
+        pair_seq_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(num_ranks()) +
+                  static_cast<std::size_t>(to)];
+    const FaultInjector::MessageFault fault =
+        injector_->on_message(from, to, seq++);
+    if (fault.delay_us > 0) {
+      static Counter& delays =
+          MetricsRegistry::global().counter("mtk.fault.delays");
+      delays.add();
+      std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_us));
+    }
+    if (fault.drop) {
+      static Counter& drops =
+          MetricsRegistry::global().counter("mtk.fault.drops");
+      drops.add();
+      return;
+    }
+    msg.checksum = wire_checksum(payload.data(), payload.size());
+    msg.checked = true;
+    if (fault.corrupt && !payload.empty()) {
+      static Counter& corruptions =
+          MetricsRegistry::global().counter("mtk.fault.corruptions");
+      corruptions.add();
+      // Flip one mantissa bit of one word, after the checksum was stamped —
+      // the receiver's verification catches it.
+      const std::size_t w = static_cast<std::size_t>(seq) % payload.size();
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &payload[w], sizeof(bits));
+      bits ^= 1ull << 13;
+      std::memcpy(&payload[w], &bits, sizeof(bits));
+    }
+  }
+  msg.payload = std::move(payload);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
   {
     std::lock_guard<std::mutex> lk(box.mu);
-    box.from[static_cast<std::size_t>(from)].push_back(std::move(payload));
+    box.from[static_cast<std::size_t>(from)].push_back(std::move(msg));
   }
   box.cv.notify_all();
 }
 
 std::vector<double> ThreadTransport::recv(int to, int from) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
-  std::vector<double> payload;
+  WireMessage msg;
   {
     std::unique_lock<std::mutex> lk(box.mu);
-    std::deque<std::vector<double>>& queue =
-        box.from[static_cast<std::size_t>(from)];
-    box.cv.wait(lk, [&] {
+    std::deque<WireMessage>& queue = box.from[static_cast<std::size_t>(from)];
+    const auto ready = [&] {
       return !queue.empty() || aborted_.load(std::memory_order_acquire);
-    });
-    MTK_REQUIRE(!queue.empty(),
-                "transport collective aborted while rank ", to,
-                " was waiting on rank ", from);
-    payload = std::move(queue.front());
+    };
+    if (has_deadline_) {
+      if (!box.cv.wait_until(lk, deadline_tp_, ready)) {
+        static Counter& timeouts =
+            MetricsRegistry::global().counter("mtk.transport.timeouts");
+        timeouts.add();
+        throw TransportError(
+            TransportErrorKind::kTimeout, to,
+            "collective deadline exceeded: rank " + std::to_string(to) +
+                " waited on rank " + std::to_string(from) + " past " +
+                std::to_string(deadline_seconds()) + "s");
+      }
+    } else {
+      box.cv.wait(lk, ready);
+    }
+    if (queue.empty()) {
+      throw TransportError(
+          TransportErrorKind::kAborted, to,
+          "transport collective aborted while rank " + std::to_string(to) +
+              " was waiting on rank " + std::to_string(from));
+    }
+    msg = std::move(queue.front());
     queue.pop_front();
   }
+  if (msg.checked &&
+      wire_checksum(msg.payload.data(), msg.payload.size()) != msg.checksum) {
+    throw TransportError(
+        TransportErrorKind::kCorruption, to,
+        "wire checksum mismatch on message from rank " + std::to_string(from) +
+            " to rank " + std::to_string(to));
+  }
   stats_[static_cast<std::size_t>(to)].s.words_received +=
-      static_cast<index_t>(payload.size());
-  return payload;
+      static_cast<index_t>(msg.payload.size());
+  return std::move(msg.payload);
 }
 
 // ---------------------------------------------------------------------------
@@ -392,7 +497,9 @@ std::vector<double> ThreadTransport::do_all_gather(
   for (int i = 0; i < q; ++i) pos_of[static_cast<std::size_t>(group[i])] = i;
   const bool doubling =
       kind == CollectiveKind::kRecursive && recursive_all_gather_applies(q);
+  arm_collective(/*with_deadline=*/true);
   dispatch([&](int rank) {
+    apply_stall(rank);
     const int pos = pos_of[static_cast<std::size_t>(rank)];
     if (pos < 0) return;
     if (doubling) {
@@ -441,7 +548,9 @@ std::vector<std::vector<double>> ThreadTransport::do_reduce_scatter(
   for (int i = 0; i < q; ++i) pos_of[static_cast<std::size_t>(group[i])] = i;
   const bool halving = kind == CollectiveKind::kRecursive &&
                        recursive_reduce_scatter_applies(q, chunk_sizes);
+  arm_collective(/*with_deadline=*/true);
   dispatch([&](int rank) {
+    apply_stall(rank);
     const int pos = pos_of[static_cast<std::size_t>(rank)];
     if (pos < 0) return;
     if (halving) {
@@ -454,6 +563,9 @@ std::vector<std::vector<double>> ThreadTransport::do_reduce_scatter(
 }
 
 void ThreadTransport::do_run_ranks(const std::function<void(int)>& body) {
+  // Local-compute phase: no mailbox traffic, so no deadline window (a stale
+  // window from the previous collective must not apply here).
+  arm_collective(/*with_deadline=*/false);
   dispatch(body);
 }
 

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -37,6 +38,8 @@
 #include "src/parsim/transport/transport.hpp"
 
 namespace mtk {
+
+class FaultInjector;
 
 class ThreadTransport final : public Transport {
  public:
@@ -56,6 +59,16 @@ class ThreadTransport final : public Transport {
   }
   const std::vector<PhaseRecord>& phases() const override { return phases_; }
 
+  // Arms (or disarms, with nullptr) seeded message-level fault injection:
+  // sends consult the injector for delay/drop/corruption, payloads carry a
+  // wire checksum so injected bit-flips surface as typed kCorruption at the
+  // receiver, and ranks stall at collective entry per the schedule.
+  // Orchestrator-only, between jobs. With no injector armed the wire path
+  // is bit-identical to the pre-fault implementation (no checksums).
+  // Dropped messages require a collective deadline (set_deadline) to
+  // surface as kTimeout instead of a genuine hang.
+  void set_fault_injector(std::shared_ptr<const FaultInjector> injector);
+
  protected:
   std::vector<double> do_all_gather(
       const std::vector<int>& group,
@@ -68,12 +81,21 @@ class ThreadTransport final : public Transport {
   void do_run_ranks(const std::function<void(int)>& body) override;
 
  private:
+  // One message on the wire. The checksum is stamped (and later verified)
+  // only while a fault injector is armed, so the fault-free fast path pays
+  // nothing and stays bit-identical to the original implementation.
+  struct WireMessage {
+    std::vector<double> payload;
+    std::uint64_t checksum = 0;
+    bool checked = false;
+  };
+
   // One receiver's mailbox: a FIFO queue per sender, so concurrent sends
   // from distinct ranks never reorder a (sender, receiver) stream.
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    std::vector<std::deque<std::vector<double>>> from;  // indexed by sender
+    std::vector<std::deque<WireMessage>> from;  // indexed by sender
   };
 
   // Avoid false sharing between adjacent ranks' hot counters.
@@ -83,9 +105,17 @@ class ThreadTransport final : public Transport {
 
   void worker_loop(int rank);
   // Runs job(rank) on every rank's thread and blocks until all complete;
-  // rethrows the first exception any rank raised.
+  // rethrows the first exception any rank raised. When a job fails, every
+  // mailbox is drained before rethrowing so the transport is reusable for
+  // the next collective (serve retries depend on this).
   void dispatch(const std::function<void(int)>& job);
   void abort_waiters();
+  // Computes the deadline window for the collective about to dispatch;
+  // called orchestrator-side at do_* entry.
+  void arm_collective(bool with_deadline);
+  // Sleeps out any scheduled stall for this rank at collective entry
+  // (called on the rank's thread, first thing inside the dispatched job).
+  void apply_stall(int rank);
 
   // Point-to-point primitives (called from rank threads only).
   void send(int from, int to, std::vector<double> payload);
@@ -102,6 +132,19 @@ class ThreadTransport final : public Transport {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<PaddedStats> stats_;
   std::vector<PhaseRecord> phases_;
+
+  // Fault-injection state. The injector is armed by the orchestrator
+  // between jobs; per-(sender, receiver) message ordinals live in a flat
+  // row-major array where row `from` is written only by rank `from`'s
+  // thread, so decisions are deterministic and race-free. The collective
+  // ordinal and deadline window are written by the orchestrator before
+  // dispatch (the generation handshake orders them before worker reads).
+  std::shared_ptr<const FaultInjector> injector_;
+  std::vector<std::uint64_t> pair_seq_;
+  std::uint64_t collective_seq_ = 0;
+  std::uint64_t current_collective_seq_ = 0;
+  std::chrono::steady_clock::time_point deadline_tp_{};
+  bool has_deadline_ = false;
 
   // Job dispatch state (generation handshake).
   std::mutex job_mu_;

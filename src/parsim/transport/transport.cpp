@@ -33,6 +33,15 @@ const char* to_string(TransportKind kind) {
   return "unknown";
 }
 
+const char* to_string(TransportErrorKind kind) {
+  switch (kind) {
+    case TransportErrorKind::kTimeout: return "timeout";
+    case TransportErrorKind::kCorruption: return "corruption";
+    case TransportErrorKind::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
 std::vector<double> Transport::all_gather(
     const std::vector<int>& group,
     const std::vector<std::vector<double>>& contributions,

@@ -18,6 +18,8 @@
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/parsim/collective_variants.hpp"
@@ -31,6 +33,34 @@ enum class TransportKind {
 };
 
 const char* to_string(TransportKind kind);
+
+// Why a collective failed. The taxonomy is deliberately small: callers
+// branch on "transient, worth retrying" (timeout / corruption / aborted)
+// versus everything else, which stays a plain std::runtime_error.
+enum class TransportErrorKind {
+  kTimeout,     // a blocked mailbox wait exceeded the collective deadline
+  kCorruption,  // a received payload failed its wire checksum
+  kAborted,     // a peer rank failed first; this rank was woken mid-wait
+};
+
+const char* to_string(TransportErrorKind kind);
+
+// Typed transport failure. Derives from std::runtime_error so existing
+// catch sites keep working; new code catches TransportError to distinguish
+// transient collective failures (retryable) from logic errors (not).
+class TransportError : public std::runtime_error {
+ public:
+  TransportError(TransportErrorKind kind, int rank, const std::string& what)
+      : std::runtime_error(what), kind_(kind), rank_(rank) {}
+
+  TransportErrorKind fault_kind() const { return kind_; }
+  // The rank that observed the failure (-1 when orchestrator-level).
+  int rank() const { return rank_; }
+
+ private:
+  TransportErrorKind kind_;
+  int rank_;
+};
 
 class Transport {
  public:
@@ -80,6 +110,17 @@ class Transport {
   double comm_seconds() const { return comm_seconds_; }
   double compute_seconds() const { return compute_seconds_; }
 
+  // Per-collective deadline in seconds; 0 disables (the default, and the
+  // pre-deadline behavior). Each collective entry (all_gather,
+  // reduce_scatter — all_reduce's two stages each get a fresh budget) must
+  // finish within this bound. On ThreadTransport a blocked mailbox wait
+  // that exceeds it throws TransportError{kTimeout} instead of hanging;
+  // SimTransport collectives are centralized and cannot block, so the
+  // deadline is a no-op there. Virtual so wrappers can forward to their
+  // inner transport.
+  virtual void set_deadline(double seconds) { deadline_seconds_ = seconds; }
+  double deadline_seconds() const { return deadline_seconds_; }
+
  protected:
   virtual std::vector<double> do_all_gather(
       const std::vector<int>& group,
@@ -93,6 +134,7 @@ class Transport {
 
   double comm_seconds_ = 0.0;
   double compute_seconds_ = 0.0;
+  double deadline_seconds_ = 0.0;
   // Whether the public entry points emit spans and registry counters.
   // CountingTransport turns this off on itself: its do_* methods replay
   // every collective through the inner transport's *public* entry points,

@@ -283,8 +283,13 @@ bool PlanCache::save(const std::string& path,
             "unsupported plan-cache file version ", version);
   const bool v3 = version >= 3;
   std::lock_guard<std::mutex> lock(mutex_);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
+
+  // Crash safety: the whole file is composed in memory, sealed with a
+  // whole-file checksum trailer (which, unlike the per-entry sums, also
+  // covers the header and calibration line), written to a sibling temp
+  // file, and published with an atomic rename. A crash mid-save leaves the
+  // previous file intact; a torn temp file is never visible under `path`.
+  std::ostringstream out;
   out << "mtkplancache " << version << "\n";
   if (calibration != nullptr) {
     write_calibration(out, *calibration);
@@ -390,9 +395,35 @@ bool PlanCache::save(const std::string& path,
     out << text << "sum " << sum.state << "\n";
   }
   out << "end\n";
-  out.flush();  // surface deferred write errors (e.g. disk full) here, not
-                // silently at destruction after success was reported
-  return out.good();
+
+  // Seal and publish. The trailer checksums every byte up to and including
+  // the "end" line; the loader recomputes it and treats any disagreement —
+  // torn write, bit rot, truncation past "end" — as a cold cache.
+  std::string text = out.str();
+  Fnv1a file_sum;
+  file_sum.mix_bytes(text.data(), text.size());
+  std::ostringstream trailer;
+  trailer << "filesum " << file_sum.state << "\n";
+  text += trailer.str();
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc | std::ios::binary);
+    if (!file) return false;
+    file.write(text.data(), static_cast<std::streamsize>(text.size()));
+    file.flush();  // surface deferred write errors (e.g. disk full) here,
+                   // before the rename publishes the file
+    if (!file.good()) {
+      file.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool PlanCache::load(const std::string& path, Calibration* calibration) {
@@ -403,8 +434,18 @@ bool PlanCache::load(const std::string& path, Calibration* calibration) {
   if (!in) return false;
 
   std::string line;
+  // Runs over every raw line through "end", mirroring the byte stream
+  // save() sealed with the "filesum" trailer; verified once "end" is seen.
+  Fnv1a file_sum;
+  const auto read_raw = [&](std::string& l) -> bool {
+    if (!std::getline(in, l)) return false;
+    file_sum.mix_bytes(l.data(), l.size());
+    file_sum.mix_bytes("\n", 1);
+    return true;
+  };
+
   bool v3 = true;
-  if (!std::getline(in, line)) return false;
+  if (!read_raw(line)) return false;
   {
     TokenParser p(line);
     if (p.word() != "mtkplancache") return false;
@@ -421,7 +462,7 @@ bool PlanCache::load(const std::string& path, Calibration* calibration) {
   bool have_cal = false;
   bool saw_end = false;
 
-  while (std::getline(in, line)) {
+  while (read_raw(line)) {
     TokenParser p(line);
     const std::string tag = p.word();
     if (!p.ok) {
@@ -452,7 +493,7 @@ bool PlanCache::load(const std::string& path, Calibration* calibration) {
     // Every body line feeds the checksum verified at the entry's end.
     Fnv1a sum;
     const auto next_body_line = [&]() -> bool {
-      if (!std::getline(in, line)) return false;
+      if (!read_raw(line)) return false;
       sum.mix_bytes(line.data(), line.size());
       sum.mix_bytes("\n", 1);
       return true;
@@ -575,7 +616,7 @@ bool PlanCache::load(const std::string& path, Calibration* calibration) {
     }
 
     // --- checksum line ----------------------------------------------------
-    if (!std::getline(in, line)) return false;
+    if (!read_raw(line)) return false;
     TokenParser sp(line);
     if (sp.word() != "sum") return false;
     const std::string sum_word = sp.word();
@@ -590,6 +631,24 @@ bool PlanCache::load(const std::string& path, Calibration* calibration) {
     loaded[hash] = Entry{std::move(k), std::move(report)};
   }
   if (!saw_end) return false;  // truncated
+
+  // Optional whole-file checksum trailer (written by save() since the
+  // atomic-rename change). Files from older writers end at "end" and load
+  // fine; when the trailer is present it must match — it is the only check
+  // that covers the header and calibration line.
+  if (std::getline(in, line)) {
+    TokenParser tp(line);
+    if (tp.word() == "filesum") {
+      const std::string sum_word = tp.word();
+      char* sum_end = nullptr;
+      const std::uint64_t stored =
+          std::strtoull(sum_word.c_str(), &sum_end, 10);
+      if (!tp.done() || sum_end == nullptr || *sum_end != '\0' ||
+          sum_word.empty() || stored != file_sum.state) {
+        return false;
+      }
+    }
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   map_ = std::move(loaded);

@@ -49,6 +49,23 @@ Counter& warm_starts_counter() {
       MetricsRegistry::global().counter("mtk.serve.warm_starts");
   return c;
 }
+Counter& retries_counter() {
+  static Counter& c = MetricsRegistry::global().counter("mtk.serve.retries");
+  return c;
+}
+Counter& shed_counter() {
+  static Counter& c = MetricsRegistry::global().counter("mtk.serve.shed");
+  return c;
+}
+Counter& deadline_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("mtk.serve.deadline_exceeded");
+  return c;
+}
+Counter& injected_failures_counter() {
+  static Counter& c = MetricsRegistry::global().counter("mtk.fault.failures");
+  return c;
+}
 Histogram& latency_histogram() {
   static Histogram& h =
       MetricsRegistry::global().histogram("mtk.serve.latency_us");
@@ -204,6 +221,12 @@ struct MttkrpServer::Request {
   double predicted_cost = 0.0;
   SparseKernelVariant kernel_variant = SparseKernelVariant::kAuto;
 
+  // Robustness state.
+  double deadline_ms = 0.0;  // effective deadline (request or server default)
+  bool degraded = false;     // overload shedding routed an exact request to
+                             // the sampled backend
+  int retries_used = 0;
+
   std::string batch_key;
   Clock::time_point t_submit;
   Clock::time_point t_start;  // execution start (queue wait witness)
@@ -260,6 +283,9 @@ void parse_request(MttkrpServer::Request& req, const std::string& line) {
     req.iters = static_cast<int>(v->as_integer());
   }
   if (const JsonValue* v = root.find("tol")) req.tol = v->as_number();
+  if (const JsonValue* v = root.find("deadline_ms")) {
+    req.deadline_ms = v->as_number();
+  }
   if (const JsonValue* e = root.find("entries")) {
     for (const JsonValue& row : e->items()) {
       const auto& cells = row.items();
@@ -303,13 +329,30 @@ void parse_request(MttkrpServer::Request& req, const std::string& line) {
   }
 }
 
+// Every error answer is typed: `kind` is one of bad_request | rejected |
+// deadline_exceeded | timeout | corruption | aborted | internal, so clients
+// (and the chaos harness) can branch without parsing prose.
 std::string error_response(std::int64_t id, const std::string& message,
-                           bool rejected = false) {
+                           const char* kind, bool rejected = false) {
   errors_counter().add(1);
   ResponseBuilder r(id, false);
   r.str("error", message);
+  r.str("kind", kind);
   if (rejected) r.boolean("rejected", true);
   return r.finish();
+}
+
+// Maps an execution exception to its error kind: typed transport faults
+// keep their taxonomy, validation errors are the client's fault, anything
+// else is internal.
+const char* classify_error(const std::exception& e) {
+  if (const auto* te = dynamic_cast<const TransportError*>(&e)) {
+    return to_string(te->fault_kind());
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return "bad_request";
+  }
+  return "internal";
 }
 
 std::int64_t counter_value(const char* name) {
@@ -327,6 +370,17 @@ MttkrpServer::MttkrpServer(const ServeOptions& opts)
             opts_.workers);
   MTK_CHECK(opts_.batch_window >= 1, "batch window must be >= 1");
   MTK_CHECK(opts_.max_queue >= 1, "max queue must be >= 1");
+  MTK_CHECK(opts_.max_retries >= 0, "max retries must be >= 0");
+  MTK_CHECK(opts_.retry_backoff_ms >= 0.0, "retry backoff must be >= 0");
+  MTK_CHECK(opts_.shed_epsilon >= 0.0 && opts_.shed_epsilon < 1.0,
+            "shed epsilon must be in [0, 1)");
+  MTK_CHECK(opts_.max_line_bytes >= 64, "max line bytes must be >= 64");
+  if (opts_.max_resident_bytes > 0) {
+    registry_.set_max_resident_bytes(opts_.max_resident_bytes);
+  }
+  // Register the injection instrument up front so a chaos run's metrics
+  // snapshot carries the family even when no fault happens to fire.
+  if (opts_.chaos) injected_failures_counter();
   workers_.reserve(static_cast<std::size_t>(opts_.workers));
   for (int w = 0; w < opts_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -378,9 +432,10 @@ std::future<std::string> MttkrpServer::submit(const std::string& line) {
   try {
     parse_request(*req, line);
   } catch (const std::exception& e) {
-    finish(*req, error_response(req->id, e.what()));
+    finish(*req, error_response(req->id, e.what(), "bad_request"));
     return fut;
   }
+  if (req->deadline_ms <= 0.0) req->deadline_ms = opts_.default_deadline_ms;
 
   switch (req->op) {
     case ServeOp::kLoad:
@@ -393,7 +448,7 @@ std::future<std::string> MttkrpServer::submit(const std::string& line) {
       try {
         response = execute_control(*req);
       } catch (const std::exception& e) {
-        response = error_response(req->id, e.what());
+        response = error_response(req->id, e.what(), classify_error(e));
       }
       finish(*req, std::move(response));
       return fut;
@@ -407,7 +462,7 @@ std::future<std::string> MttkrpServer::submit(const std::string& line) {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.size() >= opts_.max_queue) {
       rejected_counter().add(1);
-      finish(*req, error_response(req->id, "admission: queue full",
+      finish(*req, error_response(req->id, "admission: queue full", "rejected",
                                   /*rejected=*/true));
       return fut;
     }
@@ -419,8 +474,9 @@ std::future<std::string> MttkrpServer::submit(const std::string& line) {
   if (req->op == ServeOp::kMttkrp || req->op == ServeOp::kRefine) {
     auto version = registry_.get(req->tensor);
     if (version == nullptr) {
-      finish(*req,
-             error_response(req->id, "unknown tensor '" + req->tensor + "'"));
+      finish(*req, error_response(
+                       req->id, "unknown tensor '" + req->tensor + "'",
+                       "bad_request"));
       return fut;
     }
     if (req->epsilon == 0.0) req->epsilon = opts_.default_epsilon;
@@ -450,14 +506,25 @@ std::future<std::string> MttkrpServer::submit(const std::string& line) {
     }
     if (opts_.admit_max_cost > 0.0 &&
         req->predicted_cost > opts_.admit_max_cost) {
-      rejected_counter().add(1);
-      std::string msg = "admission: predicted cost ";
-      char buf[40];
-      std::snprintf(buf, sizeof(buf), "%.6g", req->predicted_cost);
-      msg += buf;
-      msg += " exceeds limit";
-      finish(*req, error_response(req->id, msg, /*rejected=*/true));
-      return fut;
+      if (opts_.shed_epsilon > 0.0 && req->op == ServeOp::kMttkrp &&
+          req->epsilon == 0.0) {
+        // Overload shedding: degrade the over-budget exact request to the
+        // sampled backend instead of rejecting it. The answer reports the
+        // degradation (path=sampled, degraded=true, the epsilon applied).
+        req->epsilon = opts_.shed_epsilon;
+        req->degraded = true;
+        shed_counter().add(1);
+      } else {
+        rejected_counter().add(1);
+        std::string msg = "admission: predicted cost ";
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", req->predicted_cost);
+        msg += buf;
+        msg += " exceeds limit";
+        finish(*req,
+               error_response(req->id, msg, "rejected", /*rejected=*/true));
+        return fut;
+      }
     }
   }
 
@@ -530,6 +597,13 @@ std::string MttkrpServer::execute_control(Request& req) {
           .integer("deltas_appended",
                    counter_value("mtk.serve.deltas.appended"))
           .integer("warm_starts", counter_value("mtk.serve.warm_starts"))
+          .integer("retries", counter_value("mtk.serve.retries"))
+          .integer("shed", counter_value("mtk.serve.shed"))
+          .integer("deadline_exceeded",
+                   counter_value("mtk.serve.deadline_exceeded"))
+          .integer("evictions", counter_value("mtk.serve.evictions"))
+          .integer("resident_bytes",
+                   static_cast<std::int64_t>(registry_.resident_bytes()))
           .integer("csf_builds", counter_value("mtk.csf.builds"))
           .integer("plan_hits",
                    static_cast<std::int64_t>(PlanCache::global().hits()))
@@ -613,31 +687,90 @@ void MttkrpServer::execute_batch(
       span.arg("op", static_cast<std::int64_t>(req.op));
       span.arg("batch", static_cast<std::int64_t>(batch.size()));
     }
-    std::string response;
-    try {
-      switch (req.op) {
-        case ServeOp::kMttkrp:
-          response = execute_mttkrp(req, version,
-                                    static_cast<int>(batch.size()));
-          break;
-        case ServeOp::kRefine:
-          response = execute_refine(req, version);
-          break;
-        case ServeOp::kAppend:
-          response = execute_append(req);
-          break;
-        default:
-          throw std::logic_error("execute_batch: not a data-plane op");
-      }
-    } catch (const std::exception& e) {
-      response = error_response(req.id, e.what());
-    }
+    std::string response =
+        execute_with_retries(req, version, static_cast<int>(batch.size()));
     finish(req, std::move(response));
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     outstanding_ -= batch.size();
     if (outstanding_ == 0) idle_cv_.notify_all();
+  }
+}
+
+std::string MttkrpServer::execute_with_retries(
+    Request& req, const std::shared_ptr<const TensorVersion>& version,
+    int batch_size) {
+  const auto remaining_ms = [&]() -> double {
+    if (req.deadline_ms <= 0.0) return 1e18;  // no deadline
+    return req.deadline_ms -
+           static_cast<double>(micros_between(req.t_submit, Clock::now())) /
+               1000.0;
+  };
+  const auto deadline_error = [&](const std::string& cause) {
+    deadline_counter().add(1);
+    return error_response(
+        req.id, "deadline of " + std::to_string(req.deadline_ms) +
+                    "ms exceeded" + (cause.empty() ? "" : ": " + cause),
+        "deadline_exceeded");
+  };
+
+  for (int attempt = 0;; ++attempt) {
+    if (remaining_ms() <= 0.0) {
+      return deadline_error(attempt == 0 ? "before execution"
+                                         : "while retrying");
+    }
+    try {
+      // Chaos injection: seeded, deterministic per (request id, attempt).
+      if (opts_.chaos) {
+        const FaultInjector::AttemptFault fault =
+            opts_.chaos->on_attempt(static_cast<std::uint64_t>(req.id),
+                                    attempt);
+        if (fault.delay_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(fault.delay_us));
+        }
+        if (fault.fail) {
+          injected_failures_counter().add(1);
+          throw TransportError(fault.kind, -1,
+                               std::string("injected transient fault (") +
+                                   to_string(fault.kind) + ") on attempt " +
+                                   std::to_string(attempt));
+        }
+      }
+      switch (req.op) {
+        case ServeOp::kMttkrp:
+          return execute_mttkrp(req, version, batch_size);
+        case ServeOp::kRefine:
+          return execute_refine(req, version);
+        case ServeOp::kAppend:
+          return execute_append(req);
+        default:
+          throw std::logic_error("execute_batch: not a data-plane op");
+      }
+    } catch (const TransportError& e) {
+      // Transient by taxonomy: retry with exponential backoff and
+      // deterministic +-50% jitter, as long as budget and deadline allow.
+      if (attempt >= opts_.max_retries) {
+        return error_response(req.id, e.what(), to_string(e.fault_kind()));
+      }
+      const double jitter =
+          0.5 + static_cast<double>(
+                    derive_seed(static_cast<std::uint64_t>(req.id),
+                                static_cast<std::uint64_t>(attempt) + 101) >>
+                    11) *
+                    0x1.0p-53;
+      const double backoff_ms =
+          opts_.retry_backoff_ms * static_cast<double>(1 << attempt) * jitter;
+      if (backoff_ms >= remaining_ms()) return deadline_error(e.what());
+      retries_counter().add(1);
+      ++req.retries_used;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff_ms));
+    } catch (const std::exception& e) {
+      // Non-transient: validation and logic errors do not retry.
+      return error_response(req.id, e.what(), classify_error(e));
+    }
   }
 }
 
@@ -710,6 +843,12 @@ std::string MttkrpServer::execute_mttkrp(
       .num("predicted_cost", req.predicted_cost)
       .integer("latency_us", micros_between(req.t_submit, Clock::now()));
   if (samples > 0) r.integer("samples", samples);
+  if (req.degraded) {
+    // Overload shedding is graceful degradation, not silent degradation:
+    // the answer says which epsilon the sampled fallback ran with.
+    r.boolean("degraded", true).num("shed_epsilon", req.epsilon);
+  }
+  if (req.retries_used > 0) r.integer("retries", req.retries_used);
   return r.finish();
 }
 
@@ -778,11 +917,23 @@ std::string MttkrpServer::execute_append(Request& req) {
 
 namespace {
 
-bool read_line(std::FILE* in, std::string& line) {
+// Bounded line reader: a hostile (or corrupted) input stream cannot grow
+// `line` past `max_bytes`. On overflow the rest of the physical line is
+// consumed and discarded so the serve loop resynchronizes at the next
+// newline instead of aborting.
+bool read_line(std::FILE* in, std::string& line, std::size_t max_bytes,
+               bool* overflowed) {
   line.clear();
+  *overflowed = false;
   int c;
   while ((c = std::fgetc(in)) != EOF) {
     if (c == '\n') return true;
+    if (line.size() >= max_bytes) {
+      *overflowed = true;
+      while ((c = std::fgetc(in)) != EOF && c != '\n') {
+      }
+      return true;
+    }
     line.push_back(static_cast<char>(c));
   }
   return !line.empty();
@@ -804,7 +955,23 @@ int MttkrpServer::run(std::FILE* in, std::FILE* out) {
     sink_ = out;
   }
   std::string line;
-  while (read_line(in, line)) {
+  bool overflowed = false;
+  while (read_line(in, line, opts_.max_line_bytes, &overflowed)) {
+    if (overflowed) {
+      // The line had no parseable id; answer id 0 so the client still sees
+      // a typed error instead of silence, and keep the loop running.
+      const std::string response = error_response(
+          0, "request line exceeds " + std::to_string(opts_.max_line_bytes) +
+                 " bytes",
+          "bad_request");
+      std::lock_guard<std::mutex> lock(sink_mu_);
+      if (sink_ != nullptr) {
+        std::fputs(response.c_str(), sink_);
+        std::fputc('\n', sink_);
+        std::fflush(sink_);
+      }
+      continue;
+    }
     if (blank_or_comment(line)) continue;
     // The future is deliberately dropped: responses stream to the sink.
     submit(line);

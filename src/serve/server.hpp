@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/parsim/transport/fault.hpp"
 #include "src/planner/calibrate.hpp"
 #include "src/serve/tensor_registry.hpp"
 
@@ -70,6 +71,33 @@ struct ServeOptions {
   int local_threads = 0;
   // Measured machine parameters for the cost model (optional).
   Calibration machine;
+
+  // --- Robustness / graceful degradation (docs/serving.md, "Failure
+  // modes") ---
+  // Per-request wall-clock deadline in milliseconds, measured from
+  // submission; 0 disables. A request that has not started (or retried)
+  // within its deadline answers a typed "deadline_exceeded" error instead
+  // of executing. Requests override it with their own "deadline_ms" field.
+  double default_deadline_ms = 0.0;
+  // Retry budget for transiently-failed work items (typed TransportError):
+  // up to max_retries re-executions with exponential backoff
+  // (retry_backoff_ms * 2^attempt, +-50% deterministic jitter), each gated
+  // on the remaining deadline budget.
+  int max_retries = 2;
+  double retry_backoff_ms = 1.0;
+  // Overload shedding: when > 0, an exact mttkrp request whose predicted
+  // cost exceeds admit_max_cost is degraded to the sampled backend with
+  // this epsilon (reported in the answer) instead of rejected.
+  double shed_epsilon = 0.0;
+  // Registry memory budget forwarded to TensorRegistry (0 = unbounded).
+  std::size_t max_resident_bytes = 0;
+  // Bound on one request line; longer lines answer a typed error and the
+  // serve loop continues.
+  std::size_t max_line_bytes = 1 << 20;
+  // Chaos injection: when set, every work-item attempt consults the
+  // injector (seeded, deterministic) for delays and transient failures —
+  // the --chaos mode of tools/mttkrp_serve and the chaos harness.
+  std::shared_ptr<const FaultInjector> chaos;
 };
 
 class MttkrpServer {
@@ -107,6 +135,11 @@ class MttkrpServer {
  private:
   void worker_loop();
   void execute_batch(std::vector<std::unique_ptr<Request>>& batch);
+  // Retry wrapper: runs one data-plane request with the chaos injector,
+  // deadline checks, and the exponential-backoff retry budget applied.
+  std::string execute_with_retries(
+      Request& req, const std::shared_ptr<const TensorVersion>& version,
+      int batch_size);
   std::string execute_control(Request& req);
   std::string execute_mttkrp(
       Request& req, const std::shared_ptr<const TensorVersion>& version,

@@ -22,12 +22,30 @@ Gauge& tensors_gauge() {
   return g;
 }
 
+Counter& evictions_counter() {
+  static Counter& c = MetricsRegistry::global().counter("mtk.serve.evictions");
+  return c;
+}
+
+Gauge& resident_gauge() {
+  static Gauge& g =
+      MetricsRegistry::global().gauge("mtk.serve.resident_bytes");
+  return g;
+}
+
 }  // namespace
 
 double TensorVersion::staleness() const {
   const index_t b = base_nnz();
   if (b == 0) return pending_nnz() > 0 ? 1.0 : 0.0;
   return static_cast<double>(pending_nnz()) / static_cast<double>(b);
+}
+
+std::size_t TensorVersion::resident_bytes() const {
+  const std::size_t order =
+      base ? static_cast<std::size_t>(base->order()) : handle.dims().size();
+  const std::size_t per_nnz = order * sizeof(index_t) + sizeof(double);
+  return static_cast<std::size_t>(total_nnz()) * per_nnz;
 }
 
 TensorRegistry::TensorRegistry(double staleness_threshold)
@@ -62,7 +80,10 @@ std::shared_ptr<const TensorVersion> TensorRegistry::load(
   Entry& e = entries_[name];
   e.current = std::move(v);
   e.models.clear();
+  e.last_used = ++use_clock_;
+  enforce_budget_locked(name);
   tensors_gauge().set(static_cast<double>(entries_.size()));
+  resident_gauge().set(static_cast<double>(resident_bytes_locked()));
   return e.current;
 }
 
@@ -70,7 +91,9 @@ std::shared_ptr<const TensorVersion> TensorRegistry::get(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second.current;
+  if (it == entries_.end()) return nullptr;
+  it->second.last_used = ++use_clock_;
+  return it->second.current;
 }
 
 std::shared_ptr<const TensorVersion> TensorRegistry::append(
@@ -120,14 +143,68 @@ std::shared_ptr<const TensorVersion> TensorRegistry::append(
   }
   if (rebuilt != nullptr) *rebuilt = fold;
   it->second.current = std::move(next);
-  return it->second.current;
+  it->second.last_used = ++use_clock_;
+  std::shared_ptr<const TensorVersion> out = it->second.current;
+  enforce_budget_locked(name);
+  resident_gauge().set(static_cast<double>(resident_bytes_locked()));
+  return out;
 }
 
 bool TensorRegistry::evict(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   const bool erased = entries_.erase(name) > 0;
   tensors_gauge().set(static_cast<double>(entries_.size()));
+  resident_gauge().set(static_cast<double>(resident_bytes_locked()));
   return erased;
+}
+
+void TensorRegistry::set_max_resident_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_resident_bytes_ = bytes;
+  enforce_budget_locked(std::string());
+  resident_gauge().set(static_cast<double>(resident_bytes_locked()));
+}
+
+std::size_t TensorRegistry::max_resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_resident_bytes_;
+}
+
+std::size_t TensorRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_locked();
+}
+
+std::size_t TensorRegistry::resident_bytes_locked() const {
+  std::size_t total = 0;
+  for (const auto& kv : entries_) {
+    if (kv.second.current) total += kv.second.current->resident_bytes();
+  }
+  return total;
+}
+
+void TensorRegistry::enforce_budget_locked(const std::string& protect) {
+  if (max_resident_bytes_ == 0) return;
+  while (resident_bytes_locked() > max_resident_bytes_) {
+    // The budget bounds the cold tail; it never evicts the last resident
+    // entry (a single tensor larger than the whole budget keeps serving).
+    if (entries_.size() <= 1) break;
+    // Coldest entry other than the one being touched. In-flight readers
+    // holding a version snapshot keep it alive through their shared_ptr;
+    // eviction only drops the registry's reference.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == protect) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // only the protected entry left
+    entries_.erase(victim);
+    evictions_counter().add(1);
+  }
+  tensors_gauge().set(static_cast<double>(entries_.size()));
 }
 
 std::vector<std::string> TensorRegistry::names() const {
@@ -148,6 +225,7 @@ std::shared_ptr<const CpModel> TensorRegistry::model(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return nullptr;
+  it->second.last_used = ++use_clock_;
   auto mit = it->second.models.find(rank);
   return mit == it->second.models.end() ? nullptr : mit->second;
 }

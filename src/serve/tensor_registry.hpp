@@ -59,6 +59,9 @@ struct TensorVersion {
   index_t total_nnz() const { return base_nnz() + pending_nnz(); }
   // pending/base nonzero ratio the rebuild policy thresholds on.
   double staleness() const;
+  // Estimated bytes this version keeps resident (coordinates + values of
+  // base and pending) — the unit the registry's memory budget accounts in.
+  std::size_t resident_bytes() const;
 };
 
 // One nonzero delta: coordinate plus additive value (summed into any
@@ -95,6 +98,20 @@ class TensorRegistry {
   std::vector<std::string> names() const;
   std::size_t size() const;
 
+  // Memory budget: when > 0, load() and append() evict least-recently-used
+  // entries (other than the one being touched) until the summed
+  // resident_bytes of current versions fits the budget
+  // (`mtk.serve.evictions`). Eviction only drops the registry's reference:
+  // versions are immutable shared_ptr snapshots, so in-flight readers that
+  // already hold one stay valid for as long as they keep it. A single entry
+  // larger than the whole budget stays resident — the budget bounds the
+  // cold tail, it never starves the tensor being served.
+  void set_max_resident_bytes(std::size_t bytes);
+  std::size_t max_resident_bytes() const;
+  // Summed resident_bytes of all current versions (the
+  // `mtk.serve.resident_bytes` gauge).
+  std::size_t resident_bytes() const;
+
   // Warm CP model store, keyed by (name, rank). Models are snapshots: a
   // stored model survives sub-threshold appends and rebuilds (the factors
   // stay shape-compatible because dims are fixed at load).
@@ -108,13 +125,23 @@ class TensorRegistry {
   struct Entry {
     std::shared_ptr<const TensorVersion> current;
     std::map<index_t, std::shared_ptr<const CpModel>> models;
+    // LRU ordinal: the use_clock_ value of the last touch (get / append /
+    // model read). Smallest = coldest = first eviction candidate. Mutable
+    // because reads through the const accessors still count as touches.
+    mutable std::uint64_t last_used = 0;
   };
 
   static std::shared_ptr<const TensorVersion> make_version(
       std::uint64_t version, std::shared_ptr<const SparseTensor> base,
       SparseTensor pending, StorageFormat backend);
 
+  std::size_t resident_bytes_locked() const;
+  // Evicts cold entries (never `protect`) until the budget fits.
+  void enforce_budget_locked(const std::string& protect);
+
   double threshold_;
+  std::size_t max_resident_bytes_ = 0;
+  mutable std::uint64_t use_clock_ = 0;
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
 };

@@ -63,8 +63,13 @@ std::int64_t JsonValue::as_integer() const {
 
 // Recursive-descent parser over the whole document held in memory (telemetry
 // files are at most a few MB). Tracks line/column for error messages.
+// Nesting is bounded (kMaxDepth) so hostile input — e.g. ten thousand '['s
+// on one serve request line — fails with a parse error instead of
+// overflowing the stack.
 class JsonParser {
  public:
+  static constexpr int kMaxDepth = 64;
+
   explicit JsonParser(const std::string& text) : text_(text) {}
 
   JsonValue parse_document() {
@@ -158,7 +163,18 @@ class JsonParser {
     }
   }
 
+  // RAII depth guard shared by the two recursive productions.
+  struct DepthGuard {
+    explicit DepthGuard(JsonParser& p) : parser(p) {
+      MTK_CHECK(++parser.depth_ <= kMaxDepth, "JSON nesting deeper than ",
+                kMaxDepth, " levels ", parser.where());
+    }
+    ~DepthGuard() { --parser.depth_; }
+    JsonParser& parser;
+  };
+
   JsonValue parse_object() {
+    DepthGuard guard(*this);
     expect('{');
     JsonValue v;
     v.type_ = JsonValue::Type::kObject;
@@ -174,6 +190,7 @@ class JsonParser {
   }
 
   JsonValue parse_array() {
+    DepthGuard guard(*this);
     expect('[');
     JsonValue v;
     v.type_ = JsonValue::Type::kArray;
@@ -271,6 +288,7 @@ class JsonParser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 JsonValue JsonValue::parse(const std::string& text) {

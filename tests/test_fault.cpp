@@ -1,0 +1,478 @@
+// Fault-injection battery: the robustness contract across the transport
+// and serving stacks. Injected message drops / delays / corruption / rank
+// stalls against both transports and both collective kinds must either
+// leave results bit-identical to a fault-free run or surface a typed
+// TransportError within the collective deadline (never a hang, never
+// silent corruption). Serve-side: transient failures succeed within the
+// retry budget, deadlines answer typed errors, registry eviction under
+// memory pressure keeps in-flight version snapshots valid, hostile JSON
+// (deep nesting, oversized lines) answers typed errors instead of killing
+// the loop, and the plan-cache file survives torn writes as a cold cache.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/parsim/par_mttkrp.hpp"
+#include "src/parsim/transport/fault.hpp"
+#include "src/parsim/transport/thread_transport.hpp"
+#include "src/parsim/transport/transport.hpp"
+#include "src/planner/plan_cache.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/tensor_registry.hpp"
+#include "src/support/json.hpp"
+#include "src/support/rng.hpp"
+#include "src/tensor/matrix.hpp"
+#include "src/tensor/sparse_tensor.hpp"
+
+namespace mtk {
+namespace {
+
+std::int64_t counter_value(const char* name) {
+  return MetricsRegistry::global().counter(name).value();
+}
+
+std::unique_ptr<Transport> make_inner(bool threads, int ranks) {
+  if (threads) return std::make_unique<ThreadTransport>(ranks);
+  return std::make_unique<SimTransport>(ranks);
+}
+
+struct FaultProblem {
+  SparseTensor coo;
+  std::vector<Matrix> factors;
+};
+
+FaultProblem make_problem() {
+  Rng rng(7);
+  FaultProblem p;
+  p.coo = SparseTensor::random_sparse({10, 8, 6}, 0.2, rng);
+  for (index_t d : p.coo.dims()) {
+    p.factors.push_back(Matrix::random_normal(d, 4, rng));
+  }
+  return p;
+}
+
+Matrix golden_result(const FaultProblem& p, int mode) {
+  SimTransport sim(4);
+  return par_mttkrp_stationary(sim, StoredTensor::coo_view(p.coo), p.factors,
+                               mode, {2, 2, 1})
+      .b;
+}
+
+void expect_bits_equal(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      ASSERT_EQ(a.row(i)[j], b.row(i)[j]) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule script parsing.
+
+TEST(FaultSchedule, ParsesEveryClauseWithCommentsAndCommas) {
+  const FaultSchedule s = FaultSchedule::parse(
+      "seed=9, delay=0.25:150  drop=0.125 # trailing comment\n"
+      "corrupt=0.0625 stall=2@3:500 fail=0.5");
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_DOUBLE_EQ(s.delay_prob, 0.25);
+  EXPECT_DOUBLE_EQ(s.delay_us, 150.0);
+  EXPECT_DOUBLE_EQ(s.drop_prob, 0.125);
+  EXPECT_DOUBLE_EQ(s.corrupt_prob, 0.0625);
+  EXPECT_EQ(s.stall_rank, 2);
+  EXPECT_EQ(s.stall_every, 3u);
+  EXPECT_DOUBLE_EQ(s.stall_us, 500.0);
+  EXPECT_DOUBLE_EQ(s.fail_prob, 0.5);
+  EXPECT_TRUE(s.message_faults());
+  // describe() round-trips through parse().
+  const FaultSchedule r = FaultSchedule::parse(s.describe());
+  EXPECT_EQ(r.seed, s.seed);
+  EXPECT_DOUBLE_EQ(r.drop_prob, s.drop_prob);
+  EXPECT_EQ(r.stall_rank, s.stall_rank);
+}
+
+TEST(FaultSchedule, RejectsMalformedClauses) {
+  EXPECT_THROW(FaultSchedule::parse("delay=oops"), std::exception);
+  EXPECT_THROW(FaultSchedule::parse("unknown=1"), std::exception);
+  EXPECT_THROW(FaultSchedule::parse("drop=1.5"), std::exception);
+  EXPECT_THROW(FaultSchedule::parse("stall=1@2"), std::exception);
+}
+
+TEST(FaultSchedule, AtFileArgLoadsScriptFromDisk) {
+  const std::string path = "fault_schedule_arg.txt";
+  {
+    std::ofstream out(path);
+    out << "# chaos\nseed=11 drop=0.5\n";
+  }
+  const FaultSchedule s = parse_fault_schedule_arg("@" + path);
+  EXPECT_EQ(s.seed, 11u);
+  EXPECT_DOUBLE_EQ(s.drop_prob, 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicAndTransientFaultsClear) {
+  FaultSchedule s = FaultSchedule::parse("seed=5 delay=0.3:100 drop=0.2 "
+                                         "corrupt=0.2 fail=0.9");
+  const FaultInjector a(s), b(s);
+  int faults = 0;
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    const auto fa = a.on_message(0, 1, seq);
+    const auto fb = b.on_message(0, 1, seq);
+    EXPECT_EQ(fa.drop, fb.drop);
+    EXPECT_EQ(fa.corrupt, fb.corrupt);
+    EXPECT_EQ(fa.delay_us, fb.delay_us);
+    if (fa.drop || fa.corrupt || fa.delay_us > 0) ++faults;
+    // drop / corrupt / delay are mutually exclusive per message.
+    EXPECT_LE((fa.drop ? 1 : 0) + (fa.corrupt ? 1 : 0) +
+                  (fa.delay_us > 0 ? 1 : 0),
+              1);
+  }
+  EXPECT_GT(faults, 0);
+  // A transient attempt failure always clears by the second retry.
+  for (std::uint64_t id = 0; id < 32; ++id) {
+    EXPECT_FALSE(a.on_attempt(id, 2).fail) << "request " << id;
+    EXPECT_FALSE(a.on_attempt(id, 3).fail) << "request " << id;
+    EXPECT_EQ(a.on_attempt(id, 0).fail, b.on_attempt(id, 0).fail);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transport-level faults, both backends x both collective kinds.
+
+TEST(FaultTransport, DropSurfacesTypedTimeoutWithinDeadline) {
+  const FaultProblem p = make_problem();
+  for (bool threads : {false, true}) {
+    for (CollectiveKind kind :
+         {CollectiveKind::kBucket, CollectiveKind::kRecursive}) {
+      auto injector = std::make_shared<const FaultInjector>(
+          FaultSchedule::parse("seed=1 drop=1"));
+      FaultInjectingTransport t(make_inner(threads, 4), injector);
+      t.set_deadline(0.2);
+      const std::int64_t timeouts0 = counter_value("mtk.transport.timeouts");
+      try {
+        par_mttkrp_stationary(t, StoredTensor::coo_view(p.coo), p.factors, 0,
+                              {2, 2, 1}, kind);
+        FAIL() << "drop=1 should not complete (threads=" << threads << ")";
+      } catch (const TransportError& e) {
+        // Every message dropped: the receiver's blocked wait must convert
+        // into a typed timeout (threads) / the modeled drop must burn the
+        // deadline budget (sim). Aborted is acceptable for ranks woken by
+        // the first timeout.
+        EXPECT_TRUE(e.fault_kind() == TransportErrorKind::kTimeout ||
+                    e.fault_kind() == TransportErrorKind::kAborted)
+            << to_string(e.fault_kind());
+      }
+      if (threads) {
+        EXPECT_GT(counter_value("mtk.transport.timeouts"), timeouts0);
+      }
+      EXPECT_GT(counter_value("mtk.fault.drops"), 0);
+    }
+  }
+}
+
+TEST(FaultTransport, CorruptionIsDetectedNeverSilent) {
+  const FaultProblem p = make_problem();
+  for (bool threads : {false, true}) {
+    for (CollectiveKind kind :
+         {CollectiveKind::kBucket, CollectiveKind::kRecursive}) {
+      auto injector = std::make_shared<const FaultInjector>(
+          FaultSchedule::parse("seed=2 corrupt=1"));
+      FaultInjectingTransport t(make_inner(threads, 4), injector);
+      t.set_deadline(5.0);
+      EXPECT_THROW(par_mttkrp_stationary(t, StoredTensor::coo_view(p.coo),
+                                         p.factors, 0, {2, 2, 1}, kind),
+                   TransportError);
+      EXPECT_GT(counter_value("mtk.fault.corruptions"), 0);
+    }
+  }
+}
+
+TEST(FaultTransport, DelaysAndStallsPreserveBitExactness) {
+  const FaultProblem p = make_problem();
+  for (int mode = 0; mode < 2; ++mode) {
+    const Matrix want = golden_result(p, mode);
+    for (bool threads : {false, true}) {
+      for (CollectiveKind kind :
+           {CollectiveKind::kBucket, CollectiveKind::kRecursive}) {
+        const std::int64_t delays0 = counter_value("mtk.fault.delays");
+        const std::int64_t stalls0 = counter_value("mtk.fault.stalls");
+        auto injector = std::make_shared<const FaultInjector>(
+            FaultSchedule::parse("seed=3 delay=0.6:200 stall=1@1:300"));
+        FaultInjectingTransport t(make_inner(threads, 4), injector);
+        t.set_deadline(10.0);
+        ParMttkrpResult r = par_mttkrp_stationary(
+            t, StoredTensor::coo_view(p.coo), p.factors, mode, {2, 2, 1},
+            kind);
+        expect_bits_equal(want, r.b);
+        EXPECT_GT(counter_value("mtk.fault.delays"), delays0);
+        EXPECT_GT(counter_value("mtk.fault.stalls"), stalls0);
+      }
+    }
+  }
+}
+
+TEST(FaultTransport, DeadlineAloneDoesNotPerturbCleanRuns) {
+  const FaultProblem p = make_problem();
+  const Matrix want = golden_result(p, 0);
+  ThreadTransport t(4);
+  t.set_deadline(30.0);
+  ParMttkrpResult r = par_mttkrp_stationary(t, StoredTensor::coo_view(p.coo),
+                                            p.factors, 0, {2, 2, 1});
+  expect_bits_equal(want, r.b);
+}
+
+// ---------------------------------------------------------------------------
+// Serve-side robustness.
+
+SparseTensor serve_tensor(std::uint64_t seed) {
+  Rng rng(seed);
+  return SparseTensor::random_sparse({12, 10, 8}, 0.1, rng);
+}
+
+TEST(FaultServe, TransientFailureSucceedsWithinRetryBudget) {
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.chaos = std::make_shared<const FaultInjector>(
+      FaultSchedule::parse("seed=4 fail=1"));  // fails attempts 0 and 1
+  opts.max_retries = 2;
+  opts.retry_backoff_ms = 0.1;
+  MttkrpServer server(opts);
+  server.registry().load("t", serve_tensor(1), StorageFormat::kCsf);
+
+  const std::int64_t retries0 = counter_value("mtk.serve.retries");
+  const JsonValue v = JsonValue::parse(server.handle(
+      "{\"id\":1,\"op\":\"mttkrp\",\"tensor\":\"t\",\"rank\":4,\"mode\":0,"
+      "\"seed\":3}"));
+  ASSERT_TRUE(v.at("ok").as_bool()) << v.at("error").as_string();
+  EXPECT_EQ(v.at("retries").as_integer(), 2);
+  EXPECT_GE(counter_value("mtk.serve.retries") - retries0, 2);
+
+  // The answer is bit-identical to a fault-free server's.
+  ServeOptions clean;
+  clean.workers = 1;
+  MttkrpServer golden(clean);
+  golden.registry().load("t", serve_tensor(1), StorageFormat::kCsf);
+  const JsonValue g = JsonValue::parse(golden.handle(
+      "{\"id\":1,\"op\":\"mttkrp\",\"tensor\":\"t\",\"rank\":4,\"mode\":0,"
+      "\"seed\":3}"));
+  EXPECT_EQ(v.at("norm").as_number(), g.at("norm").as_number());
+}
+
+TEST(FaultServe, ExhaustedRetriesAnswerTheTypedFaultKind) {
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.chaos = std::make_shared<const FaultInjector>(
+      FaultSchedule::parse("seed=4 fail=1"));
+  opts.max_retries = 0;  // the first injected failure is final
+  MttkrpServer server(opts);
+  server.registry().load("t", serve_tensor(1), StorageFormat::kCsf);
+  const JsonValue v = JsonValue::parse(server.handle(
+      "{\"id\":7,\"op\":\"mttkrp\",\"tensor\":\"t\",\"rank\":4,\"mode\":0}"));
+  EXPECT_FALSE(v.at("ok").as_bool());
+  const std::string kind = v.at("kind").as_string();
+  EXPECT_TRUE(kind == "timeout" || kind == "corruption") << kind;
+}
+
+TEST(FaultServe, DeadlineAnswersTypedErrorInsteadOfRetrying) {
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.chaos = std::make_shared<const FaultInjector>(
+      FaultSchedule::parse("seed=4 fail=1"));
+  opts.max_retries = 5;
+  opts.retry_backoff_ms = 10.0;  // min backoff 5ms always outlives 5ms
+  opts.default_deadline_ms = 5.0;
+  MttkrpServer server(opts);
+  server.registry().load("t", serve_tensor(1), StorageFormat::kCsf);
+  const std::int64_t deadlines0 =
+      counter_value("mtk.serve.deadline_exceeded");
+  const JsonValue v = JsonValue::parse(server.handle(
+      "{\"id\":2,\"op\":\"mttkrp\",\"tensor\":\"t\",\"rank\":4,\"mode\":0}"));
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("kind").as_string(), "deadline_exceeded");
+  EXPECT_GT(counter_value("mtk.serve.deadline_exceeded"), deadlines0);
+
+  // A per-request deadline_ms overrides the server default.
+  const JsonValue w = JsonValue::parse(server.handle(
+      "{\"id\":3,\"op\":\"mttkrp\",\"tensor\":\"t\",\"rank\":4,\"mode\":0,"
+      "\"deadline_ms\":60000}"));
+  EXPECT_TRUE(w.at("ok").as_bool());  // retries converge under 60s
+}
+
+TEST(FaultServe, ShedDegradesOverBudgetExactRequestsToSampled) {
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.admit_max_cost = 1e-12;
+  opts.shed_epsilon = 0.25;
+  MttkrpServer server(opts);
+  server.registry().load("t", serve_tensor(1), StorageFormat::kCsf);
+  const JsonValue v = JsonValue::parse(server.handle(
+      "{\"id\":1,\"op\":\"mttkrp\",\"tensor\":\"t\",\"rank\":4,\"mode\":0,"
+      "\"seed\":9}"));
+  ASSERT_TRUE(v.at("ok").as_bool()) << v.at("error").as_string();
+  EXPECT_EQ(v.at("path").as_string(), "sampled");
+  EXPECT_TRUE(v.at("degraded").as_bool());
+  EXPECT_DOUBLE_EQ(v.at("shed_epsilon").as_number(), 0.25);
+}
+
+TEST(FaultRegistry, EvictionUnderPressureKeepsInFlightReadersValid) {
+  TensorRegistry registry(0.25);
+  auto va = registry.load("a", serve_tensor(2), StorageFormat::kCsf);
+  ASSERT_NE(va, nullptr);
+  const std::int64_t evictions0 = counter_value("mtk.serve.evictions");
+
+  // Budget fits one tensor: loading "b" evicts the colder "a", but the
+  // held snapshot keeps serving.
+  registry.set_max_resident_bytes(va->resident_bytes() +
+                                  va->resident_bytes() / 2);
+  registry.load("b", serve_tensor(3), StorageFormat::kCsf);
+  EXPECT_EQ(registry.get("a"), nullptr);
+  EXPECT_NE(registry.get("b"), nullptr);
+  EXPECT_GT(counter_value("mtk.serve.evictions"), evictions0);
+  EXPECT_LE(registry.resident_bytes(), registry.max_resident_bytes());
+
+  // The in-flight snapshot still computes, bit-identical to a fresh run on
+  // the same data.
+  std::vector<Matrix> factors;
+  {
+    Rng rng(99);
+    for (index_t d : va->handle.dims()) {
+      factors.push_back(Matrix::random_normal(d, 4, rng));
+    }
+  }
+  Matrix from_snapshot = mttkrp(va->handle, factors, 0, MttkrpOptions{});
+  SparseTensor same = serve_tensor(2);
+  same.sort_and_dedup();
+  Matrix fresh =
+      mttkrp(StoredTensor::coo_view(same), factors, 0, MttkrpOptions{});
+  expect_bits_equal(fresh, from_snapshot);
+
+  // An entry larger than the whole budget stays resident: the budget
+  // bounds the cold tail, it never starves the only tensor.
+  registry.set_max_resident_bytes(16);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_NE(registry.get("b"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile input: JSON nesting, oversized request lines.
+
+TEST(FaultJson, DeepNestingFailsWithParseErrorNotStackOverflow) {
+  std::string deep;
+  for (int i = 0; i < 4096; ++i) deep += '[';
+  EXPECT_THROW(JsonValue::parse(deep), std::exception);
+  std::string deep_obj = "{\"id\":1,\"x\":";
+  for (int i = 0; i < 4096; ++i) deep_obj += "[";
+  EXPECT_THROW(JsonValue::parse(deep_obj), std::exception);
+  // 64 levels still parse fine.
+  std::string ok_doc(64, '[');
+  ok_doc += std::string(64, ']');
+  EXPECT_NO_THROW(JsonValue::parse(ok_doc));
+}
+
+TEST(FaultServe, OversizedRequestLineAnswersTypedErrorAndLoopContinues) {
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.max_line_bytes = 256;
+  MttkrpServer server(opts);
+  server.registry().load("t", serve_tensor(1), StorageFormat::kCsf);
+
+  std::FILE* in = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  std::string oversized = "{\"id\":1,\"op\":\"stats\",\"pad\":\"";
+  oversized += std::string(512, 'x');
+  oversized += "\"}\n";
+  std::fputs(oversized.c_str(), in);
+  std::fputs("{\"id\":2,\"op\":\"stats\"}\n", in);
+  std::fputs("{\"id\":3,\"op\":\"shutdown\"}\n", in);
+  std::rewind(in);
+
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(server.run(in, out), 0);
+  std::rewind(out);
+  std::vector<JsonValue> responses;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), out) != nullptr) {
+    responses.push_back(JsonValue::parse(buf));
+  }
+  std::fclose(in);
+  std::fclose(out);
+
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_FALSE(responses[0].at("ok").as_bool());
+  EXPECT_EQ(responses[0].at("kind").as_string(), "bad_request");
+  // The loop survived: the following stats and shutdown still answered.
+  EXPECT_TRUE(responses[1].at("ok").as_bool());
+  EXPECT_TRUE(responses[2].at("ok").as_bool());
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache persistence: atomic save, whole-file checksum.
+
+TEST(FaultPlanCache, TornWriteLoadsColdAndIntactFileRoundTrips) {
+  PlanCache cache;
+  Rng rng(5);
+  SparseTensor coo = SparseTensor::random_sparse({12, 10, 8}, 0.2, rng);
+  PlannerOptions popts;
+  popts.procs = 4;
+  auto report = cache.get_or_plan(StoredTensor::coo_view(coo), 4, popts);
+  ASSERT_NE(report, nullptr);
+
+  Calibration cal;
+  cal.measured = true;
+  cal.alpha_seconds = 1.25e-6;
+  const std::string path = "fault_plan_cache.txt";
+  ASSERT_TRUE(cache.save(path, &cal));
+
+  // No temp file left behind, and the intact file round-trips including
+  // the calibration.
+  {
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+  }
+  PlanCache loaded;
+  Calibration got;
+  EXPECT_TRUE(loaded.load(path, &got));
+  EXPECT_EQ(loaded.size(), cache.size());
+  EXPECT_TRUE(got.measured);
+  EXPECT_DOUBLE_EQ(got.alpha_seconds, 1.25e-6);
+
+  // Torn write: any truncation loads as a cold cache.
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out.write(text.data(), static_cast<std::streamsize>(text.size() / 2));
+  }
+  PlanCache torn;
+  EXPECT_FALSE(torn.load(path));
+  EXPECT_EQ(torn.size(), 0u);
+
+  // Calibration-line tampering is caught by the whole-file checksum (the
+  // per-entry sums cannot see it).
+  std::string tampered = text;
+  const std::size_t cal_pos = tampered.find("calibration");
+  ASSERT_NE(cal_pos, std::string::npos);
+  tampered[cal_pos + std::string("calibration ").size()] ^= 1;
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out.write(tampered.data(),
+              static_cast<std::streamsize>(tampered.size()));
+  }
+  PlanCache bad;
+  EXPECT_FALSE(bad.load(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mtk

@@ -1,0 +1,478 @@
+// chaos_serve: the chaos harness for the fault-injection stack
+// (docs/serving.md, "Chaos runbook"). Replays a scripted fault schedule
+// against the transport and serving layers and asserts the robustness
+// contract:
+//
+//   every request/collective either completes BIT-EXACTLY equal to a
+//   fault-free golden run, or surfaces a typed error (timeout | corruption
+//   | aborted | deadline_exceeded | rejected | bad_request) within its
+//   deadline — zero hangs, zero crashes, nothing silently wrong.
+//
+// Phases:
+//   1. transport chaos — par_mttkrp_stationary through a
+//      FaultInjectingTransport over real std::thread ranks and over the
+//      centralized simulator, under message delay / drop / corruption and
+//      rank stalls, with a collective deadline converting drops into typed
+//      timeouts. Results are checksum-compared against the golden run.
+//   2. serve chaos — the scripted mixed workload (mttkrp floods, delta
+//      appends, warm refinement) against MttkrpServer with the injector's
+//      transient attempt failures: every answer must be bit-equal to the
+//      golden answer (retries converge because injected transient faults
+//      clear after two attempts).
+//   3. deadline — injected persistent failures + a short deadline: every
+//      answer must be a typed deadline_exceeded error.
+//   4. shedding — an over-budget exact request degrades to the sampled
+//      backend and says so (degraded=true) instead of being rejected.
+//   5. eviction — a registry memory budget evicts the cold tensor; the
+//      evicted name answers a typed bad_request, the resident one serves.
+//
+// Exits 0 when every phase holds, 1 with a per-violation listing otherwise.
+// CI runs this under a hard `timeout` so a hang fails loudly.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/parsim/par_mttkrp.hpp"
+#include "src/parsim/transport/fault.hpp"
+#include "src/parsim/transport/thread_transport.hpp"
+#include "src/parsim/transport/transport.hpp"
+#include "src/serve/server.hpp"
+#include "src/support/check.hpp"
+#include "src/support/json.hpp"
+#include "src/support/rng.hpp"
+#include "src/tensor/matrix.hpp"
+#include "src/tensor/sparse_tensor.hpp"
+
+namespace {
+
+using namespace mtk;
+
+int violations = 0;
+
+void violation(const char* phase, const std::string& what) {
+  ++violations;
+  std::fprintf(stderr, "VIOLATION [%s] %s\n", phase, what.c_str());
+}
+
+std::int64_t counter_value(const char* name) {
+  return MetricsRegistry::global().counter(name).value();
+}
+
+std::uint64_t matrix_checksum(const Matrix& m) {
+  return wire_checksum(m.data(),
+                       static_cast<std::size_t>(m.rows()) *
+                           static_cast<std::size_t>(m.cols()));
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: transport chaos.
+
+struct TransportTally {
+  int exact = 0;
+  int typed = 0;
+};
+
+void run_transport_trials(const char* phase, bool threads,
+                          const FaultSchedule& base, int trials,
+                          const StoredTensor& x,
+                          const std::vector<Matrix>& factors,
+                          const std::vector<int>& grid,
+                          const std::vector<std::uint64_t>& golden,
+                          TransportTally& tally) {
+  for (int trial = 0; trial < trials; ++trial) {
+    FaultSchedule sched = base;
+    sched.seed = derive_seed(base.seed, static_cast<std::uint64_t>(trial));
+    auto injector = std::make_shared<const FaultInjector>(sched);
+    std::unique_ptr<Transport> inner;
+    if (threads) {
+      inner = std::make_unique<ThreadTransport>(4);
+    } else {
+      inner = std::make_unique<SimTransport>(4);
+    }
+    FaultInjectingTransport transport(std::move(inner), injector);
+    transport.set_deadline(1.0);
+
+    const int mode = trial % x.order();
+    const CollectiveKind kind =
+        trial % 2 == 0 ? CollectiveKind::kBucket : CollectiveKind::kRecursive;
+    // Golden is per (mode, kind): the two collective schedules have
+    // different (both correct) floating-point accumulation orders.
+    const std::size_t golden_idx =
+        static_cast<std::size_t>(mode) * 2 +
+        (kind == CollectiveKind::kRecursive ? 1 : 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      ParMttkrpResult r =
+          par_mttkrp_stationary(transport, x, factors, mode, grid, kind);
+      if (matrix_checksum(r.b) != golden[golden_idx]) {
+        violation(phase, "trial " + std::to_string(trial) +
+                             ": completed but result differs from the "
+                             "fault-free golden run (silent corruption)");
+      } else {
+        ++tally.exact;
+      }
+    } catch (const TransportError& e) {
+      ++tally.typed;  // typed, deadline-bounded degradation: the contract
+    } catch (const std::exception& e) {
+      violation(phase, "trial " + std::to_string(trial) +
+                           ": untyped exception: " + e.what());
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    // Generous hang proxy: deadline + injected sleeps + scheduling slack.
+    if (elapsed > 30.0) {
+      violation(phase, "trial " + std::to_string(trial) + " took " +
+                           std::to_string(elapsed) + "s (hang)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phases 2-5: serve chaos.
+
+// One deterministic mixed workload; concurrent inside each read-only stage,
+// with appends/refines as sequential barriers so golden and chaos runs
+// observe identical tensor versions per request id.
+std::map<std::int64_t, JsonValue> run_workload(MttkrpServer& server) {
+  std::map<std::int64_t, JsonValue> answers;
+  const auto drain = [&](std::vector<std::future<std::string>>& futs) {
+    for (auto& f : futs) {
+      const JsonValue v = JsonValue::parse(f.get());
+      answers[v.at("id").as_integer()] = v;
+    }
+    futs.clear();
+  };
+
+  std::vector<std::future<std::string>> futs;
+  char buf[192];
+  for (int id = 1; id <= 8; ++id) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\":%d,\"op\":\"mttkrp\",\"tensor\":\"t\",\"rank\":8,"
+                  "\"mode\":%d,\"seed\":%d}",
+                  id, id % 3, 100 + id);
+    futs.push_back(server.submit(buf));
+  }
+  drain(futs);
+
+  answers[20] = JsonValue::parse(server.handle(
+      "{\"id\":20,\"op\":\"append\",\"tensor\":\"t\","
+      "\"entries\":[[0,0,0,0.5],[17,15,13,-1.0],[3,4,5,0.25]]}"));
+
+  for (int id = 21; id <= 26; ++id) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\":%d,\"op\":\"mttkrp\",\"tensor\":\"t\",\"rank\":8,"
+                  "\"mode\":%d,\"seed\":%d}",
+                  id, id % 3, 200 + id);
+    futs.push_back(server.submit(buf));
+  }
+  drain(futs);
+
+  answers[30] = JsonValue::parse(server.handle(
+      "{\"id\":30,\"op\":\"refine\",\"tensor\":\"t\",\"rank\":4,"
+      "\"iters\":2,\"seed\":5}"));
+  return answers;
+}
+
+bool answer_ok(const JsonValue& v) { return v.at("ok").as_bool(); }
+
+std::string answer_kind(const JsonValue& v) {
+  const JsonValue* k = v.find("kind");
+  return k == nullptr ? std::string("(untyped)") : k->as_string();
+}
+
+ServeOptions base_serve_options() {
+  ServeOptions opts;
+  opts.workers = 2;
+  opts.batch_window = 4;
+  return opts;
+}
+
+SparseTensor serve_tensor(std::uint64_t seed) {
+  Rng rng(seed);
+  return SparseTensor::random_sparse({18, 16, 14}, 0.06, rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string chaos_arg =
+        "seed=1 delay=0.15:200 drop=0.04 corrupt=0.04 stall=1@2:400 "
+        "fail=0.35";
+    int trials = 12;
+    std::uint64_t seed = 7;
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        MTK_CHECK(i + 1 < argc, "missing value for ", arg);
+        return argv[++i];
+      };
+      if (arg == "--chaos") {
+        chaos_arg = next();
+      } else if (arg == "--trials") {
+        trials = std::stoi(next());
+      } else if (arg == "--seed") {
+        seed = std::stoull(next());
+      } else if (arg == "--help" || arg == "-h") {
+        std::fprintf(
+            stdout,
+            "usage: chaos_serve [--chaos SCHEDULE] [--trials N] [--seed S]\n"
+            "\n"
+            "  Chaos harness: replays the fault schedule against the\n"
+            "  transport and serving stacks and asserts every operation\n"
+            "  completes bit-exactly or fails with a typed error within its\n"
+            "  deadline (docs/serving.md, \"Chaos runbook\").\n"
+            "\n"
+            "  --chaos   fault schedule script or @FILE (default: delays,\n"
+            "            drops, corruption, stalls, transient failures)\n"
+            "  --trials  faulted transport runs per backend (default 12)\n"
+            "  --seed    synthetic tensor seed (default 7)\n");
+        return 0;
+      } else {
+        std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+        return 2;
+      }
+    }
+
+    const FaultSchedule schedule = parse_fault_schedule_arg(chaos_arg);
+    std::fprintf(stderr, "chaos schedule : %s\n",
+                 schedule.describe().c_str());
+
+    // --- Phase 1: transport chaos ---------------------------------------
+    Rng rng(seed);
+    SparseTensor coo = SparseTensor::random_sparse({18, 16, 14}, 0.08, rng);
+    StoredTensor x = StoredTensor::coo_view(coo);
+    std::vector<Matrix> factors;
+    {
+      Rng frng(99);
+      for (index_t d : coo.dims()) {
+        factors.push_back(Matrix::random_normal(d, 8, frng));
+      }
+    }
+    const std::vector<int> grid{2, 2, 1};
+
+    std::vector<std::uint64_t> golden;
+    for (int mode = 0; mode < coo.order(); ++mode) {
+      for (CollectiveKind kind :
+           {CollectiveKind::kBucket, CollectiveKind::kRecursive}) {
+        ThreadTransport tt(4);
+        ParMttkrpResult r =
+            par_mttkrp_stationary(tt, x, factors, mode, grid, kind);
+        golden.push_back(matrix_checksum(r.b));
+      }
+    }
+
+    TransportTally threads_tally, sim_tally;
+    run_transport_trials("transport/threads", /*threads=*/true, schedule,
+                         trials, x, factors, grid, golden, threads_tally);
+    run_transport_trials("transport/sim", /*threads=*/false, schedule, trials,
+                         x, factors, grid, golden, sim_tally);
+    std::fprintf(stderr,
+                 "transport      : threads %d exact + %d typed, "
+                 "sim %d exact + %d typed (of %d each)\n",
+                 threads_tally.exact, threads_tally.typed, sim_tally.exact,
+                 sim_tally.typed, trials);
+    if (threads_tally.exact + threads_tally.typed > 0 &&
+        threads_tally.typed == 0 && schedule.drop_prob > 0.02) {
+      std::fprintf(stderr,
+                   "note           : no transport faults fired this seed\n");
+    }
+
+    // --- Phase 2: serve chaos vs golden ---------------------------------
+    std::map<std::int64_t, JsonValue> golden_answers;
+    {
+      MttkrpServer server(base_serve_options());
+      server.registry().load("t", serve_tensor(seed), StorageFormat::kCsf);
+      golden_answers = run_workload(server);
+    }
+    for (const auto& [id, v] : golden_answers) {
+      if (!answer_ok(v)) {
+        violation("serve/golden", "id " + std::to_string(id) +
+                                      " failed fault-free: " +
+                                      answer_kind(v));
+      }
+    }
+
+    const std::int64_t retries0 = counter_value("mtk.serve.retries");
+    const std::int64_t injected0 = counter_value("mtk.fault.failures");
+    {
+      ServeOptions opts = base_serve_options();
+      opts.chaos = std::make_shared<const FaultInjector>(schedule);
+      opts.default_deadline_ms = 20000.0;
+      opts.max_retries = 3;
+      opts.retry_backoff_ms = 0.5;
+      MttkrpServer server(opts);
+      server.registry().load("t", serve_tensor(seed), StorageFormat::kCsf);
+      std::map<std::int64_t, JsonValue> chaos_answers = run_workload(server);
+
+      for (const auto& [id, g] : golden_answers) {
+        auto it = chaos_answers.find(id);
+        if (it == chaos_answers.end()) {
+          violation("serve/chaos", "id " + std::to_string(id) + " never "
+                                   "answered (hang)");
+          continue;
+        }
+        const JsonValue& c = it->second;
+        if (!answer_ok(c)) {
+          // Injected transient faults clear within the retry budget, so
+          // under this phase's long deadline every answer must converge.
+          violation("serve/chaos", "id " + std::to_string(id) +
+                                       " failed under chaos (" +
+                                       answer_kind(c) + ") despite retries");
+          continue;
+        }
+        for (const char* field : {"norm", "fit"}) {
+          const JsonValue* gv = g.find(field);
+          const JsonValue* cv = c.find(field);
+          if ((gv == nullptr) != (cv == nullptr)) {
+            violation("serve/chaos", "id " + std::to_string(id) + " answer "
+                                     "shape differs from golden");
+          } else if (gv != nullptr &&
+                     gv->as_number() != cv->as_number()) {
+            violation("serve/chaos",
+                      "id " + std::to_string(id) + " " + field +
+                          " differs from golden (silent corruption)");
+          }
+        }
+      }
+    }
+    std::fprintf(stderr,
+                 "serve chaos    : %zu answers bit-checked, %lld injected "
+                 "failures, %lld retries\n",
+                 golden_answers.size(),
+                 static_cast<long long>(counter_value("mtk.fault.failures") -
+                                        injected0),
+                 static_cast<long long>(counter_value("mtk.serve.retries") -
+                                        retries0));
+    if (schedule.fail_prob >= 0.2 &&
+        counter_value("mtk.fault.failures") == injected0) {
+      violation("serve/chaos",
+                "fail_prob >= 0.2 but no transient failure was injected");
+    }
+
+    // --- Phase 3: deadlines ----------------------------------------------
+    const std::int64_t deadlines0 = counter_value("mtk.serve.deadline_exceeded");
+    {
+      ServeOptions opts = base_serve_options();
+      opts.chaos = std::make_shared<const FaultInjector>(
+          FaultSchedule::parse("seed=3 fail=1"));
+      opts.default_deadline_ms = 5.0;
+      opts.max_retries = 5;
+      opts.retry_backoff_ms = 10.0;  // first backoff always outlives 5ms
+      MttkrpServer server(opts);
+      server.registry().load("t", serve_tensor(seed), StorageFormat::kCsf);
+      for (int id = 1; id <= 3; ++id) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"id\":%d,\"op\":\"mttkrp\",\"tensor\":\"t\","
+                      "\"rank\":8,\"mode\":0,\"seed\":%d}",
+                      id, id);
+        const JsonValue v = JsonValue::parse(server.handle(buf));
+        if (answer_ok(v) || answer_kind(v) != "deadline_exceeded") {
+          violation("serve/deadline",
+                    "id " + std::to_string(id) + " expected a typed "
+                    "deadline_exceeded answer, got " +
+                        (answer_ok(v) ? "ok" : answer_kind(v)));
+        }
+      }
+    }
+    if (counter_value("mtk.serve.deadline_exceeded") - deadlines0 < 3) {
+      violation("serve/deadline",
+                "mtk.serve.deadline_exceeded did not count the misses");
+    }
+
+    // --- Phase 4: overload shedding --------------------------------------
+    const std::int64_t shed0 = counter_value("mtk.serve.shed");
+    {
+      ServeOptions opts = base_serve_options();
+      opts.admit_max_cost = 1e-12;  // everything is over budget
+      opts.shed_epsilon = 0.25;
+      MttkrpServer server(opts);
+      server.registry().load("t", serve_tensor(seed), StorageFormat::kCsf);
+      const JsonValue v = JsonValue::parse(server.handle(
+          "{\"id\":1,\"op\":\"mttkrp\",\"tensor\":\"t\",\"rank\":8,"
+          "\"mode\":0,\"seed\":1}"));
+      const JsonValue* degraded = v.find("degraded");
+      if (!answer_ok(v) || degraded == nullptr || !degraded->as_bool() ||
+          v.at("path").as_string() != "sampled") {
+        violation("serve/shed",
+                  "over-budget exact request did not degrade to the sampled "
+                  "backend: " + (answer_ok(v) ? v.at("path").as_string()
+                                              : answer_kind(v)));
+      }
+      // Refinement is not shed-eligible: still a typed rejection.
+      const JsonValue r = JsonValue::parse(server.handle(
+          "{\"id\":2,\"op\":\"refine\",\"tensor\":\"t\",\"rank\":4,"
+          "\"iters\":1}"));
+      if (answer_ok(r) || answer_kind(r) != "rejected") {
+        violation("serve/shed", "over-budget refine should stay rejected");
+      }
+    }
+    if (counter_value("mtk.serve.shed") - shed0 < 1) {
+      violation("serve/shed", "mtk.serve.shed did not count the degradation");
+    }
+
+    // --- Phase 5: registry eviction --------------------------------------
+    const std::int64_t evictions0 = counter_value("mtk.serve.evictions");
+    {
+      ServeOptions opts = base_serve_options();
+      MttkrpServer server(opts);
+      auto va = server.registry().load("a", serve_tensor(seed),
+                                       StorageFormat::kCsf);
+      // Budget holds exactly one of the two tensors: loading "b" evicts the
+      // colder "a".
+      server.registry().set_max_resident_bytes(va->resident_bytes() +
+                                               va->resident_bytes() / 2);
+      server.registry().load("b", serve_tensor(seed + 1),
+                             StorageFormat::kCsf);
+      const JsonValue ve = JsonValue::parse(server.handle(
+          "{\"id\":1,\"op\":\"mttkrp\",\"tensor\":\"a\",\"rank\":8,"
+          "\"mode\":0,\"seed\":1}"));
+      if (answer_ok(ve) || answer_kind(ve) != "bad_request") {
+        violation("serve/evict",
+                  "evicted tensor should answer a typed bad_request");
+      }
+      const JsonValue vb = JsonValue::parse(server.handle(
+          "{\"id\":2,\"op\":\"mttkrp\",\"tensor\":\"b\",\"rank\":8,"
+          "\"mode\":0,\"seed\":1}"));
+      if (!answer_ok(vb)) {
+        violation("serve/evict", "resident tensor failed to serve: " +
+                                     answer_kind(vb));
+      }
+    }
+    if (counter_value("mtk.serve.evictions") - evictions0 < 1) {
+      violation("serve/evict", "budget pressure produced no eviction");
+    }
+
+    std::fprintf(stderr,
+                 "fault counters : delays=%lld drops=%lld corruptions=%lld "
+                 "stalls=%lld failures=%lld timeouts=%lld\n",
+                 static_cast<long long>(counter_value("mtk.fault.delays")),
+                 static_cast<long long>(counter_value("mtk.fault.drops")),
+                 static_cast<long long>(
+                     counter_value("mtk.fault.corruptions")),
+                 static_cast<long long>(counter_value("mtk.fault.stalls")),
+                 static_cast<long long>(counter_value("mtk.fault.failures")),
+                 static_cast<long long>(
+                     counter_value("mtk.transport.timeouts")));
+    if (violations == 0) {
+      std::fprintf(stderr, "chaos          : PASS (zero hangs, zero crashes, "
+                           "zero silent corruption)\n");
+      return 0;
+    }
+    std::fprintf(stderr, "chaos          : FAIL (%d violations)\n",
+                 violations);
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

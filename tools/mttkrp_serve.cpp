@@ -6,6 +6,7 @@
 // docs/cli.md.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +16,7 @@
 #endif
 
 #include "src/io/tensor_io.hpp"
+#include "src/parsim/transport/fault.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/planner/calibrate.hpp"
@@ -31,6 +33,9 @@ void usage(std::FILE* out) {
       "          [--workers N] [--batch-window N] [--max-queue N]\n"
       "          [--staleness F] [--epsilon F] [--admit-max-cost F]\n"
       "          [--plan-procs P] [--threads T]\n"
+      "          [--deadline-ms F] [--retries N] [--retry-backoff-ms F]\n"
+      "          [--shed-epsilon F] [--max-resident-bytes N]\n"
+      "          [--max-line-bytes N] [--chaos SCHEDULE]\n"
       "          [--cache-file PATH] [--calibrate] [--script FILE]\n"
       "          [--trace-out FILE] [--metrics-json FILE]\n"
       "\n"
@@ -59,6 +64,24 @@ void usage(std::FILE* out) {
       "              lookup (default 4)\n"
       "  --threads   OpenMP threads for the local kernels inside each\n"
       "              request (default: serial kernels)\n"
+      "  --deadline-ms  default per-request wall-clock deadline; requests\n"
+      "              past it answer a typed deadline_exceeded error\n"
+      "              (default 0 = no deadline; per-request \"deadline_ms\"\n"
+      "              overrides)\n"
+      "  --retries   retry budget for transiently-failed work items\n"
+      "              (default 2)\n"
+      "  --retry-backoff-ms  base of the exponential retry backoff\n"
+      "              (default 1)\n"
+      "  --shed-epsilon  overload shedding: degrade over-budget exact\n"
+      "              mttkrp requests to the sampled backend with this\n"
+      "              epsilon instead of rejecting them (default 0 = off)\n"
+      "  --max-resident-bytes  registry memory budget; cold tensors are\n"
+      "              LRU-evicted past it (default 0 = unbounded)\n"
+      "  --max-line-bytes  bound on one request line; longer lines answer\n"
+      "              a typed error (default 1048576)\n"
+      "  --chaos     deterministic fault injection for the serve loop:\n"
+      "              SCHEDULE is 'seed=S delay=P:US fail=P ...' or @FILE\n"
+      "              (see docs/serving.md, \"Chaos runbook\")\n"
       "  --cache-file  persistent plan cache: loaded (with any stored\n"
       "              calibration) before serving, saved on shutdown\n"
       "  --calibrate measure machine parameters before serving instead of\n"
@@ -121,6 +144,24 @@ int main(int argc, char** argv) {
       } else if (arg == "--threads") {
         sopts.local_threads = std::stoi(next());
         MTK_CHECK(sopts.local_threads >= 1, "--threads must be >= 1");
+      } else if (arg == "--deadline-ms") {
+        sopts.default_deadline_ms = std::stod(next());
+      } else if (arg == "--retries") {
+        sopts.max_retries = std::stoi(next());
+      } else if (arg == "--retry-backoff-ms") {
+        sopts.retry_backoff_ms = std::stod(next());
+      } else if (arg == "--shed-epsilon") {
+        sopts.shed_epsilon = std::stod(next());
+      } else if (arg == "--max-resident-bytes") {
+        sopts.max_resident_bytes =
+            static_cast<std::size_t>(std::stoull(next()));
+      } else if (arg == "--max-line-bytes") {
+        sopts.max_line_bytes = static_cast<std::size_t>(std::stoull(next()));
+      } else if (arg == "--chaos") {
+        const FaultSchedule schedule = parse_fault_schedule_arg(next());
+        std::fprintf(stderr, "chaos          : %s\n",
+                     schedule.describe().c_str());
+        sopts.chaos = std::make_shared<const FaultInjector>(schedule);
       } else if (arg == "--cache-file") {
         cache_path = next();
       } else if (arg == "--calibrate") {

@@ -173,8 +173,9 @@ void validate_bench(const std::string& path) {
 }
 
 // Metrics snapshots share the benchmark-array shape; every row must be a
-// well-formed instrument of a known kind.
-void validate_metrics(const std::string& path) {
+// well-formed instrument of a known kind. Instrument names seen across all
+// snapshots accumulate into `seen` for --require-metrics.
+void validate_metrics(const std::string& path, std::set<std::string>& seen) {
   const JsonValue doc = JsonValue::parse_file(path);
   const JsonValue* ctx = doc.find("context");
   MTK_REQUIRE(ctx != nullptr && ctx->is_object() && ctx->has("kind") &&
@@ -188,6 +189,7 @@ void validate_metrics(const std::string& path) {
                     row.at("name").is_string() && row.has("run_type"),
                 path, ": malformed metrics row");
     const std::string& name = row.at("name").as_string();
+    seen.insert(name);
     const std::string& kind = row.at("run_type").as_string();
     if (kind == "counter") {
       MTK_REQUIRE(row.has("value") && row.at("value").is_integer(), path,
@@ -255,7 +257,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--bench FILE]... [--metrics FILE]...\n"
                "          [--trace FILE]... [--require-categories a,b,c]\n"
-               "          [--require-ranks N]\n",
+               "          [--require-ranks N] [--require-metrics a,b,c]\n",
                argv0);
   return 1;
 }
@@ -265,6 +267,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::vector<std::string> bench, metrics, traces;
   std::vector<std::string> required_categories;
+  std::vector<std::string> required_metrics;
   int required_ranks = 0;
 
   for (int a = 1; a < argc; ++a) {
@@ -284,6 +287,8 @@ int main(int argc, char** argv) {
         required_categories = split_commas(next());
       } else if (arg == "--require-ranks") {
         required_ranks = std::stoi(next());
+      } else if (arg == "--require-metrics") {
+        required_metrics = split_commas(next());
       } else {
         return usage(argv[0]);
       }
@@ -298,7 +303,14 @@ int main(int argc, char** argv) {
 
   try {
     for (const std::string& path : bench) validate_bench(path);
-    for (const std::string& path : metrics) validate_metrics(path);
+    std::set<std::string> metric_names;
+    for (const std::string& path : metrics) {
+      validate_metrics(path, metric_names);
+    }
+    for (const std::string& name : required_metrics) {
+      MTK_REQUIRE(metric_names.count(name) > 0, "required instrument '",
+                  name, "' absent from the given metrics snapshots");
+    }
     TraceSummary summary;
     for (const std::string& path : traces) validate_trace(path, &summary);
     for (const std::string& cat : required_categories) {
